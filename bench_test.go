@@ -1,0 +1,260 @@
+// Benchmarks regenerating each of the paper's tables and figures, one bench
+// family per experiment. Two kinds coexist:
+//
+//   - Real-runtime benches (Fig3*, Fig4*, Fig5 real designs, Fig6/7 real):
+//     live goroutines over internal/core with the hw.Fast cost model; they
+//     measure the software path's wall-clock overhead on the host.
+//   - Model benches (Sim*): the deterministic virtual-time model that
+//     produces the paper's scaling shapes; the reported "virt_msg/s" metric
+//     is the figure's Y value, independent of host core count.
+//
+// cmd/figures prints the full figure series; these benches integrate the
+// same experiments with `go test -bench`.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	benchmr "repro/internal/bench/multirate"
+	benchrma "repro/internal/bench/rmamt"
+	"repro/internal/core"
+	"repro/internal/cri"
+	"repro/internal/designs"
+	"repro/internal/hw"
+	"repro/internal/progress"
+	"repro/internal/simnet"
+)
+
+// runMultirateReal drives the real-runtime Multirate harness inside b.N.
+func runMultirateReal(b *testing.B, cfg benchmr.Config) {
+	b.Helper()
+	b.ReportAllocs()
+	var total int64
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		res, err := benchmr.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Messages
+		rate = res.Rate
+	}
+	b.ReportMetric(rate, "msg/s")
+	b.ReportMetric(float64(total)/float64(b.N), "msgs/op")
+}
+
+func multirateCfg(opts core.Options) benchmr.Config {
+	return benchmr.Config{
+		Machine: hw.Fast(),
+		Opts:    opts,
+		Pairs:   4,
+		Window:  64,
+		Iters:   2,
+	}
+}
+
+// BenchmarkFig3SerialProgress: concurrent sends under the serial progress
+// engine (Figure 3a's configurations).
+func BenchmarkFig3SerialProgress(b *testing.B) {
+	cases := []struct {
+		name string
+		opts core.Options
+	}{
+		{"1instance", core.Stock()},
+		{"4rr", core.CRIs(4, cri.RoundRobin)},
+		{"4dedicated", core.CRIs(4, cri.Dedicated)},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) { runMultirateReal(b, multirateCfg(c.opts)) })
+	}
+}
+
+// BenchmarkFig3ConcurrentProgress: Algorithm 2 replaces the serial engine
+// (Figure 3b's configurations).
+func BenchmarkFig3ConcurrentProgress(b *testing.B) {
+	cases := []struct {
+		name string
+		opts core.Options
+	}{
+		{"4rr", core.CRIsConcurrent(4, cri.RoundRobin)},
+		{"4dedicated", core.CRIsConcurrent(4, cri.Dedicated)},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) { runMultirateReal(b, multirateCfg(c.opts)) })
+	}
+}
+
+// BenchmarkFig3ConcurrentMatching: communicator per pair unlocks matching
+// (Figure 3c's configuration).
+func BenchmarkFig3ConcurrentMatching(b *testing.B) {
+	cfg := multirateCfg(core.CRIsConcurrent(4, cri.Dedicated))
+	cfg.CommPerPair = true
+	runMultirateReal(b, cfg)
+}
+
+// BenchmarkFig4Overtaking: ordering relaxed via the overtaking info key and
+// wildcard-tag receives (Figure 4's configurations).
+func BenchmarkFig4Overtaking(b *testing.B) {
+	modes := []struct {
+		name string
+		prog progress.Mode
+		cpp  bool
+	}{
+		{"serial", progress.Serial, false},
+		{"concurrent", progress.Concurrent, false},
+		{"concurrent_matching", progress.Concurrent, true},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			cfg := multirateCfg(core.Options{
+				NumInstances: 4, Assignment: cri.Dedicated,
+				Progress: m.prog, ThreadLevel: core.ThreadMultiple,
+			})
+			cfg.AnyTag = true
+			cfg.Overtaking = true
+			cfg.CommPerPair = m.cpp
+			runMultirateReal(b, cfg)
+		})
+	}
+}
+
+// BenchmarkFig5Designs: the state-of-the-art comparison on the real
+// runtime — each named design, thread and process modes.
+func BenchmarkFig5Designs(b *testing.B) {
+	for _, d := range designs.All() {
+		b.Run(sanitize(d.String()), func(b *testing.B) {
+			cfg := multirateCfg(d.CoreOptions(4))
+			cfg.ProcessMode = d.IsProcessMode()
+			cfg.CommPerPair = d.UsesCommPerPair()
+			runMultirateReal(b, cfg)
+		})
+	}
+}
+
+// BenchmarkFig6RMAHaswell: RMA-MT put+flush over the real runtime across
+// the paper's message sizes (Figure 6's sweep; Haswell instance counts).
+func BenchmarkFig6RMAHaswell(b *testing.B) {
+	for _, size := range []int{1, 128, 1024, 4096, 16384} {
+		for _, mode := range []struct {
+			name string
+			opts core.Options
+		}{
+			{"single", core.Stock()},
+			{"dedicated", core.CRIsConcurrent(4, cri.Dedicated)},
+			{"rr", core.CRIsConcurrent(4, cri.RoundRobin)},
+		} {
+			b.Run(fmt.Sprintf("%dB/%s", size, mode.name), func(b *testing.B) {
+				b.ReportAllocs()
+				var rate float64
+				for i := 0; i < b.N; i++ {
+					res, err := benchrma.Run(benchrma.Config{
+						Machine: hw.Fast(), Opts: mode.opts,
+						Threads: 4, MsgSize: size, PutsPerThread: 100, Rounds: 1,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					rate = res.Rate
+				}
+				b.ReportMetric(rate, "puts/s")
+			})
+		}
+	}
+}
+
+// BenchmarkFig7RMAKNL: the KNL sweep differs by thread count and instance
+// pool; on the real runtime we exercise the oversubscribed case (more
+// threads than instances).
+func BenchmarkFig7RMAKNL(b *testing.B) {
+	for _, threads := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("%dthreads", threads), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := benchrma.Run(benchrma.Config{
+					Machine: hw.Fast(), Opts: core.CRIsConcurrent(4, cri.Dedicated),
+					Threads: threads, MsgSize: 128, PutsPerThread: 100, Rounds: 1,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- virtual-time model benches: the figures' actual Y values ---
+
+func runSim(b *testing.B, cfg simnet.Config) {
+	b.Helper()
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		rate = simnet.RunMultirate(cfg).Rate
+	}
+	b.ReportMetric(rate, "virt_msg/s")
+}
+
+// BenchmarkSimFig3 reports the virtual-time message rate at the paper's
+// 20-thread-pair operating point for the three Figure 3 panels.
+func BenchmarkSimFig3(b *testing.B) {
+	base := simnet.Config{
+		Machine: hw.AlembertHaswell(), Pairs: 20, Window: 128, Iters: 2,
+		NumInstances: 20, Assignment: cri.Dedicated,
+	}
+	b.Run("a_serial", func(b *testing.B) { runSim(b, base) })
+	conc := base
+	conc.Progress = progress.Concurrent
+	b.Run("b_concurrent", func(b *testing.B) { runSim(b, conc) })
+	matching := conc
+	matching.CommPerPair = true
+	b.Run("c_matching", func(b *testing.B) { runSim(b, matching) })
+}
+
+// BenchmarkSimFig5 reports each design's virtual-time rate at 20 pairs.
+func BenchmarkSimFig5(b *testing.B) {
+	base := simnet.Config{Machine: hw.AlembertHaswell(), Pairs: 20, Window: 128, Iters: 2}
+	for _, d := range designs.All() {
+		b.Run(sanitize(d.String()), func(b *testing.B) {
+			runSim(b, d.SimConfig(base, 20))
+		})
+	}
+}
+
+// BenchmarkSimRMA reports virtual-time put rates for Figures 6/7 corners.
+func BenchmarkSimRMA(b *testing.B) {
+	cases := []struct {
+		name string
+		cfg  simnet.RMAMTConfig
+	}{
+		{"haswell_32t_1B_dedicated", simnet.RMAMTConfig{
+			Machine: hw.TrinititeHaswell(), Threads: 32, MsgSize: 1,
+			PutsPerThread: 200, Rounds: 1, Assignment: cri.Dedicated}},
+		{"haswell_32t_1B_single", simnet.RMAMTConfig{
+			Machine: hw.TrinititeHaswell(), Threads: 32, MsgSize: 1,
+			PutsPerThread: 200, Rounds: 1, NumInstances: 1}},
+		{"knl_64t_1B_dedicated", simnet.RMAMTConfig{
+			Machine: hw.TrinititeKNL(), Threads: 64, MsgSize: 1,
+			PutsPerThread: 200, Rounds: 1, Assignment: cri.Dedicated}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				rate = simnet.RunRMAMT(c.cfg).Rate
+			}
+			b.ReportMetric(rate, "virt_puts/s")
+		})
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case ' ', '+', '*':
+			out = append(out, '_')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,143 @@
+// Command multirate runs the Multirate pairwise benchmark.
+//
+// Two engines are available:
+//
+//	-engine sim   deterministic virtual-time model (default; regenerates
+//	              the paper's scaling shapes on any host)
+//	-engine real  live goroutines over the real runtime (wall-clock)
+//
+// Examples:
+//
+//	multirate -pairs 20 -instances 20 -assignment dedicated
+//	multirate -pairs 20 -progress concurrent -comm-per-pair
+//	multirate -engine real -pairs 4 -window 64 -iters 8
+//	multirate -process-mode -pairs 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	bench "repro/internal/bench/multirate"
+	"repro/internal/core"
+	"repro/internal/cri"
+	"repro/internal/hw"
+	"repro/internal/progress"
+	"repro/internal/simnet"
+)
+
+func main() {
+	var (
+		engine      = flag.String("engine", "sim", "sim (virtual time) or real (wall clock)")
+		pairs       = flag.Int("pairs", 20, "communication pairs")
+		window      = flag.Int("window", 128, "outstanding-message window")
+		iters       = flag.Int("iters", 8, "window iterations per pair")
+		msgSize     = flag.Int("size", 0, "payload bytes (0 = envelope only)")
+		instances   = flag.Int("instances", 1, "communication resource instances per process")
+		assignment  = flag.String("assignment", "round-robin", "round-robin | dedicated")
+		prog        = flag.String("progress", "serial", "serial | concurrent")
+		commPerPair = flag.Bool("comm-per-pair", false, "private communicator per pair (concurrent matching)")
+		overtaking  = flag.Bool("overtaking", false, "assert mpi_assert_allow_overtaking")
+		anyTag      = flag.Bool("any-tag", false, "post wildcard-tag receives")
+		processMode = flag.Bool("process-mode", false, "map pairs to process pairs")
+		pattern     = flag.String("pattern", "pairwise", "pairwise | incast (real engine only)")
+		machineName = flag.String("machine", "alembert", "alembert | trinitite | knl | fast")
+		showSPCs    = flag.Bool("spcs", false, "dump software performance counters")
+		traceN      = flag.Int("trace", 0, "attach an event tracer retaining N events (real engine) and dump them")
+	)
+	flag.Parse()
+
+	machine, err := machineByName(*machineName)
+	check(err)
+	asg, err := assignmentByName(*assignment)
+	check(err)
+	pm, err := progressByName(*prog)
+	check(err)
+
+	switch *engine {
+	case "sim":
+		res := simnet.RunMultirate(simnet.Config{
+			Machine: machine, Pairs: *pairs, Window: *window, Iters: *iters,
+			MsgSize: *msgSize, NumInstances: *instances, Assignment: asg,
+			Progress: pm, CommPerPair: *commPerPair,
+			AllowOvertaking: *overtaking, AnyTagRecv: *anyTag,
+			ProcessMode: *processMode,
+		})
+		fmt.Printf("engine=sim pairs=%d messages=%d makespan=%v rate=%.0f msg/s oos=%.2f%%\n",
+			*pairs, res.Messages, res.Makespan, res.Rate, res.SPCs.OutOfSequencePercent())
+		if *showSPCs {
+			fmt.Print(res.SPCs.String())
+		}
+	case "real":
+		opts := core.Options{
+			NumInstances: *instances, Assignment: asg, Progress: pm,
+			ThreadLevel: core.ThreadMultiple, TraceCapacity: *traceN,
+		}
+		pat := bench.Pairwise
+		if *pattern == "incast" {
+			pat = bench.Incast
+		}
+		res, err := bench.Run(bench.Config{
+			Machine: machine, Opts: opts, Pairs: *pairs, Window: *window,
+			Iters: *iters, MsgSize: *msgSize, CommPerPair: *commPerPair,
+			AnyTag: *anyTag, Overtaking: *overtaking, ProcessMode: *processMode,
+			Pattern: pat,
+		})
+		check(err)
+		fmt.Printf("engine=real pairs=%d messages=%d elapsed=%v rate=%.0f msg/s oos=%.2f%%\n",
+			*pairs, res.Messages, res.Elapsed, res.Rate, res.SPCs.OutOfSequencePercent())
+		if *showSPCs {
+			fmt.Print(res.SPCs.String())
+		}
+		if *traceN > 0 {
+			fmt.Print(res.TraceDump)
+		}
+	default:
+		check(fmt.Errorf("unknown engine %q", *engine))
+	}
+}
+
+func machineByName(name string) (hw.Machine, error) {
+	switch name {
+	case "alembert":
+		return hw.AlembertHaswell(), nil
+	case "trinitite":
+		return hw.TrinititeHaswell(), nil
+	case "knl":
+		return hw.TrinititeKNL(), nil
+	case "fast":
+		return hw.Fast(), nil
+	default:
+		return hw.Machine{}, fmt.Errorf("unknown machine %q", name)
+	}
+}
+
+func assignmentByName(name string) (cri.Assignment, error) {
+	switch name {
+	case "round-robin", "rr":
+		return cri.RoundRobin, nil
+	case "dedicated":
+		return cri.Dedicated, nil
+	default:
+		return 0, fmt.Errorf("unknown assignment %q", name)
+	}
+}
+
+func progressByName(name string) (progress.Mode, error) {
+	switch name {
+	case "serial":
+		return progress.Serial, nil
+	case "concurrent":
+		return progress.Concurrent, nil
+	default:
+		return 0, fmt.Errorf("unknown progress mode %q", name)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "multirate:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,117 @@
+// Command rmamt runs the RMA-MT multithreaded one-sided benchmark
+// (MPI_Put + MPI_Win_flush) on either the virtual-time model or the real
+// runtime.
+//
+// Examples:
+//
+//	rmamt -threads 32 -size 1024 -assignment dedicated
+//	rmamt -threads 32 -instances 1              # the "single instance" curve
+//	rmamt -machine knl -threads 64
+//	rmamt -engine real -threads 4 -puts 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	bench "repro/internal/bench/rmamt"
+	"repro/internal/core"
+	"repro/internal/cri"
+	"repro/internal/hw"
+	"repro/internal/progress"
+	"repro/internal/simnet"
+)
+
+func main() {
+	var (
+		engine      = flag.String("engine", "sim", "sim (virtual time) or real (wall clock)")
+		threads     = flag.Int("threads", 32, "origin-side threads")
+		msgSize     = flag.Int("size", 8, "put payload bytes")
+		puts        = flag.Int("puts", 1000, "puts per thread per flush round")
+		rounds      = flag.Int("rounds", 4, "flush rounds")
+		instances   = flag.Int("instances", 0, "instances (0 = one per core, paper default)")
+		assignment  = flag.String("assignment", "dedicated", "round-robin | dedicated")
+		prog        = flag.String("progress", "serial", "serial | concurrent")
+		machineName = flag.String("machine", "trinitite", "alembert | trinitite | knl | fast")
+	)
+	flag.Parse()
+
+	machine, err := machineByName(*machineName)
+	check(err)
+	asg, err := assignmentByName(*assignment)
+	check(err)
+	pm, err := progressByName(*prog)
+	check(err)
+
+	switch *engine {
+	case "sim":
+		res := simnet.RunRMAMT(simnet.RMAMTConfig{
+			Machine: machine, Threads: *threads, MsgSize: *msgSize,
+			PutsPerThread: *puts, Rounds: *rounds,
+			NumInstances: *instances, Assignment: asg, Progress: pm,
+		})
+		fmt.Printf("engine=sim threads=%d size=%dB puts=%d makespan=%v rate=%.0f puts/s peak=%.0f\n",
+			*threads, *msgSize, res.Messages, res.Makespan, res.Rate,
+			machine.PeakMessageRate(*msgSize))
+	case "real":
+		ni := *instances
+		if ni <= 0 {
+			ni = machine.DefaultContexts
+		}
+		opts := core.Options{NumInstances: ni, Assignment: asg, Progress: pm, ThreadLevel: core.ThreadMultiple}
+		res, err := bench.Run(bench.Config{
+			Machine: machine, Opts: opts, Threads: *threads, MsgSize: *msgSize,
+			PutsPerThread: *puts, Rounds: *rounds,
+		})
+		check(err)
+		fmt.Printf("engine=real threads=%d size=%dB puts=%d elapsed=%v rate=%.0f puts/s\n",
+			*threads, *msgSize, res.Puts, res.Elapsed, res.Rate)
+	default:
+		check(fmt.Errorf("unknown engine %q", *engine))
+	}
+}
+
+func machineByName(name string) (hw.Machine, error) {
+	switch name {
+	case "alembert":
+		return hw.AlembertHaswell(), nil
+	case "trinitite":
+		return hw.TrinititeHaswell(), nil
+	case "knl":
+		return hw.TrinititeKNL(), nil
+	case "fast":
+		return hw.Fast(), nil
+	default:
+		return hw.Machine{}, fmt.Errorf("unknown machine %q", name)
+	}
+}
+
+func assignmentByName(name string) (cri.Assignment, error) {
+	switch name {
+	case "round-robin", "rr":
+		return cri.RoundRobin, nil
+	case "dedicated":
+		return cri.Dedicated, nil
+	default:
+		return 0, fmt.Errorf("unknown assignment %q", name)
+	}
+}
+
+func progressByName(name string) (progress.Mode, error) {
+	switch name {
+	case "serial":
+		return progress.Serial, nil
+	case "concurrent":
+		return progress.Concurrent, nil
+	default:
+		return 0, fmt.Errorf("unknown progress mode %q", name)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmamt:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,107 @@
+// Cross-engine consistency: the real runtime (internal/core, wall clock)
+// and the virtual-time model (internal/simnet) implement the same message
+// path; their *count* invariants must agree on identical workloads even
+// though their timings differ.
+package repro_test
+
+import (
+	"testing"
+
+	benchmr "repro/internal/bench/multirate"
+	"repro/internal/core"
+	"repro/internal/cri"
+	"repro/internal/hw"
+	"repro/internal/progress"
+	"repro/internal/simnet"
+	"repro/internal/spc"
+)
+
+func TestEnginesAgreeOnMessageCounts(t *testing.T) {
+	const (
+		pairs  = 3
+		window = 32
+		iters  = 2
+	)
+	want := int64(pairs * window * iters)
+
+	rres, err := benchmr.Run(benchmr.Config{
+		Machine: hw.Fast(), Opts: core.CRIsConcurrent(pairs, cri.Dedicated),
+		Pairs: pairs, Window: window, Iters: iters,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres := simnet.RunMultirate(simnet.Config{
+		Machine: hw.Fast(), Pairs: pairs, Window: window, Iters: iters,
+		NumInstances: pairs, Assignment: cri.Dedicated, Progress: progress.Concurrent,
+	})
+	cases := []struct {
+		name     string
+		rv, simv int64
+	}{
+		// Both harnesses report the receiver side's counters, so
+		// messages_received is the observable; sent is on the sender proc.
+		{"messages", rres.Messages, sres.Messages},
+		{"messages_received", rres.SPCs.Get(spc.MessagesReceived), sres.SPCs.Get(spc.MessagesReceived)},
+	}
+	for _, c := range cases {
+		if c.rv != want || c.simv != want {
+			t.Errorf("%s: real %d, sim %d, want %d", c.name, c.rv, c.simv, want)
+		}
+	}
+}
+
+func TestEnginesAgreeOvertakingEliminatesOOS(t *testing.T) {
+	const (
+		pairs  = 3
+		window = 16
+		iters  = 2
+	)
+	real, err := benchmr.Run(benchmr.Config{
+		Machine: hw.Fast(), Opts: core.CRIsConcurrent(pairs, cri.Dedicated),
+		Pairs: pairs, Window: window, Iters: iters,
+		AnyTag: true, Overtaking: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := simnet.RunMultirate(simnet.Config{
+		Machine: hw.Fast(), Pairs: pairs, Window: window, Iters: iters,
+		NumInstances: pairs, Assignment: cri.Dedicated, Progress: progress.Concurrent,
+		AnyTagRecv: true, AllowOvertaking: true,
+	})
+	if r := real.SPCs.Get(spc.OutOfSequence); r != 0 {
+		t.Errorf("real engine recorded %d OOS under overtaking", r)
+	}
+	if s := sim.SPCs.Get(spc.OutOfSequence); s != 0 {
+		t.Errorf("sim engine recorded %d OOS under overtaking", s)
+	}
+}
+
+func TestEnginesAgreeCommPerPairFIFOHasNoOOS(t *testing.T) {
+	// One sender thread per communicator through a dedicated instance:
+	// strictly FIFO end to end — both engines must record zero OOS.
+	const (
+		pairs  = 4
+		window = 16
+		iters  = 2
+	)
+	real, err := benchmr.Run(benchmr.Config{
+		Machine: hw.Fast(), Opts: core.CRIsConcurrent(pairs, cri.Dedicated),
+		Pairs: pairs, Window: window, Iters: iters, CommPerPair: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := simnet.RunMultirate(simnet.Config{
+		Machine: hw.Fast(), Pairs: pairs, Window: window, Iters: iters,
+		NumInstances: pairs, Assignment: cri.Dedicated, Progress: progress.Concurrent,
+		CommPerPair: true,
+	})
+	if r := real.SPCs.Get(spc.OutOfSequence); r != 0 {
+		t.Errorf("real engine: comm-per-pair dedicated OOS = %d", r)
+	}
+	if s := sim.SPCs.Get(spc.OutOfSequence); s != 0 {
+		t.Errorf("sim engine: comm-per-pair dedicated OOS = %d", s)
+	}
+}

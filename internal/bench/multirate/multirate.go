@@ -1,0 +1,331 @@
+// Package multirate implements the Multirate pairwise benchmark
+// (Patinyasakdikul et al. [6]) over the real runtime (internal/core): N
+// communication pairs, each iterating window-sized bursts of non-blocking
+// sends/receives with wait-all, in either thread mode (pairs are threads of
+// two processes) or process mode (each pair is its own process pair).
+//
+// This harness measures wall-clock rates on live goroutines. On a
+// single-core host the multithreaded scaling shapes of the paper cannot
+// materialize here; the deterministic virtual-time twin of this harness
+// (internal/simnet) regenerates the figures. Both exist so the design can
+// be validated functionally (here) and quantitatively (there).
+package multirate
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/spc"
+)
+
+// Pattern selects the communication shape.
+type Pattern int
+
+const (
+	// Pairwise: N sender threads paired with N receiver threads (the
+	// paper's configuration, Fig. 2).
+	Pairwise Pattern = iota
+	// Incast: N sender threads all target a single receiver thread that
+	// posts wildcard receives — maximal pressure on one matching stream.
+	Incast
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case Pairwise:
+		return "pairwise"
+	case Incast:
+		return "incast"
+	default:
+		return "pattern(?)"
+	}
+}
+
+// Config parameterizes one run.
+type Config struct {
+	// Machine is the hardware model (use hw.Fast for functional runs).
+	Machine hw.Machine
+	// Opts configures the runtime design under test.
+	Opts core.Options
+	// Pairs is the number of communication pairs.
+	Pairs int
+	// Window is the outstanding-message window (paper: 128).
+	Window int
+	// Iters is the number of window iterations.
+	Iters int
+	// MsgSize is the payload size (0 = envelope only).
+	MsgSize int
+	// CommPerPair gives each pair a private communicator (Fig. 3c mode).
+	CommPerPair bool
+	// AnyTag posts wildcard-tag receives (Fig. 4 mode).
+	AnyTag bool
+	// Overtaking asserts mpi_assert_allow_overtaking (Fig. 4 mode).
+	Overtaking bool
+	// ProcessMode maps each pair to its own process pair.
+	ProcessMode bool
+	// Pattern selects pairwise (default) or incast.
+	Pattern Pattern
+}
+
+func (c Config) withDefaults() Config {
+	if c.Pairs <= 0 {
+		c.Pairs = 1
+	}
+	if c.Window <= 0 {
+		c.Window = 128
+	}
+	if c.Iters <= 0 {
+		c.Iters = 4
+	}
+	return c
+}
+
+// Result reports one run's outcome.
+type Result struct {
+	// Messages is the total message count.
+	Messages int64
+	// Elapsed is the wall-clock duration of the measured section.
+	Elapsed time.Duration
+	// Rate is Messages/Elapsed in msg/s.
+	Rate float64
+	// SPCs is the receiver-side counter snapshot.
+	SPCs spc.Snapshot
+	// TraceDump holds the receiver-side event trace when tracing was
+	// enabled (Options.TraceCapacity > 0).
+	TraceDump string
+}
+
+// Run executes the benchmark.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Pattern == Incast {
+		if cfg.ProcessMode {
+			return Result{}, fmt.Errorf("multirate: incast has no process mode")
+		}
+		return runIncast(cfg)
+	}
+	if cfg.ProcessMode {
+		return runProcesses(cfg)
+	}
+	return runThreads(cfg)
+}
+
+// runIncast: cfg.Pairs sender threads on proc 0, one receiver thread on
+// proc 1 posting wildcard receives for the whole volume.
+func runIncast(cfg Config) (Result, error) {
+	w, err := core.NewWorld(cfg.Machine, 2, cfg.Opts)
+	if err != nil {
+		return Result{}, err
+	}
+	defer w.Close()
+	info := core.Info{AllowOvertaking: cfg.Overtaking}
+	comms, err := w.NewCommWithInfo([]int{0, 1}, info)
+	if err != nil {
+		return Result{}, err
+	}
+	errs := make(chan error, cfg.Pairs+1)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for pair := 0; pair < cfg.Pairs; pair++ {
+		wg.Add(1)
+		go func(pair int) {
+			defer wg.Done()
+			errs <- senderLoop(w.Proc(0).NewThread(), comms[0], cfg, int32(pair))
+		}(pair)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := w.Proc(1).NewThread()
+		buf := make([]byte, cfg.MsgSize)
+		total := cfg.Pairs * cfg.Window * cfg.Iters
+		for i := 0; i < total; i++ {
+			if _, err := comms[1].Recv(th, 0, core.AnyTag, buf); err != nil {
+				errs <- fmt.Errorf("incast receiver: %w", err)
+				return
+			}
+		}
+		errs <- nil
+	}()
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	return result(cfg, elapsed, w.Proc(1).SPCs()), nil
+}
+
+func runThreads(cfg Config) (Result, error) {
+	w, err := core.NewWorld(cfg.Machine, 2, cfg.Opts)
+	if err != nil {
+		return Result{}, err
+	}
+	defer w.Close()
+
+	info := core.Info{AllowOvertaking: cfg.Overtaking}
+	sendComms := make([]*core.Comm, cfg.Pairs)
+	recvComms := make([]*core.Comm, cfg.Pairs)
+	for pair := 0; pair < cfg.Pairs; pair++ {
+		if cfg.CommPerPair || pair == 0 {
+			comms, err := w.NewCommWithInfo([]int{0, 1}, info)
+			if err != nil {
+				return Result{}, err
+			}
+			sendComms[pair], recvComms[pair] = comms[0], comms[1]
+		} else {
+			sendComms[pair], recvComms[pair] = sendComms[0], recvComms[0]
+		}
+	}
+
+	errs := make(chan error, 2*cfg.Pairs)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for pair := 0; pair < cfg.Pairs; pair++ {
+		wg.Add(2)
+		go func(pair int) {
+			defer wg.Done()
+			errs <- senderLoop(w.Proc(0).NewThread(), sendComms[pair], cfg, int32(pair))
+		}(pair)
+		go func(pair int) {
+			defer wg.Done()
+			errs <- receiverLoop(w.Proc(1).NewThread(), recvComms[pair], cfg, int32(pair))
+		}(pair)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	res := result(cfg, elapsed, w.Proc(1).SPCs())
+	res.TraceDump = traceDump(w.Proc(1))
+	return res, nil
+}
+
+// traceDump renders the proc's event trace, or "" without a tracer.
+func traceDump(p *core.Proc) string {
+	tr := p.Tracer()
+	if tr == nil {
+		return ""
+	}
+	var sb strings.Builder
+	_ = tr.Dump(&sb)
+	return sb.String()
+}
+
+func runProcesses(cfg Config) (Result, error) {
+	w, err := core.NewWorld(cfg.Machine, 2*cfg.Pairs, cfg.Opts)
+	if err != nil {
+		return Result{}, err
+	}
+	defer w.Close()
+
+	info := core.Info{AllowOvertaking: cfg.Overtaking}
+	type pairComms struct{ s, r *core.Comm }
+	pcs := make([]pairComms, cfg.Pairs)
+	for pair := 0; pair < cfg.Pairs; pair++ {
+		comms, err := w.NewCommWithInfo([]int{2 * pair, 2*pair + 1}, info)
+		if err != nil {
+			return Result{}, err
+		}
+		pcs[pair] = pairComms{comms[0], comms[1]}
+	}
+	errs := make(chan error, 2*cfg.Pairs)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for pair := 0; pair < cfg.Pairs; pair++ {
+		wg.Add(2)
+		go func(pair int) {
+			defer wg.Done()
+			errs <- senderLoop(pcs[pair].s.Proc().NewThread(), pcs[pair].s, cfg, 0)
+		}(pair)
+		go func(pair int) {
+			defer wg.Done()
+			errs <- receiverLoop(pcs[pair].r.Proc().NewThread(), pcs[pair].r, cfg, 0)
+		}(pair)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	// Aggregate receiver-side SPCs across all receiver procs.
+	snaps := make([]spc.Snapshot, 0, cfg.Pairs)
+	for pair := 0; pair < cfg.Pairs; pair++ {
+		if s := pcs[pair].r.Proc().SPCs(); s != nil {
+			snaps = append(snaps, s.Snapshot())
+		}
+	}
+	res := result(cfg, elapsed, nil)
+	res.SPCs = spc.Merge(snaps...)
+	return res, nil
+}
+
+func result(cfg Config, elapsed time.Duration, s *spc.Set) Result {
+	total := int64(cfg.Pairs) * int64(cfg.Window) * int64(cfg.Iters)
+	r := Result{Messages: total, Elapsed: elapsed}
+	if elapsed > 0 {
+		r.Rate = float64(total) / elapsed.Seconds()
+	}
+	if s != nil {
+		r.SPCs = s.Snapshot()
+	}
+	return r
+}
+
+func senderLoop(th *core.Thread, c *core.Comm, cfg Config, tag int32) error {
+	buf := make([]byte, cfg.MsgSize)
+	reqs := make([]*core.Request, 0, cfg.Window)
+	for it := 0; it < cfg.Iters; it++ {
+		reqs = reqs[:0]
+		for i := 0; i < cfg.Window; i++ {
+			req, err := c.Isend(th, 1, tag, buf)
+			if err != nil {
+				return fmt.Errorf("multirate sender: %w", err)
+			}
+			reqs = append(reqs, req)
+		}
+		if err := core.WaitAll(th, reqs...); err != nil {
+			return fmt.Errorf("multirate sender waitall: %w", err)
+		}
+	}
+	return nil
+}
+
+func receiverLoop(th *core.Thread, c *core.Comm, cfg Config, tag int32) error {
+	bufs := make([][]byte, cfg.Window)
+	for i := range bufs {
+		bufs[i] = make([]byte, cfg.MsgSize)
+	}
+	reqs := make([]*core.Request, 0, cfg.Window)
+	recvTag := tag
+	if cfg.AnyTag {
+		recvTag = core.AnyTag
+	}
+	for it := 0; it < cfg.Iters; it++ {
+		reqs = reqs[:0]
+		for i := 0; i < cfg.Window; i++ {
+			req, err := c.Irecv(th, 0, recvTag, bufs[i])
+			if err != nil {
+				return fmt.Errorf("multirate receiver: %w", err)
+			}
+			reqs = append(reqs, req)
+		}
+		if err := core.WaitAll(th, reqs...); err != nil {
+			return fmt.Errorf("multirate receiver waitall: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package multirate
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cri"
+	"repro/internal/hw"
+	"repro/internal/spc"
+)
+
+func fastCfg() Config {
+	return Config{
+		Machine: hw.Fast(),
+		Opts:    core.Stock(),
+		Pairs:   2,
+		Window:  16,
+		Iters:   2,
+	}
+}
+
+func TestThreadModeCompletes(t *testing.T) {
+	res, err := Run(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 2*16*2 {
+		t.Fatalf("Messages = %d", res.Messages)
+	}
+	if res.Rate <= 0 || res.Elapsed <= 0 {
+		t.Fatalf("Rate = %v, Elapsed = %v", res.Rate, res.Elapsed)
+	}
+	if got := res.SPCs.Get(spc.MessagesReceived); got != 64 {
+		t.Fatalf("messages_received = %d, want 64", got)
+	}
+}
+
+func TestProcessModeCompletes(t *testing.T) {
+	cfg := fastCfg()
+	cfg.ProcessMode = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 64 {
+		t.Fatalf("Messages = %d", res.Messages)
+	}
+	if got := res.SPCs.Get(spc.MessagesReceived); got != 64 {
+		t.Fatalf("aggregated messages_received = %d, want 64", got)
+	}
+}
+
+func TestCommPerPair(t *testing.T) {
+	cfg := fastCfg()
+	cfg.CommPerPair = true
+	cfg.Opts = core.CRIsConcurrent(2, cri.Dedicated)
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnyTagOvertaking(t *testing.T) {
+	cfg := fastCfg()
+	cfg.AnyTag = true
+	cfg.Overtaking = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.SPCs.Get(spc.OutOfSequence); got != 0 {
+		t.Fatalf("overtaking run recorded %d OOS messages", got)
+	}
+}
+
+func TestWithPayload(t *testing.T) {
+	cfg := fastCfg()
+	cfg.MsgSize = 64
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	res, err := Run(Config{Machine: hw.Fast(), Opts: core.Stock(), Pairs: 1, Window: 4, Iters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 4 {
+		t.Fatalf("Messages = %d", res.Messages)
+	}
+}
+
+func TestIncastPattern(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Pattern = Incast
+	cfg.Opts = core.CRIsConcurrent(2, cri.Dedicated)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 64 {
+		t.Fatalf("Messages = %d", res.Messages)
+	}
+	if got := res.SPCs.Get(spc.MessagesReceived); got != 64 {
+		t.Fatalf("messages_received = %d", got)
+	}
+}
+
+func TestIncastRejectsProcessMode(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Pattern = Incast
+	cfg.ProcessMode = true
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("incast + process mode accepted")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if Pairwise.String() != "pairwise" || Incast.String() != "incast" {
+		t.Fatal("Pattern.String mismatch")
+	}
+}
+
+func TestAllDesignKnobsFunctional(t *testing.T) {
+	opts := []core.Options{
+		core.Stock(),
+		core.CRIs(4, cri.RoundRobin),
+		core.CRIs(4, cri.Dedicated),
+		core.CRIsConcurrent(4, cri.RoundRobin),
+		core.CRIsConcurrent(4, cri.Dedicated),
+	}
+	for i, o := range opts {
+		cfg := fastCfg()
+		cfg.Opts = o
+		if _, err := Run(cfg); err != nil {
+			t.Fatalf("option set %d: %v", i, err)
+		}
+	}
+}

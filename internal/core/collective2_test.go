@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestScanInclusivePrefix(t *testing.T) {
+	const n = 5
+	w := newTestWorld(t, n, Stock())
+	outs := make([][]byte, n)
+	runCollective(t, w, func(rank int, th *Thread, c *Comm) error {
+		out := make([]byte, 8)
+		outs[rank] = out
+		return c.Scan(th, int64Bytes(int64(rank+1)), out, OpSumInt64)
+	})
+	for r := 0; r < n; r++ {
+		want := int64((r + 1) * (r + 2) / 2) // 1+2+...+(r+1)
+		if got := int64sOf(outs[r])[0]; got != want {
+			t.Fatalf("rank %d scan = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestExscanExclusivePrefix(t *testing.T) {
+	const n = 4
+	w := newTestWorld(t, n, Stock())
+	outs := make([][]byte, n)
+	runCollective(t, w, func(rank int, th *Thread, c *Comm) error {
+		out := int64Bytes(-999) // sentinel: rank 0's out must stay untouched
+		outs[rank] = out
+		return c.Exscan(th, int64Bytes(int64(rank+1)), out, OpSumInt64)
+	})
+	if got := int64sOf(outs[0])[0]; got != -999 {
+		t.Fatalf("rank 0 exscan touched out: %d", got)
+	}
+	for r := 1; r < n; r++ {
+		want := int64(r * (r + 1) / 2) // 1+2+...+r
+		if got := int64sOf(outs[r])[0]; got != want {
+			t.Fatalf("rank %d exscan = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestReduceScatterBlock(t *testing.T) {
+	const n = 3
+	w := newTestWorld(t, n, Stock())
+	outs := make([][]byte, n)
+	runCollective(t, w, func(rank int, th *Thread, c *Comm) error {
+		// Block b of rank r's contribution is (r+1)*(b+1).
+		in := make([]byte, 0, 8*n)
+		for b := 0; b < n; b++ {
+			in = append(in, int64Bytes(int64((rank+1)*(b+1)))...)
+		}
+		out := make([]byte, 8)
+		outs[rank] = out
+		return c.ReduceScatterBlock(th, in, out, OpSumInt64)
+	})
+	// Rank b receives sum over r of (r+1)*(b+1) = 6*(b+1) for n=3.
+	for b := 0; b < n; b++ {
+		want := int64(6 * (b + 1))
+		if got := int64sOf(outs[b])[0]; got != want {
+			t.Fatalf("rank %d reduce_scatter = %d, want %d", b, got, want)
+		}
+	}
+}
+
+func TestReduceScatterBlockValidation(t *testing.T) {
+	w := newTestWorld(t, 2, Stock())
+	th := w.Proc(0).NewThread()
+	c := w.Proc(0).CommWorld()
+	if err := c.ReduceScatterBlock(th, make([]byte, 8), make([]byte, 8), OpSumInt64); err == nil {
+		t.Fatal("wrong in length accepted")
+	}
+}
+
+func TestScanSingleRank(t *testing.T) {
+	w := newTestWorld(t, 1, Stock())
+	th := w.Proc(0).NewThread()
+	out := make([]byte, 8)
+	if err := w.Proc(0).CommWorld().Scan(th, int64Bytes(7), out, OpSumInt64); err != nil {
+		t.Fatal(err)
+	}
+	if int64sOf(out)[0] != 7 {
+		t.Fatalf("single-rank scan = %d", int64sOf(out)[0])
+	}
+}
+
+func TestScanChainsWithOtherCollectives(t *testing.T) {
+	const n = 4
+	w := newTestWorld(t, n, Stock())
+	runCollective(t, w, func(rank int, th *Thread, c *Comm) error {
+		out := make([]byte, 8)
+		if err := c.Scan(th, int64Bytes(1), out, OpSumInt64); err != nil {
+			return err
+		}
+		if got := int64sOf(out)[0]; got != int64(rank+1) {
+			return fmt.Errorf("rank %d scan = %d", rank, got)
+		}
+		all := make([]byte, 8)
+		if err := c.Allreduce(th, out, all, OpMaxInt64); err != nil {
+			return err
+		}
+		if got := int64sOf(all)[0]; got != n {
+			return fmt.Errorf("rank %d max-of-scans = %d", rank, got)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// runCollective invokes fn once per rank on its own goroutine and thread,
+// failing the test on any error.
+func runCollective(t *testing.T, w *World, fn func(rank int, th *Thread, c *Comm) error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make(chan error, w.Size())
+	for r := 0; r < w.Size(); r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs <- fn(r, w.Proc(r).NewThread(), w.Proc(r).CommWorld())
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBcastAllSizesAndRoots(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8} {
+		for root := 0; root < n; root += max(1, n-1) {
+			t.Run(fmt.Sprintf("n=%d root=%d", n, root), func(t *testing.T) {
+				w := newTestWorld(t, n, Stock())
+				payload := []byte("broadcast-payload")
+				bufs := make([][]byte, n)
+				runCollective(t, w, func(rank int, th *Thread, c *Comm) error {
+					buf := make([]byte, len(payload))
+					if rank == root {
+						copy(buf, payload)
+					}
+					bufs[rank] = buf
+					return c.Bcast(th, root, buf)
+				})
+				for r, buf := range bufs {
+					if !bytes.Equal(buf, payload) {
+						t.Fatalf("rank %d got %q", r, buf)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestBcastRootValidation(t *testing.T) {
+	w := newTestWorld(t, 2, Stock())
+	th := w.Proc(0).NewThread()
+	if err := w.Proc(0).CommWorld().Bcast(th, 5, nil); err == nil {
+		t.Fatal("Bcast with invalid root succeeded")
+	}
+}
+
+func int64Bytes(vals ...int64) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(v))
+	}
+	return b
+}
+
+func int64sOf(b []byte) []int64 {
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func TestReduceSum(t *testing.T) {
+	const n = 5
+	w := newTestWorld(t, n, Stock())
+	out := make([]byte, 16)
+	runCollective(t, w, func(rank int, th *Thread, c *Comm) error {
+		in := int64Bytes(int64(rank+1), int64(10*(rank+1)))
+		if rank == 2 {
+			return c.Reduce(th, 2, in, out, OpSumInt64)
+		}
+		return c.Reduce(th, 2, in, nil, OpSumInt64)
+	})
+	got := int64sOf(out)
+	if got[0] != 15 || got[1] != 150 { // 1+2+3+4+5, 10+20+..+50
+		t.Fatalf("reduce sums = %v", got)
+	}
+}
+
+func TestReduceMaxMin(t *testing.T) {
+	const n = 4
+	w := newTestWorld(t, n, Stock())
+	outMax := make([]byte, 8)
+	runCollective(t, w, func(rank int, th *Thread, c *Comm) error {
+		in := int64Bytes(int64(rank * rank))
+		if rank == 0 {
+			return c.Reduce(th, 0, in, outMax, OpMaxInt64)
+		}
+		return c.Reduce(th, 0, in, nil, OpMaxInt64)
+	})
+	if got := int64sOf(outMax)[0]; got != 9 {
+		t.Fatalf("max = %d, want 9", got)
+	}
+	outMin := make([]byte, 8)
+	runCollective(t, w, func(rank int, th *Thread, c *Comm) error {
+		in := int64Bytes(int64(rank + 3))
+		if rank == 0 {
+			return c.Reduce(th, 0, in, outMin, OpMinInt64)
+		}
+		return c.Reduce(th, 0, in, nil, OpMinInt64)
+	})
+	if got := int64sOf(outMin)[0]; got != 3 {
+		t.Fatalf("min = %d, want 3", got)
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	const n = 6
+	w := newTestWorld(t, n, Stock())
+	outs := make([][]byte, n)
+	runCollective(t, w, func(rank int, th *Thread, c *Comm) error {
+		in := int64Bytes(1, int64(rank))
+		out := make([]byte, len(in))
+		outs[rank] = out
+		return c.Allreduce(th, in, out, OpSumInt64)
+	})
+	for r, out := range outs {
+		got := int64sOf(out)
+		if got[0] != n || got[1] != n*(n-1)/2 {
+			t.Fatalf("rank %d allreduce = %v", r, got)
+		}
+	}
+}
+
+func TestAllreduceFloatAndBor(t *testing.T) {
+	const n = 3
+	w := newTestWorld(t, n, Stock())
+	outs := make([][]byte, n)
+	runCollective(t, w, func(rank int, th *Thread, c *Comm) error {
+		in := make([]byte, 8)
+		binary.LittleEndian.PutUint64(in, 1<<uint(rank)) // distinct bits
+		out := make([]byte, 8)
+		outs[rank] = out
+		return c.Allreduce(th, in, out, OpBor)
+	})
+	for r, out := range outs {
+		if v := binary.LittleEndian.Uint64(out); v != 0b111 {
+			t.Fatalf("rank %d bor = %b", r, v)
+		}
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	const n = 4
+	w := newTestWorld(t, n, Stock())
+	var gathered []byte
+	runCollective(t, w, func(rank int, th *Thread, c *Comm) error {
+		send := []byte{byte(rank), byte(rank * 2)}
+		if rank == 1 {
+			gathered = make([]byte, 2*n)
+			return c.Gather(th, 1, send, gathered)
+		}
+		return c.Gather(th, 1, send, nil)
+	})
+	for r := 0; r < n; r++ {
+		if gathered[2*r] != byte(r) || gathered[2*r+1] != byte(2*r) {
+			t.Fatalf("gathered = %v", gathered)
+		}
+	}
+	// Scatter the gathered buffer back out from rank 1.
+	recvs := make([][]byte, n)
+	runCollective(t, w, func(rank int, th *Thread, c *Comm) error {
+		recv := make([]byte, 2)
+		recvs[rank] = recv
+		if rank == 1 {
+			return c.Scatter(th, 1, gathered, recv)
+		}
+		return c.Scatter(th, 1, nil, recv)
+	})
+	for r := 0; r < n; r++ {
+		if recvs[r][0] != byte(r) || recvs[r][1] != byte(2*r) {
+			t.Fatalf("scatter rank %d = %v", r, recvs[r])
+		}
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			w := newTestWorld(t, n, Stock())
+			outs := make([][]byte, n)
+			runCollective(t, w, func(rank int, th *Thread, c *Comm) error {
+				send := []byte{byte(100 + rank)}
+				recv := make([]byte, n)
+				outs[rank] = recv
+				return c.Allgather(th, send, recv)
+			})
+			for r := 0; r < n; r++ {
+				for i := 0; i < n; i++ {
+					if outs[r][i] != byte(100+i) {
+						t.Fatalf("rank %d slot %d = %d", r, i, outs[r][i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	const n = 4
+	w := newTestWorld(t, n, Stock())
+	outs := make([][]byte, n)
+	runCollective(t, w, func(rank int, th *Thread, c *Comm) error {
+		// Chunk for destination d carries (rank, d).
+		send := make([]byte, 2*n)
+		for d := 0; d < n; d++ {
+			send[2*d], send[2*d+1] = byte(rank), byte(d)
+		}
+		recv := make([]byte, 2*n)
+		outs[rank] = recv
+		return c.Alltoall(th, send, recv)
+	})
+	for r := 0; r < n; r++ {
+		for s := 0; s < n; s++ {
+			if outs[r][2*s] != byte(s) || outs[r][2*s+1] != byte(r) {
+				t.Fatalf("rank %d slot %d = (%d,%d), want (%d,%d)",
+					r, s, outs[r][2*s], outs[r][2*s+1], s, r)
+			}
+		}
+	}
+}
+
+func TestAlltoallValidation(t *testing.T) {
+	w := newTestWorld(t, 2, Stock())
+	th := w.Proc(0).NewThread()
+	c := w.Proc(0).CommWorld()
+	if err := c.Alltoall(th, make([]byte, 3), make([]byte, 3)); err == nil {
+		t.Fatal("indivisible alltoall buffer accepted")
+	}
+}
+
+func TestSequentialCollectivesDoNotCross(t *testing.T) {
+	// Back-to-back collectives of different kinds on one communicator:
+	// tags derived from the collective sequence must keep them separate.
+	const n = 3
+	w := newTestWorld(t, n, Stock())
+	runCollective(t, w, func(rank int, th *Thread, c *Comm) error {
+		buf := []byte{byte(rank)}
+		if rank == 0 {
+			buf[0] = 42
+		}
+		if err := c.Bcast(th, 0, buf); err != nil {
+			return err
+		}
+		if buf[0] != 42 {
+			return fmt.Errorf("rank %d bcast got %d", rank, buf[0])
+		}
+		out := make([]byte, 8)
+		if err := c.Allreduce(th, int64Bytes(int64(rank)), out, OpSumInt64); err != nil {
+			return err
+		}
+		if got := int64sOf(out)[0]; got != 3 {
+			return fmt.Errorf("rank %d allreduce got %d", rank, got)
+		}
+		if err := c.Barrier(th); err != nil {
+			return err
+		}
+		recv := make([]byte, n)
+		return c.Allgather(th, []byte{byte(rank)}, recv)
+	})
+}
+
+// TestQuickAllreduceAnyWorldSize: property test — allreduce sums correctly
+// for any world size and any per-rank contributions.
+func TestQuickAllreduceAnyWorldSize(t *testing.T) {
+	prop := func(sizeSeed uint8, vals [8]int16) bool {
+		n := 2 + int(sizeSeed%5)
+		w, err := NewWorld(hwFast(), n, Stock())
+		if err != nil {
+			return false
+		}
+		defer w.Close()
+		var want int64
+		for r := 0; r < n; r++ {
+			want += int64(vals[r%8])
+		}
+		outs := make([][]byte, n)
+		var wg sync.WaitGroup
+		okAll := true
+		var mu sync.Mutex
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				th := w.Proc(r).NewThread()
+				c := w.Proc(r).CommWorld()
+				out := make([]byte, 8)
+				outs[r] = out
+				if err := c.Allreduce(th, int64Bytes(int64(vals[r%8])), out, OpSumInt64); err != nil {
+					mu.Lock()
+					okAll = false
+					mu.Unlock()
+				}
+			}(r)
+		}
+		wg.Wait()
+		if !okAll {
+			return false
+		}
+		for r := 0; r < n; r++ {
+			if int64sOf(outs[r])[0] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

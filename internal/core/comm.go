@@ -1,0 +1,383 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fabric"
+	"repro/internal/match"
+	"repro/internal/spc"
+	"repro/internal/trace"
+)
+
+// Wildcards re-exported for the public API.
+const (
+	// AnySource matches messages from any rank (MPI_ANY_SOURCE).
+	AnySource = match.AnySource
+	// AnyTag matches any tag (MPI_ANY_TAG).
+	AnyTag = match.AnyTag
+)
+
+// Comm is one process's handle on a communicator. Matching state is
+// per-communicator (OB1-style), which is what makes the paper's
+// concurrent-matching experiment possible: distinct communicators match
+// concurrently because each has its own engine and lock.
+type Comm struct {
+	proc   *Proc
+	id     uint32
+	group  []int // communicator rank -> world rank
+	myRank int
+	info   Info
+
+	matchMu sync.Mutex
+	engine  match.Matcher
+	seq     *match.SeqTracker
+
+	// collSeq numbers collective calls; all ranks advance it in lockstep
+	// because MPI requires collectives in identical order.
+	collSeq atomic.Uint32
+
+	eagerLimit int
+
+	// scratch is storage for completion scratch buffers (see Proc).
+}
+
+// completionScratch recycles the slice Deliver appends into.
+type completionScratch struct {
+	buf []match.Completion
+}
+
+func newComm(p *Proc, id uint32, group []int, myRank int, info Info) *Comm {
+	c := &Comm{
+		proc:       p,
+		id:         id,
+		group:      group,
+		myRank:     myRank,
+		info:       info,
+		eagerLimit: p.world.opts.EagerLimit,
+	}
+	var meter match.Meter = match.SpinMeter{}
+	if p.world.opts.HashMatching {
+		c.engine = match.NewHashEngine(id, len(group), p.dev.Machine().Scaled(), meter, p.spcs)
+	} else {
+		c.engine = match.NewEngine(id, len(group), p.dev.Machine().Scaled(), meter, p.spcs)
+	}
+	c.engine.SetAllowOvertaking(info.AllowOvertaking)
+	c.seq = match.NewSeqTracker(len(group))
+	p.registerComm(c)
+	return c
+}
+
+// ID returns the communicator's context id.
+func (c *Comm) ID() uint32 { return c.id }
+
+// Rank returns the calling process's rank within the communicator.
+func (c *Comm) Rank() int { return c.myRank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return len(c.group) }
+
+// WorldRank translates a communicator rank to a world rank.
+func (c *Comm) WorldRank(commRank int) int { return c.group[commRank] }
+
+// Proc returns the owning process.
+func (c *Comm) Proc() *Proc { return c.proc }
+
+// Info returns the communicator's assertions.
+func (c *Comm) Info() Info { return c.info }
+
+// Dup collectively duplicates the communicator, returning the new handles
+// for every member (indexed by communicator rank), like MPI_Comm_dup
+// called by all members.
+func (c *Comm) Dup() ([]*Comm, error) {
+	return c.proc.world.NewCommWithInfo(c.group, c.info)
+}
+
+func (c *Comm) String() string {
+	return fmt.Sprintf("comm(id=%d rank=%d/%d)", c.id, c.myRank, len(c.group))
+}
+
+func (c *Comm) checkRank(r int, what string) error {
+	if r < 0 || r >= len(c.group) {
+		return fmt.Errorf("core: %s rank %d outside communicator of size %d", what, r, len(c.group))
+	}
+	return nil
+}
+
+// Isend starts a non-blocking send of buf to communicator rank dst.
+// The buffer may be reused as soon as Isend returns (eager copy / RTS).
+func (c *Comm) Isend(th *Thread, dst int, tag int32, buf []byte) (*Request, error) {
+	p := c.proc
+	if th.proc != p {
+		panic("core: Isend with a thread from a different proc")
+	}
+	if err := c.checkRank(dst, "destination"); err != nil {
+		return nil, err
+	}
+	if tag < 0 {
+		return nil, fmt.Errorf("core: negative tag %d is reserved", tag)
+	}
+	p.levelGuard.enter(th)
+	defer p.levelGuard.leave()
+	if p.bigLock {
+		p.bigMu.Lock()
+		defer p.bigMu.Unlock()
+	}
+
+	if c.eagerLimit >= 0 && len(buf) > c.eagerLimit && c.group[dst] != p.rank {
+		return c.isendRendezvous(th, dst, tag, buf)
+	}
+
+	seq := c.seq.Next(int32(dst))
+	env := fabric.Envelope{
+		Src: int32(c.myRank), Dst: int32(dst), Tag: tag,
+		Comm: c.id, Seq: seq, Kind: fabric.KindEager,
+	}
+	req := &Request{proc: p, kind: reqSend}
+	pkt := fabric.NewPacket(env, buf, req)
+	p.spcs.Inc(spc.MessagesSent)
+	p.tracer.Emit(trace.KindSendInject, int32(dst), int32(seq))
+
+	if c.group[dst] == p.rank {
+		// Self message: bypass the fabric, deliver straight into the
+		// matching engine and complete the send.
+		req.finish(nil)
+		p.deliver(pkt)
+		return req, nil
+	}
+
+	inst := p.pool.ForThread(&th.ts)
+	inst.Lock()
+	inst.Endpoint(c.group[dst]).Send(pkt)
+	inst.Unlock()
+	return req, nil
+}
+
+// Send is the blocking send (MPI_Send).
+func (c *Comm) Send(th *Thread, dst int, tag int32, buf []byte) error {
+	req, err := c.Isend(th, dst, tag, buf)
+	if err != nil {
+		return err
+	}
+	return req.Wait(th)
+}
+
+// Irecv posts a non-blocking receive. src may be AnySource and tag may be
+// AnyTag.
+func (c *Comm) Irecv(th *Thread, src int, tag int32, buf []byte) (*Request, error) {
+	p := c.proc
+	if th.proc != p {
+		panic("core: Irecv with a thread from a different proc")
+	}
+	if src != int(AnySource) {
+		if err := c.checkRank(src, "source"); err != nil {
+			return nil, err
+		}
+	}
+	p.levelGuard.enter(th)
+	defer p.levelGuard.leave()
+	if p.bigLock {
+		p.bigMu.Lock()
+		defer p.bigMu.Unlock()
+	}
+
+	req := &Request{proc: p, kind: reqRecv}
+	req.mrecv = &match.Recv{Source: int32(src), Tag: tag, Buf: buf, Token: req}
+
+	if !c.matchMu.TryLock() {
+		t0 := p.spcs.StartTimer()
+		c.matchMu.Lock()
+		c.engine.ChargeWait(sinceTimer(p.spcs, t0))
+	}
+	comp, ok := c.engine.PostRecv(req.mrecv)
+	c.matchMu.Unlock()
+	if ok {
+		c.completeRecv(comp)
+	}
+	return req, nil
+}
+
+// Recv is the blocking receive (MPI_Recv), returning the message status.
+func (c *Comm) Recv(th *Thread, src int, tag int32, buf []byte) (Status, error) {
+	req, err := c.Irecv(th, src, tag, buf)
+	if err != nil {
+		return Status{}, err
+	}
+	err = req.Wait(th)
+	return req.status, err
+}
+
+// Probe checks (without blocking or consuming) for an unexpected message
+// matching src/tag, progressing once first (MPI_Iprobe).
+func (c *Comm) Probe(th *Thread, src int, tag int32) (Status, bool) {
+	th.Progress()
+	c.matchMu.Lock()
+	env, ok := c.engine.Probe(int32(src), tag)
+	c.matchMu.Unlock()
+	if !ok {
+		return Status{}, false
+	}
+	return Status{Source: env.Src, Tag: env.Tag, Count: int(env.Len), MessageLen: int(env.Len)}, true
+}
+
+// Message is a matched-probe handle (MPI_Message): a specific inbound
+// message claimed by MProbe, receivable exactly once with MRecv.
+type Message struct {
+	comm *Comm
+	pkt  *fabric.Packet
+	used bool
+}
+
+// Status describes the claimed message without receiving it.
+func (m *Message) Status() Status {
+	env := m.pkt.Envelope()
+	return Status{Source: env.Src, Tag: env.Tag, Count: int(env.Len), MessageLen: int(env.Len)}
+}
+
+// MProbe claims the oldest unexpected message matching src/tag
+// (MPI_Mprobe, non-blocking form): once claimed, the message can no longer
+// match any posted receive — the thread-safe alternative to Probe+Recv,
+// which races when multiple threads probe the same coordinates.
+func (c *Comm) MProbe(th *Thread, src int, tag int32) (*Message, bool) {
+	th.Progress()
+	c.matchMu.Lock()
+	pkt, ok := c.engine.MProbe(int32(src), tag)
+	c.matchMu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return &Message{comm: c, pkt: pkt}, true
+}
+
+// MRecv receives a claimed message into buf (MPI_Mrecv).
+func (m *Message) MRecv(buf []byte) (Status, error) {
+	if m.used {
+		panic("core: MRecv on a consumed message")
+	}
+	m.used = true
+	env := m.pkt.Envelope()
+	n := copy(buf, m.pkt.Payload)
+	st := Status{
+		Source:     env.Src,
+		Tag:        env.Tag,
+		Count:      n,
+		MessageLen: int(env.Len),
+		Truncated:  n < len(m.pkt.Payload),
+	}
+	m.comm.proc.spcs.Inc(spc.MessagesReceived)
+	if st.Truncated {
+		return st, fmt.Errorf("%w: %d-byte message into %d-byte buffer", ErrTruncated, st.MessageLen, st.Count)
+	}
+	return st, nil
+}
+
+// completeRecv finishes one matched receive: either the plain eager path or
+// the start of a rendezvous transfer.
+func (c *Comm) completeRecv(comp match.Completion) {
+	req, _ := comp.Recv.Token.(*Request)
+	if req == nil {
+		panic("core: matched receive without request token")
+	}
+	env := comp.Recv.MatchedEnv
+	if env.Kind == fabric.KindRendezvousRTS {
+		c.startRendezvousRecv(req, comp)
+		return
+	}
+	c.proc.tracer.Emit(trace.KindMatchComplete, env.Src, env.Tag)
+	req.finishRecv(Status{
+		Source:     env.Src,
+		Tag:        env.Tag,
+		Count:      comp.Recv.N,
+		MessageLen: int(env.Len),
+		Truncated:  comp.Recv.Truncated,
+	})
+}
+
+// Free removes this handle's communicator state from its process
+// (MPI_Comm_free). The caller must ensure no traffic is in flight on the
+// communicator; inbound packets for a freed communicator panic.
+func (c *Comm) Free() {
+	c.proc.unregisterComm(c.id)
+}
+
+// Barrier synchronizes all members with a dissemination barrier built on
+// the runtime's own point-to-point layer.
+func (c *Comm) Barrier(th *Thread) error {
+	n := len(c.group)
+	if n == 1 {
+		return nil
+	}
+	var b [1]byte
+	for round, dist := 0, 1; dist < n; round, dist = round+1, dist*2 {
+		to := (c.myRank + dist) % n
+		from := (c.myRank - dist + n) % n
+		tag := barrierTagBase + int32(round)
+		sreq, err := c.isendInternal(th, to, tag, b[:])
+		if err != nil {
+			return err
+		}
+		if _, err := c.recvInternal(th, from, tag); err != nil {
+			return err
+		}
+		if err := sreq.Wait(th); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// barrierTagBase keys internal collective traffic; user tags must be >= 0,
+// and the matching engine treats these as ordinary (negative) tags that can
+// never collide with user receives.
+const barrierTagBase int32 = -1000
+
+// isendInternal sends with an internal (negative) tag, bypassing the
+// user-tag validation.
+func (c *Comm) isendInternal(th *Thread, dst int, tag int32, buf []byte) (*Request, error) {
+	p := c.proc
+	seq := c.seq.Next(int32(dst))
+	env := fabric.Envelope{
+		Src: int32(c.myRank), Dst: int32(dst), Tag: tag,
+		Comm: c.id, Seq: seq, Kind: fabric.KindEager,
+	}
+	req := &Request{proc: p, kind: reqSend}
+	pkt := fabric.NewPacket(env, buf, req)
+	if c.group[dst] == p.rank {
+		req.finish(nil)
+		p.deliver(pkt)
+		return req, nil
+	}
+	inst := p.pool.ForThread(&th.ts)
+	inst.Lock()
+	inst.Endpoint(c.group[dst]).Send(pkt)
+	inst.Unlock()
+	return req, nil
+}
+
+// recvInternal blocks for an internal-tag message, discarding the payload.
+func (c *Comm) recvInternal(th *Thread, src int, tag int32) (Status, error) {
+	var scratch [1]byte
+	return c.recvInternalInto(th, src, tag, scratch[:])
+}
+
+// ctlTagBase anchors the runtime-internal control-message tag space used by
+// the one-sided synchronization layer (internal/rma). Kinds are small
+// non-negative integers.
+const ctlTagBase int32 = -500000
+
+// CtlSend sends a control message of the given kind to dst. Reserved for
+// runtime-internal layers (the one-sided synchronization protocols); user
+// code should use Send.
+func (c *Comm) CtlSend(th *Thread, dst int, kind int32, payload []byte) error {
+	req, err := c.isendInternal(th, dst, ctlTagBase-kind, payload)
+	if err != nil {
+		return err
+	}
+	return req.Wait(th)
+}
+
+// CtlRecv blocks for a control message of the given kind from src.
+func (c *Comm) CtlRecv(th *Thread, src int, kind int32, buf []byte) (Status, error) {
+	return c.recvInternalInto(th, src, ctlTagBase-kind, buf)
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestNegativeEagerLimitDisablesRendezvous: with EagerLimit < 0 every
+// message ships eagerly, including large ones.
+func TestNegativeEagerLimitDisablesRendezvous(t *testing.T) {
+	opts := Stock()
+	opts.EagerLimit = -1
+	opts.TraceCapacity = 256
+	w := newTestWorld(t, 2, opts)
+	t0, t1 := w.Proc(0).NewThread(), w.Proc(1).NewThread()
+	msg := bytes.Repeat([]byte{9}, 64*1024) // far above any eager default
+	go func() { _ = w.Proc(0).CommWorld().Send(t0, 1, 1, msg) }()
+	buf := make([]byte, 64*1024)
+	st, err := w.Proc(1).CommWorld().Recv(t1, 0, 1, buf)
+	if err != nil || st.Count != len(msg) {
+		t.Fatalf("recv: %v %+v", err, st)
+	}
+	// No rendezvous events must have been traced.
+	if n := w.Proc(1).Tracer().Snapshot(); len(n) == 0 {
+		t.Fatal("tracer recorded nothing")
+	}
+	for _, e := range w.Proc(1).Tracer().Snapshot() {
+		if e.Kind.String() == "rendezvous_start" {
+			t.Fatal("rendezvous used despite negative eager limit")
+		}
+	}
+}
+
+// TestBigLockFunctional: the big-lock comparator design still delivers all
+// traffic (it is slow, not wrong).
+func TestBigLockFunctional(t *testing.T) {
+	opts := Stock()
+	opts.BigLock = true
+	w := newTestWorld(t, 2, opts)
+	const (
+		threads = 3
+		msgs    = 60
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		wg.Add(2)
+		go func(g int) {
+			defer wg.Done()
+			th := w.Proc(0).NewThread()
+			for i := 0; i < msgs; i++ {
+				if err := w.Proc(0).CommWorld().Send(th, 1, int32(g), []byte{byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+		go func(g int) {
+			defer wg.Done()
+			th := w.Proc(1).NewThread()
+			buf := make([]byte, 1)
+			for i := 0; i < msgs; i++ {
+				if _, err := w.Proc(1).CommWorld().Recv(th, 0, int32(g), buf); err != nil {
+					t.Error(err)
+					return
+				}
+				if buf[0] != byte(i) {
+					t.Errorf("thread %d FIFO violated under big lock", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestZeroByteMessages: the paper's workload — pure envelopes.
+func TestZeroByteMessages(t *testing.T) {
+	w := newTestWorld(t, 2, Stock())
+	t0, t1 := w.Proc(0).NewThread(), w.Proc(1).NewThread()
+	go func() {
+		for i := 0; i < 50; i++ {
+			_ = w.Proc(0).CommWorld().Send(t0, 1, 1, nil)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		st, err := w.Proc(1).CommWorld().Recv(t1, 0, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Count != 0 || st.MessageLen != 0 || st.Truncated {
+			t.Fatalf("zero-byte status = %+v", st)
+		}
+	}
+}
+
+// TestManyWorldsSequentially: worlds are independent; creating and closing
+// many in sequence leaks nothing that breaks later worlds.
+func TestManyWorldsSequentially(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		w, err := NewWorld(hwFast(), 2, Stock())
+		if err != nil {
+			t.Fatal(err)
+		}
+		th0, th1 := w.Proc(0).NewThread(), w.Proc(1).NewThread()
+		go func() { _ = w.Proc(0).CommWorld().Send(th0, 1, 1, []byte{byte(i)}) }()
+		buf := make([]byte, 1)
+		if _, err := w.Proc(1).CommWorld().Recv(th1, 0, 1, buf); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+	}
+}
+
+// TestLargeWorld: a wider world (16 procs) with all-to-all barrier +
+// neighbor traffic.
+func TestLargeWorld(t *testing.T) {
+	const n = 16
+	w := newTestWorld(t, n, Stock())
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			th := w.Proc(r).NewThread()
+			c := w.Proc(r).CommWorld()
+			right := (r + 1) % n
+			left := (r - 1 + n) % n
+			out := []byte{byte(r)}
+			in := make([]byte, 1)
+			st, err := c.Sendrecv(th, right, 1, out, left, 1, in)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if in[0] != byte(left) || st.Source != int32(left) {
+				t.Errorf("rank %d: ring neighbor data wrong", r)
+				return
+			}
+			if err := c.Barrier(th); err != nil {
+				t.Error(err)
+			}
+		}(r)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cri"
+)
+
+// TestHashMatchingRuntimeEquivalence runs the full multithreaded pairwise
+// workload on the real runtime with the hash engine and checks the same
+// FIFO guarantees the list engine provides.
+func TestHashMatchingRuntimeEquivalence(t *testing.T) {
+	opts := CRIsConcurrent(4, cri.Dedicated)
+	opts.HashMatching = true
+	w := newTestWorld(t, 2, opts)
+	const (
+		pairs = 4
+		msgs  = 150
+	)
+	var wg sync.WaitGroup
+	for pair := 0; pair < pairs; pair++ {
+		wg.Add(2)
+		go func(pair int) {
+			defer wg.Done()
+			th := w.Proc(0).NewThread()
+			c := w.Proc(0).CommWorld()
+			for i := 0; i < msgs; i++ {
+				if err := c.Send(th, 1, int32(pair), []byte{byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(pair)
+		go func(pair int) {
+			defer wg.Done()
+			th := w.Proc(1).NewThread()
+			c := w.Proc(1).CommWorld()
+			buf := make([]byte, 1)
+			for i := 0; i < msgs; i++ {
+				if _, err := c.Recv(th, 0, int32(pair), buf); err != nil {
+					t.Error(err)
+					return
+				}
+				if buf[0] != byte(i) {
+					t.Errorf("pair %d: FIFO violated under hash matching", pair)
+					return
+				}
+			}
+		}(pair)
+	}
+	wg.Wait()
+}
+
+// TestHashMatchingWildcardsAndScrambling: wildcards + adversarial
+// reordering against the hash engine end to end.
+func TestHashMatchingWildcardsAndScrambling(t *testing.T) {
+	opts := Stock()
+	opts.HashMatching = true
+	opts.ScrambleWindow = 6
+	opts.ScrambleSeed = 3
+	w := newTestWorld(t, 2, opts)
+	t0, t1 := w.Proc(0).NewThread(), w.Proc(1).NewThread()
+	const msgs = 120
+	go func() {
+		c := w.Proc(0).CommWorld()
+		for i := 0; i < msgs; i++ {
+			if err := c.Send(t0, 1, int32(i%5), []byte{byte(i)}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	c := w.Proc(1).CommWorld()
+	buf := make([]byte, 1)
+	for i := 0; i < msgs; i++ {
+		// Wildcard receives must observe send order exactly (FIFO across
+		// the whole stream, since any message matches).
+		if _, err := c.Recv(t1, int(AnySource), AnyTag, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i) {
+			t.Fatalf("message %d arrived as %d under hash+scramble", i, buf[0])
+		}
+	}
+}
+
+// TestHashMatchingCollectives: the collective layer (internal tags,
+// exact-coordinate receives) over the hash engine.
+func TestHashMatchingCollectives(t *testing.T) {
+	opts := Stock()
+	opts.HashMatching = true
+	w := newTestWorld(t, 4, opts)
+	runCollective(t, w, func(rank int, th *Thread, c *Comm) error {
+		out := make([]byte, 8)
+		if err := c.Allreduce(th, int64Bytes(int64(rank)), out, OpSumInt64); err != nil {
+			return err
+		}
+		if got := int64sOf(out)[0]; got != 6 {
+			t.Errorf("rank %d allreduce = %d", rank, got)
+		}
+		return c.Barrier(th)
+	})
+}

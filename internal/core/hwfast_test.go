@@ -1,0 +1,6 @@
+package core
+
+import "repro/internal/hw"
+
+// hwFast returns the zero-cost machine model for functional tests.
+func hwFast() hw.Machine { return hw.Fast() }

@@ -1,0 +1,138 @@
+// Package core implements the message-passing runtime whose internal design
+// the paper studies: an MPI-like API (communicators, two-sided send/receive
+// with tag matching and FIFO ordering, threading levels) built over
+// Communication Resource Instances, a pluggable progress engine, and the
+// per-communicator matching engine. Every design knob from the paper —
+// instance count, assignment strategy, serial vs. concurrent progress,
+// message overtaking — is an Option, so one binary can realize every
+// configuration in Figures 3–7.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cri"
+	"repro/internal/hw"
+	"repro/internal/progress"
+)
+
+// ThreadLevel mirrors the MPI threading levels negotiated at init
+// (Section II-A). Only Multiple allows true thread concurrency.
+type ThreadLevel int
+
+const (
+	// ThreadSingle: only one thread exists in the process.
+	ThreadSingle ThreadLevel = iota
+	// ThreadFunneled: only the thread that initialized may call.
+	ThreadFunneled
+	// ThreadSerialized: any thread may call, but never concurrently.
+	ThreadSerialized
+	// ThreadMultiple: full concurrency, the subject of this study.
+	ThreadMultiple
+)
+
+func (l ThreadLevel) String() string {
+	switch l {
+	case ThreadSingle:
+		return "MPI_THREAD_SINGLE"
+	case ThreadFunneled:
+		return "MPI_THREAD_FUNNELED"
+	case ThreadSerialized:
+		return "MPI_THREAD_SERIALIZED"
+	case ThreadMultiple:
+		return "MPI_THREAD_MULTIPLE"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// Options configures one World. The zero value plus Defaults() reproduces
+// stock Open MPI's threading design: a single shared instance and a serial
+// progress engine.
+type Options struct {
+	// NumInstances is the number of Communication Resource Instances per
+	// process (the MCA-parameter hint of Section III-B). 0 means 1.
+	// Capped by the machine's hardware context limit.
+	NumInstances int
+	// Assignment is the thread-to-instance strategy (Algorithm 1).
+	Assignment cri.Assignment
+	// Progress selects serial (stock) or concurrent (Algorithm 2).
+	Progress progress.Mode
+	// ThreadLevel is the negotiated threading level; calls are checked
+	// against it. Defaults to ThreadMultiple.
+	ThreadLevel ThreadLevel
+	// QueueDepth sizes fabric queues (0 = default 4096).
+	QueueDepth int
+	// BigLock serializes every MPI entry point behind one process-wide
+	// lock — the "global critical section" design some implementations
+	// use, the worst comparator in Fig. 5.
+	BigLock bool
+	// DisableSPCs turns off software performance counters.
+	DisableSPCs bool
+	// TraceCapacity, when positive, attaches an event tracer retaining
+	// about this many recent message-path events per process
+	// (see internal/trace).
+	TraceCapacity int
+	// HashMatching replaces the OB1-style list matching engine with the
+	// hash-based engine (O(1) exact matching; see match.HashEngine) — the
+	// optimized-matching direction the paper's Section III-F leaves out of
+	// scope.
+	HashMatching bool
+	// ProgressThread dedicates one runtime-owned thread per process to
+	// completion extraction — the software-offload design of Vaidyanathan
+	// et al. [20] the paper's related work discusses. Application threads
+	// stop driving the progress engine; they only wait. Orthogonal to the
+	// CRI knobs: the offload thread still uses the configured progress
+	// mode over the instance pool.
+	ProgressThread bool
+	// EagerLimit is the maximum payload carried eagerly; larger messages
+	// use the rendezvous protocol. 0 selects the default (8 KiB).
+	// Negative disables rendezvous entirely (everything eager).
+	EagerLimit int
+	// ScrambleWindow, when positive, installs an adversarial packet
+	// scrambler on every device: inbound delivery is reordered within a
+	// window of this many packets (deterministic, seeded by ScrambleSeed).
+	// Real networks guarantee no ordering (Section II-C); the scrambler
+	// exercises the sequence-validation and out-of-sequence buffering
+	// paths under worst-case delivery. Testing/failure-injection only.
+	ScrambleWindow int
+	// ScrambleSeed seeds the scrambler (0 = 1).
+	ScrambleSeed int64
+}
+
+// DefaultEagerLimit is the eager/rendezvous switchover when unspecified.
+const DefaultEagerLimit = 8192
+
+// withDefaults normalizes zero values.
+func (o Options) withDefaults(m hw.Machine) Options {
+	if o.NumInstances <= 0 {
+		o.NumInstances = 1
+	}
+	if max := m.MaxContexts; max > 0 && o.NumInstances > max {
+		o.NumInstances = max
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4096
+	}
+	if o.EagerLimit == 0 {
+		o.EagerLimit = DefaultEagerLimit
+	}
+	return o
+}
+
+// Stock returns the configuration of unmodified Open MPI threading:
+// one instance, serial progress.
+func Stock() Options {
+	return Options{NumInstances: 1, Progress: progress.Serial, ThreadLevel: ThreadMultiple}
+}
+
+// CRIs returns the paper's concurrent-sends configuration: n instances with
+// the given assignment, serial progress (Fig. 3a).
+func CRIs(n int, a cri.Assignment) Options {
+	return Options{NumInstances: n, Assignment: a, Progress: progress.Serial, ThreadLevel: ThreadMultiple}
+}
+
+// CRIsConcurrent adds the concurrent progress engine (Fig. 3b/3c).
+func CRIsConcurrent(n int, a cri.Assignment) Options {
+	return Options{NumInstances: n, Assignment: a, Progress: progress.Concurrent, ThreadLevel: ThreadMultiple}
+}

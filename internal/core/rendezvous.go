@@ -1,0 +1,183 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/match"
+	"repro/internal/trace"
+)
+
+// Rendezvous protocol for payloads above the eager limit:
+//
+//	sender                         receiver
+//	  RTS (envelope, matched) ───────▶ match against posted receives
+//	                                   register sink region
+//	  put data ◀────────────────────── ACK {rdv id, region, sink len}
+//	  (RDMA write into sink)
+//	  FIN {rdv id} ──────────────────▶ complete receive, deregister
+//
+// The RTS is an ordinary matched envelope, so rendezvous and eager traffic
+// share one sequence stream and FIFO semantics. ACK and FIN are control
+// packets that bypass matching, delivered through the same progress engine.
+
+type rdvSend struct {
+	req      *Request
+	buf      []byte
+	dstWorld int
+}
+
+type rdvKey struct {
+	srcWorld int
+	id       uint64
+}
+
+type rdvRecv struct {
+	req    *Request
+	region *fabric.MemRegion
+	total  int
+	sink   int
+	src    int32 // sender's communicator rank
+	tag    int32
+}
+
+func (c *Comm) isendRendezvous(th *Thread, dst int, tag int32, buf []byte) (*Request, error) {
+	p := c.proc
+	req := &Request{proc: p, kind: reqRendezvousSend}
+	id := p.rdvNext.Add(1)
+	p.rdvMu.Lock()
+	p.rdvSends[id] = &rdvSend{req: req, buf: buf, dstWorld: c.group[dst]}
+	p.rdvMu.Unlock()
+
+	seq := c.seq.Next(int32(dst))
+	env := fabric.Envelope{
+		Src: int32(c.myRank), Dst: int32(dst), Tag: tag,
+		Comm: c.id, Seq: seq, Len: uint32(len(buf)), Kind: fabric.KindRendezvousRTS,
+	}
+	var idb [8]byte
+	binary.LittleEndian.PutUint64(idb[:], id)
+	pkt := fabric.NewPacketRaw(env, idb[:], req)
+
+	inst := p.pool.ForThread(&th.ts)
+	inst.Lock()
+	inst.Endpoint(c.group[dst]).Send(pkt)
+	inst.Unlock()
+	return req, nil
+}
+
+// startRendezvousRecv runs on the receiver when an RTS matches a posted
+// receive: register the sink and answer with an ACK.
+func (c *Comm) startRendezvousRecv(req *Request, comp match.Completion) {
+	p := c.proc
+	env := comp.Recv.MatchedEnv
+	id := binary.LittleEndian.Uint64(comp.Packet.Payload)
+	total := int(env.Len)
+	sink := len(req.mrecv.Buf)
+	if sink > total {
+		sink = total
+	}
+	var region *fabric.MemRegion
+	if sink > 0 {
+		region = p.dev.RegisterMemory(req.mrecv.Buf[:sink])
+	} else {
+		region = p.dev.RegisterMemory(nil)
+	}
+	key := rdvKey{srcWorld: c.group[env.Src], id: id}
+	p.rdvMu.Lock()
+	if _, dup := p.rdvRecvs[key]; dup {
+		p.rdvMu.Unlock()
+		panic(fmt.Sprintf("core: duplicate rendezvous id %d from world rank %d", id, key.srcWorld))
+	}
+	p.rdvRecvs[key] = &rdvRecv{req: req, region: region, total: total, sink: sink, src: env.Src, tag: env.Tag}
+	p.rdvMu.Unlock()
+	p.tracer.Emit(trace.KindRendezvousStart, env.Src, int32(total))
+
+	// ACK: rdv id, region id, permitted sink length.
+	var payload [24]byte
+	binary.LittleEndian.PutUint64(payload[0:], id)
+	binary.LittleEndian.PutUint64(payload[8:], region.ID())
+	binary.LittleEndian.PutUint64(payload[16:], uint64(sink))
+	ackEnv := fabric.Envelope{
+		Src: int32(c.myRank), Dst: env.Src, Comm: c.id, Kind: fabric.KindRendezvousACK,
+	}
+	p.sendControl(c.group[env.Src], fabric.NewPacketRaw(ackEnv, payload[:], nil))
+}
+
+// handleRendezvousACK runs on the sender: put the data into the receiver's
+// sink region and send the FIN.
+func (c *Comm) handleRendezvousACK(pkt *fabric.Packet) {
+	p := c.proc
+	id := binary.LittleEndian.Uint64(pkt.Payload[0:])
+	regionID := binary.LittleEndian.Uint64(pkt.Payload[8:])
+	sink := int(binary.LittleEndian.Uint64(pkt.Payload[16:]))
+
+	p.rdvMu.Lock()
+	rs := p.rdvSends[id]
+	delete(p.rdvSends, id)
+	p.rdvMu.Unlock()
+	if rs == nil {
+		panic(fmt.Sprintf("core: rendezvous ACK for unknown id %d", id))
+	}
+
+	targetDev := p.world.procs[rs.dstWorld].dev
+	region, ok := targetDev.Region(regionID)
+	if !ok {
+		panic(fmt.Sprintf("core: rendezvous region %d vanished", regionID))
+	}
+	if sink > 0 {
+		// The bulk transfer is a hardware put: the fabric charges initiator
+		// CPU plus wire time; no instance lock is needed because the data
+		// path is offloaded (packet queues are inherently thread-safe).
+		ctx := p.pool.Get(p.pool.NextRoundRobin()).Context()
+		if err := ctx.Put(region, 0, rs.buf[:sink], nil); err != nil {
+			panic(fmt.Sprintf("core: rendezvous put: %v", err))
+		}
+	}
+
+	var idb [8]byte
+	binary.LittleEndian.PutUint64(idb[:], id)
+	env := pkt.Envelope()
+	finEnv := fabric.Envelope{
+		Src: env.Dst, Dst: env.Src, Comm: c.id, Kind: fabric.KindRendezvousData,
+	}
+	p.sendControl(rs.dstWorld, fabric.NewPacketRaw(finEnv, idb[:], nil))
+	rs.req.finish(nil)
+}
+
+// handleRendezvousFIN runs on the receiver: the data has landed; finish the
+// receive.
+func (c *Comm) handleRendezvousFIN(pkt *fabric.Packet) {
+	p := c.proc
+	id := binary.LittleEndian.Uint64(pkt.Payload)
+	env := pkt.Envelope()
+	key := rdvKey{srcWorld: c.group[env.Src], id: id}
+	p.rdvMu.Lock()
+	rr := p.rdvRecvs[key]
+	delete(p.rdvRecvs, key)
+	p.rdvMu.Unlock()
+	if rr == nil {
+		panic(fmt.Sprintf("core: rendezvous FIN for unknown id %d", id))
+	}
+	p.dev.DeregisterMemory(rr.region)
+	p.tracer.Emit(trace.KindRendezvousDone, rr.src, int32(rr.sink))
+	rr.req.finishRecv(Status{
+		Source:     rr.src,
+		Tag:        rr.tag,
+		Count:      rr.sink,
+		MessageLen: rr.total,
+		Truncated:  rr.sink < rr.total,
+	})
+}
+
+// sendControl injects a control packet outside the matched send path. It
+// takes no instance lock: control packets ride the thread-safe hardware
+// queues directly, like real implementations' internal control channels.
+func (p *Proc) sendControl(dstWorld int, pkt *fabric.Packet) {
+	inst := p.pool.Get(p.pool.NextRoundRobin())
+	ep := inst.Endpoint(dstWorld)
+	if ep == nil {
+		panic(fmt.Sprintf("core: no endpoint from %d to %d", p.rank, dstWorld))
+	}
+	ep.Send(pkt)
+}

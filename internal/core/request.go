@@ -1,0 +1,156 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/fabric"
+	"repro/internal/match"
+)
+
+// ErrTruncated reports a receive whose buffer was shorter than the matched
+// message (MPI_ERR_TRUNCATE).
+var ErrTruncated = errors.New("core: message truncated")
+
+// Status describes a completed receive, mirroring MPI_Status.
+type Status struct {
+	// Source is the communicator rank of the sender.
+	Source int32
+	// Tag is the matched message tag.
+	Tag int32
+	// Count is the number of bytes delivered into the buffer.
+	Count int
+	// MessageLen is the full length of the matched message.
+	MessageLen int
+	// Truncated reports that the message was longer than the buffer.
+	Truncated bool
+}
+
+type reqKind uint8
+
+const (
+	reqSend reqKind = iota + 1
+	reqRecv
+	reqRendezvousSend
+)
+
+// Request is a non-blocking operation handle. Wait/Test observe completion;
+// the progress engine (any thread's) completes it.
+type Request struct {
+	proc *Proc
+	kind reqKind
+	done atomic.Bool
+
+	// recv state
+	mrecv  *match.Recv
+	status Status
+
+	err error
+}
+
+// Done reports whether the operation has completed. It does not progress
+// the runtime; use Test for the MPI_Test behavior.
+func (r *Request) Done() bool { return r.done.Load() }
+
+// Status returns the receive status. Valid only after completion of a
+// receive request.
+func (r *Request) Status() Status { return r.status }
+
+// Test progresses the runtime once and reports completion (MPI_Test).
+func (r *Request) Test(th *Thread) (bool, error) {
+	if r.done.Load() {
+		return true, r.err
+	}
+	th.Progress()
+	if r.done.Load() {
+		return true, r.err
+	}
+	return false, nil
+}
+
+// Wait blocks (progressing the runtime) until the operation completes —
+// the mandatory-progress rule for blocking MPI calls (Section II-B).
+func (r *Request) Wait(th *Thread) error {
+	if th.proc != r.proc {
+		panic("core: Wait with a thread from a different proc")
+	}
+	for !r.done.Load() {
+		if th.Progress() == 0 {
+			yield()
+		}
+	}
+	return r.err
+}
+
+// WaitAll waits on every request (MPI_Waitall), returning the first error.
+func WaitAll(th *Thread, reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if err := r.Wait(th); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// WaitAny blocks until at least one request completes and returns its
+// index (MPI_Waitany). Panics on an empty list.
+func WaitAny(th *Thread, reqs ...*Request) (int, error) {
+	if len(reqs) == 0 {
+		panic("core: WaitAny with no requests")
+	}
+	for {
+		for i, r := range reqs {
+			if r.done.Load() {
+				return i, r.err
+			}
+		}
+		if th.Progress() == 0 {
+			yield()
+		}
+	}
+}
+
+// TestAll progresses once and reports whether every request has completed
+// (MPI_Testall), returning the first error among completed requests.
+func TestAll(th *Thread, reqs ...*Request) (bool, error) {
+	th.Progress()
+	var first error
+	for _, r := range reqs {
+		if !r.done.Load() {
+			return false, nil
+		}
+		if r.err != nil && first == nil {
+			first = r.err
+		}
+	}
+	return true, first
+}
+
+// Complete implements Completer for send completions extracted from a CQ.
+func (r *Request) Complete(fabric.CQE) {
+	if r.kind == reqRendezvousSend {
+		// The eager injection of the RTS does not finish a rendezvous
+		// send; the put + FIN path completes it.
+		return
+	}
+	r.finish(nil)
+}
+
+func (r *Request) finish(err error) {
+	r.err = err
+	if r.done.Swap(true) {
+		panic(fmt.Sprintf("core: request completed twice (kind %d)", r.kind))
+	}
+}
+
+// finishRecv records receive results and completes the request.
+func (r *Request) finishRecv(st Status) {
+	r.status = st
+	var err error
+	if st.Truncated {
+		err = fmt.Errorf("%w: %d-byte message into %d-byte buffer", ErrTruncated, st.MessageLen, st.Count)
+	}
+	r.finish(err)
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestWaitAnyReturnsFirstCompleted(t *testing.T) {
+	w := newTestWorld(t, 2, Stock())
+	t0, t1 := w.Proc(0).NewThread(), w.Proc(1).NewThread()
+	c0, c1 := w.Proc(0).CommWorld(), w.Proc(1).CommWorld()
+
+	// Post two receives; only tag 8 will be satisfied.
+	bufA := make([]byte, 4)
+	bufB := make([]byte, 4)
+	ra, err := c1.Irecv(t1, 0, 7, bufA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := c1.Irecv(t1, 0, 8, bufB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = c0.Send(t0, 1, 8, []byte("b")) }()
+	idx, err := WaitAny(t1, ra, rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Fatalf("WaitAny = %d, want 1", idx)
+	}
+	// Satisfy the other receive so the world drains cleanly.
+	go func() { _ = c0.Send(t0, 1, 7, []byte("a")) }()
+	if err := ra.Wait(t1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitAnyEmptyPanics(t *testing.T) {
+	w := newTestWorld(t, 1, Stock())
+	th := w.Proc(0).NewThread()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WaitAny() with no requests did not panic")
+		}
+	}()
+	_, _ = WaitAny(th)
+}
+
+func TestTestAll(t *testing.T) {
+	w := newTestWorld(t, 2, Stock())
+	t0, t1 := w.Proc(0).NewThread(), w.Proc(1).NewThread()
+	c0, c1 := w.Proc(0).CommWorld(), w.Proc(1).CommWorld()
+
+	bufs := [][]byte{make([]byte, 1), make([]byte, 1)}
+	r0, _ := c1.Irecv(t1, 0, 1, bufs[0])
+	r1, _ := c1.Irecv(t1, 0, 2, bufs[1])
+	if done, _ := TestAll(t1, r0, r1); done {
+		t.Fatal("TestAll reported done with nothing sent")
+	}
+	go func() {
+		_ = c0.Send(t0, 1, 1, []byte{1})
+		_ = c0.Send(t0, 1, 2, []byte{2})
+	}()
+	for {
+		done, err := TestAll(t1, r0, r1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	if bufs[0][0] != 1 || bufs[1][0] != 2 {
+		t.Fatalf("payloads = %v %v", bufs[0], bufs[1])
+	}
+}
+
+func TestRequestTest(t *testing.T) {
+	w := newTestWorld(t, 2, Stock())
+	t0, t1 := w.Proc(0).NewThread(), w.Proc(1).NewThread()
+	buf := make([]byte, 1)
+	req, err := w.Proc(1).CommWorld().Irecv(t1, 0, 1, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done, _ := req.Test(t1); done {
+		t.Fatal("Test true before send")
+	}
+	go func() { _ = w.Proc(0).CommWorld().Send(t0, 1, 1, []byte{9}) }()
+	for {
+		done, err := req.Test(t1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	if !req.Done() {
+		t.Fatal("Done false after Test true")
+	}
+	if buf[0] != 9 {
+		t.Fatalf("payload = %d", buf[0])
+	}
+}
+
+func TestWaitCrossProcPanics(t *testing.T) {
+	w := newTestWorld(t, 2, Stock())
+	t1 := w.Proc(1).NewThread()
+	t0 := w.Proc(0).NewThread()
+	req, err := w.Proc(1).CommWorld().Irecv(t1, 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-proc Wait did not panic")
+		}
+		// Unblock the pending recv to drain.
+		go func() { _ = w.Proc(0).CommWorld().Send(t0, 1, 1, nil) }()
+		_ = req.Wait(t1)
+	}()
+	_ = req.Wait(t0) // wrong proc's thread
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cri"
+	"repro/internal/spc"
+)
+
+// Thread is a communicating thread's handle into the runtime — the explicit
+// stand-in for the thread-local storage of Algorithm 1 (Go exposes no TLS).
+// Each goroutine that performs communication should create one Thread and
+// use it for all calls; the handle caches the dedicated instance assignment
+// and is not safe for concurrent use by multiple goroutines.
+type Thread struct {
+	proc *Proc
+	ts   cri.ThreadState
+}
+
+// NewThread attaches a communication thread to the proc.
+func (p *Proc) NewThread() *Thread { return &Thread{proc: p} }
+
+// Proc returns the thread's process.
+func (t *Thread) Proc() *Proc { return t.proc }
+
+// State exposes the CRI thread state (used by the one-sided layer).
+func (t *Thread) State() *cri.ThreadState { return &t.ts }
+
+// Progress makes one pass through the progress engine on behalf of this
+// thread and returns the number of completion events handled.
+func (t *Thread) Progress() int {
+	return t.proc.progressFor(&t.ts)
+}
+
+// Detach releases the thread's dedicated instance assignment. The instance
+// itself remains in the pool and — per the orphaned-CRI guarantee of
+// Section III-E — continues to be progressed by other threads' round-robin
+// sweeps.
+func (t *Thread) Detach() { t.ts.Reset() }
+
+// levelGuard enforces the negotiated threading level at runtime. Violations
+// panic: they are program bugs, exactly as they are undefined behavior in
+// MPI.
+type levelGuard struct {
+	level  ThreadLevel
+	inCall atomic.Int32
+	owner  atomic.Pointer[Thread]
+}
+
+func (g *levelGuard) enter(th *Thread) {
+	switch g.level {
+	case ThreadMultiple:
+		return
+	case ThreadSingle, ThreadFunneled:
+		if !g.owner.CompareAndSwap(nil, th) && g.owner.Load() != th {
+			panic("core: " + g.level.String() + " violated: call from a second thread")
+		}
+	case ThreadSerialized:
+		if g.inCall.Add(1) > 1 {
+			panic("core: MPI_THREAD_SERIALIZED violated: concurrent calls")
+		}
+	}
+}
+
+func (g *levelGuard) leave() {
+	if g.level == ThreadSerialized {
+		g.inCall.Add(-1)
+	}
+}
+
+// sinceTimer returns elapsed time for a timer started on s, or zero if the
+// timer never started (SPCs disabled).
+func sinceTimer(s *spc.Set, t0 time.Time) time.Duration {
+	if t0.IsZero() {
+		return 0
+	}
+	return time.Since(t0)
+}
+
+// yield relinquishes the core; single-core hosts depend on wait loops
+// yielding so the peer can make progress.
+func yield() { runtime.Gosched() }

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestTracerRecordsMessagePath(t *testing.T) {
+	opts := Stock()
+	opts.TraceCapacity = 1024
+	w := newTestWorld(t, 2, opts)
+	t0, t1 := w.Proc(0).NewThread(), w.Proc(1).NewThread()
+	c0, c1 := w.Proc(0).CommWorld(), w.Proc(1).CommWorld()
+
+	const msgs = 5
+	go func() {
+		for i := 0; i < msgs; i++ {
+			_ = c0.Send(t0, 1, int32(i), []byte{byte(i)})
+		}
+	}()
+	buf := make([]byte, 1)
+	for i := 0; i < msgs; i++ {
+		if _, err := c1.Recv(t1, 0, int32(i), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.Proc(0).Tracer().CountKind(trace.KindSendInject); got != msgs {
+		t.Fatalf("sender traced %d injections, want %d", got, msgs)
+	}
+	if got := w.Proc(1).Tracer().CountKind(trace.KindRecvDeliver); got != msgs {
+		t.Fatalf("receiver traced %d deliveries, want %d", got, msgs)
+	}
+	if got := w.Proc(1).Tracer().CountKind(trace.KindMatchComplete); got != msgs {
+		t.Fatalf("receiver traced %d matches, want %d", got, msgs)
+	}
+	// Injection events carry (dst, seq) in order for a single thread.
+	seq := int32(0)
+	for _, e := range w.Proc(0).Tracer().Snapshot() {
+		if e.Kind != trace.KindSendInject {
+			continue
+		}
+		if e.Arg0 != 1 || e.Arg1 != seq {
+			t.Fatalf("inject event = %+v, want dst=1 seq=%d", e, seq)
+		}
+		seq++
+	}
+}
+
+func TestTracerRecordsRendezvous(t *testing.T) {
+	opts := Stock()
+	opts.EagerLimit = 16
+	opts.TraceCapacity = 256
+	w := newTestWorld(t, 2, opts)
+	t0, t1 := w.Proc(0).NewThread(), w.Proc(1).NewThread()
+	go func() { _ = w.Proc(0).CommWorld().Send(t0, 1, 1, make([]byte, 100)) }()
+	buf := make([]byte, 128)
+	if _, err := w.Proc(1).CommWorld().Recv(t1, 0, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Proc(1).Tracer()
+	if tr.CountKind(trace.KindRendezvousStart) != 1 || tr.CountKind(trace.KindRendezvousDone) != 1 {
+		t.Fatalf("rendezvous events: start=%d done=%d",
+			tr.CountKind(trace.KindRendezvousStart), tr.CountKind(trace.KindRendezvousDone))
+	}
+}
+
+func TestNoTracerByDefault(t *testing.T) {
+	w := newTestWorld(t, 1, Stock())
+	if w.Proc(0).Tracer() != nil {
+		t.Fatal("tracer attached without TraceCapacity")
+	}
+	// Message path must work with a nil tracer (nil-safe Emit).
+	th := w.Proc(0).NewThread()
+	c := w.Proc(0).CommWorld()
+	if err := c.Send(th, 0, 1, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := c.Recv(th, 0, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cri"
+	"repro/internal/fabric"
+	"repro/internal/hw"
+	"repro/internal/progress"
+	"repro/internal/spc"
+	"repro/internal/trace"
+)
+
+// World is a job: a set of Procs (the analog of MPI processes) connected by
+// the simulated fabric, plus the communicator registry. All Procs live in
+// one address space — the fabric supplies the process isolation that
+// matters for this study (separate devices, contexts, queues, locks).
+type World struct {
+	machine hw.Machine
+	opts    Options
+	procs   []*Proc
+
+	commMu   sync.Mutex
+	nextComm uint32
+}
+
+// NewWorld creates n Procs with identical options and wires instance k of
+// every proc to context (k mod remote instances) of every other proc.
+func NewWorld(machine hw.Machine, n int, opts Options) (*World, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: world size %d < 1", n)
+	}
+	opts = opts.withDefaults(machine)
+	w := &World{machine: machine, opts: opts}
+	for rank := 0; rank < n; rank++ {
+		p, err := newProc(w, rank, machine, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: proc %d: %w", rank, err)
+		}
+		w.procs = append(w.procs, p)
+	}
+	// Wire endpoints now that every device exists.
+	for _, p := range w.procs {
+		p.wire(w.procs)
+	}
+	// The world communicator spans all ranks.
+	if _, err := w.NewComm(allRanks(n)); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func allRanks(n int) []int {
+	r := make([]int, n)
+	for i := range r {
+		r[i] = i
+	}
+	return r
+}
+
+// Size returns the number of Procs.
+func (w *World) Size() int { return len(w.procs) }
+
+// Machine returns the machine model the world runs on.
+func (w *World) Machine() hw.Machine { return w.machine }
+
+// Options returns the world's normalized options.
+func (w *World) Options() Options { return w.opts }
+
+// Proc returns the Proc with the given world rank.
+func (w *World) Proc(rank int) *Proc { return w.procs[rank] }
+
+// Info carries communicator assertions, mirroring MPI info keys.
+type Info struct {
+	// AllowOvertaking is mpi_assert_allow_overtaking: the application
+	// does not rely on FIFO matching order, so sequence validation is
+	// skipped (Section IV-D).
+	AllowOvertaking bool
+}
+
+// NewComm collectively creates a communicator over the given world ranks
+// and returns one handle per member, indexed by communicator rank.
+func (w *World) NewComm(worldRanks []int) ([]*Comm, error) {
+	return w.NewCommWithInfo(worldRanks, Info{})
+}
+
+// NewCommWithInfo is NewComm with communicator assertions.
+func (w *World) NewCommWithInfo(worldRanks []int, info Info) ([]*Comm, error) {
+	if len(worldRanks) == 0 {
+		return nil, fmt.Errorf("core: empty communicator group")
+	}
+	seen := make(map[int]bool, len(worldRanks))
+	for _, r := range worldRanks {
+		if r < 0 || r >= len(w.procs) {
+			return nil, fmt.Errorf("core: rank %d outside world of %d", r, len(w.procs))
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("core: rank %d appears twice in group", r)
+		}
+		seen[r] = true
+	}
+	w.commMu.Lock()
+	w.nextComm++
+	id := w.nextComm
+	w.commMu.Unlock()
+
+	group := append([]int(nil), worldRanks...)
+	comms := make([]*Comm, len(group))
+	for commRank, worldRank := range group {
+		comms[commRank] = newComm(w.procs[worldRank], id, group, commRank, info)
+	}
+	return comms, nil
+}
+
+// Close shuts down every proc's device and stops offload threads.
+func (w *World) Close() {
+	for _, p := range w.procs {
+		if p.offloadStop != nil {
+			close(p.offloadStop)
+			<-p.offloadDone
+			p.offloadStop = nil
+		}
+		p.dev.Close()
+	}
+}
+
+// Proc is one simulated MPI process: a fabric device, a pool of
+// Communication Resource Instances, a progress engine, and the
+// communicator registry for inbound dispatch.
+type Proc struct {
+	world  *World
+	rank   int
+	dev    *fabric.Device
+	pool   *cri.Pool
+	prog   *progress.Engine
+	spcs   *spc.Set
+	tracer *trace.Tracer
+
+	commMu sync.RWMutex
+	comms  map[uint32]*Comm
+
+	// bigMu is the process-wide lock of the BigLock comparator design.
+	bigMu   sync.Mutex
+	bigLock bool
+
+	// levelGuard enforces the negotiated threading level.
+	levelGuard levelGuard
+
+	// offload is the dedicated progress thread (Options.ProgressThread).
+	offload     bool
+	offloadStop chan struct{}
+	offloadDone chan struct{}
+
+	// rendezvous bookkeeping (see rendezvous.go).
+	rdvMu    sync.Mutex
+	rdvSends map[uint64]*rdvSend
+	rdvRecvs map[rdvKey]*rdvRecv
+	rdvNext  atomic.Uint64
+
+	scratchPool sync.Pool // []match.Completion scratch buffers
+}
+
+func newProc(w *World, rank int, machine hw.Machine, opts Options) (*Proc, error) {
+	p := &Proc{
+		world:    w,
+		rank:     rank,
+		dev:      fabric.NewDevice(machine),
+		comms:    make(map[uint32]*Comm),
+		bigLock:  opts.BigLock,
+		rdvSends: make(map[uint64]*rdvSend),
+		rdvRecvs: make(map[rdvKey]*rdvRecv),
+	}
+	if opts.ScrambleWindow > 0 {
+		seed := opts.ScrambleSeed
+		if seed == 0 {
+			seed = 1
+		}
+		p.dev.SetScrambler(fabric.NewScrambler(seed+int64(rank), opts.ScrambleWindow))
+	}
+	if !opts.DisableSPCs {
+		p.spcs = spc.NewSet()
+	}
+	if opts.TraceCapacity > 0 {
+		p.tracer = trace.New(opts.TraceCapacity)
+	}
+	p.levelGuard.level = opts.ThreadLevel
+	insts := make([]*cri.Instance, opts.NumInstances)
+	for i := range insts {
+		ctx, err := p.dev.CreateContext(opts.QueueDepth)
+		if err != nil {
+			return nil, err
+		}
+		insts[i] = cri.NewInstance(i, ctx, p.spcs)
+	}
+	p.pool = cri.NewPool(insts, opts.Assignment)
+	p.prog = progress.New(opts.Progress, p.pool, p.dispatch, p.spcs)
+	if opts.ProgressThread {
+		p.offload = true
+		p.offloadStop = make(chan struct{})
+		p.offloadDone = make(chan struct{})
+		go p.offloadLoop()
+	}
+	return p, nil
+}
+
+// offloadLoop is the dedicated progress thread: it alone drives completion
+// extraction, yielding when idle so application threads can run.
+func (p *Proc) offloadLoop() {
+	defer close(p.offloadDone)
+	var ts cri.ThreadState
+	for {
+		select {
+		case <-p.offloadStop:
+			return
+		default:
+		}
+		if p.prog.Progress(&ts) == 0 {
+			yield()
+		}
+	}
+}
+
+// wire connects every local instance to one context of every peer.
+func (p *Proc) wire(procs []*Proc) {
+	for k := 0; k < p.pool.Len(); k++ {
+		inst := p.pool.Get(k)
+		eps := make([]*fabric.Endpoint, len(procs))
+		for j, q := range procs {
+			if q == p {
+				continue // self messages short-circuit elsewhere
+			}
+			remote := q.dev.Context(k % q.pool.Len())
+			eps[j] = fabric.NewEndpoint(inst.Context(), remote)
+		}
+		inst.SetEndpoints(eps)
+	}
+}
+
+// Rank returns the proc's world rank.
+func (p *Proc) Rank() int { return p.rank }
+
+// World returns the owning world.
+func (p *Proc) World() *World { return p.world }
+
+// SPCs returns the proc's counter set (nil when disabled).
+func (p *Proc) SPCs() *spc.Set { return p.spcs }
+
+// Tracer returns the proc's event tracer (nil unless Options.TraceCapacity
+// was set).
+func (p *Proc) Tracer() *trace.Tracer { return p.tracer }
+
+// Pool exposes the instance pool (used by the one-sided layer).
+func (p *Proc) Pool() *cri.Pool { return p.pool }
+
+// Device exposes the fabric device (used by the one-sided layer).
+func (p *Proc) Device() *fabric.Device { return p.dev }
+
+// CommWorld returns this proc's handle on the world communicator.
+func (p *Proc) CommWorld() *Comm {
+	p.commMu.RLock()
+	defer p.commMu.RUnlock()
+	return p.comms[1] // id 1 is created by NewWorld
+}
+
+func (p *Proc) registerComm(c *Comm) {
+	p.commMu.Lock()
+	p.comms[c.id] = c
+	p.commMu.Unlock()
+}
+
+func (p *Proc) unregisterComm(id uint32) {
+	p.commMu.Lock()
+	delete(p.comms, id)
+	p.commMu.Unlock()
+}
+
+func (p *Proc) commByID(id uint32) *Comm {
+	p.commMu.RLock()
+	c := p.comms[id]
+	p.commMu.RUnlock()
+	return c
+}
+
+// Completer is implemented by CQE tokens that know how to complete
+// themselves (send requests, one-sided operations).
+type Completer interface {
+	Complete(fabric.CQE)
+}
+
+// dispatch routes one extracted completion event. It runs inside the
+// progress engine, under the instance lock of the polled instance.
+func (p *Proc) dispatch(in *cri.Instance, e fabric.CQE) {
+	switch e.Kind {
+	case fabric.CQESendComplete:
+		if c, ok := e.Packet.Token.(Completer); ok && c != nil {
+			c.Complete(e)
+		}
+	case fabric.CQERecv:
+		p.deliver(e.Packet)
+	default: // one-sided completions
+		if c, ok := e.Token.(Completer); ok && c != nil {
+			c.Complete(e)
+		}
+	}
+}
+
+// deliver pushes an inbound two-sided packet through the owning
+// communicator's matching engine under its matching lock.
+func (p *Proc) deliver(pkt *fabric.Packet) {
+	env := pkt.Envelope()
+	c := p.commByID(env.Comm)
+	if c == nil {
+		panic(fmt.Sprintf("core: rank %d received packet for unknown communicator %d", p.rank, env.Comm))
+	}
+	switch env.Kind {
+	case fabric.KindRendezvousACK:
+		c.handleRendezvousACK(pkt)
+		return
+	case fabric.KindRendezvousData:
+		c.handleRendezvousFIN(pkt)
+		return
+	}
+	p.tracer.Emit(trace.KindRecvDeliver, env.Src, int32(env.Seq))
+	scratch, _ := p.scratchPool.Get().(*completionScratch)
+	if scratch == nil {
+		scratch = &completionScratch{}
+	}
+	// Measure matching-lock wait: Table II's match time includes the time
+	// threads spend fighting over the matching critical section.
+	if !c.matchMu.TryLock() {
+		t0 := p.spcs.StartTimer()
+		c.matchMu.Lock()
+		c.engine.ChargeWait(sinceTimer(p.spcs, t0))
+	}
+	scratch.buf = c.engine.Deliver(pkt, scratch.buf[:0])
+	c.matchMu.Unlock()
+	for _, comp := range scratch.buf {
+		c.completeRecv(comp)
+	}
+	scratch.buf = scratch.buf[:0]
+	p.scratchPool.Put(scratch)
+}
+
+// Progress drives the progress engine once for the calling thread. Under
+// the software-offload design, application threads never enter the engine;
+// the dedicated thread owns it, so callers simply yield.
+func (p *Proc) progressFor(ts *cri.ThreadState) int {
+	if p.offload {
+		yield()
+		return 0
+	}
+	if p.bigLock {
+		p.bigMu.Lock()
+		defer p.bigMu.Unlock()
+	}
+	return p.prog.Progress(ts)
+}
+
+// DrainProgress drains all pending fabric events (teardown only).
+func (p *Proc) DrainProgress() int { return p.prog.Drain() }

@@ -1,0 +1,170 @@
+// Package cri implements Communication Resource Instances — the paper's
+// central abstraction (Section III-B). A CRI bundles a network context, its
+// completion queue, and the endpoints reaching each peer, protected by one
+// per-instance lock. A Pool owns all of a process's instances and assigns
+// them to threads with the two strategies of Algorithm 1: round-robin
+// (atomic circular counter, new instance per call) and dedicated
+// (thread-local cache of a permanently assigned instance).
+package cri
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fabric"
+	"repro/internal/spc"
+)
+
+// Assignment selects how threads are mapped to instances.
+type Assignment int
+
+const (
+	// RoundRobin hands out the next instance on every acquisition
+	// (Algorithm 1, GET-INSTANCE-ID–ROUND-ROBIN).
+	RoundRobin Assignment = iota
+	// Dedicated permanently assigns an instance per thread via the
+	// thread-local cache (Algorithm 1, GET-INSTANCE-ID–DEDICATED).
+	Dedicated
+)
+
+func (a Assignment) String() string {
+	switch a {
+	case RoundRobin:
+		return "round-robin"
+	case Dedicated:
+		return "dedicated"
+	default:
+		return fmt.Sprintf("assignment(%d)", int(a))
+	}
+}
+
+// Instance is one Communication Resource Instance.
+type Instance struct {
+	mu    sync.Mutex
+	index int
+	ctx   *fabric.Context
+	eps   []*fabric.Endpoint // indexed by remote rank; nil for self
+	spcs  *spc.Set
+}
+
+// NewInstance wraps a fabric context as instance index within its pool.
+func NewInstance(index int, ctx *fabric.Context, spcs *spc.Set) *Instance {
+	return &Instance{index: index, ctx: ctx, spcs: spcs}
+}
+
+// Index returns the instance's position in its pool.
+func (in *Instance) Index() int { return in.index }
+
+// Context returns the underlying network context.
+func (in *Instance) Context() *fabric.Context { return in.ctx }
+
+// SetEndpoints installs the per-rank endpoint table.
+func (in *Instance) SetEndpoints(eps []*fabric.Endpoint) { in.eps = eps }
+
+// Endpoint returns the endpoint to rank, or nil (self or unwired).
+func (in *Instance) Endpoint(rank int) *fabric.Endpoint {
+	if rank < 0 || rank >= len(in.eps) {
+		return nil
+	}
+	return in.eps[rank]
+}
+
+// Lock acquires the instance lock, recording contention in the SPC set
+// (send_lock_waits) when the fast-path try-lock fails.
+func (in *Instance) Lock() {
+	if in.mu.TryLock() {
+		return
+	}
+	in.spcs.Inc(spc.SendLockWaits)
+	in.mu.Lock()
+}
+
+// TryLock attempts the instance lock without blocking.
+func (in *Instance) TryLock() bool { return in.mu.TryLock() }
+
+// Unlock releases the instance lock.
+func (in *Instance) Unlock() { in.mu.Unlock() }
+
+// Poll drains up to max completion events under the caller-held instance
+// lock. The caller MUST hold the lock (progress-engine discipline).
+func (in *Instance) Poll(handler func(*Instance, fabric.CQE), max int) int {
+	return in.ctx.Poll(func(e fabric.CQE) { handler(in, e) }, max)
+}
+
+// ThreadState is the per-thread assignment cache — the TLS slot of
+// Algorithm 1. Go has no thread-local storage, so the runtime hands each
+// communicating goroutine an explicit handle holding this state; the lookup
+// cost is identical (one pointer dereference).
+type ThreadState struct {
+	dedicated int
+	assigned  bool
+}
+
+// NewThreadState returns a state with a pre-assigned dedicated instance;
+// a negative index means unassigned. The virtual-time model (internal/simnet)
+// uses this to drive the same assignment logic without a Pool.
+func NewThreadState(dedicated int) ThreadState {
+	if dedicated < 0 {
+		return ThreadState{}
+	}
+	return ThreadState{dedicated: dedicated, assigned: true}
+}
+
+// Reset clears the cached dedicated assignment (used when a thread detaches
+// and its instance may be recycled).
+func (ts *ThreadState) Reset() { ts.assigned = false }
+
+// Dedicated returns the cached instance index, or -1 if unassigned.
+func (ts *ThreadState) Dedicated() int {
+	if !ts.assigned {
+		return -1
+	}
+	return ts.dedicated
+}
+
+// Pool owns a process's instances and implements the assignment strategies.
+type Pool struct {
+	instances []*Instance
+	mode      Assignment
+	rr        atomic.Uint64
+}
+
+// NewPool builds a pool over instances with the given assignment strategy.
+func NewPool(instances []*Instance, mode Assignment) *Pool {
+	if len(instances) == 0 {
+		panic("cri: empty instance pool")
+	}
+	return &Pool{instances: instances, mode: mode}
+}
+
+// Len returns the number of instances.
+func (p *Pool) Len() int { return len(p.instances) }
+
+// Mode returns the pool's assignment strategy.
+func (p *Pool) Mode() Assignment { return p.mode }
+
+// Get returns instance i.
+func (p *Pool) Get(i int) *Instance { return p.instances[i] }
+
+// NextRoundRobin returns the next instance index first-come first-served.
+func (p *Pool) NextRoundRobin() int {
+	return int((p.rr.Add(1) - 1) % uint64(len(p.instances)))
+}
+
+// ForThread returns the instance for ts under the pool's strategy. With
+// Dedicated the first call assigns via round-robin and caches the result in
+// the thread state (Algorithm 1 line 19); with RoundRobin every call
+// advances the circular counter.
+func (p *Pool) ForThread(ts *ThreadState) *Instance {
+	switch p.mode {
+	case Dedicated:
+		if !ts.assigned {
+			ts.dedicated = p.NextRoundRobin()
+			ts.assigned = true
+		}
+		return p.instances[ts.dedicated]
+	default:
+		return p.instances[p.NextRoundRobin()]
+	}
+}

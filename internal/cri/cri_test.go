@@ -1,0 +1,242 @@
+package cri
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/hw"
+	"repro/internal/spc"
+)
+
+func newTestPool(t *testing.T, n int, mode Assignment) *Pool {
+	t.Helper()
+	dev := fabric.NewDevice(hw.Fast())
+	insts := make([]*Instance, n)
+	for i := range insts {
+		ctx, err := dev.CreateContext(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts[i] = NewInstance(i, ctx, nil)
+	}
+	return NewPool(insts, mode)
+}
+
+func TestAssignmentString(t *testing.T) {
+	if RoundRobin.String() != "round-robin" || Dedicated.String() != "dedicated" {
+		t.Fatal("Assignment.String mismatch")
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	p := newTestPool(t, 3, RoundRobin)
+	var ts ThreadState
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i, w := range want {
+		if got := p.ForThread(&ts).Index(); got != w {
+			t.Fatalf("call %d: instance %d, want %d", i, got, w)
+		}
+	}
+	if ts.Dedicated() != -1 {
+		t.Fatal("round-robin assignment polluted the thread-local cache")
+	}
+}
+
+func TestDedicatedSticksPerThread(t *testing.T) {
+	p := newTestPool(t, 4, Dedicated)
+	var ts1, ts2 ThreadState
+	a := p.ForThread(&ts1)
+	b := p.ForThread(&ts2)
+	if a == b {
+		t.Fatal("two threads got the same dedicated instance with 4 available")
+	}
+	for i := 0; i < 10; i++ {
+		if p.ForThread(&ts1) != a {
+			t.Fatal("dedicated assignment changed between calls")
+		}
+	}
+	if ts1.Dedicated() != a.Index() {
+		t.Fatalf("ThreadState.Dedicated = %d, want %d", ts1.Dedicated(), a.Index())
+	}
+}
+
+func TestDedicatedSharingWhenOversubscribed(t *testing.T) {
+	// More threads than instances: assignments wrap (paper: "some
+	// communicating threads might share the same instance").
+	p := newTestPool(t, 2, Dedicated)
+	states := make([]ThreadState, 4)
+	counts := map[int]int{}
+	for i := range states {
+		counts[p.ForThread(&states[i]).Index()]++
+	}
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Fatalf("oversubscribed assignment = %v, want {0:2, 1:2}", counts)
+	}
+}
+
+func TestThreadStateReset(t *testing.T) {
+	p := newTestPool(t, 2, Dedicated)
+	var ts ThreadState
+	p.ForThread(&ts)
+	ts.Reset()
+	if ts.Dedicated() != -1 {
+		t.Fatal("Reset did not clear assignment")
+	}
+}
+
+func TestConcurrentRoundRobinBalanced(t *testing.T) {
+	p := newTestPool(t, 4, RoundRobin)
+	const (
+		goroutines = 8
+		per        = 1000
+	)
+	var mu sync.Mutex
+	counts := make(map[int]int)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make(map[int]int)
+			var ts ThreadState
+			for i := 0; i < per; i++ {
+				local[p.ForThread(&ts).Index()]++
+			}
+			mu.Lock()
+			for k, v := range local {
+				counts[k] += v
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for i := 0; i < 4; i++ {
+		c := counts[i]
+		total += c
+		if c != goroutines*per/4 {
+			t.Fatalf("instance %d acquired %d times, want exactly %d (atomic counter)", i, c, goroutines*per/4)
+		}
+	}
+	if total != goroutines*per {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestLockContentionCounted(t *testing.T) {
+	s := spc.NewSet()
+	dev := fabric.NewDevice(hw.Fast())
+	ctx, _ := dev.CreateContext(0)
+	in := NewInstance(0, ctx, s)
+	in.Lock()
+	done := make(chan struct{})
+	go func() {
+		in.Lock() // must block and count one contention
+		in.Unlock()
+		close(done)
+	}()
+	// Wait until the contender has certainly failed its try-lock.
+	for s.Get(spc.SendLockWaits) == 0 {
+		runtime.Gosched()
+	}
+	in.Unlock()
+	<-done
+	if got := s.Get(spc.SendLockWaits); got != 1 {
+		t.Fatalf("send_lock_waits = %d, want 1", got)
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	p := newTestPool(t, 1, RoundRobin)
+	in := p.Get(0)
+	if !in.TryLock() {
+		t.Fatal("TryLock failed on free lock")
+	}
+	if in.TryLock() {
+		t.Fatal("TryLock succeeded on held lock")
+	}
+	in.Unlock()
+	if !in.TryLock() {
+		t.Fatal("TryLock failed after Unlock")
+	}
+	in.Unlock()
+}
+
+func TestEndpointTable(t *testing.T) {
+	p := newTestPool(t, 1, RoundRobin)
+	in := p.Get(0)
+	dev := fabric.NewDevice(hw.Fast())
+	remote, _ := dev.CreateContext(0)
+	ep := fabric.NewEndpoint(in.Context(), remote)
+	in.SetEndpoints([]*fabric.Endpoint{nil, ep})
+	if in.Endpoint(0) != nil {
+		t.Fatal("self endpoint should be nil")
+	}
+	if in.Endpoint(1) != ep {
+		t.Fatal("Endpoint(1) lookup failed")
+	}
+	if in.Endpoint(5) != nil || in.Endpoint(-1) != nil {
+		t.Fatal("out-of-range endpoint lookup returned non-nil")
+	}
+}
+
+func TestEmptyPoolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPool(nil) did not panic")
+		}
+	}()
+	NewPool(nil, RoundRobin)
+}
+
+func TestInstancePollDispatches(t *testing.T) {
+	p := newTestPool(t, 2, RoundRobin)
+	rx := p.Get(0)
+	tx := p.Get(1)
+	ep := fabric.NewEndpoint(tx.Context(), rx.Context())
+	ep.Send(fabric.NewPacket(fabric.Envelope{Kind: fabric.KindEager, Tag: 3}, nil, nil))
+
+	var got []fabric.CQE
+	var fromInst *Instance
+	rx.Lock()
+	n := rx.Poll(func(in *Instance, e fabric.CQE) { fromInst = in; got = append(got, e) }, 8)
+	rx.Unlock()
+	if n != 1 || len(got) != 1 || got[0].Kind != fabric.CQERecv {
+		t.Fatalf("Poll handled %d events: %+v", n, got)
+	}
+	if fromInst != rx {
+		t.Fatal("dispatch reported wrong instance")
+	}
+}
+
+func BenchmarkForThreadRoundRobin(b *testing.B) {
+	dev := fabric.NewDevice(hw.Fast())
+	insts := make([]*Instance, 8)
+	for i := range insts {
+		ctx, _ := dev.CreateContext(0)
+		insts[i] = NewInstance(i, ctx, nil)
+	}
+	p := NewPool(insts, RoundRobin)
+	var ts ThreadState
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.ForThread(&ts)
+	}
+}
+
+func BenchmarkForThreadDedicated(b *testing.B) {
+	dev := fabric.NewDevice(hw.Fast())
+	insts := make([]*Instance, 8)
+	for i := range insts {
+		ctx, _ := dev.CreateContext(0)
+		insts[i] = NewInstance(i, ctx, nil)
+	}
+	p := NewPool(insts, Dedicated)
+	var ts ThreadState
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.ForThread(&ts)
+	}
+}

@@ -1,0 +1,101 @@
+package designs
+
+import (
+	"testing"
+
+	"repro/internal/cri"
+	"repro/internal/hw"
+	"repro/internal/progress"
+	"repro/internal/simnet"
+)
+
+func TestAllCoversLegend(t *testing.T) {
+	ds := All()
+	if len(ds) != int(numDesigns) {
+		t.Fatalf("All() returned %d designs, want %d", len(ds), int(numDesigns))
+	}
+	seen := map[string]bool{}
+	for _, d := range ds {
+		s := d.String()
+		if s == "" || seen[s] {
+			t.Fatalf("design %d has bad or duplicate name %q", int(d), s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestProcessModeFlags(t *testing.T) {
+	for _, d := range All() {
+		want := d == OMPIProcess || d == IMPIProcess || d == MPICHProcess
+		if d.IsProcessMode() != want {
+			t.Errorf("%v: IsProcessMode = %v, want %v", d, d.IsProcessMode(), want)
+		}
+	}
+}
+
+func TestSimConfigResolution(t *testing.T) {
+	base := simnet.Config{Machine: hw.AlembertHaswell(), Pairs: 4, Window: 32, Iters: 2}
+
+	cfg := OMPIThreadCRIFull.SimConfig(base, 20)
+	if cfg.NumInstances != 20 || cfg.Assignment != cri.Dedicated ||
+		cfg.Progress != progress.Concurrent || !cfg.CommPerPair {
+		t.Fatalf("CRIFull config = %+v", cfg)
+	}
+	if cfg := OMPIThread.SimConfig(base, 20); cfg.NumInstances != 1 || cfg.ProcessMode {
+		t.Fatalf("OMPIThread config = %+v", cfg)
+	}
+	if cfg := IMPIThread.SimConfig(base, 20); !cfg.BigLock {
+		t.Fatal("IMPIThread must be a big-lock design")
+	}
+	if cfg := OMPIProcess.SimConfig(base, 20); !cfg.ProcessMode {
+		t.Fatal("OMPIProcess must be process mode")
+	}
+}
+
+func TestCoreOptionsResolution(t *testing.T) {
+	o := OMPIThreadCRI.CoreOptions(8)
+	if o.NumInstances != 8 || o.Assignment != cri.Dedicated || o.Progress != progress.Serial {
+		t.Fatalf("CRI options = %+v", o)
+	}
+	o = OMPIThreadCRIFull.CoreOptions(8)
+	if o.Progress != progress.Concurrent {
+		t.Fatalf("CRIFull options = %+v", o)
+	}
+	if !IMPIThread.CoreOptions(1).BigLock {
+		t.Fatal("IMPIThread core options missing BigLock")
+	}
+	if OMPIThread.CoreOptions(1).NumInstances != 1 {
+		t.Fatal("OMPIThread core options wrong")
+	}
+	if !OMPIThreadCRIFull.UsesCommPerPair() || OMPIThread.UsesCommPerPair() {
+		t.Fatal("UsesCommPerPair flags wrong")
+	}
+}
+
+// TestFig5Ordering runs the model for every design at a moderate pair count
+// and checks the paper's headline ordering: every process mode beats every
+// stock thread mode; CRIs beats stock; CRIs* beats CRIs.
+func TestFig5Ordering(t *testing.T) {
+	base := simnet.Config{Machine: hw.AlembertHaswell(), Pairs: 12, Window: 128, Iters: 3}
+	rates := map[Design]float64{}
+	for _, d := range All() {
+		rates[d] = simnet.RunMultirate(d.SimConfig(base, 20)).Rate
+	}
+	for _, proc := range []Design{OMPIProcess, IMPIProcess, MPICHProcess} {
+		for _, thr := range []Design{OMPIThread, IMPIThread, MPICHThread} {
+			if rates[proc] <= rates[thr] {
+				t.Errorf("%v (%.0f) did not beat %v (%.0f)", proc, rates[proc], thr, rates[thr])
+			}
+		}
+	}
+	if rates[OMPIThreadCRI] <= rates[OMPIThread] {
+		t.Errorf("CRIs (%.0f) did not beat stock thread (%.0f)", rates[OMPIThreadCRI], rates[OMPIThread])
+	}
+	if rates[OMPIThreadCRIFull] <= rates[OMPIThreadCRI] {
+		t.Errorf("CRIs* (%.0f) did not beat CRIs (%.0f)", rates[OMPIThreadCRIFull], rates[OMPIThreadCRI])
+	}
+	// Even CRIs* stays below process mode (the paper's closing gap claim).
+	if rates[OMPIThreadCRIFull] >= rates[OMPIProcess] {
+		t.Errorf("CRIs* (%.0f) overtook process mode (%.0f)", rates[OMPIThreadCRIFull], rates[OMPIProcess])
+	}
+}

@@ -1,0 +1,144 @@
+package fabric
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/hw"
+)
+
+func TestFetchAndOpBasics(t *testing.T) {
+	target := NewDevice(hw.Fast())
+	initiator := NewDevice(hw.Fast())
+	ictx, _ := initiator.CreateContext(0)
+	mem := make([]byte, 16)
+	reg := target.RegisterMemory(mem)
+
+	var old int64
+	if err := ictx.FetchAndOp(reg, 0, 10, AccSum, &old, nil); err != nil {
+		t.Fatal(err)
+	}
+	if old != 0 {
+		t.Fatalf("old = %d, want 0", old)
+	}
+	if err := ictx.FetchAndOp(reg, 0, 7, AccReplace, &old, nil); err != nil {
+		t.Fatal(err)
+	}
+	if old != 10 {
+		t.Fatalf("old = %d, want 10", old)
+	}
+	if err := ictx.FetchAndOp(reg, 0, 100, AccMax, &old, nil); err != nil {
+		t.Fatal(err)
+	}
+	if old != 7 || int64(le64(mem[:8])) != 100 {
+		t.Fatalf("max: old=%d mem=%d", old, int64(le64(mem[:8])))
+	}
+	if err := ictx.FetchAndOp(reg, 0, 1, AccMin, &old, nil); err != nil {
+		t.Fatal(err)
+	}
+	if old != 100 || int64(le64(mem[:8])) != 1 {
+		t.Fatalf("min: old=%d mem=%d", old, int64(le64(mem[:8])))
+	}
+	// nil result pointer is allowed.
+	if err := ictx.FetchAndOp(reg, 8, 1, AccSum, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Completions: one per op.
+	n := 0
+	for ictx.Pending() {
+		ictx.Poll(func(e CQE) {
+			if e.Kind != CQEAccComplete {
+				t.Fatalf("completion kind = %d", e.Kind)
+			}
+			n++
+		}, 16)
+	}
+	if n != 5 {
+		t.Fatalf("completions = %d, want 5", n)
+	}
+}
+
+func TestFetchAndOpBounds(t *testing.T) {
+	target := NewDevice(hw.Fast())
+	initiator := NewDevice(hw.Fast())
+	ictx, _ := initiator.CreateContext(0)
+	reg := target.RegisterMemory(make([]byte, 8))
+	var be *BoundsError
+	if err := ictx.FetchAndOp(reg, 8, 1, AccSum, nil, nil); !errors.As(err, &be) {
+		t.Fatalf("out-of-bounds err = %v", err)
+	}
+	if err := ictx.FetchAndOp(reg, 4, 1, AccSum, nil, nil); !errors.As(err, &be) {
+		t.Fatalf("misaligned err = %v", err)
+	}
+	if err := ictx.CompareAndSwap(reg, 12, 0, 1, nil, nil); !errors.As(err, &be) {
+		t.Fatalf("CAS out-of-bounds err = %v", err)
+	}
+}
+
+func TestCompareAndSwapSemantics(t *testing.T) {
+	target := NewDevice(hw.Fast())
+	initiator := NewDevice(hw.Fast())
+	ictx, _ := initiator.CreateContext(0)
+	mem := make([]byte, 8)
+	reg := target.RegisterMemory(mem)
+
+	var old int64
+	if err := ictx.CompareAndSwap(reg, 0, 0, 42, &old, nil); err != nil || old != 0 {
+		t.Fatalf("CAS = %d, %v", old, err)
+	}
+	if got := int64(le64(mem)); got != 42 {
+		t.Fatalf("mem = %d, want 42", got)
+	}
+	if err := ictx.CompareAndSwap(reg, 0, 7, 99, &old, nil); err != nil || old != 42 {
+		t.Fatalf("failed CAS = %d, %v", old, err)
+	}
+	if got := int64(le64(mem)); got != 42 {
+		t.Fatalf("failed CAS mutated memory: %d", got)
+	}
+}
+
+// TestFetchAndOpAtomicTickets: concurrent fetch-add issues strictly unique
+// tickets across contexts.
+func TestFetchAndOpAtomicTickets(t *testing.T) {
+	target := NewDevice(hw.Fast())
+	initiator := NewDevice(hw.Fast())
+	mem := make([]byte, 8)
+	reg := target.RegisterMemory(mem)
+	const (
+		goroutines = 8
+		per        = 500
+	)
+	tickets := make(chan int64, goroutines*per)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		ctx, err := initiator.CreateContext(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(ctx *Context) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				var old int64
+				if err := ctx.FetchAndOp(reg, 0, 1, AccSum, &old, nil); err != nil {
+					t.Error(err)
+					return
+				}
+				tickets <- old
+			}
+		}(ctx)
+	}
+	wg.Wait()
+	close(tickets)
+	seen := map[int64]bool{}
+	for v := range tickets {
+		if seen[v] {
+			t.Fatalf("ticket %d duplicated", v)
+		}
+		seen[v] = true
+	}
+	if int64(le64(mem)) != goroutines*per {
+		t.Fatalf("final counter = %d", int64(le64(mem)))
+	}
+}

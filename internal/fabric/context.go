@@ -1,0 +1,156 @@
+package fabric
+
+import (
+	"runtime"
+
+	"repro/internal/hw"
+	"repro/internal/ringbuf"
+)
+
+// Context is one network context: an independent injection path into the
+// NIC with its own receive queue and completion queue. A Communication
+// Resource Instance (CRI) wraps exactly one Context. Contexts are the unit
+// of hardware parallelism — two threads on two different contexts do not
+// share any fabric-level state except the device-wide rate limiter.
+//
+// Thread safety: Inject and the RMA initiators may be called concurrently
+// (the receive queue and CQ are multi-producer). Poll must be called by one
+// goroutine at a time; the layers above guarantee this with the per-CRI
+// lock the paper describes.
+type Context struct {
+	dev   *Device
+	index int
+
+	recvQ *ringbuf.MPSC[*Packet] // packets from remote senders
+	cq    *ringbuf.MPSC[CQE]     // local completions (send/put/get)
+
+	scrambler *Scrambler
+}
+
+func newContext(d *Device, index, depth int) *Context {
+	return &Context{
+		dev:   d,
+		index: index,
+		recvQ: ringbuf.NewMPSC[*Packet](depth),
+		cq:    ringbuf.NewMPSC[CQE](depth),
+	}
+}
+
+// Index returns the context's index within its device.
+func (c *Context) Index() int { return c.index }
+
+// Device returns the owning device.
+func (c *Context) Device() *Device { return c.dev }
+
+// deliver enqueues an inbound packet, blocking (with yields) on a full
+// queue — hardware back-pressure. The remote sender's goroutine runs this.
+func (c *Context) deliver(p *Packet) {
+	if s := c.scrambler; s != nil {
+		for _, q := range s.scramble(p) {
+			c.deliverDirect(q)
+		}
+		return
+	}
+	c.deliverDirect(p)
+}
+
+func (c *Context) deliverDirect(p *Packet) {
+	for !c.recvQ.Push(p) {
+		runtime.Gosched()
+	}
+}
+
+// completeLocal enqueues a local completion, blocking on a full CQ.
+func (c *Context) completeLocal(e CQE) {
+	for !c.cq.Push(e) {
+		runtime.Gosched()
+	}
+}
+
+// Poll extracts up to max completion events, invoking handler for each, and
+// returns the number handled. Inbound packets are surfaced as CQERecv
+// events. Each extraction charges the receive-side CPU cost; an empty poll
+// charges the empty-poll cost — exactly the per-call economics of reading a
+// real CQ.
+func (c *Context) Poll(handler func(CQE), max int) int {
+	if max <= 0 {
+		max = 64
+	}
+	costs := &c.dev.costs
+	n := 0
+	for n < max {
+		e, ok := c.cq.Pop()
+		if !ok {
+			break
+		}
+		hw.Spin(costs.RecvExtract)
+		handler(e)
+		n++
+	}
+	for n < max {
+		p, ok := c.recvQ.Pop()
+		if !ok {
+			break
+		}
+		hw.Spin(costs.RecvExtract)
+		handler(CQE{Kind: CQERecv, Packet: p})
+		n++
+	}
+	if n == 0 {
+		if s := c.scrambler; s != nil {
+			// An idle poll flushes any adversarially held packets so a
+			// scrambled stream can never strand its tail.
+			s.DrainTo(c)
+			for n < max {
+				p, ok := c.recvQ.Pop()
+				if !ok {
+					break
+				}
+				hw.Spin(costs.RecvExtract)
+				handler(CQE{Kind: CQERecv, Packet: p})
+				n++
+			}
+		}
+		if n == 0 {
+			hw.Spin(costs.CQPollEmpty)
+		}
+	}
+	return n
+}
+
+// Pending reports whether any completions or inbound packets are queued.
+func (c *Context) Pending() bool {
+	return c.cq.Len() > 0 || c.recvQ.Len() > 0
+}
+
+// Endpoint is a send path from a local context to one remote context. It is
+// the object the per-CRI lock protects in the send path; the fabric itself
+// performs no locking here, mirroring real endpoints whose thread safety is
+// the MPI library's problem.
+type Endpoint struct {
+	local  *Context
+	remote *Context
+}
+
+// NewEndpoint connects a local context to a remote one.
+func NewEndpoint(local, remote *Context) *Endpoint {
+	return &Endpoint{local: local, remote: remote}
+}
+
+// Local returns the endpoint's local context.
+func (e *Endpoint) Local() *Context { return e.local }
+
+// Remote returns the endpoint's remote context.
+func (e *Endpoint) Remote() *Context { return e.remote }
+
+// Send injects a two-sided packet: charges the injection CPU cost, reserves
+// wire time (envelope + payload) on the local device's rate limiter,
+// delivers to the remote context's receive queue, and posts a
+// send-completion CQE to the local context.
+func (e *Endpoint) Send(p *Packet) {
+	costs := &e.local.dev.costs
+	hw.Spin(costs.SendInject)
+	e.local.dev.limiter.reserve(EnvelopeSize + len(p.Payload))
+	e.remote.deliver(p)
+	e.local.completeLocal(CQE{Kind: CQESendComplete, Packet: p})
+}

@@ -1,0 +1,103 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/hw"
+)
+
+// ErrContextLimit is returned by CreateContext when the device's hardware
+// context limit (the Cray Aries-style constraint from Section III-B) is
+// exhausted.
+var ErrContextLimit = errors.New("fabric: hardware network context limit reached")
+
+// Device is one process's NIC. It owns the device-wide rate limiter, the
+// set of network contexts, and the registered memory regions that remote
+// peers address with one-sided operations.
+type Device struct {
+	machine hw.Machine
+	costs   hw.CostModel
+	limiter *rateLimiter
+
+	mu       sync.Mutex
+	contexts []*Context
+	closed   bool
+
+	regMu   sync.RWMutex
+	regions map[uint64]*MemRegion
+	nextReg uint64
+
+	scrambler *Scrambler // optional adversarial reordering for tests
+}
+
+// NewDevice creates a NIC for the given machine model.
+func NewDevice(m hw.Machine) *Device {
+	return &Device{
+		machine: m,
+		costs:   m.Scaled(),
+		limiter: newRateLimiter(m.LinkGbps, m.MaxInjectionRate),
+		regions: make(map[uint64]*MemRegion),
+	}
+}
+
+// Machine returns the device's machine model.
+func (d *Device) Machine() hw.Machine { return d.machine }
+
+// Costs returns the device's scaled CPU cost model.
+func (d *Device) Costs() hw.CostModel { return d.costs }
+
+// SetScrambler installs an adversarial delivery-order scrambler on every
+// context created afterwards. Test-only; nil disables.
+func (d *Device) SetScrambler(s *Scrambler) { d.scrambler = s }
+
+// CreateContext allocates a new network context with the given queue depth
+// (rounded up to a power of two; depth <= 0 selects the default 4096).
+// It fails with ErrContextLimit when the hardware limit is reached.
+func (d *Device) CreateContext(depth int) (*Context, error) {
+	if depth <= 0 {
+		depth = 4096
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, errors.New("fabric: device closed")
+	}
+	if max := d.machine.MaxContexts; max > 0 && len(d.contexts) >= max {
+		return nil, ErrContextLimit
+	}
+	ctx := newContext(d, len(d.contexts), depth)
+	ctx.scrambler = d.scrambler
+	d.contexts = append(d.contexts, ctx)
+	return ctx, nil
+}
+
+// NumContexts returns the number of contexts created so far.
+func (d *Device) NumContexts() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.contexts)
+}
+
+// Context returns context i, or nil if out of range.
+func (d *Device) Context(i int) *Context {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if i < 0 || i >= len(d.contexts) {
+		return nil
+	}
+	return d.contexts[i]
+}
+
+// Close marks the device closed. Outstanding contexts remain readable so
+// in-flight progress loops can drain.
+func (d *Device) Close() {
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+}
+
+func (d *Device) String() string {
+	return fmt.Sprintf("device(%s, %d ctx)", d.machine.Name, d.NumContexts())
+}

@@ -1,0 +1,138 @@
+// Package fabric simulates an RDMA-capable network interface: devices,
+// network contexts, endpoints, completion queues (CQs), and remote memory
+// regions. It is the substrate beneath the runtime's Communication Resource
+// Instances (CRIs).
+//
+// The fabric is synchronous-with-costs: the injecting goroutine itself
+// executes delivery, paying a calibrated CPU cost per operation (see
+// internal/hw) and reserving wire time on a per-device rate limiter. All
+// serialization effects the paper studies — endpoint locks, progress
+// serialization, matching locks — live *above* the fabric; the fabric
+// supplies real concurrent queues for them to contend on.
+package fabric
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EnvelopeSize is the wire footprint of the matching header. The paper
+// notes Open MPI's matching header is ~28 bytes; zero-byte "messages" in the
+// Multirate benchmark are pure envelopes.
+const EnvelopeSize = 28
+
+// Envelope is the matching header carried by every two-sided message.
+type Envelope struct {
+	Src  int32  // sender rank
+	Dst  int32  // destination rank
+	Tag  int32  // message tag
+	Comm uint32 // communicator context id
+	Seq  uint32 // per-(sender, communicator) sequence number
+	Len  uint32 // payload length in bytes
+	Kind Kind   // packet kind (low byte) and flags
+}
+
+// Kind discriminates packet types on the wire.
+type Kind uint32
+
+const (
+	// KindEager is a two-sided eager message: envelope plus full payload.
+	KindEager Kind = iota + 1
+	// KindRendezvousRTS is the ready-to-send control message of the
+	// rendezvous protocol for large payloads.
+	KindRendezvousRTS
+	// KindRendezvousACK is the receiver's clear-to-send response carrying
+	// the registered sink region.
+	KindRendezvousACK
+	// KindRendezvousData is the bulk data of a rendezvous transfer.
+	KindRendezvousData
+)
+
+// Marshal encodes the envelope into its 28-byte wire form. The encode cost
+// is real work the injecting core performs, exactly like a driver building
+// a packet header.
+func (e *Envelope) Marshal(b *[EnvelopeSize]byte) {
+	binary.LittleEndian.PutUint32(b[0:], uint32(e.Src))
+	binary.LittleEndian.PutUint32(b[4:], uint32(e.Dst))
+	binary.LittleEndian.PutUint32(b[8:], uint32(e.Tag))
+	binary.LittleEndian.PutUint32(b[12:], e.Comm)
+	binary.LittleEndian.PutUint32(b[16:], e.Seq)
+	binary.LittleEndian.PutUint32(b[20:], e.Len)
+	binary.LittleEndian.PutUint32(b[24:], uint32(e.Kind))
+}
+
+// Unmarshal decodes a 28-byte wire header.
+func (e *Envelope) Unmarshal(b *[EnvelopeSize]byte) {
+	e.Src = int32(binary.LittleEndian.Uint32(b[0:]))
+	e.Dst = int32(binary.LittleEndian.Uint32(b[4:]))
+	e.Tag = int32(binary.LittleEndian.Uint32(b[8:]))
+	e.Comm = binary.LittleEndian.Uint32(b[12:])
+	e.Seq = binary.LittleEndian.Uint32(b[16:])
+	e.Len = binary.LittleEndian.Uint32(b[20:])
+	e.Kind = Kind(binary.LittleEndian.Uint32(b[24:]))
+}
+
+func (e Envelope) String() string {
+	return fmt.Sprintf("env{src=%d dst=%d tag=%d comm=%d seq=%d len=%d kind=%d}",
+		e.Src, e.Dst, e.Tag, e.Comm, e.Seq, e.Len, e.Kind)
+}
+
+// Packet is one message on the simulated wire: a marshaled envelope plus an
+// owned copy of the payload (eager protocol semantics — the sender's buffer
+// is free as soon as injection returns).
+type Packet struct {
+	header  [EnvelopeSize]byte
+	Payload []byte
+	// Token is opaque sender state echoed in the send-completion CQE,
+	// typically the request to mark complete.
+	Token any
+}
+
+// NewPacket marshals env and copies payload into a fresh packet, setting
+// the envelope's Len to the payload length.
+func NewPacket(env Envelope, payload []byte, token any) *Packet {
+	env.Len = uint32(len(payload))
+	return NewPacketRaw(env, payload, token)
+}
+
+// NewPacketRaw is NewPacket without overwriting env.Len — control packets
+// (e.g. a rendezvous RTS) advertise a length different from their carried
+// payload.
+func NewPacketRaw(env Envelope, payload []byte, token any) *Packet {
+	p := &Packet{Token: token}
+	env.Marshal(&p.header)
+	if len(payload) > 0 {
+		p.Payload = append([]byte(nil), payload...)
+	}
+	return p
+}
+
+// Envelope decodes and returns the packet's header.
+func (p *Packet) Envelope() Envelope {
+	var e Envelope
+	e.Unmarshal(&p.header)
+	return e
+}
+
+// CQEKind discriminates completion-queue entries.
+type CQEKind uint8
+
+const (
+	// CQESendComplete reports local completion of an injected send.
+	CQESendComplete CQEKind = iota + 1
+	// CQERecv reports arrival of a two-sided packet.
+	CQERecv
+	// CQEPutComplete reports local completion of a one-sided put.
+	CQEPutComplete
+	// CQEGetComplete reports local completion of a one-sided get.
+	CQEGetComplete
+	// CQEAccComplete reports local completion of a one-sided accumulate.
+	CQEAccComplete
+)
+
+// CQE is one completion-queue entry.
+type CQE struct {
+	Kind   CQEKind
+	Packet *Packet // for CQERecv and CQESendComplete
+	Token  any     // for one-sided completions: opaque initiator state
+}

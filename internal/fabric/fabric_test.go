@@ -1,0 +1,436 @@
+package fabric
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+)
+
+func newFastDevice(t testing.TB) *Device {
+	t.Helper()
+	return NewDevice(hw.Fast())
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	e := Envelope{Src: 3, Dst: 7, Tag: -42, Comm: 9, Seq: 123456, Len: 28, Kind: KindEager}
+	var b [EnvelopeSize]byte
+	e.Marshal(&b)
+	var got Envelope
+	got.Unmarshal(&b)
+	if got != e {
+		t.Fatalf("round trip = %+v, want %+v", got, e)
+	}
+}
+
+func TestEnvelopeQuickRoundTrip(t *testing.T) {
+	prop := func(src, dst, tag int32, comm, seq, ln uint32) bool {
+		e := Envelope{Src: src, Dst: dst, Tag: tag, Comm: comm, Seq: seq, Len: ln, Kind: KindEager}
+		var b [EnvelopeSize]byte
+		e.Marshal(&b)
+		var got Envelope
+		got.Unmarshal(&b)
+		return got == e
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPacketCopiesPayload(t *testing.T) {
+	payload := []byte{1, 2, 3}
+	p := NewPacket(Envelope{Kind: KindEager}, payload, nil)
+	payload[0] = 99 // sender reuses its buffer immediately
+	if p.Payload[0] != 1 {
+		t.Fatal("packet aliases the sender's buffer; eager semantics require a copy")
+	}
+	if env := p.Envelope(); env.Len != 3 {
+		t.Fatalf("packet Len = %d, want 3", env.Len)
+	}
+}
+
+func TestContextLimit(t *testing.T) {
+	m := hw.Fast()
+	m.MaxContexts = 2
+	d := NewDevice(m)
+	if _, err := d.CreateContext(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CreateContext(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CreateContext(0); !errors.Is(err, ErrContextLimit) {
+		t.Fatalf("third CreateContext err = %v, want ErrContextLimit", err)
+	}
+	if d.NumContexts() != 2 {
+		t.Fatalf("NumContexts = %d, want 2", d.NumContexts())
+	}
+}
+
+func TestDeviceContextLookup(t *testing.T) {
+	d := newFastDevice(t)
+	c0, _ := d.CreateContext(0)
+	if got := d.Context(0); got != c0 {
+		t.Fatal("Context(0) did not return the created context")
+	}
+	if d.Context(5) != nil || d.Context(-1) != nil {
+		t.Fatal("out-of-range Context lookup returned non-nil")
+	}
+}
+
+func TestClosedDeviceRefusesContexts(t *testing.T) {
+	d := newFastDevice(t)
+	d.Close()
+	if _, err := d.CreateContext(0); err == nil {
+		t.Fatal("CreateContext succeeded on closed device")
+	}
+}
+
+func TestSendDeliversAndCompletes(t *testing.T) {
+	sender := newFastDevice(t)
+	receiver := newFastDevice(t)
+	sctx, _ := sender.CreateContext(0)
+	rctx, _ := receiver.CreateContext(0)
+	ep := NewEndpoint(sctx, rctx)
+
+	tok := "req-1"
+	env := Envelope{Src: 0, Dst: 1, Tag: 5, Comm: 1, Seq: 0, Kind: KindEager}
+	ep.Send(NewPacket(env, []byte("hi"), tok))
+
+	// Sender side: one send completion.
+	var sendDone []CQE
+	sctx.Poll(func(e CQE) { sendDone = append(sendDone, e) }, 16)
+	if len(sendDone) != 1 || sendDone[0].Kind != CQESendComplete {
+		t.Fatalf("sender CQ = %+v, want one SendComplete", sendDone)
+	}
+	if sendDone[0].Packet.Token != tok {
+		t.Fatal("send completion lost its token")
+	}
+
+	// Receiver side: one recv event with intact envelope and payload.
+	var recvd []CQE
+	rctx.Poll(func(e CQE) { recvd = append(recvd, e) }, 16)
+	if len(recvd) != 1 || recvd[0].Kind != CQERecv {
+		t.Fatalf("receiver CQ = %+v, want one Recv", recvd)
+	}
+	got := recvd[0].Packet.Envelope()
+	if got.Tag != 5 || got.Src != 0 || got.Len != 2 {
+		t.Fatalf("received envelope = %+v", got)
+	}
+	if string(recvd[0].Packet.Payload) != "hi" {
+		t.Fatalf("payload = %q", recvd[0].Packet.Payload)
+	}
+}
+
+func TestPollMaxBound(t *testing.T) {
+	d := newFastDevice(t)
+	rx, _ := d.CreateContext(0)
+	tx, _ := d.CreateContext(0)
+	ep := NewEndpoint(tx, rx)
+	for i := 0; i < 10; i++ {
+		ep.Send(NewPacket(Envelope{Seq: uint32(i), Kind: KindEager}, nil, nil))
+	}
+	n := rx.Poll(func(CQE) {}, 4)
+	if n != 4 {
+		t.Fatalf("Poll handled %d, want 4 (max bound)", n)
+	}
+	if !rx.Pending() {
+		t.Fatal("Pending() = false with 6 packets still queued")
+	}
+	total := n
+	for rx.Pending() {
+		total += rx.Poll(func(CQE) {}, 64)
+	}
+	if total != 10 {
+		t.Fatalf("drained %d packets, want 10", total)
+	}
+}
+
+func TestPollFIFOPerSender(t *testing.T) {
+	d := newFastDevice(t)
+	rx, _ := d.CreateContext(0)
+	tx, _ := d.CreateContext(0)
+	ep := NewEndpoint(tx, rx)
+	const n = 100
+	for i := 0; i < n; i++ {
+		ep.Send(NewPacket(Envelope{Seq: uint32(i), Kind: KindEager}, nil, nil))
+	}
+	next := uint32(0)
+	for rx.Pending() {
+		rx.Poll(func(e CQE) {
+			if e.Kind != CQERecv {
+				return
+			}
+			if got := e.Packet.Envelope().Seq; got != next {
+				t.Fatalf("seq %d delivered, want %d (single-sender FIFO)", got, next)
+			}
+			next++
+		}, 16)
+	}
+	if next != n {
+		t.Fatalf("received %d packets, want %d", next, n)
+	}
+}
+
+func TestConcurrentSendersAllDelivered(t *testing.T) {
+	sender := newFastDevice(t)
+	receiver := newFastDevice(t)
+	rctx, _ := receiver.CreateContext(0)
+	const (
+		goroutines = 8
+		perG       = 500
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sctx, err := sender.CreateContext(0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ep := NewEndpoint(sctx, rctx)
+			for i := 0; i < perG; i++ {
+				ep.Send(NewPacket(Envelope{Src: int32(g), Seq: uint32(i), Kind: KindEager}, nil, nil))
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	seen := make(map[int32]uint32)
+	count := 0
+	for rctx.Pending() {
+		rctx.Poll(func(e CQE) {
+			if e.Kind != CQERecv {
+				return
+			}
+			env := e.Packet.Envelope()
+			if env.Seq != seen[env.Src] {
+				t.Fatalf("sender %d: seq %d, want %d (per-sender FIFO broken)", env.Src, env.Seq, seen[env.Src])
+			}
+			seen[env.Src]++
+			count++
+		}, 64)
+	}
+	if count != goroutines*perG {
+		t.Fatalf("delivered %d, want %d", count, goroutines*perG)
+	}
+}
+
+func TestRMAPutGet(t *testing.T) {
+	target := newFastDevice(t)
+	initiator := newFastDevice(t)
+	ictx, _ := initiator.CreateContext(0)
+
+	mem := make([]byte, 64)
+	reg := target.RegisterMemory(mem)
+	if r, ok := target.Region(reg.ID()); !ok || r != reg {
+		t.Fatal("Region lookup failed after RegisterMemory")
+	}
+
+	if err := ictx.Put(reg, 8, []byte("hello"), "p1"); err != nil {
+		t.Fatal(err)
+	}
+	if string(mem[8:13]) != "hello" {
+		t.Fatalf("target memory = %q", mem[8:13])
+	}
+
+	dst := make([]byte, 5)
+	if err := ictx.Get(reg, 8, dst, "g1"); err != nil {
+		t.Fatal(err)
+	}
+	if string(dst) != "hello" {
+		t.Fatalf("Get read %q", dst)
+	}
+
+	var kinds []CQEKind
+	var tokens []any
+	for ictx.Pending() {
+		ictx.Poll(func(e CQE) { kinds = append(kinds, e.Kind); tokens = append(tokens, e.Token) }, 16)
+	}
+	if len(kinds) != 2 || kinds[0] != CQEPutComplete || kinds[1] != CQEGetComplete {
+		t.Fatalf("completions = %v", kinds)
+	}
+	if tokens[0] != "p1" || tokens[1] != "g1" {
+		t.Fatalf("tokens = %v", tokens)
+	}
+
+	target.DeregisterMemory(reg)
+	if _, ok := target.Region(reg.ID()); ok {
+		t.Fatal("region still visible after DeregisterMemory")
+	}
+}
+
+func TestRMABounds(t *testing.T) {
+	target := newFastDevice(t)
+	initiator := newFastDevice(t)
+	ictx, _ := initiator.CreateContext(0)
+	reg := target.RegisterMemory(make([]byte, 16))
+
+	cases := []error{
+		ictx.Put(reg, 12, []byte("too long"), nil),
+		ictx.Put(reg, -1, []byte("x"), nil),
+		ictx.Get(reg, 16, make([]byte, 1), nil),
+		ictx.Accumulate(reg, 16, []int64{1}, AccSum, nil),
+		ictx.Accumulate(reg, 3, []int64{1}, AccSum, nil), // misaligned
+	}
+	for i, err := range cases {
+		var be *BoundsError
+		if !errors.As(err, &be) {
+			t.Errorf("case %d: err = %v, want BoundsError", i, err)
+		}
+	}
+	if ictx.Pending() {
+		t.Fatal("failed operations generated completions")
+	}
+}
+
+func TestAccumulateOps(t *testing.T) {
+	target := newFastDevice(t)
+	initiator := newFastDevice(t)
+	ictx, _ := initiator.CreateContext(0)
+	mem := make([]byte, 32)
+	reg := target.RegisterMemory(mem)
+
+	check := func(op AccumulateOp, operand, want int64) {
+		t.Helper()
+		if err := ictx.Accumulate(reg, 0, []int64{operand}, op, nil); err != nil {
+			t.Fatal(err)
+		}
+		if got := int64(le64(mem[0:8])); got != want {
+			t.Fatalf("op %d: memory = %d, want %d", op, got, want)
+		}
+	}
+	check(AccReplace, 10, 10)
+	check(AccSum, 5, 15)
+	check(AccMax, 3, 15)
+	check(AccMax, 99, 99)
+	check(AccMin, 50, 50)
+	check(AccMin, 60, 50)
+	check(AccSum, -50, 0)
+}
+
+func TestAccumulateAtomicUnderConcurrency(t *testing.T) {
+	target := newFastDevice(t)
+	initiator := newFastDevice(t)
+	mem := make([]byte, 8)
+	reg := target.RegisterMemory(mem)
+
+	const (
+		goroutines = 8
+		adds       = 1000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		ctx, err := initiator.CreateContext(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(ctx *Context) {
+			defer wg.Done()
+			for i := 0; i < adds; i++ {
+				if err := ctx.Accumulate(reg, 0, []int64{1}, AccSum, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(ctx)
+	}
+	wg.Wait()
+	if got := int64(le64(mem)); got != goroutines*adds {
+		t.Fatalf("sum = %d, want %d (accumulate not atomic)", got, goroutines*adds)
+	}
+}
+
+func TestScramblerDeliversEverythingOnce(t *testing.T) {
+	m := hw.Fast()
+	d := NewDevice(m)
+	d.SetScrambler(NewScrambler(42, 8))
+	rx, _ := d.CreateContext(0)
+	tx, _ := NewDevice(m).CreateContext(0)
+	ep := NewEndpoint(tx, rx)
+	const n = 200
+	for i := 0; i < n; i++ {
+		ep.Send(NewPacket(Envelope{Seq: uint32(i), Kind: KindEager}, nil, nil))
+	}
+	d.scrambler.DrainTo(rx)
+
+	seen := make(map[uint32]bool)
+	outOfOrder := false
+	var last int64 = -1
+	for rx.Pending() {
+		rx.Poll(func(e CQE) {
+			if e.Kind != CQERecv {
+				return
+			}
+			seq := e.Packet.Envelope().Seq
+			if seen[seq] {
+				t.Fatalf("seq %d delivered twice", seq)
+			}
+			seen[seq] = true
+			if int64(seq) < last {
+				outOfOrder = true
+			}
+			last = int64(seq)
+		}, 64)
+	}
+	if len(seen) != n {
+		t.Fatalf("delivered %d distinct packets, want %d", len(seen), n)
+	}
+	if !outOfOrder {
+		t.Fatal("scrambler produced fully ordered delivery; want reordering")
+	}
+}
+
+func TestRateLimiterCapsThroughput(t *testing.T) {
+	// 1e6 msg/s cap: 200 messages should take >= ~200us of wall time.
+	l := newRateLimiter(0, 1e6)
+	for i := 0; i < 200; i++ {
+		l.reserve(0)
+	}
+	elapsed := l.next.Load()
+	if elapsed < 190_000 { // virtual ns reserved
+		t.Fatalf("reserved only %d ns of wire time, want ~200000", elapsed)
+	}
+}
+
+func TestRateLimiterDisabled(t *testing.T) {
+	l := newRateLimiter(0, 0)
+	if l.enabled() {
+		t.Fatal("zero-rate limiter reports enabled")
+	}
+	l.reserve(1 << 20) // must not block or panic
+	var nilL *rateLimiter
+	nilL.reserve(10) // nil limiter is a no-op
+}
+
+func TestRateLimiterBandwidthDimension(t *testing.T) {
+	l := newRateLimiter(8, 0) // 8 Gbps = 1 byte/ns
+	l.reserve(1000)
+	if got := l.next.Load(); got < 1000 {
+		t.Fatalf("1000-byte reservation advanced cursor by %d ns, want >= 1000", got)
+	}
+}
+
+func BenchmarkEndpointSendZeroByte(b *testing.B) {
+	d := NewDevice(hw.Fast())
+	rx, _ := d.CreateContext(1 << 16)
+	tx, _ := d.CreateContext(1 << 16)
+	ep := NewEndpoint(tx, rx)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ep.Send(NewPacket(Envelope{Seq: uint32(i), Kind: KindEager}, nil, nil))
+		if i%1024 == 1023 {
+			for rx.Pending() {
+				rx.Poll(func(CQE) {}, 256)
+			}
+			for tx.Pending() {
+				tx.Poll(func(CQE) {}, 256)
+			}
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package fabric
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// rateLimiter serializes wire time for one device using virtual-time
+// reservations: each injection atomically reserves its serialization slot on
+// a monotone cursor and, if the cursor is ahead of real time, the injecting
+// goroutine waits out the difference. The effect is a hard aggregate cap on
+// the device's message and byte rate — the "theoretical peak" line in
+// Figures 6 and 7 — that all threads share, no matter how many contexts
+// they spread across.
+type rateLimiter struct {
+	next      atomic.Int64 // virtual time (ns since start) of next free slot
+	start     time.Time
+	perByteNs float64
+	perMsgNs  float64
+}
+
+// newRateLimiter builds a limiter from a link rate in Gbps and a message
+// injection cap in msg/s. Either may be zero to disable that dimension; a
+// limiter with both zero is nil-equivalent and reserve becomes a no-op.
+func newRateLimiter(linkGbps, maxMsgRate float64) *rateLimiter {
+	l := &rateLimiter{start: time.Now()}
+	if linkGbps > 0 {
+		l.perByteNs = 8 / linkGbps
+	}
+	if maxMsgRate > 0 {
+		l.perMsgNs = 1e9 / maxMsgRate
+	}
+	return l
+}
+
+// enabled reports whether any rate dimension is configured.
+func (l *rateLimiter) enabled() bool {
+	return l != nil && (l.perByteNs > 0 || l.perMsgNs > 0)
+}
+
+// reserve charges one message of the given wire size and blocks until its
+// reserved slot begins. Safe for unlimited concurrency.
+func (l *rateLimiter) reserve(wireBytes int) {
+	if !l.enabled() {
+		return
+	}
+	cost := int64(l.perMsgNs + l.perByteNs*float64(wireBytes))
+	if cost <= 0 {
+		return
+	}
+	now := time.Since(l.start).Nanoseconds()
+	var slotStart int64
+	for {
+		cur := l.next.Load()
+		slotStart = cur
+		if slotStart < now {
+			slotStart = now
+		}
+		if l.next.CompareAndSwap(cur, slotStart+cost) {
+			break
+		}
+	}
+	// Wait until the reserved slot opens. Short waits spin; longer waits
+	// yield so other goroutines (e.g. the receiver) can run.
+	for {
+		now = time.Since(l.start).Nanoseconds()
+		if now >= slotStart {
+			return
+		}
+		if slotStart-now > int64(50*time.Microsecond) {
+			runtime.Gosched()
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/hw"
+)
+
+// MemRegion is a registered remote-memory region — the fabric-level object
+// behind an MPI window. Remote peers address it by (device, region id).
+// Puts and gets move bytes without any involvement of the target process's
+// CPU, which is exactly the property that makes one-sided communication
+// thread-friendly in the paper's Section II-D.
+type MemRegion struct {
+	id  uint64
+	buf []byte
+	// atomMu serializes accumulate operations, which MPI defines to be
+	// element-wise atomic. Plain puts/gets are not serialized: concurrent
+	// overlapping puts are erroneous at the MPI level, as in the standard's
+	// separate memory model.
+	atomMu sync.Mutex
+}
+
+// ID returns the region's registration id.
+func (r *MemRegion) ID() uint64 { return r.id }
+
+// Size returns the region length in bytes.
+func (r *MemRegion) Size() int { return len(r.buf) }
+
+// Bytes exposes the underlying buffer (local access for the window owner).
+func (r *MemRegion) Bytes() []byte { return r.buf }
+
+// RegisterMemory registers buf for remote access and returns its region.
+func (d *Device) RegisterMemory(buf []byte) *MemRegion {
+	d.regMu.Lock()
+	defer d.regMu.Unlock()
+	d.nextReg++
+	r := &MemRegion{id: d.nextReg, buf: buf}
+	d.regions[r.id] = r
+	return r
+}
+
+// DeregisterMemory removes a region from remote visibility.
+func (d *Device) DeregisterMemory(r *MemRegion) {
+	d.regMu.Lock()
+	delete(d.regions, r.id)
+	d.regMu.Unlock()
+}
+
+// Region looks up a registered region by id.
+func (d *Device) Region(id uint64) (*MemRegion, bool) {
+	d.regMu.RLock()
+	r, ok := d.regions[id]
+	d.regMu.RUnlock()
+	return r, ok
+}
+
+// errBounds is returned when a one-sided access falls outside the region.
+var errBounds = errors.New("fabric: one-sided access out of region bounds")
+
+// BoundsError wraps errBounds with the offending access.
+type BoundsError struct {
+	Op     string
+	Offset int
+	Len    int
+	Size   int
+}
+
+func (e *BoundsError) Error() string {
+	return fmt.Sprintf("fabric: %s [%d, %d) outside region of %d bytes",
+		e.Op, e.Offset, e.Offset+e.Len, e.Size)
+}
+
+func (e *BoundsError) Unwrap() error { return errBounds }
+
+func checkBounds(op string, r *MemRegion, offset, n int) error {
+	if offset < 0 || n < 0 || offset+n > len(r.buf) {
+		return &BoundsError{Op: op, Offset: offset, Len: n, Size: len(r.buf)}
+	}
+	return nil
+}
+
+// Put writes src into the remote region at offset: initiator-side CPU cost,
+// wire reservation for the payload, direct memory write, and a local
+// PutComplete CQE carrying token. The target's CPU is never involved.
+func (c *Context) Put(r *MemRegion, offset int, src []byte, token any) error {
+	if err := checkBounds("put", r, offset, len(src)); err != nil {
+		return err
+	}
+	costs := &c.dev.costs
+	hw.Spin(costs.RMAPut)
+	c.dev.limiter.reserve(EnvelopeSize + len(src))
+	copy(r.buf[offset:], src)
+	c.completeLocal(CQE{Kind: CQEPutComplete, Token: token})
+	return nil
+}
+
+// Get reads len(dst) bytes from the remote region at offset into dst and
+// posts a local GetComplete CQE carrying token.
+func (c *Context) Get(r *MemRegion, offset int, dst []byte, token any) error {
+	if err := checkBounds("get", r, offset, len(dst)); err != nil {
+		return err
+	}
+	costs := &c.dev.costs
+	hw.Spin(costs.RMAGet)
+	c.dev.limiter.reserve(EnvelopeSize + len(dst))
+	copy(dst, r.buf[offset:offset+len(dst)])
+	c.completeLocal(CQE{Kind: CQEGetComplete, Token: token})
+	return nil
+}
+
+// AccumulateOp selects the reduction applied by Accumulate.
+type AccumulateOp uint8
+
+const (
+	// AccSum adds the operand to the target (MPI_SUM).
+	AccSum AccumulateOp = iota
+	// AccReplace overwrites the target (MPI_REPLACE).
+	AccReplace
+	// AccMax keeps the maximum (MPI_MAX).
+	AccMax
+	// AccMin keeps the minimum (MPI_MIN).
+	AccMin
+)
+
+// Accumulate applies op element-wise over int64 lanes at offset. The
+// operation is atomic with respect to other Accumulates on the same region
+// (MPI's same-op atomicity guarantee); it costs initiator CPU plus wire
+// time, posts an AccComplete CQE with token, and never involves the target
+// CPU — the "remote atomic" of the RDMA hardware.
+func (c *Context) Accumulate(r *MemRegion, offset int, operand []int64, op AccumulateOp, token any) error {
+	n := len(operand) * 8
+	if err := checkBounds("accumulate", r, offset, n); err != nil {
+		return err
+	}
+	if offset%8 != 0 {
+		return &BoundsError{Op: "accumulate (alignment)", Offset: offset, Len: n, Size: len(r.buf)}
+	}
+	costs := &c.dev.costs
+	hw.Spin(costs.RMAPut)
+	c.dev.limiter.reserve(EnvelopeSize + n)
+	r.atomMu.Lock()
+	for i, v := range operand {
+		p := r.buf[offset+8*i : offset+8*i+8]
+		cur := int64(le64(p))
+		switch op {
+		case AccSum:
+			cur += v
+		case AccReplace:
+			cur = v
+		case AccMax:
+			if v > cur {
+				cur = v
+			}
+		case AccMin:
+			if v < cur {
+				cur = v
+			}
+		}
+		putLE64(p, uint64(cur))
+	}
+	r.atomMu.Unlock()
+	c.completeLocal(CQE{Kind: CQEAccComplete, Token: token})
+	return nil
+}
+
+// FetchAndOp atomically applies op to the int64 at offset and writes the
+// previous value into *result before posting an AccComplete CQE — the
+// MPI_Fetch_and_op primitive RDMA NICs provide natively.
+func (c *Context) FetchAndOp(r *MemRegion, offset int, operand int64, op AccumulateOp, result *int64, token any) error {
+	if err := checkBounds("fetch_and_op", r, offset, 8); err != nil {
+		return err
+	}
+	if offset%8 != 0 {
+		return &BoundsError{Op: "fetch_and_op (alignment)", Offset: offset, Len: 8, Size: len(r.buf)}
+	}
+	costs := &c.dev.costs
+	hw.Spin(costs.RMAPut)
+	c.dev.limiter.reserve(EnvelopeSize + 8)
+	r.atomMu.Lock()
+	p := r.buf[offset : offset+8]
+	old := int64(le64(p))
+	cur := old
+	switch op {
+	case AccSum:
+		cur += operand
+	case AccReplace:
+		cur = operand
+	case AccMax:
+		if operand > cur {
+			cur = operand
+		}
+	case AccMin:
+		if operand < cur {
+			cur = operand
+		}
+	}
+	putLE64(p, uint64(cur))
+	r.atomMu.Unlock()
+	if result != nil {
+		*result = old
+	}
+	c.completeLocal(CQE{Kind: CQEAccComplete, Token: token})
+	return nil
+}
+
+// CompareAndSwap atomically replaces the int64 at offset with swap if it
+// equals compare, writing the previous value into *result
+// (MPI_Compare_and_swap).
+func (c *Context) CompareAndSwap(r *MemRegion, offset int, compare, swap int64, result *int64, token any) error {
+	if err := checkBounds("compare_and_swap", r, offset, 8); err != nil {
+		return err
+	}
+	if offset%8 != 0 {
+		return &BoundsError{Op: "compare_and_swap (alignment)", Offset: offset, Len: 8, Size: len(r.buf)}
+	}
+	costs := &c.dev.costs
+	hw.Spin(costs.RMAPut)
+	c.dev.limiter.reserve(EnvelopeSize + 16)
+	r.atomMu.Lock()
+	p := r.buf[offset : offset+8]
+	old := int64(le64(p))
+	if old == compare {
+		putLE64(p, uint64(swap))
+	}
+	r.atomMu.Unlock()
+	if result != nil {
+		*result = old
+	}
+	c.completeLocal(CQE{Kind: CQEAccComplete, Token: token})
+	return nil
+}
+
+func le64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	_ = b[7]
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	b[4], b[5], b[6], b[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+}

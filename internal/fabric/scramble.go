@@ -1,0 +1,70 @@
+package fabric
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Scrambler adversarially reorders packet delivery within a bounded window.
+// Real networks provide no ordering guarantee (Section II-C); in the
+// simulated fabric natural reordering only arises from concurrent senders,
+// so tests install a Scrambler to exercise the sequence-validation and
+// out-of-sequence buffering paths deterministically.
+type Scrambler struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	window int
+	held   []*Packet
+}
+
+// NewScrambler returns a scrambler holding back up to window packets,
+// releasing them in seeded-random order.
+func NewScrambler(seed int64, window int) *Scrambler {
+	if window < 1 {
+		window = 1
+	}
+	return &Scrambler{rng: rand.New(rand.NewSource(seed)), window: window}
+}
+
+// scramble accepts one packet and returns zero or more packets to deliver
+// now, in scrambled order.
+func (s *Scrambler) scramble(p *Packet) []*Packet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.held = append(s.held, p)
+	if len(s.held) < s.window {
+		// Randomly hold until the window fills, with occasional early
+		// release to avoid starving short streams.
+		if s.rng.Intn(4) != 0 {
+			return nil
+		}
+	}
+	out := make([]*Packet, len(s.held))
+	perm := s.rng.Perm(len(s.held))
+	for i, j := range perm {
+		out[i] = s.held[j]
+	}
+	s.held = s.held[:0]
+	return out
+}
+
+// Flush releases all held packets in random order. Call after the sending
+// phase ends so no packet is stranded.
+func (s *Scrambler) Flush() []*Packet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Packet, len(s.held))
+	perm := s.rng.Perm(len(s.held))
+	for i, j := range perm {
+		out[i] = s.held[j]
+	}
+	s.held = s.held[:0]
+	return out
+}
+
+// DrainTo delivers all held packets directly to ctx.
+func (s *Scrambler) DrainTo(ctx *Context) {
+	for _, p := range s.Flush() {
+		ctx.deliverDirect(p)
+	}
+}

@@ -1,0 +1,71 @@
+package figures
+
+import "testing"
+
+// ablScale reaches steady state (the ablation claims are about equilibrium
+// behavior, not the startup transient).
+func ablScale() Scale {
+	return Scale{Window: 128, Iters: 8, RMAPuts: 50, RMARounds: 1}
+}
+
+func TestAblationCreditsIsTheOOSLever(t *testing.T) {
+	tab := AblationCredits(ablScale())
+	oos := tab.Rows[1].Values
+	if oos[0] >= oos[len(oos)-1] {
+		t.Fatalf("OOS did not grow with credit depth: %v", oos)
+	}
+}
+
+func TestAblationConvoyDegradesSingleInstance(t *testing.T) {
+	tab := AblationConvoy(ablScale())
+	rates := tab.Rows[0].Values
+	if rates[0] <= rates[len(rates)-1] {
+		t.Fatalf("convoy penalty did not degrade the single instance: %v", rates)
+	}
+}
+
+func TestAblationInstancesHelp(t *testing.T) {
+	tab := AblationInstances(ablScale())
+	rates := tab.Rows[0].Values
+	if rates[0] >= rates[len(rates)-1] {
+		t.Fatalf("more instances did not help: %v", rates)
+	}
+}
+
+func TestAblationAllocCapsConcurrentMatching(t *testing.T) {
+	tab := AblationAllocSerialize(ablScale())
+	rates := tab.Rows[0].Values
+	// Zero serialization must beat every non-zero setting by a wide margin.
+	if rates[0] < 2*rates[len(rates)-1] {
+		t.Fatalf("alloc serialization is not the Fig. 3c ceiling: %v", rates)
+	}
+	// And the cap must be monotone non-increasing in the cost.
+	for i := 1; i < len(rates); i++ {
+		if rates[i] > rates[i-1]*1.05 {
+			t.Fatalf("rate increased with higher alloc cost: %v", rates)
+		}
+	}
+}
+
+func TestAblationByName(t *testing.T) {
+	for _, name := range []string{"jitter", "credits", "convoy", "instances", "alloc"} {
+		if _, err := AblationByName(name, tinyScale()); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := AblationByName("nope", tinyScale()); err == nil {
+		t.Fatal("unknown ablation accepted")
+	}
+}
+
+func TestAblationsComplete(t *testing.T) {
+	tabs := Ablations(tinyScale())
+	if len(tabs) != 5 {
+		t.Fatalf("Ablations returned %d tables", len(tabs))
+	}
+	for _, tab := range tabs {
+		if len(tab.Rows) == 0 || len(tab.XS) == 0 {
+			t.Fatalf("%s is empty", tab.Title)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package figures
+
+import (
+	"repro/internal/cri"
+	"repro/internal/hw"
+	"repro/internal/progress"
+	"repro/internal/simnet"
+)
+
+// ExtensionOffload goes beyond the paper's evaluation: it compares the
+// software-offload design (a dedicated progress thread, Vaidyanathan et
+// al. [20], discussed in the paper's related work) against the paper's CRI
+// designs on the same Multirate pairwise workload. Offloading removes the
+// progress-engine contention entirely — application threads never extract —
+// at the cost of one core and of serializing extraction through a single
+// thread, so it tracks the serial-progress ceiling while avoiding the
+// try-lock churn.
+// ExtensionMatching quantifies what the paper leaves open in Section III-F:
+// how much of the thread-mode gap is the matching *search* (removable with
+// a better data structure — the hash engine here) versus the matching
+// *serialization* (inherent in MPI's ordered-matching semantics). The hash
+// engine removes the queue walk; the per-communicator lock remains.
+func ExtensionMatching(sc Scale) Table {
+	m := hw.AlembertHaswell()
+	t := Table{
+		Title:  "Extension — list vs hash matching engine",
+		XLabel: "msg/s by thread pairs",
+		XS:     sc.PairPoints,
+		Notes:  "Multirate pairwise, 0-byte messages, 20 dedicated instances",
+	}
+	type variant struct {
+		label string
+		prog  progress.Mode
+		hash  bool
+		cpp   bool
+	}
+	variants := []variant{
+		{"list matching, serial progress", progress.Serial, false, false},
+		{"hash matching, serial progress", progress.Serial, true, false},
+		{"list matching, concurrent progress", progress.Concurrent, false, false},
+		{"hash matching, concurrent progress", progress.Concurrent, true, false},
+		{"hash matching + comm-per-pair", progress.Concurrent, true, true},
+	}
+	for _, v := range variants {
+		row := Row{Label: v.label}
+		for _, pairs := range sc.PairPoints {
+			cfg := simnet.Config{
+				Machine: m, Pairs: pairs, Window: sc.Window, Iters: sc.Iters,
+				NumInstances: 20, Assignment: cri.Dedicated, Progress: v.prog,
+				HashMatching: v.hash, CommPerPair: v.cpp,
+			}
+			row.Values = append(row.Values, simnet.RunMultirate(cfg).Rate)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func ExtensionOffload(sc Scale) Table {
+	m := hw.AlembertHaswell()
+	t := Table{
+		Title:  "Extension — software offload (dedicated progress thread) vs CRI designs",
+		XLabel: "msg/s by thread pairs",
+		XS:     sc.PairPoints,
+		Notes:  "Multirate pairwise, 0-byte messages; offload rows dedicate one core to progress",
+	}
+	type variant struct {
+		label   string
+		inst    int
+		mode    cri.Assignment
+		prog    progress.Mode
+		offload bool
+	}
+	variants := []variant{
+		{"stock (1 inst, serial)", 1, cri.RoundRobin, progress.Serial, false},
+		{"CRIs dedicated, serial", 20, cri.Dedicated, progress.Serial, false},
+		{"offload, 1 instance", 1, cri.RoundRobin, progress.Serial, true},
+		{"offload + CRIs dedicated", 20, cri.Dedicated, progress.Serial, true},
+		{"offload + CRIs, concurrent engine", 20, cri.Dedicated, progress.Concurrent, true},
+	}
+	for _, v := range variants {
+		row := Row{Label: v.label}
+		for _, pairs := range sc.PairPoints {
+			cfg := simnet.Config{
+				Machine: m, Pairs: pairs, Window: sc.Window, Iters: sc.Iters,
+				NumInstances: v.inst, Assignment: v.mode, Progress: v.prog,
+				ProgressThread: v.offload,
+			}
+			row.Values = append(row.Values, simnet.RunMultirate(cfg).Rate)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

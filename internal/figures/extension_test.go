@@ -1,0 +1,67 @@
+package figures
+
+import "testing"
+
+func TestExtensionOffloadShape(t *testing.T) {
+	tab := ExtensionOffload(tinyScale())
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 variants", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if len(r.Values) != len(tab.XS) {
+			t.Fatalf("row %q has %d values", r.Label, len(r.Values))
+		}
+		for i, v := range r.Values {
+			if v <= 0 {
+				t.Fatalf("row %q point %d = %v", r.Label, i, v)
+			}
+		}
+	}
+}
+
+func TestExtensionMatchingShape(t *testing.T) {
+	sc := Scale{Window: 128, Iters: 6, PairPoints: []int{20}}
+	tab := ExtensionMatching(sc)
+	rates := map[string]float64{}
+	for _, r := range tab.Rows {
+		rates[r.Label] = r.Values[0]
+	}
+	// Hash matching must beat list matching under serial progress (the
+	// search is removed)...
+	if rates["hash matching, serial progress"] <= rates["list matching, serial progress"] {
+		t.Fatalf("hash (%.0f) did not beat list (%.0f) under serial progress",
+			rates["hash matching, serial progress"], rates["list matching, serial progress"])
+	}
+	// ...but concurrent progress must still fall below hash+serial — the
+	// matching lock's serialization is inherent (the paper's conclusion).
+	if rates["hash matching, concurrent progress"] >= rates["hash matching, serial progress"] {
+		t.Fatalf("concurrent progress (%.0f) beat serial (%.0f) despite hash matching: serialization should still bind",
+			rates["hash matching, concurrent progress"], rates["hash matching, serial progress"])
+	}
+	// Parallel matching (comm-per-pair) escapes both.
+	if rates["hash matching + comm-per-pair"] < 2*rates["hash matching, serial progress"] {
+		t.Fatalf("comm-per-pair (%.0f) did not escape the matching wall",
+			rates["hash matching + comm-per-pair"])
+	}
+}
+
+func TestOffloadTracksSerialCeiling(t *testing.T) {
+	// Offloading extraction to one dedicated thread must stay in the same
+	// regime as serial progress (single extractor), not unlock matching.
+	sc := Scale{Window: 128, Iters: 6, PairPoints: []int{20}}
+	tab := ExtensionOffload(sc)
+	var stock, offload []float64
+	for _, r := range tab.Rows {
+		switch r.Label {
+		case "stock (1 inst, serial)":
+			stock = r.Values
+		case "offload, 1 instance":
+			offload = r.Values
+		}
+	}
+	last := len(stock) - 1
+	ratio := offload[last] / stock[last]
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Fatalf("offload diverged from the serial regime: %.0f vs %.0f", offload[last], stock[last])
+	}
+}

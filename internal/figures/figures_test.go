@@ -1,0 +1,145 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps figure tests fast.
+func tinyScale() Scale {
+	return Scale{
+		Window:     32,
+		Iters:      2,
+		PairPoints: []int{1, 4, 8},
+		RMAPuts:    50,
+		RMARounds:  1,
+	}
+}
+
+func TestFig3aShape(t *testing.T) {
+	tab := Fig3a(tinyScale())
+	if len(tab.Rows) != 5 {
+		t.Fatalf("Fig3a rows = %d, want 5 series", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if len(r.Values) != 3 {
+			t.Fatalf("row %q has %d values, want 3", r.Label, len(r.Values))
+		}
+		for i, v := range r.Values {
+			if v <= 0 {
+				t.Fatalf("row %q point %d non-positive: %v", r.Label, i, v)
+			}
+		}
+	}
+}
+
+func TestFig5IncludesAllDesigns(t *testing.T) {
+	tab := Fig5(tinyScale())
+	if len(tab.Rows) != 8 {
+		t.Fatalf("Fig5 rows = %d, want 8 designs", len(tab.Rows))
+	}
+	labels := map[string]bool{}
+	for _, r := range tab.Rows {
+		labels[r.Label] = true
+	}
+	for _, want := range []string{"OMPI Process", "OMPI Thread", "OMPI Thread + CRIs*", "MPICH Thread"} {
+		if !labels[want] {
+			t.Fatalf("Fig5 missing series %q (have %v)", want, labels)
+		}
+	}
+}
+
+func TestFig6PerSizeTablesWithPeak(t *testing.T) {
+	tabs := Fig6(tinyScale())
+	if len(tabs) != 5 {
+		t.Fatalf("Fig6 tables = %d, want 5 sizes", len(tabs))
+	}
+	for _, tab := range tabs {
+		last := tab.Rows[len(tab.Rows)-1]
+		if last.Label != "theoretical peak" {
+			t.Fatalf("last row = %q, want theoretical peak", last.Label)
+		}
+		for _, r := range tab.Rows[:len(tab.Rows)-1] {
+			for i, v := range r.Values {
+				if v > last.Values[i]*1.05 {
+					t.Fatalf("%s: %q exceeds peak at point %d (%v > %v)",
+						tab.Title, r.Label, i, v, last.Values[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFig7UsesKNLThreadRange(t *testing.T) {
+	tabs := Fig7(tinyScale())
+	xs := tabs[0].XS
+	if xs[len(xs)-1] != 64 {
+		t.Fatalf("Fig7 max threads = %d, want 64", xs[len(xs)-1])
+	}
+}
+
+func TestTableIIStructure(t *testing.T) {
+	res := TableII(tinyScale(), false)
+	if len(res.Configs) != 9 {
+		t.Fatalf("TableII configs = %d, want 9", len(res.Configs))
+	}
+	// The paper's qualitative claims:
+	// (1) concurrent progress match time exceeds serial at same instances;
+	serialMT, concMT := res.MatchTimeMs[2], res.MatchTimeMs[5] // 20-inst columns
+	if concMT <= serialMT {
+		t.Errorf("concurrent match time (%.1f ms) not above serial (%.1f ms)", concMT, serialMT)
+	}
+	// (2) concurrent matching (comm per pair) collapses OOS at 20 inst.
+	if res.OutOfSequence[8] != 0 {
+		t.Errorf("concurrent+match/20 OOS = %d, want 0", res.OutOfSequence[8])
+	}
+	// (3) shared-comm configs have substantial OOS.
+	if res.OutOfSequencePct[0] < 10 {
+		t.Errorf("serial/1 OOS%% = %.1f, want substantial", res.OutOfSequencePct[0])
+	}
+	out := res.Render()
+	for _, want := range []string{"out-of-sequence msgs", "match time (ms)", "serial/1", "concurrent+match/20"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q", want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{
+		Title: "T", XLabel: "x", XS: []int{1, 2},
+		Rows:  []Row{{Label: "r", Values: []float64{10, 20}}},
+		Notes: "n",
+	}
+	out := tab.Render()
+	for _, want := range []string{"== T ==", "n", "r", "10", "20"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestScalesDiffer(t *testing.T) {
+	q, p := Quick(), Paper()
+	if p.Iters <= q.Iters {
+		t.Fatal("paper scale not larger than quick")
+	}
+	if len(p.PairPoints) < len(q.PairPoints) {
+		t.Fatal("paper scale has fewer sweep points")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := Table{
+		Title: "T", XLabel: "x", XS: []int{1, 2},
+		Rows: []Row{
+			{Label: "plain", Values: []float64{10, 20}},
+			{Label: `with,comma "q"`, Values: []float64{1.5, 2}},
+		},
+	}
+	out := tab.CSV()
+	want := "# T\nseries,1,2\nplain,10,20\n\"with,comma \"\"q\"\"\",1.5,2\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}

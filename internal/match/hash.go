@@ -1,0 +1,431 @@
+package match
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/hw"
+	"repro/internal/spc"
+)
+
+// HashEngine is a hash-based matching engine: posted receives and
+// unexpected messages with exact (source, tag) coordinates live in O(1)
+// buckets, while wildcard receives stay on ordered side lists. This is the
+// "optimized matching" direction the paper's Section III-F explicitly
+// leaves out of scope ("a study of optimized or parallel matching is not
+// within the scope of this paper") — implemented here so the remaining
+// serialization can be quantified with the search cost removed.
+//
+// MPI's matching order is preserved exactly: every posted receive carries a
+// monotone ticket; an incoming message matches the oldest candidate among
+// its exact bucket head and the wildcard list heads. Like Engine, all
+// methods require external synchronization.
+type HashEngine struct {
+	comm  uint32
+	costs hw.CostModel
+	meter Meter
+	spcs  *spc.Set
+
+	allowOvertaking bool
+
+	peers  map[int32]*peerState
+	single []*peerState
+
+	nextTicket uint64
+
+	// exact[(src,tag)] holds non-wildcard posted receives, FIFO.
+	exact map[key64]*bucket
+	// srcWild holds Recvs with Source set and Tag == AnyTag.
+	// tagWild holds Recvs with Source == AnySource and Tag set.
+	// allWild holds fully wildcarded Recvs.
+	// (Each ordered by ticket; heads are match candidates.)
+	srcWild map[int32]*bucket
+	tagWild map[int32]*bucket
+	allWild bucket
+	posted  int
+
+	// unexpected messages: bucketed by exact (src, tag) for O(1) exact
+	// posts, plus one global FIFO so wildcard posts and Probe can scan in
+	// arrival order.
+	unexp       map[key64]*umsgList
+	unexpHead   *pendingMsg
+	unexpTail   *pendingMsg
+	unexpLen    int
+	unexpTicket uint64
+}
+
+// key64 packs (source, tag) into one map key.
+type key64 uint64
+
+func mkKey(src, tag int32) key64 { return key64(uint32(src))<<32 | key64(uint32(tag)) }
+
+// bucket is a FIFO of posted receives sharing coordinates.
+type bucket struct {
+	head, tail *Recv
+	n          int
+}
+
+func (b *bucket) push(r *Recv) {
+	r.bprev = b.tail
+	r.bnext = nil
+	if b.tail != nil {
+		b.tail.bnext = r
+	} else {
+		b.head = r
+	}
+	b.tail = r
+	b.n++
+}
+
+func (b *bucket) remove(r *Recv) {
+	if r.bprev != nil {
+		r.bprev.bnext = r.bnext
+	} else {
+		b.head = r.bnext
+	}
+	if r.bnext != nil {
+		r.bnext.bprev = r.bprev
+	} else {
+		b.tail = r.bprev
+	}
+	r.bprev, r.bnext = nil, nil
+	b.n--
+}
+
+// umsgList is a FIFO of unexpected messages sharing exact coordinates,
+// threaded through the same nodes as the global list.
+type umsgList struct {
+	head, tail *pendingMsg
+	n          int
+}
+
+// NewHashEngine creates a hash matching engine for communicator comm.
+func NewHashEngine(comm uint32, nRanks int, costs hw.CostModel, meter Meter, spcs *spc.Set) *HashEngine {
+	if meter == nil {
+		meter = NopMeter{}
+	}
+	e := &HashEngine{
+		comm:    comm,
+		costs:   costs,
+		meter:   meter,
+		spcs:    spcs,
+		peers:   make(map[int32]*peerState),
+		exact:   make(map[key64]*bucket),
+		srcWild: make(map[int32]*bucket),
+		tagWild: make(map[int32]*bucket),
+		unexp:   make(map[key64]*umsgList),
+	}
+	if nRanks > 0 {
+		e.single = make([]*peerState, nRanks)
+		for i := range e.single {
+			e.single[i] = &peerState{}
+		}
+	}
+	return e
+}
+
+var _ Matcher = (*HashEngine)(nil)
+
+// Comm returns the communicator id.
+func (e *HashEngine) Comm() uint32 { return e.comm }
+
+// SetAllowOvertaking implements Matcher.
+func (e *HashEngine) SetAllowOvertaking(on bool) { e.allowOvertaking = on }
+
+// PostedLen implements Matcher.
+func (e *HashEngine) PostedLen() int { return e.posted }
+
+// UnexpectedLen implements Matcher.
+func (e *HashEngine) UnexpectedLen() int { return e.unexpLen }
+
+// OOSBuffered implements Matcher.
+func (e *HashEngine) OOSBuffered() int {
+	n := 0
+	for _, p := range e.single {
+		n += len(p.oos)
+	}
+	for _, p := range e.peers {
+		n += len(p.oos)
+	}
+	return n
+}
+
+// ChargeWait implements Matcher.
+func (e *HashEngine) ChargeWait(d time.Duration) {
+	e.spcs.Add(spc.MatchTimeNanos, int64(d))
+}
+
+func (e *HashEngine) charge(d time.Duration) {
+	e.meter.Charge(d)
+	e.spcs.Add(spc.MatchTimeNanos, int64(d))
+}
+
+func (e *HashEngine) peer(rank int32) *peerState {
+	if rank >= 0 && int(rank) < len(e.single) {
+		return e.single[rank]
+	}
+	p := e.peers[rank]
+	if p == nil {
+		p = &peerState{}
+		e.peers[rank] = p
+	}
+	return p
+}
+
+// PostRecv implements Matcher. Exact receives look up their unexpected
+// bucket in O(1); wildcard receives scan the global unexpected FIFO.
+func (e *HashEngine) PostRecv(r *Recv) (Completion, bool) {
+	if r.queued {
+		panic("match: Recv posted twice")
+	}
+	e.spcs.Inc(spc.MatchAttempts)
+	exact := r.Source != AnySource && r.Tag != AnyTag
+	if exact {
+		e.charge(e.costs.MatchBase)
+		if l := e.unexp[mkKey(r.Source, r.Tag)]; l != nil && l.head != nil {
+			m := l.head
+			e.removeUnexpected(m)
+			e.fill(r, m.env, m.pkt)
+			e.spcs.Inc(spc.MessagesReceived)
+			return Completion{Recv: r, Packet: m.pkt}, true
+		}
+	} else {
+		// Wildcards walk the arrival-ordered global list.
+		walked := 0
+		for m := e.unexpHead; m != nil; m = m.next {
+			walked++
+			if envMatches(r, m.env) {
+				e.spcs.Add(spc.MatchWalkElements, int64(walked))
+				e.charge(e.costs.MatchBase + time.Duration(walked)*e.costs.MatchPerElement)
+				e.removeUnexpected(m)
+				e.fill(r, m.env, m.pkt)
+				e.spcs.Inc(spc.MessagesReceived)
+				return Completion{Recv: r, Packet: m.pkt}, true
+			}
+		}
+		e.spcs.Add(spc.MatchWalkElements, int64(walked))
+		e.charge(e.costs.MatchBase + time.Duration(walked)*e.costs.MatchPerElement)
+	}
+	e.nextTicket++
+	r.ticket = e.nextTicket
+	r.queued = true
+	e.bucketFor(r).push(r)
+	e.posted++
+	e.spcs.Max(spc.PostedQueuePeak, int64(e.posted))
+	return Completion{}, false
+}
+
+func (e *HashEngine) bucketFor(r *Recv) *bucket {
+	switch {
+	case r.Source != AnySource && r.Tag != AnyTag:
+		k := mkKey(r.Source, r.Tag)
+		b := e.exact[k]
+		if b == nil {
+			b = &bucket{}
+			e.exact[k] = b
+		}
+		return b
+	case r.Source != AnySource: // tag wildcard
+		b := e.srcWild[r.Source]
+		if b == nil {
+			b = &bucket{}
+			e.srcWild[r.Source] = b
+		}
+		return b
+	case r.Tag != AnyTag: // source wildcard
+		b := e.tagWild[r.Tag]
+		if b == nil {
+			b = &bucket{}
+			e.tagWild[r.Tag] = b
+		}
+		return b
+	default:
+		return &e.allWild
+	}
+}
+
+// CancelRecv implements Matcher.
+func (e *HashEngine) CancelRecv(r *Recv) bool {
+	if !r.queued {
+		return false
+	}
+	e.bucketFor(r).remove(r)
+	r.queued = false
+	e.posted--
+	return true
+}
+
+// Deliver implements Matcher: identical sequence validation to Engine, with
+// the bucketed search in place of the linear one.
+func (e *HashEngine) Deliver(pkt *fabric.Packet, out []Completion) []Completion {
+	env := pkt.Envelope()
+	if env.Comm != e.comm {
+		panic(fmt.Sprintf("match: packet for comm %d delivered to hash engine %d", env.Comm, e.comm))
+	}
+	if e.allowOvertaking {
+		return e.matchIn(env, pkt, out)
+	}
+	p := e.peer(env.Src)
+	if env.Seq != p.nextSeq {
+		e.spcs.Inc(spc.OutOfSequence)
+		e.charge(e.costs.OOSBuffer)
+		if p.oos == nil {
+			p.oos = make(map[uint32]*fabric.Packet)
+		}
+		if _, dup := p.oos[env.Seq]; dup {
+			panic(fmt.Sprintf("match: duplicate sequence %d from rank %d", env.Seq, env.Src))
+		}
+		p.oos[env.Seq] = pkt
+		return out
+	}
+	p.nextSeq++
+	out = e.matchIn(env, pkt, out)
+	for {
+		next, ok := p.oos[p.nextSeq]
+		if !ok {
+			break
+		}
+		delete(p.oos, p.nextSeq)
+		nenv := next.Envelope()
+		p.nextSeq++
+		out = e.matchIn(nenv, next, out)
+	}
+	return out
+}
+
+// matchIn picks the oldest candidate among the four bucket heads that can
+// accept the message — constant-time regardless of queue depth.
+func (e *HashEngine) matchIn(env fabric.Envelope, pkt *fabric.Packet, out []Completion) []Completion {
+	e.spcs.Inc(spc.MatchAttempts)
+	e.charge(e.costs.MatchBase)
+	var best *Recv
+	var bestBucket *bucket
+	consider := func(b *bucket) {
+		if b == nil || b.head == nil {
+			return
+		}
+		if best == nil || b.head.ticket < best.ticket {
+			best = b.head
+			bestBucket = b
+		}
+	}
+	consider(e.exact[mkKey(env.Src, env.Tag)])
+	consider(e.srcWild[env.Src])
+	consider(e.tagWild[env.Tag])
+	consider(&e.allWild)
+	if best != nil {
+		bestBucket.remove(best)
+		best.queued = false
+		e.posted--
+		e.fill(best, env, pkt)
+		e.spcs.Inc(spc.ExpectedMessages)
+		e.spcs.Inc(spc.MessagesReceived)
+		return append(out, Completion{Recv: best, Packet: pkt})
+	}
+	e.appendUnexpected(env, pkt)
+	e.spcs.Inc(spc.UnexpectedMessages)
+	return out
+}
+
+// Probe implements Matcher.
+func (e *HashEngine) Probe(source, tag int32) (fabric.Envelope, bool) {
+	if source != AnySource && tag != AnyTag {
+		if l := e.unexp[mkKey(source, tag)]; l != nil && l.head != nil {
+			return l.head.env, true
+		}
+		return fabric.Envelope{}, false
+	}
+	probe := &Recv{Source: source, Tag: tag}
+	for m := e.unexpHead; m != nil; m = m.next {
+		if envMatches(probe, m.env) {
+			return m.env, true
+		}
+	}
+	return fabric.Envelope{}, false
+}
+
+// MProbe implements Matcher.
+func (e *HashEngine) MProbe(source, tag int32) (*fabric.Packet, bool) {
+	if source != AnySource && tag != AnyTag {
+		if l := e.unexp[mkKey(source, tag)]; l != nil && l.head != nil {
+			m := l.head
+			e.removeUnexpected(m)
+			return m.pkt, true
+		}
+		return nil, false
+	}
+	probe := &Recv{Source: source, Tag: tag}
+	for m := e.unexpHead; m != nil; m = m.next {
+		if envMatches(probe, m.env) {
+			e.removeUnexpected(m)
+			return m.pkt, true
+		}
+	}
+	return nil, false
+}
+
+func (e *HashEngine) fill(r *Recv, env fabric.Envelope, pkt *fabric.Packet) {
+	r.MatchedEnv = env
+	n := copy(r.Buf, pkt.Payload)
+	r.N = n
+	r.Truncated = n < len(pkt.Payload)
+}
+
+func (e *HashEngine) appendUnexpected(env fabric.Envelope, pkt *fabric.Packet) {
+	m := &pendingMsg{env: env, pkt: pkt}
+	// Global FIFO.
+	m.prev = e.unexpTail
+	if e.unexpTail != nil {
+		e.unexpTail.next = m
+	} else {
+		e.unexpHead = m
+	}
+	e.unexpTail = m
+	// Exact bucket.
+	k := mkKey(env.Src, env.Tag)
+	l := e.unexp[k]
+	if l == nil {
+		l = &umsgList{}
+		e.unexp[k] = l
+	}
+	m.bprev = l.tail
+	if l.tail != nil {
+		l.tail.bnext = m
+	} else {
+		l.head = m
+	}
+	l.tail = m
+	l.n++
+	e.unexpLen++
+	e.spcs.Max(spc.UnexpectedQueuePeak, int64(e.unexpLen))
+}
+
+func (e *HashEngine) removeUnexpected(m *pendingMsg) {
+	// Global FIFO.
+	if m.prev != nil {
+		m.prev.next = m.next
+	} else {
+		e.unexpHead = m.next
+	}
+	if m.next != nil {
+		m.next.prev = m.prev
+	} else {
+		e.unexpTail = m.prev
+	}
+	// Exact bucket.
+	l := e.unexp[mkKey(m.env.Src, m.env.Tag)]
+	if m.bprev != nil {
+		m.bprev.bnext = m.bnext
+	} else {
+		l.head = m.bnext
+	}
+	if m.bnext != nil {
+		m.bnext.bprev = m.bprev
+	} else {
+		l.tail = m.bprev
+	}
+	m.prev, m.next, m.bprev, m.bnext = nil, nil, nil, nil
+	l.n--
+	e.unexpLen--
+}

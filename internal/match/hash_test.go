@@ -1,0 +1,276 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+	"repro/internal/spc"
+)
+
+func newTestHash(spcs *spc.Set) *HashEngine {
+	return NewHashEngine(1, 8, hw.Fast().Scaled(), NopMeter{}, spcs)
+}
+
+func TestHashExactMatch(t *testing.T) {
+	e := newTestHash(nil)
+	r := &Recv{Source: 2, Tag: 7, Buf: make([]byte, 8)}
+	if _, ok := e.PostRecv(r); ok {
+		t.Fatal("matched with nothing delivered")
+	}
+	comps := e.Deliver(pkt(2, 7, 0, []byte("abc")), nil)
+	if len(comps) != 1 || comps[0].Recv != r || r.N != 3 {
+		t.Fatalf("comps = %+v", comps)
+	}
+	if e.PostedLen() != 0 || e.UnexpectedLen() != 0 {
+		t.Fatal("queues not empty")
+	}
+}
+
+func TestHashUnexpectedExactLookup(t *testing.T) {
+	e := newTestHash(nil)
+	e.Deliver(pkt(1, 5, 0, []byte("x")), nil)
+	e.Deliver(pkt(1, 6, 1, []byte("y")), nil)
+	r := &Recv{Source: 1, Tag: 6, Buf: make([]byte, 2)}
+	c, ok := e.PostRecv(r)
+	if !ok || c.Recv.MatchedEnv.Tag != 6 {
+		t.Fatalf("exact unexpected lookup failed: %+v", c)
+	}
+	if e.UnexpectedLen() != 1 {
+		t.Fatalf("unexpected len = %d", e.UnexpectedLen())
+	}
+}
+
+func TestHashWildcardOrdering(t *testing.T) {
+	// Matching must pick the OLDEST posted candidate across buckets.
+	e := newTestHash(nil)
+	rExact := &Recv{Source: 0, Tag: 3}
+	rAny := &Recv{Source: AnySource, Tag: AnyTag}
+	e.PostRecv(rExact) // older
+	e.PostRecv(rAny)
+	comps := e.Deliver(pkt(0, 3, 0, nil), nil)
+	if comps[0].Recv != rExact {
+		t.Fatal("younger wildcard beat older exact receive")
+	}
+	// Next message matches the wildcard.
+	comps = e.Deliver(pkt(5, 9, 0, nil), nil)
+	if len(comps) != 1 || comps[0].Recv != rAny {
+		t.Fatalf("wildcard did not match: %+v", comps)
+	}
+}
+
+func TestHashWildcardBeforeExact(t *testing.T) {
+	e := newTestHash(nil)
+	rAny := &Recv{Source: AnySource, Tag: AnyTag}
+	rExact := &Recv{Source: 0, Tag: 3}
+	e.PostRecv(rAny) // older wildcard must win
+	e.PostRecv(rExact)
+	comps := e.Deliver(pkt(0, 3, 0, nil), nil)
+	if comps[0].Recv != rAny {
+		t.Fatal("younger exact receive beat older wildcard")
+	}
+}
+
+func TestHashHalfWildcards(t *testing.T) {
+	e := newTestHash(nil)
+	rSrcWild := &Recv{Source: 2, Tag: AnyTag}    // fixed source, any tag
+	rTagWild := &Recv{Source: AnySource, Tag: 9} // any source, fixed tag
+	e.PostRecv(rSrcWild)
+	e.PostRecv(rTagWild)
+	comps := e.Deliver(pkt(2, 42, 0, nil), nil) // matches rSrcWild only
+	if len(comps) != 1 || comps[0].Recv != rSrcWild {
+		t.Fatalf("src-wild match failed: %+v", comps)
+	}
+	comps = e.Deliver(pkt(5, 9, 0, nil), nil) // matches rTagWild only
+	if len(comps) != 1 || comps[0].Recv != rTagWild {
+		t.Fatalf("tag-wild match failed: %+v", comps)
+	}
+}
+
+func TestHashSequenceValidation(t *testing.T) {
+	s := spc.NewSet()
+	e := NewHashEngine(1, 8, hw.Fast().Scaled(), NopMeter{}, s)
+	for i := 0; i < 3; i++ {
+		e.PostRecv(&Recv{Source: 0, Tag: 1, Buf: make([]byte, 1)})
+	}
+	e.Deliver(pkt(0, 1, 2, []byte{2}), nil)
+	e.Deliver(pkt(0, 1, 1, []byte{1}), nil)
+	if got := s.Get(spc.OutOfSequence); got != 2 {
+		t.Fatalf("OOS = %d", got)
+	}
+	comps := e.Deliver(pkt(0, 1, 0, []byte{0}), nil)
+	if len(comps) != 3 {
+		t.Fatalf("drain produced %d completions", len(comps))
+	}
+	for i, c := range comps {
+		if c.Recv.Buf[0] != byte(i) {
+			t.Fatalf("completion %d carries payload %d", i, c.Recv.Buf[0])
+		}
+	}
+	if e.OOSBuffered() != 0 {
+		t.Fatal("OOS buffer not drained")
+	}
+}
+
+func TestHashOvertaking(t *testing.T) {
+	e := newTestHash(nil)
+	e.SetAllowOvertaking(true)
+	e.PostRecv(&Recv{Source: AnySource, Tag: AnyTag, Buf: make([]byte, 1)})
+	comps := e.Deliver(pkt(0, 1, 99, []byte{7}), nil) // wild seq: fine
+	if len(comps) != 1 {
+		t.Fatal("overtaking did not match immediately")
+	}
+}
+
+func TestHashCancel(t *testing.T) {
+	e := newTestHash(nil)
+	r := &Recv{Source: 0, Tag: 0}
+	e.PostRecv(r)
+	if !e.CancelRecv(r) || e.CancelRecv(r) {
+		t.Fatal("cancel semantics broken")
+	}
+	if e.PostedLen() != 0 {
+		t.Fatal("posted count wrong after cancel")
+	}
+}
+
+func TestHashProbe(t *testing.T) {
+	e := newTestHash(nil)
+	e.Deliver(pkt(3, 42, 0, []byte("xy")), nil)
+	if env, ok := e.Probe(3, 42); !ok || env.Len != 2 {
+		t.Fatalf("exact probe = %+v %v", env, ok)
+	}
+	if _, ok := e.Probe(3, 43); ok {
+		t.Fatal("probe matched wrong tag")
+	}
+	if env, ok := e.Probe(AnySource, AnyTag); !ok || env.Src != 3 {
+		t.Fatalf("wildcard probe = %+v %v", env, ok)
+	}
+}
+
+// TestQuickHashEquivalentToList is the strongest correctness evidence: for
+// random workloads (random posts with random wildcards interleaved with
+// random-permutation deliveries), the hash engine must produce exactly the
+// same match results as the reference list engine.
+func TestQuickHashEquivalentToList(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		list := NewEngine(1, 4, hw.Fast().Scaled(), NopMeter{}, nil)
+		hash := NewHashEngine(1, 4, hw.Fast().Scaled(), NopMeter{}, nil)
+
+		const nMsgs = 24
+		perm := rng.Perm(nMsgs)
+		type post struct{ src, tag int32 }
+		var posts []post
+		for i := 0; i < nMsgs; i++ {
+			p := post{src: int32(rng.Intn(2)), tag: int32(rng.Intn(3))}
+			if rng.Intn(4) == 0 {
+				p.src = AnySource
+			}
+			if rng.Intn(4) == 0 {
+				p.tag = AnyTag
+			}
+			posts = append(posts, p)
+		}
+		// Build the interleaving: ops > 0 are posts, ops <= 0 deliveries.
+		var listOut, hashOut []string
+		di, pi := 0, 0
+		record := func(out *[]string, comps []Completion) {
+			for _, c := range comps {
+				*out = append(*out, fmt2(c))
+			}
+		}
+		for di < nMsgs || pi < nMsgs {
+			doPost := pi < nMsgs && (di >= nMsgs || rng.Intn(2) == 0)
+			if doPost {
+				pl := &Recv{Source: posts[pi].src, Tag: posts[pi].tag, Buf: make([]byte, 4), Token: pi}
+				ph := &Recv{Source: posts[pi].src, Tag: posts[pi].tag, Buf: make([]byte, 4), Token: pi}
+				if cl, ok := list.PostRecv(pl); ok {
+					record(&listOut, []Completion{cl})
+				}
+				if ch, ok := hash.PostRecv(ph); ok {
+					record(&hashOut, []Completion{ch})
+				}
+				pi++
+			} else {
+				seq := perm[di]
+				src := int32(seq % 2) // two senders with independent streams
+				msgSeq := uint32(seq / 2)
+				tag := int32(seq % 3)
+				record(&listOut, list.Deliver(pkt(src, tag, msgSeq, []byte{byte(seq)}), nil))
+				record(&hashOut, hash.Deliver(pkt(src, tag, msgSeq, []byte{byte(seq)}), nil))
+				di++
+			}
+		}
+		if len(listOut) != len(hashOut) {
+			return false
+		}
+		for i := range listOut {
+			if listOut[i] != hashOut[i] {
+				return false
+			}
+		}
+		return list.PostedLen() == hash.PostedLen() &&
+			list.UnexpectedLen() == hash.UnexpectedLen() &&
+			list.OOSBuffered() == hash.OOSBuffered()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fmt2 canonicalizes a completion: which post (token) matched which message
+// (payload byte).
+func fmt2(c Completion) string {
+	return string([]byte{byte(c.Recv.Token.(int)), ':', c.Recv.Buf[0]})
+}
+
+// Note: deliveries use sequence numbers derived from the permutation, so
+// the two senders' streams are delivered in a random but *identical* order
+// to both engines — any divergence is an engine bug.
+
+func BenchmarkHashDeliverExact(b *testing.B) {
+	e := newTestHash(nil)
+	b.ReportAllocs()
+	var comps []Completion
+	for i := 0; i < b.N; i++ {
+		e.PostRecv(&Recv{Source: 0, Tag: 1})
+		comps = e.Deliver(pkt(0, 1, uint32(i), nil), comps[:0])
+	}
+}
+
+// BenchmarkMatchEnginesDeepQueues contrasts list vs hash search cost with
+// many distinct tags outstanding — the regime Section IV-D's queue-search
+// discussion worries about.
+func BenchmarkMatchEnginesDeepQueues(b *testing.B) {
+	const depth = 256
+	b.Run("list", func(b *testing.B) {
+		e := NewEngine(1, 4, hw.Fast().Scaled(), NopMeter{}, nil)
+		for d := 0; d < depth; d++ {
+			e.PostRecv(&Recv{Source: 0, Tag: int32(1000 + d)})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		seq := uint32(0)
+		for i := 0; i < b.N; i++ {
+			e.PostRecv(&Recv{Source: 0, Tag: 1})
+			e.Deliver(pkt(0, 1, seq, nil), nil)
+			seq++
+		}
+	})
+	b.Run("hash", func(b *testing.B) {
+		e := newTestHash(nil)
+		for d := 0; d < depth; d++ {
+			e.PostRecv(&Recv{Source: 0, Tag: int32(1000 + d)})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		seq := uint32(0)
+		for i := 0; i < b.N; i++ {
+			e.PostRecv(&Recv{Source: 0, Tag: 1})
+			e.Deliver(pkt(0, 1, seq, nil), nil)
+			seq++
+		}
+	})
+}

@@ -1,0 +1,432 @@
+// Package match implements the MPI message-matching engine: per-peer
+// sequence-number validation, out-of-sequence buffering, the posted-receive
+// queue, the unexpected-message queue, and wildcard (ANY_SOURCE / ANY_TAG)
+// matching — the OB1-style per-communicator matching state the paper builds
+// its concurrent-matching experiment on (Section III-F).
+//
+// The engine is deliberately lock-free *internally*: the caller provides
+// mutual exclusion (a real sync.Mutex in the runtime, a virtual-time lock in
+// the simulator). CPU costs are charged through a Meter so the same code
+// serves both wall-clock and virtual-time execution, and the SPC match-time
+// counter is advanced by the *modeled* cost, making Table II deterministic.
+package match
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/hw"
+	"repro/internal/spc"
+)
+
+// Wildcard values for Recv.Source and Recv.Tag, mirroring MPI_ANY_SOURCE
+// and MPI_ANY_TAG.
+const (
+	AnySource int32 = -1
+	AnyTag    int32 = -101
+)
+
+// Meter charges modeled CPU time to the executing thread. The runtime's
+// meter busy-spins (hw.Spin); the simulator's meter advances virtual time.
+type Meter interface {
+	Charge(d time.Duration)
+}
+
+// SpinMeter charges cost by actually spinning the calling core.
+type SpinMeter struct{}
+
+// Charge implements Meter.
+func (SpinMeter) Charge(d time.Duration) { hw.Spin(d) }
+
+// NopMeter discards charges; unit tests use it.
+type NopMeter struct{}
+
+// Charge implements Meter.
+func (NopMeter) Charge(time.Duration) {}
+
+// Matcher is the matching-engine contract shared by the list-based Engine
+// (OB1-style, the paper's subject) and the hash-based HashEngine (the
+// "optimized matching" direction Section III-F leaves out of scope). All
+// implementations require external synchronization per communicator.
+type Matcher interface {
+	// PostRecv posts a receive, completing immediately against a queued
+	// unexpected message when possible.
+	PostRecv(r *Recv) (Completion, bool)
+	// CancelRecv removes an unmatched posted receive.
+	CancelRecv(r *Recv) bool
+	// Deliver runs one inbound packet through sequence validation and
+	// matching, appending completions to out.
+	Deliver(pkt *fabric.Packet, out []Completion) []Completion
+	// Probe reports a queued unexpected message matching (source, tag).
+	Probe(source, tag int32) (fabric.Envelope, bool)
+	// MProbe removes and returns the oldest queued unexpected message
+	// matching (source, tag) — MPI_Mprobe semantics: the message is
+	// claimed and can no longer match other receives.
+	MProbe(source, tag int32) (*fabric.Packet, bool)
+	// SetAllowOvertaking toggles the overtaking assertion.
+	SetAllowOvertaking(on bool)
+	// ChargeWait accounts externally measured matching-lock wait time.
+	ChargeWait(d time.Duration)
+	// PostedLen and UnexpectedLen report queue lengths; OOSBuffered the
+	// number of sequence-buffered packets.
+	PostedLen() int
+	UnexpectedLen() int
+	OOSBuffered() int
+}
+
+// Recv is one posted receive. The engine links it into the posted queue;
+// when a message matches, the engine fills the result fields and reports it
+// in a Completion. The caller owns completion signaling to the user.
+type Recv struct {
+	Source int32 // sender rank or AnySource
+	Tag    int32 // tag or AnyTag
+	Buf    []byte
+
+	// Results, valid after the Recv appears in a Completion.
+	MatchedEnv fabric.Envelope
+	Truncated  bool // payload longer than Buf
+	N          int  // bytes copied into Buf
+
+	// Token is opaque caller state (the user-level request).
+	Token any
+
+	prev, next *Recv
+	queued     bool
+	// ticket orders posted receives across the hash engine's buckets.
+	ticket uint64
+	// bprev/bnext link the recv into its hash bucket (HashEngine only).
+	bprev, bnext *Recv
+}
+
+// Completion reports one matched message: the receive and its packet.
+type Completion struct {
+	Recv   *Recv
+	Packet *fabric.Packet
+}
+
+// pendingMsg is an arrived-but-unmatched message in the unexpected queue.
+// prev/next thread the arrival-ordered list; bprev/bnext thread the hash
+// engine's per-(source, tag) bucket.
+type pendingMsg struct {
+	env          fabric.Envelope
+	pkt          *fabric.Packet
+	prev, next   *pendingMsg
+	bprev, bnext *pendingMsg
+}
+
+// peerState tracks the inbound sequence stream from one sender.
+type peerState struct {
+	nextSeq uint32
+	// oos buffers out-of-sequence packets keyed by sequence number. The
+	// map models the allocation cost the paper highlights: arrival out of
+	// order forces the library to stash the message mid-critical-path.
+	oos map[uint32]*fabric.Packet
+}
+
+// Engine is the matching state of one communicator. All methods require
+// external synchronization (the communicator's matching lock).
+type Engine struct {
+	comm   uint32
+	costs  hw.CostModel
+	meter  Meter
+	spcs   *spc.Set
+	peers  map[int32]*peerState
+	single []*peerState // dense fast path for ranks [0, len)
+
+	// AllowOvertaking skips sequence validation entirely — the
+	// mpi_assert_allow_overtaking info key (Section IV-D).
+	AllowOvertaking bool
+
+	postedHead, postedTail *Recv
+	postedLen              int
+	unexpHead, unexpTail   *pendingMsg
+	unexpLen               int
+}
+
+// NewEngine creates the matching engine for communicator id comm with
+// the given cost model. nRanks sizes the dense per-peer table; senders
+// outside [0, nRanks) fall back to a map. spcs may be nil.
+func NewEngine(comm uint32, nRanks int, costs hw.CostModel, meter Meter, spcs *spc.Set) *Engine {
+	if meter == nil {
+		meter = NopMeter{}
+	}
+	e := &Engine{
+		comm:  comm,
+		costs: costs,
+		meter: meter,
+		spcs:  spcs,
+		peers: make(map[int32]*peerState),
+	}
+	if nRanks > 0 {
+		e.single = make([]*peerState, nRanks)
+		for i := range e.single {
+			e.single[i] = &peerState{}
+		}
+	}
+	return e
+}
+
+// Comm returns the communicator id this engine serves.
+func (e *Engine) Comm() uint32 { return e.comm }
+
+// SetAllowOvertaking implements Matcher.
+func (e *Engine) SetAllowOvertaking(on bool) { e.AllowOvertaking = on }
+
+// static interface check
+var _ Matcher = (*Engine)(nil)
+
+// PostedLen returns the posted-receive queue length.
+func (e *Engine) PostedLen() int { return e.postedLen }
+
+// UnexpectedLen returns the unexpected-message queue length.
+func (e *Engine) UnexpectedLen() int { return e.unexpLen }
+
+func (e *Engine) peer(rank int32) *peerState {
+	if rank >= 0 && int(rank) < len(e.single) {
+		return e.single[rank]
+	}
+	p := e.peers[rank]
+	if p == nil {
+		p = &peerState{}
+		e.peers[rank] = p
+	}
+	return p
+}
+
+// PostRecv posts a receive. If an unexpected message already matches, the
+// engine completes it immediately and returns the completion with ok=true;
+// otherwise the receive is queued and ok=false.
+func (e *Engine) PostRecv(r *Recv) (Completion, bool) {
+	if r.queued {
+		panic("match: Recv posted twice")
+	}
+	e.spcs.Inc(spc.MatchAttempts)
+	cost := e.costs.MatchBase
+	walked := 0
+	for m := e.unexpHead; m != nil; m = m.next {
+		walked++
+		if envMatches(r, m.env) {
+			cost += time.Duration(walked) * e.costs.MatchPerElement
+			e.spcs.Add(spc.MatchWalkElements, int64(walked))
+			e.charge(cost)
+			e.removeUnexpected(m)
+			e.fill(r, m.env, m.pkt)
+			e.spcs.Inc(spc.MessagesReceived)
+			return Completion{Recv: r, Packet: m.pkt}, true
+		}
+	}
+	cost += time.Duration(walked) * e.costs.MatchPerElement
+	e.spcs.Add(spc.MatchWalkElements, int64(walked))
+	e.charge(cost)
+	e.appendPosted(r)
+	return Completion{}, false
+}
+
+// CancelRecv removes a posted receive that has not matched, reporting
+// whether it was found (false means it already matched or was never posted).
+func (e *Engine) CancelRecv(r *Recv) bool {
+	if !r.queued {
+		return false
+	}
+	e.removePosted(r)
+	return true
+}
+
+// Deliver processes one inbound packet through sequence validation and
+// matching, appending any completions to out (several can complete at once
+// when an in-order arrival unblocks buffered out-of-sequence messages).
+// The returned slice is out with appends.
+func (e *Engine) Deliver(pkt *fabric.Packet, out []Completion) []Completion {
+	env := pkt.Envelope()
+	if env.Comm != e.comm {
+		panic(fmt.Sprintf("match: packet for comm %d delivered to engine %d", env.Comm, e.comm))
+	}
+	if e.AllowOvertaking {
+		// Overtaking asserted: no ordering requirement, match immediately.
+		return e.matchIn(env, pkt, out)
+	}
+	p := e.peer(env.Src)
+	if env.Seq != p.nextSeq {
+		// Out of sequence: buffer for later. This is the costly mid-path
+		// allocation the paper measures; SPC out_of_sequence counts it.
+		e.spcs.Inc(spc.OutOfSequence)
+		e.charge(e.costs.OOSBuffer)
+		if p.oos == nil {
+			p.oos = make(map[uint32]*fabric.Packet)
+		}
+		if _, dup := p.oos[env.Seq]; dup {
+			panic(fmt.Sprintf("match: duplicate sequence %d from rank %d", env.Seq, env.Src))
+		}
+		p.oos[env.Seq] = pkt
+		return out
+	}
+	// In order: match it, then drain any consecutive buffered successors.
+	p.nextSeq++
+	out = e.matchIn(env, pkt, out)
+	for {
+		next, ok := p.oos[p.nextSeq]
+		if !ok {
+			break
+		}
+		delete(p.oos, p.nextSeq)
+		nenv := next.Envelope()
+		p.nextSeq++
+		out = e.matchIn(nenv, next, out)
+	}
+	return out
+}
+
+// matchIn matches one sequence-valid (or overtaking) message against the
+// posted-receive queue, or stores it as unexpected.
+func (e *Engine) matchIn(env fabric.Envelope, pkt *fabric.Packet, out []Completion) []Completion {
+	e.spcs.Inc(spc.MatchAttempts)
+	cost := e.costs.MatchBase
+	walked := 0
+	for r := e.postedHead; r != nil; r = r.next {
+		walked++
+		if envMatches(r, env) {
+			cost += time.Duration(walked) * e.costs.MatchPerElement
+			e.spcs.Add(spc.MatchWalkElements, int64(walked))
+			e.charge(cost)
+			e.removePosted(r)
+			e.fill(r, env, pkt)
+			e.spcs.Inc(spc.ExpectedMessages)
+			e.spcs.Inc(spc.MessagesReceived)
+			return append(out, Completion{Recv: r, Packet: pkt})
+		}
+	}
+	cost += time.Duration(walked) * e.costs.MatchPerElement
+	e.spcs.Add(spc.MatchWalkElements, int64(walked))
+	e.charge(cost)
+	e.appendUnexpected(&pendingMsg{env: env, pkt: pkt})
+	e.spcs.Inc(spc.UnexpectedMessages)
+	return out
+}
+
+// Probe reports whether an unexpected message matching (source, tag) is
+// queued, returning its envelope — MPI_Iprobe semantics over the
+// unexpected queue.
+func (e *Engine) Probe(source, tag int32) (fabric.Envelope, bool) {
+	probe := &Recv{Source: source, Tag: tag}
+	for m := e.unexpHead; m != nil; m = m.next {
+		if envMatches(probe, m.env) {
+			return m.env, true
+		}
+	}
+	return fabric.Envelope{}, false
+}
+
+// MProbe implements Matcher: claim the oldest matching unexpected message.
+func (e *Engine) MProbe(source, tag int32) (*fabric.Packet, bool) {
+	probe := &Recv{Source: source, Tag: tag}
+	for m := e.unexpHead; m != nil; m = m.next {
+		if envMatches(probe, m.env) {
+			e.removeUnexpected(m)
+			return m.pkt, true
+		}
+	}
+	return nil, false
+}
+
+// OOSBuffered returns the total number of currently buffered
+// out-of-sequence packets, for tests and diagnostics.
+func (e *Engine) OOSBuffered() int {
+	n := 0
+	for _, p := range e.single {
+		n += len(p.oos)
+	}
+	for _, p := range e.peers {
+		n += len(p.oos)
+	}
+	return n
+}
+
+// fill copies payload into the receive and records results.
+func (e *Engine) fill(r *Recv, env fabric.Envelope, pkt *fabric.Packet) {
+	r.MatchedEnv = env
+	n := copy(r.Buf, pkt.Payload)
+	r.N = n
+	r.Truncated = n < len(pkt.Payload)
+}
+
+func (e *Engine) charge(d time.Duration) {
+	e.meter.Charge(d)
+	e.spcs.Add(spc.MatchTimeNanos, int64(d))
+}
+
+// ChargeWait adds externally measured lock-wait time to the match-time
+// counter; the runtime and simulator report matching-lock contention here
+// so Table II's "match time" includes waiting, as Open MPI's SPC does.
+func (e *Engine) ChargeWait(d time.Duration) {
+	e.spcs.Add(spc.MatchTimeNanos, int64(d))
+}
+
+func envMatches(r *Recv, env fabric.Envelope) bool {
+	if r.Source != AnySource && r.Source != env.Src {
+		return false
+	}
+	if r.Tag != AnyTag && r.Tag != env.Tag {
+		return false
+	}
+	return true
+}
+
+// --- intrusive queues ---
+
+func (e *Engine) appendPosted(r *Recv) {
+	r.queued = true
+	r.prev = e.postedTail
+	r.next = nil
+	if e.postedTail != nil {
+		e.postedTail.next = r
+	} else {
+		e.postedHead = r
+	}
+	e.postedTail = r
+	e.postedLen++
+	e.spcs.Max(spc.PostedQueuePeak, int64(e.postedLen))
+}
+
+func (e *Engine) removePosted(r *Recv) {
+	if r.prev != nil {
+		r.prev.next = r.next
+	} else {
+		e.postedHead = r.next
+	}
+	if r.next != nil {
+		r.next.prev = r.prev
+	} else {
+		e.postedTail = r.prev
+	}
+	r.prev, r.next = nil, nil
+	r.queued = false
+	e.postedLen--
+}
+
+func (e *Engine) appendUnexpected(m *pendingMsg) {
+	m.prev = e.unexpTail
+	if e.unexpTail != nil {
+		e.unexpTail.next = m
+	} else {
+		e.unexpHead = m
+	}
+	e.unexpTail = m
+	e.unexpLen++
+	e.spcs.Max(spc.UnexpectedQueuePeak, int64(e.unexpLen))
+}
+
+func (e *Engine) removeUnexpected(m *pendingMsg) {
+	if m.prev != nil {
+		m.prev.next = m.next
+	} else {
+		e.unexpHead = m.next
+	}
+	if m.next != nil {
+		m.next.prev = m.prev
+	} else {
+		e.unexpTail = m.prev
+	}
+	m.prev, m.next = nil, nil
+	e.unexpLen--
+}

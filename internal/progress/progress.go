@@ -1,0 +1,149 @@
+// Package progress implements the MPI progress engine in the two designs
+// the paper compares (Section III-E):
+//
+//   - Serial: Open MPI's original design — one thread at a time inside the
+//     engine, enforced with a global try-lock (a thread that loses simply
+//     returns, assuming someone else is progressing).
+//   - Concurrent: the paper's redesign — the global lock is gone; threads
+//     use per-instance try-locks, progressing their dedicated instance
+//     first and sweeping the others round-robin only when their own
+//     instance had no completions (Algorithm 2).
+package progress
+
+import (
+	"fmt"
+
+	"repro/internal/cri"
+	"repro/internal/fabric"
+	"repro/internal/spc"
+)
+
+// Mode selects the progress design.
+type Mode int
+
+const (
+	// Serial is the original single-threaded progress engine.
+	Serial Mode = iota
+	// Concurrent allows all threads into the engine simultaneously.
+	Concurrent
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Serial:
+		return "serial"
+	case Concurrent:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Dispatch handles one completion event extracted by the engine.
+type Dispatch func(*cri.Instance, fabric.CQE)
+
+// Engine drives completion extraction over a CRI pool.
+type Engine struct {
+	mode     Mode
+	pool     *cri.Pool
+	dispatch Dispatch
+	spcs     *spc.Set
+	serialMu trylockMutex
+	// batch bounds how many events one Poll handles per instance visit.
+	batch int
+}
+
+// New creates a progress engine over pool. The dispatch callback routes
+// events to the upper layer (request completion, matching).
+func New(mode Mode, pool *cri.Pool, dispatch Dispatch, spcs *spc.Set) *Engine {
+	return &Engine{mode: mode, pool: pool, dispatch: dispatch, spcs: spcs, batch: 64}
+}
+
+// Mode returns the engine's progress design.
+func (e *Engine) Mode() Mode { return e.mode }
+
+// Progress makes one progress pass on behalf of the thread owning ts and
+// returns the number of completion events handled.
+func (e *Engine) Progress(ts *cri.ThreadState) int {
+	e.spcs.Inc(spc.ProgressCalls)
+	if e.mode == Serial {
+		return e.progressSerial()
+	}
+	return e.progressConcurrent(ts)
+}
+
+// progressSerial is Open MPI's classic design: one thread wins the global
+// lock and polls every instance; the rest leave immediately.
+func (e *Engine) progressSerial() int {
+	if !e.serialMu.TryLock() {
+		e.spcs.Inc(spc.ProgressTryLockFail)
+		return 0
+	}
+	defer e.serialMu.Unlock()
+	count := 0
+	for i := 0; i < e.pool.Len(); i++ {
+		inst := e.pool.Get(i)
+		// The send path still contends on the instance lock, so polling
+		// takes it even though progress itself is serialized.
+		inst.Lock()
+		count += inst.Poll(e.dispatch, e.batch)
+		inst.Unlock()
+	}
+	return count
+}
+
+// progressConcurrent is Algorithm 2: progress the dedicated instance first;
+// if it produced nothing, sweep other instances round-robin with try-locks,
+// stopping at the first instance that produces completions. The sweep
+// guarantees every instance is eventually progressed even if its owning
+// thread is gone (orphaned-CRI rule, Section III-E).
+func (e *Engine) progressConcurrent(ts *cri.ThreadState) int {
+	count := 0
+	if k := ts.Dedicated(); k >= 0 {
+		inst := e.pool.Get(k)
+		if inst.TryLock() {
+			count = inst.Poll(e.dispatch, e.batch)
+			inst.Unlock()
+		} else {
+			e.spcs.Inc(spc.ProgressTryLockFail)
+		}
+	}
+	if count > 0 {
+		return count
+	}
+	for i := 0; i < e.pool.Len(); i++ {
+		inst := e.pool.Get(e.pool.NextRoundRobin())
+		if !inst.TryLock() {
+			// Someone else is progressing this instance; move on
+			// (the try-lock-as-helper rule of Section III-C).
+			e.spcs.Inc(spc.ProgressTryLockFail)
+			continue
+		}
+		c := inst.Poll(e.dispatch, e.batch)
+		inst.Unlock()
+		count += c
+		if count > 0 {
+			return count
+		}
+	}
+	return count
+}
+
+// Drain polls every instance until no events remain, ignoring the engine's
+// concurrency discipline. Only for shutdown/teardown paths.
+func (e *Engine) Drain() int {
+	total := 0
+	for {
+		n := 0
+		for i := 0; i < e.pool.Len(); i++ {
+			inst := e.pool.Get(i)
+			inst.Lock()
+			n += inst.Poll(e.dispatch, e.batch)
+			inst.Unlock()
+		}
+		total += n
+		if n == 0 {
+			return total
+		}
+	}
+}

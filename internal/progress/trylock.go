@@ -1,0 +1,13 @@
+package progress
+
+import "sync"
+
+// trylockMutex is a thin wrapper documenting that the serial progress
+// engine's global lock is only ever acquired with TryLock semantics —
+// losing threads return rather than block, matching opal_progress.
+type trylockMutex struct {
+	mu sync.Mutex
+}
+
+func (t *trylockMutex) TryLock() bool { return t.mu.TryLock() }
+func (t *trylockMutex) Unlock()       { t.mu.Unlock() }

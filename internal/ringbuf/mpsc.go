@@ -1,0 +1,83 @@
+package ringbuf
+
+import "sync"
+
+// MPSC is a bounded multi-producer/single-consumer FIFO. Any number of
+// goroutines may Push concurrently; one goroutine at a time may Pop (the
+// fabric guarantees this by polling a receive queue only under its owning
+// context's protection).
+//
+// The implementation is a mutex-guarded ring. The fabric's contention story
+// is carried by the locks the paper describes (endpoint, instance, progress,
+// matching); the wire queue itself only needs to be correct and cheap.
+type MPSC[T any] struct {
+	mu   sync.Mutex
+	buf  []T
+	mask uint64
+	head uint64
+	tail uint64
+}
+
+// NewMPSC returns an MPSC ring with capacity rounded up to the next power
+// of two (minimum 2).
+func NewMPSC[T any](capacity int) *MPSC[T] {
+	n := ceilPow2(capacity)
+	return &MPSC[T]{buf: make([]T, n), mask: uint64(n - 1)}
+}
+
+// Cap returns the ring capacity.
+func (q *MPSC[T]) Cap() int { return len(q.buf) }
+
+// Len returns the current element count.
+func (q *MPSC[T]) Len() int {
+	q.mu.Lock()
+	n := int(q.tail - q.head)
+	q.mu.Unlock()
+	return n
+}
+
+// Push appends v and reports whether there was room.
+func (q *MPSC[T]) Push(v T) bool {
+	q.mu.Lock()
+	if q.tail-q.head >= uint64(len(q.buf)) {
+		q.mu.Unlock()
+		return false
+	}
+	q.buf[q.tail&q.mask] = v
+	q.tail++
+	q.mu.Unlock()
+	return true
+}
+
+// Pop removes and returns the oldest element, reporting whether one existed.
+func (q *MPSC[T]) Pop() (T, bool) {
+	var zero T
+	q.mu.Lock()
+	if q.head == q.tail {
+		q.mu.Unlock()
+		return zero, false
+	}
+	v := q.buf[q.head&q.mask]
+	q.buf[q.head&q.mask] = zero
+	q.head++
+	q.mu.Unlock()
+	return v, true
+}
+
+// PopBatch pops up to len(dst) elements into dst and returns the count.
+// Draining in batches amortizes lock traffic on the hot poll path.
+func (q *MPSC[T]) PopBatch(dst []T) int {
+	var zero T
+	q.mu.Lock()
+	n := int(q.tail - q.head)
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = q.buf[q.head&q.mask]
+		q.buf[q.head&q.mask] = zero
+		q.head++
+	}
+	q.mu.Unlock()
+	return n
+}

@@ -1,0 +1,96 @@
+// Package ringbuf provides the bounded queues used by the simulated
+// network fabric: a lock-free single-producer/single-consumer ring and a
+// multi-producer/single-consumer ring. Both are fixed capacity; the fabric
+// uses them as NIC injection queues and receive queues, where bounded
+// capacity models finite hardware queue depth.
+package ringbuf
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// cacheLinePad separates hot atomics to avoid false sharing between the
+// producer and consumer cursors.
+type cacheLinePad struct{ _ [64]byte }
+
+// SPSC is a bounded lock-free single-producer/single-consumer FIFO.
+// Exactly one goroutine may call Push and exactly one may call Pop at any
+// given time (they may be different goroutines, and may change over time as
+// long as the handoff is externally synchronized).
+//
+// The zero value is not usable; create one with NewSPSC.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+
+	_    cacheLinePad
+	head atomic.Uint64 // next slot to pop (consumer-owned)
+	_    cacheLinePad
+	tail atomic.Uint64 // next slot to push (producer-owned)
+	_    cacheLinePad
+}
+
+// NewSPSC returns an SPSC ring with capacity rounded up to the next power
+// of two (minimum 2).
+func NewSPSC[T any](capacity int) *SPSC[T] {
+	n := ceilPow2(capacity)
+	return &SPSC[T]{buf: make([]T, n), mask: uint64(n - 1)}
+}
+
+// Cap returns the ring capacity.
+func (q *SPSC[T]) Cap() int { return len(q.buf) }
+
+// Len returns a point-in-time element count. It is exact only when no
+// concurrent pushes or pops are in flight.
+func (q *SPSC[T]) Len() int {
+	return int(q.tail.Load() - q.head.Load())
+}
+
+// Push appends v and reports whether there was room.
+func (q *SPSC[T]) Push(v T) bool {
+	tail := q.tail.Load()
+	if tail-q.head.Load() >= uint64(len(q.buf)) {
+		return false // full
+	}
+	q.buf[tail&q.mask] = v
+	q.tail.Store(tail + 1)
+	return true
+}
+
+// Pop removes and returns the oldest element, reporting whether one existed.
+func (q *SPSC[T]) Pop() (T, bool) {
+	var zero T
+	head := q.head.Load()
+	if head == q.tail.Load() {
+		return zero, false // empty
+	}
+	v := q.buf[head&q.mask]
+	q.buf[head&q.mask] = zero // release reference for GC
+	q.head.Store(head + 1)
+	return v, true
+}
+
+// Peek returns the oldest element without removing it.
+func (q *SPSC[T]) Peek() (T, bool) {
+	var zero T
+	head := q.head.Load()
+	if head == q.tail.Load() {
+		return zero, false
+	}
+	return q.buf[head&q.mask], true
+}
+
+func ceilPow2(n int) int {
+	if n < 2 {
+		n = 2
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+		if p <= 0 {
+			panic(fmt.Sprintf("ringbuf: capacity %d too large", n))
+		}
+	}
+	return p
+}

@@ -1,0 +1,278 @@
+package ringbuf
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSPSCEmpty(t *testing.T) {
+	q := NewSPSC[int](8)
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty ring reported success")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty ring reported success")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", q.Len())
+	}
+}
+
+func TestSPSCPushPop(t *testing.T) {
+	q := NewSPSC[int](4)
+	for i := 0; i < 4; i++ {
+		if !q.Push(i) {
+			t.Fatalf("Push(%d) failed with room available", i)
+		}
+	}
+	if q.Push(99) {
+		t.Fatal("Push succeeded on full ring")
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = (%d, %v), want (%d, true)", v, ok, i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop succeeded on drained ring")
+	}
+}
+
+func TestSPSCPeek(t *testing.T) {
+	q := NewSPSC[string](4)
+	q.Push("a")
+	q.Push("b")
+	if v, ok := q.Peek(); !ok || v != "a" {
+		t.Fatalf("Peek = (%q, %v), want (a, true)", v, ok)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Peek consumed an element: Len = %d", q.Len())
+	}
+}
+
+func TestSPSCCapacityRounding(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {100, 128}, {128, 128},
+	}
+	for _, c := range cases {
+		if got := NewSPSC[int](c.in).Cap(); got != c.want {
+			t.Errorf("NewSPSC(%d).Cap() = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSPSCWraparound(t *testing.T) {
+	q := NewSPSC[int](4)
+	next := 0
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 3; i++ {
+			q.Push(round*3 + i)
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := q.Pop()
+			if !ok || v != next {
+				t.Fatalf("round %d: Pop = (%d, %v), want (%d, true)", round, v, ok, next)
+			}
+			next++
+		}
+	}
+}
+
+// TestSPSCConcurrentFIFO drives one producer and one consumer goroutine and
+// verifies every element arrives exactly once, in order.
+func TestSPSCConcurrentFIFO(t *testing.T) {
+	const n = 20000
+	q := NewSPSC[int](64)
+	done := make(chan error, 1)
+	go func() {
+		next := 0
+		for next < n {
+			if v, ok := q.Pop(); ok {
+				if v != next {
+					done <- errOutOfOrder(v, next)
+					return
+				}
+				next++
+			} else {
+				runtime.Gosched() // single-core hosts: let the producer run
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < n; {
+		if q.Push(i) {
+			i++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+type errOrder struct{ got, want int }
+
+func errOutOfOrder(got, want int) error { return errOrder{got, want} }
+func (e errOrder) Error() string        { return "out of order pop" }
+
+// TestSPSCQuickFIFO is a property test: any sequence of pushes interleaved
+// with pops preserves FIFO order and conserves elements.
+func TestSPSCQuickFIFO(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		q := NewSPSC[int](16)
+		var pushed, popped int
+		for _, op := range ops {
+			if op%2 == 0 {
+				if q.Push(pushed) {
+					pushed++
+				}
+			} else {
+				if v, ok := q.Pop(); ok {
+					if v != popped {
+						return false
+					}
+					popped++
+				}
+			}
+		}
+		// Drain remainder; all outstanding elements must appear in order.
+		for {
+			v, ok := q.Pop()
+			if !ok {
+				break
+			}
+			if v != popped {
+				return false
+			}
+			popped++
+		}
+		return popped == pushed
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMPSCBasic(t *testing.T) {
+	q := NewMPSC[int](4)
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty MPSC succeeded")
+	}
+	for i := 0; i < 4; i++ {
+		if !q.Push(i) {
+			t.Fatalf("Push(%d) failed", i)
+		}
+	}
+	if q.Push(4) {
+		t.Fatal("Push succeeded on full MPSC")
+	}
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", q.Len())
+	}
+	for i := 0; i < 4; i++ {
+		if v, ok := q.Pop(); !ok || v != i {
+			t.Fatalf("Pop = (%d, %v), want (%d, true)", v, ok, i)
+		}
+	}
+}
+
+func TestMPSCPopBatch(t *testing.T) {
+	q := NewMPSC[int](16)
+	for i := 0; i < 10; i++ {
+		q.Push(i)
+	}
+	dst := make([]int, 4)
+	if n := q.PopBatch(dst); n != 4 {
+		t.Fatalf("PopBatch = %d, want 4", n)
+	}
+	for i, v := range dst {
+		if v != i {
+			t.Fatalf("dst[%d] = %d, want %d", i, v, i)
+		}
+	}
+	if n := q.PopBatch(make([]int, 16)); n != 6 {
+		t.Fatalf("second PopBatch = %d, want 6", n)
+	}
+	if n := q.PopBatch(dst); n != 0 {
+		t.Fatalf("PopBatch on empty = %d, want 0", n)
+	}
+}
+
+// TestMPSCConcurrentProducers verifies element conservation and per-producer
+// FIFO order under many concurrent producers.
+func TestMPSCConcurrentProducers(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 2000
+	)
+	q := NewMPSC[[2]int](256)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; {
+				if q.Push([2]int{p, i}) {
+					i++
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	doneProducing := make(chan struct{})
+	go func() { wg.Wait(); close(doneProducing) }()
+
+	last := make([]int, producers)
+	for i := range last {
+		last[i] = -1
+	}
+	total := 0
+	for total < producers*perProd {
+		v, ok := q.Pop()
+		if !ok {
+			select {
+			case <-doneProducing:
+				if q.Len() == 0 && total < producers*perProd {
+					// One more sweep to pick up late pushes.
+					if v2, ok2 := q.Pop(); ok2 {
+						v, ok = v2, true
+					}
+				}
+			default:
+			}
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+		}
+		p, i := v[0], v[1]
+		if i != last[p]+1 {
+			t.Fatalf("producer %d: got %d after %d (per-producer FIFO violated)", p, i, last[p])
+		}
+		last[p] = i
+		total++
+	}
+}
+
+func BenchmarkSPSCPushPop(b *testing.B) {
+	q := NewSPSC[int](1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Push(i)
+		q.Pop()
+	}
+}
+
+func BenchmarkMPSCPushPop(b *testing.B) {
+	q := NewMPSC[int](1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Push(i)
+		q.Pop()
+	}
+}

@@ -1,0 +1,273 @@
+// Package rma implements one-sided communication (MPI-3 RMA): windows,
+// put/get/accumulate, and passive-target synchronization (lock/unlock,
+// flush). As Section II-D explains, the one-sided path has no matching
+// stage, so its multithreaded scalability is limited only by initiator-side
+// resource contention — exactly what Figures 6 and 7 measure by sweeping
+// the instance count and assignment strategy.
+package rma
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/spc"
+	"repro/internal/trace"
+)
+
+// ErrNoEpoch is returned by one-sided operations issued outside a
+// passive-target access epoch (no Lock/LockAll held for the target).
+var ErrNoEpoch = errors.New("rma: operation outside a lock epoch")
+
+// Win is one process's handle on a window — a registered memory region on
+// every member of the creating communicator.
+type Win struct {
+	comm  *core.Comm
+	local []byte
+	// regions[commRank] is the target's registered region.
+	regions []*fabric.MemRegion
+	// pending[commRank] counts outstanding one-sided ops to that target.
+	pending []atomic.Int64
+	// locked[commRank] is nonzero while an access epoch (passive lock,
+	// PSCW start, or fence) is open to that target.
+	locked []atomic.Int32
+
+	// Active-target epoch state (single-threaded by MPI semantics — the
+	// funneling constraint the paper highlights).
+	fenceOpen bool
+	exposure  []int // ranks posted to (exposure epoch)
+	access    []int // ranks started to (access epoch)
+}
+
+// opToken completes one outstanding one-sided operation when its CQE is
+// extracted by the progress engine.
+type opToken struct {
+	win    *Win
+	target int
+}
+
+// Complete implements core.Completer.
+func (t *opToken) Complete(fabric.CQE) {
+	t.win.pending[t.target].Add(-1)
+}
+
+// New collectively creates a window over the communicator whose per-member
+// handles are comms (as returned by World.NewComm). sizes[r] is member r's
+// exposed buffer size in bytes. Returns one Win per member.
+func New(comms []*core.Comm, sizes []int) ([]*Win, error) {
+	if len(comms) == 0 {
+		return nil, errors.New("rma: no communicator handles")
+	}
+	if len(sizes) != len(comms) {
+		return nil, fmt.Errorf("rma: %d sizes for %d members", len(sizes), len(comms))
+	}
+	n := len(comms)
+	wins := make([]*Win, n)
+	regions := make([]*fabric.MemRegion, n)
+	for r, c := range comms {
+		if c.Rank() != r {
+			return nil, fmt.Errorf("rma: comms[%d] has rank %d; pass handles in rank order", r, c.Rank())
+		}
+		local := make([]byte, sizes[r])
+		regions[r] = c.Proc().Device().RegisterMemory(local)
+		wins[r] = &Win{
+			comm:    c,
+			local:   local,
+			pending: make([]atomic.Int64, n),
+			locked:  make([]atomic.Int32, n),
+		}
+	}
+	for _, w := range wins {
+		w.regions = regions
+	}
+	return wins, nil
+}
+
+// Allocate creates a window with the same size on every member
+// (MPI_Win_allocate with identical sizes).
+func Allocate(comms []*core.Comm, size int) ([]*Win, error) {
+	sizes := make([]int, len(comms))
+	for i := range sizes {
+		sizes[i] = size
+	}
+	return New(comms, sizes)
+}
+
+// Local returns the caller's exposed window memory. Reading it while remote
+// puts are in flight is an application-level race, as in MPI.
+func (w *Win) Local() []byte { return w.local }
+
+// Comm returns the communicator the window was created over.
+func (w *Win) Comm() *core.Comm { return w.comm }
+
+// Size returns the window size of member rank.
+func (w *Win) Size(rank int) int { return w.regions[rank].Size() }
+
+// Free deregisters the caller's region. Call after all members quiesce.
+func (w *Win) Free() {
+	me := w.comm.Rank()
+	w.comm.Proc().Device().DeregisterMemory(w.regions[me])
+}
+
+func (w *Win) checkTarget(target int) error {
+	if target < 0 || target >= len(w.regions) {
+		return fmt.Errorf("rma: target %d outside window group of %d", target, len(w.regions))
+	}
+	return nil
+}
+
+// Lock opens a passive-target access epoch on target (MPI_Win_lock with
+// MPI_LOCK_SHARED semantics — concurrent epochs from multiple origins are
+// allowed, as the RMA-MT workload requires).
+func (w *Win) Lock(target int) error {
+	if err := w.checkTarget(target); err != nil {
+		return err
+	}
+	w.locked[target].Add(1)
+	return nil
+}
+
+// Unlock closes the epoch on target, first completing all outstanding
+// operations to it (MPI_Win_unlock implies a flush).
+func (w *Win) Unlock(th *core.Thread, target int) error {
+	if err := w.checkTarget(target); err != nil {
+		return err
+	}
+	if w.locked[target].Load() <= 0 {
+		return fmt.Errorf("rma: Unlock(%d) without Lock", target)
+	}
+	if err := w.Flush(th, target); err != nil {
+		return err
+	}
+	w.locked[target].Add(-1)
+	return nil
+}
+
+// LockAll opens an epoch on every target (MPI_Win_lock_all).
+func (w *Win) LockAll() {
+	for i := range w.locked {
+		w.locked[i].Add(1)
+	}
+}
+
+// UnlockAll flushes and closes every epoch (MPI_Win_unlock_all).
+func (w *Win) UnlockAll(th *core.Thread) error {
+	if err := w.FlushAll(th); err != nil {
+		return err
+	}
+	for i := range w.locked {
+		if w.locked[i].Add(-1) < 0 {
+			return fmt.Errorf("rma: UnlockAll without LockAll (target %d)", i)
+		}
+	}
+	return nil
+}
+
+func (w *Win) inEpoch(target int) error {
+	if w.locked[target].Load() <= 0 {
+		return ErrNoEpoch
+	}
+	return nil
+}
+
+// issue runs one one-sided operation through the thread's instance under
+// the instance lock — the contention point the figures sweep.
+func (w *Win) issue(th *core.Thread, target int, f func(ctx *fabric.Context, r *fabric.MemRegion, tok *opToken) error) error {
+	if err := w.checkTarget(target); err != nil {
+		return err
+	}
+	if err := w.inEpoch(target); err != nil {
+		return fmt.Errorf("%w (target %d)", err, target)
+	}
+	p := w.comm.Proc()
+	tok := &opToken{win: w, target: target}
+	inst := p.Pool().ForThread(th.State())
+	inst.Lock()
+	err := f(inst.Context(), w.regions[target], tok)
+	inst.Unlock()
+	if err == nil {
+		w.pending[target].Add(1)
+	}
+	return err
+}
+
+// Put writes src into target's window at offset (MPI_Put). Completion is
+// local-only; use Flush to guarantee remote completion.
+func (w *Win) Put(th *core.Thread, target, offset int, src []byte) error {
+	err := w.issue(th, target, func(ctx *fabric.Context, r *fabric.MemRegion, tok *opToken) error {
+		return ctx.Put(r, offset, src, tok)
+	})
+	if err == nil {
+		w.comm.Proc().SPCs().Inc(spc.PutsIssued)
+		w.comm.Proc().Tracer().Emit(trace.KindPutIssue, int32(target), int32(len(src)))
+	}
+	return err
+}
+
+// Get reads len(dst) bytes from target's window at offset (MPI_Get).
+// dst is valid only after a Flush.
+func (w *Win) Get(th *core.Thread, target, offset int, dst []byte) error {
+	err := w.issue(th, target, func(ctx *fabric.Context, r *fabric.MemRegion, tok *opToken) error {
+		return ctx.Get(r, offset, dst, tok)
+	})
+	if err == nil {
+		w.comm.Proc().SPCs().Inc(spc.GetsIssued)
+	}
+	return err
+}
+
+// Accumulate applies op element-wise over int64 lanes at offset in target's
+// window (MPI_Accumulate), atomically with respect to other accumulates.
+func (w *Win) Accumulate(th *core.Thread, target, offset int, operand []int64, op fabric.AccumulateOp) error {
+	err := w.issue(th, target, func(ctx *fabric.Context, r *fabric.MemRegion, tok *opToken) error {
+		return ctx.Accumulate(r, offset, operand, op, tok)
+	})
+	if err == nil {
+		w.comm.Proc().SPCs().Inc(spc.AccumulatesIssued)
+	}
+	return err
+}
+
+// Flush blocks until every outstanding operation this process issued to
+// target has completed (MPI_Win_flush). Any thread's flush drives the
+// progress engine, reaping completions for all threads.
+func (w *Win) Flush(th *core.Thread, target int) error {
+	if err := w.checkTarget(target); err != nil {
+		return err
+	}
+	w.comm.Proc().SPCs().Inc(spc.FlushCalls)
+	for w.pending[target].Load() > 0 {
+		if th.Progress() == 0 {
+			yield()
+		}
+	}
+	w.comm.Proc().Tracer().Emit(trace.KindFlush, int32(target), 0)
+	return nil
+}
+
+// FlushAll completes outstanding operations to every target
+// (MPI_Win_flush_all).
+func (w *Win) FlushAll(th *core.Thread) error {
+	w.comm.Proc().SPCs().Inc(spc.FlushCalls)
+	for {
+		outstanding := false
+		for i := range w.pending {
+			if w.pending[i].Load() > 0 {
+				outstanding = true
+				break
+			}
+		}
+		if !outstanding {
+			return nil
+		}
+		if th.Progress() == 0 {
+			yield()
+		}
+	}
+}
+
+// Pending returns the number of outstanding operations to target
+// (diagnostic).
+func (w *Win) Pending(target int) int64 { return w.pending[target].Load() }

@@ -1,0 +1,309 @@
+package rma
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cri"
+	"repro/internal/fabric"
+	"repro/internal/hw"
+	"repro/internal/spc"
+)
+
+func newWinPair(t *testing.T, opts core.Options, size int) (*core.World, []*Win) {
+	t.Helper()
+	w, err := core.NewWorld(hw.Fast(), 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	comms, err := w.NewComm([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins, err := Allocate(comms, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, wins
+}
+
+func TestPutFlushVisibility(t *testing.T) {
+	w, wins := newWinPair(t, core.Stock(), 64)
+	th := w.Proc(0).NewThread()
+	if err := wins[0].Lock(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := wins[0].Put(th, 1, 8, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wins[0].Flush(th, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(wins[1].Local()[8:13]); got != "hello" {
+		t.Fatalf("target window = %q", got)
+	}
+	if wins[0].Pending(1) != 0 {
+		t.Fatalf("pending after flush = %d", wins[0].Pending(1))
+	}
+	if err := wins[0].Unlock(th, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetReadsRemote(t *testing.T) {
+	w, wins := newWinPair(t, core.Stock(), 32)
+	copy(wins[1].Local()[4:], "data")
+	th := w.Proc(0).NewThread()
+	wins[0].LockAll()
+	dst := make([]byte, 4)
+	if err := wins[0].Get(th, 1, 4, dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := wins[0].Flush(th, 1); err != nil {
+		t.Fatal(err)
+	}
+	if string(dst) != "data" {
+		t.Fatalf("Get = %q", dst)
+	}
+	if err := wins[0].UnlockAll(th); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccumulateSum(t *testing.T) {
+	w, wins := newWinPair(t, core.Stock(), 16)
+	th := w.Proc(0).NewThread()
+	wins[0].LockAll()
+	for i := 0; i < 5; i++ {
+		if err := wins[0].Accumulate(th, 1, 0, []int64{3}, fabric.AccSum); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wins[0].UnlockAll(th); err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	for i := 7; i >= 0; i-- {
+		got = got<<8 | int64(wins[1].Local()[i])
+	}
+	if got != 15 {
+		t.Fatalf("accumulated = %d, want 15", got)
+	}
+}
+
+func TestEpochEnforcement(t *testing.T) {
+	w, wins := newWinPair(t, core.Stock(), 16)
+	th := w.Proc(0).NewThread()
+	if err := wins[0].Put(th, 1, 0, []byte("x")); !errors.Is(err, ErrNoEpoch) {
+		t.Fatalf("Put outside epoch: err = %v, want ErrNoEpoch", err)
+	}
+	if err := wins[0].Unlock(th, 1); err == nil {
+		t.Fatal("Unlock without Lock succeeded")
+	}
+	if err := wins[0].Lock(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := wins[0].Put(th, 1, 0, []byte("x")); err != nil {
+		t.Fatalf("Put inside epoch failed: %v", err)
+	}
+	if err := wins[0].Unlock(th, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTargetValidation(t *testing.T) {
+	w, wins := newWinPair(t, core.Stock(), 16)
+	th := w.Proc(0).NewThread()
+	if err := wins[0].Put(th, 7, 0, nil); err == nil {
+		t.Fatal("Put to target 7 in group of 2 succeeded")
+	}
+	if err := wins[0].Lock(-1); err == nil {
+		t.Fatal("Lock(-1) succeeded")
+	}
+	if err := wins[0].Flush(th, 9); err == nil {
+		t.Fatal("Flush(9) succeeded")
+	}
+}
+
+func TestOutOfBoundsPutFails(t *testing.T) {
+	w, wins := newWinPair(t, core.Stock(), 8)
+	th := w.Proc(0).NewThread()
+	wins[0].LockAll()
+	err := wins[0].Put(th, 1, 4, []byte("too long for 8"))
+	if err == nil {
+		t.Fatal("out-of-bounds Put succeeded")
+	}
+	if wins[0].Pending(1) != 0 {
+		t.Fatal("failed Put left a pending count")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	w, err := core.NewWorld(hw.Fast(), 2, core.Stock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	comms, _ := w.NewComm([]int{0, 1})
+	if _, err := New(nil, nil); err == nil {
+		t.Fatal("New with no comms succeeded")
+	}
+	if _, err := New(comms, []int{8}); err == nil {
+		t.Fatal("New with mismatched sizes succeeded")
+	}
+	if _, err := New([]*core.Comm{comms[1], comms[0]}, []int{8, 8}); err == nil {
+		t.Fatal("New with out-of-order handles succeeded")
+	}
+}
+
+func TestDifferentWindowSizes(t *testing.T) {
+	w, err := core.NewWorld(hw.Fast(), 3, core.Stock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	comms, _ := w.NewComm([]int{0, 1, 2})
+	wins, err := New(comms, []int{0, 100, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wins[0].Size(0) != 0 || wins[0].Size(1) != 100 || wins[0].Size(2) != 50 {
+		t.Fatal("per-member sizes wrong")
+	}
+	th := w.Proc(0).NewThread()
+	wins[0].LockAll()
+	if err := wins[0].Put(th, 1, 90, bytes.Repeat([]byte{1}, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := wins[0].Put(th, 2, 45, bytes.Repeat([]byte{1}, 10)); err == nil {
+		t.Fatal("Put past target 2's 50-byte window succeeded")
+	}
+	if err := wins[0].UnlockAll(th); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSPCCounters(t *testing.T) {
+	w, wins := newWinPair(t, core.Stock(), 64)
+	th := w.Proc(0).NewThread()
+	wins[0].LockAll()
+	_ = wins[0].Put(th, 1, 0, []byte("a"))
+	_ = wins[0].Get(th, 1, 0, make([]byte, 1))
+	_ = wins[0].Accumulate(th, 1, 8, []int64{1}, fabric.AccSum)
+	_ = wins[0].UnlockAll(th)
+	s := w.Proc(0).SPCs()
+	if s.Get(spc.PutsIssued) != 1 || s.Get(spc.GetsIssued) != 1 || s.Get(spc.AccumulatesIssued) != 1 {
+		t.Fatalf("counters: puts=%d gets=%d accs=%d", s.Get(spc.PutsIssued), s.Get(spc.GetsIssued), s.Get(spc.AccumulatesIssued))
+	}
+	if s.Get(spc.FlushCalls) == 0 {
+		t.Fatal("flush_calls not counted")
+	}
+}
+
+// TestMultithreadedPutFlush is the RMA-MT pattern: N threads, each putting
+// into a disjoint slice of the target window, then flushing. Run under all
+// instance configurations.
+func TestMultithreadedPutFlush(t *testing.T) {
+	configs := []struct {
+		name string
+		opts core.Options
+	}{
+		{"single", core.Stock()},
+		{"rr", core.CRIsConcurrent(4, cri.RoundRobin)},
+		{"dedicated", core.CRIsConcurrent(4, cri.Dedicated)},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			const (
+				threads = 4
+				chunk   = 32
+				rounds  = 50
+			)
+			w, wins := newWinPair(t, cfg.opts, threads*chunk)
+			wins[0].LockAll()
+			var wg sync.WaitGroup
+			for g := 0; g < threads; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					th := w.Proc(0).NewThread()
+					src := bytes.Repeat([]byte{byte(g + 1)}, chunk)
+					for r := 0; r < rounds; r++ {
+						if err := wins[0].Put(th, 1, g*chunk, src); err != nil {
+							t.Error(err)
+							return
+						}
+						if err := wins[0].Flush(th, 1); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			for g := 0; g < threads; g++ {
+				for i := 0; i < chunk; i++ {
+					if wins[1].Local()[g*chunk+i] != byte(g+1) {
+						t.Fatalf("thread %d byte %d = %d", g, i, wins[1].Local()[g*chunk+i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentAccumulateAtomicity: concurrent accumulates from many
+// threads across procs must sum exactly.
+func TestConcurrentAccumulateAtomicity(t *testing.T) {
+	w, wins := newWinPair(t, core.CRIsConcurrent(4, cri.Dedicated), 8)
+	const (
+		threads = 4
+		adds    = 200
+	)
+	wins[0].LockAll()
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := w.Proc(0).NewThread()
+			for i := 0; i < adds; i++ {
+				if err := wins[0].Accumulate(th, 1, 0, []int64{1}, fabric.AccSum); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := wins[0].Flush(th, 1); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	var got int64
+	for i := 7; i >= 0; i-- {
+		got = got<<8 | int64(wins[1].Local()[i])
+	}
+	if got != threads*adds {
+		t.Fatalf("sum = %d, want %d", got, threads*adds)
+	}
+}
+
+func TestFreeDeregisters(t *testing.T) {
+	w, wins := newWinPair(t, core.Stock(), 16)
+	wins[1].Free()
+	th := w.Proc(0).NewThread()
+	wins[0].LockAll()
+	// The region object still exists in wins[0].regions (stale handle), so
+	// Put succeeds at the fabric level; what must be gone is the device
+	// registry entry.
+	_ = th
+	dev := w.Proc(1).Device()
+	if _, ok := dev.Region(1); ok {
+		// region ids start at 1 on each device
+		t.Fatal("region still registered after Free")
+	}
+}

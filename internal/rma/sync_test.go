@@ -1,0 +1,177 @@
+package rma
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cri"
+	"repro/internal/fabric"
+)
+
+func TestFenceEpochAllowsPuts(t *testing.T) {
+	w, wins := newWinPair(t, core.Stock(), 32)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			th := w.Proc(r).NewThread()
+			win := wins[r]
+			if err := win.Fence(th); err != nil {
+				t.Error(err)
+				return
+			}
+			// Each rank puts its rank+1 into the peer's first byte.
+			if err := win.Put(th, 1-r, r, []byte{byte(r + 1)}); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := win.Fence(th); err != nil {
+				t.Error(err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	if wins[0].Local()[1] != 2 || wins[1].Local()[0] != 1 {
+		t.Fatalf("fence-epoch puts missing: %v %v", wins[0].Local()[:2], wins[1].Local()[:2])
+	}
+}
+
+func TestPutWithoutFenceStillFails(t *testing.T) {
+	w, wins := newWinPair(t, core.Stock(), 16)
+	th := w.Proc(0).NewThread()
+	if err := wins[0].Put(th, 1, 0, []byte{1}); err == nil {
+		t.Fatal("Put succeeded with no epoch of any kind")
+	}
+}
+
+func TestPSCW(t *testing.T) {
+	w, wins := newWinPair(t, core.Stock(), 16)
+	done := make(chan error, 2)
+	// Rank 1 is the target: exposes to origin 0.
+	go func() {
+		th := w.Proc(1).NewThread()
+		if err := wins[1].Post(th, []int{0}); err != nil {
+			done <- err
+			return
+		}
+		done <- wins[1].WaitEpoch(th)
+	}()
+	// Rank 0 is the origin.
+	go func() {
+		th := w.Proc(0).NewThread()
+		if err := wins[0].Start(th, []int{1}); err != nil {
+			done <- err
+			return
+		}
+		if err := wins[0].Put(th, 1, 4, []byte("pscw")); err != nil {
+			done <- err
+			return
+		}
+		done <- wins[0].Complete(th)
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := string(wins[1].Local()[4:8]); got != "pscw" {
+		t.Fatalf("target window = %q", got)
+	}
+}
+
+func TestPSCWStateMachine(t *testing.T) {
+	w, wins := newWinPair(t, core.Stock(), 16)
+	th := w.Proc(0).NewThread()
+	if err := wins[0].Complete(th); err == nil {
+		t.Fatal("Complete without Start succeeded")
+	}
+	if err := wins[0].WaitEpoch(th); err == nil {
+		t.Fatal("Wait without Post succeeded")
+	}
+	if err := wins[0].Post(th, []int{9}); err == nil {
+		t.Fatal("Post to invalid rank succeeded")
+	}
+	_ = w
+}
+
+func TestFetchAndOp(t *testing.T) {
+	w, wins := newWinPair(t, core.Stock(), 16)
+	th := w.Proc(0).NewThread()
+	wins[0].LockAll()
+	old, err := wins[0].FetchAndOp(th, 1, 0, 5, fabric.AccSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != 0 {
+		t.Fatalf("first fetch returned %d, want 0", old)
+	}
+	old, err = wins[0].FetchAndOp(th, 1, 0, 3, fabric.AccSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != 5 {
+		t.Fatalf("second fetch returned %d, want 5", old)
+	}
+	if err := wins[0].UnlockAll(th); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	w, wins := newWinPair(t, core.Stock(), 16)
+	th := w.Proc(0).NewThread()
+	wins[0].LockAll()
+	defer func() { _ = wins[0].UnlockAll(th) }()
+	if old, err := wins[0].CompareAndSwap(th, 1, 8, 0, 77); err != nil || old != 0 {
+		t.Fatalf("CAS(0->77) = %d, %v", old, err)
+	}
+	if old, err := wins[0].CompareAndSwap(th, 1, 8, 0, 99); err != nil || old != 77 {
+		t.Fatalf("failed CAS returned %d, %v (want 77)", old, err)
+	}
+	// Value must still be 77 (second CAS must not apply).
+	if old, _ := wins[0].FetchAndOp(th, 1, 8, 0, fabric.AccSum); old != 77 {
+		t.Fatalf("value after failed CAS = %d, want 77", old)
+	}
+}
+
+// TestFetchAndOpMutualExclusion implements the classic MCS-style ticket
+// lock over FetchAndOp: concurrent threads each take unique tickets.
+func TestFetchAndOpMutualExclusion(t *testing.T) {
+	w, wins := newWinPair(t, core.CRIsConcurrent(4, cri.Dedicated), 16)
+	const (
+		threads = 4
+		takes   = 50
+	)
+	wins[0].LockAll()
+	seen := make(chan int64, threads*takes)
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := w.Proc(0).NewThread()
+			for i := 0; i < takes; i++ {
+				ticket, err := wins[0].FetchAndOp(th, 1, 0, 1, fabric.AccSum)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				seen <- ticket
+			}
+		}()
+	}
+	wg.Wait()
+	close(seen)
+	unique := map[int64]bool{}
+	for v := range seen {
+		if unique[v] {
+			t.Fatalf("ticket %d issued twice", v)
+		}
+		unique[v] = true
+	}
+	if len(unique) != threads*takes {
+		t.Fatalf("issued %d unique tickets, want %d", len(unique), threads*takes)
+	}
+}

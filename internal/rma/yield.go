@@ -1,0 +1,7 @@
+package rma
+
+import "runtime"
+
+// yield relinquishes the core inside flush wait loops; single-core hosts
+// depend on it so the progress-producing goroutines can run.
+func yield() { runtime.Gosched() }

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestQuickMutualExclusion: for any random schedule of processes with
+// random work and lock hold times, critical sections never overlap in
+// virtual time and the makespan is at least the serial sum of hold times.
+func TestQuickMutualExclusion(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		env := NewEnv()
+		l := NewLock(env, "l", time.Duration(rng.Intn(200))*time.Nanosecond)
+		nProcs := 2 + rng.Intn(6)
+		type span struct{ start, end int64 }
+		var spans []span
+		totalHold := int64(0)
+		for i := 0; i < nProcs; i++ {
+			iters := 1 + rng.Intn(5)
+			pre := time.Duration(rng.Intn(500)) * time.Nanosecond
+			hold := time.Duration(1+rng.Intn(400)) * time.Nanosecond
+			totalHold += int64(hold) * int64(iters)
+			env.Go("p", int64(rng.Intn(1000)), func(p *Proc) {
+				for k := 0; k < iters; k++ {
+					p.Advance(pre)
+					l.Acquire(p)
+					s := p.Now()
+					p.Advance(hold)
+					spans = append(spans, span{s, p.Now()})
+					l.Release(p)
+				}
+			})
+		}
+		makespan := env.Run()
+		if int64(makespan) < totalHold {
+			return false // critical sections must serialize
+		}
+		// No two spans overlap (spans recorded in executive order; check
+		// all pairs — counts are tiny).
+		for i := 0; i < len(spans); i++ {
+			for j := i + 1; j < len(spans); j++ {
+				a, b := spans[i], spans[j]
+				if a.start < b.end && b.start < a.end {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMakespanIsMaxClock: makespan always equals the maximum final
+// clock over all processes, for any mix of Advance/Yield operations.
+func TestQuickMakespanIsMaxClock(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		env := NewEnv()
+		n := 1 + rng.Intn(6)
+		finals := make([]int64, n)
+		for i := 0; i < n; i++ {
+			i := i
+			steps := rng.Intn(8)
+			advances := make([]time.Duration, steps)
+			for s := range advances {
+				advances[s] = time.Duration(rng.Intn(2000)) * time.Nanosecond
+			}
+			start := int64(rng.Intn(500))
+			env.Go("p", start, func(p *Proc) {
+				for _, d := range advances {
+					p.Advance(d)
+					p.Yield()
+				}
+				finals[i] = p.Now()
+			})
+		}
+		makespan := int64(env.Run())
+		max := int64(0)
+		for _, f := range finals {
+			if f > max {
+				max = f
+			}
+		}
+		return makespan == max
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWireConservation: total reserved wire time is exactly the sum of
+// per-message costs, regardless of the schedule.
+func TestQuickWireConservation(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		env := NewEnv()
+		w := NewWire(8, 0) // 1 ns per byte
+		n := 1 + rng.Intn(5)
+		var totalBytes int64
+		for i := 0; i < n; i++ {
+			msgs := rng.Intn(10)
+			size := 1 + rng.Intn(100)
+			totalBytes += int64(msgs) * int64(size)
+			env.Go("s", 0, func(p *Proc) {
+				for k := 0; k < msgs; k++ {
+					w.Reserve(p, size)
+				}
+			})
+		}
+		env.Run()
+		return w.cursor == totalBytes
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFairLockIsFIFO: with Fair set, handoff strictly follows arrival order
+// for any arrival times.
+func TestFairLockIsFIFO(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		env := NewEnv()
+		l := NewLock(env, "l", 0)
+		l.Fair = true
+		var order []int64
+		// A long-holding first process queues everyone else.
+		env.Go("holder", 0, func(p *Proc) {
+			l.Acquire(p)
+			p.Advance(10 * time.Microsecond)
+			l.Release(p)
+		})
+		n := 2 + rng.Intn(5)
+		starts := make([]int64, n)
+		for i := range starts {
+			starts[i] = int64(100 + rng.Intn(5000))
+		}
+		for _, s := range starts {
+			s := s
+			env.Go("w", s, func(p *Proc) {
+				l.Acquire(p)
+				order = append(order, s)
+				l.Release(p)
+			})
+		}
+		env.Run()
+		for i := 1; i < len(order); i++ {
+			if order[i] < order[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

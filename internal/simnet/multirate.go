@@ -1,0 +1,151 @@
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/spc"
+)
+
+// RunMultirate executes the Multirate pairwise benchmark on the model
+// (Patinyasakdikul et al. [6]): cfg.Pairs communication pairs between two
+// nodes; each pair performs cfg.Iters iterations of a cfg.Window-message
+// window (sender: window sends + wait-all; receiver: window receives +
+// wait-all). Thread mode maps every sender to one process and every
+// receiver to another; process mode gives each pair its own pair of
+// processes (Fig. 2's binding modes).
+//
+// The returned rate is total messages over the virtual makespan — the
+// paper's "message rate" Y axis.
+func RunMultirate(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	if cfg.Pairs <= 0 {
+		panic("simnet: Pairs must be positive")
+	}
+	if cfg.ProcessMode {
+		return runMultirateProcesses(cfg)
+	}
+	return runMultirateThreads(cfg)
+}
+
+// threadSkew staggers simulated thread start times the way serialized
+// thread creation does on a real node.
+func threadSkew(i int) int64 { return int64(i) * 2000 }
+
+// runMultirateThreads: one sender proc (node 0) and one receiver proc
+// (node 1); cfg.Pairs threads on each.
+func runMultirateThreads(cfg Config) Result {
+	env := sim.NewEnv()
+	sendWire := sim.NewWire(cfg.Machine.LinkGbps, cfg.Machine.MaxInjectionRate)
+	sender := newSimProc(env, cfg, sendWire, cfg.NumInstances)
+	recvWire := sim.NewWire(cfg.Machine.LinkGbps, cfg.Machine.MaxInjectionRate)
+	receiver := newSimProc(env, cfg, recvWire, cfg.NumInstances)
+
+	// Communicators: one shared, or one per pair (Fig. 3c). Both procs
+	// register every communicator under the same id.
+	nComms := 1
+	if cfg.CommPerPair {
+		nComms = cfg.Pairs
+	}
+	sendComms := make([]*simComm, nComms)
+	recvComms := make([]*simComm, nComms)
+	for i := 0; i < nComms; i++ {
+		id := uint32(i + 1)
+		sendComms[i] = sender.addComm(id, 2)
+		recvComms[i] = receiver.addComm(id, 2)
+	}
+	commOf := func(pair int) int {
+		if cfg.CommPerPair {
+			return pair
+		}
+		return 0
+	}
+
+	sender.nWork = cfg.Pairs
+	receiver.nWork = cfg.Pairs
+	sender.spawnOffload(env, "offload-send")
+	receiver.spawnOffload(env, "offload-recv")
+
+	for pair := 0; pair < cfg.Pairs; pair++ {
+		pair := pair
+		tag := int32(pair)
+		st := newSimThread(sender)
+		// Threads start staggered by pthread_create-style skew; a
+		// simultaneous start would synchronize posting bursts in a way
+		// real runs never exhibit.
+		env.Go(fmt.Sprintf("send-%d", pair), threadSkew(2*pair), func(sp *sim.Proc) {
+			c := sendComms[commOf(pair)]
+			for it := 0; it < cfg.Iters; it++ {
+				for w := 0; w < cfg.Window; w++ {
+					st.send(sp, c, receiver, 0, 1, tag)
+				}
+				st.waitFor(sp, func() bool { return st.pendingSends == 0 })
+			}
+			sender.finished++
+		})
+		rt := newSimThread(receiver)
+		env.Go(fmt.Sprintf("recv-%d", pair), threadSkew(2*pair+1), func(sp *sim.Proc) {
+			c := recvComms[commOf(pair)]
+			target := int64(0)
+			for it := 0; it < cfg.Iters; it++ {
+				for w := 0; w < cfg.Window; w++ {
+					rt.postRecv(sp, c, 0, tag)
+				}
+				target += int64(cfg.Window)
+				rt.waitFor(sp, func() bool { return rt.recvsDone >= target })
+			}
+			receiver.finished++
+		})
+	}
+	makespan := env.Run()
+	total := int64(cfg.Pairs) * int64(cfg.Window) * int64(cfg.Iters)
+	return newResult(total, makespan, receiver.spcs)
+}
+
+// runMultirateProcesses: each pair is an independent process pair with
+// private instances and matching state; the node wire is shared, as all
+// sender processes inject through the same NIC.
+func runMultirateProcesses(cfg Config) Result {
+	env := sim.NewEnv()
+	sendWire := sim.NewWire(cfg.Machine.LinkGbps, cfg.Machine.MaxInjectionRate)
+	recvWire := sim.NewWire(cfg.Machine.LinkGbps, cfg.Machine.MaxInjectionRate)
+
+	pcfg := cfg
+	pcfg.NumInstances = 1       // one process, one thread, one context
+	pcfg.ProgressThread = false // a single-threaded process progresses itself
+
+	recvSPCs := spc.NewSet()
+	for pair := 0; pair < cfg.Pairs; pair++ {
+		pair := pair
+		sender := newSimProc(env, pcfg, sendWire, 1)
+		receiver := newSimProc(env, pcfg, recvWire, 1)
+		receiver.spcs = recvSPCs // aggregate across receiver processes
+		id := uint32(pair + 1)
+		sc := sender.addComm(id, 2)
+		rc := receiver.addComm(id, 2)
+
+		st := newSimThread(sender)
+		env.Go(fmt.Sprintf("psend-%d", pair), threadSkew(2*pair), func(sp *sim.Proc) {
+			for it := 0; it < cfg.Iters; it++ {
+				for w := 0; w < cfg.Window; w++ {
+					st.send(sp, sc, receiver, 0, 1, 0)
+				}
+				st.waitFor(sp, func() bool { return st.pendingSends == 0 })
+			}
+		})
+		rt := newSimThread(receiver)
+		env.Go(fmt.Sprintf("precv-%d", pair), threadSkew(2*pair+1), func(sp *sim.Proc) {
+			target := int64(0)
+			for it := 0; it < cfg.Iters; it++ {
+				for w := 0; w < cfg.Window; w++ {
+					rt.postRecv(sp, rc, 0, 0)
+				}
+				target += int64(cfg.Window)
+				rt.waitFor(sp, func() bool { return rt.recvsDone >= target })
+			}
+		})
+	}
+	makespan := env.Run()
+	total := int64(cfg.Pairs) * int64(cfg.Window) * int64(cfg.Iters)
+	return newResult(total, makespan, recvSPCs)
+}

@@ -1,0 +1,618 @@
+// Package simnet models the paper's message path on the deterministic
+// virtual-time engine (internal/sim): Communication Resource Instances with
+// per-instance locks, the serial and concurrent progress engines
+// (Algorithm 2), per-communicator matching via the shared match.Engine, the
+// NIC wire cap, and both benchmark workloads (Multirate pairwise and
+// RMA-MT). All Figures 3-7 and Table II are regenerated from this model.
+//
+// The model and the real runtime (internal/core) share the matching engine,
+// the cost model, and the SPC counters; they differ only in how time and
+// mutual exclusion are realized (virtual vs. wall-clock).
+package simnet
+
+import (
+	"time"
+
+	"repro/internal/cri"
+	"repro/internal/fabric"
+	"repro/internal/hw"
+	"repro/internal/match"
+	"repro/internal/progress"
+	"repro/internal/sim"
+	"repro/internal/spc"
+)
+
+// DefaultLockPenalty is the base cost of one contended lock handoff at
+// Haswell speed. The effective handoff cost grows with the number of
+// waiters (sim.Lock), reaching the microseconds a futex wakeup costs under
+// a heavy convoy — the regime a single shared instance lives in.
+const DefaultLockPenalty = 120 * time.Nanosecond
+
+// Config describes one simulated experiment configuration.
+type Config struct {
+	// Machine supplies the cost model, core counts, and link rate.
+	Machine hw.Machine
+	// Pairs is the number of communication pairs (Multirate) — threads or
+	// processes per side depending on ProcessMode.
+	Pairs int
+	// Window is the number of outstanding messages per iteration (the
+	// paper uses 128).
+	Window int
+	// Iters is the number of window iterations per pair.
+	Iters int
+	// MsgSize is the payload size in bytes (0 = envelope only).
+	MsgSize int
+	// NumInstances is the number of CRIs per process (thread mode).
+	NumInstances int
+	// Assignment is the thread-to-instance strategy.
+	Assignment cri.Assignment
+	// Progress selects the serial or concurrent progress engine.
+	Progress progress.Mode
+	// CommPerPair gives every pair a private communicator (Fig. 3c).
+	CommPerPair bool
+	// AllowOvertaking asserts the overtaking info key (Fig. 4).
+	AllowOvertaking bool
+	// AnyTagRecv posts receives with the wildcard tag (Fig. 4).
+	AnyTagRecv bool
+	// ProcessMode maps each pair to its own process with private
+	// resources (the process-per-core baseline of Fig. 5).
+	ProcessMode bool
+	// BigLock wraps every runtime entry (send, progress, match) in one
+	// process-wide lock — the worst-case comparator design.
+	BigLock bool
+	// HashMatching swaps the OB1-style list matcher for the hash-based
+	// engine (O(1) exact matching).
+	HashMatching bool
+	// ProgressThread dedicates one runtime thread per process to all
+	// completion extraction (the software-offload design of Vaidyanathan
+	// et al. [20]); application threads only wait.
+	ProgressThread bool
+	// LockPenalty overrides the contended-lock handoff cost
+	// (0 = DefaultLockPenalty).
+	LockPenalty time.Duration
+	// QueueDepth bounds each instance's inbound queue (0 = 4096); senders
+	// stall when the remote queue is full (hardware back-pressure).
+	QueueDepth int
+	// Credits bounds a sender thread's unmatched eager messages to its
+	// peer (0 = 4096), modeling the per-peer flow control every eager BTL
+	// implements. Without it a sender could run arbitrarily far ahead of
+	// the receiver's matching, growing the unexpected queue without bound.
+	Credits int
+	// AckBatch is the credit-return granularity (0 = 64): receivers
+	// acknowledge consumed fragments in batches (piggybacked ACKs).
+	AckBatch int
+	// SleepPenalty is the futex-wake cost paid per lock handoff once a
+	// lock is convoyed (>= 4 sleeping waiters); 0 = 2us at Haswell speed.
+	// This is what makes a single instance shared by 20 pounding threads
+	// an order of magnitude slower than dedicated instances.
+	SleepPenalty time.Duration
+	// SendJitter is the span of the deterministic per-message variation in
+	// the time between sequence-number assignment and hardware injection
+	// (0 = 600ns at Haswell speed). Real send paths vary here with cache
+	// and allocator state; the variation is what lets concurrently sending
+	// threads inject out of sequence order — the paper's out-of-sequence
+	// storm. Deterministic per-thread LCG keeps runs reproducible.
+	SendJitter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 128
+	}
+	if c.Iters <= 0 {
+		c.Iters = 8
+	}
+	if c.NumInstances <= 0 {
+		c.NumInstances = 1
+	}
+	if max := c.Machine.MaxContexts; max > 0 && c.NumInstances > max {
+		c.NumInstances = max
+	}
+	if c.LockPenalty <= 0 {
+		c.LockPenalty = time.Duration(float64(DefaultLockPenalty) * c.Machine.SpeedFactor)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4096
+	}
+	if c.Credits <= 0 {
+		c.Credits = 4096
+	}
+	if c.AckBatch <= 0 {
+		c.AckBatch = 64
+	}
+	if c.AckBatch > c.Credits {
+		c.AckBatch = c.Credits
+	}
+	if c.SendJitter <= 0 {
+		c.SendJitter = time.Duration(600 * c.Machine.SpeedFactor * float64(time.Nanosecond))
+	}
+	if c.SleepPenalty <= 0 {
+		c.SleepPenalty = time.Duration(2000 * c.Machine.SpeedFactor * float64(time.Nanosecond))
+	}
+	return c
+}
+
+// newLock builds a virtual-time lock with the configuration's contention
+// model applied.
+func (c Config) newLock(env *sim.Env, name string) *sim.Lock {
+	l := sim.NewLock(env, name, c.LockPenalty)
+	l.SleepPenalty = c.SleepPenalty
+	return l
+}
+
+// Result is the outcome of one simulated run.
+type Result struct {
+	// Messages is the total number of two-sided messages (or one-sided
+	// operations) completed.
+	Messages int64
+	// Makespan is the virtual time from start to the last completion.
+	Makespan time.Duration
+	// Rate is Messages divided by Makespan, in operations per second.
+	Rate float64
+	// SPCs aggregates the receiver-side software performance counters.
+	SPCs spc.Snapshot
+}
+
+func newResult(messages int64, makespan time.Duration, spcs *spc.Set) Result {
+	r := Result{Messages: messages, Makespan: makespan}
+	if makespan > 0 {
+		r.Rate = float64(messages) / makespan.Seconds()
+	}
+	if spcs != nil {
+		r.SPCs = spcs.Snapshot()
+	}
+	return r
+}
+
+// retryCost is the virtual time charged when a progress attempt yields no
+// events and the caller immediately retries (spin-wait cost). Without it a
+// polling loop would livelock at a fixed virtual instant.
+const retryCost = 150 * time.Nanosecond
+
+// maxBackoff caps the adaptive retry backoff in idle wait loops (a real
+// thread would be descheduled at this point; the cap bounds the wake-up
+// latency it pays).
+const maxBackoff = 2 * time.Microsecond
+
+// cqe is one completion-queue entry in the model.
+type cqe struct {
+	// pending, when non-nil, is decremented on extraction (send or
+	// one-sided completion attributed to the issuing thread).
+	pending *int64
+	// pkt, when non-nil, is an inbound two-sided packet to match.
+	pkt *fabric.Packet
+}
+
+// simInstance is one CRI in the model.
+type simInstance struct {
+	index int
+	lock  *sim.Lock
+	cq    []cqe // local completions (send/put), FIFO
+	rxQ   []cqe // inbound packets, FIFO
+}
+
+func (in *simInstance) queued() int { return len(in.cq) + len(in.rxQ) }
+
+// threadMeter routes match.Engine cost charges to whichever simulated
+// thread currently holds the matching lock.
+type threadMeter struct{ p *sim.Proc }
+
+func (m *threadMeter) Charge(d time.Duration) {
+	if m.p != nil {
+		m.p.Advance(d)
+	}
+}
+
+// simComm is one communicator's matching state in the model.
+type simComm struct {
+	id        uint32
+	lock      *sim.Lock
+	meter     threadMeter
+	engine    match.Matcher
+	seq       *match.SeqTracker
+	anyTag    bool
+	scratch   []match.Completion
+	postedOut int64 // diagnostic: total completions
+}
+
+// simProc is one simulated MPI process.
+type simProc struct {
+	// finished counts workload threads that completed; the offload
+	// progress thread exits when all have.
+	finished int
+	nWork    int
+
+	cfg       Config
+	costs     hw.CostModel
+	env       *sim.Env
+	instances []*simInstance
+	rr        uint64
+	nThreads  int
+	comms     map[uint32]*simComm
+	spcs      *spc.Set
+	progLock  *sim.Lock // serial progress global lock
+	bigLock   *sim.Lock // BigLock design, nil unless enabled
+	wire      *sim.Wire // owning node's wire (shared)
+	// memSerial is the process-wide memory-management serializer (see
+	// hw.CostModel.AllocSerialize): threads of one process share it,
+	// separate processes each get their own.
+	memSerial *sim.Wire
+}
+
+func newSimProc(env *sim.Env, cfg Config, wire *sim.Wire, instances int) *simProc {
+	p := &simProc{
+		cfg:   cfg,
+		costs: cfg.Machine.Scaled(),
+		env:   env,
+		comms: make(map[uint32]*simComm),
+		spcs:  spc.NewSet(),
+		wire:  wire,
+	}
+	p.progLock = cfg.newLock(env, "progress")
+	if cfg.BigLock {
+		p.bigLock = cfg.newLock(env, "biglock")
+	}
+	if alloc := p.costs.AllocSerialize; alloc > 0 {
+		p.memSerial = sim.NewWire(0, 1e9/float64(alloc.Nanoseconds()))
+	}
+	for i := 0; i < instances; i++ {
+		p.instances = append(p.instances, &simInstance{
+			index: i,
+			lock:  cfg.newLock(env, "instance"),
+		})
+	}
+	return p
+}
+
+// addComm registers a communicator with nRanks members on this proc.
+func (p *simProc) addComm(id uint32, nRanks int) *simComm {
+	c := &simComm{
+		id:     id,
+		lock:   p.cfg.newLock(p.env, "match"),
+		seq:    match.NewSeqTracker(nRanks),
+		anyTag: p.cfg.AnyTagRecv,
+	}
+	if p.cfg.HashMatching {
+		c.engine = match.NewHashEngine(id, nRanks, p.costs, &c.meter, p.spcs)
+	} else {
+		c.engine = match.NewEngine(id, nRanks, p.costs, &c.meter, p.spcs)
+	}
+	c.engine.SetAllowOvertaking(p.cfg.AllowOvertaking)
+	p.comms[id] = c
+	return c
+}
+
+// nextRR advances the deterministic round-robin instance counter.
+func (p *simProc) nextRR() int {
+	i := int(p.rr % uint64(len(p.instances)))
+	p.rr++
+	return i
+}
+
+// instanceFor applies the assignment strategy (Algorithm 1).
+func (p *simProc) instanceFor(ts *cri.ThreadState) *simInstance {
+	if p.cfg.Assignment == cri.Dedicated {
+		if ts.Dedicated() < 0 {
+			// First use: assign round-robin and cache (the TLS write).
+			*ts = cri.NewThreadState(p.nextRR())
+		}
+		return p.instances[ts.Dedicated()]
+	}
+	return p.instances[p.nextRR()]
+}
+
+// flowState is the per-pair eager flow control: sent counts injections,
+// consumed counts fragments the receiver has extracted, and matched is the
+// credit count actually returned to the sender — advanced in AckBatch
+// chunks, as piggybacked BTL ACKs are. Batched returns make blocked
+// senders wake to credit *bursts*; many threads bursting at once is what
+// interleaves sequence numbers so heavily in real runs (Table II's 83-94%
+// out-of-sequence rates).
+type flowState struct {
+	sent     int64
+	consumed int64
+	matched  int64
+	ackBatch int64
+}
+
+// consume records one extracted fragment, returning credits in batches.
+func (fs *flowState) consume() {
+	fs.consumed++
+	if fs.consumed-fs.matched >= fs.ackBatch {
+		fs.matched = fs.consumed
+	}
+}
+
+// simThread is one communicating thread in the model.
+type simThread struct {
+	proc *simProc
+	ts   cri.ThreadState
+
+	pendingSends int64 // outstanding send completions
+	recvsDone    int64 // matched receives attributed to this thread
+	flow         flowState
+
+	// rng drives the deterministic send-path jitter (LCG).
+	rng uint64
+
+	// used tracks the instances this thread has issued one-sided
+	// operations on; flush reaps completions from exactly these.
+	used []*simInstance
+}
+
+func newSimThread(p *simProc) *simThread {
+	t := &simThread{proc: p, ts: cri.NewThreadState(-1)}
+	t.flow.ackBatch = int64(p.cfg.AckBatch)
+	if t.flow.ackBatch <= 0 {
+		t.flow.ackBatch = 1
+	}
+	p.nThreads++
+	t.rng = uint64(p.nThreads) * 0x9E3779B97F4A7C15
+	return t
+}
+
+// jitter returns the next deterministic send-path delay in [0, SendJitter).
+func (t *simThread) jitter() time.Duration {
+	t.rng = t.rng*6364136223846793005 + 1442695040888963407
+	span := int64(t.proc.cfg.SendJitter)
+	if span <= 0 {
+		return 0
+	}
+	return time.Duration(int64(t.rng>>33) % span)
+}
+
+// backoffWait spins in virtual time until pred holds, without driving
+// progress (for conditions another process resolves).
+func (t *simThread) backoffWait(sp *sim.Proc, pred func() bool) {
+	backoff := retryCost
+	for !pred() {
+		sp.Advance(backoff)
+		sp.Yield()
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
+	}
+}
+
+// send injects one message: instance acquisition per strategy, instance
+// lock, injection CPU cost, wire reservation, delivery to the remote
+// instance's queue (with back-pressure), and a local send-completion CQE.
+func (t *simThread) send(sp *sim.Proc, c *simComm, dst *simProc, srcRank, dstRank, tag int32) {
+	p := t.proc
+	// Eager flow control: stall until the receiver's matching engine has
+	// consumed enough of our earlier messages.
+	credits := int64(p.cfg.Credits)
+	t.backoffWait(sp, func() bool { return t.flow.sent-t.flow.matched < credits })
+
+	// Request allocation serializes on process-wide memory management.
+	p.memSerial.Reserve(sp, 0)
+	seq := c.seq.Next(dstRank)
+	// Between sequence assignment and the doorbell lies the descriptor
+	// build, whose latency varies with cache/allocator state. This window
+	// is where concurrent threads overtake each other and inject out of
+	// sequence order (Section II-C).
+	sp.Advance(t.jitter())
+	env := fabric.Envelope{
+		Src: srcRank, Dst: dstRank, Tag: tag, Comm: c.id,
+		Seq: seq, Len: uint32(p.cfg.MsgSize), Kind: fabric.KindEager,
+	}
+	pkt := fabric.NewPacketRaw(env, nil, &t.flow)
+
+	if p.bigLock != nil {
+		p.bigLock.Acquire(sp)
+	}
+	inst := p.instanceFor(&t.ts)
+	inst.lock.Acquire(sp)
+	sp.Advance(p.costs.SendInject)
+	p.wire.Reserve(sp, fabric.EnvelopeSize+p.cfg.MsgSize)
+
+	remote := dst.instances[inst.index%len(dst.instances)]
+	// Hardware back-pressure: stall while the remote receive queue is full.
+	for len(remote.rxQ) >= p.cfg.QueueDepth {
+		sp.Advance(retryCost)
+		sp.Yield()
+	}
+	remote.rxQ = append(remote.rxQ, cqe{pkt: pkt})
+	inst.cq = append(inst.cq, cqe{pending: &t.pendingSends})
+	inst.lock.Release(sp)
+	if p.bigLock != nil {
+		p.bigLock.Release(sp)
+	}
+	t.pendingSends++
+	t.flow.sent++
+	p.spcs.Inc(spc.MessagesSent)
+}
+
+// postRecv posts one receive into the communicator's matching engine.
+func (t *simThread) postRecv(sp *sim.Proc, c *simComm, srcRank, tag int32) {
+	p := t.proc
+	if p.bigLock != nil {
+		p.bigLock.Acquire(sp)
+		defer p.bigLock.Release(sp)
+	}
+	if c.anyTag {
+		tag = match.AnyTag
+	}
+	// Receive-request construction happens outside the matching lock.
+	sp.Advance(p.costs.RecvPost)
+	p.memSerial.Reserve(sp, 0)
+	r := &match.Recv{Source: srcRank, Tag: tag, Token: t}
+	waited := c.lock.Acquire(sp)
+	c.engine.ChargeWait(waited)
+	c.meter.p = sp
+	comp, ok := c.engine.PostRecv(r)
+	c.lock.Release(sp)
+	if ok {
+		tt := comp.Recv.Token.(*simThread)
+		tt.recvsDone++
+	}
+}
+
+// progress is the virtual-time progress engine: Serial takes the global
+// try-lock and polls every instance; Concurrent runs Algorithm 2.
+func (t *simThread) progress(sp *sim.Proc) int {
+	p := t.proc
+	p.spcs.Inc(spc.ProgressCalls)
+	if p.bigLock != nil {
+		p.bigLock.Acquire(sp)
+		defer p.bigLock.Release(sp)
+	}
+	if p.cfg.Progress == progress.Serial {
+		if !p.progLock.TryAcquire(sp) {
+			p.spcs.Inc(spc.ProgressTryLockFail)
+			return 0
+		}
+		count := 0
+		for _, inst := range p.instances {
+			inst.lock.Acquire(sp)
+			count += t.poll(sp, inst, 64)
+			inst.lock.Release(sp)
+		}
+		p.progLock.Release(sp)
+		return count
+	}
+	// Concurrent (Algorithm 2): dedicated instance first.
+	count := 0
+	if k := t.ts.Dedicated(); k >= 0 {
+		inst := p.instances[k]
+		if inst.lock.TryAcquire(sp) {
+			count = t.poll(sp, inst, 64)
+			inst.lock.Release(sp)
+		} else {
+			p.spcs.Inc(spc.ProgressTryLockFail)
+		}
+	}
+	if count > 0 {
+		return count
+	}
+	for range p.instances {
+		inst := p.instances[p.nextRR()]
+		if !inst.lock.TryAcquire(sp) {
+			p.spcs.Inc(spc.ProgressTryLockFail)
+			continue
+		}
+		c := t.poll(sp, inst, 64)
+		inst.lock.Release(sp)
+		count += c
+		if count > 0 {
+			return count
+		}
+	}
+	return count
+}
+
+// poll drains up to max events from one instance under its (held) lock.
+func (t *simThread) poll(sp *sim.Proc, inst *simInstance, max int) int {
+	p := t.proc
+	n := 0
+	for n < max && len(inst.cq) > 0 {
+		e := inst.cq[0]
+		inst.cq = inst.cq[1:]
+		sp.Advance(p.costs.RecvExtract)
+		*e.pending--
+		n++
+	}
+	for n < max && len(inst.rxQ) > 0 {
+		e := inst.rxQ[0]
+		inst.rxQ = inst.rxQ[1:]
+		sp.Advance(p.costs.RecvExtract)
+		t.deliver(sp, e.pkt)
+		n++
+	}
+	if n == 0 {
+		sp.Advance(p.costs.CQPollEmpty)
+	}
+	return n
+}
+
+// deliver pushes one inbound packet through its communicator's matching
+// engine, accounting lock wait as match time (as Open MPI's SPC does).
+func (t *simThread) deliver(sp *sim.Proc, pkt *fabric.Packet) {
+	p := t.proc
+	env := pkt.Envelope()
+	c := p.comms[env.Comm]
+	if c == nil {
+		panic("simnet: packet for unknown communicator")
+	}
+	// Inbound fragment handling allocates/recycles through process-wide
+	// memory management before matching.
+	p.memSerial.Reserve(sp, 0)
+	// Eager credit returns at fragment consumption (BTL semantics), not at
+	// match time — an out-of-sequence message that sits buffered must not
+	// stall its sender forever.
+	if fs, ok := pkt.Token.(*flowState); ok {
+		fs.consume()
+	}
+	waited := c.lock.Acquire(sp)
+	c.engine.ChargeWait(waited)
+	c.meter.p = sp
+	c.scratch = c.engine.Deliver(pkt, c.scratch[:0])
+	comps := c.scratch
+	c.lock.Release(sp)
+	for _, comp := range comps {
+		tt := comp.Recv.Token.(*simThread)
+		tt.recvsDone++
+		c.postedOut++
+	}
+}
+
+// waitFor spins (in virtual time) until pred holds, driving progress with
+// adaptive backoff on idle passes. Under the software-offload design the
+// dedicated thread owns the progress engine, so waiters only back off.
+func (t *simThread) waitFor(sp *sim.Proc, pred func() bool) {
+	if t.proc.cfg.ProgressThread {
+		t.backoffWait(sp, pred)
+		return
+	}
+	backoff := retryCost
+	for !pred() {
+		if t.progress(sp) == 0 {
+			sp.Advance(backoff)
+			sp.Yield()
+			if backoff < maxBackoff {
+				backoff *= 2
+			}
+		} else {
+			backoff = retryCost
+		}
+	}
+}
+
+// anyQueued reports whether any instance still holds events.
+func (p *simProc) anyQueued() bool {
+	for _, in := range p.instances {
+		if in.queued() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// spawnOffload starts the dedicated progress thread for p, which runs
+// until every workload thread has finished and the queues are drained.
+func (p *simProc) spawnOffload(env *sim.Env, name string) {
+	if !p.cfg.ProgressThread {
+		return
+	}
+	t := newSimThread(p)
+	env.Go(name, 0, func(sp *sim.Proc) {
+		backoff := retryCost
+		for p.finished < p.nWork || p.anyQueued() {
+			if t.offloadProgress(sp) == 0 {
+				sp.Advance(backoff)
+				sp.Yield()
+				if backoff < maxBackoff {
+					backoff *= 2
+				}
+			} else {
+				backoff = retryCost
+			}
+		}
+	})
+}
+
+// offloadProgress is the offload thread's engine pass: it bypasses the
+// ProgressThread waiting discipline and drives the configured engine.
+func (t *simThread) offloadProgress(sp *sim.Proc) int {
+	return t.progress(sp)
+}

@@ -1,0 +1,269 @@
+// Package spc implements Software-based Performance Counters in the style
+// of Open MPI's SPC framework (Eberius et al., EuroMPI'17): low-overhead
+// atomic counters exposing internal message-engine statistics such as the
+// number of out-of-sequence messages and the cumulative time spent in the
+// matching engine. The paper's Table II is produced from these counters.
+package spc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Counter identifies one software performance counter.
+type Counter int
+
+// The counters tracked by the runtime. The first two are the ones the paper
+// reports in Table II; the rest give additional low-level visibility.
+const (
+	// OutOfSequence counts received messages whose sequence number did not
+	// match the next expected sequence for their (peer, communicator) stream
+	// and therefore had to be buffered.
+	OutOfSequence Counter = iota
+	// MatchTimeNanos accumulates wall time spent inside the matching
+	// critical section, in nanoseconds.
+	MatchTimeNanos
+	// MessagesSent counts point-to-point messages injected.
+	MessagesSent
+	// MessagesReceived counts point-to-point messages matched and delivered.
+	MessagesReceived
+	// UnexpectedMessages counts messages that arrived before a matching
+	// receive was posted.
+	UnexpectedMessages
+	// ExpectedMessages counts messages matched against an already-posted
+	// receive.
+	ExpectedMessages
+	// UnexpectedQueuePeak tracks the maximum length reached by any
+	// unexpected-message queue.
+	UnexpectedQueuePeak
+	// PostedQueuePeak tracks the maximum length reached by any
+	// posted-receive queue.
+	PostedQueuePeak
+	// MatchAttempts counts entries into the matching engine.
+	MatchAttempts
+	// MatchWalkElements accumulates the number of queue elements walked
+	// during matching searches (posted + unexpected).
+	MatchWalkElements
+	// ProgressCalls counts entries into the progress engine.
+	ProgressCalls
+	// ProgressTryLockFail counts try-lock failures on instance locks inside
+	// the progress engine (a direct measure of progress contention).
+	ProgressTryLockFail
+	// SendLockWaits counts send-path instance-lock acquisitions that found
+	// the lock contended.
+	SendLockWaits
+	// PutsIssued counts one-sided put operations initiated.
+	PutsIssued
+	// GetsIssued counts one-sided get operations initiated.
+	GetsIssued
+	// AccumulatesIssued counts one-sided accumulate operations initiated.
+	AccumulatesIssued
+	// FlushCalls counts window flush synchronizations.
+	FlushCalls
+
+	numCounters
+)
+
+var counterNames = [...]string{
+	OutOfSequence:       "out_of_sequence",
+	MatchTimeNanos:      "match_time_ns",
+	MessagesSent:        "messages_sent",
+	MessagesReceived:    "messages_received",
+	UnexpectedMessages:  "unexpected_messages",
+	ExpectedMessages:    "expected_messages",
+	UnexpectedQueuePeak: "unexpected_queue_peak",
+	PostedQueuePeak:     "posted_queue_peak",
+	MatchAttempts:       "match_attempts",
+	MatchWalkElements:   "match_walk_elements",
+	ProgressCalls:       "progress_calls",
+	ProgressTryLockFail: "progress_trylock_fail",
+	SendLockWaits:       "send_lock_waits",
+	PutsIssued:          "puts_issued",
+	GetsIssued:          "gets_issued",
+	AccumulatesIssued:   "accumulates_issued",
+	FlushCalls:          "flush_calls",
+}
+
+// String returns the counter's snake_case name.
+func (c Counter) String() string {
+	if c < 0 || int(c) >= len(counterNames) {
+		return fmt.Sprintf("counter(%d)", int(c))
+	}
+	return counterNames[c]
+}
+
+// NumCounters is the number of defined counters.
+const NumCounters = int(numCounters)
+
+// Set is one process's collection of counters. All methods are safe for
+// concurrent use. A nil *Set is valid and ignores all updates, so call
+// sites need no nil checks on hot paths.
+type Set struct {
+	enabled atomic.Bool
+	vals    [numCounters]atomic.Int64
+}
+
+// NewSet returns an enabled counter set.
+func NewSet() *Set {
+	s := &Set{}
+	s.enabled.Store(true)
+	return s
+}
+
+// Enabled reports whether updates are being recorded.
+func (s *Set) Enabled() bool { return s != nil && s.enabled.Load() }
+
+// SetEnabled turns recording on or off. Disabling leaves current values.
+func (s *Set) SetEnabled(on bool) {
+	if s != nil {
+		s.enabled.Store(on)
+	}
+}
+
+// Add increments c by delta.
+func (s *Set) Add(c Counter, delta int64) {
+	if s == nil || !s.enabled.Load() {
+		return
+	}
+	s.vals[c].Add(delta)
+}
+
+// Inc increments c by one.
+func (s *Set) Inc(c Counter) { s.Add(c, 1) }
+
+// Max raises c to v if v is greater than the current value.
+func (s *Set) Max(c Counter, v int64) {
+	if s == nil || !s.enabled.Load() {
+		return
+	}
+	for {
+		cur := s.vals[c].Load()
+		if v <= cur || s.vals[c].CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Get returns the current value of c.
+func (s *Set) Get(c Counter) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.vals[c].Load()
+}
+
+// Reset zeroes every counter.
+func (s *Set) Reset() {
+	if s == nil {
+		return
+	}
+	for i := range s.vals {
+		s.vals[i].Store(0)
+	}
+}
+
+// StartTimer returns the current time if the set is enabled, or the zero
+// time otherwise. Pair with StopTimer around a timed critical section.
+func (s *Set) StartTimer() time.Time {
+	if s == nil || !s.enabled.Load() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// StopTimer accumulates the elapsed time since start into c. A zero start
+// (from a disabled set) is ignored.
+func (s *Set) StopTimer(c Counter, start time.Time) {
+	if s == nil || start.IsZero() {
+		return
+	}
+	s.vals[c].Add(int64(time.Since(start)))
+}
+
+// Snapshot is an immutable copy of a Set's values.
+type Snapshot [numCounters]int64
+
+// Snapshot copies the current counter values.
+func (s *Set) Snapshot() Snapshot {
+	var snap Snapshot
+	if s == nil {
+		return snap
+	}
+	for i := range s.vals {
+		snap[i] = s.vals[i].Load()
+	}
+	return snap
+}
+
+// Get returns the value of c in the snapshot.
+func (sn Snapshot) Get(c Counter) int64 { return sn[c] }
+
+// Sub returns the per-counter difference sn - old. Peak counters
+// (UnexpectedQueuePeak, PostedQueuePeak) are carried over, not subtracted,
+// since a peak has no meaningful delta.
+func (sn Snapshot) Sub(old Snapshot) Snapshot {
+	var d Snapshot
+	for i := range sn {
+		d[i] = sn[i] - old[i]
+	}
+	d[UnexpectedQueuePeak] = sn[UnexpectedQueuePeak]
+	d[PostedQueuePeak] = sn[PostedQueuePeak]
+	return d
+}
+
+// MatchTime returns the accumulated matching time as a Duration.
+func (sn Snapshot) MatchTime() time.Duration {
+	return time.Duration(sn[MatchTimeNanos])
+}
+
+// OutOfSequencePercent returns 100 * out_of_sequence / messages_received,
+// or 0 when nothing was received.
+func (sn Snapshot) OutOfSequencePercent() float64 {
+	recv := sn[MessagesReceived]
+	if recv == 0 {
+		return 0
+	}
+	return 100 * float64(sn[OutOfSequence]) / float64(recv)
+}
+
+// String renders the non-zero counters, one per line, sorted by name.
+func (sn Snapshot) String() string {
+	type kv struct {
+		name string
+		v    int64
+	}
+	var rows []kv
+	for i, v := range sn {
+		if v != 0 {
+			rows = append(rows, kv{Counter(i).String(), v})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %d\n", r.name, r.v)
+	}
+	return b.String()
+}
+
+// Merge returns the element-wise sum of snapshots, taking the max for peak
+// counters. Used to aggregate per-communicator or per-proc counter sets.
+func Merge(snaps ...Snapshot) Snapshot {
+	var out Snapshot
+	for _, sn := range snaps {
+		for i, v := range sn {
+			c := Counter(i)
+			if c == UnexpectedQueuePeak || c == PostedQueuePeak {
+				if v > out[i] {
+					out[i] = v
+				}
+			} else {
+				out[i] += v
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+// Package trace is a low-overhead event tracer for the runtime: fixed-size
+// sharded ring buffers that record 24-byte events with a single atomic and
+// a short critical section, suitable for the message path's hot loops. A
+// disabled or nil tracer costs one branch.
+//
+// It complements the SPC counters: counters aggregate, the tracer keeps the
+// most recent N events with timestamps and arguments for post-mortem
+// inspection of interleavings (e.g. which thread injected which sequence
+// number in what order).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies one traced event.
+type Kind uint8
+
+// Event kinds emitted by the runtime.
+const (
+	// KindSendInject: a two-sided message entered the fabric.
+	// Arg0 = destination rank, Arg1 = sequence number.
+	KindSendInject Kind = iota + 1
+	// KindRecvDeliver: an inbound packet reached the matching engine.
+	// Arg0 = source rank, Arg1 = sequence number.
+	KindRecvDeliver
+	// KindMatchComplete: a receive matched. Arg0 = source, Arg1 = tag.
+	KindMatchComplete
+	// KindRendezvousStart: an RTS matched and the sink was registered.
+	// Arg0 = source, Arg1 = total length.
+	KindRendezvousStart
+	// KindRendezvousDone: a rendezvous receive finished.
+	// Arg0 = source, Arg1 = bytes landed.
+	KindRendezvousDone
+	// KindPutIssue: a one-sided put was issued. Arg0 = target,
+	// Arg1 = length.
+	KindPutIssue
+	// KindFlush: a window flush completed. Arg0 = target.
+	KindFlush
+	// KindProgress: one progress pass. Arg0 = events handled.
+	KindProgress
+)
+
+var kindNames = [...]string{
+	KindSendInject:      "send_inject",
+	KindRecvDeliver:     "recv_deliver",
+	KindMatchComplete:   "match_complete",
+	KindRendezvousStart: "rendezvous_start",
+	KindRendezvousDone:  "rendezvous_done",
+	KindPutIssue:        "put_issue",
+	KindFlush:           "flush",
+	KindProgress:        "progress",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one trace record.
+type Event struct {
+	// TS is nanoseconds since the tracer was created.
+	TS int64
+	// Seq is a global emission counter (total order across shards).
+	Seq uint64
+	// Kind classifies the event; Arg0/Arg1 are kind-specific.
+	Kind Kind
+	Arg0 int32
+	Arg1 int32
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%10dns #%06d %-17s a0=%-6d a1=%d", e.TS, e.Seq, e.Kind, e.Arg0, e.Arg1)
+}
+
+const numShards = 16
+
+type shard struct {
+	mu   sync.Mutex
+	ring []Event
+	next int
+	full bool
+}
+
+// Tracer records events into sharded bounded rings, overwriting the oldest
+// entries when full. All methods are safe for concurrent use; a nil Tracer
+// ignores everything.
+type Tracer struct {
+	start   time.Time
+	enabled atomic.Bool
+	seq     atomic.Uint64
+	rr      atomic.Uint64
+	shards  [numShards]shard
+}
+
+// New creates an enabled tracer keeping about capacity events in total.
+func New(capacity int) *Tracer {
+	if capacity < numShards {
+		capacity = numShards
+	}
+	t := &Tracer{start: time.Now()}
+	per := capacity / numShards
+	for i := range t.shards {
+		t.shards[i].ring = make([]Event, per)
+	}
+	t.enabled.Store(true)
+	return t
+}
+
+// SetEnabled toggles recording.
+func (t *Tracer) SetEnabled(on bool) {
+	if t != nil {
+		t.enabled.Store(on)
+	}
+}
+
+// Emit records one event. Nil-safe and disabled-safe.
+func (t *Tracer) Emit(k Kind, a0, a1 int32) {
+	if t == nil || !t.enabled.Load() {
+		return
+	}
+	e := Event{
+		TS:   time.Since(t.start).Nanoseconds(),
+		Seq:  t.seq.Add(1),
+		Kind: k,
+		Arg0: a0,
+		Arg1: a1,
+	}
+	s := &t.shards[t.rr.Add(1)%numShards]
+	s.mu.Lock()
+	s.ring[s.next] = e
+	s.next++
+	if s.next == len(s.ring) {
+		s.next = 0
+		s.full = true
+	}
+	s.mu.Unlock()
+}
+
+// Snapshot returns the retained events ordered by emission sequence.
+func (t *Tracer) Snapshot() []Event {
+	if t == nil {
+		return nil
+	}
+	var out []Event
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		if s.full {
+			out = append(out, s.ring...)
+		} else {
+			out = append(out, s.ring[:s.next]...)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Dump writes the retained events, one per line.
+func (t *Tracer) Dump(w io.Writer) error {
+	for _, e := range t.Snapshot() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountKind returns how many retained events have the given kind.
+func (t *Tracer) CountKind(k Kind) int {
+	n := 0
+	for _, e := range t.Snapshot() {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}

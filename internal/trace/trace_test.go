@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(KindSendInject, 1, 2)
+	tr.SetEnabled(true)
+	if got := tr.Snapshot(); got != nil {
+		t.Fatalf("nil tracer snapshot = %v", got)
+	}
+}
+
+func TestEmitAndSnapshotOrdered(t *testing.T) {
+	tr := New(64)
+	for i := 0; i < 10; i++ {
+		tr.Emit(KindSendInject, int32(i), int32(i*10))
+	}
+	evs := tr.Snapshot()
+	if len(evs) != 10 {
+		t.Fatalf("snapshot len = %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.Arg0 != int32(i) || e.Arg1 != int32(i*10) {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+		if i > 0 && e.Seq <= evs[i-1].Seq {
+			t.Fatal("snapshot not sequence-ordered")
+		}
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	tr := New(32) // 16 shards x 2 per shard
+	const emitted = 500
+	for i := 0; i < emitted; i++ {
+		tr.Emit(KindProgress, int32(i), 0)
+	}
+	evs := tr.Snapshot()
+	if len(evs) != 32 {
+		t.Fatalf("retained %d events, want 32", len(evs))
+	}
+	// All retained events must be from the most recent emissions.
+	for _, e := range evs {
+		if e.Arg0 < emitted-2*32 {
+			t.Fatalf("retained stale event %+v", e)
+		}
+	}
+}
+
+func TestDisabledTracerRecordsNothing(t *testing.T) {
+	tr := New(16)
+	tr.SetEnabled(false)
+	tr.Emit(KindFlush, 1, 1)
+	if len(tr.Snapshot()) != 0 {
+		t.Fatal("disabled tracer recorded an event")
+	}
+	tr.SetEnabled(true)
+	tr.Emit(KindFlush, 1, 1)
+	if len(tr.Snapshot()) != 1 {
+		t.Fatal("re-enabled tracer did not record")
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	tr := New(4096)
+	const (
+		goroutines = 8
+		per        = 200
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Emit(KindRecvDeliver, int32(g), int32(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	evs := tr.Snapshot()
+	if len(evs) != goroutines*per {
+		t.Fatalf("retained %d, want %d", len(evs), goroutines*per)
+	}
+	seen := map[uint64]bool{}
+	for _, e := range evs {
+		if seen[e.Seq] {
+			t.Fatalf("sequence %d duplicated", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestDumpAndStrings(t *testing.T) {
+	tr := New(16)
+	tr.Emit(KindMatchComplete, 3, 42)
+	var sb strings.Builder
+	if err := tr.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "match_complete") || !strings.Contains(out, "a1=42") {
+		t.Fatalf("dump = %q", out)
+	}
+	if Kind(200).String() == "" || !strings.Contains(Kind(200).String(), "200") {
+		t.Fatal("unknown kind String")
+	}
+}
+
+func TestCountKind(t *testing.T) {
+	tr := New(64)
+	tr.Emit(KindPutIssue, 0, 0)
+	tr.Emit(KindPutIssue, 0, 0)
+	tr.Emit(KindFlush, 0, 0)
+	if got := tr.CountKind(KindPutIssue); got != 2 {
+		t.Fatalf("CountKind(put) = %d", got)
+	}
+	if got := tr.CountKind(KindFlush); got != 1 {
+		t.Fatalf("CountKind(flush) = %d", got)
+	}
+}
