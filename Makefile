@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test race vet fmt bench bench-telemetry check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrency-heavy packages (the full suite
+# under -race works too, but takes much longer).
+race:
+	$(GO) test -race ./internal/telemetry ./internal/core ./internal/progress ./internal/cri ./internal/trace ./internal/rma
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Proves the disabled telemetry hooks cost ~1 ns and zero allocations.
+bench-telemetry:
+	$(GO) test -bench=. -benchmem ./internal/telemetry
+
+check: build vet test race

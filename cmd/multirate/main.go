@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	bench "repro/internal/bench/multirate"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/progress"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -45,8 +47,23 @@ func main() {
 		machineName = flag.String("machine", "alembert", "alembert | trinitite | knl | fast")
 		showSPCs    = flag.Bool("spcs", false, "dump software performance counters")
 		traceN      = flag.Int("trace", 0, "attach an event tracer retaining N events (real engine) and dump them")
+
+		spcDump        = flag.Bool("spc-dump", false, "dump counters with per-CRI/per-communicator attribution (real engine)")
+		metricsOut     = flag.String("metrics-out", "", "write a Prometheus text-format metrics snapshot to this file (real engine)")
+		traceOut       = flag.String("trace-out", "", "write a Chrome trace-event JSON file (load in chrome://tracing) (real engine)")
+		samplesOut     = flag.String("samples-out", "", "write the sampler time series as CSV to this file (real engine)")
+		sampleInterval = flag.Duration("sample-interval", 0, "background counter/histogram sampling interval, e.g. 10ms (real engine)")
 	)
 	flag.Parse()
+
+	// The telemetry layer observes the real runtime; the virtual-time model
+	// has no CRI locks or progress passes to instrument. Asking for any of
+	// its outputs implies the real engine.
+	wantTelemetry := *spcDump || *metricsOut != "" || *traceOut != "" || *samplesOut != "" || *sampleInterval > 0
+	if wantTelemetry && *engine == "sim" {
+		fmt.Fprintln(os.Stderr, "multirate: telemetry flags instrument the real runtime; switching to -engine real")
+		*engine = "real"
+	}
 
 	machine, err := machineByName(*machineName)
 	check(err)
@@ -70,9 +87,14 @@ func main() {
 			fmt.Print(res.SPCs.String())
 		}
 	case "real":
+		cap := *traceN
+		if *traceOut != "" && cap <= 0 {
+			cap = 1 << 16
+		}
 		opts := core.Options{
 			NumInstances: *instances, Assignment: asg, Progress: pm,
-			ThreadLevel: core.ThreadMultiple, TraceCapacity: *traceN,
+			ThreadLevel: core.ThreadMultiple, TraceCapacity: cap,
+			Telemetry: wantTelemetry,
 		}
 		pat := bench.Pairwise
 		if *pattern == "incast" {
@@ -82,7 +104,7 @@ func main() {
 			Machine: machine, Opts: opts, Pairs: *pairs, Window: *window,
 			Iters: *iters, MsgSize: *msgSize, CommPerPair: *commPerPair,
 			AnyTag: *anyTag, Overtaking: *overtaking, ProcessMode: *processMode,
-			Pattern: pat,
+			Pattern: pat, SampleInterval: *sampleInterval,
 		})
 		check(err)
 		fmt.Printf("engine=real pairs=%d messages=%d elapsed=%v rate=%.0f msg/s oos=%.2f%%\n",
@@ -90,12 +112,45 @@ func main() {
 		if *showSPCs {
 			fmt.Print(res.SPCs.String())
 		}
+		if *spcDump {
+			for _, ps := range res.Stats {
+				check(ps.WriteText(os.Stdout))
+			}
+		}
 		if *traceN > 0 {
 			fmt.Print(res.TraceDump)
+		}
+		if *metricsOut != "" {
+			check(writeFile(*metricsOut, func(w io.Writer) error {
+				return telemetry.WritePrometheus(w, res.Stats...)
+			}))
+		}
+		if *traceOut != "" {
+			check(writeFile(*traceOut, func(w io.Writer) error {
+				return telemetry.WriteChromeTraceRanks(w, res.Events)
+			}))
+		}
+		if *samplesOut != "" {
+			check(writeFile(*samplesOut, func(w io.Writer) error {
+				return telemetry.WriteSamplesCSV(w, res.Samples)
+			}))
 		}
 	default:
 		check(fmt.Errorf("unknown engine %q", *engine))
 	}
+}
+
+// writeFile creates path and streams fn's output into it.
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func machineByName(name string) (hw.Machine, error) {

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	bench "repro/internal/bench/rmamt"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/progress"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -34,8 +36,22 @@ func main() {
 		assignment  = flag.String("assignment", "dedicated", "round-robin | dedicated")
 		prog        = flag.String("progress", "serial", "serial | concurrent")
 		machineName = flag.String("machine", "trinitite", "alembert | trinitite | knl | fast")
+
+		spcDump        = flag.Bool("spc-dump", false, "dump counters with per-CRI/per-communicator attribution (real engine)")
+		metricsOut     = flag.String("metrics-out", "", "write a Prometheus text-format metrics snapshot to this file (real engine)")
+		traceOut       = flag.String("trace-out", "", "write a Chrome trace-event JSON file (load in chrome://tracing) (real engine)")
+		samplesOut     = flag.String("samples-out", "", "write the sampler time series as CSV to this file (real engine)")
+		sampleInterval = flag.Duration("sample-interval", 0, "background counter/histogram sampling interval, e.g. 10ms (real engine)")
 	)
 	flag.Parse()
+
+	// Telemetry observes the real runtime; the virtual-time model has
+	// nothing to instrument. Any telemetry output implies the real engine.
+	wantTelemetry := *spcDump || *metricsOut != "" || *traceOut != "" || *samplesOut != "" || *sampleInterval > 0
+	if wantTelemetry && *engine == "sim" {
+		fmt.Fprintln(os.Stderr, "rmamt: telemetry flags instrument the real runtime; switching to -engine real")
+		*engine = "real"
+	}
 
 	machine, err := machineByName(*machineName)
 	check(err)
@@ -59,17 +75,53 @@ func main() {
 		if ni <= 0 {
 			ni = machine.DefaultContexts
 		}
-		opts := core.Options{NumInstances: ni, Assignment: asg, Progress: pm, ThreadLevel: core.ThreadMultiple}
+		opts := core.Options{NumInstances: ni, Assignment: asg, Progress: pm, ThreadLevel: core.ThreadMultiple, Telemetry: wantTelemetry}
+		if *traceOut != "" {
+			opts.TraceCapacity = 1 << 16
+		}
 		res, err := bench.Run(bench.Config{
 			Machine: machine, Opts: opts, Threads: *threads, MsgSize: *msgSize,
-			PutsPerThread: *puts, Rounds: *rounds,
+			PutsPerThread: *puts, Rounds: *rounds, SampleInterval: *sampleInterval,
 		})
 		check(err)
 		fmt.Printf("engine=real threads=%d size=%dB puts=%d elapsed=%v rate=%.0f puts/s\n",
 			*threads, *msgSize, res.Puts, res.Elapsed, res.Rate)
+		if *spcDump {
+			for _, ps := range res.Stats {
+				check(ps.WriteText(os.Stdout))
+			}
+		}
+		if *metricsOut != "" {
+			check(writeFile(*metricsOut, func(w io.Writer) error {
+				return telemetry.WritePrometheus(w, res.Stats...)
+			}))
+		}
+		if *traceOut != "" {
+			check(writeFile(*traceOut, func(w io.Writer) error {
+				return telemetry.WriteChromeTraceRanks(w, res.Events)
+			}))
+		}
+		if *samplesOut != "" {
+			check(writeFile(*samplesOut, func(w io.Writer) error {
+				return telemetry.WriteSamplesCSV(w, res.Samples)
+			}))
+		}
 	default:
 		check(fmt.Errorf("unknown engine %q", *engine))
 	}
+}
+
+// writeFile creates path and streams fn's output into it.
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func machineByName(name string) (hw.Machine, error) {

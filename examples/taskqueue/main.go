@@ -116,7 +116,7 @@ func main() {
 	// With overtaking asserted, the runtime never buffered an
 	// out-of-sequence message.
 	for wr := 1; wr <= workers; wr++ {
-		if oos := world.Proc(wr).SPCs().Get(spc.OutOfSequence); oos != 0 {
+		if oos := world.Proc(wr).SPCSnapshot().Get(spc.OutOfSequence); oos != 0 {
 			log.Fatalf("worker %d recorded %d out-of-sequence messages", wr, oos)
 		}
 	}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/spc"
+	"repro/internal/telemetry"
 )
 
 // Pattern selects the communication shape.
@@ -69,6 +70,10 @@ type Config struct {
 	ProcessMode bool
 	// Pattern selects pairwise (default) or incast.
 	Pattern Pattern
+	// SampleInterval, when positive, runs a background sampler on the
+	// receiver process snapshotting counters and histograms at this
+	// interval; the time series lands in Result.Samples.
+	SampleInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -92,10 +97,19 @@ type Result struct {
 	Elapsed time.Duration
 	// Rate is Messages/Elapsed in msg/s.
 	Rate float64
-	// SPCs is the receiver-side counter snapshot.
+	// SPCs is the receiver-side counter snapshot: the full per-process
+	// roll-up (residual + per-CRI + per-communicator child sets).
 	SPCs spc.Snapshot
-	// TraceDump holds the receiver-side event trace when tracing was
-	// enabled (Options.TraceCapacity > 0).
+	// Stats holds every process's attributed counter/histogram breakdown
+	// in rank order (sender is rank 0, receiver rank 1 in thread mode).
+	Stats []telemetry.ProcStats
+	// Events holds every process's event trace when tracing was enabled
+	// (Options.TraceCapacity > 0), in rank order.
+	Events []telemetry.RankEvents
+	// Samples is the sampler time series when Config.SampleInterval > 0.
+	Samples []telemetry.Sample
+	// TraceDump holds the receiver-side event trace rendered as text when
+	// tracing was enabled (Options.TraceCapacity > 0).
 	TraceDump string
 }
 
@@ -127,6 +141,7 @@ func runIncast(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	smp := startSampler(cfg, w.Proc(1))
 	errs := make(chan error, cfg.Pairs+1)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -156,10 +171,24 @@ func runIncast(cfg Config) (Result, error) {
 	close(errs)
 	for err := range errs {
 		if err != nil {
+			smp.Stop()
 			return Result{}, err
 		}
 	}
-	return result(cfg, elapsed, w.Proc(1).SPCs()), nil
+	return result(cfg, elapsed, w, smp), nil
+}
+
+// startSampler attaches a background counter/histogram sampler observing p,
+// or returns nil when Config.SampleInterval is unset.
+func startSampler(cfg Config, p *core.Proc) *telemetry.Sampler {
+	if cfg.SampleInterval <= 0 {
+		return nil
+	}
+	s := telemetry.NewSampler(cfg.SampleInterval, func() (spc.Snapshot, []telemetry.NamedHist) {
+		return p.SPCSnapshot(), p.Telemetry().Snapshot()
+	})
+	s.Start()
+	return s
 }
 
 func runThreads(cfg Config) (Result, error) {
@@ -184,6 +213,7 @@ func runThreads(cfg Config) (Result, error) {
 		}
 	}
 
+	smp := startSampler(cfg, w.Proc(1))
 	errs := make(chan error, 2*cfg.Pairs)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -203,10 +233,11 @@ func runThreads(cfg Config) (Result, error) {
 	close(errs)
 	for err := range errs {
 		if err != nil {
+			smp.Stop()
 			return Result{}, err
 		}
 	}
-	res := result(cfg, elapsed, w.Proc(1).SPCs())
+	res := result(cfg, elapsed, w, smp)
 	res.TraceDump = traceDump(w.Proc(1))
 	return res, nil
 }
@@ -261,26 +292,38 @@ func runProcesses(cfg Config) (Result, error) {
 			return Result{}, err
 		}
 	}
-	// Aggregate receiver-side SPCs across all receiver procs.
+	// Aggregate receiver-side SPC roll-ups across all receiver procs.
 	snaps := make([]spc.Snapshot, 0, cfg.Pairs)
 	for pair := 0; pair < cfg.Pairs; pair++ {
-		if s := pcs[pair].r.Proc().SPCs(); s != nil {
-			snaps = append(snaps, s.Snapshot())
-		}
+		snaps = append(snaps, pcs[pair].r.Proc().SPCSnapshot())
 	}
-	res := result(cfg, elapsed, nil)
+	res := result(cfg, elapsed, w, nil)
 	res.SPCs = spc.Merge(snaps...)
 	return res, nil
 }
 
-func result(cfg Config, elapsed time.Duration, s *spc.Set) Result {
+// result assembles the common fields: rates, the receiver roll-up (rank 1,
+// the convention every caller of Result.SPCs relies on), and per-process
+// attributed stats and traces for all ranks.
+func result(cfg Config, elapsed time.Duration, w *core.World, smp *telemetry.Sampler) Result {
 	total := int64(cfg.Pairs) * int64(cfg.Window) * int64(cfg.Iters)
 	r := Result{Messages: total, Elapsed: elapsed}
 	if elapsed > 0 {
 		r.Rate = float64(total) / elapsed.Seconds()
 	}
-	if s != nil {
-		r.SPCs = s.Snapshot()
+	if w != nil {
+		r.SPCs = w.Proc(1).SPCSnapshot()
+		for rank := 0; rank < w.Size(); rank++ {
+			p := w.Proc(rank)
+			r.Stats = append(r.Stats, p.TelemetryStats())
+			if tr := p.Tracer(); tr != nil {
+				r.Events = append(r.Events, telemetry.RankEvents{Rank: rank, Events: tr.Snapshot()})
+			}
+		}
+	}
+	if smp != nil {
+		smp.Stop()
+		r.Samples = smp.Samples()
 	}
 	return r
 }

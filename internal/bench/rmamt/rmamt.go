@@ -15,6 +15,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/rma"
 	"repro/internal/spc"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes one run.
@@ -31,6 +32,9 @@ type Config struct {
 	PutsPerThread int
 	// Rounds repeats the burst+flush cycle.
 	Rounds int
+	// SampleInterval, when positive, runs a background sampler on the
+	// origin process; the time series lands in Result.Samples.
+	SampleInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -57,8 +61,17 @@ type Result struct {
 	Elapsed time.Duration
 	// Rate is Puts/Elapsed in ops/s.
 	Rate float64
-	// SPCs is the origin-side counter snapshot.
+	// SPCs is the origin-side counter roll-up (residual + per-CRI +
+	// per-communicator child sets).
 	SPCs spc.Snapshot
+	// Stats holds both processes' attributed counter/histogram breakdowns
+	// in rank order (origin is rank 0, target rank 1).
+	Stats []telemetry.ProcStats
+	// Events holds both processes' event traces when tracing was enabled,
+	// in rank order.
+	Events []telemetry.RankEvents
+	// Samples is the sampler time series when Config.SampleInterval > 0.
+	Samples []telemetry.Sample
 }
 
 // Run executes the benchmark: two processes, a window on each, all threads
@@ -81,6 +94,14 @@ func Run(cfg Config) (Result, error) {
 	origin := wins[0]
 	origin.LockAll()
 
+	var smp *telemetry.Sampler
+	if cfg.SampleInterval > 0 {
+		op := w.Proc(0)
+		smp = telemetry.NewSampler(cfg.SampleInterval, func() (spc.Snapshot, []telemetry.NamedHist) {
+			return op.SPCSnapshot(), op.Telemetry().Snapshot()
+		})
+		smp.Start()
+	}
 	errs := make(chan error, cfg.Threads)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -111,6 +132,7 @@ func Run(cfg Config) (Result, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	smp.Stop()
 	close(errs)
 	for err := range errs {
 		if err != nil {
@@ -127,9 +149,15 @@ func Run(cfg Config) (Result, error) {
 	if elapsed > 0 {
 		res.Rate = float64(total) / elapsed.Seconds()
 	}
-	if s := w.Proc(0).SPCs(); s != nil {
-		res.SPCs = s.Snapshot()
+	res.SPCs = w.Proc(0).SPCSnapshot()
+	for rank := 0; rank < w.Size(); rank++ {
+		p := w.Proc(rank)
+		res.Stats = append(res.Stats, p.TelemetryStats())
+		if tr := p.Tracer(); tr != nil {
+			res.Events = append(res.Events, telemetry.RankEvents{Rank: rank, Events: tr.Snapshot()})
+		}
 	}
+	res.Samples = smp.Samples()
 	// Verify delivery: every byte of the target window must carry its
 	// thread's fill value (puts to disjoint offsets).
 	target := wins[1].Local()

@@ -355,11 +355,13 @@ func (c *Comm) irecvInternal(th *Thread, src int, tag int32, buf []byte) (*Reque
 	req := &Request{proc: p, kind: reqRecv}
 	req.mrecv = &match.Recv{Source: int32(src), Tag: tag, Buf: buf, Token: req}
 	if !c.matchMu.TryLock() {
-		t0 := p.spcs.StartTimer()
+		t0 := c.spcs.StartTimer()
 		c.matchMu.Lock()
-		c.engine.ChargeWait(sinceTimer(p.spcs, t0))
+		c.engine.ChargeWait(sinceTimer(c.spcs, t0))
 	}
+	h0 := p.histMatch.Start()
 	comp, ok := c.engine.PostRecv(req.mrecv)
+	p.histMatch.ObserveSince(h0)
 	c.matchMu.Unlock()
 	if ok {
 		c.completeRecv(comp)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/fabric"
 	"repro/internal/match"
@@ -34,6 +35,11 @@ type Comm struct {
 	engine  match.Matcher
 	seq     *match.SeqTracker
 
+	// spcs is this communicator's attributed counter set — a child of the
+	// process totals (see Proc.SPCSnapshot). The matching engine records
+	// into it directly. Nil when counters are disabled.
+	spcs *spc.Set
+
 	// collSeq numbers collective calls; all ranks advance it in lockstep
 	// because MPI requires collectives in identical order.
 	collSeq atomic.Uint32
@@ -57,11 +63,14 @@ func newComm(p *Proc, id uint32, group []int, myRank int, info Info) *Comm {
 		info:       info,
 		eagerLimit: p.world.opts.EagerLimit,
 	}
+	if p.spcs != nil {
+		c.spcs = spc.NewSet()
+	}
 	var meter match.Meter = match.SpinMeter{}
 	if p.world.opts.HashMatching {
-		c.engine = match.NewHashEngine(id, len(group), p.dev.Machine().Scaled(), meter, p.spcs)
+		c.engine = match.NewHashEngine(id, len(group), p.dev.Machine().Scaled(), meter, c.spcs)
 	} else {
-		c.engine = match.NewEngine(id, len(group), p.dev.Machine().Scaled(), meter, p.spcs)
+		c.engine = match.NewEngine(id, len(group), p.dev.Machine().Scaled(), meter, c.spcs)
 	}
 	c.engine.SetAllowOvertaking(info.AllowOvertaking)
 	c.seq = match.NewSeqTracker(len(group))
@@ -83,6 +92,11 @@ func (c *Comm) WorldRank(commRank int) int { return c.group[commRank] }
 
 // Proc returns the owning process.
 func (c *Comm) Proc() *Proc { return c.proc }
+
+// SPCs returns the communicator's attributed counter set (nil when
+// counters are disabled). Runtime-internal layers (e.g. the one-sided
+// stack) record communicator-scoped counters here.
+func (c *Comm) SPCs() *spc.Set { return c.spcs }
 
 // Info returns the communicator's assertions.
 func (c *Comm) Info() Info { return c.info }
@@ -136,18 +150,22 @@ func (c *Comm) Isend(th *Thread, dst int, tag int32, buf []byte) (*Request, erro
 	}
 	req := &Request{proc: p, kind: reqSend}
 	pkt := fabric.NewPacket(env, buf, req)
-	p.spcs.Inc(spc.MessagesSent)
-	p.tracer.Emit(trace.KindSendInject, int32(dst), int32(seq))
+	c.spcs.Inc(spc.MessagesSent)
+	if p.histLatency != nil {
+		pkt.Stamp = time.Now().UnixNano()
+	}
 
 	if c.group[dst] == p.rank {
 		// Self message: bypass the fabric, deliver straight into the
 		// matching engine and complete the send.
+		p.tracer.Emit(trace.KindSendInject, int32(dst), int32(seq))
 		req.finish(nil)
 		p.deliver(pkt)
 		return req, nil
 	}
 
 	inst := p.pool.ForThread(&th.ts)
+	p.tracer.EmitCRI(trace.KindSendInject, inst.Index(), int32(dst), int32(seq))
 	inst.Lock()
 	inst.Endpoint(c.group[dst]).Send(pkt)
 	inst.Unlock()
@@ -186,11 +204,13 @@ func (c *Comm) Irecv(th *Thread, src int, tag int32, buf []byte) (*Request, erro
 	req.mrecv = &match.Recv{Source: int32(src), Tag: tag, Buf: buf, Token: req}
 
 	if !c.matchMu.TryLock() {
-		t0 := p.spcs.StartTimer()
+		t0 := c.spcs.StartTimer()
 		c.matchMu.Lock()
-		c.engine.ChargeWait(sinceTimer(p.spcs, t0))
+		c.engine.ChargeWait(sinceTimer(c.spcs, t0))
 	}
+	h0 := p.histMatch.Start()
 	comp, ok := c.engine.PostRecv(req.mrecv)
+	p.histMatch.ObserveSince(h0)
 	c.matchMu.Unlock()
 	if ok {
 		c.completeRecv(comp)
@@ -265,7 +285,7 @@ func (m *Message) MRecv(buf []byte) (Status, error) {
 		MessageLen: int(env.Len),
 		Truncated:  n < len(m.pkt.Payload),
 	}
-	m.comm.proc.spcs.Inc(spc.MessagesReceived)
+	m.comm.spcs.Inc(spc.MessagesReceived)
 	if st.Truncated {
 		return st, fmt.Errorf("%w: %d-byte message into %d-byte buffer", ErrTruncated, st.MessageLen, st.Count)
 	}
@@ -284,7 +304,11 @@ func (c *Comm) completeRecv(comp match.Completion) {
 		c.startRendezvousRecv(req, comp)
 		return
 	}
-	c.proc.tracer.Emit(trace.KindMatchComplete, env.Src, env.Tag)
+	p := c.proc
+	if p.histLatency != nil && comp.Packet != nil && comp.Packet.Stamp != 0 {
+		p.histLatency.ObserveNs(time.Now().UnixNano() - comp.Packet.Stamp)
+	}
+	p.tracer.Emit(trace.KindMatchComplete, env.Src, env.Tag)
 	req.finishRecv(Status{
 		Source:     env.Src,
 		Tag:        env.Tag,

@@ -460,10 +460,10 @@ func TestMessagesSentCounter(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if got := w.Proc(0).SPCs().Get(spc.MessagesSent); got != 10 {
+	if got := w.Proc(0).SPCSnapshot().Get(spc.MessagesSent); got != 10 {
 		t.Fatalf("messages_sent = %d, want 10", got)
 	}
-	if got := w.Proc(1).SPCs().Get(spc.MessagesReceived); got != 10 {
+	if got := w.Proc(1).SPCSnapshot().Get(spc.MessagesReceived); got != 10 {
 		t.Fatalf("messages_received = %d, want 10", got)
 	}
 }
@@ -682,7 +682,7 @@ func TestAllowOvertakingDelivery(t *testing.T) {
 			t.Fatalf("sender %d: %d messages delivered, want %d", g, n, msgs)
 		}
 	}
-	if oos := w.Proc(1).SPCs().Get(spc.OutOfSequence); oos != 0 {
+	if oos := w.Proc(1).SPCSnapshot().Get(spc.OutOfSequence); oos != 0 {
 		t.Fatalf("overtaking recorded %d out-of-sequence messages", oos)
 	}
 }

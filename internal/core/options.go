@@ -69,6 +69,11 @@ type Options struct {
 	BigLock bool
 	// DisableSPCs turns off software performance counters.
 	DisableSPCs bool
+	// Telemetry attaches the latency-histogram layer (internal/telemetry):
+	// match-section time, instance-lock wait, progress-pass duration, and
+	// eager inject-to-match message latency, exportable in Prometheus text
+	// format. Off by default; every hook is a single branch when off.
+	Telemetry bool
 	// TraceCapacity, when positive, attaches an event tracer retaining
 	// about this many recent message-path events per process
 	// (see internal/trace).

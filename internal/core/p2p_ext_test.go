@@ -277,7 +277,7 @@ func TestScrambledDeliveryPreservesFIFO(t *testing.T) {
 	}
 	// The scrambler must actually have produced out-of-sequence arrivals,
 	// or this test proves nothing.
-	if oos := w.Proc(1).SPCs().Get(spc.OutOfSequence); oos == 0 {
+	if oos := w.Proc(1).SPCSnapshot().Get(spc.OutOfSequence); oos == 0 {
 		t.Fatal("scrambler produced zero out-of-sequence messages")
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/progress"
 	"repro/internal/spc"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -138,8 +139,18 @@ type Proc struct {
 	spcs   *spc.Set
 	tracer *trace.Tracer
 
+	// tel bundles the latency histograms (Options.Telemetry); the two
+	// histograms the proc's own hot paths record into are cached as direct
+	// pointers so a disabled hook is one nil check.
+	tel         *telemetry.Telemetry
+	histMatch   *telemetry.Histogram
+	histLatency *telemetry.Histogram
+
 	commMu sync.RWMutex
 	comms  map[uint32]*Comm
+	// retiredSPCs retains the counter totals of freed communicators so the
+	// process roll-up never loses history. Guarded by commMu.
+	retiredSPCs spc.Snapshot
 
 	// bigMu is the process-wide lock of the BigLock comparator design.
 	bigMu   sync.Mutex
@@ -185,6 +196,11 @@ func newProc(w *World, rank int, machine hw.Machine, opts Options) (*Proc, error
 	if opts.TraceCapacity > 0 {
 		p.tracer = trace.New(opts.TraceCapacity)
 	}
+	if opts.Telemetry {
+		p.tel = telemetry.New()
+		p.histMatch = p.tel.MatchSection
+		p.histLatency = p.tel.MsgLatency
+	}
 	p.levelGuard.level = opts.ThreadLevel
 	insts := make([]*cri.Instance, opts.NumInstances)
 	for i := range insts {
@@ -192,10 +208,26 @@ func newProc(w *World, rank int, machine hw.Machine, opts Options) (*Proc, error
 		if err != nil {
 			return nil, err
 		}
-		insts[i] = cri.NewInstance(i, ctx, p.spcs)
+		// Each instance owns a child counter set; Proc.SPCSnapshot merges
+		// the children back into the process totals.
+		var is *spc.Set
+		if p.spcs != nil {
+			is = spc.NewSet()
+		}
+		insts[i] = cri.NewInstance(i, ctx, is)
+		if p.tel != nil {
+			insts[i].SetLockWaitHistogram(p.tel.LockWait)
+		}
 	}
 	p.pool = cri.NewPool(insts, opts.Assignment)
 	p.prog = progress.New(opts.Progress, p.pool, p.dispatch, p.spcs)
+	if p.tracer != nil || p.tel != nil {
+		var passHist *telemetry.Histogram
+		if p.tel != nil {
+			passHist = p.tel.ProgressPass
+		}
+		p.prog.SetObservers(p.tracer, passHist)
+	}
 	if opts.ProgressThread {
 		p.offload = true
 		p.offloadStop = make(chan struct{})
@@ -244,8 +276,64 @@ func (p *Proc) Rank() int { return p.rank }
 // World returns the owning world.
 func (p *Proc) World() *World { return p.world }
 
-// SPCs returns the proc's counter set (nil when disabled).
+// SPCs returns the proc's residual counter set (nil when disabled). It
+// holds only counters with no per-CRI or per-communicator owner; use
+// SPCSnapshot for the rolled-up process totals.
 func (p *Proc) SPCs() *spc.Set { return p.spcs }
+
+// SPCSnapshot returns the process counter totals: the residual set merged
+// with every instance's and every live communicator's child set, plus the
+// retained totals of freed communicators.
+func (p *Proc) SPCSnapshot() spc.Snapshot {
+	if p.spcs == nil {
+		return spc.Snapshot{}
+	}
+	snaps := make([]spc.Snapshot, 0, 2+p.pool.Len())
+	snaps = append(snaps, p.spcs.Snapshot())
+	for i := 0; i < p.pool.Len(); i++ {
+		if s := p.pool.Get(i).SPCs(); s != nil {
+			snaps = append(snaps, s.Snapshot())
+		}
+	}
+	p.commMu.RLock()
+	snaps = append(snaps, p.retiredSPCs)
+	for _, c := range p.comms {
+		if c.spcs != nil {
+			snaps = append(snaps, c.spcs.Snapshot())
+		}
+	}
+	p.commMu.RUnlock()
+	return spc.Merge(snaps...)
+}
+
+// Telemetry returns the proc's latency-histogram bundle (nil unless
+// Options.Telemetry was set).
+func (p *Proc) Telemetry() *telemetry.Telemetry { return p.tel }
+
+// TelemetryStats assembles the proc's full observability snapshot: rolled
+// up process totals, the per-CRI and per-communicator attributions they
+// merge from, the residual set, and the latency histograms.
+func (p *Proc) TelemetryStats() telemetry.ProcStats {
+	ps := telemetry.ProcStats{Rank: p.rank, Hists: p.tel.Snapshot()}
+	if p.spcs == nil {
+		return ps
+	}
+	for i := 0; i < p.pool.Len(); i++ {
+		if s := p.pool.Get(i).SPCs(); s != nil {
+			ps.PerCRI = append(ps.PerCRI, telemetry.CRIStat{Index: i, Counters: s.Snapshot()})
+		}
+	}
+	p.commMu.RLock()
+	ps.Residual = spc.Merge(p.spcs.Snapshot(), p.retiredSPCs)
+	for id, c := range p.comms {
+		if c.spcs != nil {
+			ps.PerComm = append(ps.PerComm, telemetry.CommStat{ID: id, Counters: c.spcs.Snapshot()})
+		}
+	}
+	p.commMu.RUnlock()
+	ps.Process = ps.MergeChildren()
+	return ps
+}
 
 // Tracer returns the proc's event tracer (nil unless Options.TraceCapacity
 // was set).
@@ -272,6 +360,11 @@ func (p *Proc) registerComm(c *Comm) {
 
 func (p *Proc) unregisterComm(id uint32) {
 	p.commMu.Lock()
+	if c := p.comms[id]; c != nil && c.spcs != nil {
+		// Retain the freed communicator's totals so process roll-ups are
+		// monotone across communicator lifetimes.
+		p.retiredSPCs = spc.Merge(p.retiredSPCs, c.spcs.Snapshot())
+	}
 	delete(p.comms, id)
 	p.commMu.Unlock()
 }
@@ -328,13 +421,16 @@ func (p *Proc) deliver(pkt *fabric.Packet) {
 		scratch = &completionScratch{}
 	}
 	// Measure matching-lock wait: Table II's match time includes the time
-	// threads spend fighting over the matching critical section.
+	// threads spend fighting over the matching critical section. The wait
+	// is charged to the communicator's own counter set.
 	if !c.matchMu.TryLock() {
-		t0 := p.spcs.StartTimer()
+		t0 := c.spcs.StartTimer()
 		c.matchMu.Lock()
-		c.engine.ChargeWait(sinceTimer(p.spcs, t0))
+		c.engine.ChargeWait(sinceTimer(c.spcs, t0))
 	}
+	h0 := p.histMatch.Start()
 	scratch.buf = c.engine.Deliver(pkt, scratch.buf[:0])
+	p.histMatch.ObserveSince(h0)
 	c.matchMu.Unlock()
 	for _, comp := range scratch.buf {
 		c.completeRecv(comp)

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/spc"
+	"repro/internal/telemetry"
 )
 
 // Assignment selects how threads are mapped to instances.
@@ -45,13 +46,29 @@ type Instance struct {
 	index int
 	ctx   *fabric.Context
 	eps   []*fabric.Endpoint // indexed by remote rank; nil for self
-	spcs  *spc.Set
+	// spcs is this instance's own attributed counter set (a child of the
+	// process totals), so contention localizes to an instance. Nil when
+	// counters are disabled.
+	spcs *spc.Set
+	// lockWait records blocking instance-lock acquisitions; nil when
+	// latency telemetry is disabled.
+	lockWait *telemetry.Histogram
 }
 
 // NewInstance wraps a fabric context as instance index within its pool.
+// spcs is the instance's OWN counter set (not the process set): callers
+// that want per-instance attribution pass a fresh set per instance and
+// roll the children up with spc.Merge.
 func NewInstance(index int, ctx *fabric.Context, spcs *spc.Set) *Instance {
 	return &Instance{index: index, ctx: ctx, spcs: spcs}
 }
+
+// SetLockWaitHistogram attaches a histogram recording blocking lock waits.
+// Call during setup, before the instance is shared between threads.
+func (in *Instance) SetLockWaitHistogram(h *telemetry.Histogram) { in.lockWait = h }
+
+// SPCs returns the instance's attributed counter set (nil when disabled).
+func (in *Instance) SPCs() *spc.Set { return in.spcs }
 
 // Index returns the instance's position in its pool.
 func (in *Instance) Index() int { return in.index }
@@ -70,14 +87,17 @@ func (in *Instance) Endpoint(rank int) *fabric.Endpoint {
 	return in.eps[rank]
 }
 
-// Lock acquires the instance lock, recording contention in the SPC set
-// (send_lock_waits) when the fast-path try-lock fails.
+// Lock acquires the instance lock, recording contention in the instance's
+// SPC set (send_lock_waits) and the lock-wait histogram when the fast-path
+// try-lock fails. Both records are nil-safe single branches when disabled.
 func (in *Instance) Lock() {
 	if in.mu.TryLock() {
 		return
 	}
 	in.spcs.Inc(spc.SendLockWaits)
+	t0 := in.lockWait.Start()
 	in.mu.Lock()
+	in.lockWait.ObserveSince(t0)
 }
 
 // TryLock attempts the instance lock without blocking.

@@ -86,6 +86,11 @@ type Packet struct {
 	// Token is opaque sender state echoed in the send-completion CQE,
 	// typically the request to mark complete.
 	Token any
+	// Stamp is an optional injection timestamp (UnixNano) set by the
+	// telemetry layer to measure inject-to-match latency; 0 = unstamped.
+	// It rides the packet but is not part of the wire envelope, exactly
+	// like driver-private metadata on a real send WQE.
+	Stamp int64
 }
 
 // NewPacket marshals env and copies payload into a fresh packet, setting

@@ -16,6 +16,8 @@ import (
 	"repro/internal/cri"
 	"repro/internal/fabric"
 	"repro/internal/spc"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Mode selects the progress design.
@@ -51,12 +53,27 @@ type Engine struct {
 	serialMu trylockMutex
 	// batch bounds how many events one Poll handles per instance visit.
 	batch int
+	// tracer, when attached, receives one KindProgress event per
+	// productive pass (Arg0 = events handled), attributed to the calling
+	// thread's dedicated instance when it has one.
+	tracer *trace.Tracer
+	// passHist, when attached, records the duration of every pass.
+	passHist *telemetry.Histogram
 }
 
 // New creates a progress engine over pool. The dispatch callback routes
-// events to the upper layer (request completion, matching).
+// events to the upper layer (request completion, matching). spcs is the
+// process-level residual set; per-instance contention is charged to each
+// instance's own set.
 func New(mode Mode, pool *cri.Pool, dispatch Dispatch, spcs *spc.Set) *Engine {
 	return &Engine{mode: mode, pool: pool, dispatch: dispatch, spcs: spcs, batch: 64}
+}
+
+// SetObservers attaches the event tracer and pass-duration histogram.
+// Either may be nil; call during setup, before threads enter the engine.
+func (e *Engine) SetObservers(tr *trace.Tracer, passHist *telemetry.Histogram) {
+	e.tracer = tr
+	e.passHist = passHist
 }
 
 // Mode returns the engine's progress design.
@@ -66,10 +83,20 @@ func (e *Engine) Mode() Mode { return e.mode }
 // returns the number of completion events handled.
 func (e *Engine) Progress(ts *cri.ThreadState) int {
 	e.spcs.Inc(spc.ProgressCalls)
+	t0 := e.passHist.Start()
+	var count int
 	if e.mode == Serial {
-		return e.progressSerial()
+		count = e.progressSerial()
+	} else {
+		count = e.progressConcurrent(ts)
 	}
-	return e.progressConcurrent(ts)
+	e.passHist.ObserveSince(t0)
+	if count > 0 {
+		// Productive passes only: an idle spin loop would flush the ring
+		// of every interesting event within milliseconds.
+		e.tracer.EmitCRI(trace.KindProgress, ts.Dedicated(), int32(count), 0)
+	}
+	return count
 }
 
 // progressSerial is Open MPI's classic design: one thread wins the global
@@ -105,7 +132,10 @@ func (e *Engine) progressConcurrent(ts *cri.ThreadState) int {
 			count = inst.Poll(e.dispatch, e.batch)
 			inst.Unlock()
 		} else {
-			e.spcs.Inc(spc.ProgressTryLockFail)
+			// Contention is charged to the contended instance's own set so
+			// the hot instance is identifiable; the process roll-up merges
+			// it back into the Table II total.
+			e.chargeTryLockFail(inst)
 		}
 	}
 	if count > 0 {
@@ -116,7 +146,7 @@ func (e *Engine) progressConcurrent(ts *cri.ThreadState) int {
 		if !inst.TryLock() {
 			// Someone else is progressing this instance; move on
 			// (the try-lock-as-helper rule of Section III-C).
-			e.spcs.Inc(spc.ProgressTryLockFail)
+			e.chargeTryLockFail(inst)
 			continue
 		}
 		c := inst.Poll(e.dispatch, e.batch)
@@ -127,6 +157,16 @@ func (e *Engine) progressConcurrent(ts *cri.ThreadState) int {
 		}
 	}
 	return count
+}
+
+// chargeTryLockFail records a failed instance try-lock on the instance's
+// own counter set when it has one, else on the engine's residual set.
+func (e *Engine) chargeTryLockFail(inst *cri.Instance) {
+	if s := inst.SPCs(); s != nil {
+		s.Inc(spc.ProgressTryLockFail)
+		return
+	}
+	e.spcs.Inc(spc.ProgressTryLockFail)
 }
 
 // Drain polls every instance until no events remain, ignoring the engine's

@@ -173,13 +173,15 @@ func (w *Win) inEpoch(target int) error {
 }
 
 // issue runs one one-sided operation through the thread's instance under
-// the instance lock — the contention point the figures sweep.
-func (w *Win) issue(th *core.Thread, target int, f func(ctx *fabric.Context, r *fabric.MemRegion, tok *opToken) error) error {
+// the instance lock — the contention point the figures sweep. It returns
+// the index of the instance that carried the operation so callers can
+// attribute counters and trace events to it.
+func (w *Win) issue(th *core.Thread, target int, f func(ctx *fabric.Context, r *fabric.MemRegion, tok *opToken) error) (int, error) {
 	if err := w.checkTarget(target); err != nil {
-		return err
+		return -1, err
 	}
 	if err := w.inEpoch(target); err != nil {
-		return fmt.Errorf("%w (target %d)", err, target)
+		return -1, fmt.Errorf("%w (target %d)", err, target)
 	}
 	p := w.comm.Proc()
 	tok := &opToken{win: w, target: target}
@@ -190,18 +192,18 @@ func (w *Win) issue(th *core.Thread, target int, f func(ctx *fabric.Context, r *
 	if err == nil {
 		w.pending[target].Add(1)
 	}
-	return err
+	return inst.Index(), err
 }
 
 // Put writes src into target's window at offset (MPI_Put). Completion is
 // local-only; use Flush to guarantee remote completion.
 func (w *Win) Put(th *core.Thread, target, offset int, src []byte) error {
-	err := w.issue(th, target, func(ctx *fabric.Context, r *fabric.MemRegion, tok *opToken) error {
+	cri, err := w.issue(th, target, func(ctx *fabric.Context, r *fabric.MemRegion, tok *opToken) error {
 		return ctx.Put(r, offset, src, tok)
 	})
 	if err == nil {
-		w.comm.Proc().SPCs().Inc(spc.PutsIssued)
-		w.comm.Proc().Tracer().Emit(trace.KindPutIssue, int32(target), int32(len(src)))
+		w.comm.SPCs().Inc(spc.PutsIssued)
+		w.comm.Proc().Tracer().EmitCRI(trace.KindPutIssue, cri, int32(target), int32(len(src)))
 	}
 	return err
 }
@@ -209,11 +211,11 @@ func (w *Win) Put(th *core.Thread, target, offset int, src []byte) error {
 // Get reads len(dst) bytes from target's window at offset (MPI_Get).
 // dst is valid only after a Flush.
 func (w *Win) Get(th *core.Thread, target, offset int, dst []byte) error {
-	err := w.issue(th, target, func(ctx *fabric.Context, r *fabric.MemRegion, tok *opToken) error {
+	_, err := w.issue(th, target, func(ctx *fabric.Context, r *fabric.MemRegion, tok *opToken) error {
 		return ctx.Get(r, offset, dst, tok)
 	})
 	if err == nil {
-		w.comm.Proc().SPCs().Inc(spc.GetsIssued)
+		w.comm.SPCs().Inc(spc.GetsIssued)
 	}
 	return err
 }
@@ -221,11 +223,11 @@ func (w *Win) Get(th *core.Thread, target, offset int, dst []byte) error {
 // Accumulate applies op element-wise over int64 lanes at offset in target's
 // window (MPI_Accumulate), atomically with respect to other accumulates.
 func (w *Win) Accumulate(th *core.Thread, target, offset int, operand []int64, op fabric.AccumulateOp) error {
-	err := w.issue(th, target, func(ctx *fabric.Context, r *fabric.MemRegion, tok *opToken) error {
+	_, err := w.issue(th, target, func(ctx *fabric.Context, r *fabric.MemRegion, tok *opToken) error {
 		return ctx.Accumulate(r, offset, operand, op, tok)
 	})
 	if err == nil {
-		w.comm.Proc().SPCs().Inc(spc.AccumulatesIssued)
+		w.comm.SPCs().Inc(spc.AccumulatesIssued)
 	}
 	return err
 }
@@ -237,7 +239,7 @@ func (w *Win) Flush(th *core.Thread, target int) error {
 	if err := w.checkTarget(target); err != nil {
 		return err
 	}
-	w.comm.Proc().SPCs().Inc(spc.FlushCalls)
+	w.comm.SPCs().Inc(spc.FlushCalls)
 	for w.pending[target].Load() > 0 {
 		if th.Progress() == 0 {
 			yield()
@@ -250,7 +252,7 @@ func (w *Win) Flush(th *core.Thread, target int) error {
 // FlushAll completes outstanding operations to every target
 // (MPI_Win_flush_all).
 func (w *Win) FlushAll(th *core.Thread) error {
-	w.comm.Proc().SPCs().Inc(spc.FlushCalls)
+	w.comm.SPCs().Inc(spc.FlushCalls)
 	for {
 		outstanding := false
 		for i := range w.pending {

@@ -195,7 +195,7 @@ func TestSPCCounters(t *testing.T) {
 	_ = wins[0].Get(th, 1, 0, make([]byte, 1))
 	_ = wins[0].Accumulate(th, 1, 8, []int64{1}, fabric.AccSum)
 	_ = wins[0].UnlockAll(th)
-	s := w.Proc(0).SPCs()
+	s := w.Proc(0).SPCSnapshot()
 	if s.Get(spc.PutsIssued) != 1 || s.Get(spc.GetsIssued) != 1 || s.Get(spc.AccumulatesIssued) != 1 {
 		t.Fatalf("counters: puts=%d gets=%d accs=%d", s.Get(spc.PutsIssued), s.Get(spc.GetsIssued), s.Get(spc.AccumulatesIssued))
 	}

@@ -1,0 +1,50 @@
+package telemetry
+
+import "testing"
+
+// BenchmarkDisabledHook measures the cost the runtime pays on every timed
+// section when telemetry is off: a Start/ObserveSince pair on a nil
+// histogram. This must stay at roughly one branch each and zero
+// allocations — the acceptance bar for leaving the hooks compiled into
+// the hot paths unconditionally.
+func BenchmarkDisabledHook(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t0 := h.Start()
+		h.ObserveSince(t0)
+	}
+}
+
+// BenchmarkDisabledObserveNs is the direct-value variant of the disabled
+// hook (message-latency path).
+func BenchmarkDisabledObserveNs(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveNs(int64(i))
+	}
+}
+
+// BenchmarkEnabledObserveNs is the enabled recording cost for comparison:
+// a handful of atomic adds.
+func BenchmarkEnabledObserveNs(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveNs(int64(i))
+	}
+}
+
+// BenchmarkEnabledObserveParallel exercises contended recording.
+func BenchmarkEnabledObserveParallel(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(0)
+		for pb.Next() {
+			v++
+			h.ObserveNs(v)
+		}
+	})
+}

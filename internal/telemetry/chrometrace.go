@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// RankEvents pairs one process's rank with its retained trace events.
+type RankEvents struct {
+	Rank   int
+	Events []trace.Event
+}
+
+// WriteChromeTrace renders one process's retained tracer events as a Chrome
+// trace-event JSON array loadable in chrome://tracing or Perfetto. Each
+// event becomes a complete ("ph":"X") slice on the thread row of the CRI
+// instance it was attributed to (EmitCRI); unattributed events land on the
+// shared row 0. Timestamps are microseconds since tracer creation, per the
+// format spec.
+//
+// pid groups the process's rows; pass the proc's rank. Metadata records
+// name the rows so the Perfetto timeline reads "cri-K" directly.
+func WriteChromeTrace(w io.Writer, pid int, events []trace.Event) error {
+	return WriteChromeTraceRanks(w, []RankEvents{{Rank: pid, Events: events}})
+}
+
+// WriteChromeTraceRanks renders several processes' traces into one Chrome
+// trace-event JSON file, one pid group per rank (see WriteChromeTrace).
+func WriteChromeTraceRanks(w io.Writer, procs []RankEvents) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(s string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(s)
+	}
+
+	for _, pr := range procs {
+		pid := pr.Rank
+		emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"rank %d"}}`, pid, pid))
+		rows := map[int16]bool{}
+		unattributed := false
+		for _, e := range pr.Events {
+			if e.CRI < 0 {
+				unattributed = true
+			} else if !rows[e.CRI] {
+				rows[e.CRI] = true
+				emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"cri-%d"}}`,
+					pid, e.CRI+1, e.CRI))
+			}
+		}
+		if unattributed {
+			emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":0,"args":{"name":"unattributed"}}`, pid))
+		}
+		for _, e := range pr.Events {
+			tid := 0
+			cri := -1
+			if e.CRI >= 0 {
+				tid = int(e.CRI) + 1
+				cri = int(e.CRI)
+			}
+			emit(fmt.Sprintf(
+				`{"name":%q,"cat":"mpi","ph":"X","ts":%.3f,"dur":1,"pid":%d,"tid":%d,"args":{"seq":%d,"arg0":%d,"arg1":%d,"cri":%d}}`,
+				e.Kind.String(), float64(e.TS)/1e3, pid, tid, e.Seq, e.Arg0, e.Arg1, cri))
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/spc"
+	"repro/internal/trace"
+)
+
+func testStats() ProcStats {
+	var cri0, cri1, comm7, residual spc.Snapshot
+	cri0[spc.SendLockWaits] = 3
+	cri1[spc.SendLockWaits] = 2
+	comm7[spc.MessagesSent] = 40
+	comm7[spc.MessagesReceived] = 40
+	residual[spc.ProgressCalls] = 11
+	h := NewHistogram()
+	h.ObserveNs(10)
+	h.ObserveNs(10)
+	h.ObserveNs(3000)
+	ps := ProcStats{
+		Rank:     1,
+		PerCRI:   []CRIStat{{Index: 1, Counters: cri1}, {Index: 0, Counters: cri0}},
+		PerComm:  []CommStat{{ID: 7, Counters: comm7}},
+		Residual: residual,
+		Hists:    []NamedHist{{HistMatchSection, h.Snapshot()}},
+	}
+	ps.Process = ps.MergeChildren()
+	return ps
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, testStats()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Exact lines the exposition must contain: process totals, attributed
+	// scopes, and a consistent histogram family.
+	want := []string{
+		`# TYPE mpi_spc_messages_sent counter`,
+		`mpi_spc_messages_sent{rank="1",scope="process"} 40`,
+		`mpi_spc_messages_sent{rank="1",scope="comm",comm="7"} 40`,
+		`mpi_spc_send_lock_waits{rank="1",scope="process"} 5`,
+		`mpi_spc_send_lock_waits{rank="1",scope="cri",cri="0"} 3`,
+		`mpi_spc_send_lock_waits{rank="1",scope="cri",cri="1"} 2`,
+		`mpi_spc_progress_calls{rank="1",scope="process"} 11`,
+		`# TYPE mpi_match_section_ns histogram`,
+		`mpi_match_section_ns_bucket{rank="1",le="+Inf"} 3`,
+		`mpi_match_section_ns_sum{rank="1"} 3020`,
+		`mpi_match_section_ns_count{rank="1"} 3`,
+	}
+	for _, w := range want {
+		if !strings.Contains(out, w+"\n") {
+			t.Errorf("prometheus output missing line %q\n--- got ---\n%s", w, out)
+		}
+	}
+	// Zero-valued attributed scopes must not be emitted.
+	if strings.Contains(out, `mpi_spc_messages_sent{rank="1",scope="cri"`) {
+		t.Error("zero per-CRI messages_sent emitted")
+	}
+}
+
+func TestPrometheusHistogramInvariants(t *testing.T) {
+	// The +Inf bucket must equal _count for every histogram series, and
+	// cumulative buckets must be non-decreasing — the invariants any
+	// Prometheus consumer assumes.
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, testStats()); err != nil {
+		t.Fatal(err)
+	}
+	inf := map[string]int64{}
+	count := map[string]int64{}
+	last := map[string]int64{}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		val, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("unparseable sample line %q: %v", line, err)
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket") && strings.Contains(line, `le="+Inf"`):
+			inf[name] = val
+		case strings.HasSuffix(name, "_bucket"):
+			if val < last[name] {
+				t.Errorf("cumulative bucket decreased in %q", line)
+			}
+			last[name] = val
+		case strings.HasSuffix(name, "_count"):
+			count[strings.TrimSuffix(name, "_count")+"_bucket"] = val
+		}
+	}
+	if len(inf) == 0 {
+		t.Fatal("no +Inf buckets found")
+	}
+	for name, v := range inf {
+		if count[name] != v {
+			t.Errorf("%s: +Inf bucket %d != _count %d", name, v, count[name])
+		}
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	events := []trace.Event{
+		{TS: 1000, Seq: 1, Kind: trace.KindSendInject, CRI: 0, Arg0: 1, Arg1: 0},
+		{TS: 2500, Seq: 2, Kind: trace.KindSendInject, CRI: 2, Arg0: 1, Arg1: 1},
+		{TS: 3000, Seq: 3, Kind: trace.KindMatchComplete, CRI: -1, Arg0: 0, Arg1: 9},
+	}
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, 4, events); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &parsed); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	var meta, slices int
+	threadNames := map[float64]string{}
+	for _, e := range parsed {
+		switch e["ph"] {
+		case "M":
+			meta++
+			if e["name"] == "thread_name" {
+				threadNames[e["tid"].(float64)] = e["args"].(map[string]any)["name"].(string)
+			}
+		case "X":
+			slices++
+			if e["pid"].(float64) != 4 {
+				t.Errorf("slice pid = %v, want 4", e["pid"])
+			}
+			args := e["args"].(map[string]any)
+			cri := args["cri"].(float64)
+			if cri >= 0 && e["tid"].(float64) != cri+1 {
+				t.Errorf("attributed slice tid %v != cri+1 (%v)", e["tid"], cri+1)
+			}
+			if cri < 0 && e["tid"].(float64) != 0 {
+				t.Errorf("unattributed slice tid %v, want 0", e["tid"])
+			}
+		default:
+			t.Errorf("unexpected phase %v", e["ph"])
+		}
+	}
+	if slices != len(events) {
+		t.Fatalf("%d slices, want %d", slices, len(events))
+	}
+	// One process_name + rows for cri-0, cri-2, and the unattributed event.
+	if meta != 4 {
+		t.Fatalf("%d metadata records, want 4", meta)
+	}
+	if threadNames[1] != "cri-0" || threadNames[3] != "cri-2" || threadNames[0] != "unattributed" {
+		t.Fatalf("thread rows misnamed: %v", threadNames)
+	}
+	// The second event's timestamp must be microseconds (2500 ns = 2.5 µs).
+	if !strings.Contains(sb.String(), `"ts":2.500`) {
+		t.Error("timestamps not converted to microseconds")
+	}
+}
+
+func TestProcStatsWriteText(t *testing.T) {
+	var sb strings.Builder
+	if err := testStats().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, w := range []string{"rank 1 process totals:", "cri 0:", "cri 1:", "comm 7:", "residual:", "hist match_section_ns"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("WriteText missing %q\n%s", w, out)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lcg is a tiny deterministic generator so quantile tests are reproducible
+// without seeding math/rand.
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r)
+}
+
+func TestBucketIndexUpperConsistency(t *testing.T) {
+	// Every value must land in a bucket whose upper bound covers it, and
+	// bucket uppers must be strictly increasing.
+	values := []int64{0, 1, 2, 3, 4, 5, 7, 8, 100, 1023, 1024, 1536, 1 << 20, 1<<40 + 17, 1 << 62}
+	for _, v := range values {
+		i := bucketIndex(v)
+		if i < 0 || i >= NumBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		if i < NumBuckets-1 && v > BucketUpper(i) {
+			t.Fatalf("value %d exceeds BucketUpper(%d) = %d", v, i, BucketUpper(i))
+		}
+		if i > 0 && v <= BucketUpper(i-1) {
+			t.Fatalf("value %d also fits bucket %d (upper %d)", v, i-1, BucketUpper(i-1))
+		}
+	}
+	for i := 1; i < NumBuckets; i++ {
+		if BucketUpper(i) <= BucketUpper(i-1) {
+			t.Fatalf("BucketUpper not increasing at %d: %d <= %d", i, BucketUpper(i), BucketUpper(i-1))
+		}
+	}
+	// Round trip: each bucket's upper bound must map back to that bucket.
+	for i := 0; i < NumBuckets-1; i++ {
+		if got := bucketIndex(BucketUpper(i)); got != i {
+			t.Fatalf("bucketIndex(BucketUpper(%d)=%d) = %d", i, BucketUpper(i), got)
+		}
+	}
+}
+
+func TestQuantileAgainstSortedReference(t *testing.T) {
+	// Record pseudo-random latencies spanning several octaves and compare
+	// the histogram's quantile estimates against the exact sorted values.
+	// The log-linear layout guarantees estimate ∈ [exact, 2·exact].
+	h := NewHistogram()
+	var r lcg = 42
+	const n = 10000
+	vals := make([]int64, n)
+	for i := range vals {
+		v := int64(r.next() % (1 << (10 + r.next()%20))) // 0 .. ~2^30 ns
+		vals[i] = v
+		h.ObserveNs(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	s := h.Snapshot()
+	if s.Count != n {
+		t.Fatalf("count = %d, want %d", s.Count, n)
+	}
+	if s.Max != vals[n-1] {
+		t.Fatalf("max = %d, want %d", s.Max, vals[n-1])
+	}
+	for _, q := range []float64{0.01, 0.25, 0.50, 0.90, 0.99, 1.0} {
+		rank := int(q*n+0.5) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		exact := vals[rank]
+		est := s.Quantile(q)
+		if est < exact {
+			t.Errorf("q=%v: estimate %d below exact %d", q, est, exact)
+		}
+		if est > 2*exact+2 {
+			t.Errorf("q=%v: estimate %d exceeds 2x exact %d", q, est, exact)
+		}
+	}
+	if s.P50() != s.Quantile(0.50) || s.P90() != s.Quantile(0.90) || s.P99() != s.Quantile(0.99) {
+		t.Fatal("P50/P90/P99 disagree with Quantile")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	// Hammer one histogram from many goroutines (run under -race) and check
+	// that no observation is lost and the aggregates are exact.
+	h := NewHistogram()
+	const goroutines, per = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.ObserveNs(int64(g*per + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	total := int64(goroutines * per)
+	if s.Count != total {
+		t.Fatalf("count = %d, want %d", s.Count, total)
+	}
+	var bucketSum, wantSum int64
+	for _, b := range s.Buckets {
+		bucketSum += b
+	}
+	if bucketSum != total {
+		t.Fatalf("bucket sum = %d, want %d", bucketSum, total)
+	}
+	wantSum = total * (total - 1) / 2
+	if s.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", s.Sum, wantSum)
+	}
+	if s.Max != total-1 {
+		t.Fatalf("max = %d, want %d", s.Max, total-1)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.ObserveNs(10)
+	a.ObserveNs(1000)
+	b.ObserveNs(100)
+	b.ObserveNs(1 << 20)
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Count != 4 {
+		t.Fatalf("merged count = %d, want 4", m.Count)
+	}
+	if m.Sum != 10+1000+100+1<<20 {
+		t.Fatalf("merged sum = %d", m.Sum)
+	}
+	if m.Max != 1<<20 {
+		t.Fatalf("merged max = %d", m.Max)
+	}
+	var bs int64
+	for _, v := range m.Buckets {
+		bs += v
+	}
+	if bs != 4 {
+		t.Fatalf("merged bucket sum = %d", bs)
+	}
+}
+
+func TestNilHistogram(t *testing.T) {
+	// The disabled path: every method on a nil histogram is a no-op and
+	// Start never reads the clock.
+	var h *Histogram
+	h.ObserveNs(5)
+	h.Observe(time.Second)
+	start := h.Start()
+	if !start.IsZero() {
+		t.Fatal("nil Start returned non-zero time")
+	}
+	h.ObserveSince(start)
+	h.ObserveSince(time.Now())
+	if h.Count() != 0 {
+		t.Fatal("nil Count non-zero")
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Fatal("nil snapshot not empty")
+	}
+}
+
+func TestObserveNegativeClamps(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveNs(-17)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 0 || s.Buckets[0] != 1 {
+		t.Fatalf("negative observation mishandled: %+v", s)
+	}
+}
+
+func TestObserveSinceRecords(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveSince(h.Start())
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+}

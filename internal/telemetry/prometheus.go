@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/spc"
+)
+
+// WritePrometheus renders the processes' stats in the Prometheus text
+// exposition format (version 0.0.4): one counter family per SPC counter,
+// with scope/cri/comm labels attributing each sample to its owner, and one
+// histogram family per latency histogram with cumulative le buckets, so
+// p50/p99 are derivable by any Prometheus-compatible consumer.
+func WritePrometheus(w io.Writer, stats ...ProcStats) error {
+	bw := bufio.NewWriter(w)
+	for i := range stats {
+		sortStats(&stats[i])
+	}
+
+	// Counter families in deterministic order (counter index): the process
+	// total is always emitted so zeroes are visible; per-CRI and per-comm
+	// attributions are emitted when non-zero.
+	for ci := 0; ci < spc.NumCounters; ci++ {
+		c := spc.Counter(ci)
+		name := "mpi_spc_" + c.String()
+		fmt.Fprintf(bw, "# HELP %s Software performance counter %s.\n", name, c.String())
+		fmt.Fprintf(bw, "# TYPE %s counter\n", name)
+		for _, ps := range stats {
+			rank := strconv.Itoa(ps.Rank)
+			fmt.Fprintf(bw, "%s{rank=%q,scope=\"process\"} %d\n", name, rank, ps.Process.Get(c))
+			for _, cs := range ps.PerCRI {
+				if v := cs.Counters.Get(c); v != 0 {
+					fmt.Fprintf(bw, "%s{rank=%q,scope=\"cri\",cri=%q} %d\n", name, rank, strconv.Itoa(cs.Index), v)
+				}
+			}
+			for _, cs := range ps.PerComm {
+				if v := cs.Counters.Get(c); v != 0 {
+					fmt.Fprintf(bw, "%s{rank=%q,scope=\"comm\",comm=%q} %d\n", name, rank, strconv.FormatUint(uint64(cs.ID), 10), v)
+				}
+			}
+		}
+	}
+
+	// Histogram families. All processes share the bucket layout, so one
+	// TYPE line per name covers every rank's series. Buckets are emitted
+	// sparsely (only where the cumulative count grew) plus the mandatory
+	// +Inf bucket, which by the exposition-format contract equals _count.
+	for _, hn := range histNames(stats) {
+		name := "mpi_" + hn
+		fmt.Fprintf(bw, "# HELP %s Latency histogram %s (nanoseconds).\n", name, hn)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+		for _, ps := range stats {
+			rank := strconv.Itoa(ps.Rank)
+			for _, h := range ps.Hists {
+				if h.Name != hn {
+					continue
+				}
+				var cum int64
+				for i, b := range h.Hist.Buckets {
+					cum += b
+					if b == 0 || i == NumBuckets-1 {
+						continue
+					}
+					fmt.Fprintf(bw, "%s_bucket{rank=%q,le=%q} %d\n",
+						name, rank, strconv.FormatInt(BucketUpper(i), 10), cum)
+				}
+				fmt.Fprintf(bw, "%s_bucket{rank=%q,le=\"+Inf\"} %d\n", name, rank, cum)
+				fmt.Fprintf(bw, "%s_sum{rank=%q} %d\n", name, rank, h.Hist.Sum)
+				fmt.Fprintf(bw, "%s_count{rank=%q} %d\n", name, rank, cum)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// histNames collects the union of histogram names across stats, sorted.
+func histNames(stats []ProcStats) []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, ps := range stats {
+		for _, h := range ps.Hists {
+			if !seen[h.Name] {
+				seen[h.Name] = true
+				names = append(names, h.Name)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}

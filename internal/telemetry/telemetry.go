@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/spc"
+)
+
+// Telemetry bundles one process's latency histograms. The runtime stores
+// the individual *Histogram pointers on its hot-path structures (so a
+// disabled hook is a single nil check); the bundle exists for snapshotting,
+// sampling, and export.
+type Telemetry struct {
+	// MatchSection records wall time spent inside the matching critical
+	// section per entry (lock hold, not lock wait).
+	MatchSection *Histogram
+	// LockWait records blocking waits for a CRI instance lock on the send
+	// path (the contention Table II's send_lock_waits counts).
+	LockWait *Histogram
+	// ProgressPass records the duration of one progress-engine pass.
+	ProgressPass *Histogram
+	// MsgLatency records send-inject to match-complete latency for eager
+	// messages (the end-to-end tail the endpoint-contention studies chase).
+	MsgLatency *Histogram
+}
+
+// New returns an enabled telemetry bundle with all histograms allocated.
+func New() *Telemetry {
+	return &Telemetry{
+		MatchSection: NewHistogram(),
+		LockWait:     NewHistogram(),
+		ProgressPass: NewHistogram(),
+		MsgLatency:   NewHistogram(),
+	}
+}
+
+// Enabled reports whether the bundle records anything.
+func (t *Telemetry) Enabled() bool { return t != nil }
+
+// Histogram names used in snapshots and exports.
+const (
+	HistMatchSection = "match_section_ns"
+	HistLockWait     = "lock_wait_ns"
+	HistProgressPass = "progress_pass_ns"
+	HistMsgLatency   = "msg_latency_ns"
+)
+
+// NamedHist pairs a histogram snapshot with its export name.
+type NamedHist struct {
+	Name string
+	Hist HistSnapshot
+}
+
+// Snapshot captures all histograms in deterministic name order. Nil-safe:
+// a nil bundle yields nil.
+func (t *Telemetry) Snapshot() []NamedHist {
+	if t == nil {
+		return nil
+	}
+	return []NamedHist{
+		{HistLockWait, t.LockWait.Snapshot()},
+		{HistMatchSection, t.MatchSection.Snapshot()},
+		{HistMsgLatency, t.MsgLatency.Snapshot()},
+		{HistProgressPass, t.ProgressPass.Snapshot()},
+	}
+}
+
+// CRIStat is one instance's attributed counter snapshot.
+type CRIStat struct {
+	Index    int
+	Counters spc.Snapshot
+}
+
+// CommStat is one communicator's attributed counter snapshot.
+type CommStat struct {
+	ID       uint32
+	Counters spc.Snapshot
+}
+
+// ProcStats is one process's full observability snapshot: the rolled-up
+// process totals, the per-CRI and per-communicator child sets the totals
+// merge from, a residual set for counters with no natural owner (plus
+// freed communicators), and the latency histograms.
+type ProcStats struct {
+	Rank    int
+	Process spc.Snapshot
+	PerCRI  []CRIStat
+	PerComm []CommStat
+	// Residual holds process-scoped counters (progress-engine entries,
+	// serial-mode try-lock failures) and the retained totals of freed
+	// communicators. Process == Merge(Residual, PerCRI..., PerComm...).
+	Residual spc.Snapshot
+	Hists    []NamedHist
+}
+
+// MergeChildren recomputes process totals from the attributed children —
+// the roll-up invariant Process must equal.
+func (ps ProcStats) MergeChildren() spc.Snapshot {
+	snaps := []spc.Snapshot{ps.Residual}
+	for _, c := range ps.PerCRI {
+		snaps = append(snaps, c.Counters)
+	}
+	for _, c := range ps.PerComm {
+		snaps = append(snaps, c.Counters)
+	}
+	return spc.Merge(snaps...)
+}
+
+// WriteText renders a human-readable attribution dump: process totals,
+// each CRI's and communicator's share, the residual, then histogram
+// summaries. Ordering is deterministic.
+func (ps ProcStats) WriteText(w io.Writer) error {
+	sortStats(&ps)
+	if _, err := fmt.Fprintf(w, "rank %d process totals:\n%s", ps.Rank, indent(ps.Process.String())); err != nil {
+		return err
+	}
+	for _, c := range ps.PerCRI {
+		fmt.Fprintf(w, "cri %d:\n%s", c.Index, indent(c.Counters.String()))
+	}
+	for _, c := range ps.PerComm {
+		fmt.Fprintf(w, "comm %d:\n%s", c.ID, indent(c.Counters.String()))
+	}
+	fmt.Fprintf(w, "residual:\n%s", indent(ps.Residual.String()))
+	for _, h := range ps.Hists {
+		if h.Hist.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "hist %-18s count=%d p50=%v p90=%v p99=%v max=%v\n",
+			h.Name, h.Hist.Count,
+			time.Duration(h.Hist.P50()), time.Duration(h.Hist.P90()),
+			time.Duration(h.Hist.P99()), time.Duration(h.Hist.Max))
+	}
+	return nil
+}
+
+func indent(s string) string {
+	if s == "" {
+		return "  (all zero)\n"
+	}
+	var out []byte
+	for _, line := range splitLines(s) {
+		out = append(out, ' ', ' ')
+		out = append(out, line...)
+		out = append(out, '\n')
+	}
+	return string(out)
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}
+
+// sortStats normalizes ordering for deterministic export.
+func sortStats(ps *ProcStats) {
+	sort.Slice(ps.PerCRI, func(i, j int) bool { return ps.PerCRI[i].Index < ps.PerCRI[j].Index })
+	sort.Slice(ps.PerComm, func(i, j int) bool { return ps.PerComm[i].ID < ps.PerComm[j].ID })
+	sort.Slice(ps.Hists, func(i, j int) bool { return ps.Hists[i].Name < ps.Hists[j].Name })
+}

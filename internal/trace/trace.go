@@ -73,11 +73,19 @@ type Event struct {
 	Seq uint64
 	// Kind classifies the event; Arg0/Arg1 are kind-specific.
 	Kind Kind
+	// CRI is the Communication Resource Instance the event is attributed
+	// to, or -1 when the event has no instance affinity (Emit sets -1;
+	// EmitCRI sets the index). Exporters use it to place events on
+	// per-instance timeline rows.
+	CRI  int16
 	Arg0 int32
 	Arg1 int32
 }
 
 func (e Event) String() string {
+	if e.CRI >= 0 {
+		return fmt.Sprintf("%10dns #%06d %-17s a0=%-6d a1=%-6d cri=%d", e.TS, e.Seq, e.Kind, e.Arg0, e.Arg1, e.CRI)
+	}
 	return fmt.Sprintf("%10dns #%06d %-17s a0=%-6d a1=%d", e.TS, e.Seq, e.Kind, e.Arg0, e.Arg1)
 }
 
@@ -122,15 +130,24 @@ func (t *Tracer) SetEnabled(on bool) {
 	}
 }
 
-// Emit records one event. Nil-safe and disabled-safe.
-func (t *Tracer) Emit(k Kind, a0, a1 int32) {
+// Emit records one event with no instance attribution. Nil-safe and
+// disabled-safe.
+func (t *Tracer) Emit(k Kind, a0, a1 int32) { t.EmitCRI(k, -1, a0, a1) }
+
+// EmitCRI records one event attributed to CRI instance cri (pass a
+// negative value for none). Nil-safe and disabled-safe.
+func (t *Tracer) EmitCRI(k Kind, cri int, a0, a1 int32) {
 	if t == nil || !t.enabled.Load() {
 		return
+	}
+	if cri < 0 || cri > 1<<15-1 {
+		cri = -1
 	}
 	e := Event{
 		TS:   time.Since(t.start).Nanoseconds(),
 		Seq:  t.seq.Add(1),
 		Kind: k,
+		CRI:  int16(cri),
 		Arg0: a0,
 		Arg1: a1,
 	}
@@ -175,13 +192,27 @@ func (t *Tracer) Dump(w io.Writer) error {
 	return nil
 }
 
-// CountKind returns how many retained events have the given kind.
+// CountKind returns how many retained events have the given kind. It
+// counts under the shard locks directly — no snapshot allocation and no
+// sort, so hot assertions and samplers can call it freely.
 func (t *Tracer) CountKind(k Kind) int {
+	if t == nil {
+		return 0
+	}
 	n := 0
-	for _, e := range t.Snapshot() {
-		if e.Kind == k {
-			n++
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		ring := s.ring
+		if !s.full {
+			ring = s.ring[:s.next]
 		}
+		for _, e := range ring {
+			if e.Kind == k {
+				n++
+			}
+		}
+		s.mu.Unlock()
 	}
 	return n
 }

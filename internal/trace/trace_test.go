@@ -123,4 +123,53 @@ func TestCountKind(t *testing.T) {
 	if got := tr.CountKind(KindFlush); got != 1 {
 		t.Fatalf("CountKind(flush) = %d", got)
 	}
+	var nilTr *Tracer
+	if got := nilTr.CountKind(KindFlush); got != 0 {
+		t.Fatalf("nil CountKind = %d", got)
+	}
+}
+
+func TestCountKindOverwrittenRing(t *testing.T) {
+	// CountKind must see exactly what Snapshot retains, including after the
+	// rings wrap and overwrite older events.
+	tr := New(32)
+	for i := 0; i < 500; i++ {
+		tr.Emit(KindProgress, int32(i), 0)
+	}
+	tr.Emit(KindFlush, 0, 0)
+	want := 0
+	for _, e := range tr.Snapshot() {
+		if e.Kind == KindProgress {
+			want++
+		}
+	}
+	if got := tr.CountKind(KindProgress); got != want {
+		t.Fatalf("CountKind = %d, snapshot holds %d", got, want)
+	}
+}
+
+func TestEmitCRIAttribution(t *testing.T) {
+	tr := New(64)
+	tr.EmitCRI(KindSendInject, 3, 1, 2)
+	tr.Emit(KindSendInject, 1, 2)           // unattributed
+	tr.EmitCRI(KindSendInject, -5, 1, 2)    // negative clamps to -1
+	tr.EmitCRI(KindSendInject, 1<<20, 1, 2) // out of int16 range clamps to -1
+	evs := tr.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events", len(evs))
+	}
+	if evs[0].CRI != 3 {
+		t.Fatalf("event 0 CRI = %d, want 3", evs[0].CRI)
+	}
+	for i := 1; i < 4; i++ {
+		if evs[i].CRI != -1 {
+			t.Fatalf("event %d CRI = %d, want -1", i, evs[i].CRI)
+		}
+	}
+	if s := evs[0].String(); !strings.Contains(s, "cri=3") {
+		t.Fatalf("attributed String() lacks cri: %q", s)
+	}
+	if s := evs[1].String(); strings.Contains(s, "cri=") {
+		t.Fatalf("unattributed String() shows cri: %q", s)
+	}
 }
