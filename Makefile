@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-telemetry check
+.PHONY: build test race vet fmt bench bench-telemetry chaos check
 
 build:
 	$(GO) build ./...
@@ -25,5 +25,13 @@ bench:
 # Proves the disabled telemetry hooks cost ~1 ns and zero allocations.
 bench-telemetry:
 	$(GO) test -bench=. -benchmem ./internal/telemetry
+
+# Fault-injection and teardown chaos: the reliability layer repairing a
+# lossy, duplicating, reordering wire, communicator free with packets still
+# in flight, and a seeded faulty benchmark run — all under the race detector.
+chaos:
+	$(GO) test -race -run 'Fault|Chaos|FreeComm|PeerUnreachable|Reliable|Duplicate' ./internal/fabric ./internal/core ./internal/match ./internal/simnet
+	$(GO) run ./cmd/multirate -engine real -pairs 4 -window 32 -iters 4 \
+		-fault-drop 0.01 -fault-dup 0.01 -fault-delay 0.02 -fault-seed 7 -spcs
 
 check: build vet test race

@@ -48,6 +48,11 @@ func main() {
 		showSPCs    = flag.Bool("spcs", false, "dump software performance counters")
 		traceN      = flag.Int("trace", 0, "attach an event tracer retaining N events (real engine) and dump them")
 
+		faultDrop  = flag.Float64("fault-drop", 0, "per-packet drop probability (enables ack/retransmit reliability)")
+		faultDup   = flag.Float64("fault-dup", 0, "per-packet duplication probability")
+		faultDelay = flag.Float64("fault-delay", 0, "per-packet delayed-delivery (reorder) probability")
+		faultSeed  = flag.Int64("fault-seed", 1, "fault-injection RNG seed")
+
 		spcDump        = flag.Bool("spc-dump", false, "dump counters with per-CRI/per-communicator attribution (real engine)")
 		metricsOut     = flag.String("metrics-out", "", "write a Prometheus text-format metrics snapshot to this file (real engine)")
 		traceOut       = flag.String("trace-out", "", "write a Chrome trace-event JSON file (load in chrome://tracing) (real engine)")
@@ -80,6 +85,8 @@ func main() {
 			Progress: pm, CommPerPair: *commPerPair,
 			AllowOvertaking: *overtaking, AnyTagRecv: *anyTag,
 			ProcessMode: *processMode,
+			FaultDrop:   *faultDrop, FaultDup: *faultDup,
+			FaultDelay: *faultDelay, FaultSeed: *faultSeed,
 		})
 		fmt.Printf("engine=sim pairs=%d messages=%d makespan=%v rate=%.0f msg/s oos=%.2f%%\n",
 			*pairs, res.Messages, res.Makespan, res.Rate, res.SPCs.OutOfSequencePercent())
@@ -95,6 +102,8 @@ func main() {
 			NumInstances: *instances, Assignment: asg, Progress: pm,
 			ThreadLevel: core.ThreadMultiple, TraceCapacity: cap,
 			Telemetry: wantTelemetry,
+			FaultDrop: *faultDrop, FaultDup: *faultDup,
+			FaultDelay: *faultDelay, FaultSeed: *faultSeed,
 		}
 		pat := bench.Pairwise
 		if *pattern == "incast" {

@@ -37,6 +37,11 @@ func main() {
 		prog        = flag.String("progress", "serial", "serial | concurrent")
 		machineName = flag.String("machine", "trinitite", "alembert | trinitite | knl | fast")
 
+		faultDrop  = flag.Float64("fault-drop", 0, "per-packet drop probability on the control path (enables ack/retransmit reliability; real engine)")
+		faultDup   = flag.Float64("fault-dup", 0, "per-packet duplication probability (real engine)")
+		faultDelay = flag.Float64("fault-delay", 0, "per-packet delayed-delivery (reorder) probability (real engine)")
+		faultSeed  = flag.Int64("fault-seed", 1, "fault-injection RNG seed")
+
 		spcDump        = flag.Bool("spc-dump", false, "dump counters with per-CRI/per-communicator attribution (real engine)")
 		metricsOut     = flag.String("metrics-out", "", "write a Prometheus text-format metrics snapshot to this file (real engine)")
 		traceOut       = flag.String("trace-out", "", "write a Chrome trace-event JSON file (load in chrome://tracing) (real engine)")
@@ -75,7 +80,12 @@ func main() {
 		if ni <= 0 {
 			ni = machine.DefaultContexts
 		}
-		opts := core.Options{NumInstances: ni, Assignment: asg, Progress: pm, ThreadLevel: core.ThreadMultiple, Telemetry: wantTelemetry}
+		opts := core.Options{
+			NumInstances: ni, Assignment: asg, Progress: pm,
+			ThreadLevel: core.ThreadMultiple, Telemetry: wantTelemetry,
+			FaultDrop: *faultDrop, FaultDup: *faultDup,
+			FaultDelay: *faultDelay, FaultSeed: *faultSeed,
+		}
 		if *traceOut != "" {
 			opts.TraceCapacity = 1 << 16
 		}

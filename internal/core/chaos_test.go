@@ -1,0 +1,256 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/progress"
+	"repro/internal/spc"
+)
+
+// TestFreeCommLatePacketsCounted sends into a communicator the receiver has
+// already freed: every packet arrives for an unknown communicator and must be
+// counted (spc.LatePackets) and dropped, never panicked on.
+func TestFreeCommLatePacketsCounted(t *testing.T) {
+	w := newTestWorld(t, 2, Stock())
+	comms, err := w.Proc(0).CommWorld().Dup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, d1 := comms[0], comms[1]
+	d1.Free() // receiver gives up its handle before anything is sent
+
+	t0 := w.Proc(0).NewThread()
+	const n = 8
+	var reqs []*Request
+	for i := 0; i < n; i++ {
+		r, err := d0.Isend(t0, 1, int32(i), []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs = append(reqs, r)
+	}
+	if err := WaitAll(t0, reqs...); err != nil {
+		t.Fatal(err)
+	}
+	w.Proc(1).DrainProgress()
+	if got := w.Proc(1).SPCs().Get(spc.LatePackets); got != n {
+		t.Fatalf("LatePackets = %d, want %d", got, n)
+	}
+}
+
+// TestFreeCommWhilePacketsInFlight frees the receive-side communicator while
+// the sender is mid-burst and the receiver is actively progressing — the
+// chaos scenario the old panic-on-unknown-communicator path could not
+// survive. Run under -race.
+func TestFreeCommWhilePacketsInFlight(t *testing.T) {
+	w := newTestWorld(t, 2, Stock())
+	comms, err := w.Proc(0).CommWorld().Dup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, d1 := comms[0], comms[1]
+
+	const n = 200
+	var senderDone atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		t0 := w.Proc(0).NewThread()
+		var reqs []*Request
+		for i := 0; i < n; i++ {
+			r, err := d0.Isend(t0, 1, int32(i), []byte{byte(i)})
+			if err != nil {
+				t.Error(err)
+				break
+			}
+			reqs = append(reqs, r)
+		}
+		if err := WaitAll(t0, reqs...); err != nil {
+			t.Error(err)
+		}
+		senderDone.Store(true)
+	}()
+	go func() {
+		defer wg.Done()
+		// The receiver pumps events while the communicator disappears
+		// beneath it.
+		for !senderDone.Load() {
+			w.Proc(1).DrainProgress()
+		}
+		w.Proc(1).DrainProgress()
+	}()
+	time.Sleep(100 * time.Microsecond)
+	d1.Free()
+	wg.Wait()
+}
+
+// TestFaultStressAllTrafficCompletes runs a multithreaded workload over a
+// lossy, duplicating, reordering wire and requires every Isend and Irecv to
+// complete successfully: the ack/retransmit layer must repair all loss, and
+// the dedup layers must absorb all duplication. Payload sizes straddle the
+// eager limit so both the eager and rendezvous protocols face faults. Run
+// under -race.
+func TestFaultStressAllTrafficCompletes(t *testing.T) {
+	w := newTestWorld(t, 2, Options{
+		NumInstances: 2, Progress: progress.Serial, ThreadLevel: ThreadMultiple,
+		FaultDrop: 0.02, FaultDup: 0.02, FaultDelay: 0.05,
+		FaultDelayDur: 50 * time.Microsecond, FaultSeed: 42,
+	})
+	const (
+		groups = 2
+		msgs   = 24
+		big    = DefaultEagerLimit + 4096 // forces rendezvous
+	)
+	size := func(i int) int {
+		if i%3 == 2 {
+			return big
+		}
+		return 16
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < groups; g++ {
+		wg.Add(2)
+		go func(g int) {
+			defer wg.Done()
+			th := w.Proc(0).NewThread()
+			c := w.Proc(0).CommWorld()
+			var reqs []*Request
+			for i := 0; i < msgs; i++ {
+				buf := make([]byte, size(i))
+				buf[0] = byte(g)
+				r, err := c.Isend(th, 1, int32(g*1000+i), buf)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				reqs = append(reqs, r)
+			}
+			if err := WaitAll(th, reqs...); err != nil {
+				t.Errorf("sender group %d: %v", g, err)
+			}
+		}(g)
+		go func(g int) {
+			defer wg.Done()
+			th := w.Proc(1).NewThread()
+			c := w.Proc(1).CommWorld()
+			var reqs []*Request
+			bufs := make([][]byte, msgs)
+			for i := 0; i < msgs; i++ {
+				bufs[i] = make([]byte, size(i))
+				r, err := c.Irecv(th, 0, int32(g*1000+i), bufs[i])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				reqs = append(reqs, r)
+			}
+			if err := WaitAll(th, reqs...); err != nil {
+				t.Errorf("receiver group %d: %v", g, err)
+				return
+			}
+			for i, b := range bufs {
+				if b[0] != byte(g) {
+					t.Errorf("group %d msg %d corrupted: first byte %d", g, i, b[0])
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Faults were injected and repaired, not just absent.
+	total := spc.Merge(w.Proc(0).SPCSnapshot(), w.Proc(1).SPCSnapshot())
+	if total[spc.FaultPacketsDropped] == 0 {
+		t.Error("stress run injected no drops; fault path untested")
+	}
+	if total[spc.Retransmits] == 0 {
+		t.Error("drops occurred but nothing was retransmitted")
+	}
+	if total[spc.AcksSent] == 0 || total[spc.AcksReceived] == 0 {
+		t.Error("reliability layer exchanged no acks")
+	}
+}
+
+// TestPeerUnreachable drives the retry budget to exhaustion on a wire that
+// drops everything: the send must fail with ErrPeerUnreachable instead of
+// hanging, on both the eager and rendezvous paths.
+func TestPeerUnreachable(t *testing.T) {
+	w := newTestWorld(t, 2, Options{
+		NumInstances: 1, Progress: progress.Serial, ThreadLevel: ThreadMultiple,
+		FaultDrop: 1, FaultSeed: 5,
+		RetransmitTimeout: 200 * time.Microsecond, RetryBudget: 3,
+	})
+	t0 := w.Proc(0).NewThread()
+	c := w.Proc(0).CommWorld()
+
+	for _, tc := range []struct {
+		name string
+		size int
+	}{
+		{"eager", 16},
+		{"rendezvous", DefaultEagerLimit + 1},
+	} {
+		r, err := c.Isend(t0, 1, 7, make([]byte, tc.size))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Wait(t0); !errors.Is(err, ErrPeerUnreachable) {
+			t.Fatalf("%s Wait = %v, want ErrPeerUnreachable", tc.name, err)
+		}
+	}
+	if got := w.Proc(0).SPCSnapshot()[spc.RetransmitFailures]; got < 2 {
+		t.Fatalf("RetransmitFailures = %d, want >= 2", got)
+	}
+}
+
+// TestReliableZeroFaultDelivery enables the ack/retransmit layer on a perfect
+// wire: traffic must flow normally (sends complete on ack), with no spurious
+// retransmissions.
+func TestReliableZeroFaultDelivery(t *testing.T) {
+	w := newTestWorld(t, 2, Options{
+		NumInstances: 1, Progress: progress.Serial, ThreadLevel: ThreadMultiple,
+		Reliable: true,
+	})
+	c0, c1 := w.Proc(0).CommWorld(), w.Proc(1).CommWorld()
+	t0, t1 := w.Proc(0).NewThread(), w.Proc(1).NewThread()
+
+	const n = 32
+	done := make(chan error, 1)
+	go func() {
+		var reqs []*Request
+		for i := 0; i < n; i++ {
+			r, err := c0.Isend(t0, 1, int32(i), []byte(fmt.Sprintf("m%d", i)))
+			if err != nil {
+				done <- err
+				return
+			}
+			reqs = append(reqs, r)
+		}
+		done <- WaitAll(t0, reqs...)
+	}()
+	for i := 0; i < n; i++ {
+		buf := make([]byte, 8)
+		st, err := c1.Recv(t1, 0, int32(i), buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("m%d", i); string(buf[:st.Count]) != want {
+			t.Fatalf("msg %d = %q, want %q", i, buf[:st.Count], want)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	total := spc.Merge(w.Proc(0).SPCSnapshot(), w.Proc(1).SPCSnapshot())
+	if total[spc.AcksSent] == 0 {
+		t.Error("reliable mode sent no acks")
+	}
+	if total[spc.RetransmitFailures] != 0 {
+		t.Errorf("perfect wire produced %d retransmit failures", total[spc.RetransmitFailures])
+	}
+}

@@ -166,6 +166,7 @@ func (c *Comm) Isend(th *Thread, dst int, tag int32, buf []byte) (*Request, erro
 
 	inst := p.pool.ForThread(&th.ts)
 	p.tracer.EmitCRI(trace.KindSendInject, inst.Index(), int32(dst), int32(seq))
+	p.rel.track(pkt, c.group[dst], req, nil)
 	inst.Lock()
 	inst.Endpoint(c.group[dst]).Send(pkt)
 	inst.Unlock()
@@ -319,8 +320,8 @@ func (c *Comm) completeRecv(comp match.Completion) {
 }
 
 // Free removes this handle's communicator state from its process
-// (MPI_Comm_free). The caller must ensure no traffic is in flight on the
-// communicator; inbound packets for a freed communicator panic.
+// (MPI_Comm_free). Packets still in flight toward a freed communicator are
+// counted (spc.LatePackets) and dropped by the receive path.
 func (c *Comm) Free() {
 	c.proc.unregisterComm(c.id)
 }
@@ -373,6 +374,7 @@ func (c *Comm) isendInternal(th *Thread, dst int, tag int32, buf []byte) (*Reque
 		return req, nil
 	}
 	inst := p.pool.ForThread(&th.ts)
+	p.rel.track(pkt, c.group[dst], req, nil)
 	inst.Lock()
 	inst.Endpoint(c.group[dst]).Send(pkt)
 	inst.Unlock()

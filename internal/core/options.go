@@ -10,6 +10,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cri"
 	"repro/internal/hw"
@@ -103,6 +104,31 @@ type Options struct {
 	ScrambleWindow int
 	// ScrambleSeed seeds the scrambler (0 = 1).
 	ScrambleSeed int64
+	// FaultDrop is the per-packet probability the fabric silently drops an
+	// outbound packet (see fabric.FaultConfig). Any non-zero fault
+	// probability auto-enables the Reliable delivery layer.
+	FaultDrop float64
+	// FaultDup is the per-packet duplication probability.
+	FaultDup float64
+	// FaultDelay is the per-packet probability of a delayed (reordered)
+	// delivery.
+	FaultDelay float64
+	// FaultDelayDur is how long a delayed packet is held
+	// (0 = fabric.DefaultFaultDelay).
+	FaultDelayDur time.Duration
+	// FaultSeed seeds the per-proc fault RNGs (0 = 1; proc rank is mixed in
+	// so ranks draw decorrelated streams).
+	FaultSeed int64
+	// Reliable enables the ack/retransmit delivery layer (see
+	// reliability.go) even without fault injection. Auto-enabled when any
+	// Fault* probability is non-zero.
+	Reliable bool
+	// RetransmitTimeout is the base retransmission timeout, doubled per
+	// retry (0 = DefaultRetransmitTimeout). Reliable mode only.
+	RetransmitTimeout time.Duration
+	// RetryBudget is how many retransmissions are attempted before a send
+	// fails with ErrPeerUnreachable (0 = DefaultRetryBudget).
+	RetryBudget int
 }
 
 // DefaultEagerLimit is the eager/rendezvous switchover when unspecified.
@@ -121,6 +147,19 @@ func (o Options) withDefaults(m hw.Machine) Options {
 	}
 	if o.EagerLimit == 0 {
 		o.EagerLimit = DefaultEagerLimit
+	}
+	if o.FaultDrop > 0 || o.FaultDup > 0 || o.FaultDelay > 0 {
+		// An imperfect wire without the reliability layer would hang
+		// waiters on the first dropped packet.
+		o.Reliable = true
+	}
+	if o.Reliable {
+		if o.RetransmitTimeout <= 0 {
+			o.RetransmitTimeout = DefaultRetransmitTimeout
+		}
+		if o.RetryBudget <= 0 {
+			o.RetryBudget = DefaultRetryBudget
+		}
 	}
 	return o
 }

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/spc"
+)
+
+// ErrPeerUnreachable reports a tracked packet abandoned after the
+// retransmit budget was exhausted: the runtime stops retrying and surfaces
+// the failure to the caller instead of hanging.
+var ErrPeerUnreachable = errors.New("core: peer unreachable (retransmit budget exhausted)")
+
+// DefaultRetransmitTimeout is the base retransmission timeout when
+// Options.RetransmitTimeout is unset. Each retry doubles it (capped at
+// relMaxRTO).
+const DefaultRetransmitTimeout = time.Millisecond
+
+// DefaultRetryBudget is the default number of retransmissions attempted
+// before a packet is abandoned with ErrPeerUnreachable.
+const DefaultRetryBudget = 10
+
+// relSweepTick bounds how often any one thread scans for expired
+// retransmit timers; between ticks maybeSweep is one atomic load.
+const relSweepTick = 200 * time.Microsecond
+
+// relMaxRTO caps the exponential backoff.
+const relMaxRTO = 100 * time.Millisecond
+
+// Delivery-reliability protocol (enabled by Options.Reliable, which fault
+// injection turns on automatically):
+//
+//   - Every tracked outbound packet carries a transport-level sequence
+//     number per (sender, destination) pair in its driver metadata
+//     (Packet.RelSeq/RelSrc) — separate from the matching layer's
+//     per-communicator sequence, exactly as a BTL-level reliability window
+//     is separate from PML matching in Open MPI.
+//   - The receiver acks every tracked packet with a KindAck control packet
+//     carrying {cumulative ack, selective ack}; duplicates (already under
+//     the cumulative mark or already buffered) are counted, re-acked (the
+//     original ack may have been lost), and dropped before matching.
+//   - The sender keeps unacked packets in a per-peer window and, on a
+//     coarse tick driven by the progress engine, retransmits entries whose
+//     exponentially backed-off timeout expired. After RetryBudget
+//     retransmissions the entry is abandoned: its request (or fail hook)
+//     completes with ErrPeerUnreachable.
+//
+// The ack claim — removing an entry from the unacked map under the mutex —
+// is exclusive, so a late ack racing the failure sweep can never complete
+// a request twice.
+
+// relEntry is one unacked tracked packet.
+type relEntry struct {
+	pkt      *fabric.Packet
+	dstWorld int
+	// req, when non-nil, completes with nil on ack and ErrPeerUnreachable
+	// on abandonment (eager sends).
+	req *Request
+	// fail, when non-nil, runs instead of req completion on abandonment —
+	// control packets (rendezvous RTS/ACK) clean their protocol state here.
+	fail    func(error)
+	sentAt  time.Time
+	retries int
+}
+
+// relSendPeer is the send-side window toward one peer.
+type relSendPeer struct {
+	nextSeq uint64
+	unacked map[uint64]*relEntry
+}
+
+// relRecvPeer is the receive-side dedup state for one peer: the cumulative
+// in-order mark plus the set of out-of-order sequences already seen.
+type relRecvPeer struct {
+	cum uint64
+	ooo map[uint64]struct{}
+}
+
+// reliability is one proc's delivery-reliability state. All methods are
+// safe for concurrent use; a nil *reliability ignores every call, so hot
+// paths need no enabled checks.
+type reliability struct {
+	proc   *Proc
+	rto    time.Duration
+	budget int
+
+	mu   sync.Mutex
+	send []relSendPeer // indexed by destination world rank
+	recv []relRecvPeer // indexed by source world rank
+
+	lastSweep atomic.Int64
+}
+
+func newReliability(p *Proc, rto time.Duration, budget int) *reliability {
+	return &reliability{proc: p, rto: rto, budget: budget}
+}
+
+// initPeers sizes the per-peer tables once the world size is known.
+func (r *reliability) initPeers(n int) {
+	if r == nil {
+		return
+	}
+	r.send = make([]relSendPeer, n)
+	r.recv = make([]relRecvPeer, n)
+}
+
+// track registers an outbound packet for ack/retransmit, assigning its
+// transport sequence number. Must be called before the packet is injected.
+// req (if non-nil) is marked reliable: its send completion shifts from the
+// local CQE to the peer's ack.
+func (r *reliability) track(pkt *fabric.Packet, dstWorld int, req *Request, fail func(error)) {
+	if r == nil {
+		return
+	}
+	if req != nil {
+		req.reliable = true
+	}
+	now := time.Now()
+	r.mu.Lock()
+	sp := &r.send[dstWorld]
+	sp.nextSeq++
+	pkt.RelSeq = sp.nextSeq
+	pkt.RelSrc = int32(r.proc.rank)
+	if sp.unacked == nil {
+		sp.unacked = make(map[uint64]*relEntry)
+	}
+	sp.unacked[sp.nextSeq] = &relEntry{
+		pkt: pkt, dstWorld: dstWorld, req: req, fail: fail, sentAt: now,
+	}
+	r.mu.Unlock()
+}
+
+// acceptData runs receive-side dedup on a tracked inbound packet and acks
+// it. It reports whether the packet is fresh (deliver it) or a duplicate
+// (counted and dropped; the ack is re-sent because the original may have
+// been lost on the wire).
+func (r *reliability) acceptData(pkt *fabric.Packet) bool {
+	src := int(pkt.RelSrc)
+	seq := pkt.RelSeq
+	r.mu.Lock()
+	rp := &r.recv[src]
+	fresh := false
+	if seq > rp.cum {
+		if _, seen := rp.ooo[seq]; !seen {
+			fresh = true
+			if seq == rp.cum+1 {
+				rp.cum++
+				for {
+					if _, ok := rp.ooo[rp.cum+1]; !ok {
+						break
+					}
+					delete(rp.ooo, rp.cum+1)
+					rp.cum++
+				}
+			} else {
+				if rp.ooo == nil {
+					rp.ooo = make(map[uint64]struct{})
+				}
+				rp.ooo[seq] = struct{}{}
+			}
+		}
+	}
+	cum := rp.cum
+	r.mu.Unlock()
+	if !fresh {
+		r.proc.spcs.Inc(spc.DuplicatePackets)
+	}
+	r.sendAck(src, cum, seq)
+	return fresh
+}
+
+// sendAck injects a {cumulative, selective} acknowledgement toward
+// dstWorld. Acks are not themselves tracked (no acks of acks): a lost ack
+// is repaired by the peer's retransmission, which re-triggers this path.
+func (r *reliability) sendAck(dstWorld int, cum, sel uint64) {
+	p := r.proc
+	var payload [16]byte
+	binary.LittleEndian.PutUint64(payload[0:], cum)
+	binary.LittleEndian.PutUint64(payload[8:], sel)
+	env := fabric.Envelope{
+		Src: int32(p.rank), Dst: int32(dstWorld), Kind: fabric.KindAck,
+	}
+	p.sendControl(dstWorld, fabric.NewPacketRaw(env, payload[:], nil))
+	p.spcs.Inc(spc.AcksSent)
+}
+
+// handleAck retires every unacked entry covered by the ack's cumulative
+// mark, plus the selectively acked sequence, completing their requests.
+func (r *reliability) handleAck(pkt *fabric.Packet) {
+	if r == nil || len(pkt.Payload) < 16 {
+		return
+	}
+	src := int(pkt.Envelope().Src) // acking peer's world rank
+	if src < 0 || src >= len(r.send) {
+		return
+	}
+	cum := binary.LittleEndian.Uint64(pkt.Payload[0:])
+	sel := binary.LittleEndian.Uint64(pkt.Payload[8:])
+	var done []*relEntry
+	r.mu.Lock()
+	sp := &r.send[src]
+	for seq, e := range sp.unacked {
+		if seq <= cum || seq == sel {
+			delete(sp.unacked, seq)
+			done = append(done, e)
+		}
+	}
+	r.mu.Unlock()
+	r.proc.spcs.Inc(spc.AcksReceived)
+	for _, e := range done {
+		if e.req != nil {
+			e.req.finish(nil)
+		}
+	}
+}
+
+// maybeSweep runs the retransmit sweep if a tick has elapsed since the last
+// one; the CAS ensures exactly one of the threads racing a tick boundary
+// pays for the scan. Nil-safe: disabled reliability costs one pointer test.
+func (r *reliability) maybeSweep() {
+	if r == nil {
+		return
+	}
+	now := time.Now()
+	last := r.lastSweep.Load()
+	if now.UnixNano()-last < int64(relSweepTick) || !r.lastSweep.CompareAndSwap(last, now.UnixNano()) {
+		return
+	}
+	r.sweep(now)
+}
+
+// sweep retransmits every entry whose backed-off timeout expired and
+// abandons entries that exhausted the retry budget. Injection and failure
+// callbacks run outside the mutex.
+func (r *reliability) sweep(now time.Time) {
+	p := r.proc
+	type redo struct {
+		pkt *fabric.Packet
+		dst int
+	}
+	var (
+		again  []redo
+		failed []*relEntry
+	)
+	r.mu.Lock()
+	for i := range r.send {
+		sp := &r.send[i]
+		for seq, e := range sp.unacked {
+			timeout := r.rto << uint(e.retries)
+			if timeout > relMaxRTO || timeout <= 0 {
+				timeout = relMaxRTO
+			}
+			if now.Sub(e.sentAt) < timeout {
+				continue
+			}
+			if e.retries >= r.budget {
+				delete(sp.unacked, seq)
+				failed = append(failed, e)
+				continue
+			}
+			e.retries++
+			e.sentAt = now
+			again = append(again, redo{pkt: e.pkt, dst: e.dstWorld})
+		}
+	}
+	r.mu.Unlock()
+	for _, rd := range again {
+		p.spcs.Inc(spc.Retransmits)
+		p.resend(rd.dst, rd.pkt)
+	}
+	for _, e := range failed {
+		p.spcs.Inc(spc.RetransmitFailures)
+		switch {
+		case e.fail != nil:
+			e.fail(ErrPeerUnreachable)
+		case e.req != nil:
+			e.req.finish(ErrPeerUnreachable)
+		}
+	}
+}
+
+// resend re-injects a packet toward dstWorld on a round-robin instance's
+// endpoint without a new send-completion CQE (the original injection
+// already produced one).
+func (p *Proc) resend(dstWorld int, pkt *fabric.Packet) {
+	inst := p.pool.Get(p.pool.NextRoundRobin())
+	if ep := inst.Endpoint(dstWorld); ep != nil {
+		ep.Resend(pkt)
+	}
+}

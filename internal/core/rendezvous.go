@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/match"
+	"repro/internal/spc"
 	"repro/internal/trace"
 )
 
@@ -59,6 +60,16 @@ func (c *Comm) isendRendezvous(th *Thread, dst int, tag int32, buf []byte) (*Req
 	binary.LittleEndian.PutUint64(idb[:], id)
 	pkt := fabric.NewPacketRaw(env, idb[:], req)
 
+	// The RTS completes the rendezvous via put+FIN, never on transport ack,
+	// so it is tracked with a failure hook only: an unreachable peer tears
+	// down the pending-send entry and fails the request.
+	p.rel.track(pkt, c.group[dst], nil, func(err error) {
+		p.rdvMu.Lock()
+		delete(p.rdvSends, id)
+		p.rdvMu.Unlock()
+		req.finish(err)
+	})
+
 	inst := p.pool.ForThread(&th.ts)
 	inst.Lock()
 	inst.Endpoint(c.group[dst]).Send(pkt)
@@ -86,8 +97,13 @@ func (c *Comm) startRendezvousRecv(req *Request, comp match.Completion) {
 	key := rdvKey{srcWorld: c.group[env.Src], id: id}
 	p.rdvMu.Lock()
 	if _, dup := p.rdvRecvs[key]; dup {
+		// A duplicate RTS slipped past transport dedup (e.g. duplication
+		// without the reliability layer). The original transfer is already
+		// in progress; count the copy and drop it.
 		p.rdvMu.Unlock()
-		panic(fmt.Sprintf("core: duplicate rendezvous id %d from world rank %d", id, key.srcWorld))
+		p.dev.DeregisterMemory(region)
+		p.spcs.Inc(spc.LatePackets)
+		return
 	}
 	p.rdvRecvs[key] = &rdvRecv{req: req, region: region, total: total, sink: sink, src: env.Src, tag: env.Tag}
 	p.rdvMu.Unlock()
@@ -101,7 +117,21 @@ func (c *Comm) startRendezvousRecv(req *Request, comp match.Completion) {
 	ackEnv := fabric.Envelope{
 		Src: int32(c.myRank), Dst: env.Src, Comm: c.id, Kind: fabric.KindRendezvousACK,
 	}
-	p.sendControl(c.group[env.Src], fabric.NewPacketRaw(ackEnv, payload[:], nil))
+	ackPkt := fabric.NewPacketRaw(ackEnv, payload[:], nil)
+	dstWorld := c.group[env.Src]
+	// If the ACK can never reach the sender, the posted receive would wait
+	// forever for a put that is not coming: tear down and surface the error.
+	p.rel.track(ackPkt, dstWorld, nil, func(err error) {
+		p.rdvMu.Lock()
+		rr := p.rdvRecvs[key]
+		delete(p.rdvRecvs, key)
+		p.rdvMu.Unlock()
+		if rr != nil {
+			p.dev.DeregisterMemory(rr.region)
+			rr.req.finish(err)
+		}
+	})
+	p.sendControl(dstWorld, ackPkt)
 }
 
 // handleRendezvousACK runs on the sender: put the data into the receiver's
@@ -117,13 +147,20 @@ func (c *Comm) handleRendezvousACK(pkt *fabric.Packet) {
 	delete(p.rdvSends, id)
 	p.rdvMu.Unlock()
 	if rs == nil {
-		panic(fmt.Sprintf("core: rendezvous ACK for unknown id %d", id))
+		// Duplicate or orphaned ACK (the transfer already ran, or the RTS
+		// was abandoned by the retransmit sweep). Count and drop.
+		p.spcs.Inc(spc.LatePackets)
+		return
 	}
 
 	targetDev := p.world.procs[rs.dstWorld].dev
 	region, ok := targetDev.Region(regionID)
 	if !ok {
-		panic(fmt.Sprintf("core: rendezvous region %d vanished", regionID))
+		// The receiver tore the sink region down (e.g. its side of the
+		// transfer failed): the data cannot land, so fail the send.
+		p.spcs.Inc(spc.LatePackets)
+		rs.req.finish(ErrPeerUnreachable)
+		return
 	}
 	if sink > 0 {
 		// The bulk transfer is a hardware put: the fabric charges initiator
@@ -131,7 +168,8 @@ func (c *Comm) handleRendezvousACK(pkt *fabric.Packet) {
 		// path is offloaded (packet queues are inherently thread-safe).
 		ctx := p.pool.Get(p.pool.NextRoundRobin()).Context()
 		if err := ctx.Put(region, 0, rs.buf[:sink], nil); err != nil {
-			panic(fmt.Sprintf("core: rendezvous put: %v", err))
+			rs.req.finish(fmt.Errorf("core: rendezvous put: %w", err))
+			return
 		}
 	}
 
@@ -141,7 +179,9 @@ func (c *Comm) handleRendezvousACK(pkt *fabric.Packet) {
 	finEnv := fabric.Envelope{
 		Src: env.Dst, Dst: env.Src, Comm: c.id, Kind: fabric.KindRendezvousData,
 	}
-	p.sendControl(rs.dstWorld, fabric.NewPacketRaw(finEnv, idb[:], nil))
+	finPkt := fabric.NewPacketRaw(finEnv, idb[:], nil)
+	p.rel.track(finPkt, rs.dstWorld, nil, nil)
+	p.sendControl(rs.dstWorld, finPkt)
 	rs.req.finish(nil)
 }
 
@@ -157,7 +197,10 @@ func (c *Comm) handleRendezvousFIN(pkt *fabric.Packet) {
 	delete(p.rdvRecvs, key)
 	p.rdvMu.Unlock()
 	if rr == nil {
-		panic(fmt.Sprintf("core: rendezvous FIN for unknown id %d", id))
+		// Duplicate or orphaned FIN — the receive already completed (or was
+		// torn down). Count and drop.
+		p.spcs.Inc(spc.LatePackets)
+		return
 	}
 	p.dev.DeregisterMemory(rr.region)
 	p.tracer.Emit(trace.KindRendezvousDone, rr.src, int32(rr.sink))

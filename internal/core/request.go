@@ -42,6 +42,11 @@ type Request struct {
 	kind reqKind
 	done atomic.Bool
 
+	// reliable marks a send tracked by the delivery-reliability layer: it
+	// completes on the peer's ack (or ErrPeerUnreachable), not on the local
+	// send CQE. Written before injection, so the CQE handler observes it.
+	reliable bool
+
 	// recv state
 	mrecv  *match.Recv
 	status Status
@@ -133,6 +138,11 @@ func (r *Request) Complete(fabric.CQE) {
 	if r.kind == reqRendezvousSend {
 		// The eager injection of the RTS does not finish a rendezvous
 		// send; the put + FIN path completes it.
+		return
+	}
+	if r.reliable {
+		// Local injection is not delivery under the reliability layer; the
+		// ack path (or the retransmit sweep's failure) completes this send.
 		return
 	}
 	r.finish(nil)

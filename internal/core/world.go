@@ -159,6 +159,10 @@ type Proc struct {
 	// levelGuard enforces the negotiated threading level.
 	levelGuard levelGuard
 
+	// rel is the delivery-reliability layer (nil unless Options.Reliable;
+	// all its methods are nil-safe).
+	rel *reliability
+
 	// offload is the dedicated progress thread (Options.ProgressThread).
 	offload     bool
 	offloadStop chan struct{}
@@ -192,6 +196,20 @@ func newProc(w *World, rank int, machine hw.Machine, opts Options) (*Proc, error
 	}
 	if !opts.DisableSPCs {
 		p.spcs = spc.NewSet()
+	}
+	if fc := (fabric.FaultConfig{
+		Drop: opts.FaultDrop, Dup: opts.FaultDup,
+		Delay: opts.FaultDelay, DelayDur: opts.FaultDelayDur,
+	}); fc.Enabled() {
+		seed := opts.FaultSeed
+		if seed == 0 {
+			seed = 1
+		}
+		fc.Seed = seed + int64(rank) // decorrelate the per-proc streams
+		p.dev.SetFaultInjector(fabric.NewFaultInjector(fc, p.spcs))
+	}
+	if opts.Reliable {
+		p.rel = newReliability(p, opts.RetransmitTimeout, opts.RetryBudget)
 	}
 	if opts.TraceCapacity > 0 {
 		p.tracer = trace.New(opts.TraceCapacity)
@@ -248,6 +266,7 @@ func (p *Proc) offloadLoop() {
 			return
 		default:
 		}
+		p.rel.maybeSweep()
 		if p.prog.Progress(&ts) == 0 {
 			yield()
 		}
@@ -256,6 +275,7 @@ func (p *Proc) offloadLoop() {
 
 // wire connects every local instance to one context of every peer.
 func (p *Proc) wire(procs []*Proc) {
+	p.rel.initPeers(len(procs))
 	for k := 0; k < p.pool.Len(); k++ {
 		inst := p.pool.Get(k)
 		eps := make([]*fabric.Endpoint, len(procs))
@@ -403,9 +423,22 @@ func (p *Proc) dispatch(in *cri.Instance, e fabric.CQE) {
 // communicator's matching engine under its matching lock.
 func (p *Proc) deliver(pkt *fabric.Packet) {
 	env := pkt.Envelope()
+	if env.Kind == fabric.KindAck {
+		p.rel.handleAck(pkt)
+		return
+	}
+	if pkt.RelSeq != 0 && p.rel != nil && !p.rel.acceptData(pkt) {
+		// Transport-level duplicate: already delivered (or buffered); the
+		// dedup counted it and re-acked the sender. Drop before matching.
+		return
+	}
 	c := p.commByID(env.Comm)
 	if c == nil {
-		panic(fmt.Sprintf("core: rank %d received packet for unknown communicator %d", p.rank, env.Comm))
+		// The communicator was freed (or never existed here) while this
+		// packet was in flight — with real networks and MPI_Comm_free that
+		// is a legal race, not a fatal protocol violation. Count and drop.
+		p.spcs.Inc(spc.LatePackets)
+		return
 	}
 	switch env.Kind {
 	case fabric.KindRendezvousACK:
@@ -443,6 +476,7 @@ func (p *Proc) deliver(pkt *fabric.Packet) {
 // the software-offload design, application threads never enter the engine;
 // the dedicated thread owns it, so callers simply yield.
 func (p *Proc) progressFor(ts *cri.ThreadState) int {
+	p.rel.maybeSweep()
 	if p.offload {
 		yield()
 		return 0

@@ -2,6 +2,9 @@ package fabric
 
 import (
 	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/hw"
 	"repro/internal/ringbuf"
@@ -25,6 +28,20 @@ type Context struct {
 	cq    *ringbuf.MPSC[CQE]     // local completions (send/put/get)
 
 	scrambler *Scrambler
+	faults    *FaultInjector
+
+	// delayed holds fault-injector-delayed packets until their release
+	// time; hasDelayed makes the empty check a single atomic load on the
+	// poll hot path.
+	delayMu    sync.Mutex
+	delayed    []delayedPacket
+	hasDelayed atomic.Bool
+}
+
+// delayedPacket is one held-back packet with its release time.
+type delayedPacket struct {
+	due time.Time
+	pkt *Packet
 }
 
 func newContext(d *Device, index, depth int) *Context {
@@ -60,6 +77,37 @@ func (c *Context) deliverDirect(p *Packet) {
 	}
 }
 
+// deliverDelayed holds p back until the delay elapses; the packet is
+// released into the receive queue by a later Poll on this context.
+func (c *Context) deliverDelayed(p *Packet, d time.Duration) {
+	c.delayMu.Lock()
+	c.delayed = append(c.delayed, delayedPacket{due: time.Now().Add(d), pkt: p})
+	c.hasDelayed.Store(true)
+	c.delayMu.Unlock()
+}
+
+// releaseDue moves every delayed packet whose hold time has elapsed into the
+// receive queue.
+func (c *Context) releaseDue() {
+	now := time.Now()
+	var due []*Packet
+	c.delayMu.Lock()
+	kept := c.delayed[:0]
+	for _, dp := range c.delayed {
+		if dp.due.After(now) {
+			kept = append(kept, dp)
+		} else {
+			due = append(due, dp.pkt)
+		}
+	}
+	c.delayed = kept
+	c.hasDelayed.Store(len(kept) > 0)
+	c.delayMu.Unlock()
+	for _, p := range due {
+		c.deliver(p)
+	}
+}
+
 // completeLocal enqueues a local completion, blocking on a full CQ.
 func (c *Context) completeLocal(e CQE) {
 	for !c.cq.Push(e) {
@@ -75,6 +123,9 @@ func (c *Context) completeLocal(e CQE) {
 func (c *Context) Poll(handler func(CQE), max int) int {
 	if max <= 0 {
 		max = 64
+	}
+	if c.hasDelayed.Load() {
+		c.releaseDue()
 	}
 	costs := &c.dev.costs
 	n := 0
@@ -118,9 +169,10 @@ func (c *Context) Poll(handler func(CQE), max int) int {
 	return n
 }
 
-// Pending reports whether any completions or inbound packets are queued.
+// Pending reports whether any completions or inbound packets are queued
+// (including fault-delayed packets not yet released).
 func (c *Context) Pending() bool {
-	return c.cq.Len() > 0 || c.recvQ.Len() > 0
+	return c.cq.Len() > 0 || c.recvQ.Len() > 0 || c.hasDelayed.Load()
 }
 
 // Endpoint is a send path from a local context to one remote context. It is
@@ -151,6 +203,25 @@ func (e *Endpoint) Send(p *Packet) {
 	costs := &e.local.dev.costs
 	hw.Spin(costs.SendInject)
 	e.local.dev.limiter.reserve(EnvelopeSize + len(p.Payload))
-	e.remote.deliver(p)
+	if f := e.local.faults; f != nil {
+		f.inject(e.remote, p)
+	} else {
+		e.remote.deliver(p)
+	}
 	e.local.completeLocal(CQE{Kind: CQESendComplete, Packet: p})
+}
+
+// Resend re-injects a packet without posting a new send-completion CQE —
+// the retransmission path of the delivery-reliability layer, which already
+// holds local completion state for the packet. The retransmitted copy faces
+// the wire faults again.
+func (e *Endpoint) Resend(p *Packet) {
+	costs := &e.local.dev.costs
+	hw.Spin(costs.SendInject)
+	e.local.dev.limiter.reserve(EnvelopeSize + len(p.Payload))
+	if f := e.local.faults; f != nil {
+		f.inject(e.remote, p)
+	} else {
+		e.remote.deliver(p)
+	}
 }

@@ -29,7 +29,8 @@ type Device struct {
 	regions map[uint64]*MemRegion
 	nextReg uint64
 
-	scrambler *Scrambler // optional adversarial reordering for tests
+	scrambler *Scrambler     // optional adversarial reordering for tests
+	faults    *FaultInjector // optional wire-fault injection
 }
 
 // NewDevice creates a NIC for the given machine model.
@@ -52,6 +53,11 @@ func (d *Device) Costs() hw.CostModel { return d.costs }
 // context created afterwards. Test-only; nil disables.
 func (d *Device) SetScrambler(s *Scrambler) { d.scrambler = s }
 
+// SetFaultInjector installs a wire-fault injector applied to every packet
+// this device's endpoints send afterwards (outbound side). Call before
+// CreateContext; nil disables.
+func (d *Device) SetFaultInjector(f *FaultInjector) { d.faults = f }
+
 // CreateContext allocates a new network context with the given queue depth
 // (rounded up to a power of two; depth <= 0 selects the default 4096).
 // It fails with ErrContextLimit when the hardware limit is reached.
@@ -69,6 +75,7 @@ func (d *Device) CreateContext(depth int) (*Context, error) {
 	}
 	ctx := newContext(d, len(d.contexts), depth)
 	ctx.scrambler = d.scrambler
+	ctx.faults = d.faults
 	d.contexts = append(d.contexts, ctx)
 	return ctx, nil
 }

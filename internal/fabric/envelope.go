@@ -46,6 +46,9 @@ const (
 	KindRendezvousACK
 	// KindRendezvousData is the bulk data of a rendezvous transfer.
 	KindRendezvousData
+	// KindAck is a delivery-reliability acknowledgement: a cumulative ack
+	// plus a selective-ack bitmap for one sender→receiver transport stream.
+	KindAck
 )
 
 // Marshal encodes the envelope into its 28-byte wire form. The encode cost
@@ -91,6 +94,13 @@ type Packet struct {
 	// It rides the packet but is not part of the wire envelope, exactly
 	// like driver-private metadata on a real send WQE.
 	Stamp int64
+	// RelSeq is the transport-level sequence number assigned by the
+	// delivery-reliability layer when it is enabled; 0 = untracked. Like
+	// Stamp it is driver-private metadata, not part of the wire envelope.
+	RelSeq uint64
+	// RelSrc is the sender's world rank for reliability tracking when
+	// RelSeq != 0 (the envelope's Src is communicator-relative).
+	RelSrc int32
 }
 
 // NewPacket marshals env and copies payload into a fresh packet, setting

@@ -1,0 +1,131 @@
+package fabric
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/spc"
+)
+
+// FaultConfig parameterizes the wire-fault injector. All probabilities are
+// per-packet and independent; a packet is first tested for drop, then (if it
+// survived) for duplication and delay. The zero value injects nothing.
+type FaultConfig struct {
+	// Drop is the probability a packet vanishes on the wire. The sender
+	// still observes local send completion — exactly like real hardware,
+	// which reports the DMA done long before the packet survives the
+	// network.
+	Drop float64
+	// Dup is the probability a packet is delivered twice.
+	Dup float64
+	// Delay is the probability a packet is held back for DelayDur before
+	// delivery (a slow path through the switch), reordering it past later
+	// traffic.
+	Delay float64
+	// DelayDur is how long a delayed packet is held (0 = 200µs).
+	DelayDur time.Duration
+	// Seed seeds the deterministic RNG (0 = 1).
+	Seed int64
+}
+
+// DefaultFaultDelay is the hold time of a delayed packet when
+// FaultConfig.DelayDur is unset.
+const DefaultFaultDelay = 200 * time.Microsecond
+
+// Enabled reports whether any fault has a non-zero probability.
+func (c FaultConfig) Enabled() bool {
+	return c.Drop > 0 || c.Dup > 0 || c.Delay > 0
+}
+
+func (c FaultConfig) withDefaults() FaultConfig {
+	if c.DelayDur <= 0 {
+		c.DelayDur = DefaultFaultDelay
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// FaultInjector perturbs packet delivery at the device layer under a seeded
+// RNG: drops, duplications, and delays. It models an imperfect network under
+// the fabric's synchronous-delivery design, so the layers above can be
+// tested against loss, duplication, and reordering instead of assuming the
+// perfect wire the paper evaluates on. Injected faults are recorded in the
+// attached counter set (nil-safe).
+type FaultInjector struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	cfg  FaultConfig
+	spcs *spc.Set
+}
+
+// NewFaultInjector builds an injector for cfg recording into spcs (may be
+// nil). Returns nil when cfg injects nothing, so callers can install the
+// result unconditionally.
+func NewFaultInjector(cfg FaultConfig, spcs *spc.Set) *FaultInjector {
+	if !cfg.Enabled() {
+		return nil
+	}
+	cfg = cfg.withDefaults()
+	return &FaultInjector{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg, spcs: spcs}
+}
+
+// Config returns the injector's (defaulted) configuration.
+func (f *FaultInjector) Config() FaultConfig { return f.cfg }
+
+// fate is the injector's verdict for one packet.
+type fate struct {
+	drop  bool
+	dup   bool
+	delay time.Duration // 0 = deliver now
+}
+
+// judge rolls the dice for one packet and advances the fault counters.
+func (f *FaultInjector) judge() fate {
+	f.mu.Lock()
+	var ft fate
+	if f.cfg.Drop > 0 && f.rng.Float64() < f.cfg.Drop {
+		ft.drop = true
+	} else {
+		if f.cfg.Dup > 0 && f.rng.Float64() < f.cfg.Dup {
+			ft.dup = true
+		}
+		if f.cfg.Delay > 0 && f.rng.Float64() < f.cfg.Delay {
+			ft.delay = f.cfg.DelayDur
+		}
+	}
+	f.mu.Unlock()
+	switch {
+	case ft.drop:
+		f.spcs.Inc(spc.FaultPacketsDropped)
+	case ft.dup:
+		f.spcs.Inc(spc.FaultPacketsDuplicated)
+	}
+	if ft.delay > 0 {
+		f.spcs.Inc(spc.FaultPacketsDelayed)
+	}
+	return ft
+}
+
+// inject delivers p to dst subject to the injector's faults. Duplicated
+// packets are the same *Packet delivered twice — receivers must treat
+// packets as read-only, which they do.
+func (f *FaultInjector) inject(dst *Context, p *Packet) {
+	ft := f.judge()
+	if ft.drop {
+		return
+	}
+	if ft.delay > 0 {
+		dst.deliverDelayed(p, ft.delay)
+		if ft.dup {
+			dst.deliverDelayed(p, ft.delay)
+		}
+		return
+	}
+	dst.deliver(p)
+	if ft.dup {
+		dst.deliver(p)
+	}
+}

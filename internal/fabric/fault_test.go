@@ -1,0 +1,135 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/spc"
+)
+
+// faultPair builds two devices with cfg installed on the sender side and
+// returns a sender->receiver endpoint plus the sender's counter set.
+func faultPair(t *testing.T, cfg FaultConfig) (*Endpoint, *Context, *spc.Set) {
+	t.Helper()
+	s := spc.NewSet()
+	sender := NewDevice(hw.Fast())
+	sender.SetFaultInjector(NewFaultInjector(cfg, s))
+	receiver := NewDevice(hw.Fast())
+	src, err := sender.CreateContext(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := receiver.CreateContext(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEndpoint(src, dst), dst, s
+}
+
+// drain polls dst until idle and returns how many inbound packets arrived.
+func drain(dst *Context, rounds int) int {
+	got := 0
+	for i := 0; i < rounds; i++ {
+		dst.Poll(func(e CQE) {
+			if e.Kind == CQERecv {
+				got++
+			}
+		}, 64)
+	}
+	return got
+}
+
+func TestFaultInjectorDisabledIsNil(t *testing.T) {
+	if f := NewFaultInjector(FaultConfig{}, spc.NewSet()); f != nil {
+		t.Fatal("zero FaultConfig must yield a nil injector")
+	}
+	if f := NewFaultInjector(FaultConfig{Drop: 0.5}, nil); f == nil {
+		t.Fatal("non-zero drop probability must yield an injector (nil spcs is allowed)")
+	}
+}
+
+func TestFaultDropAll(t *testing.T) {
+	ep, dst, s := faultPair(t, FaultConfig{Drop: 1})
+	const n = 16
+	for i := 0; i < n; i++ {
+		ep.Send(NewPacket(Envelope{Kind: KindEager, Seq: uint32(i)}, nil, nil))
+	}
+	if got := drain(dst, 4); got != 0 {
+		t.Fatalf("Drop=1 delivered %d packets, want 0", got)
+	}
+	if c := s.Get(spc.FaultPacketsDropped); c != n {
+		t.Fatalf("FaultPacketsDropped = %d, want %d", c, n)
+	}
+	// The sender still sees local send completions, like real hardware.
+	sends := 0
+	ep.Local().Poll(func(e CQE) {
+		if e.Kind == CQESendComplete {
+			sends++
+		}
+	}, 64)
+	if sends != n {
+		t.Fatalf("sender saw %d send completions, want %d", sends, n)
+	}
+}
+
+func TestFaultDupAll(t *testing.T) {
+	ep, dst, s := faultPair(t, FaultConfig{Dup: 1})
+	const n = 8
+	for i := 0; i < n; i++ {
+		ep.Send(NewPacket(Envelope{Kind: KindEager, Seq: uint32(i)}, nil, nil))
+	}
+	if got := drain(dst, 4); got != 2*n {
+		t.Fatalf("Dup=1 delivered %d packets, want %d", got, 2*n)
+	}
+	if c := s.Get(spc.FaultPacketsDuplicated); c != n {
+		t.Fatalf("FaultPacketsDuplicated = %d, want %d", c, n)
+	}
+}
+
+func TestFaultDelayReleasedByPoll(t *testing.T) {
+	ep, dst, s := faultPair(t, FaultConfig{Delay: 1, DelayDur: time.Millisecond})
+	ep.Send(NewPacket(Envelope{Kind: KindEager}, nil, nil))
+	if !dst.Pending() {
+		t.Fatal("a delayed packet must keep the context Pending")
+	}
+	if got := drain(dst, 1); got != 0 {
+		t.Fatal("packet delivered before its hold time elapsed")
+	}
+	time.Sleep(2 * time.Millisecond)
+	if got := drain(dst, 2); got != 1 {
+		t.Fatalf("delayed packet not released after hold time: got %d", got)
+	}
+	if c := s.Get(spc.FaultPacketsDelayed); c != 1 {
+		t.Fatalf("FaultPacketsDelayed = %d, want 1", c)
+	}
+	if dst.Pending() {
+		t.Fatal("context still Pending after the delayed packet drained")
+	}
+}
+
+// TestFaultDeterministicSeed checks that two injectors with the same seed
+// make identical per-packet decisions, and a different seed diverges.
+func TestFaultDeterministicSeed(t *testing.T) {
+	roll := func(seed int64) []bool {
+		f := NewFaultInjector(FaultConfig{Drop: 0.5, Seed: seed}, nil)
+		out := make([]bool, 256)
+		for i := range out {
+			out[i] = f.judge().drop
+		}
+		return out
+	}
+	a, b, c := roll(42), roll(42), roll(43)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at packet %d", i)
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical fault sequences")
+	}
+}

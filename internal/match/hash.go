@@ -268,13 +268,20 @@ func (e *HashEngine) Deliver(pkt *fabric.Packet, out []Completion) []Completion 
 	}
 	p := e.peer(env.Src)
 	if env.Seq != p.nextSeq {
+		if int32(env.Seq-p.nextSeq) < 0 {
+			// Stale sequence: already delivered, so this is a duplicate copy
+			// (fabric duplication or a losing retransmission). Discard.
+			e.spcs.Inc(spc.DuplicateSequences)
+			return out
+		}
 		e.spcs.Inc(spc.OutOfSequence)
 		e.charge(e.costs.OOSBuffer)
 		if p.oos == nil {
 			p.oos = make(map[uint32]*fabric.Packet)
 		}
 		if _, dup := p.oos[env.Seq]; dup {
-			panic(fmt.Sprintf("match: duplicate sequence %d from rank %d", env.Seq, env.Src))
+			e.spcs.Inc(spc.DuplicateSequences)
+			return out
 		}
 		p.oos[env.Seq] = pkt
 		return out

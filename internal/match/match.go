@@ -248,6 +248,14 @@ func (e *Engine) Deliver(pkt *fabric.Packet, out []Completion) []Completion {
 	}
 	p := e.peer(env.Src)
 	if env.Seq != p.nextSeq {
+		if int32(env.Seq-p.nextSeq) < 0 {
+			// Stale sequence: this message was already delivered, so the
+			// packet is a duplicate (fabric duplication or a retransmission
+			// that lost the race with its original). Discard and count —
+			// re-matching it would violate exactly-once delivery.
+			e.spcs.Inc(spc.DuplicateSequences)
+			return out
+		}
 		// Out of sequence: buffer for later. This is the costly mid-path
 		// allocation the paper measures; SPC out_of_sequence counts it.
 		e.spcs.Inc(spc.OutOfSequence)
@@ -256,7 +264,9 @@ func (e *Engine) Deliver(pkt *fabric.Packet, out []Completion) []Completion {
 			p.oos = make(map[uint32]*fabric.Packet)
 		}
 		if _, dup := p.oos[env.Seq]; dup {
-			panic(fmt.Sprintf("match: duplicate sequence %d from rank %d", env.Seq, env.Src))
+			// Same future sequence already buffered: duplicate copy.
+			e.spcs.Inc(spc.DuplicateSequences)
+			return out
 		}
 		p.oos[env.Seq] = pkt
 		return out

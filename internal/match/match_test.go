@@ -241,15 +241,52 @@ func TestWrongCommPanics(t *testing.T) {
 	e.Deliver(p, nil)
 }
 
-func TestDuplicateSeqPanics(t *testing.T) {
-	e := newTestEngine(nil)
+// TestDuplicateSeqDiscarded covers both duplicate shapes a faulty fabric can
+// produce: a second copy of a sequence that is still buffered out of order,
+// and a copy of a sequence that was already delivered. Both are counted and
+// discarded, never matched twice.
+func TestDuplicateSeqDiscarded(t *testing.T) {
+	s := spc.NewSet()
+	e := NewEngine(1, 8, hw.Fast().Scaled(), NopMeter{}, s)
+
+	// Future sequence, buffered; its duplicate must not double-buffer.
 	e.Deliver(pkt(0, 1, 5, nil), nil)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("duplicate sequence did not panic")
-		}
-	}()
 	e.Deliver(pkt(0, 1, 5, nil), nil)
+	if got := s.Get(spc.DuplicateSequences); got != 1 {
+		t.Fatalf("buffered duplicate: DuplicateSequences = %d, want 1", got)
+	}
+	if got := e.OOSBuffered(); got != 1 {
+		t.Fatalf("OOSBuffered = %d, want 1", got)
+	}
+
+	// Deliver seq 0 in order, then a stale copy of it.
+	e.Deliver(pkt(0, 1, 0, nil), nil)
+	if got := e.UnexpectedLen(); got != 1 {
+		t.Fatalf("UnexpectedLen = %d, want 1", got)
+	}
+	e.Deliver(pkt(0, 1, 0, nil), nil)
+	if got := s.Get(spc.DuplicateSequences); got != 2 {
+		t.Fatalf("stale duplicate: DuplicateSequences = %d, want 2", got)
+	}
+	if got := e.UnexpectedLen(); got != 1 {
+		t.Fatalf("stale duplicate re-matched: UnexpectedLen = %d, want 1", got)
+	}
+}
+
+// TestDuplicateSeqDiscardedHash is the same property on the hash engine.
+func TestDuplicateSeqDiscardedHash(t *testing.T) {
+	s := spc.NewSet()
+	e := NewHashEngine(1, 8, hw.Fast().Scaled(), NopMeter{}, s)
+	e.Deliver(pkt(0, 1, 0, nil), nil)
+	e.Deliver(pkt(0, 1, 0, nil), nil)
+	e.Deliver(pkt(0, 1, 3, nil), nil)
+	e.Deliver(pkt(0, 1, 3, nil), nil)
+	if got := s.Get(spc.DuplicateSequences); got != 2 {
+		t.Fatalf("DuplicateSequences = %d, want 2", got)
+	}
+	if got := e.UnexpectedLen(); got != 1 {
+		t.Fatalf("UnexpectedLen = %d, want 1", got)
+	}
 }
 
 func TestSPCQueuePeaks(t *testing.T) {

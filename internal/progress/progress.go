@@ -83,14 +83,25 @@ func (e *Engine) Mode() Mode { return e.mode }
 // returns the number of completion events handled.
 func (e *Engine) Progress(ts *cri.ThreadState) int {
 	e.spcs.Inc(spc.ProgressCalls)
-	t0 := e.passHist.Start()
 	var count int
 	if e.mode == Serial {
-		count = e.progressSerial()
+		// The serial try-lock is taken before the pass timer starts: a
+		// thread that loses did no engine work, and recording its ~0ns
+		// "pass" would drown the histogram in no-op samples under
+		// contention.
+		if !e.serialMu.TryLock() {
+			e.spcs.Inc(spc.ProgressTryLockFail)
+			return 0
+		}
+		t0 := e.passHist.Start()
+		count = e.progressSerialLocked()
+		e.serialMu.Unlock()
+		e.passHist.ObserveSince(t0)
 	} else {
+		t0 := e.passHist.Start()
 		count = e.progressConcurrent(ts)
+		e.passHist.ObserveSince(t0)
 	}
-	e.passHist.ObserveSince(t0)
 	if count > 0 {
 		// Productive passes only: an idle spin loop would flush the ring
 		// of every interesting event within milliseconds.
@@ -99,14 +110,10 @@ func (e *Engine) Progress(ts *cri.ThreadState) int {
 	return count
 }
 
-// progressSerial is Open MPI's classic design: one thread wins the global
-// lock and polls every instance; the rest leave immediately.
-func (e *Engine) progressSerial() int {
-	if !e.serialMu.TryLock() {
-		e.spcs.Inc(spc.ProgressTryLockFail)
-		return 0
-	}
-	defer e.serialMu.Unlock()
+// progressSerialLocked is one pass of Open MPI's classic design: the caller
+// won the global serial lock and polls every instance; losers have already
+// left in Progress.
+func (e *Engine) progressSerialLocked() int {
 	count := 0
 	for i := 0; i < e.pool.Len(); i++ {
 		inst := e.pool.Get(i)

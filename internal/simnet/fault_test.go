@@ -1,0 +1,68 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/spc"
+)
+
+func faultCfg(pairs int) Config {
+	cfg := baseCfg(pairs)
+	cfg.FaultDrop = 0.05
+	cfg.FaultDup = 0.05
+	cfg.FaultDelay = 0.05
+	cfg.FaultSeed = 9
+	return cfg
+}
+
+func TestMultirateWithFaultsCompletes(t *testing.T) {
+	cfg := faultCfg(4)
+	res := RunMultirate(cfg)
+	want := int64(4 * 64 * 4)
+	if res.Messages != want {
+		t.Fatalf("Messages = %d, want %d (every message must complete despite faults)", res.Messages, want)
+	}
+	if got := res.SPCs.Get(spc.FaultPacketsDropped); got == 0 {
+		t.Error("no drops injected at FaultDrop=0.05")
+	}
+	if got := res.SPCs.Get(spc.FaultPacketsDuplicated); got == 0 {
+		t.Error("no duplications injected at FaultDup=0.05")
+	}
+	if got := res.SPCs.Get(spc.FaultPacketsDelayed); got == 0 {
+		t.Error("no delays injected at FaultDelay=0.05")
+	}
+	if got := res.SPCs.Get(spc.Retransmits); got == 0 {
+		t.Error("drops occurred but no retransmissions were modeled")
+	}
+	// Duplicate deliveries must be absorbed by matching-layer dedup.
+	if got := res.SPCs.Get(spc.DuplicateSequences); got == 0 {
+		t.Error("duplicated packets were not discarded by sequence dedup")
+	}
+}
+
+func TestMultirateWithFaultsDeterministic(t *testing.T) {
+	cfg := faultCfg(4)
+	a, b := RunMultirate(cfg), RunMultirate(cfg)
+	if a.Makespan != b.Makespan {
+		t.Fatalf("nondeterministic faulty makespan: %v vs %v", a.Makespan, b.Makespan)
+	}
+	if a.SPCs.Get(spc.FaultPacketsDropped) != b.SPCs.Get(spc.FaultPacketsDropped) {
+		t.Fatal("nondeterministic drop count for identical seeds")
+	}
+	c := cfg
+	c.FaultSeed = 10
+	if d := RunMultirate(c); d.SPCs.Get(spc.FaultPacketsDropped) == a.SPCs.Get(spc.FaultPacketsDropped) &&
+		d.Makespan == a.Makespan {
+		t.Fatal("different fault seed reproduced the identical run")
+	}
+}
+
+func TestMultirateFaultsCostTime(t *testing.T) {
+	clean := baseCfg(4)
+	faulty := faultCfg(4)
+	rc, rf := RunMultirate(clean), RunMultirate(faulty)
+	if rf.Makespan <= rc.Makespan {
+		t.Fatalf("faulty wire makespan %v not above clean %v (retransmit RTOs cost virtual time)",
+			rf.Makespan, rc.Makespan)
+	}
+}

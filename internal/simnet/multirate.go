@@ -99,7 +99,7 @@ func runMultirateThreads(cfg Config) Result {
 	}
 	makespan := env.Run()
 	total := int64(cfg.Pairs) * int64(cfg.Window) * int64(cfg.Iters)
-	return newResult(total, makespan, receiver.spcs)
+	return newResult(total, makespan, receiver.spcs, sender.spcs)
 }
 
 // runMultirateProcesses: each pair is an independent process pair with
@@ -115,9 +115,11 @@ func runMultirateProcesses(cfg Config) Result {
 	pcfg.ProgressThread = false // a single-threaded process progresses itself
 
 	recvSPCs := spc.NewSet()
+	sendSPCs := spc.NewSet()
 	for pair := 0; pair < cfg.Pairs; pair++ {
 		pair := pair
 		sender := newSimProc(env, pcfg, sendWire, 1)
+		sender.spcs = sendSPCs // aggregate across sender processes
 		receiver := newSimProc(env, pcfg, recvWire, 1)
 		receiver.spcs = recvSPCs // aggregate across receiver processes
 		id := uint32(pair + 1)
@@ -147,5 +149,5 @@ func runMultirateProcesses(cfg Config) Result {
 	}
 	makespan := env.Run()
 	total := int64(cfg.Pairs) * int64(cfg.Window) * int64(cfg.Iters)
-	return newResult(total, makespan, recvSPCs)
+	return newResult(total, makespan, recvSPCs, sendSPCs)
 }

@@ -93,6 +93,26 @@ type Config struct {
 	// threads inject out of sequence order — the paper's out-of-sequence
 	// storm. Deterministic per-thread LCG keeps runs reproducible.
 	SendJitter time.Duration
+	// FaultDrop mirrors fabric.FaultConfig.Drop on virtual time: a dropped
+	// packet costs its sender one backed-off retransmission timeout per
+	// attempt before the delivery that finally survives.
+	FaultDrop float64
+	// FaultDup is the per-packet duplication probability; the duplicate
+	// copy is discarded by the matching layer's dedup.
+	FaultDup float64
+	// FaultDelay is the per-packet probability of a held-back (reordered)
+	// delivery.
+	FaultDelay float64
+	// FaultDelayDur is the virtual hold time of a delayed packet
+	// (0 = fabric.DefaultFaultDelay).
+	FaultDelayDur time.Duration
+	// FaultSeed seeds the deterministic per-thread fault RNGs (0 = 1).
+	FaultSeed int64
+}
+
+// faultsEnabled reports whether any fault probability is non-zero.
+func (c Config) faultsEnabled() bool {
+	return c.FaultDrop > 0 || c.FaultDup > 0 || c.FaultDelay > 0
 }
 
 func (c Config) withDefaults() Config {
@@ -129,8 +149,21 @@ func (c Config) withDefaults() Config {
 	if c.SleepPenalty <= 0 {
 		c.SleepPenalty = time.Duration(2000 * c.Machine.SpeedFactor * float64(time.Nanosecond))
 	}
+	if c.FaultDelayDur <= 0 {
+		c.FaultDelayDur = fabric.DefaultFaultDelay
+	}
+	if c.FaultSeed == 0 {
+		c.FaultSeed = 1
+	}
 	return c
 }
+
+// simRTO and simRetryBudget mirror the real runtime's reliability defaults
+// (core.DefaultRetransmitTimeout / DefaultRetryBudget) without importing it.
+const (
+	simRTO         = time.Millisecond
+	simRetryBudget = 10
+)
 
 // newLock builds a virtual-time lock with the configuration's contention
 // model applied.
@@ -149,18 +182,24 @@ type Result struct {
 	Makespan time.Duration
 	// Rate is Messages divided by Makespan, in operations per second.
 	Rate float64
-	// SPCs aggregates the receiver-side software performance counters.
+	// SPCs aggregates the software performance counters of every listed
+	// side: the receive-side matching counters plus, when fault injection
+	// is on, the send-side fault and retransmission counters.
 	SPCs spc.Snapshot
 }
 
-func newResult(messages int64, makespan time.Duration, spcs *spc.Set) Result {
+func newResult(messages int64, makespan time.Duration, sets ...*spc.Set) Result {
 	r := Result{Messages: messages, Makespan: makespan}
 	if makespan > 0 {
 		r.Rate = float64(messages) / makespan.Seconds()
 	}
-	if spcs != nil {
-		r.SPCs = spcs.Snapshot()
+	snaps := make([]spc.Snapshot, 0, len(sets))
+	for _, s := range sets {
+		if s != nil {
+			snaps = append(snaps, s.Snapshot())
+		}
 	}
+	r.SPCs = spc.Merge(snaps...)
 	return r
 }
 
@@ -334,6 +373,9 @@ type simThread struct {
 
 	// rng drives the deterministic send-path jitter (LCG).
 	rng uint64
+	// frng drives the deterministic fault rolls (separate stream so fault
+	// flags do not perturb the jitter sequence of fault-free runs).
+	frng uint64
 
 	// used tracks the instances this thread has issued one-sided
 	// operations on; flush reaps completions from exactly these.
@@ -348,7 +390,46 @@ func newSimThread(p *simProc) *simThread {
 	}
 	p.nThreads++
 	t.rng = uint64(p.nThreads) * 0x9E3779B97F4A7C15
+	t.frng = uint64(p.cfg.FaultSeed)*0xD1B54A32D192ED03 ^ uint64(p.nThreads)*0x9E3779B97F4A7C15
 	return t
+}
+
+// faultRoll returns the next deterministic uniform draw in [0, 1).
+func (t *simThread) faultRoll() float64 {
+	t.frng = t.frng*6364136223846793005 + 1442695040888963407
+	return float64(t.frng>>11) / float64(1<<53)
+}
+
+// faultFate rolls one packet's fault verdicts, mirroring
+// fabric.FaultInjector on virtual time: each drop costs the sender one
+// backed-off retransmission timeout (the ack never comes, the reliability
+// sweep resends) until a copy survives or the retry budget runs out; a
+// delayed packet is held before reaching the remote queue; a duplicated
+// packet is delivered twice and discarded by matching-layer dedup. Fault
+// counters land on the sending proc's set, as the real injector's do.
+func (t *simThread) faultFate() (delay time.Duration, copies int) {
+	p := t.proc
+	cfg := &p.cfg
+	copies = 1
+	rto := simRTO
+	for attempt := 0; attempt <= simRetryBudget; attempt++ {
+		if t.faultRoll() >= cfg.FaultDrop {
+			break
+		}
+		p.spcs.Inc(spc.FaultPacketsDropped)
+		p.spcs.Inc(spc.Retransmits)
+		delay += rto
+		rto *= 2
+	}
+	if cfg.FaultDup > 0 && t.faultRoll() < cfg.FaultDup {
+		p.spcs.Inc(spc.FaultPacketsDuplicated)
+		copies = 2
+	}
+	if cfg.FaultDelay > 0 && t.faultRoll() < cfg.FaultDelay {
+		p.spcs.Inc(spc.FaultPacketsDelayed)
+		delay += cfg.FaultDelayDur
+	}
+	return delay, copies
 }
 
 // jitter returns the next deterministic send-path delay in [0, SendJitter).
@@ -392,6 +473,17 @@ func (t *simThread) send(sp *sim.Proc, c *simComm, dst *simProc, srcRank, dstRan
 	// is where concurrent threads overtake each other and inject out of
 	// sequence order (Section II-C).
 	sp.Advance(t.jitter())
+	copies := 1
+	if p.cfg.faultsEnabled() {
+		var faultDelay time.Duration
+		faultDelay, copies = t.faultFate()
+		if faultDelay > 0 {
+			// Retransmission timeouts and held-back deliveries push this
+			// packet's arrival past traffic injected meanwhile — the same
+			// reordering the wall-clock injector's delay queue produces.
+			sp.Advance(faultDelay)
+		}
+	}
 	env := fabric.Envelope{
 		Src: srcRank, Dst: dstRank, Tag: tag, Comm: c.id,
 		Seq: seq, Len: uint32(p.cfg.MsgSize), Kind: fabric.KindEager,
@@ -413,6 +505,12 @@ func (t *simThread) send(sp *sim.Proc, c *simComm, dst *simProc, srcRank, dstRan
 		sp.Yield()
 	}
 	remote.rxQ = append(remote.rxQ, cqe{pkt: pkt})
+	if copies > 1 {
+		// The duplicate copy consumes wire time too; matching-layer dedup
+		// discards it on the far side.
+		p.wire.Reserve(sp, fabric.EnvelopeSize+p.cfg.MsgSize)
+		remote.rxQ = append(remote.rxQ, cqe{pkt: pkt})
+	}
 	inst.cq = append(inst.cq, cqe{pending: &t.pendingSends})
 	inst.lock.Release(sp)
 	if p.bigLock != nil {
@@ -532,7 +630,10 @@ func (t *simThread) deliver(sp *sim.Proc, pkt *fabric.Packet) {
 	env := pkt.Envelope()
 	c := p.comms[env.Comm]
 	if c == nil {
-		panic("simnet: packet for unknown communicator")
+		// Same graceful degradation as the real runtime: a packet for a
+		// torn-down communicator is counted and dropped, never fatal.
+		p.spcs.Inc(spc.LatePackets)
+		return
 	}
 	// Inbound fragment handling allocates/recycles through process-wide
 	// memory management before matching.

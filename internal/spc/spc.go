@@ -63,28 +63,65 @@ const (
 	AccumulatesIssued
 	// FlushCalls counts window flush synchronizations.
 	FlushCalls
+	// LatePackets counts inbound packets (data or control) that arrived for
+	// a communicator or protocol state already torn down — e.g. a packet for
+	// a freed communicator, or an orphaned rendezvous control message. They
+	// are counted and dropped, never fatal.
+	LatePackets
+	// DuplicateSequences counts matching-layer arrivals whose sequence
+	// number was already delivered or already buffered (possible once the
+	// fabric can duplicate packets); the duplicates are discarded.
+	DuplicateSequences
+	// FaultPacketsDropped counts packets the fault injector ate on the wire.
+	FaultPacketsDropped
+	// FaultPacketsDuplicated counts packets the fault injector delivered twice.
+	FaultPacketsDuplicated
+	// FaultPacketsDelayed counts packets the fault injector held back.
+	FaultPacketsDelayed
+	// Retransmits counts reliability-layer packet retransmissions.
+	Retransmits
+	// RetransmitFailures counts sends abandoned after the retry budget was
+	// exhausted (surfaced to the caller as ErrPeerUnreachable).
+	RetransmitFailures
+	// DuplicatePackets counts transport-level duplicate deliveries the
+	// reliability layer's receive-side dedup discarded.
+	DuplicatePackets
+	// AcksSent counts reliability acknowledgements injected.
+	AcksSent
+	// AcksReceived counts reliability acknowledgements processed.
+	AcksReceived
 
 	numCounters
 )
 
 var counterNames = [...]string{
-	OutOfSequence:       "out_of_sequence",
-	MatchTimeNanos:      "match_time_ns",
-	MessagesSent:        "messages_sent",
-	MessagesReceived:    "messages_received",
-	UnexpectedMessages:  "unexpected_messages",
-	ExpectedMessages:    "expected_messages",
-	UnexpectedQueuePeak: "unexpected_queue_peak",
-	PostedQueuePeak:     "posted_queue_peak",
-	MatchAttempts:       "match_attempts",
-	MatchWalkElements:   "match_walk_elements",
-	ProgressCalls:       "progress_calls",
-	ProgressTryLockFail: "progress_trylock_fail",
-	SendLockWaits:       "send_lock_waits",
-	PutsIssued:          "puts_issued",
-	GetsIssued:          "gets_issued",
-	AccumulatesIssued:   "accumulates_issued",
-	FlushCalls:          "flush_calls",
+	OutOfSequence:          "out_of_sequence",
+	MatchTimeNanos:         "match_time_ns",
+	MessagesSent:           "messages_sent",
+	MessagesReceived:       "messages_received",
+	UnexpectedMessages:     "unexpected_messages",
+	ExpectedMessages:       "expected_messages",
+	UnexpectedQueuePeak:    "unexpected_queue_peak",
+	PostedQueuePeak:        "posted_queue_peak",
+	MatchAttempts:          "match_attempts",
+	MatchWalkElements:      "match_walk_elements",
+	ProgressCalls:          "progress_calls",
+	ProgressTryLockFail:    "progress_trylock_fail",
+	SendLockWaits:          "send_lock_waits",
+	PutsIssued:             "puts_issued",
+	GetsIssued:             "gets_issued",
+	AccumulatesIssued:      "accumulates_issued",
+	FlushCalls:             "flush_calls",
+	LatePackets:            "late_packets",
+	DuplicateSequences:     "duplicate_sequences",
+	FaultPacketsDropped:    "fault_packets_dropped",
+	FaultPacketsDuplicated: "fault_packets_duplicated",
+	FaultPacketsDelayed:    "fault_packets_delayed",
+	Retransmits:            "retransmits",
+	RetransmitFailures:     "retransmit_failures",
+	DuplicatePackets:       "duplicate_packets",
+	AcksSent:               "acks_sent",
+	AcksReceived:           "acks_received",
 }
 
 // String returns the counter's snake_case name.
