@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-telemetry chaos check
+.PHONY: build test race vet fmt bench bench-telemetry chaos check conformance lint-layers tcp-smoke
 
 build:
 	$(GO) build ./...
@@ -11,7 +11,23 @@ test:
 # Race-detector pass over the concurrency-heavy packages (the full suite
 # under -race works too, but takes much longer).
 race:
-	$(GO) test -race ./internal/telemetry ./internal/core ./internal/progress ./internal/cri ./internal/trace ./internal/rma
+	$(GO) test -race ./internal/telemetry ./internal/core ./internal/progress ./internal/cri ./internal/trace ./internal/rma ./internal/transport/... ./internal/conformance
+
+# Cross-backend conformance: the same message-passing semantics over the
+# simulated fabric and real TCP, under the race detector.
+conformance:
+	$(GO) test -run Conformance -race ./internal/conformance
+
+# Layering lint: the runtime depends only on the transport interface; a
+# textual import of the simulated backend above it is a regression.
+lint-layers:
+	@if grep -rn '"repro/internal/fabric"' internal/core internal/cri internal/progress internal/rma internal/match; then \
+		echo "FAIL: concrete backend import above the transport interface"; exit 1; \
+	else echo "layering ok"; fi
+
+# Two OS processes exchanging the pairwise benchmark over loopback TCP.
+tcp-smoke:
+	./scripts/tcp_smoke.sh
 
 vet:
 	$(GO) vet ./...
@@ -34,4 +50,4 @@ chaos:
 	$(GO) run ./cmd/multirate -engine real -pairs 4 -window 32 -iters 4 \
 		-fault-drop 0.01 -fault-dup 0.01 -fault-delay 0.02 -fault-seed 7 -spcs
 
-check: build vet test race
+check: build vet lint-layers test race conformance

@@ -72,7 +72,7 @@ func main() {
 			PutsPerThread: *puts, Rounds: *rounds,
 			NumInstances: *instances, Assignment: asg, Progress: pm,
 		})
-		fmt.Printf("engine=sim threads=%d size=%dB puts=%d makespan=%v rate=%.0f puts/s peak=%.0f\n",
+		fmt.Printf("engine=sim transport=virtual caps=none threads=%d size=%dB puts=%d makespan=%v rate=%.0f puts/s peak=%.0f\n",
 			*threads, *msgSize, res.Messages, res.Makespan, res.Rate,
 			machine.PeakMessageRate(*msgSize))
 	case "real":
@@ -94,8 +94,8 @@ func main() {
 			PutsPerThread: *puts, Rounds: *rounds, SampleInterval: *sampleInterval,
 		})
 		check(err)
-		fmt.Printf("engine=real threads=%d size=%dB puts=%d elapsed=%v rate=%.0f puts/s\n",
-			*threads, *msgSize, res.Puts, res.Elapsed, res.Rate)
+		fmt.Printf("engine=real transport=%s caps=%s threads=%d size=%dB puts=%d elapsed=%v rate=%.0f puts/s\n",
+			res.Transport.Name, res.Transport, *threads, *msgSize, res.Puts, res.Elapsed, res.Rate)
 		if *spcDump {
 			for _, ps := range res.Stats {
 				check(ps.WriteText(os.Stdout))

@@ -1,0 +1,22 @@
+// Package backends links the concrete transport backends to the runtime
+// without the runtime naming them: core depends on this neutral glue for
+// its default, so internal/core (and everything above it) never imports a
+// concrete backend package — the same layering trick as database/sql
+// drivers.
+package backends
+
+import (
+	"repro/internal/fabric"
+	"repro/internal/transport"
+	"repro/internal/transport/tcpnet"
+)
+
+// Sim returns a fresh simulated in-process cluster — the default backend
+// when a World is created without an explicit Network.
+func Sim() transport.Network { return fabric.NewNetwork() }
+
+// TCP returns a real TCP backend serving one rank of a multi-process job.
+// listen is this rank's accept address; peers[r] is rank r's address.
+func TCP(rank, size int, listen string, peers []string) (transport.Network, error) {
+	return tcpnet.New(tcpnet.Config{Rank: rank, Size: size, Listen: listen, Peers: peers})
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/spc"
 	"repro/internal/telemetry"
+	"repro/internal/transport"
 )
 
 // Pattern selects the communication shape.
@@ -100,6 +101,8 @@ type Result struct {
 	// SPCs is the receiver-side counter snapshot: the full per-process
 	// roll-up (residual + per-CRI + per-communicator child sets).
 	SPCs spc.Snapshot
+	// Transport names the backend the run used and its capability flags.
+	Transport transport.Caps
 	// Stats holds every process's attributed counter/histogram breakdown
 	// in rank order (sender is rank 0, receiver rank 1 in thread mode).
 	Stats []telemetry.ProcStats
@@ -312,6 +315,7 @@ func result(cfg Config, elapsed time.Duration, w *core.World, smp *telemetry.Sam
 		r.Rate = float64(total) / elapsed.Seconds()
 	}
 	if w != nil {
+		r.Transport = w.TransportCaps()
 		r.SPCs = w.Proc(1).SPCSnapshot()
 		for rank := 0; rank < w.Size(); rank++ {
 			p := w.Proc(rank)
@@ -326,6 +330,101 @@ func result(cfg Config, elapsed time.Duration, w *core.World, smp *telemetry.Sam
 		r.Samples = smp.Samples()
 	}
 	return r
+}
+
+// RunDistributed executes this process's half of a two-process pairwise run
+// over a distributed transport backend (e.g. tcpnet): rank 0 hosts the
+// sender threads, rank 1 the receivers. Both processes must call it with
+// identical cfg so the collective communicator-creation order agrees. The
+// returned Result is local: rank 1's SPCs are the receiver-side roll-up the
+// single-process harness reports; rank 0 sees the sender side.
+func RunDistributed(cfg Config, rank int, net transport.Network) (Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Pattern != Pairwise {
+		return Result{}, fmt.Errorf("multirate: distributed mode supports only the pairwise pattern")
+	}
+	if cfg.ProcessMode {
+		return Result{}, fmt.Errorf("multirate: distributed mode already maps ranks to processes")
+	}
+	w, err := core.NewDistributedWorld(cfg.Machine, rank, 2, net, cfg.Opts)
+	if err != nil {
+		return Result{}, err
+	}
+	defer w.Close()
+	p := w.LocalProc()
+
+	// Identical collective creation order on both ranks keeps the
+	// deterministic communicator ids in agreement (the MPI_Comm_create
+	// contract).
+	info := core.Info{AllowOvertaking: cfg.Overtaking}
+	comms := make([]*core.Comm, cfg.Pairs)
+	for pair := 0; pair < cfg.Pairs; pair++ {
+		if cfg.CommPerPair || pair == 0 {
+			cs, err := w.NewCommWithInfo([]int{0, 1}, info)
+			if err != nil {
+				return Result{}, err
+			}
+			comms[pair] = cs[rank]
+		} else {
+			comms[pair] = comms[0]
+		}
+	}
+
+	// Bracket the timed section with barriers so both processes measure the
+	// same message volume, not each other's startup skew.
+	th := p.NewThread()
+	if err := p.CommWorld().Barrier(th); err != nil {
+		return Result{}, fmt.Errorf("multirate: start barrier: %w", err)
+	}
+	var smp *telemetry.Sampler
+	if rank == 1 {
+		smp = startSampler(cfg, p)
+	}
+	errs := make(chan error, cfg.Pairs)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for pair := 0; pair < cfg.Pairs; pair++ {
+		wg.Add(1)
+		go func(pair int) {
+			defer wg.Done()
+			if rank == 0 {
+				errs <- senderLoop(p.NewThread(), comms[pair], cfg, int32(pair))
+			} else {
+				errs <- receiverLoop(p.NewThread(), comms[pair], cfg, int32(pair))
+			}
+		}(pair)
+	}
+	wg.Wait()
+	if err := p.CommWorld().Barrier(th); err != nil {
+		return Result{}, fmt.Errorf("multirate: end barrier: %w", err)
+	}
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			smp.Stop()
+			return Result{}, err
+		}
+	}
+
+	total := int64(cfg.Pairs) * int64(cfg.Window) * int64(cfg.Iters)
+	res := Result{Messages: total, Elapsed: elapsed, Transport: w.TransportCaps()}
+	if elapsed > 0 {
+		res.Rate = float64(total) / elapsed.Seconds()
+	}
+	res.SPCs = p.SPCSnapshot()
+	res.Stats = []telemetry.ProcStats{p.TelemetryStats()}
+	if tr := p.Tracer(); tr != nil {
+		res.Events = []telemetry.RankEvents{{Rank: rank, Events: tr.Snapshot()}}
+		if rank == 1 {
+			res.TraceDump = traceDump(p)
+		}
+	}
+	if smp != nil {
+		smp.Stop()
+		res.Samples = smp.Samples()
+	}
+	return res, nil
 }
 
 func senderLoop(th *core.Thread, c *core.Comm, cfg Config, tag int32) error {

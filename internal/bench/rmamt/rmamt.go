@@ -16,6 +16,7 @@ import (
 	"repro/internal/rma"
 	"repro/internal/spc"
 	"repro/internal/telemetry"
+	"repro/internal/transport"
 )
 
 // Config parameterizes one run.
@@ -72,6 +73,8 @@ type Result struct {
 	Events []telemetry.RankEvents
 	// Samples is the sampler time series when Config.SampleInterval > 0.
 	Samples []telemetry.Sample
+	// Transport names the backend the run used and its capability flags.
+	Transport transport.Caps
 }
 
 // Run executes the benchmark: two processes, a window on each, all threads
@@ -145,7 +148,7 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	total := int64(cfg.Threads) * int64(cfg.PutsPerThread) * int64(cfg.Rounds)
-	res := Result{Puts: total, Elapsed: elapsed}
+	res := Result{Puts: total, Elapsed: elapsed, Transport: w.TransportCaps()}
 	if elapsed > 0 {
 		res.Rate = float64(total) / elapsed.Seconds()
 	}

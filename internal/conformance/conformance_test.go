@@ -1,0 +1,334 @@
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cri"
+	"repro/internal/hw"
+	"repro/internal/transport/tcpnet"
+)
+
+// harness is one two-rank world under test, abstracting over whether both
+// ranks share an address space (sim) or live in separate worlds joined by a
+// real wire (tcp loopback).
+type harness struct {
+	name  string
+	procs [2]*core.Proc
+	comms [2]*core.Comm // world-communicator handles, indexed by rank
+	// newComm collectively creates a fresh communicator over both ranks and
+	// returns the per-rank handles. Each backend preserves the collective
+	// creation-order contract its topology requires.
+	newComm func(info core.Info) ([2]*core.Comm, error)
+	close   func()
+}
+
+func testOptions() core.Options {
+	// Two instances, round-robin assignment, concurrent progress: the
+	// configuration that exercises the CRI plumbing hardest.
+	opts := core.CRIsConcurrent(2, cri.RoundRobin)
+	return opts
+}
+
+// newSimHarness builds both ranks in one world over the simulated fabric.
+func newSimHarness(t *testing.T) *harness {
+	t.Helper()
+	w, err := core.NewWorld(hw.Fast(), 2, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &harness{
+		name:  "sim",
+		procs: [2]*core.Proc{w.Proc(0), w.Proc(1)},
+		comms: [2]*core.Comm{w.Proc(0).CommWorld(), w.Proc(1).CommWorld()},
+		newComm: func(info core.Info) ([2]*core.Comm, error) {
+			cs, err := w.NewCommWithInfo([]int{0, 1}, info)
+			if err != nil {
+				return [2]*core.Comm{}, err
+			}
+			return [2]*core.Comm{cs[0], cs[1]}, nil
+		},
+		close: w.Close,
+	}
+}
+
+// newTCPHarness builds one distributed world per rank, joined over loopback
+// TCP — the same code path as two OS processes, minus the fork.
+func newTCPHarness(t *testing.T) *harness {
+	t.Helper()
+	nets, err := tcpnet.NewLoopback(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worlds [2]*core.World
+	for r := 0; r < 2; r++ {
+		w, err := core.NewDistributedWorld(hw.Fast(), r, 2, nets[r], testOptions())
+		if err != nil {
+			t.Fatalf("rank %d world: %v", r, err)
+		}
+		worlds[r] = w
+	}
+	return &harness{
+		name:  "tcp",
+		procs: [2]*core.Proc{worlds[0].LocalProc(), worlds[1].LocalProc()},
+		comms: [2]*core.Comm{worlds[0].LocalProc().CommWorld(), worlds[1].LocalProc().CommWorld()},
+		newComm: func(info core.Info) ([2]*core.Comm, error) {
+			// Both worlds run the creation collectively in the same order, so
+			// the deterministic id allocation agrees across processes.
+			var out [2]*core.Comm
+			for r := 0; r < 2; r++ {
+				cs, err := worlds[r].NewCommWithInfo([]int{0, 1}, info)
+				if err != nil {
+					return out, err
+				}
+				out[r] = cs[r]
+			}
+			return out, nil
+		},
+		close: func() { worlds[0].Close(); worlds[1].Close() },
+	}
+}
+
+// run2 drives rank 0 and rank 1 concurrently, each on its own thread, and
+// fails the test on either side's error.
+func run2(t *testing.T, h *harness, f func(rank int, th *core.Thread) error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = f(r, h.procs[r].NewThread())
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func backends(t *testing.T) map[string]func(*testing.T) *harness {
+	return map[string]func(*testing.T) *harness{
+		"sim": newSimHarness,
+		"tcp": newTCPHarness,
+	}
+}
+
+// TestConformance runs the semantic table over every backend.
+func TestConformance(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T, h *harness)
+	}{
+		{"Eager", conformEager},
+		{"Rendezvous", conformRendezvous},
+		{"AnyTagOvertaking", conformAnyTagOvertaking},
+		{"PersistentRequests", conformPersistent},
+		{"WaitAny", conformWaitAny},
+	}
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			h := mk(t)
+			defer h.close()
+			for _, tc := range cases {
+				t.Run(tc.name, func(t *testing.T) { tc.run(t, h) })
+			}
+		})
+	}
+}
+
+// conformEager: a burst of small messages arrives in FIFO order with intact
+// payloads and statuses.
+func conformEager(t *testing.T, h *harness) {
+	const n = 32
+	run2(t, h, func(rank int, th *core.Thread) error {
+		c := h.comms[rank]
+		if rank == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.Send(th, 1, 7, []byte(fmt.Sprintf("msg-%03d", i))); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		buf := make([]byte, 16)
+		for i := 0; i < n; i++ {
+			st, err := c.Recv(th, 0, 7, buf)
+			if err != nil {
+				return err
+			}
+			want := fmt.Sprintf("msg-%03d", i)
+			if string(buf[:st.Count]) != want {
+				return fmt.Errorf("message %d: got %q, want %q", i, buf[:st.Count], want)
+			}
+			if st.Source != 0 || st.Tag != 7 {
+				return fmt.Errorf("message %d status: %+v", i, st)
+			}
+		}
+		return nil
+	})
+}
+
+// conformRendezvous: a payload above the eager limit travels through the
+// RTS/ACK/FIN protocol — RDMA put on one-sided backends, data-in-FIN on
+// two-sided ones — and lands intact.
+func conformRendezvous(t *testing.T, h *harness) {
+	big := make([]byte, 64<<10) // 64 KiB > the 8 KiB eager limit
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	run2(t, h, func(rank int, th *core.Thread) error {
+		c := h.comms[rank]
+		if rank == 0 {
+			return c.Send(th, 1, 9, big)
+		}
+		got := make([]byte, len(big))
+		st, err := c.Recv(th, 0, 9, got)
+		if err != nil {
+			return err
+		}
+		if st.Count != len(big) || st.Truncated {
+			return fmt.Errorf("status = %+v, want full %d bytes", st, len(big))
+		}
+		if !bytes.Equal(got, big) {
+			return fmt.Errorf("rendezvous payload corrupted")
+		}
+		return nil
+	})
+}
+
+// conformAnyTagOvertaking: with mpi_assert_allow_overtaking, ANY_TAG
+// receives complete in whatever order messages arrive; every payload is
+// delivered exactly once.
+func conformAnyTagOvertaking(t *testing.T, h *harness) {
+	comms, err := h.newComm(core.Info{AllowOvertaking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	run2(t, h, func(rank int, th *core.Thread) error {
+		c := comms[rank]
+		if rank == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.Send(th, 1, int32(100+i), []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		seen := make(map[int32]byte)
+		for i := 0; i < n; i++ {
+			buf := make([]byte, 1)
+			st, err := c.Recv(th, 0, core.AnyTag, buf)
+			if err != nil {
+				return err
+			}
+			if _, dup := seen[st.Tag]; dup {
+				return fmt.Errorf("tag %d delivered twice", st.Tag)
+			}
+			seen[st.Tag] = buf[0]
+		}
+		for i := 0; i < n; i++ {
+			tag := int32(100 + i)
+			if got, ok := seen[tag]; !ok || got != byte(i) {
+				return fmt.Errorf("tag %d: got payload %d (present=%v), want %d", tag, got, ok, i)
+			}
+		}
+		return nil
+	})
+}
+
+// conformPersistent: Start/Wait cycles of persistent requests deliver the
+// buffer's current contents each incarnation.
+func conformPersistent(t *testing.T, h *harness) {
+	const rounds = 16
+	run2(t, h, func(rank int, th *core.Thread) error {
+		c := h.comms[rank]
+		if rank == 0 {
+			buf := make([]byte, 4)
+			ps, err := c.SendInit(1, 21, buf)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < rounds; i++ {
+				buf[0], buf[1], buf[2], buf[3] = byte(i), byte(i+1), byte(i+2), byte(i+3)
+				if err := ps.Start(th); err != nil {
+					return err
+				}
+				if err := ps.Wait(th); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		buf := make([]byte, 4)
+		pr, err := c.RecvInit(0, 21, buf)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < rounds; i++ {
+			if err := pr.Start(th); err != nil {
+				return err
+			}
+			st, err := pr.Wait(th)
+			if err != nil {
+				return err
+			}
+			if st.Count != 4 || buf[0] != byte(i) || buf[3] != byte(i+3) {
+				return fmt.Errorf("round %d: count=%d buf=%v", i, st.Count, buf)
+			}
+		}
+		return nil
+	})
+}
+
+// conformWaitAny: WaitAny returns an index whose request is done; waiting
+// out the rest completes every posted receive.
+func conformWaitAny(t *testing.T, h *harness) {
+	run2(t, h, func(rank int, th *core.Thread) error {
+		c := h.comms[rank]
+		if rank == 0 {
+			// Send in reverse tag order so the matching order is not simply
+			// the posting order.
+			for _, tag := range []int32{33, 32, 31} {
+				if err := c.Send(th, 1, tag, []byte{byte(tag)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		bufs := [3][]byte{make([]byte, 1), make([]byte, 1), make([]byte, 1)}
+		reqs := make([]*core.Request, 3)
+		for i, tag := range []int32{31, 32, 33} {
+			r, err := c.Irecv(th, 0, tag, bufs[i])
+			if err != nil {
+				return err
+			}
+			reqs[i] = r
+		}
+		// Wait the set dry one completion at a time, mapping each live slot
+		// back to its original index to validate status and payload.
+		live := append([]*core.Request(nil), reqs...)
+		origIdx := []int{0, 1, 2}
+		for len(live) > 0 {
+			idx, err := core.WaitAny(th, live...)
+			if err != nil {
+				return err
+			}
+			orig := origIdx[idx]
+			wantTag := int32(31 + orig)
+			if st := live[idx].Status(); st.Tag != wantTag || bufs[orig][0] != byte(wantTag) {
+				return fmt.Errorf("request %d: status=%+v payload=%d", orig, st, bufs[orig][0])
+			}
+			live = append(live[:idx], live[idx+1:]...)
+			origIdx = append(origIdx[:idx], origIdx[idx+1:]...)
+		}
+		return nil
+	})
+}

@@ -6,10 +6,10 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/fabric"
 	"repro/internal/match"
 	"repro/internal/spc"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // Wildcards re-exported for the public API.
@@ -144,12 +144,12 @@ func (c *Comm) Isend(th *Thread, dst int, tag int32, buf []byte) (*Request, erro
 	}
 
 	seq := c.seq.Next(int32(dst))
-	env := fabric.Envelope{
+	env := transport.Envelope{
 		Src: int32(c.myRank), Dst: int32(dst), Tag: tag,
-		Comm: c.id, Seq: seq, Kind: fabric.KindEager,
+		Comm: c.id, Seq: seq, Kind: transport.KindEager,
 	}
 	req := &Request{proc: p, kind: reqSend}
-	pkt := fabric.NewPacket(env, buf, req)
+	pkt := transport.NewPacket(env, buf, req)
 	c.spcs.Inc(spc.MessagesSent)
 	if p.histLatency != nil {
 		pkt.Stamp = time.Now().UnixNano()
@@ -166,9 +166,15 @@ func (c *Comm) Isend(th *Thread, dst int, tag int32, buf []byte) (*Request, erro
 
 	inst := p.pool.ForThread(&th.ts)
 	p.tracer.EmitCRI(trace.KindSendInject, inst.Index(), int32(dst), int32(seq))
-	p.rel.track(pkt, c.group[dst], req, nil)
 	inst.Lock()
-	inst.Endpoint(c.group[dst]).Send(pkt)
+	ep := inst.Endpoint(c.group[dst])
+	if ep == nil {
+		inst.Unlock()
+		return nil, fmt.Errorf("core: no endpoint from rank %d to %d: %w",
+			p.rank, c.group[dst], ErrPeerUnreachable)
+	}
+	p.rel.track(pkt, c.group[dst], req, nil)
+	ep.Send(pkt)
 	inst.Unlock()
 	return req, nil
 }
@@ -246,7 +252,7 @@ func (c *Comm) Probe(th *Thread, src int, tag int32) (Status, bool) {
 // message claimed by MProbe, receivable exactly once with MRecv.
 type Message struct {
 	comm *Comm
-	pkt  *fabric.Packet
+	pkt  *transport.Packet
 	used bool
 }
 
@@ -301,7 +307,7 @@ func (c *Comm) completeRecv(comp match.Completion) {
 		panic("core: matched receive without request token")
 	}
 	env := comp.Recv.MatchedEnv
-	if env.Kind == fabric.KindRendezvousRTS {
+	if env.Kind == transport.KindRendezvousRTS {
 		c.startRendezvousRecv(req, comp)
 		return
 	}
@@ -362,21 +368,27 @@ const barrierTagBase int32 = -1000
 func (c *Comm) isendInternal(th *Thread, dst int, tag int32, buf []byte) (*Request, error) {
 	p := c.proc
 	seq := c.seq.Next(int32(dst))
-	env := fabric.Envelope{
+	env := transport.Envelope{
 		Src: int32(c.myRank), Dst: int32(dst), Tag: tag,
-		Comm: c.id, Seq: seq, Kind: fabric.KindEager,
+		Comm: c.id, Seq: seq, Kind: transport.KindEager,
 	}
 	req := &Request{proc: p, kind: reqSend}
-	pkt := fabric.NewPacket(env, buf, req)
+	pkt := transport.NewPacket(env, buf, req)
 	if c.group[dst] == p.rank {
 		req.finish(nil)
 		p.deliver(pkt)
 		return req, nil
 	}
 	inst := p.pool.ForThread(&th.ts)
-	p.rel.track(pkt, c.group[dst], req, nil)
 	inst.Lock()
-	inst.Endpoint(c.group[dst]).Send(pkt)
+	ep := inst.Endpoint(c.group[dst])
+	if ep == nil {
+		inst.Unlock()
+		return nil, fmt.Errorf("core: no endpoint from rank %d to %d: %w",
+			p.rank, c.group[dst], ErrPeerUnreachable)
+	}
+	p.rel.track(pkt, c.group[dst], req, nil)
+	ep.Send(pkt)
 	inst.Unlock()
 	return req, nil
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/cri"
 	"repro/internal/hw"
 	"repro/internal/progress"
+	"repro/internal/transport"
 )
 
 // ThreadLevel mirrors the MPI threading levels negotiated at init
@@ -51,6 +52,12 @@ func (l ThreadLevel) String() string {
 // stock Open MPI's threading design: a single shared instance and a serial
 // progress engine.
 type Options struct {
+	// Network selects the transport backend. Nil picks the default
+	// simulated fabric (see internal/backends). The backend's capability
+	// flags adjust the stack at world construction: a Lossless backend
+	// skips the reliability layer, and fault/scramble options require
+	// FaultInjection support.
+	Network transport.Network
 	// NumInstances is the number of Communication Resource Instances per
 	// process (the MCA-parameter hint of Section III-B). 0 means 1.
 	// Capped by the machine's hardware context limit.
@@ -62,7 +69,7 @@ type Options struct {
 	// ThreadLevel is the negotiated threading level; calls are checked
 	// against it. Defaults to ThreadMultiple.
 	ThreadLevel ThreadLevel
-	// QueueDepth sizes fabric queues (0 = default 4096).
+	// QueueDepth sizes transport queues (0 = default 4096).
 	QueueDepth int
 	// BigLock serializes every MPI entry point behind one process-wide
 	// lock — the "global critical section" design some implementations
@@ -104,8 +111,8 @@ type Options struct {
 	ScrambleWindow int
 	// ScrambleSeed seeds the scrambler (0 = 1).
 	ScrambleSeed int64
-	// FaultDrop is the per-packet probability the fabric silently drops an
-	// outbound packet (see fabric.FaultConfig). Any non-zero fault
+	// FaultDrop is the per-packet probability the wire silently drops an
+	// outbound packet (see transport.FaultConfig). Any non-zero fault
 	// probability auto-enables the Reliable delivery layer.
 	FaultDrop float64
 	// FaultDup is the per-packet duplication probability.
@@ -114,7 +121,7 @@ type Options struct {
 	// delivery.
 	FaultDelay float64
 	// FaultDelayDur is how long a delayed packet is held
-	// (0 = fabric.DefaultFaultDelay).
+	// (0 = transport.DefaultFaultDelay).
 	FaultDelayDur time.Duration
 	// FaultSeed seeds the per-proc fault RNGs (0 = 1; proc rank is mixed in
 	// so ranks draw decorrelated streams).

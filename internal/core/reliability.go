@@ -7,8 +7,8 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/fabric"
 	"repro/internal/spc"
+	"repro/internal/transport"
 )
 
 // ErrPeerUnreachable reports a tracked packet abandoned after the
@@ -56,7 +56,7 @@ const relMaxRTO = 100 * time.Millisecond
 
 // relEntry is one unacked tracked packet.
 type relEntry struct {
-	pkt      *fabric.Packet
+	pkt      *transport.Packet
 	dstWorld int
 	// req, when non-nil, completes with nil on ack and ErrPeerUnreachable
 	// on abandonment (eager sends).
@@ -113,7 +113,7 @@ func (r *reliability) initPeers(n int) {
 // transport sequence number. Must be called before the packet is injected.
 // req (if non-nil) is marked reliable: its send completion shifts from the
 // local CQE to the peer's ack.
-func (r *reliability) track(pkt *fabric.Packet, dstWorld int, req *Request, fail func(error)) {
+func (r *reliability) track(pkt *transport.Packet, dstWorld int, req *Request, fail func(error)) {
 	if r == nil {
 		return
 	}
@@ -139,7 +139,7 @@ func (r *reliability) track(pkt *fabric.Packet, dstWorld int, req *Request, fail
 // it. It reports whether the packet is fresh (deliver it) or a duplicate
 // (counted and dropped; the ack is re-sent because the original may have
 // been lost on the wire).
-func (r *reliability) acceptData(pkt *fabric.Packet) bool {
+func (r *reliability) acceptData(pkt *transport.Packet) bool {
 	src := int(pkt.RelSrc)
 	seq := pkt.RelSeq
 	r.mu.Lock()
@@ -182,16 +182,18 @@ func (r *reliability) sendAck(dstWorld int, cum, sel uint64) {
 	var payload [16]byte
 	binary.LittleEndian.PutUint64(payload[0:], cum)
 	binary.LittleEndian.PutUint64(payload[8:], sel)
-	env := fabric.Envelope{
-		Src: int32(p.rank), Dst: int32(dstWorld), Kind: fabric.KindAck,
+	env := transport.Envelope{
+		Src: int32(p.rank), Dst: int32(dstWorld), Kind: transport.KindAck,
 	}
-	p.sendControl(dstWorld, fabric.NewPacketRaw(env, payload[:], nil))
+	// An unsendable ack is repaired by the peer's retransmission, which
+	// re-triggers this path — same recovery as a lost ack on the wire.
+	_ = p.sendControl(dstWorld, transport.NewPacketRaw(env, payload[:], nil))
 	p.spcs.Inc(spc.AcksSent)
 }
 
 // handleAck retires every unacked entry covered by the ack's cumulative
 // mark, plus the selectively acked sequence, completing their requests.
-func (r *reliability) handleAck(pkt *fabric.Packet) {
+func (r *reliability) handleAck(pkt *transport.Packet) {
 	if r == nil || len(pkt.Payload) < 16 {
 		return
 	}
@@ -240,7 +242,7 @@ func (r *reliability) maybeSweep() {
 func (r *reliability) sweep(now time.Time) {
 	p := r.proc
 	type redo struct {
-		pkt *fabric.Packet
+		pkt *transport.Packet
 		dst int
 	}
 	var (
@@ -287,7 +289,7 @@ func (r *reliability) sweep(now time.Time) {
 // resend re-injects a packet toward dstWorld on a round-robin instance's
 // endpoint without a new send-completion CQE (the original injection
 // already produced one).
-func (p *Proc) resend(dstWorld int, pkt *fabric.Packet) {
+func (p *Proc) resend(dstWorld int, pkt *transport.Packet) {
 	inst := p.pool.Get(p.pool.NextRoundRobin())
 	if ep := inst.Endpoint(dstWorld); ep != nil {
 		ep.Resend(pkt)

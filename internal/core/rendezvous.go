@@ -4,10 +4,10 @@ import (
 	"encoding/binary"
 	"fmt"
 
-	"repro/internal/fabric"
 	"repro/internal/match"
 	"repro/internal/spc"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // Rendezvous protocol for payloads above the eager limit:
@@ -22,6 +22,11 @@ import (
 // The RTS is an ordinary matched envelope, so rendezvous and eager traffic
 // share one sequence stream and FIFO semantics. ACK and FIN are control
 // packets that bypass matching, delivered through the same progress engine.
+//
+// On a backend without one-sided support there is no RDMA write: the FIN
+// carries the bulk data itself ({rdv id, data}), and the receiver copies it
+// into the registered sink on arrival — the copy-in/copy-out rendezvous of
+// send/recv-only transports.
 
 type rdvSend struct {
 	req      *Request
@@ -36,7 +41,7 @@ type rdvKey struct {
 
 type rdvRecv struct {
 	req    *Request
-	region *fabric.MemRegion
+	region transport.MemRegion
 	total  int
 	sink   int
 	src    int32 // sender's communicator rank
@@ -52,13 +57,13 @@ func (c *Comm) isendRendezvous(th *Thread, dst int, tag int32, buf []byte) (*Req
 	p.rdvMu.Unlock()
 
 	seq := c.seq.Next(int32(dst))
-	env := fabric.Envelope{
+	env := transport.Envelope{
 		Src: int32(c.myRank), Dst: int32(dst), Tag: tag,
-		Comm: c.id, Seq: seq, Len: uint32(len(buf)), Kind: fabric.KindRendezvousRTS,
+		Comm: c.id, Seq: seq, Len: uint32(len(buf)), Kind: transport.KindRendezvousRTS,
 	}
 	var idb [8]byte
 	binary.LittleEndian.PutUint64(idb[:], id)
-	pkt := fabric.NewPacketRaw(env, idb[:], req)
+	pkt := transport.NewPacketRaw(env, idb[:], req)
 
 	// The RTS completes the rendezvous via put+FIN, never on transport ack,
 	// so it is tracked with a failure hook only: an unreachable peer tears
@@ -72,7 +77,16 @@ func (c *Comm) isendRendezvous(th *Thread, dst int, tag int32, buf []byte) (*Req
 
 	inst := p.pool.ForThread(&th.ts)
 	inst.Lock()
-	inst.Endpoint(c.group[dst]).Send(pkt)
+	ep := inst.Endpoint(c.group[dst])
+	if ep == nil {
+		inst.Unlock()
+		p.rdvMu.Lock()
+		delete(p.rdvSends, id)
+		p.rdvMu.Unlock()
+		return nil, fmt.Errorf("core: no endpoint from rank %d to %d: %w",
+			p.rank, c.group[dst], ErrPeerUnreachable)
+	}
+	ep.Send(pkt)
 	inst.Unlock()
 	return req, nil
 }
@@ -88,7 +102,7 @@ func (c *Comm) startRendezvousRecv(req *Request, comp match.Completion) {
 	if sink > total {
 		sink = total
 	}
-	var region *fabric.MemRegion
+	var region transport.MemRegion
 	if sink > 0 {
 		region = p.dev.RegisterMemory(req.mrecv.Buf[:sink])
 	} else {
@@ -114,14 +128,14 @@ func (c *Comm) startRendezvousRecv(req *Request, comp match.Completion) {
 	binary.LittleEndian.PutUint64(payload[0:], id)
 	binary.LittleEndian.PutUint64(payload[8:], region.ID())
 	binary.LittleEndian.PutUint64(payload[16:], uint64(sink))
-	ackEnv := fabric.Envelope{
-		Src: int32(c.myRank), Dst: env.Src, Comm: c.id, Kind: fabric.KindRendezvousACK,
+	ackEnv := transport.Envelope{
+		Src: int32(c.myRank), Dst: env.Src, Comm: c.id, Kind: transport.KindRendezvousACK,
 	}
-	ackPkt := fabric.NewPacketRaw(ackEnv, payload[:], nil)
+	ackPkt := transport.NewPacketRaw(ackEnv, payload[:], nil)
 	dstWorld := c.group[env.Src]
 	// If the ACK can never reach the sender, the posted receive would wait
 	// forever for a put that is not coming: tear down and surface the error.
-	p.rel.track(ackPkt, dstWorld, nil, func(err error) {
+	teardown := func(err error) {
 		p.rdvMu.Lock()
 		rr := p.rdvRecvs[key]
 		delete(p.rdvRecvs, key)
@@ -130,13 +144,18 @@ func (c *Comm) startRendezvousRecv(req *Request, comp match.Completion) {
 			p.dev.DeregisterMemory(rr.region)
 			rr.req.finish(err)
 		}
-	})
-	p.sendControl(dstWorld, ackPkt)
+	}
+	p.rel.track(ackPkt, dstWorld, nil, teardown)
+	if err := p.sendControl(dstWorld, ackPkt); err != nil {
+		teardown(err)
+	}
 }
 
-// handleRendezvousACK runs on the sender: put the data into the receiver's
-// sink region and send the FIN.
-func (c *Comm) handleRendezvousACK(pkt *fabric.Packet) {
+// handleRendezvousACK runs on the sender: move the data into the receiver's
+// sink and send the FIN. On a one-sided backend the data travels as an RDMA
+// write and the FIN carries only the transfer id; otherwise the FIN carries
+// the data.
+func (c *Comm) handleRendezvousACK(pkt *transport.Packet) {
 	p := c.proc
 	id := binary.LittleEndian.Uint64(pkt.Payload[0:])
 	regionID := binary.LittleEndian.Uint64(pkt.Payload[8:])
@@ -153,41 +172,50 @@ func (c *Comm) handleRendezvousACK(pkt *fabric.Packet) {
 		return
 	}
 
-	targetDev := p.world.procs[rs.dstWorld].dev
-	region, ok := targetDev.Region(regionID)
-	if !ok {
-		// The receiver tore the sink region down (e.g. its side of the
-		// transfer failed): the data cannot land, so fail the send.
-		p.spcs.Inc(spc.LatePackets)
-		rs.req.finish(ErrPeerUnreachable)
-		return
-	}
-	if sink > 0 {
-		// The bulk transfer is a hardware put: the fabric charges initiator
-		// CPU plus wire time; no instance lock is needed because the data
-		// path is offloaded (packet queues are inherently thread-safe).
-		ctx := p.pool.Get(p.pool.NextRoundRobin()).Context()
-		if err := ctx.Put(region, 0, rs.buf[:sink], nil); err != nil {
+	var idb [8]byte
+	binary.LittleEndian.PutUint64(idb[:], id)
+	finPayload := idb[:]
+
+	if sink > 0 && p.world.caps.OneSided {
+		// The bulk transfer is a hardware put addressed by region id: the
+		// backend charges initiator CPU plus wire time; no instance lock is
+		// needed because the data path is offloaded (packet queues are
+		// inherently thread-safe).
+		inst := p.pool.Get(p.pool.NextRoundRobin())
+		ep := inst.Endpoint(rs.dstWorld)
+		if ep == nil {
+			rs.req.finish(fmt.Errorf("core: no endpoint from rank %d to %d: %w",
+				p.rank, rs.dstWorld, ErrPeerUnreachable))
+			return
+		}
+		if err := ep.PutRegion(regionID, 0, rs.buf[:sink], nil); err != nil {
+			// The receiver tore the sink region down (e.g. its side of the
+			// transfer failed): the data cannot land, so fail the send.
+			p.spcs.Inc(spc.LatePackets)
 			rs.req.finish(fmt.Errorf("core: rendezvous put: %w", err))
 			return
 		}
+	} else if sink > 0 {
+		// Send/recv-only backend: the FIN carries the data.
+		finPayload = append(idb[:], rs.buf[:sink]...)
 	}
 
-	var idb [8]byte
-	binary.LittleEndian.PutUint64(idb[:], id)
 	env := pkt.Envelope()
-	finEnv := fabric.Envelope{
-		Src: env.Dst, Dst: env.Src, Comm: c.id, Kind: fabric.KindRendezvousData,
+	finEnv := transport.Envelope{
+		Src: env.Dst, Dst: env.Src, Comm: c.id, Kind: transport.KindRendezvousData,
 	}
-	finPkt := fabric.NewPacketRaw(finEnv, idb[:], nil)
+	finPkt := transport.NewPacketRaw(finEnv, finPayload, nil)
 	p.rel.track(finPkt, rs.dstWorld, nil, nil)
-	p.sendControl(rs.dstWorld, finPkt)
+	if err := p.sendControl(rs.dstWorld, finPkt); err != nil {
+		rs.req.finish(err)
+		return
+	}
 	rs.req.finish(nil)
 }
 
-// handleRendezvousFIN runs on the receiver: the data has landed; finish the
-// receive.
-func (c *Comm) handleRendezvousFIN(pkt *fabric.Packet) {
+// handleRendezvousFIN runs on the receiver: the data has landed (or rides
+// the FIN itself); finish the receive.
+func (c *Comm) handleRendezvousFIN(pkt *transport.Packet) {
 	p := c.proc
 	id := binary.LittleEndian.Uint64(pkt.Payload)
 	env := pkt.Envelope()
@@ -201,6 +229,10 @@ func (c *Comm) handleRendezvousFIN(pkt *fabric.Packet) {
 		// torn down). Count and drop.
 		p.spcs.Inc(spc.LatePackets)
 		return
+	}
+	if data := pkt.Payload[8:]; len(data) > 0 && rr.sink > 0 {
+		// Data-in-FIN path of non-one-sided backends.
+		copy(rr.region.Bytes(), data[:rr.sink])
 	}
 	p.dev.DeregisterMemory(rr.region)
 	p.tracer.Emit(trace.KindRendezvousDone, rr.src, int32(rr.sink))
@@ -216,11 +248,15 @@ func (c *Comm) handleRendezvousFIN(pkt *fabric.Packet) {
 // sendControl injects a control packet outside the matched send path. It
 // takes no instance lock: control packets ride the thread-safe hardware
 // queues directly, like real implementations' internal control channels.
-func (p *Proc) sendControl(dstWorld int, pkt *fabric.Packet) {
+// A missing endpoint — on a real network, an unreachable address — is a
+// typed error the caller surfaces through the request.
+func (p *Proc) sendControl(dstWorld int, pkt *transport.Packet) error {
 	inst := p.pool.Get(p.pool.NextRoundRobin())
 	ep := inst.Endpoint(dstWorld)
 	if ep == nil {
-		panic(fmt.Sprintf("core: no endpoint from %d to %d", p.rank, dstWorld))
+		return fmt.Errorf("core: no endpoint from rank %d to %d: %w",
+			p.rank, dstWorld, ErrPeerUnreachable)
 	}
 	ep.Send(pkt)
+	return nil
 }

@@ -5,8 +5,8 @@ import (
 	"fmt"
 	"sync/atomic"
 
-	"repro/internal/fabric"
 	"repro/internal/match"
+	"repro/internal/transport"
 )
 
 // ErrTruncated reports a receive whose buffer was shorter than the matched
@@ -134,7 +134,7 @@ func TestAll(th *Thread, reqs ...*Request) (bool, error) {
 }
 
 // Complete implements Completer for send completions extracted from a CQ.
-func (r *Request) Complete(fabric.CQE) {
+func (r *Request) Complete(transport.CQE) {
 	if r.kind == reqRendezvousSend {
 		// The eager injection of the RTS does not finish a rendezvous
 		// send; the put + FIN path completes it.

@@ -5,22 +5,26 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/backends"
 	"repro/internal/cri"
-	"repro/internal/fabric"
 	"repro/internal/hw"
 	"repro/internal/progress"
 	"repro/internal/spc"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // World is a job: a set of Procs (the analog of MPI processes) connected by
-// the simulated fabric, plus the communicator registry. All Procs live in
-// one address space — the fabric supplies the process isolation that
-// matters for this study (separate devices, contexts, queues, locks).
+// a transport backend, plus the communicator registry. With the default
+// simulated backend all Procs live in one address space; with a distributed
+// backend (see NewDistributedWorld) each OS process hosts exactly one local
+// Proc and the slice holds nil for remote ranks.
 type World struct {
 	machine hw.Machine
 	opts    Options
+	net     transport.Network
+	caps    transport.Caps
 	procs   []*Proc
 
 	commMu   sync.Mutex
@@ -30,13 +34,12 @@ type World struct {
 // NewWorld creates n Procs with identical options and wires instance k of
 // every proc to context (k mod remote instances) of every other proc.
 func NewWorld(machine hw.Machine, n int, opts Options) (*World, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("core: world size %d < 1", n)
+	w, err := newWorld(machine, n, opts)
+	if err != nil {
+		return nil, err
 	}
-	opts = opts.withDefaults(machine)
-	w := &World{machine: machine, opts: opts}
 	for rank := 0; rank < n; rank++ {
-		p, err := newProc(w, rank, machine, opts)
+		p, err := newProc(w, rank, machine, w.opts)
 		if err != nil {
 			return nil, fmt.Errorf("core: proc %d: %w", rank, err)
 		}
@@ -44,13 +47,73 @@ func NewWorld(machine hw.Machine, n int, opts Options) (*World, error) {
 	}
 	// Wire endpoints now that every device exists.
 	for _, p := range w.procs {
-		p.wire(w.procs)
+		if err := p.wire(); err != nil {
+			return nil, err
+		}
 	}
 	// The world communicator spans all ranks.
 	if _, err := w.NewComm(allRanks(n)); err != nil {
 		return nil, err
 	}
 	return w, nil
+}
+
+// NewDistributedWorld creates the World of one OS process in a multi-process
+// job: rank's Proc is local, the other size-1 slots stay nil, and every
+// endpoint reaches its peer through net (which must be a distributed
+// backend, e.g. tcpnet). Communicator creation must follow the identical
+// collective order in every process so the deterministic id allocation
+// agrees — the same contract MPI imposes on MPI_Comm_create.
+func NewDistributedWorld(machine hw.Machine, rank, size int, net transport.Network, opts Options) (*World, error) {
+	if rank < 0 || rank >= size {
+		return nil, fmt.Errorf("core: rank %d outside world of %d", rank, size)
+	}
+	if net == nil {
+		return nil, fmt.Errorf("core: distributed world requires an explicit transport network")
+	}
+	opts.Network = net
+	w, err := newWorld(machine, size, opts)
+	if err != nil {
+		return nil, err
+	}
+	w.procs = make([]*Proc, size)
+	p, err := newProc(w, rank, machine, w.opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: proc %d: %w", rank, err)
+	}
+	w.procs[rank] = p
+	if err := p.wire(); err != nil {
+		return nil, err
+	}
+	if _, err := w.NewComm(allRanks(size)); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// newWorld validates options against the backend's capabilities and builds
+// the empty world shell.
+func newWorld(machine hw.Machine, n int, opts Options) (*World, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: world size %d < 1", n)
+	}
+	opts = opts.withDefaults(machine)
+	net := opts.Network
+	if net == nil {
+		net = backends.Sim()
+		opts.Network = net
+	}
+	caps := net.Caps()
+	wantFaults := opts.FaultDrop > 0 || opts.FaultDup > 0 || opts.FaultDelay > 0
+	if (wantFaults || opts.ScrambleWindow > 0) && !caps.FaultInjection {
+		return nil, fmt.Errorf("core: transport %q does not support fault injection", caps.Name)
+	}
+	if caps.Lossless {
+		// A lossless wire (e.g. a TCP stream) cannot drop or duplicate:
+		// the ack/retransmit bookkeeping would be pure overhead.
+		opts.Reliable = false
+	}
+	return &World{machine: machine, opts: opts, net: net, caps: caps}, nil
 }
 
 func allRanks(n int) []int {
@@ -70,8 +133,23 @@ func (w *World) Machine() hw.Machine { return w.machine }
 // Options returns the world's normalized options.
 func (w *World) Options() Options { return w.opts }
 
-// Proc returns the Proc with the given world rank.
+// Proc returns the Proc with the given world rank (nil for a remote rank
+// of a distributed world).
 func (w *World) Proc(rank int) *Proc { return w.procs[rank] }
+
+// LocalProc returns this process's Proc: in an in-process world the rank-0
+// proc, in a distributed world the single non-nil one.
+func (w *World) LocalProc() *Proc {
+	for _, p := range w.procs {
+		if p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+// TransportCaps returns the capability flags of the world's backend.
+func (w *World) TransportCaps() transport.Caps { return w.caps }
 
 // Info carries communicator assertions, mirroring MPI info keys.
 type Info struct {
@@ -110,6 +188,9 @@ func (w *World) NewCommWithInfo(worldRanks []int, info Info) ([]*Comm, error) {
 	group := append([]int(nil), worldRanks...)
 	comms := make([]*Comm, len(group))
 	for commRank, worldRank := range group {
+		if w.procs[worldRank] == nil {
+			continue // remote rank of a distributed world
+		}
 		comms[commRank] = newComm(w.procs[worldRank], id, group, commRank, info)
 	}
 	return comms, nil
@@ -118,6 +199,9 @@ func (w *World) NewCommWithInfo(worldRanks []int, info Info) ([]*Comm, error) {
 // Close shuts down every proc's device and stops offload threads.
 func (w *World) Close() {
 	for _, p := range w.procs {
+		if p == nil {
+			continue
+		}
 		if p.offloadStop != nil {
 			close(p.offloadStop)
 			<-p.offloadDone
@@ -127,13 +211,13 @@ func (w *World) Close() {
 	}
 }
 
-// Proc is one simulated MPI process: a fabric device, a pool of
-// Communication Resource Instances, a progress engine, and the
-// communicator registry for inbound dispatch.
+// Proc is one MPI process: a transport device, a pool of Communication
+// Resource Instances, a progress engine, and the communicator registry for
+// inbound dispatch.
 type Proc struct {
 	world  *World
 	rank   int
-	dev    *fabric.Device
+	dev    transport.Device
 	pool   *cri.Pool
 	prog   *progress.Engine
 	spcs   *spc.Set
@@ -181,23 +265,25 @@ func newProc(w *World, rank int, machine hw.Machine, opts Options) (*Proc, error
 	p := &Proc{
 		world:    w,
 		rank:     rank,
-		dev:      fabric.NewDevice(machine),
 		comms:    make(map[uint32]*Comm),
 		bigLock:  opts.BigLock,
 		rdvSends: make(map[uint64]*rdvSend),
 		rdvRecvs: make(map[rdvKey]*rdvRecv),
 	}
+	if !opts.DisableSPCs {
+		p.spcs = spc.NewSet()
+	}
+	cfg := transport.DeviceConfig{Counters: p.spcs}
 	if opts.ScrambleWindow > 0 {
 		seed := opts.ScrambleSeed
 		if seed == 0 {
 			seed = 1
 		}
-		p.dev.SetScrambler(fabric.NewScrambler(seed+int64(rank), opts.ScrambleWindow))
+		// Rank is mixed into the seed so procs draw decorrelated streams.
+		cfg.ScrambleWindow = opts.ScrambleWindow
+		cfg.ScrambleSeed = seed + int64(rank)
 	}
-	if !opts.DisableSPCs {
-		p.spcs = spc.NewSet()
-	}
-	if fc := (fabric.FaultConfig{
+	if fc := (transport.FaultConfig{
 		Drop: opts.FaultDrop, Dup: opts.FaultDup,
 		Delay: opts.FaultDelay, DelayDur: opts.FaultDelayDur,
 	}); fc.Enabled() {
@@ -205,9 +291,14 @@ func newProc(w *World, rank int, machine hw.Machine, opts Options) (*Proc, error
 		if seed == 0 {
 			seed = 1
 		}
-		fc.Seed = seed + int64(rank) // decorrelate the per-proc streams
-		p.dev.SetFaultInjector(fabric.NewFaultInjector(fc, p.spcs))
+		fc.Seed = seed + int64(rank)
+		cfg.Faults = fc
 	}
+	dev, err := w.net.NewDevice(rank, machine, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.dev = dev
 	if opts.Reliable {
 		p.rel = newReliability(p, opts.RetransmitTimeout, opts.RetryBudget)
 	}
@@ -237,7 +328,10 @@ func newProc(w *World, rank int, machine hw.Machine, opts Options) (*Proc, error
 			insts[i].SetLockWaitHistogram(p.tel.LockWait)
 		}
 	}
-	p.pool = cri.NewPool(insts, opts.Assignment)
+	p.pool, err = cri.NewPool(insts, opts.Assignment)
+	if err != nil {
+		return nil, err
+	}
 	p.prog = progress.New(opts.Progress, p.pool, p.dispatch, p.spcs)
 	if p.tracer != nil || p.tel != nil {
 		var passHist *telemetry.Histogram
@@ -273,21 +367,33 @@ func (p *Proc) offloadLoop() {
 	}
 }
 
-// wire connects every local instance to one context of every peer.
-func (p *Proc) wire(procs []*Proc) {
-	p.rel.initPeers(len(procs))
+// wire connects every local instance to one context of every peer: instance
+// k reaches context (k mod peer instances) of each remote rank. Every rank
+// runs the same normalized options, so the peer's instance count is known
+// without inspecting its (possibly remote) process.
+func (p *Proc) wire() error {
+	size := len(p.world.procs)
+	p.rel.initPeers(size)
 	for k := 0; k < p.pool.Len(); k++ {
 		inst := p.pool.Get(k)
-		eps := make([]*fabric.Endpoint, len(procs))
-		for j, q := range procs {
-			if q == p {
+		eps := make([]transport.Endpoint, size)
+		for j := 0; j < size; j++ {
+			if j == p.rank {
 				continue // self messages short-circuit elsewhere
 			}
-			remote := q.dev.Context(k % q.pool.Len())
-			eps[j] = fabric.NewEndpoint(inst.Context(), remote)
+			peerInstances := p.world.opts.NumInstances
+			if q := p.world.procs[j]; q != nil {
+				peerInstances = q.pool.Len()
+			}
+			ep, err := p.dev.Connect(inst.Context(), j, k%peerInstances)
+			if err != nil {
+				return fmt.Errorf("core: wiring rank %d instance %d to rank %d: %w", p.rank, k, j, err)
+			}
+			eps[j] = ep
 		}
 		inst.SetEndpoints(eps)
 	}
+	return nil
 }
 
 // Rank returns the proc's world rank.
@@ -362,8 +468,20 @@ func (p *Proc) Tracer() *trace.Tracer { return p.tracer }
 // Pool exposes the instance pool (used by the one-sided layer).
 func (p *Proc) Pool() *cri.Pool { return p.pool }
 
-// Device exposes the fabric device (used by the one-sided layer).
-func (p *Proc) Device() *fabric.Device { return p.dev }
+// RegisterMemory registers buf with the proc's device for one-sided access
+// (the window/rendezvous sink path of the one-sided layer).
+func (p *Proc) RegisterMemory(buf []byte) transport.MemRegion {
+	return p.dev.RegisterMemory(buf)
+}
+
+// DeregisterMemory removes a region registered with RegisterMemory.
+func (p *Proc) DeregisterMemory(r transport.MemRegion) { p.dev.DeregisterMemory(r) }
+
+// Region looks up a registered region by id.
+func (p *Proc) Region(id uint64) (transport.MemRegion, bool) { return p.dev.Region(id) }
+
+// TransportCaps returns the capability flags of the proc's backend.
+func (p *Proc) TransportCaps() transport.Caps { return p.world.caps }
 
 // CommWorld returns this proc's handle on the world communicator.
 func (p *Proc) CommWorld() *Comm {
@@ -399,18 +517,18 @@ func (p *Proc) commByID(id uint32) *Comm {
 // Completer is implemented by CQE tokens that know how to complete
 // themselves (send requests, one-sided operations).
 type Completer interface {
-	Complete(fabric.CQE)
+	Complete(transport.CQE)
 }
 
 // dispatch routes one extracted completion event. It runs inside the
 // progress engine, under the instance lock of the polled instance.
-func (p *Proc) dispatch(in *cri.Instance, e fabric.CQE) {
+func (p *Proc) dispatch(in *cri.Instance, e transport.CQE) {
 	switch e.Kind {
-	case fabric.CQESendComplete:
+	case transport.CQESendComplete:
 		if c, ok := e.Packet.Token.(Completer); ok && c != nil {
 			c.Complete(e)
 		}
-	case fabric.CQERecv:
+	case transport.CQERecv:
 		p.deliver(e.Packet)
 	default: // one-sided completions
 		if c, ok := e.Token.(Completer); ok && c != nil {
@@ -421,9 +539,9 @@ func (p *Proc) dispatch(in *cri.Instance, e fabric.CQE) {
 
 // deliver pushes an inbound two-sided packet through the owning
 // communicator's matching engine under its matching lock.
-func (p *Proc) deliver(pkt *fabric.Packet) {
+func (p *Proc) deliver(pkt *transport.Packet) {
 	env := pkt.Envelope()
-	if env.Kind == fabric.KindAck {
+	if env.Kind == transport.KindAck {
 		p.rel.handleAck(pkt)
 		return
 	}
@@ -441,10 +559,10 @@ func (p *Proc) deliver(pkt *fabric.Packet) {
 		return
 	}
 	switch env.Kind {
-	case fabric.KindRendezvousACK:
+	case transport.KindRendezvousACK:
 		c.handleRendezvousACK(pkt)
 		return
-	case fabric.KindRendezvousData:
+	case transport.KindRendezvousData:
 		c.handleRendezvousFIN(pkt)
 		return
 	}
@@ -488,5 +606,5 @@ func (p *Proc) progressFor(ts *cri.ThreadState) int {
 	return p.prog.Progress(ts)
 }
 
-// DrainProgress drains all pending fabric events (teardown only).
+// DrainProgress drains all pending transport events (teardown only).
 func (p *Proc) DrainProgress() int { return p.prog.Drain() }

@@ -8,13 +8,14 @@
 package cri
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/fabric"
 	"repro/internal/spc"
 	"repro/internal/telemetry"
+	"repro/internal/transport"
 )
 
 // Assignment selects how threads are mapped to instances.
@@ -44,8 +45,8 @@ func (a Assignment) String() string {
 type Instance struct {
 	mu    sync.Mutex
 	index int
-	ctx   *fabric.Context
-	eps   []*fabric.Endpoint // indexed by remote rank; nil for self
+	ctx   transport.Context
+	eps   []transport.Endpoint // indexed by remote rank; nil for self
 	// spcs is this instance's own attributed counter set (a child of the
 	// process totals), so contention localizes to an instance. Nil when
 	// counters are disabled.
@@ -55,11 +56,11 @@ type Instance struct {
 	lockWait *telemetry.Histogram
 }
 
-// NewInstance wraps a fabric context as instance index within its pool.
+// NewInstance wraps a transport context as instance index within its pool.
 // spcs is the instance's OWN counter set (not the process set): callers
 // that want per-instance attribution pass a fresh set per instance and
 // roll the children up with spc.Merge.
-func NewInstance(index int, ctx *fabric.Context, spcs *spc.Set) *Instance {
+func NewInstance(index int, ctx transport.Context, spcs *spc.Set) *Instance {
 	return &Instance{index: index, ctx: ctx, spcs: spcs}
 }
 
@@ -74,13 +75,13 @@ func (in *Instance) SPCs() *spc.Set { return in.spcs }
 func (in *Instance) Index() int { return in.index }
 
 // Context returns the underlying network context.
-func (in *Instance) Context() *fabric.Context { return in.ctx }
+func (in *Instance) Context() transport.Context { return in.ctx }
 
 // SetEndpoints installs the per-rank endpoint table.
-func (in *Instance) SetEndpoints(eps []*fabric.Endpoint) { in.eps = eps }
+func (in *Instance) SetEndpoints(eps []transport.Endpoint) { in.eps = eps }
 
 // Endpoint returns the endpoint to rank, or nil (self or unwired).
-func (in *Instance) Endpoint(rank int) *fabric.Endpoint {
+func (in *Instance) Endpoint(rank int) transport.Endpoint {
 	if rank < 0 || rank >= len(in.eps) {
 		return nil
 	}
@@ -108,8 +109,8 @@ func (in *Instance) Unlock() { in.mu.Unlock() }
 
 // Poll drains up to max completion events under the caller-held instance
 // lock. The caller MUST hold the lock (progress-engine discipline).
-func (in *Instance) Poll(handler func(*Instance, fabric.CQE), max int) int {
-	return in.ctx.Poll(func(e fabric.CQE) { handler(in, e) }, max)
+func (in *Instance) Poll(handler func(*Instance, transport.CQE), max int) int {
+	return in.ctx.Poll(func(e transport.CQE) { handler(in, e) }, max)
 }
 
 // ThreadState is the per-thread assignment cache — the TLS slot of
@@ -150,12 +151,16 @@ type Pool struct {
 	rr        atomic.Uint64
 }
 
+// ErrEmptyPool reports a pool construction with no instances — a
+// misconfiguration a real launcher surfaces as an init error, not a crash.
+var ErrEmptyPool = errors.New("cri: empty instance pool")
+
 // NewPool builds a pool over instances with the given assignment strategy.
-func NewPool(instances []*Instance, mode Assignment) *Pool {
+func NewPool(instances []*Instance, mode Assignment) (*Pool, error) {
 	if len(instances) == 0 {
-		panic("cri: empty instance pool")
+		return nil, ErrEmptyPool
 	}
-	return &Pool{instances: instances, mode: mode}
+	return &Pool{instances: instances, mode: mode}, nil
 }
 
 // Len returns the number of instances.

@@ -1,18 +1,19 @@
 package cri
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 	"testing"
 
-	"repro/internal/fabric"
-	"repro/internal/hw"
 	"repro/internal/spc"
+	"repro/internal/transport"
+	"repro/internal/transport/mocknet"
 )
 
 func newTestPool(t *testing.T, n int, mode Assignment) *Pool {
 	t.Helper()
-	dev := fabric.NewDevice(hw.Fast())
+	dev := mocknet.NewDevice()
 	insts := make([]*Instance, n)
 	for i := range insts {
 		ctx, err := dev.CreateContext(0)
@@ -21,7 +22,11 @@ func newTestPool(t *testing.T, n int, mode Assignment) *Pool {
 		}
 		insts[i] = NewInstance(i, ctx, nil)
 	}
-	return NewPool(insts, mode)
+	pool, err := NewPool(insts, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool
 }
 
 func TestAssignmentString(t *testing.T) {
@@ -127,7 +132,7 @@ func TestConcurrentRoundRobinBalanced(t *testing.T) {
 
 func TestLockContentionCounted(t *testing.T) {
 	s := spc.NewSet()
-	dev := fabric.NewDevice(hw.Fast())
+	dev := mocknet.NewDevice()
 	ctx, _ := dev.CreateContext(0)
 	in := NewInstance(0, ctx, s)
 	in.Lock()
@@ -167,10 +172,10 @@ func TestTryLock(t *testing.T) {
 func TestEndpointTable(t *testing.T) {
 	p := newTestPool(t, 1, RoundRobin)
 	in := p.Get(0)
-	dev := fabric.NewDevice(hw.Fast())
+	dev := mocknet.NewDevice()
 	remote, _ := dev.CreateContext(0)
-	ep := fabric.NewEndpoint(in.Context(), remote)
-	in.SetEndpoints([]*fabric.Endpoint{nil, ep})
+	ep := mocknet.NewEndpoint(in.Context(), remote)
+	in.SetEndpoints([]transport.Endpoint{nil, ep})
 	if in.Endpoint(0) != nil {
 		t.Fatal("self endpoint should be nil")
 	}
@@ -182,28 +187,25 @@ func TestEndpointTable(t *testing.T) {
 	}
 }
 
-func TestEmptyPoolPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("NewPool(nil) did not panic")
-		}
-	}()
-	NewPool(nil, RoundRobin)
+func TestEmptyPoolError(t *testing.T) {
+	if _, err := NewPool(nil, RoundRobin); !errors.Is(err, ErrEmptyPool) {
+		t.Fatalf("NewPool(nil) error = %v, want ErrEmptyPool", err)
+	}
 }
 
 func TestInstancePollDispatches(t *testing.T) {
 	p := newTestPool(t, 2, RoundRobin)
 	rx := p.Get(0)
 	tx := p.Get(1)
-	ep := fabric.NewEndpoint(tx.Context(), rx.Context())
-	ep.Send(fabric.NewPacket(fabric.Envelope{Kind: fabric.KindEager, Tag: 3}, nil, nil))
+	ep := mocknet.NewEndpoint(tx.Context(), rx.Context())
+	ep.Send(transport.NewPacket(transport.Envelope{Kind: transport.KindEager, Tag: 3}, nil, nil))
 
-	var got []fabric.CQE
+	var got []transport.CQE
 	var fromInst *Instance
 	rx.Lock()
-	n := rx.Poll(func(in *Instance, e fabric.CQE) { fromInst = in; got = append(got, e) }, 8)
+	n := rx.Poll(func(in *Instance, e transport.CQE) { fromInst = in; got = append(got, e) }, 8)
 	rx.Unlock()
-	if n != 1 || len(got) != 1 || got[0].Kind != fabric.CQERecv {
+	if n != 1 || len(got) != 1 || got[0].Kind != transport.CQERecv {
 		t.Fatalf("Poll handled %d events: %+v", n, got)
 	}
 	if fromInst != rx {
@@ -212,13 +214,16 @@ func TestInstancePollDispatches(t *testing.T) {
 }
 
 func BenchmarkForThreadRoundRobin(b *testing.B) {
-	dev := fabric.NewDevice(hw.Fast())
+	dev := mocknet.NewDevice()
 	insts := make([]*Instance, 8)
 	for i := range insts {
 		ctx, _ := dev.CreateContext(0)
 		insts[i] = NewInstance(i, ctx, nil)
 	}
-	p := NewPool(insts, RoundRobin)
+	p, err := NewPool(insts, RoundRobin)
+	if err != nil {
+		b.Fatal(err)
+	}
 	var ts ThreadState
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -227,13 +232,16 @@ func BenchmarkForThreadRoundRobin(b *testing.B) {
 }
 
 func BenchmarkForThreadDedicated(b *testing.B) {
-	dev := fabric.NewDevice(hw.Fast())
+	dev := mocknet.NewDevice()
 	insts := make([]*Instance, 8)
 	for i := range insts {
 		ctx, _ := dev.CreateContext(0)
 		insts[i] = NewInstance(i, ctx, nil)
 	}
-	p := NewPool(insts, Dedicated)
+	p, err := NewPool(insts, Dedicated)
+	if err != nil {
+		b.Fatal(err)
+	}
 	var ts ThreadState
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

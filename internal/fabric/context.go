@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/hw"
 	"repro/internal/ringbuf"
+	"repro/internal/transport"
 )
 
 // Context is one network context: an independent injection path into the
@@ -224,4 +225,16 @@ func (e *Endpoint) Resend(p *Packet) {
 	} else {
 		e.remote.deliver(p)
 	}
+}
+
+// PutRegion writes src into the remote device's registered region at offset
+// — an RDMA write addressed by region id, routed through the endpoint so
+// callers need no handle on the peer's device. Completion is a local
+// PutComplete CQE carrying token.
+func (e *Endpoint) PutRegion(regionID uint64, offset int, src []byte, token any) error {
+	r, ok := e.remote.dev.Region(regionID)
+	if !ok {
+		return transport.ErrRegionUnavailable
+	}
+	return e.local.Put(r, offset, src, token)
 }

@@ -1,7 +1,8 @@
-// Package fabric simulates an RDMA-capable network interface: devices,
-// network contexts, endpoints, completion queues (CQs), and remote memory
-// regions. It is the substrate beneath the runtime's Communication Resource
-// Instances (CRIs).
+// Package fabric is the default simulated backend of the pluggable
+// transport layer (internal/transport): an RDMA-capable network interface
+// with devices, network contexts, endpoints, completion queues (CQs), and
+// remote memory regions. It is the substrate beneath the runtime's
+// Communication Resource Instances (CRIs) when no other backend is chosen.
 //
 // The fabric is synchronous-with-costs: the injecting goroutine itself
 // executes delivery, paying a calibrated CPU cost per operation (see
@@ -9,145 +10,65 @@
 // serialization effects the paper studies — endpoint locks, progress
 // serialization, matching locks — live *above* the fabric; the fabric
 // supplies real concurrent queues for them to contend on.
+//
+// The wire contracts (Envelope, Packet, CQE, Kind) now live in
+// internal/transport; the aliases below keep the fabric's historical names
+// working for the simulator and its tests.
 package fabric
 
 import (
-	"encoding/binary"
-	"fmt"
+	"repro/internal/transport"
 )
 
-// EnvelopeSize is the wire footprint of the matching header. The paper
-// notes Open MPI's matching header is ~28 bytes; zero-byte "messages" in the
-// Multirate benchmark are pure envelopes.
-const EnvelopeSize = 28
+// EnvelopeSize is the wire footprint of the matching header.
+const EnvelopeSize = transport.EnvelopeSize
 
 // Envelope is the matching header carried by every two-sided message.
-type Envelope struct {
-	Src  int32  // sender rank
-	Dst  int32  // destination rank
-	Tag  int32  // message tag
-	Comm uint32 // communicator context id
-	Seq  uint32 // per-(sender, communicator) sequence number
-	Len  uint32 // payload length in bytes
-	Kind Kind   // packet kind (low byte) and flags
-}
+type Envelope = transport.Envelope
 
 // Kind discriminates packet types on the wire.
-type Kind uint32
+type Kind = transport.Kind
 
 const (
 	// KindEager is a two-sided eager message: envelope plus full payload.
-	KindEager Kind = iota + 1
+	KindEager = transport.KindEager
 	// KindRendezvousRTS is the ready-to-send control message of the
 	// rendezvous protocol for large payloads.
-	KindRendezvousRTS
+	KindRendezvousRTS = transport.KindRendezvousRTS
 	// KindRendezvousACK is the receiver's clear-to-send response carrying
 	// the registered sink region.
-	KindRendezvousACK
-	// KindRendezvousData is the bulk data of a rendezvous transfer.
-	KindRendezvousData
-	// KindAck is a delivery-reliability acknowledgement: a cumulative ack
-	// plus a selective-ack bitmap for one sender→receiver transport stream.
-	KindAck
+	KindRendezvousACK = transport.KindRendezvousACK
+	// KindRendezvousData is the bulk data / FIN of a rendezvous transfer.
+	KindRendezvousData = transport.KindRendezvousData
+	// KindAck is a delivery-reliability acknowledgement.
+	KindAck = transport.KindAck
 )
 
-// Marshal encodes the envelope into its 28-byte wire form. The encode cost
-// is real work the injecting core performs, exactly like a driver building
-// a packet header.
-func (e *Envelope) Marshal(b *[EnvelopeSize]byte) {
-	binary.LittleEndian.PutUint32(b[0:], uint32(e.Src))
-	binary.LittleEndian.PutUint32(b[4:], uint32(e.Dst))
-	binary.LittleEndian.PutUint32(b[8:], uint32(e.Tag))
-	binary.LittleEndian.PutUint32(b[12:], e.Comm)
-	binary.LittleEndian.PutUint32(b[16:], e.Seq)
-	binary.LittleEndian.PutUint32(b[20:], e.Len)
-	binary.LittleEndian.PutUint32(b[24:], uint32(e.Kind))
-}
-
-// Unmarshal decodes a 28-byte wire header.
-func (e *Envelope) Unmarshal(b *[EnvelopeSize]byte) {
-	e.Src = int32(binary.LittleEndian.Uint32(b[0:]))
-	e.Dst = int32(binary.LittleEndian.Uint32(b[4:]))
-	e.Tag = int32(binary.LittleEndian.Uint32(b[8:]))
-	e.Comm = binary.LittleEndian.Uint32(b[12:])
-	e.Seq = binary.LittleEndian.Uint32(b[16:])
-	e.Len = binary.LittleEndian.Uint32(b[20:])
-	e.Kind = Kind(binary.LittleEndian.Uint32(b[24:]))
-}
-
-func (e Envelope) String() string {
-	return fmt.Sprintf("env{src=%d dst=%d tag=%d comm=%d seq=%d len=%d kind=%d}",
-		e.Src, e.Dst, e.Tag, e.Comm, e.Seq, e.Len, e.Kind)
-}
-
-// Packet is one message on the simulated wire: a marshaled envelope plus an
-// owned copy of the payload (eager protocol semantics — the sender's buffer
-// is free as soon as injection returns).
-type Packet struct {
-	header  [EnvelopeSize]byte
-	Payload []byte
-	// Token is opaque sender state echoed in the send-completion CQE,
-	// typically the request to mark complete.
-	Token any
-	// Stamp is an optional injection timestamp (UnixNano) set by the
-	// telemetry layer to measure inject-to-match latency; 0 = unstamped.
-	// It rides the packet but is not part of the wire envelope, exactly
-	// like driver-private metadata on a real send WQE.
-	Stamp int64
-	// RelSeq is the transport-level sequence number assigned by the
-	// delivery-reliability layer when it is enabled; 0 = untracked. Like
-	// Stamp it is driver-private metadata, not part of the wire envelope.
-	RelSeq uint64
-	// RelSrc is the sender's world rank for reliability tracking when
-	// RelSeq != 0 (the envelope's Src is communicator-relative).
-	RelSrc int32
-}
+// Packet is one message on the simulated wire.
+type Packet = transport.Packet
 
 // NewPacket marshals env and copies payload into a fresh packet, setting
 // the envelope's Len to the payload length.
-func NewPacket(env Envelope, payload []byte, token any) *Packet {
-	env.Len = uint32(len(payload))
-	return NewPacketRaw(env, payload, token)
-}
+var NewPacket = transport.NewPacket
 
-// NewPacketRaw is NewPacket without overwriting env.Len — control packets
-// (e.g. a rendezvous RTS) advertise a length different from their carried
-// payload.
-func NewPacketRaw(env Envelope, payload []byte, token any) *Packet {
-	p := &Packet{Token: token}
-	env.Marshal(&p.header)
-	if len(payload) > 0 {
-		p.Payload = append([]byte(nil), payload...)
-	}
-	return p
-}
-
-// Envelope decodes and returns the packet's header.
-func (p *Packet) Envelope() Envelope {
-	var e Envelope
-	e.Unmarshal(&p.header)
-	return e
-}
+// NewPacketRaw is NewPacket without overwriting env.Len.
+var NewPacketRaw = transport.NewPacketRaw
 
 // CQEKind discriminates completion-queue entries.
-type CQEKind uint8
+type CQEKind = transport.CQEKind
 
 const (
 	// CQESendComplete reports local completion of an injected send.
-	CQESendComplete CQEKind = iota + 1
+	CQESendComplete = transport.CQESendComplete
 	// CQERecv reports arrival of a two-sided packet.
-	CQERecv
+	CQERecv = transport.CQERecv
 	// CQEPutComplete reports local completion of a one-sided put.
-	CQEPutComplete
+	CQEPutComplete = transport.CQEPutComplete
 	// CQEGetComplete reports local completion of a one-sided get.
-	CQEGetComplete
+	CQEGetComplete = transport.CQEGetComplete
 	// CQEAccComplete reports local completion of a one-sided accumulate.
-	CQEAccComplete
+	CQEAccComplete = transport.CQEAccComplete
 )
 
 // CQE is one completion-queue entry.
-type CQE struct {
-	Kind   CQEKind
-	Packet *Packet // for CQERecv and CQESendComplete
-	Token  any     // for one-sided completions: opaque initiator state
-}
+type CQE = transport.CQE

@@ -6,47 +6,17 @@ import (
 	"time"
 
 	"repro/internal/spc"
+	"repro/internal/transport"
 )
 
-// FaultConfig parameterizes the wire-fault injector. All probabilities are
-// per-packet and independent; a packet is first tested for drop, then (if it
-// survived) for duplication and delay. The zero value injects nothing.
-type FaultConfig struct {
-	// Drop is the probability a packet vanishes on the wire. The sender
-	// still observes local send completion — exactly like real hardware,
-	// which reports the DMA done long before the packet survives the
-	// network.
-	Drop float64
-	// Dup is the probability a packet is delivered twice.
-	Dup float64
-	// Delay is the probability a packet is held back for DelayDur before
-	// delivery (a slow path through the switch), reordering it past later
-	// traffic.
-	Delay float64
-	// DelayDur is how long a delayed packet is held (0 = 200µs).
-	DelayDur time.Duration
-	// Seed seeds the deterministic RNG (0 = 1).
-	Seed int64
-}
+// FaultConfig parameterizes the wire-fault injector; the type lives in
+// internal/transport so consumers can request faults without naming a
+// backend.
+type FaultConfig = transport.FaultConfig
 
 // DefaultFaultDelay is the hold time of a delayed packet when
 // FaultConfig.DelayDur is unset.
-const DefaultFaultDelay = 200 * time.Microsecond
-
-// Enabled reports whether any fault has a non-zero probability.
-func (c FaultConfig) Enabled() bool {
-	return c.Drop > 0 || c.Dup > 0 || c.Delay > 0
-}
-
-func (c FaultConfig) withDefaults() FaultConfig {
-	if c.DelayDur <= 0 {
-		c.DelayDur = DefaultFaultDelay
-	}
-	if c.Seed == 0 {
-		c.Seed = 1
-	}
-	return c
-}
+const DefaultFaultDelay = transport.DefaultFaultDelay
 
 // FaultInjector perturbs packet delivery at the device layer under a seeded
 // RNG: drops, duplications, and delays. It models an imperfect network under
@@ -68,7 +38,7 @@ func NewFaultInjector(cfg FaultConfig, spcs *spc.Set) *FaultInjector {
 	if !cfg.Enabled() {
 		return nil
 	}
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	return &FaultInjector{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg, spcs: spcs}
 }
 

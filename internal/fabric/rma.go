@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/hw"
+	"repro/internal/transport"
 )
 
 // MemRegion is a registered remote-memory region — the fabric-level object
@@ -82,10 +83,26 @@ func checkBounds(op string, r *MemRegion, offset, n int) error {
 	return nil
 }
 
+// simRegion narrows a transport-level region handle to the fabric's concrete
+// region. The initiators accept the interface so *Context satisfies
+// transport.Context; a handle from another backend (or nil) is unreachable
+// by construction and reported as such.
+func simRegion(reg transport.MemRegion) (*MemRegion, error) {
+	r, ok := reg.(*MemRegion)
+	if !ok || r == nil {
+		return nil, transport.ErrRegionUnavailable
+	}
+	return r, nil
+}
+
 // Put writes src into the remote region at offset: initiator-side CPU cost,
 // wire reservation for the payload, direct memory write, and a local
 // PutComplete CQE carrying token. The target's CPU is never involved.
-func (c *Context) Put(r *MemRegion, offset int, src []byte, token any) error {
+func (c *Context) Put(reg transport.MemRegion, offset int, src []byte, token any) error {
+	r, err := simRegion(reg)
+	if err != nil {
+		return err
+	}
 	if err := checkBounds("put", r, offset, len(src)); err != nil {
 		return err
 	}
@@ -99,7 +116,11 @@ func (c *Context) Put(r *MemRegion, offset int, src []byte, token any) error {
 
 // Get reads len(dst) bytes from the remote region at offset into dst and
 // posts a local GetComplete CQE carrying token.
-func (c *Context) Get(r *MemRegion, offset int, dst []byte, token any) error {
+func (c *Context) Get(reg transport.MemRegion, offset int, dst []byte, token any) error {
+	r, err := simRegion(reg)
+	if err != nil {
+		return err
+	}
 	if err := checkBounds("get", r, offset, len(dst)); err != nil {
 		return err
 	}
@@ -111,18 +132,19 @@ func (c *Context) Get(r *MemRegion, offset int, dst []byte, token any) error {
 	return nil
 }
 
-// AccumulateOp selects the reduction applied by Accumulate.
-type AccumulateOp uint8
+// AccumulateOp selects the reduction applied by Accumulate; the type and
+// its values live in internal/transport.
+type AccumulateOp = transport.AccumulateOp
 
 const (
 	// AccSum adds the operand to the target (MPI_SUM).
-	AccSum AccumulateOp = iota
+	AccSum = transport.AccSum
 	// AccReplace overwrites the target (MPI_REPLACE).
-	AccReplace
+	AccReplace = transport.AccReplace
 	// AccMax keeps the maximum (MPI_MAX).
-	AccMax
+	AccMax = transport.AccMax
 	// AccMin keeps the minimum (MPI_MIN).
-	AccMin
+	AccMin = transport.AccMin
 )
 
 // Accumulate applies op element-wise over int64 lanes at offset. The
@@ -130,7 +152,11 @@ const (
 // (MPI's same-op atomicity guarantee); it costs initiator CPU plus wire
 // time, posts an AccComplete CQE with token, and never involves the target
 // CPU — the "remote atomic" of the RDMA hardware.
-func (c *Context) Accumulate(r *MemRegion, offset int, operand []int64, op AccumulateOp, token any) error {
+func (c *Context) Accumulate(reg transport.MemRegion, offset int, operand []int64, op AccumulateOp, token any) error {
+	r, err := simRegion(reg)
+	if err != nil {
+		return err
+	}
 	n := len(operand) * 8
 	if err := checkBounds("accumulate", r, offset, n); err != nil {
 		return err
@@ -169,7 +195,11 @@ func (c *Context) Accumulate(r *MemRegion, offset int, operand []int64, op Accum
 // FetchAndOp atomically applies op to the int64 at offset and writes the
 // previous value into *result before posting an AccComplete CQE — the
 // MPI_Fetch_and_op primitive RDMA NICs provide natively.
-func (c *Context) FetchAndOp(r *MemRegion, offset int, operand int64, op AccumulateOp, result *int64, token any) error {
+func (c *Context) FetchAndOp(reg transport.MemRegion, offset int, operand int64, op AccumulateOp, result *int64, token any) error {
+	r, err := simRegion(reg)
+	if err != nil {
+		return err
+	}
 	if err := checkBounds("fetch_and_op", r, offset, 8); err != nil {
 		return err
 	}
@@ -209,7 +239,11 @@ func (c *Context) FetchAndOp(r *MemRegion, offset int, operand int64, op Accumul
 // CompareAndSwap atomically replaces the int64 at offset with swap if it
 // equals compare, writing the previous value into *result
 // (MPI_Compare_and_swap).
-func (c *Context) CompareAndSwap(r *MemRegion, offset int, compare, swap int64, result *int64, token any) error {
+func (c *Context) CompareAndSwap(reg transport.MemRegion, offset int, compare, swap int64, result *int64, token any) error {
+	r, err := simRegion(reg)
+	if err != nil {
+		return err
+	}
 	if err := checkBounds("compare_and_swap", r, offset, 8); err != nil {
 		return err
 	}

@@ -1,0 +1,131 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/hw"
+	"repro/internal/transport"
+)
+
+var (
+	_ transport.Network   = (*Network)(nil)
+	_ transport.Device    = (*tdev)(nil)
+	_ transport.Context   = (*Context)(nil)
+	_ transport.Endpoint  = (*Endpoint)(nil)
+	_ transport.MemRegion = (*MemRegion)(nil)
+)
+
+// Network is the simulated backend's implementation of transport.Network:
+// an in-process cluster of devices, one per world rank, wired through shared
+// memory. It is the default backend the runtime falls back to when no other
+// is configured.
+type Network struct {
+	mu   sync.Mutex
+	devs map[int]*tdev
+}
+
+// NewNetwork creates an empty simulated cluster.
+func NewNetwork() *Network {
+	return &Network{devs: make(map[int]*tdev)}
+}
+
+// Caps describes the simulated fabric: a faulty, one-sided-capable wire.
+func (n *Network) Caps() transport.Caps {
+	return transport.Caps{Name: "sim", OneSided: true, FaultInjection: true}
+}
+
+// NewDevice creates the device for world rank r, honoring the scramble and
+// fault settings in cfg (this backend advertises FaultInjection).
+func (n *Network) NewDevice(rank int, m hw.Machine, cfg transport.DeviceConfig) (transport.Device, error) {
+	d := NewDevice(m)
+	if cfg.ScrambleWindow > 0 {
+		seed := cfg.ScrambleSeed
+		if seed == 0 {
+			seed = 1
+		}
+		d.SetScrambler(NewScrambler(seed, cfg.ScrambleWindow))
+	}
+	if cfg.Faults.Enabled() {
+		d.SetFaultInjector(NewFaultInjector(cfg.Faults, cfg.Counters))
+	}
+	t := &tdev{d: d, net: n, rank: rank}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.devs[rank]; dup {
+		return nil, fmt.Errorf("fabric: device for rank %d already exists", rank)
+	}
+	n.devs[rank] = t
+	return t, nil
+}
+
+// device returns the registered device for a rank, or nil.
+func (n *Network) device(rank int) *tdev {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.devs[rank]
+}
+
+// tdev adapts *Device to transport.Device. The concrete methods return
+// concrete types (CreateContext, RegisterMemory, Region), so a thin wrapper
+// re-exposes them with interface signatures and resolves peer devices
+// through the owning Network for Connect.
+type tdev struct {
+	d    *Device
+	net  *Network
+	rank int
+}
+
+// Underlying returns the wrapped simulated device (backend-specific tests
+// and the simnet harness reach fabric features through it).
+func (t *tdev) Underlying() *Device { return t.d }
+
+func (t *tdev) Machine() hw.Machine { return t.d.Machine() }
+
+func (t *tdev) Caps() transport.Caps { return t.net.Caps() }
+
+func (t *tdev) CreateContext(depth int) (transport.Context, error) {
+	c, err := t.d.CreateContext(depth)
+	if err != nil {
+		// Return an untyped nil: a nil *Context boxed in the interface
+		// would compare non-nil to callers.
+		return nil, err
+	}
+	return c, nil
+}
+
+func (t *tdev) Connect(local transport.Context, peer int, remoteIdx int) (transport.Endpoint, error) {
+	lc, ok := local.(*Context)
+	if !ok || lc == nil {
+		return nil, fmt.Errorf("fabric: Connect local context is not a fabric context")
+	}
+	pd := t.net.device(peer)
+	if pd == nil {
+		return nil, fmt.Errorf("fabric: rank %d has no device: %w", peer, transport.ErrNoEndpoint)
+	}
+	rc := pd.d.Context(remoteIdx)
+	if rc == nil {
+		return nil, fmt.Errorf("fabric: rank %d has no context %d: %w", peer, remoteIdx, transport.ErrNoEndpoint)
+	}
+	return NewEndpoint(lc, rc), nil
+}
+
+func (t *tdev) RegisterMemory(buf []byte) transport.MemRegion {
+	return t.d.RegisterMemory(buf)
+}
+
+func (t *tdev) DeregisterMemory(r transport.MemRegion) {
+	if rr, ok := r.(*MemRegion); ok {
+		t.d.DeregisterMemory(rr)
+	}
+}
+
+func (t *tdev) Region(id uint64) (transport.MemRegion, bool) {
+	r, ok := t.d.Region(id)
+	if !ok {
+		return nil, false
+	}
+	return r, true
+}
+
+func (t *tdev) Close() { t.d.Close() }

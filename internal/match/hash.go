@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/fabric"
 	"repro/internal/hw"
 	"repro/internal/spc"
+	"repro/internal/transport"
 )
 
 // HashEngine is a hash-based matching engine: posted receives and
@@ -258,7 +258,7 @@ func (e *HashEngine) CancelRecv(r *Recv) bool {
 
 // Deliver implements Matcher: identical sequence validation to Engine, with
 // the bucketed search in place of the linear one.
-func (e *HashEngine) Deliver(pkt *fabric.Packet, out []Completion) []Completion {
+func (e *HashEngine) Deliver(pkt *transport.Packet, out []Completion) []Completion {
 	env := pkt.Envelope()
 	if env.Comm != e.comm {
 		panic(fmt.Sprintf("match: packet for comm %d delivered to hash engine %d", env.Comm, e.comm))
@@ -277,7 +277,7 @@ func (e *HashEngine) Deliver(pkt *fabric.Packet, out []Completion) []Completion 
 		e.spcs.Inc(spc.OutOfSequence)
 		e.charge(e.costs.OOSBuffer)
 		if p.oos == nil {
-			p.oos = make(map[uint32]*fabric.Packet)
+			p.oos = make(map[uint32]*transport.Packet)
 		}
 		if _, dup := p.oos[env.Seq]; dup {
 			e.spcs.Inc(spc.DuplicateSequences)
@@ -303,7 +303,7 @@ func (e *HashEngine) Deliver(pkt *fabric.Packet, out []Completion) []Completion 
 
 // matchIn picks the oldest candidate among the four bucket heads that can
 // accept the message — constant-time regardless of queue depth.
-func (e *HashEngine) matchIn(env fabric.Envelope, pkt *fabric.Packet, out []Completion) []Completion {
+func (e *HashEngine) matchIn(env transport.Envelope, pkt *transport.Packet, out []Completion) []Completion {
 	e.spcs.Inc(spc.MatchAttempts)
 	e.charge(e.costs.MatchBase)
 	var best *Recv
@@ -336,12 +336,12 @@ func (e *HashEngine) matchIn(env fabric.Envelope, pkt *fabric.Packet, out []Comp
 }
 
 // Probe implements Matcher.
-func (e *HashEngine) Probe(source, tag int32) (fabric.Envelope, bool) {
+func (e *HashEngine) Probe(source, tag int32) (transport.Envelope, bool) {
 	if source != AnySource && tag != AnyTag {
 		if l := e.unexp[mkKey(source, tag)]; l != nil && l.head != nil {
 			return l.head.env, true
 		}
-		return fabric.Envelope{}, false
+		return transport.Envelope{}, false
 	}
 	probe := &Recv{Source: source, Tag: tag}
 	for m := e.unexpHead; m != nil; m = m.next {
@@ -349,11 +349,11 @@ func (e *HashEngine) Probe(source, tag int32) (fabric.Envelope, bool) {
 			return m.env, true
 		}
 	}
-	return fabric.Envelope{}, false
+	return transport.Envelope{}, false
 }
 
 // MProbe implements Matcher.
-func (e *HashEngine) MProbe(source, tag int32) (*fabric.Packet, bool) {
+func (e *HashEngine) MProbe(source, tag int32) (*transport.Packet, bool) {
 	if source != AnySource && tag != AnyTag {
 		if l := e.unexp[mkKey(source, tag)]; l != nil && l.head != nil {
 			m := l.head
@@ -372,14 +372,14 @@ func (e *HashEngine) MProbe(source, tag int32) (*fabric.Packet, bool) {
 	return nil, false
 }
 
-func (e *HashEngine) fill(r *Recv, env fabric.Envelope, pkt *fabric.Packet) {
+func (e *HashEngine) fill(r *Recv, env transport.Envelope, pkt *transport.Packet) {
 	r.MatchedEnv = env
 	n := copy(r.Buf, pkt.Payload)
 	r.N = n
 	r.Truncated = n < len(pkt.Payload)
 }
 
-func (e *HashEngine) appendUnexpected(env fabric.Envelope, pkt *fabric.Packet) {
+func (e *HashEngine) appendUnexpected(env transport.Envelope, pkt *transport.Packet) {
 	m := &pendingMsg{env: env, pkt: pkt}
 	// Global FIFO.
 	m.prev = e.unexpTail

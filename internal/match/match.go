@@ -15,9 +15,9 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/fabric"
 	"repro/internal/hw"
 	"repro/internal/spc"
+	"repro/internal/transport"
 )
 
 // Wildcard values for Recv.Source and Recv.Tag, mirroring MPI_ANY_SOURCE
@@ -57,13 +57,13 @@ type Matcher interface {
 	CancelRecv(r *Recv) bool
 	// Deliver runs one inbound packet through sequence validation and
 	// matching, appending completions to out.
-	Deliver(pkt *fabric.Packet, out []Completion) []Completion
+	Deliver(pkt *transport.Packet, out []Completion) []Completion
 	// Probe reports a queued unexpected message matching (source, tag).
-	Probe(source, tag int32) (fabric.Envelope, bool)
+	Probe(source, tag int32) (transport.Envelope, bool)
 	// MProbe removes and returns the oldest queued unexpected message
 	// matching (source, tag) — MPI_Mprobe semantics: the message is
 	// claimed and can no longer match other receives.
-	MProbe(source, tag int32) (*fabric.Packet, bool)
+	MProbe(source, tag int32) (*transport.Packet, bool)
 	// SetAllowOvertaking toggles the overtaking assertion.
 	SetAllowOvertaking(on bool)
 	// ChargeWait accounts externally measured matching-lock wait time.
@@ -84,7 +84,7 @@ type Recv struct {
 	Buf    []byte
 
 	// Results, valid after the Recv appears in a Completion.
-	MatchedEnv fabric.Envelope
+	MatchedEnv transport.Envelope
 	Truncated  bool // payload longer than Buf
 	N          int  // bytes copied into Buf
 
@@ -102,15 +102,15 @@ type Recv struct {
 // Completion reports one matched message: the receive and its packet.
 type Completion struct {
 	Recv   *Recv
-	Packet *fabric.Packet
+	Packet *transport.Packet
 }
 
 // pendingMsg is an arrived-but-unmatched message in the unexpected queue.
 // prev/next thread the arrival-ordered list; bprev/bnext thread the hash
 // engine's per-(source, tag) bucket.
 type pendingMsg struct {
-	env          fabric.Envelope
-	pkt          *fabric.Packet
+	env          transport.Envelope
+	pkt          *transport.Packet
 	prev, next   *pendingMsg
 	bprev, bnext *pendingMsg
 }
@@ -121,7 +121,7 @@ type peerState struct {
 	// oos buffers out-of-sequence packets keyed by sequence number. The
 	// map models the allocation cost the paper highlights: arrival out of
 	// order forces the library to stash the message mid-critical-path.
-	oos map[uint32]*fabric.Packet
+	oos map[uint32]*transport.Packet
 }
 
 // Engine is the matching state of one communicator. All methods require
@@ -237,7 +237,7 @@ func (e *Engine) CancelRecv(r *Recv) bool {
 // matching, appending any completions to out (several can complete at once
 // when an in-order arrival unblocks buffered out-of-sequence messages).
 // The returned slice is out with appends.
-func (e *Engine) Deliver(pkt *fabric.Packet, out []Completion) []Completion {
+func (e *Engine) Deliver(pkt *transport.Packet, out []Completion) []Completion {
 	env := pkt.Envelope()
 	if env.Comm != e.comm {
 		panic(fmt.Sprintf("match: packet for comm %d delivered to engine %d", env.Comm, e.comm))
@@ -261,7 +261,7 @@ func (e *Engine) Deliver(pkt *fabric.Packet, out []Completion) []Completion {
 		e.spcs.Inc(spc.OutOfSequence)
 		e.charge(e.costs.OOSBuffer)
 		if p.oos == nil {
-			p.oos = make(map[uint32]*fabric.Packet)
+			p.oos = make(map[uint32]*transport.Packet)
 		}
 		if _, dup := p.oos[env.Seq]; dup {
 			// Same future sequence already buffered: duplicate copy.
@@ -289,7 +289,7 @@ func (e *Engine) Deliver(pkt *fabric.Packet, out []Completion) []Completion {
 
 // matchIn matches one sequence-valid (or overtaking) message against the
 // posted-receive queue, or stores it as unexpected.
-func (e *Engine) matchIn(env fabric.Envelope, pkt *fabric.Packet, out []Completion) []Completion {
+func (e *Engine) matchIn(env transport.Envelope, pkt *transport.Packet, out []Completion) []Completion {
 	e.spcs.Inc(spc.MatchAttempts)
 	cost := e.costs.MatchBase
 	walked := 0
@@ -317,18 +317,18 @@ func (e *Engine) matchIn(env fabric.Envelope, pkt *fabric.Packet, out []Completi
 // Probe reports whether an unexpected message matching (source, tag) is
 // queued, returning its envelope — MPI_Iprobe semantics over the
 // unexpected queue.
-func (e *Engine) Probe(source, tag int32) (fabric.Envelope, bool) {
+func (e *Engine) Probe(source, tag int32) (transport.Envelope, bool) {
 	probe := &Recv{Source: source, Tag: tag}
 	for m := e.unexpHead; m != nil; m = m.next {
 		if envMatches(probe, m.env) {
 			return m.env, true
 		}
 	}
-	return fabric.Envelope{}, false
+	return transport.Envelope{}, false
 }
 
 // MProbe implements Matcher: claim the oldest matching unexpected message.
-func (e *Engine) MProbe(source, tag int32) (*fabric.Packet, bool) {
+func (e *Engine) MProbe(source, tag int32) (*transport.Packet, bool) {
 	probe := &Recv{Source: source, Tag: tag}
 	for m := e.unexpHead; m != nil; m = m.next {
 		if envMatches(probe, m.env) {
@@ -353,7 +353,7 @@ func (e *Engine) OOSBuffered() int {
 }
 
 // fill copies payload into the receive and records results.
-func (e *Engine) fill(r *Recv, env fabric.Envelope, pkt *fabric.Packet) {
+func (e *Engine) fill(r *Recv, env transport.Envelope, pkt *transport.Packet) {
 	r.MatchedEnv = env
 	n := copy(r.Buf, pkt.Payload)
 	r.N = n
@@ -372,7 +372,7 @@ func (e *Engine) ChargeWait(d time.Duration) {
 	e.spcs.Add(spc.MatchTimeNanos, int64(d))
 }
 
-func envMatches(r *Recv, env fabric.Envelope) bool {
+func envMatches(r *Recv, env transport.Envelope) bool {
 	if r.Source != AnySource && r.Source != env.Src {
 		return false
 	}

@@ -5,18 +5,18 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/fabric"
 	"repro/internal/hw"
 	"repro/internal/spc"
+	"repro/internal/transport"
 )
 
 func newTestEngine(spcs *spc.Set) *Engine {
 	return NewEngine(1, 8, hw.Fast().Scaled(), NopMeter{}, spcs)
 }
 
-func pkt(src int32, tag int32, seq uint32, payload []byte) *fabric.Packet {
-	return fabric.NewPacket(fabric.Envelope{
-		Src: src, Dst: 0, Tag: tag, Comm: 1, Seq: seq, Kind: fabric.KindEager,
+func pkt(src int32, tag int32, seq uint32, payload []byte) *transport.Packet {
+	return transport.NewPacket(transport.Envelope{
+		Src: src, Dst: 0, Tag: tag, Comm: 1, Seq: seq, Kind: transport.KindEager,
 	}, payload, nil)
 }
 
@@ -237,7 +237,7 @@ func TestWrongCommPanics(t *testing.T) {
 			t.Fatal("cross-communicator delivery did not panic")
 		}
 	}()
-	p := fabric.NewPacket(fabric.Envelope{Comm: 99, Kind: fabric.KindEager}, nil, nil)
+	p := transport.NewPacket(transport.Envelope{Comm: 99, Kind: transport.KindEager}, nil, nil)
 	e.Deliver(p, nil)
 }
 

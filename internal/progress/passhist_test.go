@@ -5,9 +5,9 @@ import (
 	"testing"
 
 	"repro/internal/cri"
-	"repro/internal/fabric"
 	"repro/internal/spc"
 	"repro/internal/telemetry"
+	"repro/internal/transport"
 )
 
 // TestSerialPassHistExcludesTryLockLosers checks the pass-duration histogram
@@ -18,7 +18,7 @@ func TestSerialPassHistExcludesTryLockLosers(t *testing.T) {
 	h := newHarness(t, 2)
 	s := spc.NewSet()
 	hist := telemetry.NewHistogram()
-	e := New(Serial, h.pool, func(*cri.Instance, fabric.CQE) {}, s)
+	e := New(Serial, h.pool, func(*cri.Instance, transport.CQE) {}, s)
 	e.SetObservers(nil, hist)
 
 	const (

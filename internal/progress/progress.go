@@ -14,10 +14,10 @@ import (
 	"fmt"
 
 	"repro/internal/cri"
-	"repro/internal/fabric"
 	"repro/internal/spc"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // Mode selects the progress design.
@@ -42,7 +42,7 @@ func (m Mode) String() string {
 }
 
 // Dispatch handles one completion event extracted by the engine.
-type Dispatch func(*cri.Instance, fabric.CQE)
+type Dispatch func(*cri.Instance, transport.CQE)
 
 // Engine drives completion extraction over a CRI pool.
 type Engine struct {

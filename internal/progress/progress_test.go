@@ -5,24 +5,24 @@ import (
 	"testing"
 
 	"repro/internal/cri"
-	"repro/internal/fabric"
-	"repro/internal/hw"
 	"repro/internal/spc"
+	"repro/internal/transport"
+	"repro/internal/transport/mocknet"
 )
 
 // harness builds a pool of n instances on one device plus a sender device
 // wired so that test packets can be injected into any instance.
 type harness struct {
 	pool    *cri.Pool
-	sendEps []*fabric.Endpoint // endpoint into each instance's context
+	sendEps []transport.Endpoint // endpoint into each instance's context
 }
 
 func newHarness(t *testing.T, n int) *harness {
 	t.Helper()
-	dev := fabric.NewDevice(hw.Fast())
-	sender := fabric.NewDevice(hw.Fast())
+	dev := mocknet.NewDevice()
+	sender := mocknet.NewDevice()
 	insts := make([]*cri.Instance, n)
-	eps := make([]*fabric.Endpoint, n)
+	eps := make([]transport.Endpoint, n)
 	for i := range insts {
 		ctx, err := dev.CreateContext(0)
 		if err != nil {
@@ -33,14 +33,18 @@ func newHarness(t *testing.T, n int) *harness {
 		if err != nil {
 			t.Fatal(err)
 		}
-		eps[i] = fabric.NewEndpoint(sctx, ctx)
+		eps[i] = mocknet.NewEndpoint(sctx, ctx)
 	}
-	return &harness{pool: cri.NewPool(insts, cri.Dedicated), sendEps: eps}
+	pool, err := cri.NewPool(insts, cri.Dedicated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &harness{pool: pool, sendEps: eps}
 }
 
 func (h *harness) inject(inst int, seq uint32) {
-	h.sendEps[inst].Send(fabric.NewPacket(
-		fabric.Envelope{Seq: seq, Kind: fabric.KindEager}, nil, nil))
+	h.sendEps[inst].Send(transport.NewPacket(
+		transport.Envelope{Seq: seq, Kind: transport.KindEager}, nil, nil))
 }
 
 func TestModeString(t *testing.T) {
@@ -56,7 +60,7 @@ func TestSerialProgressPollsAllInstances(t *testing.T) {
 	}
 	var mu sync.Mutex
 	seen := map[int]int{}
-	e := New(Serial, h.pool, func(in *cri.Instance, ev fabric.CQE) {
+	e := New(Serial, h.pool, func(in *cri.Instance, ev transport.CQE) {
 		mu.Lock()
 		seen[in.Index()]++
 		mu.Unlock()
@@ -78,7 +82,7 @@ func TestSerialProgressExcludesSecondThread(t *testing.T) {
 	s := spc.NewSet()
 	block := make(chan struct{})
 	entered := make(chan struct{})
-	e := New(Serial, h.pool, func(*cri.Instance, fabric.CQE) {
+	e := New(Serial, h.pool, func(*cri.Instance, transport.CQE) {
 		close(entered)
 		<-block // hold the serial lock
 	}, s)
@@ -104,7 +108,7 @@ func TestConcurrentProgressPrefersDedicated(t *testing.T) {
 	h := newHarness(t, 4)
 	var mu sync.Mutex
 	var polled []int
-	e := New(Concurrent, h.pool, func(in *cri.Instance, ev fabric.CQE) {
+	e := New(Concurrent, h.pool, func(in *cri.Instance, ev transport.CQE) {
 		mu.Lock()
 		polled = append(polled, in.Index())
 		mu.Unlock()
@@ -133,7 +137,7 @@ func TestConcurrentProgressSweepsWhenDedicatedEmpty(t *testing.T) {
 	h := newHarness(t, 4)
 	var mu sync.Mutex
 	var polled []int
-	e := New(Concurrent, h.pool, func(in *cri.Instance, ev fabric.CQE) {
+	e := New(Concurrent, h.pool, func(in *cri.Instance, ev transport.CQE) {
 		mu.Lock()
 		polled = append(polled, in.Index())
 		mu.Unlock()
@@ -155,7 +159,7 @@ func TestConcurrentProgressNoDedicatedStillSweeps(t *testing.T) {
 	// progress helper) must still drive the pool.
 	h := newHarness(t, 2)
 	count := 0
-	e := New(Concurrent, h.pool, func(*cri.Instance, fabric.CQE) { count++ }, nil)
+	e := New(Concurrent, h.pool, func(*cri.Instance, transport.CQE) { count++ }, nil)
 	h.inject(1, 0)
 	var ts cri.ThreadState // unassigned
 	if n := e.Progress(&ts); n != 1 || count != 1 {
@@ -166,7 +170,7 @@ func TestConcurrentProgressNoDedicatedStillSweeps(t *testing.T) {
 func TestConcurrentProgressSkipsLockedInstance(t *testing.T) {
 	h := newHarness(t, 2)
 	s := spc.NewSet()
-	e := New(Concurrent, h.pool, func(*cri.Instance, fabric.CQE) {}, s)
+	e := New(Concurrent, h.pool, func(*cri.Instance, transport.CQE) {}, s)
 	h.inject(0, 0)
 	h.pool.Get(0).Lock() // another thread "is progressing" instance 0
 	defer h.pool.Get(0).Unlock()
@@ -183,7 +187,7 @@ func TestConcurrentProgressSkipsLockedInstance(t *testing.T) {
 func TestDrainEmptiesEverything(t *testing.T) {
 	h := newHarness(t, 3)
 	total := 0
-	e := New(Concurrent, h.pool, func(*cri.Instance, fabric.CQE) { total++ }, nil)
+	e := New(Concurrent, h.pool, func(*cri.Instance, transport.CQE) { total++ }, nil)
 	for i := 0; i < 3; i++ {
 		for s := 0; s < 10; s++ {
 			h.inject(i, uint32(s))
@@ -200,7 +204,7 @@ func TestDrainEmptiesEverything(t *testing.T) {
 func TestProgressCallsCounted(t *testing.T) {
 	h := newHarness(t, 1)
 	s := spc.NewSet()
-	e := New(Serial, h.pool, func(*cri.Instance, fabric.CQE) {}, s)
+	e := New(Serial, h.pool, func(*cri.Instance, transport.CQE) {}, s)
 	var ts cri.ThreadState
 	for i := 0; i < 5; i++ {
 		e.Progress(&ts)
@@ -222,8 +226,8 @@ func TestConcurrentProgressParallelStress(t *testing.T) {
 	h := newHarness(t, instances)
 	var mu sync.Mutex
 	seen := make(map[uint32]int)
-	e := New(Concurrent, h.pool, func(in *cri.Instance, ev fabric.CQE) {
-		if ev.Kind != fabric.CQERecv {
+	e := New(Concurrent, h.pool, func(in *cri.Instance, ev transport.CQE) {
+		if ev.Kind != transport.CQERecv {
 			return
 		}
 		mu.Lock()

@@ -12,14 +12,18 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
-	"repro/internal/fabric"
 	"repro/internal/spc"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // ErrNoEpoch is returned by one-sided operations issued outside a
 // passive-target access epoch (no Lock/LockAll held for the target).
 var ErrNoEpoch = errors.New("rma: operation outside a lock epoch")
+
+// ErrNotOneSided is returned by New when the world's transport backend does
+// not advertise one-sided (RMA) support in its capability flags.
+var ErrNotOneSided = errors.New("rma: transport backend lacks one-sided support")
 
 // Win is one process's handle on a window — a registered memory region on
 // every member of the creating communicator.
@@ -27,7 +31,7 @@ type Win struct {
 	comm  *core.Comm
 	local []byte
 	// regions[commRank] is the target's registered region.
-	regions []*fabric.MemRegion
+	regions []transport.MemRegion
 	// pending[commRank] counts outstanding one-sided ops to that target.
 	pending []atomic.Int64
 	// locked[commRank] is nonzero while an access epoch (passive lock,
@@ -49,7 +53,7 @@ type opToken struct {
 }
 
 // Complete implements core.Completer.
-func (t *opToken) Complete(fabric.CQE) {
+func (t *opToken) Complete(transport.CQE) {
 	t.win.pending[t.target].Add(-1)
 }
 
@@ -63,15 +67,18 @@ func New(comms []*core.Comm, sizes []int) ([]*Win, error) {
 	if len(sizes) != len(comms) {
 		return nil, fmt.Errorf("rma: %d sizes for %d members", len(sizes), len(comms))
 	}
+	if caps := comms[0].Proc().TransportCaps(); !caps.OneSided {
+		return nil, fmt.Errorf("%w (transport %q)", ErrNotOneSided, caps.Name)
+	}
 	n := len(comms)
 	wins := make([]*Win, n)
-	regions := make([]*fabric.MemRegion, n)
+	regions := make([]transport.MemRegion, n)
 	for r, c := range comms {
 		if c.Rank() != r {
 			return nil, fmt.Errorf("rma: comms[%d] has rank %d; pass handles in rank order", r, c.Rank())
 		}
 		local := make([]byte, sizes[r])
-		regions[r] = c.Proc().Device().RegisterMemory(local)
+		regions[r] = c.Proc().RegisterMemory(local)
 		wins[r] = &Win{
 			comm:    c,
 			local:   local,
@@ -108,7 +115,7 @@ func (w *Win) Size(rank int) int { return w.regions[rank].Size() }
 // Free deregisters the caller's region. Call after all members quiesce.
 func (w *Win) Free() {
 	me := w.comm.Rank()
-	w.comm.Proc().Device().DeregisterMemory(w.regions[me])
+	w.comm.Proc().DeregisterMemory(w.regions[me])
 }
 
 func (w *Win) checkTarget(target int) error {
@@ -176,7 +183,7 @@ func (w *Win) inEpoch(target int) error {
 // the instance lock — the contention point the figures sweep. It returns
 // the index of the instance that carried the operation so callers can
 // attribute counters and trace events to it.
-func (w *Win) issue(th *core.Thread, target int, f func(ctx *fabric.Context, r *fabric.MemRegion, tok *opToken) error) (int, error) {
+func (w *Win) issue(th *core.Thread, target int, f func(ctx transport.Context, r transport.MemRegion, tok *opToken) error) (int, error) {
 	if err := w.checkTarget(target); err != nil {
 		return -1, err
 	}
@@ -198,7 +205,7 @@ func (w *Win) issue(th *core.Thread, target int, f func(ctx *fabric.Context, r *
 // Put writes src into target's window at offset (MPI_Put). Completion is
 // local-only; use Flush to guarantee remote completion.
 func (w *Win) Put(th *core.Thread, target, offset int, src []byte) error {
-	cri, err := w.issue(th, target, func(ctx *fabric.Context, r *fabric.MemRegion, tok *opToken) error {
+	cri, err := w.issue(th, target, func(ctx transport.Context, r transport.MemRegion, tok *opToken) error {
 		return ctx.Put(r, offset, src, tok)
 	})
 	if err == nil {
@@ -211,7 +218,7 @@ func (w *Win) Put(th *core.Thread, target, offset int, src []byte) error {
 // Get reads len(dst) bytes from target's window at offset (MPI_Get).
 // dst is valid only after a Flush.
 func (w *Win) Get(th *core.Thread, target, offset int, dst []byte) error {
-	_, err := w.issue(th, target, func(ctx *fabric.Context, r *fabric.MemRegion, tok *opToken) error {
+	_, err := w.issue(th, target, func(ctx transport.Context, r transport.MemRegion, tok *opToken) error {
 		return ctx.Get(r, offset, dst, tok)
 	})
 	if err == nil {
@@ -222,8 +229,8 @@ func (w *Win) Get(th *core.Thread, target, offset int, dst []byte) error {
 
 // Accumulate applies op element-wise over int64 lanes at offset in target's
 // window (MPI_Accumulate), atomically with respect to other accumulates.
-func (w *Win) Accumulate(th *core.Thread, target, offset int, operand []int64, op fabric.AccumulateOp) error {
-	_, err := w.issue(th, target, func(ctx *fabric.Context, r *fabric.MemRegion, tok *opToken) error {
+func (w *Win) Accumulate(th *core.Thread, target, offset int, operand []int64, op transport.AccumulateOp) error {
+	_, err := w.issue(th, target, func(ctx transport.Context, r transport.MemRegion, tok *opToken) error {
 		return ctx.Accumulate(r, offset, operand, op, tok)
 	})
 	if err == nil {

@@ -8,9 +8,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cri"
-	"repro/internal/fabric"
 	"repro/internal/hw"
 	"repro/internal/spc"
+	"repro/internal/transport"
 )
 
 func newWinPair(t *testing.T, opts core.Options, size int) (*core.World, []*Win) {
@@ -79,7 +79,7 @@ func TestAccumulateSum(t *testing.T) {
 	th := w.Proc(0).NewThread()
 	wins[0].LockAll()
 	for i := 0; i < 5; i++ {
-		if err := wins[0].Accumulate(th, 1, 0, []int64{3}, fabric.AccSum); err != nil {
+		if err := wins[0].Accumulate(th, 1, 0, []int64{3}, transport.AccSum); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -193,7 +193,7 @@ func TestSPCCounters(t *testing.T) {
 	wins[0].LockAll()
 	_ = wins[0].Put(th, 1, 0, []byte("a"))
 	_ = wins[0].Get(th, 1, 0, make([]byte, 1))
-	_ = wins[0].Accumulate(th, 1, 8, []int64{1}, fabric.AccSum)
+	_ = wins[0].Accumulate(th, 1, 8, []int64{1}, transport.AccSum)
 	_ = wins[0].UnlockAll(th)
 	s := w.Proc(0).SPCSnapshot()
 	if s.Get(spc.PutsIssued) != 1 || s.Get(spc.GetsIssued) != 1 || s.Get(spc.AccumulatesIssued) != 1 {
@@ -272,7 +272,7 @@ func TestConcurrentAccumulateAtomicity(t *testing.T) {
 			defer wg.Done()
 			th := w.Proc(0).NewThread()
 			for i := 0; i < adds; i++ {
-				if err := wins[0].Accumulate(th, 1, 0, []int64{1}, fabric.AccSum); err != nil {
+				if err := wins[0].Accumulate(th, 1, 0, []int64{1}, transport.AccSum); err != nil {
 					t.Error(err)
 					return
 				}
@@ -298,11 +298,10 @@ func TestFreeDeregisters(t *testing.T) {
 	th := w.Proc(0).NewThread()
 	wins[0].LockAll()
 	// The region object still exists in wins[0].regions (stale handle), so
-	// Put succeeds at the fabric level; what must be gone is the device
+	// Put succeeds at the backend level; what must be gone is the device
 	// registry entry.
 	_ = th
-	dev := w.Proc(1).Device()
-	if _, ok := dev.Region(1); ok {
+	if _, ok := w.Proc(1).Region(1); ok {
 		// region ids start at 1 on each device
 		t.Fatal("region still registered after Free")
 	}

@@ -6,7 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cri"
-	"repro/internal/fabric"
+	"repro/internal/transport"
 )
 
 func TestFenceEpochAllowsPuts(t *testing.T) {
@@ -100,14 +100,14 @@ func TestFetchAndOp(t *testing.T) {
 	w, wins := newWinPair(t, core.Stock(), 16)
 	th := w.Proc(0).NewThread()
 	wins[0].LockAll()
-	old, err := wins[0].FetchAndOp(th, 1, 0, 5, fabric.AccSum)
+	old, err := wins[0].FetchAndOp(th, 1, 0, 5, transport.AccSum)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if old != 0 {
 		t.Fatalf("first fetch returned %d, want 0", old)
 	}
-	old, err = wins[0].FetchAndOp(th, 1, 0, 3, fabric.AccSum)
+	old, err = wins[0].FetchAndOp(th, 1, 0, 3, transport.AccSum)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestCompareAndSwap(t *testing.T) {
 		t.Fatalf("failed CAS returned %d, %v (want 77)", old, err)
 	}
 	// Value must still be 77 (second CAS must not apply).
-	if old, _ := wins[0].FetchAndOp(th, 1, 8, 0, fabric.AccSum); old != 77 {
+	if old, _ := wins[0].FetchAndOp(th, 1, 8, 0, transport.AccSum); old != 77 {
 		t.Fatalf("value after failed CAS = %d, want 77", old)
 	}
 }
@@ -153,7 +153,7 @@ func TestFetchAndOpMutualExclusion(t *testing.T) {
 			defer wg.Done()
 			th := w.Proc(0).NewThread()
 			for i := 0; i < takes; i++ {
-				ticket, err := wins[0].FetchAndOp(th, 1, 0, 1, fabric.AccSum)
+				ticket, err := wins[0].FetchAndOp(th, 1, 0, 1, transport.AccSum)
 				if err != nil {
 					t.Error(err)
 					return

@@ -1,0 +1,255 @@
+// Package mocknet is a minimal in-process transport backend for unit tests
+// of the layers above the wire (cri, progress). Unlike the simulated fabric
+// it charges no CPU costs, models no rate limiter, and injects no faults —
+// a packet pushed into an endpoint is immediately poppable from the remote
+// context, which makes test timing deterministic and keeps those packages'
+// tests free of any concrete production backend.
+package mocknet
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/hw"
+	"repro/internal/ringbuf"
+	"repro/internal/transport"
+)
+
+var (
+	_ transport.Network   = (*Network)(nil)
+	_ transport.Device    = (*Device)(nil)
+	_ transport.Context   = (*Context)(nil)
+	_ transport.Endpoint  = (*Endpoint)(nil)
+	_ transport.MemRegion = (*MemRegion)(nil)
+)
+
+// Caps describes the mock wire: lossless, two-sided only.
+func Caps() transport.Caps {
+	return transport.Caps{Name: "mock", Lossless: true}
+}
+
+// Network implements transport.Network over mock devices.
+type Network struct {
+	mu   sync.Mutex
+	devs map[int]*Device
+}
+
+// New creates an empty mock network.
+func New() *Network { return &Network{devs: make(map[int]*Device)} }
+
+func (n *Network) Caps() transport.Caps { return Caps() }
+
+// NewDevice creates the device for rank. Fault and scramble settings in cfg
+// are ignored (the mock wire is perfect, and advertises as much).
+func (n *Network) NewDevice(rank int, m hw.Machine, cfg transport.DeviceConfig) (transport.Device, error) {
+	d := NewDeviceFor(m)
+	d.net, d.rank = n, rank
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.devs[rank]; dup {
+		return nil, errors.New("mocknet: duplicate rank")
+	}
+	n.devs[rank] = d
+	return d, nil
+}
+
+// Device is one mock NIC.
+type Device struct {
+	machine hw.Machine
+	net     *Network
+	rank    int
+
+	mu       sync.Mutex
+	contexts []*Context
+
+	regMu   sync.RWMutex
+	regions map[uint64]*MemRegion
+	nextReg uint64
+}
+
+// NewDevice creates a standalone device (no network), the common unit-test
+// entry point.
+func NewDevice() *Device { return NewDeviceFor(hw.Fast()) }
+
+// NewDeviceFor creates a standalone device with an explicit machine model.
+func NewDeviceFor(m hw.Machine) *Device {
+	return &Device{machine: m, regions: make(map[uint64]*MemRegion)}
+}
+
+func (d *Device) Machine() hw.Machine { return d.machine }
+
+func (d *Device) Caps() transport.Caps { return Caps() }
+
+// CreateContext allocates a context; depth <= 0 selects 4096.
+func (d *Device) CreateContext(depth int) (transport.Context, error) {
+	if depth <= 0 {
+		depth = 4096
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c := &Context{
+		index: len(d.contexts),
+		recvQ: ringbuf.NewMPSC[*transport.Packet](depth),
+		cq:    ringbuf.NewMPSC[transport.CQE](depth),
+	}
+	d.contexts = append(d.contexts, c)
+	return c, nil
+}
+
+// Context returns context i, or nil.
+func (d *Device) Context(i int) *Context {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if i < 0 || i >= len(d.contexts) {
+		return nil
+	}
+	return d.contexts[i]
+}
+
+// Connect wires an endpoint to context remoteIdx of rank peer's device on
+// the same network.
+func (d *Device) Connect(local transport.Context, peer int, remoteIdx int) (transport.Endpoint, error) {
+	lc, ok := local.(*Context)
+	if !ok || lc == nil {
+		return nil, errors.New("mocknet: local context is not a mock context")
+	}
+	if d.net == nil {
+		return nil, errors.New("mocknet: standalone device has no network")
+	}
+	d.net.mu.Lock()
+	pd := d.net.devs[peer]
+	d.net.mu.Unlock()
+	if pd == nil {
+		return nil, transport.ErrNoEndpoint
+	}
+	rc := pd.Context(remoteIdx)
+	if rc == nil {
+		return nil, transport.ErrNoEndpoint
+	}
+	return &Endpoint{local: lc, remote: rc}, nil
+}
+
+func (d *Device) RegisterMemory(buf []byte) transport.MemRegion {
+	d.regMu.Lock()
+	defer d.regMu.Unlock()
+	d.nextReg++
+	r := &MemRegion{id: d.nextReg, buf: buf}
+	d.regions[r.id] = r
+	return r
+}
+
+func (d *Device) DeregisterMemory(r transport.MemRegion) {
+	if rr, ok := r.(*MemRegion); ok {
+		d.regMu.Lock()
+		delete(d.regions, rr.id)
+		d.regMu.Unlock()
+	}
+}
+
+func (d *Device) Region(id uint64) (transport.MemRegion, bool) {
+	d.regMu.RLock()
+	r, ok := d.regions[id]
+	d.regMu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return r, true
+}
+
+func (d *Device) Close() {}
+
+// Context is one mock network context.
+type Context struct {
+	index int
+	recvQ *ringbuf.MPSC[*transport.Packet]
+	cq    *ringbuf.MPSC[transport.CQE]
+}
+
+func (c *Context) Index() int { return c.index }
+
+// Poll drains completions then inbound packets, up to max.
+func (c *Context) Poll(handler func(transport.CQE), max int) int {
+	if max <= 0 {
+		max = 64
+	}
+	n := 0
+	for n < max {
+		e, ok := c.cq.Pop()
+		if !ok {
+			break
+		}
+		handler(e)
+		n++
+	}
+	for n < max {
+		p, ok := c.recvQ.Pop()
+		if !ok {
+			break
+		}
+		handler(transport.CQE{Kind: transport.CQERecv, Packet: p})
+		n++
+	}
+	return n
+}
+
+func (c *Context) Pending() bool { return c.cq.Len() > 0 || c.recvQ.Len() > 0 }
+
+func (c *Context) push(p *transport.Packet) {
+	for !c.recvQ.Push(p) {
+	}
+}
+
+func (c *Context) complete(e transport.CQE) {
+	for !c.cq.Push(e) {
+	}
+}
+
+// The mock wire is two-sided only.
+func (c *Context) Put(r transport.MemRegion, offset int, src []byte, token any) error {
+	return transport.ErrNotSupported
+}
+func (c *Context) Get(r transport.MemRegion, offset int, dst []byte, token any) error {
+	return transport.ErrNotSupported
+}
+func (c *Context) Accumulate(r transport.MemRegion, offset int, operand []int64, op transport.AccumulateOp, token any) error {
+	return transport.ErrNotSupported
+}
+func (c *Context) FetchAndOp(r transport.MemRegion, offset int, operand int64, op transport.AccumulateOp, result *int64, token any) error {
+	return transport.ErrNotSupported
+}
+func (c *Context) CompareAndSwap(r transport.MemRegion, offset int, compare, swap int64, result *int64, token any) error {
+	return transport.ErrNotSupported
+}
+
+// Endpoint is a direct queue-to-queue send path.
+type Endpoint struct {
+	local  *Context
+	remote *Context
+}
+
+// NewEndpoint connects two mock contexts directly — the test-harness analog
+// of Device.Connect for standalone devices.
+func NewEndpoint(local, remote transport.Context) *Endpoint {
+	return &Endpoint{local: local.(*Context), remote: remote.(*Context)}
+}
+
+func (e *Endpoint) Send(p *transport.Packet) {
+	e.remote.push(p)
+	e.local.complete(transport.CQE{Kind: transport.CQESendComplete, Packet: p})
+}
+
+func (e *Endpoint) Resend(p *transport.Packet) { e.remote.push(p) }
+
+func (e *Endpoint) PutRegion(regionID uint64, offset int, src []byte, token any) error {
+	return transport.ErrNotSupported
+}
+
+// MemRegion is a locally registered buffer.
+type MemRegion struct {
+	id  uint64
+	buf []byte
+}
+
+func (r *MemRegion) ID() uint64    { return r.id }
+func (r *MemRegion) Size() int     { return len(r.buf) }
+func (r *MemRegion) Bytes() []byte { return r.buf }

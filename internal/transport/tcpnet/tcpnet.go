@@ -1,0 +1,568 @@
+// Package tcpnet is a real TCP transport backend: each rank runs in its own
+// OS process, listens on a TCP address, and reaches every peer over
+// per-context connections. A dedicated reader goroutine per inbound
+// connection decodes wire frames into the target context's receive ring, so
+// the layers above (cri, progress, match, core) run unchanged over a real
+// network — the point of the pluggable transport split.
+//
+// Wire format: every packet travels as one length-prefixed frame,
+//
+//	[u32 little-endian frame length][Packet.AppendWire bytes]
+//
+// preceded on each connection by a fixed handshake frame naming the dialing
+// rank and the remote context index the connection feeds.
+//
+// TCP is lossless and per-connection FIFO, so the backend advertises
+// Caps.Lossless and the runtime skips the ack/retransmit delivery layer.
+// One-sided operations are not supported: rendezvous bulk data rides the
+// FIN control message (the copy-in/copy-out path), and window creation in
+// internal/rma is refused up front.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/ringbuf"
+	"repro/internal/transport"
+)
+
+var (
+	_ transport.Network   = (*Network)(nil)
+	_ transport.Device    = (*Device)(nil)
+	_ transport.Context   = (*Context)(nil)
+	_ transport.Endpoint  = (*Endpoint)(nil)
+	_ transport.MemRegion = (*MemRegion)(nil)
+)
+
+// handshakeMagic opens every connection so a stray dialer is rejected
+// instead of corrupting a context's packet stream.
+const handshakeMagic = 0x43524931 // "CRI1"
+
+// DefaultDialTimeout bounds connection establishment (including retries
+// while the peer's listener is still coming up) when Config.DialTimeout is
+// unset.
+const DefaultDialTimeout = 10 * time.Second
+
+// defaultQueueDepth sizes context rings when CreateContext gets depth <= 0.
+const defaultQueueDepth = 4096
+
+// Caps describes the TCP wire: lossless FIFO streams, two-sided only, no
+// fault injection (the kernel would repair injected faults anyway).
+func Caps() transport.Caps {
+	return transport.Caps{Name: "tcp", Lossless: true}
+}
+
+// Config places one process in a TCP world.
+type Config struct {
+	// Rank is this process's world rank.
+	Rank int
+	// Size is the world size (number of processes).
+	Size int
+	// Listen is the address this rank accepts peer connections on
+	// (e.g. "127.0.0.1:7100"). May be empty when Size == 1.
+	Listen string
+	// Peers[r] is rank r's listen address. Peers[Rank] is ignored (same-rank
+	// endpoints short-circuit in process). Must have Size entries when
+	// Size > 1.
+	Peers []string
+	// DialTimeout bounds connection establishment per endpoint, retrying
+	// while the peer's listener comes up (0 = DefaultDialTimeout).
+	DialTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = DefaultDialTimeout
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Size <= 0 {
+		return errors.New("tcpnet: config needs Size >= 1")
+	}
+	if c.Rank < 0 || c.Rank >= c.Size {
+		return fmt.Errorf("tcpnet: rank %d outside world of %d", c.Rank, c.Size)
+	}
+	if c.Size > 1 {
+		if c.Listen == "" {
+			return errors.New("tcpnet: multi-process world needs a Listen address")
+		}
+		if len(c.Peers) != c.Size {
+			return fmt.Errorf("tcpnet: %d peer addresses for world of %d", len(c.Peers), c.Size)
+		}
+	}
+	return nil
+}
+
+// Network is one process's slice of a TCP world: the local listener plus
+// the dialing side of every endpoint.
+type Network struct {
+	cfg Config
+	ln  net.Listener
+
+	mu     sync.Mutex
+	dev    *Device
+	conns  []net.Conn
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New starts the rank's listener and returns its network. The listener
+// accepts in the background immediately so peers can dial before this
+// process reaches NewDevice.
+func New(cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{cfg: cfg}
+	if cfg.Size > 1 {
+		ln, err := net.Listen("tcp", cfg.Listen)
+		if err != nil {
+			return nil, fmt.Errorf("tcpnet: listen %s: %w", cfg.Listen, err)
+		}
+		n.ln = ln
+		n.wg.Add(1)
+		go n.acceptLoop(ln)
+	}
+	return n, nil
+}
+
+// NewLoopback creates an n-process world's networks all inside one process,
+// on ephemeral loopback ports — the unit-test and conformance harness entry
+// point. The returned networks are wired to each other; network i serves
+// rank i.
+func NewLoopback(n int) ([]*Network, error) {
+	listeners := make([]net.Listener, n)
+	peers := make([]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range listeners[:i] {
+				l.Close()
+			}
+			return nil, fmt.Errorf("tcpnet: loopback listen: %w", err)
+		}
+		listeners[i] = ln
+		peers[i] = ln.Addr().String()
+	}
+	nets := make([]*Network, n)
+	for i := range nets {
+		cfg := Config{Rank: i, Size: n, Listen: peers[i], Peers: peers}.withDefaults()
+		nets[i] = &Network{cfg: cfg, ln: listeners[i]}
+		if n > 1 {
+			nets[i].wg.Add(1)
+			go nets[i].acceptLoop(listeners[i])
+		}
+	}
+	return nets, nil
+}
+
+// Addr returns the listener's address (useful with a ":0" Listen), or "".
+func (n *Network) Addr() string {
+	if n.ln == nil {
+		return ""
+	}
+	return n.ln.Addr().String()
+}
+
+func (n *Network) Caps() transport.Caps { return Caps() }
+
+// NewDevice creates the device serving the local rank. rank must equal
+// Config.Rank — a TCP network hosts exactly one rank per process. Fault and
+// scramble settings in cfg are refused (the capability flags say so, and the
+// world constructor checks them first).
+func (n *Network) NewDevice(rank int, m hw.Machine, cfg transport.DeviceConfig) (transport.Device, error) {
+	if rank != n.cfg.Rank {
+		return nil, fmt.Errorf("tcpnet: device for rank %d on a network serving rank %d", rank, n.cfg.Rank)
+	}
+	if cfg.ScrambleWindow > 0 || cfg.Faults.Enabled() {
+		return nil, transport.ErrNotSupported
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, errors.New("tcpnet: network closed")
+	}
+	if n.dev != nil {
+		return nil, errors.New("tcpnet: device already created")
+	}
+	n.dev = &Device{net: n, machine: m, regions: make(map[uint64]*MemRegion)}
+	return n.dev, nil
+}
+
+// acceptLoop serves inbound peer connections until the listener closes.
+func (n *Network) acceptLoop(ln net.Listener) {
+	defer n.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		if !n.register(conn) {
+			conn.Close()
+			return
+		}
+		n.wg.Add(1)
+		go n.serveConn(conn)
+	}
+}
+
+// register records a connection for Close; reports false after shutdown.
+func (n *Network) register(conn net.Conn) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return false
+	}
+	n.conns = append(n.conns, conn)
+	return true
+}
+
+// serveConn reads the handshake, resolves the destination context, then
+// decodes frames into its receive ring until the peer closes.
+func (n *Network) serveConn(conn net.Conn) {
+	defer n.wg.Done()
+	var hs [12]byte
+	if _, err := io.ReadFull(conn, hs[:]); err != nil {
+		return
+	}
+	if binary.LittleEndian.Uint32(hs[0:]) != handshakeMagic {
+		return
+	}
+	ctxIdx := int(binary.LittleEndian.Uint32(hs[8:]))
+	ctx := n.waitContext(ctxIdx)
+	if ctx == nil {
+		return
+	}
+	var lenb [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenb[:]); err != nil {
+			return
+		}
+		frame := make([]byte, binary.LittleEndian.Uint32(lenb[:]))
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return
+		}
+		pkt, err := transport.DecodePacket(frame)
+		if err != nil {
+			return
+		}
+		ctx.push(pkt)
+	}
+}
+
+// waitContext resolves a local context index, waiting out the startup race
+// where a peer dials before this process has created its contexts.
+func (n *Network) waitContext(idx int) *Context {
+	deadline := time.Now().Add(n.cfg.DialTimeout)
+	for {
+		n.mu.Lock()
+		dev, closed := n.dev, n.closed
+		n.mu.Unlock()
+		if closed {
+			return nil
+		}
+		if dev != nil {
+			if c := dev.Context(idx); c != nil {
+				return c
+			}
+		}
+		if time.Now().After(deadline) {
+			return nil
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// dial connects to a peer's listener, retrying while it comes up.
+func (n *Network) dial(addr string) (net.Conn, error) {
+	deadline := time.Now().Add(n.cfg.DialTimeout)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+		if err == nil {
+			if !n.register(conn) {
+				conn.Close()
+				return nil, errors.New("tcpnet: network closed")
+			}
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("tcpnet: dial %s: %w", addr, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// close shuts the listener and every connection down and waits for the
+// reader goroutines to drain.
+func (n *Network) close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	conns := n.conns
+	n.conns = nil
+	n.mu.Unlock()
+	if n.ln != nil {
+		n.ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	n.wg.Wait()
+}
+
+// Device is the local rank's NIC.
+type Device struct {
+	net     *Network
+	machine hw.Machine
+
+	mu       sync.Mutex
+	contexts []*Context
+
+	regMu   sync.RWMutex
+	regions map[uint64]*MemRegion
+	nextReg uint64
+}
+
+func (d *Device) Machine() hw.Machine { return d.machine }
+
+func (d *Device) Caps() transport.Caps { return Caps() }
+
+// CreateContext allocates a context; depth <= 0 selects the default.
+func (d *Device) CreateContext(depth int) (transport.Context, error) {
+	if depth <= 0 {
+		depth = defaultQueueDepth
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c := &Context{
+		index: len(d.contexts),
+		recvQ: ringbuf.NewMPSC[*transport.Packet](depth),
+		cq:    ringbuf.NewMPSC[transport.CQE](depth),
+	}
+	d.contexts = append(d.contexts, c)
+	return c, nil
+}
+
+// Context returns context i, or nil.
+func (d *Device) Context(i int) *Context {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if i < 0 || i >= len(d.contexts) {
+		return nil
+	}
+	return d.contexts[i]
+}
+
+// Connect wires a send path from local to context remoteIdx of rank peer.
+// Same-rank endpoints short-circuit in process; remote endpoints dial one
+// TCP connection each and announce their destination context in the
+// handshake.
+func (d *Device) Connect(local transport.Context, peer int, remoteIdx int) (transport.Endpoint, error) {
+	lc, ok := local.(*Context)
+	if !ok || lc == nil {
+		return nil, errors.New("tcpnet: local context is not a tcpnet context")
+	}
+	cfg := d.net.cfg
+	if peer < 0 || peer >= cfg.Size {
+		return nil, fmt.Errorf("tcpnet: peer %d outside world of %d: %w", peer, cfg.Size, transport.ErrNoEndpoint)
+	}
+	if peer == cfg.Rank {
+		rc := d.Context(remoteIdx)
+		if rc == nil {
+			return nil, fmt.Errorf("tcpnet: no local context %d: %w", remoteIdx, transport.ErrNoEndpoint)
+		}
+		return &Endpoint{local: lc, loop: rc}, nil
+	}
+	conn, err := d.net.dial(cfg.Peers[peer])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", transport.ErrNoEndpoint, err)
+	}
+	var hs [12]byte
+	binary.LittleEndian.PutUint32(hs[0:], handshakeMagic)
+	binary.LittleEndian.PutUint32(hs[4:], uint32(cfg.Rank))
+	binary.LittleEndian.PutUint32(hs[8:], uint32(remoteIdx))
+	if _, err := conn.Write(hs[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("%w: handshake: %v", transport.ErrNoEndpoint, err)
+	}
+	return &Endpoint{local: lc, conn: conn}, nil
+}
+
+func (d *Device) RegisterMemory(buf []byte) transport.MemRegion {
+	d.regMu.Lock()
+	defer d.regMu.Unlock()
+	d.nextReg++
+	r := &MemRegion{id: d.nextReg, buf: buf}
+	d.regions[r.id] = r
+	return r
+}
+
+func (d *Device) DeregisterMemory(r transport.MemRegion) {
+	if rr, ok := r.(*MemRegion); ok {
+		d.regMu.Lock()
+		delete(d.regions, rr.id)
+		d.regMu.Unlock()
+	}
+}
+
+func (d *Device) Region(id uint64) (transport.MemRegion, bool) {
+	d.regMu.RLock()
+	r, ok := d.regions[id]
+	d.regMu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return r, true
+}
+
+// Close tears the whole network slice down: listener, every connection,
+// reader goroutines. Contexts remain readable so in-flight progress loops
+// can drain.
+func (d *Device) Close() { d.net.close() }
+
+// Context is one injection path with its own receive and completion rings.
+// The rings are multi-producer (reader goroutines and local endpoints push
+// concurrently); Poll is called under the per-CRI lock.
+type Context struct {
+	index int
+	recvQ *ringbuf.MPSC[*transport.Packet]
+	cq    *ringbuf.MPSC[transport.CQE]
+}
+
+func (c *Context) Index() int { return c.index }
+
+// Poll drains completions then inbound packets, up to max.
+func (c *Context) Poll(handler func(transport.CQE), max int) int {
+	if max <= 0 {
+		max = 64
+	}
+	n := 0
+	for n < max {
+		e, ok := c.cq.Pop()
+		if !ok {
+			break
+		}
+		handler(e)
+		n++
+	}
+	for n < max {
+		p, ok := c.recvQ.Pop()
+		if !ok {
+			break
+		}
+		handler(transport.CQE{Kind: transport.CQERecv, Packet: p})
+		n++
+	}
+	return n
+}
+
+func (c *Context) Pending() bool { return c.cq.Len() > 0 || c.recvQ.Len() > 0 }
+
+func (c *Context) push(p *transport.Packet) {
+	for !c.recvQ.Push(p) {
+		// Ring full: the receiver is slower than the wire. Backpressure by
+		// holding the reader goroutine (TCP flow control propagates it).
+		time.Sleep(10 * time.Microsecond)
+	}
+}
+
+func (c *Context) complete(e transport.CQE) {
+	for !c.cq.Push(e) {
+		time.Sleep(10 * time.Microsecond)
+	}
+}
+
+// TCP is two-sided only.
+func (c *Context) Put(r transport.MemRegion, offset int, src []byte, token any) error {
+	return transport.ErrNotSupported
+}
+func (c *Context) Get(r transport.MemRegion, offset int, dst []byte, token any) error {
+	return transport.ErrNotSupported
+}
+func (c *Context) Accumulate(r transport.MemRegion, offset int, operand []int64, op transport.AccumulateOp, token any) error {
+	return transport.ErrNotSupported
+}
+func (c *Context) FetchAndOp(r transport.MemRegion, offset int, operand int64, op transport.AccumulateOp, result *int64, token any) error {
+	return transport.ErrNotSupported
+}
+func (c *Context) CompareAndSwap(r transport.MemRegion, offset int, compare, swap int64, result *int64, token any) error {
+	return transport.ErrNotSupported
+}
+
+// Endpoint is a send path to one remote context: either an in-process
+// loopback (same rank) or one TCP connection. Frame writes are serialized by
+// the endpoint mutex — matched-path sends already hold the CRI lock, but
+// control-path sends may race them.
+type Endpoint struct {
+	local *Context
+	loop  *Context // same-rank short circuit; nil for TCP endpoints
+
+	mu   sync.Mutex
+	conn net.Conn
+	buf  []byte
+}
+
+// Send injects one packet and posts the local send completion. On TCP the
+// completion is posted once the frame is handed to the kernel — the stream
+// is lossless, so that is delivery, matching how a NIC reports DMA
+// completion.
+func (e *Endpoint) Send(p *transport.Packet) {
+	e.write(p)
+	e.local.complete(transport.CQE{Kind: transport.CQESendComplete, Packet: p})
+}
+
+// Resend re-injects without a new completion. Unreachable in practice: the
+// runtime disables the retransmit layer on lossless backends.
+func (e *Endpoint) Resend(p *transport.Packet) { e.write(p) }
+
+func (e *Endpoint) write(p *transport.Packet) {
+	if e.loop != nil {
+		e.loop.push(p)
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.conn == nil {
+		return
+	}
+	e.buf = e.buf[:0]
+	var lenb [4]byte
+	binary.LittleEndian.PutUint32(lenb[:], uint32(p.WireSize()))
+	e.buf = append(e.buf, lenb[:]...)
+	e.buf = p.AppendWire(e.buf)
+	if _, err := e.conn.Write(e.buf); err != nil {
+		// The connection is gone; every later write would fail the same way.
+		// Drop the path — sends become no-ops and the application surfaces
+		// the stall, the same observable behavior as a dead link.
+		e.conn.Close()
+		e.conn = nil
+	}
+}
+
+// PutRegion requires one-sided support, which TCP does not advertise.
+func (e *Endpoint) PutRegion(regionID uint64, offset int, src []byte, token any) error {
+	return transport.ErrNotSupported
+}
+
+// MemRegion is a locally registered buffer (rendezvous sink bookkeeping).
+type MemRegion struct {
+	id  uint64
+	buf []byte
+}
+
+func (r *MemRegion) ID() uint64    { return r.id }
+func (r *MemRegion) Size() int     { return len(r.buf) }
+func (r *MemRegion) Bytes() []byte { return r.buf }

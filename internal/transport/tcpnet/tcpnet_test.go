@@ -1,0 +1,186 @@
+package tcpnet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/transport"
+)
+
+func newPair(t *testing.T) (d0, d1 transport.Device, c0, c1 transport.Context) {
+	t.Helper()
+	nets, err := NewLoopback(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, err = nets[0].NewDevice(0, hw.Fast(), transport.DeviceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err = nets[1].NewDevice(1, hw.Fast(), transport.DeviceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d0.Close(); d1.Close() })
+	c0, err = d0.CreateContext(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err = d1.CreateContext(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d0, d1, c0, c1
+}
+
+func poll1(t *testing.T, c transport.Context) transport.CQE {
+	t.Helper()
+	for i := 0; i < 1_000_000; i++ {
+		var got *transport.CQE
+		if c.Poll(func(e transport.CQE) { got = &e }, 1) > 0 {
+			return *got
+		}
+	}
+	t.Fatal("no completion arrived")
+	return transport.CQE{}
+}
+
+func TestSendAcrossProcessesBoundary(t *testing.T) {
+	d0, _, c0, c1 := newPair(t)
+	ep, err := d0.Connect(c0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := transport.Envelope{Src: 0, Dst: 1, Tag: 7, Kind: transport.KindEager}
+	pkt := transport.NewPacket(env, []byte("over the wire"), nil)
+	pkt.RelSeq, pkt.RelSrc = 42, 0
+	ep.Send(pkt)
+
+	if e := poll1(t, c0); e.Kind != transport.CQESendComplete {
+		t.Fatalf("local completion kind = %v", e.Kind)
+	}
+	e := poll1(t, c1)
+	if e.Kind != transport.CQERecv {
+		t.Fatalf("remote completion kind = %v", e.Kind)
+	}
+	got := e.Packet.Envelope()
+	if got.Tag != 7 || string(e.Packet.Payload) != "over the wire" {
+		t.Fatalf("packet corrupted: tag=%d payload=%q", got.Tag, e.Packet.Payload)
+	}
+	if e.Packet.RelSeq != 42 {
+		t.Fatalf("driver metadata lost: RelSeq=%d", e.Packet.RelSeq)
+	}
+	if e.Packet.Token != nil {
+		t.Fatal("token must not cross the wire")
+	}
+}
+
+func TestLoopbackEndpointSameRank(t *testing.T) {
+	d0, _, c0, _ := newPair(t)
+	ep, err := d0.Connect(c0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.Send(transport.NewPacket(transport.Envelope{Kind: transport.KindEager}, []byte("self"), nil))
+	seen := 0
+	for seen < 2 {
+		e := poll1(t, c0)
+		if e.Kind == transport.CQERecv && string(e.Packet.Payload) != "self" {
+			t.Fatalf("payload = %q", e.Packet.Payload)
+		}
+		seen++
+	}
+}
+
+func TestManyPacketsFIFO(t *testing.T) {
+	d0, _, c0, c1 := newPair(t)
+	ep, err := d0.Connect(c0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 5000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			env := transport.Envelope{Src: 0, Dst: 1, Seq: uint32(i), Kind: transport.KindEager}
+			ep.Send(transport.NewPacket(env, nil, nil))
+			// Drain local send completions so the CQ ring never fills.
+			c0.Poll(func(transport.CQE) {}, 64)
+		}
+	}()
+	next := uint32(0)
+	for next < total {
+		e := poll1(t, c1)
+		if e.Kind != transport.CQERecv {
+			continue
+		}
+		if got := e.Packet.Envelope().Seq; got != next {
+			t.Fatalf("out of order: got seq %d, want %d (TCP must preserve FIFO)", got, next)
+		}
+		next++
+	}
+	wg.Wait()
+}
+
+func TestCapsAndUnsupportedOps(t *testing.T) {
+	d0, _, c0, _ := newPair(t)
+	caps := d0.Caps()
+	if caps.Name != "tcp" || !caps.Lossless || caps.OneSided || caps.FaultInjection {
+		t.Fatalf("caps = %+v", caps)
+	}
+	if got := caps.String(); got != "lossless" {
+		t.Fatalf("caps string = %q", got)
+	}
+	r := d0.RegisterMemory(make([]byte, 8))
+	if err := c0.Put(r, 0, []byte{1}, nil); !errors.Is(err, transport.ErrNotSupported) {
+		t.Fatalf("Put err = %v", err)
+	}
+	ep, err := d0.Connect(c0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.PutRegion(r.ID(), 0, []byte{1}, nil); !errors.Is(err, transport.ErrNotSupported) {
+		t.Fatalf("PutRegion err = %v", err)
+	}
+}
+
+func TestFaultConfigRefused(t *testing.T) {
+	nets, err := NewLoopback(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = nets[0].NewDevice(0, hw.Fast(), transport.DeviceConfig{
+		Faults: transport.FaultConfig{Drop: 0.1},
+	})
+	if !errors.Is(err, transport.ErrNotSupported) {
+		t.Fatalf("err = %v, want ErrNotSupported", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Size: 0}); err == nil {
+		t.Fatal("Size 0 accepted")
+	}
+	if _, err := New(Config{Rank: 2, Size: 2, Listen: "127.0.0.1:0", Peers: []string{"a", "b"}}); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+	if _, err := New(Config{Rank: 0, Size: 2, Listen: "127.0.0.1:0", Peers: []string{"a"}}); err == nil {
+		t.Fatal("short peer list accepted")
+	}
+	n, err := New(Config{Rank: 0, Size: 1})
+	if err != nil {
+		t.Fatalf("single-process world: %v", err)
+	}
+	d, err := n.NewDevice(0, hw.Fast(), transport.DeviceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.NewDevice(0, hw.Fast(), transport.DeviceConfig{}); err == nil {
+		t.Fatal("duplicate device accepted")
+	}
+	d.Close()
+}

@@ -1,0 +1,231 @@
+package transport
+
+import (
+	"errors"
+	"strings"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/spc"
+)
+
+// ErrNotSupported is returned by backends for operations outside their
+// capability set (e.g. one-sided ops on a send/recv-only wire). Callers
+// should consult Caps before issuing such operations.
+var ErrNotSupported = errors.New("transport: operation not supported by backend")
+
+// ErrRegionUnavailable reports a one-sided operation addressing a region
+// the target has deregistered (or never registered).
+var ErrRegionUnavailable = errors.New("transport: remote memory region unavailable")
+
+// ErrNoEndpoint reports a send toward a peer for which no endpoint was
+// wired — on a real network the analog of an unreachable address.
+var ErrNoEndpoint = errors.New("transport: no endpoint to peer")
+
+// Caps describes what a backend can do. The runtime consults it at world
+// construction: a lossless backend skips the ack/retransmit delivery layer,
+// a backend without one-sided support routes rendezvous bulk data through
+// the FIN control message instead of an RDMA write, and fault injection is
+// refused by backends that cannot honor it.
+type Caps struct {
+	// Name identifies the backend ("sim", "tcp", ...).
+	Name string
+	// Lossless means delivery is reliable and per-endpoint FIFO (e.g. a
+	// TCP stream): the delivery-reliability layer's retransmit bookkeeping
+	// is unnecessary and is skipped.
+	Lossless bool
+	// OneSided means remote memory regions are addressable by peers
+	// (Endpoint.PutRegion and the Context RMA initiators work).
+	OneSided bool
+	// FaultInjection means the backend honors DeviceConfig fault and
+	// scramble settings.
+	FaultInjection bool
+}
+
+// String renders the capability set for self-describing results files,
+// e.g. "lossless" or "one-sided,faults".
+func (c Caps) String() string {
+	var parts []string
+	if c.Lossless {
+		parts = append(parts, "lossless")
+	}
+	if c.OneSided {
+		parts = append(parts, "one-sided")
+	}
+	if c.FaultInjection {
+		parts = append(parts, "faults")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// FaultConfig parameterizes wire-fault injection on backends that support
+// it. All probabilities are per-packet and independent; a packet is first
+// tested for drop, then (if it survived) for duplication and delay. The
+// zero value injects nothing.
+type FaultConfig struct {
+	// Drop is the probability a packet vanishes on the wire. The sender
+	// still observes local send completion — exactly like real hardware,
+	// which reports the DMA done long before the packet survives the
+	// network.
+	Drop float64
+	// Dup is the probability a packet is delivered twice.
+	Dup float64
+	// Delay is the probability a packet is held back for DelayDur before
+	// delivery (a slow path through the switch), reordering it past later
+	// traffic.
+	Delay float64
+	// DelayDur is how long a delayed packet is held (0 = 200µs).
+	DelayDur time.Duration
+	// Seed seeds the deterministic RNG (0 = 1).
+	Seed int64
+}
+
+// DefaultFaultDelay is the hold time of a delayed packet when
+// FaultConfig.DelayDur is unset.
+const DefaultFaultDelay = 200 * time.Microsecond
+
+// Enabled reports whether any fault has a non-zero probability.
+func (c FaultConfig) Enabled() bool {
+	return c.Drop > 0 || c.Dup > 0 || c.Delay > 0
+}
+
+// WithDefaults normalizes zero values.
+func (c FaultConfig) WithDefaults() FaultConfig {
+	if c.DelayDur <= 0 {
+		c.DelayDur = DefaultFaultDelay
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// DeviceConfig carries the per-rank device settings a consumer passes at
+// creation time.
+type DeviceConfig struct {
+	// Counters receives backend-level counter increments (injected faults,
+	// wire errors). May be nil.
+	Counters *spc.Set
+	// ScrambleWindow, when positive, requests adversarial delivery-order
+	// scrambling within a window of this many packets. Honored only when
+	// Caps.FaultInjection.
+	ScrambleWindow int
+	// ScrambleSeed seeds the scrambler (0 = 1).
+	ScrambleSeed int64
+	// Faults requests wire-fault injection. Honored only when
+	// Caps.FaultInjection.
+	Faults FaultConfig
+}
+
+// Network creates the devices of one world — the backend entry point.
+// In-process backends (the simulated fabric) create one device per rank and
+// wire them internally; distributed backends (tcpnet) serve only the local
+// process's rank and reach peers over real connections.
+type Network interface {
+	// Caps describes the backend.
+	Caps() Caps
+	// NewDevice creates the device for world rank r on machine model m.
+	NewDevice(rank int, m hw.Machine, cfg DeviceConfig) (Device, error)
+}
+
+// Device is one process's NIC: a context factory plus the registered-memory
+// table remote peers address with one-sided operations.
+type Device interface {
+	// Machine returns the device's machine model.
+	Machine() hw.Machine
+	// Caps describes the owning backend.
+	Caps() Caps
+	// CreateContext allocates a new network context with the given queue
+	// depth (<= 0 selects the backend default). Backends modeling a
+	// hardware context limit fail once it is exhausted.
+	CreateContext(depth int) (Context, error)
+	// Connect returns an endpoint from local (a context of this device) to
+	// context index remoteIdx of peer rank's device.
+	Connect(local Context, peer int, remoteIdx int) (Endpoint, error)
+	// RegisterMemory registers buf for one-sided access and returns its
+	// region. On backends without OneSided caps the region is only locally
+	// addressable (the rendezvous sink bookkeeping still uses it).
+	RegisterMemory(buf []byte) MemRegion
+	// DeregisterMemory removes a region from visibility.
+	DeregisterMemory(r MemRegion)
+	// Region looks up a registered region by id.
+	Region(id uint64) (MemRegion, bool)
+	// Close shuts the device down. Outstanding contexts remain readable so
+	// in-flight progress loops can drain.
+	Close()
+}
+
+// Context is one network context: an independent injection path into the
+// NIC with its own receive queue and completion queue. A Communication
+// Resource Instance (CRI) wraps exactly one Context.
+//
+// Thread safety: packet arrival and the RMA initiators may run concurrently
+// (the queues are multi-producer). Poll must be called by one goroutine at
+// a time; the layers above guarantee this with the per-CRI lock the paper
+// describes.
+type Context interface {
+	// Index returns the context's index within its device.
+	Index() int
+	// Poll extracts up to max completion events, invoking handler for
+	// each, and returns the number handled. Inbound packets surface as
+	// CQERecv events.
+	Poll(handler func(CQE), max int) int
+	// Pending reports whether any completions or inbound packets are
+	// queued.
+	Pending() bool
+
+	// One-sided initiators (OneSided backends only; others return
+	// ErrNotSupported). r addresses a region of the target device;
+	// completion is a local CQE carrying token.
+	Put(r MemRegion, offset int, src []byte, token any) error
+	Get(r MemRegion, offset int, dst []byte, token any) error
+	Accumulate(r MemRegion, offset int, operand []int64, op AccumulateOp, token any) error
+	FetchAndOp(r MemRegion, offset int, operand int64, op AccumulateOp, result *int64, token any) error
+	CompareAndSwap(r MemRegion, offset int, compare, swap int64, result *int64, token any) error
+}
+
+// Endpoint is a send path from a local context to one remote context. The
+// layers above serialize Send with the per-CRI lock on matched paths;
+// control paths may call it concurrently, so implementations must make
+// injection itself thread-safe (the simulated fabric's queues are
+// multi-producer; tcpnet serializes frame writes per connection).
+type Endpoint interface {
+	// Send injects a two-sided packet and posts a send-completion CQE to
+	// the local context.
+	Send(p *Packet)
+	// Resend re-injects a packet without a new send-completion CQE — the
+	// retransmission path of the delivery-reliability layer.
+	Resend(p *Packet)
+	// PutRegion writes src into the peer's registered region at offset (an
+	// RDMA write addressed by region id). Requires Caps.OneSided; returns
+	// ErrRegionUnavailable when the target tore the region down.
+	PutRegion(regionID uint64, offset int, src []byte, token any) error
+}
+
+// MemRegion is a registered memory region — the transport-level object
+// behind an MPI window or a rendezvous sink.
+type MemRegion interface {
+	// ID returns the region's registration id.
+	ID() uint64
+	// Size returns the region length in bytes.
+	Size() int
+	// Bytes exposes the underlying buffer (local access for the owner).
+	Bytes() []byte
+}
+
+// AccumulateOp selects the reduction applied by Accumulate and FetchAndOp.
+type AccumulateOp uint8
+
+const (
+	// AccSum adds the operand to the target (MPI_SUM).
+	AccSum AccumulateOp = iota
+	// AccReplace overwrites the target (MPI_REPLACE).
+	AccReplace
+	// AccMax keeps the maximum (MPI_MAX).
+	AccMax
+	// AccMin keeps the minimum (MPI_MIN).
+	AccMin
+)

@@ -1,0 +1,196 @@
+// Package transport defines the pluggable transport layer beneath the
+// runtime's Communication Resource Instances: the wire contracts every
+// backend speaks (Envelope, Packet, CQE) and the small interface a backend
+// must implement (Network, Device, Context, Endpoint).
+//
+// The CRI design the paper builds on — one network context, one completion
+// queue, one endpoint table per instance, protected by one per-instance
+// lock — is backend-independent: the same locking discipline maps onto any
+// provider (Zambre et al.'s scalable-endpoints line of work). This package
+// captures exactly what the message path above needs: inject, poll/drain a
+// CQ, resend, one-sided ops, and fault hooks. internal/fabric is the
+// default simulated backend; internal/transport/tcpnet carries the same
+// stack over real TCP connections between OS processes.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EnvelopeSize is the wire footprint of the matching header. The paper
+// notes Open MPI's matching header is ~28 bytes; zero-byte "messages" in the
+// Multirate benchmark are pure envelopes.
+const EnvelopeSize = 28
+
+// Envelope is the matching header carried by every two-sided message.
+type Envelope struct {
+	Src  int32  // sender rank
+	Dst  int32  // destination rank
+	Tag  int32  // message tag
+	Comm uint32 // communicator context id
+	Seq  uint32 // per-(sender, communicator) sequence number
+	Len  uint32 // payload length in bytes
+	Kind Kind   // packet kind (low byte) and flags
+}
+
+// Kind discriminates packet types on the wire.
+type Kind uint32
+
+const (
+	// KindEager is a two-sided eager message: envelope plus full payload.
+	KindEager Kind = iota + 1
+	// KindRendezvousRTS is the ready-to-send control message of the
+	// rendezvous protocol for large payloads.
+	KindRendezvousRTS
+	// KindRendezvousACK is the receiver's clear-to-send response carrying
+	// the registered sink region.
+	KindRendezvousACK
+	// KindRendezvousData is the bulk-data / FIN control message of a
+	// rendezvous transfer. On one-sided-capable backends it carries only
+	// the transfer id (the data traveled by RDMA write); on send/recv-only
+	// backends it carries the data itself.
+	KindRendezvousData
+	// KindAck is a delivery-reliability acknowledgement: a cumulative ack
+	// plus a selective-ack bitmap for one sender→receiver transport stream.
+	KindAck
+)
+
+// Marshal encodes the envelope into its 28-byte wire form. The encode cost
+// is real work the injecting core performs, exactly like a driver building
+// a packet header.
+func (e *Envelope) Marshal(b *[EnvelopeSize]byte) {
+	binary.LittleEndian.PutUint32(b[0:], uint32(e.Src))
+	binary.LittleEndian.PutUint32(b[4:], uint32(e.Dst))
+	binary.LittleEndian.PutUint32(b[8:], uint32(e.Tag))
+	binary.LittleEndian.PutUint32(b[12:], e.Comm)
+	binary.LittleEndian.PutUint32(b[16:], e.Seq)
+	binary.LittleEndian.PutUint32(b[20:], e.Len)
+	binary.LittleEndian.PutUint32(b[24:], uint32(e.Kind))
+}
+
+// Unmarshal decodes a 28-byte wire header.
+func (e *Envelope) Unmarshal(b *[EnvelopeSize]byte) {
+	e.Src = int32(binary.LittleEndian.Uint32(b[0:]))
+	e.Dst = int32(binary.LittleEndian.Uint32(b[4:]))
+	e.Tag = int32(binary.LittleEndian.Uint32(b[8:]))
+	e.Comm = binary.LittleEndian.Uint32(b[12:])
+	e.Seq = binary.LittleEndian.Uint32(b[16:])
+	e.Len = binary.LittleEndian.Uint32(b[20:])
+	e.Kind = Kind(binary.LittleEndian.Uint32(b[24:]))
+}
+
+func (e Envelope) String() string {
+	return fmt.Sprintf("env{src=%d dst=%d tag=%d comm=%d seq=%d len=%d kind=%d}",
+		e.Src, e.Dst, e.Tag, e.Comm, e.Seq, e.Len, e.Kind)
+}
+
+// Packet is one message on the wire: a marshaled envelope plus an owned
+// copy of the payload (eager protocol semantics — the sender's buffer is
+// free as soon as injection returns).
+type Packet struct {
+	header  [EnvelopeSize]byte
+	Payload []byte
+	// Token is opaque sender state echoed in the send-completion CQE,
+	// typically the request to mark complete. It never crosses the wire.
+	Token any
+	// Stamp is an optional injection timestamp (UnixNano) set by the
+	// telemetry layer to measure inject-to-match latency; 0 = unstamped.
+	// It rides the packet but is not part of the wire envelope, exactly
+	// like driver-private metadata on a real send WQE.
+	Stamp int64
+	// RelSeq is the transport-level sequence number assigned by the
+	// delivery-reliability layer when it is enabled; 0 = untracked. Like
+	// Stamp it is driver-private metadata, not part of the wire envelope.
+	RelSeq uint64
+	// RelSrc is the sender's world rank for reliability tracking when
+	// RelSeq != 0 (the envelope's Src is communicator-relative).
+	RelSrc int32
+}
+
+// NewPacket marshals env and copies payload into a fresh packet, setting
+// the envelope's Len to the payload length.
+func NewPacket(env Envelope, payload []byte, token any) *Packet {
+	env.Len = uint32(len(payload))
+	return NewPacketRaw(env, payload, token)
+}
+
+// NewPacketRaw is NewPacket without overwriting env.Len — control packets
+// (e.g. a rendezvous RTS) advertise a length different from their carried
+// payload.
+func NewPacketRaw(env Envelope, payload []byte, token any) *Packet {
+	p := &Packet{Token: token}
+	env.Marshal(&p.header)
+	if len(payload) > 0 {
+		p.Payload = append([]byte(nil), payload...)
+	}
+	return p
+}
+
+// Envelope decodes and returns the packet's header.
+func (p *Packet) Envelope() Envelope {
+	var e Envelope
+	e.Unmarshal(&p.header)
+	return e
+}
+
+// wireMetaSize is the framed size of the driver metadata a real backend
+// carries alongside the envelope: RelSeq (8) + RelSrc (4) + Stamp (8).
+const wireMetaSize = 8 + 4 + 8
+
+// WireSize returns the number of bytes AppendWire emits for p.
+func (p *Packet) WireSize() int { return EnvelopeSize + wireMetaSize + len(p.Payload) }
+
+// AppendWire appends the packet's full wire form — envelope, driver
+// metadata (RelSeq, RelSrc, Stamp), payload — to b and returns the extended
+// slice. Token never crosses the wire; it is sender-local state.
+func (p *Packet) AppendWire(b []byte) []byte {
+	b = append(b, p.header[:]...)
+	var meta [wireMetaSize]byte
+	binary.LittleEndian.PutUint64(meta[0:], p.RelSeq)
+	binary.LittleEndian.PutUint32(meta[8:], uint32(p.RelSrc))
+	binary.LittleEndian.PutUint64(meta[12:], uint64(p.Stamp))
+	b = append(b, meta[:]...)
+	return append(b, p.Payload...)
+}
+
+// DecodePacket parses one packet from its AppendWire form, copying the
+// payload out of b.
+func DecodePacket(b []byte) (*Packet, error) {
+	if len(b) < EnvelopeSize+wireMetaSize {
+		return nil, fmt.Errorf("transport: short packet frame (%d bytes)", len(b))
+	}
+	p := &Packet{}
+	copy(p.header[:], b[:EnvelopeSize])
+	meta := b[EnvelopeSize : EnvelopeSize+wireMetaSize]
+	p.RelSeq = binary.LittleEndian.Uint64(meta[0:])
+	p.RelSrc = int32(binary.LittleEndian.Uint32(meta[8:]))
+	p.Stamp = int64(binary.LittleEndian.Uint64(meta[12:]))
+	if rest := b[EnvelopeSize+wireMetaSize:]; len(rest) > 0 {
+		p.Payload = append([]byte(nil), rest...)
+	}
+	return p, nil
+}
+
+// CQEKind discriminates completion-queue entries.
+type CQEKind uint8
+
+const (
+	// CQESendComplete reports local completion of an injected send.
+	CQESendComplete CQEKind = iota + 1
+	// CQERecv reports arrival of a two-sided packet.
+	CQERecv
+	// CQEPutComplete reports local completion of a one-sided put.
+	CQEPutComplete
+	// CQEGetComplete reports local completion of a one-sided get.
+	CQEGetComplete
+	// CQEAccComplete reports local completion of a one-sided accumulate.
+	CQEAccComplete
+)
+
+// CQE is one completion-queue entry.
+type CQE struct {
+	Kind   CQEKind
+	Packet *Packet // for CQERecv and CQESendComplete
+	Token  any     // for one-sided completions: opaque initiator state
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Two-process TCP smoke test: run the pairwise Multirate benchmark as two
+# real OS processes joined over loopback TCP and check that both halves
+# finish with consistent totals — the sender's messages_sent SPC must be
+# fully accounted for by the receiver's messages_received.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin="$(mktemp -d)/multirate"
+go build -o "$bin" ./cmd/multirate
+
+port_base=$((20000 + RANDOM % 20000))
+peers="127.0.0.1:${port_base},127.0.0.1:$((port_base + 1))"
+args=(-transport tcp -peers "$peers" -pairs 4 -window 64 -iters 4 -machine fast -spcs)
+
+out0="$(mktemp)" out1="$(mktemp)"
+"$bin" -rank 1 "${args[@]}" >"$out1" 2>&1 &
+recv_pid=$!
+"$bin" -rank 0 "${args[@]}" >"$out0" 2>&1
+wait "$recv_pid"
+
+field() { grep -o "$2=[^ ]*" "$1" | head -1 | cut -d= -f2; }
+counter() { awk -v k="$2" '$1 == k { print $2 }' "$1"; }
+
+msgs0="$(field "$out0" messages)"
+msgs1="$(field "$out1" messages)"
+sent="$(counter "$out0" messages_sent)"
+received="$(counter "$out1" messages_received)"
+
+echo "rank 0: $(head -c 200 <(grep engine= "$out0"))"
+echo "rank 1: $(head -c 200 <(grep engine= "$out1"))"
+
+if [[ -z "$msgs0" || "$msgs0" != "$msgs1" ]]; then
+    echo "FAIL: header message totals differ (rank0=$msgs0 rank1=$msgs1)" >&2
+    exit 1
+fi
+if [[ -z "$sent" || "$sent" -lt "$msgs0" ]]; then
+    echo "FAIL: sender SPC messages_sent=$sent < benchmark total $msgs0" >&2
+    exit 1
+fi
+# The receiver also absorbs internal barrier traffic, so >= is the invariant.
+if [[ -z "$received" || "$received" -lt "$sent" ]]; then
+    echo "FAIL: receiver SPC messages_received=$received < sender messages_sent=$sent" >&2
+    exit 1
+fi
+echo "OK: $msgs0 benchmark messages; sender sent=$sent, receiver received=$received"
