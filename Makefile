@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-telemetry chaos check conformance lint-layers tcp-smoke
+.PHONY: build test race vet fmt bench bench-telemetry bench-json chaos check conformance lint-layers tcp-smoke
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,15 @@ bench:
 # Proves the disabled telemetry hooks cost ~1 ns and zero allocations.
 bench-telemetry:
 	$(GO) test -bench=. -benchmem ./internal/telemetry
+
+# Machine-readable benchmark trajectory: message rate per thread count per
+# design, swept on the deterministic virtual-time model so the numbers are
+# reproducible on any host. Override the sweep for a quick smoke run:
+#   make bench-json BENCHJSON_FLAGS="-threads 1,2,4 -window 32 -iters 2"
+BENCHJSON_FLAGS ?=
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_4.json $(BENCHJSON_FLAGS)
+	$(GO) run ./cmd/benchjson -validate BENCH_4.json
 
 # Fault-injection and teardown chaos: the reliability layer repairing a
 # lossy, duplicating, reordering wire, communicator free with packets still

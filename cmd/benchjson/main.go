@@ -1,0 +1,112 @@
+// Command benchjson runs the Multirate sweep over the named runtime
+// designs on the deterministic virtual-time model and writes the result as
+// a machine-readable trajectory file — message rate per thread count per
+// design — for the repo's BENCH_<n>.json series.
+//
+// Examples:
+//
+//	benchjson -o BENCH_4.json
+//	benchjson -o BENCH_4.json -threads 1,2,4 -window 32 -iters 2   # smoke
+//	benchjson -validate BENCH_4.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/benchjson"
+	"repro/internal/designs"
+	"repro/internal/hw"
+)
+
+func main() {
+	var (
+		out         = flag.String("o", "", "output file (default stdout)")
+		validate    = flag.String("validate", "", "validate an existing trajectory file and exit")
+		machineName = flag.String("machine", "alembert", "alembert | trinitite | knl | fast")
+		threadList  = flag.String("threads", "1,2,4,8,12,16,20", "comma-separated thread counts to sweep")
+		window      = flag.Int("window", 128, "outstanding-message window")
+		iters       = flag.Int("iters", 8, "window iterations per pair")
+		msgSize     = flag.Int("size", 0, "payload bytes (0 = envelope only)")
+		instances   = flag.Int("instances", 20, "CRI count for the CRI designs")
+		designList  = flag.String("designs", "ompi-process,ompi-thread,ompi-thread-cri,ompi-thread-cri-full",
+			"comma-separated design slugs to sweep")
+	)
+	flag.Parse()
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		check(err)
+		check(benchjson.Validate(data))
+		fmt.Printf("%s: valid trajectory (schema v%d)\n", *validate, benchjson.SchemaVersion)
+		return
+	}
+
+	machine, err := machineByName(*machineName)
+	check(err)
+	threads, err := parseInts(*threadList)
+	check(err)
+	var ds []designs.Design
+	for _, slug := range strings.Split(*designList, ",") {
+		d, ok := designs.FromSlug(strings.TrimSpace(slug))
+		if !ok {
+			check(fmt.Errorf("unknown design slug %q", slug))
+		}
+		ds = append(ds, d)
+	}
+
+	f := benchjson.Run(benchjson.SweepConfig{
+		Machine: machine, MachineName: *machineName,
+		Threads: threads, Window: *window, Iters: *iters,
+		MsgSize: *msgSize, Instances: *instances, Designs: ds,
+	})
+	b, err := benchjson.Marshal(f)
+	check(err)
+	// Never ship a file the validator would reject.
+	check(benchjson.Validate(b))
+	if *out == "" {
+		_, err = os.Stdout.Write(b)
+		check(err)
+		return
+	}
+	check(os.WriteFile(*out, b, 0o644))
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d designs x %d thread counts)\n",
+		*out, len(f.Designs), len(f.Sweep.Threads))
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func machineByName(name string) (hw.Machine, error) {
+	switch name {
+	case "alembert":
+		return hw.AlembertHaswell(), nil
+	case "trinitite":
+		return hw.TrinititeHaswell(), nil
+	case "knl":
+		return hw.TrinititeKNL(), nil
+	case "fast":
+		return hw.Fast(), nil
+	default:
+		return hw.Machine{}, fmt.Errorf("unknown machine %q", name)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

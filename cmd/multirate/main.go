@@ -24,7 +24,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"strings"
 
@@ -33,8 +32,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/cri"
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/progress"
 	"repro/internal/simnet"
+	"repro/internal/spc"
 	"repro/internal/telemetry"
 )
 
@@ -72,13 +73,19 @@ func main() {
 		traceOut       = flag.String("trace-out", "", "write a Chrome trace-event JSON file (load in chrome://tracing) (real engine)")
 		samplesOut     = flag.String("samples-out", "", "write the sampler time series as CSV to this file (real engine)")
 		sampleInterval = flag.Duration("sample-interval", 0, "background counter/histogram sampling interval, e.g. 10ms (real engine)")
+
+		traceWire  = flag.Bool("trace-wire", false, "carry trace context on the wire and stitch cross-rank message lifecycles (real engine)")
+		traceShard = flag.String("trace-shard", "", "write this process's raw trace shard JSON to this file (merge with tracemerge; real engine)")
+		httpAddr   = flag.String("http", "", "serve live /metrics, /spc, /trace, /healthz and pprof on this address during the run (real engine)")
 	)
 	flag.Parse()
 
 	// The telemetry layer observes the real runtime; the virtual-time model
 	// has no CRI locks or progress passes to instrument. Asking for any of
-	// its outputs implies the real engine.
-	wantTelemetry := *spcDump || *metricsOut != "" || *traceOut != "" || *samplesOut != "" || *sampleInterval > 0
+	// its outputs implies the real engine. -trace-wire alone does not: on
+	// the sim engine it models the extension's wire-byte cost instead.
+	wantTelemetry := *spcDump || *metricsOut != "" || *traceOut != "" || *samplesOut != "" ||
+		*sampleInterval > 0 || *traceShard != "" || *httpAddr != ""
 	if wantTelemetry && *engine == "sim" {
 		fmt.Fprintln(os.Stderr, "multirate: telemetry flags instrument the real runtime; switching to -engine real")
 		*engine = "real"
@@ -102,8 +109,8 @@ func main() {
 			MsgSize: *msgSize, NumInstances: *instances, Assignment: asg,
 			Progress: pm, CommPerPair: *commPerPair,
 			AllowOvertaking: *overtaking, AnyTagRecv: *anyTag,
-			ProcessMode: *processMode,
-			FaultDrop:   *faultDrop, FaultDup: *faultDup,
+			ProcessMode: *processMode, Traced: *traceWire,
+			FaultDrop: *faultDrop, FaultDup: *faultDup,
 			FaultDelay: *faultDelay, FaultSeed: *faultSeed,
 		})
 		// The virtual-time model has no transport underneath; say so rather
@@ -115,13 +122,13 @@ func main() {
 		}
 	case "real":
 		cap := *traceN
-		if *traceOut != "" && cap <= 0 {
+		if (*traceOut != "" || *traceShard != "" || *traceWire || *httpAddr != "") && cap <= 0 {
 			cap = 1 << 16
 		}
 		opts := core.Options{
 			NumInstances: *instances, Assignment: asg, Progress: pm,
 			ThreadLevel: core.ThreadMultiple, TraceCapacity: cap,
-			Telemetry: wantTelemetry,
+			Telemetry: wantTelemetry || *traceWire, TraceWire: *traceWire,
 			FaultDrop: *faultDrop, FaultDup: *faultDup,
 			FaultDelay: *faultDelay, FaultSeed: *faultSeed,
 		}
@@ -129,12 +136,34 @@ func main() {
 		if *pattern == "incast" {
 			pat = bench.Incast
 		}
+		outputs := &obs.Outputs{
+			MetricsPath: *metricsOut, TracePath: *traceOut,
+			SamplesPath: *samplesOut, ShardPath: *traceShard,
+			Info: map[string]string{
+				"cmd": "multirate", "transport": *transportName,
+				"progress": *prog, "assignment": *assignment,
+				"pattern": *pattern, "rank": fmt.Sprint(*rank),
+			},
+		}
+		var srv *obs.Server
 		bcfg := bench.Config{
 			Machine: machine, Opts: opts, Pairs: *pairs, Window: *window,
 			Iters: *iters, MsgSize: *msgSize, CommPerPair: *commPerPair,
 			AnyTag: *anyTag, Overtaking: *overtaking, ProcessMode: *processMode,
 			Pattern: pat, SampleInterval: *sampleInterval,
+			OnSampler: outputs.BindSampler,
+			OnWorld: func(w *core.World) {
+				src := worldSource(w, outputs.Info)
+				outputs.Bind(src)
+				if *httpAddr != "" {
+					s, serr := obs.Serve(*httpAddr, src)
+					check(serr)
+					srv = s
+					fmt.Fprintf(os.Stderr, "multirate: observability endpoint on http://%s\n", s.Addr())
+				}
+			},
 		}
+		stopSignals := outputs.FlushOnSignal()
 		var res bench.Result
 		var err error
 		switch *transportName {
@@ -159,8 +188,11 @@ func main() {
 			check(fmt.Errorf("unknown transport %q", *transportName))
 		}
 		check(err)
-		fmt.Printf("engine=real transport=%s caps=%s rank=%d pairs=%d messages=%d elapsed=%v rate=%.0f msg/s oos=%.2f%%\n",
-			res.Transport.Name, res.Transport, *rank, *pairs, res.Messages, res.Elapsed, res.Rate, res.SPCs.OutOfSequencePercent())
+		stopSignals()
+		fmt.Printf("engine=real transport=%s caps=%s dial_retries=%d reconnects=%d short_writes=%d rank=%d pairs=%d messages=%d elapsed=%v rate=%.0f msg/s oos=%.2f%%\n",
+			res.Transport.Name, res.Transport,
+			res.SPCs[spc.DialRetries], res.SPCs[spc.Reconnects], res.SPCs[spc.ShortWrites],
+			*rank, *pairs, res.Messages, res.Elapsed, res.Rate, res.SPCs.OutOfSequencePercent())
 		if *showSPCs {
 			fmt.Print(res.SPCs.String())
 		}
@@ -172,37 +204,38 @@ func main() {
 		if *traceN > 0 {
 			fmt.Print(res.TraceDump)
 		}
-		if *metricsOut != "" {
-			check(writeFile(*metricsOut, func(w io.Writer) error {
-				return telemetry.WritePrometheus(w, res.Stats...)
-			}))
-		}
-		if *traceOut != "" {
-			check(writeFile(*traceOut, func(w io.Writer) error {
-				return telemetry.WriteChromeTraceRanks(w, res.Events)
-			}))
-		}
-		if *samplesOut != "" {
-			check(writeFile(*samplesOut, func(w io.Writer) error {
-				return telemetry.WriteSamplesCSV(w, res.Samples)
-			}))
+		check(outputs.Flush())
+		if srv != nil {
+			_ = srv.Close()
 		}
 	default:
 		check(fmt.Errorf("unknown engine %q", *engine))
 	}
 }
 
-// writeFile creates path and streams fn's output into it.
-func writeFile(path string, fn func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+// worldSource adapts a live world to the observability Source: every
+// request snapshots the current counters, histograms, and trace shards of
+// all local ranks.
+func worldSource(w *core.World, info map[string]string) obs.Source {
+	return obs.Source{
+		Stats: func() []telemetry.ProcStats {
+			var out []telemetry.ProcStats
+			for _, p := range w.LocalProcs() {
+				out = append(out, p.TelemetryStats())
+			}
+			return out
+		},
+		Events: func() []telemetry.RankEvents {
+			var out []telemetry.RankEvents
+			for _, p := range w.LocalProcs() {
+				if p.Tracer() != nil {
+					out = append(out, p.TraceEvents())
+				}
+			}
+			return out
+		},
+		Info: info,
 	}
-	if err := fn(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 func machineByName(name string) (hw.Machine, error) {

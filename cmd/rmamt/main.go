@@ -13,13 +13,13 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 
 	bench "repro/internal/bench/rmamt"
 	"repro/internal/core"
 	"repro/internal/cri"
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/progress"
 	"repro/internal/simnet"
 	"repro/internal/telemetry"
@@ -47,12 +47,17 @@ func main() {
 		traceOut       = flag.String("trace-out", "", "write a Chrome trace-event JSON file (load in chrome://tracing) (real engine)")
 		samplesOut     = flag.String("samples-out", "", "write the sampler time series as CSV to this file (real engine)")
 		sampleInterval = flag.Duration("sample-interval", 0, "background counter/histogram sampling interval, e.g. 10ms (real engine)")
+
+		traceWire  = flag.Bool("trace-wire", false, "carry trace context on the wire and stitch cross-rank message lifecycles (real engine)")
+		traceShard = flag.String("trace-shard", "", "write per-rank raw trace shard JSON (merge with tracemerge; real engine)")
+		httpAddr   = flag.String("http", "", "serve live /metrics, /spc, /trace, /healthz and pprof on this address during the run (real engine)")
 	)
 	flag.Parse()
 
 	// Telemetry observes the real runtime; the virtual-time model has
 	// nothing to instrument. Any telemetry output implies the real engine.
-	wantTelemetry := *spcDump || *metricsOut != "" || *traceOut != "" || *samplesOut != "" || *sampleInterval > 0
+	wantTelemetry := *spcDump || *metricsOut != "" || *traceOut != "" || *samplesOut != "" ||
+		*sampleInterval > 0 || *traceWire || *traceShard != "" || *httpAddr != ""
 	if wantTelemetry && *engine == "sim" {
 		fmt.Fprintln(os.Stderr, "rmamt: telemetry flags instrument the real runtime; switching to -engine real")
 		*engine = "real"
@@ -83,17 +88,39 @@ func main() {
 		opts := core.Options{
 			NumInstances: ni, Assignment: asg, Progress: pm,
 			ThreadLevel: core.ThreadMultiple, Telemetry: wantTelemetry,
+			TraceWire: *traceWire,
 			FaultDrop: *faultDrop, FaultDup: *faultDup,
 			FaultDelay: *faultDelay, FaultSeed: *faultSeed,
 		}
-		if *traceOut != "" {
+		if *traceOut != "" || *traceShard != "" || *traceWire || *httpAddr != "" {
 			opts.TraceCapacity = 1 << 16
 		}
+		outputs := &obs.Outputs{
+			MetricsPath: *metricsOut, TracePath: *traceOut,
+			SamplesPath: *samplesOut, ShardPath: *traceShard,
+			Info: map[string]string{
+				"cmd": "rmamt", "progress": *prog, "assignment": *assignment,
+			},
+		}
+		var srv *obs.Server
+		stopSignals := outputs.FlushOnSignal()
 		res, err := bench.Run(bench.Config{
 			Machine: machine, Opts: opts, Threads: *threads, MsgSize: *msgSize,
 			PutsPerThread: *puts, Rounds: *rounds, SampleInterval: *sampleInterval,
+			OnSampler: outputs.BindSampler,
+			OnWorld: func(w *core.World) {
+				src := worldSource(w, outputs.Info)
+				outputs.Bind(src)
+				if *httpAddr != "" {
+					s, serr := obs.Serve(*httpAddr, src)
+					check(serr)
+					srv = s
+					fmt.Fprintf(os.Stderr, "rmamt: observability endpoint on http://%s\n", s.Addr())
+				}
+			},
 		})
 		check(err)
+		stopSignals()
 		fmt.Printf("engine=real transport=%s caps=%s threads=%d size=%dB puts=%d elapsed=%v rate=%.0f puts/s\n",
 			res.Transport.Name, res.Transport, *threads, *msgSize, res.Puts, res.Elapsed, res.Rate)
 		if *spcDump {
@@ -101,37 +128,38 @@ func main() {
 				check(ps.WriteText(os.Stdout))
 			}
 		}
-		if *metricsOut != "" {
-			check(writeFile(*metricsOut, func(w io.Writer) error {
-				return telemetry.WritePrometheus(w, res.Stats...)
-			}))
-		}
-		if *traceOut != "" {
-			check(writeFile(*traceOut, func(w io.Writer) error {
-				return telemetry.WriteChromeTraceRanks(w, res.Events)
-			}))
-		}
-		if *samplesOut != "" {
-			check(writeFile(*samplesOut, func(w io.Writer) error {
-				return telemetry.WriteSamplesCSV(w, res.Samples)
-			}))
+		check(outputs.Flush())
+		if srv != nil {
+			_ = srv.Close()
 		}
 	default:
 		check(fmt.Errorf("unknown engine %q", *engine))
 	}
 }
 
-// writeFile creates path and streams fn's output into it.
-func writeFile(path string, fn func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+// worldSource adapts a live world to the observability Source: every
+// request snapshots the current counters, histograms, and trace shards of
+// all local ranks.
+func worldSource(w *core.World, info map[string]string) obs.Source {
+	return obs.Source{
+		Stats: func() []telemetry.ProcStats {
+			var out []telemetry.ProcStats
+			for _, p := range w.LocalProcs() {
+				out = append(out, p.TelemetryStats())
+			}
+			return out
+		},
+		Events: func() []telemetry.RankEvents {
+			var out []telemetry.RankEvents
+			for _, p := range w.LocalProcs() {
+				if p.Tracer() != nil {
+					out = append(out, p.TraceEvents())
+				}
+			}
+			return out
+		},
+		Info: info,
 	}
-	if err := fn(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 func machineByName(name string) (hw.Machine, error) {

@@ -1,0 +1,71 @@
+// Command tracemerge merges per-rank trace shards into one clock-corrected
+// Chrome trace.
+//
+// Each process of a distributed traced run (-trace-wire -trace-shard on
+// cmd/multirate) writes a shard JSON carrying its events plus two anchors:
+// the tracer's wall-clock base and the handshake-estimated clock offset to
+// rank 0. tracemerge reads any number of shards, places every rank on rank
+// 0's clock, and writes a single trace-event JSON with cross-rank flow
+// arrows — load it in chrome://tracing or https://ui.perfetto.dev.
+//
+// Usage:
+//
+//	tracemerge -o merged.json shard-rank0.json shard-rank1.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tracemerge [-o merged.json] shard.json...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	shards := make([]telemetry.RankEvents, 0, flag.NArg())
+	seen := make(map[int]string)
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		check(err)
+		re, err := telemetry.ReadTraceShard(f)
+		f.Close()
+		if err != nil {
+			check(fmt.Errorf("%s: %w", path, err))
+		}
+		if prev, dup := seen[re.Rank]; dup {
+			check(fmt.Errorf("%s: rank %d already provided by %s", path, re.Rank, prev))
+		}
+		seen[re.Rank] = path
+		shards = append(shards, re)
+	}
+	sort.Slice(shards, func(i, j int) bool { return shards[i].Rank < shards[j].Rank })
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		check(err)
+		defer func() { check(f.Close()) }()
+		w = f
+	}
+	check(telemetry.WriteChromeTraceRanks(w, shards))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracemerge:", err)
+		os.Exit(1)
+	}
+}

@@ -75,6 +75,15 @@ type Config struct {
 	// receiver process snapshotting counters and histograms at this
 	// interval; the time series lands in Result.Samples.
 	SampleInterval time.Duration
+	// OnWorld, when set, is called with the world right after construction
+	// and before the measured section — the hook a command uses to attach
+	// live observability (HTTP endpoint, signal-triggered flushing) to a
+	// run in flight.
+	OnWorld func(*core.World)
+	// OnSampler, when set, is called with the background sampler right
+	// after it starts (only when SampleInterval > 0), so an interrupted
+	// run can stop it and flush the partial time series.
+	OnSampler func(*telemetry.Sampler)
 }
 
 func (c Config) withDefaults() Config {
@@ -139,6 +148,9 @@ func runIncast(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	defer w.Close()
+	if cfg.OnWorld != nil {
+		cfg.OnWorld(w)
+	}
 	info := core.Info{AllowOvertaking: cfg.Overtaking}
 	comms, err := w.NewCommWithInfo([]int{0, 1}, info)
 	if err != nil {
@@ -191,6 +203,9 @@ func startSampler(cfg Config, p *core.Proc) *telemetry.Sampler {
 		return p.SPCSnapshot(), p.Telemetry().Snapshot()
 	})
 	s.Start()
+	if cfg.OnSampler != nil {
+		cfg.OnSampler(s)
+	}
 	return s
 }
 
@@ -200,6 +215,9 @@ func runThreads(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	defer w.Close()
+	if cfg.OnWorld != nil {
+		cfg.OnWorld(w)
+	}
 
 	info := core.Info{AllowOvertaking: cfg.Overtaking}
 	sendComms := make([]*core.Comm, cfg.Pairs)
@@ -262,6 +280,9 @@ func runProcesses(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	defer w.Close()
+	if cfg.OnWorld != nil {
+		cfg.OnWorld(w)
+	}
 
 	info := core.Info{AllowOvertaking: cfg.Overtaking}
 	type pairComms struct{ s, r *core.Comm }
@@ -320,8 +341,8 @@ func result(cfg Config, elapsed time.Duration, w *core.World, smp *telemetry.Sam
 		for rank := 0; rank < w.Size(); rank++ {
 			p := w.Proc(rank)
 			r.Stats = append(r.Stats, p.TelemetryStats())
-			if tr := p.Tracer(); tr != nil {
-				r.Events = append(r.Events, telemetry.RankEvents{Rank: rank, Events: tr.Snapshot()})
+			if p.Tracer() != nil {
+				r.Events = append(r.Events, p.TraceEvents())
 			}
 		}
 	}
@@ -351,6 +372,9 @@ func RunDistributed(cfg Config, rank int, net transport.Network) (Result, error)
 		return Result{}, err
 	}
 	defer w.Close()
+	if cfg.OnWorld != nil {
+		cfg.OnWorld(w)
+	}
 	p := w.LocalProc()
 
 	// Identical collective creation order on both ranks keeps the
@@ -414,8 +438,8 @@ func RunDistributed(cfg Config, rank int, net transport.Network) (Result, error)
 	}
 	res.SPCs = p.SPCSnapshot()
 	res.Stats = []telemetry.ProcStats{p.TelemetryStats()}
-	if tr := p.Tracer(); tr != nil {
-		res.Events = []telemetry.RankEvents{{Rank: rank, Events: tr.Snapshot()}}
+	if p.Tracer() != nil {
+		res.Events = []telemetry.RankEvents{p.TraceEvents()}
 		if rank == 1 {
 			res.TraceDump = traceDump(p)
 		}

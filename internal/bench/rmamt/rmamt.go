@@ -36,6 +36,13 @@ type Config struct {
 	// SampleInterval, when positive, runs a background sampler on the
 	// origin process; the time series lands in Result.Samples.
 	SampleInterval time.Duration
+	// OnWorld, when set, is called with the world right after construction
+	// and before the measured section — the hook a command uses to attach
+	// live observability to a run in flight.
+	OnWorld func(*core.World)
+	// OnSampler, when set, is called with the background sampler right
+	// after it starts (only when SampleInterval > 0).
+	OnSampler func(*telemetry.Sampler)
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +93,9 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	defer w.Close()
+	if cfg.OnWorld != nil {
+		cfg.OnWorld(w)
+	}
 	comms, err := w.NewComm([]int{0, 1})
 	if err != nil {
 		return Result{}, err
@@ -104,6 +114,9 @@ func Run(cfg Config) (Result, error) {
 			return op.SPCSnapshot(), op.Telemetry().Snapshot()
 		})
 		smp.Start()
+		if cfg.OnSampler != nil {
+			cfg.OnSampler(smp)
+		}
 	}
 	errs := make(chan error, cfg.Threads)
 	var wg sync.WaitGroup
@@ -156,8 +169,8 @@ func Run(cfg Config) (Result, error) {
 	for rank := 0; rank < w.Size(); rank++ {
 		p := w.Proc(rank)
 		res.Stats = append(res.Stats, p.TelemetryStats())
-		if tr := p.Tracer(); tr != nil {
-			res.Events = append(res.Events, telemetry.RankEvents{Rank: rank, Events: tr.Snapshot()})
+		if p.Tracer() != nil {
+			res.Events = append(res.Events, p.TraceEvents())
 		}
 	}
 	res.Samples = smp.Samples()

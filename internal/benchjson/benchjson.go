@@ -1,0 +1,216 @@
+// Package benchjson runs the Multirate sweep over named runtime designs
+// and renders the result as a machine-readable benchmark trajectory file
+// (BENCH_<n>.json): message rate per thread count per design. The sweep
+// executes on the deterministic virtual-time model (internal/simnet), so
+// the numbers are reproducible bit-for-bit on any host — the file is a
+// performance trajectory of the *design*, not of the machine CI happened
+// to run on.
+//
+// The package also carries the schema validator for the files it writes,
+// so CI can assert a generated trajectory is well-formed without any
+// external JSON-schema tooling.
+package benchjson
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/designs"
+	"repro/internal/hw"
+	"repro/internal/simnet"
+)
+
+// SchemaVersion identifies the BENCH_*.json layout this package writes and
+// validates.
+const SchemaVersion = 1
+
+// SweepConfig parameterizes one trajectory run.
+type SweepConfig struct {
+	// Machine is the hardware-model name (alembert | trinitite | knl | fast).
+	Machine hw.Machine
+	// MachineName labels the file (the -machine flag value).
+	MachineName string
+	// Threads is the list of pair counts to sweep (the paper's x-axis).
+	Threads []int
+	// Window is the outstanding-message window per iteration.
+	Window int
+	// Iters is the number of window iterations per pair.
+	Iters int
+	// MsgSize is the payload size in bytes (0 = envelope only).
+	MsgSize int
+	// Instances is the CRI count the CRI designs use (paper: one per core).
+	Instances int
+	// Designs is the set of designs to sweep (≥ 2 for a valid file).
+	Designs []designs.Design
+}
+
+// File is the root of a BENCH_*.json trajectory.
+type File struct {
+	SchemaVersion int            `json:"schema_version"`
+	Benchmark     string         `json:"benchmark"`
+	Engine        string         `json:"engine"`
+	Unit          string         `json:"unit"`
+	Machine       string         `json:"machine"`
+	Sweep         Sweep          `json:"sweep"`
+	Designs       []DesignResult `json:"designs"`
+}
+
+// Sweep records the parameters shared by every design's points.
+type Sweep struct {
+	Threads      []int `json:"threads"`
+	Window       int   `json:"window"`
+	Iters        int   `json:"iters"`
+	MsgSizeBytes int   `json:"msg_size_bytes"`
+	Instances    int   `json:"instances"`
+}
+
+// DesignResult is one design's rate curve.
+type DesignResult struct {
+	Name        string  `json:"name"`
+	Slug        string  `json:"slug"`
+	ProcessMode bool    `json:"process_mode"`
+	Points      []Point `json:"points"`
+}
+
+// Point is one measurement: the design's message rate at one thread count.
+type Point struct {
+	Threads        int     `json:"threads"`
+	MessagesPerSec float64 `json:"messages_per_sec"`
+	Messages       int64   `json:"messages"`
+	MakespanNs     int64   `json:"makespan_ns"`
+}
+
+func (c SweepConfig) withDefaults() SweepConfig {
+	if len(c.Threads) == 0 {
+		c.Threads = []int{1, 2, 4, 8, 12, 16, 20}
+	}
+	if c.Window <= 0 {
+		c.Window = 128
+	}
+	if c.Iters <= 0 {
+		c.Iters = 8
+	}
+	if c.Instances <= 0 {
+		c.Instances = 20
+	}
+	if len(c.Designs) == 0 {
+		c.Designs = []designs.Design{
+			designs.OMPIProcess, designs.OMPIThread,
+			designs.OMPIThreadCRI, designs.OMPIThreadCRIFull,
+		}
+	}
+	return c
+}
+
+// Run executes the sweep and assembles the trajectory file.
+func Run(cfg SweepConfig) File {
+	cfg = cfg.withDefaults()
+	f := File{
+		SchemaVersion: SchemaVersion,
+		Benchmark:     "multirate",
+		Engine:        "simnet-virtual-time",
+		Unit:          "msg/s",
+		Machine:       cfg.MachineName,
+		Sweep: Sweep{
+			Threads: cfg.Threads, Window: cfg.Window, Iters: cfg.Iters,
+			MsgSizeBytes: cfg.MsgSize, Instances: cfg.Instances,
+		},
+	}
+	base := simnet.Config{
+		Machine: cfg.Machine, Window: cfg.Window, Iters: cfg.Iters,
+		MsgSize: cfg.MsgSize,
+	}
+	for _, d := range cfg.Designs {
+		dr := DesignResult{Name: d.String(), Slug: d.Slug(), ProcessMode: d.IsProcessMode()}
+		for _, threads := range cfg.Threads {
+			sc := d.SimConfig(base, cfg.Instances)
+			sc.Pairs = threads
+			res := simnet.RunMultirate(sc)
+			dr.Points = append(dr.Points, Point{
+				Threads:        threads,
+				MessagesPerSec: res.Rate,
+				Messages:       res.Messages,
+				MakespanNs:     res.Makespan.Nanoseconds(),
+			})
+		}
+		f.Designs = append(f.Designs, dr)
+	}
+	return f
+}
+
+// Marshal renders the file as indented JSON with a trailing newline.
+func Marshal(f File) ([]byte, error) {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Validate checks that data is a well-formed trajectory file: required
+// fields present and typed, a known schema version, at least two designs
+// with unique slugs, and every design carrying one positive-rate point per
+// swept thread count, in sweep order. It is deliberately strict — the file
+// is a machine-readable interface, not a log.
+func Validate(data []byte) error {
+	var f File
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return fmt.Errorf("benchjson: parse: %w", err)
+	}
+	if f.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("benchjson: schema_version %d, want %d", f.SchemaVersion, SchemaVersion)
+	}
+	if f.Benchmark == "" || f.Engine == "" || f.Unit == "" {
+		return fmt.Errorf("benchjson: benchmark/engine/unit must be non-empty")
+	}
+	if len(f.Sweep.Threads) == 0 {
+		return fmt.Errorf("benchjson: sweep.threads is empty")
+	}
+	if !sort.IntsAreSorted(f.Sweep.Threads) {
+		return fmt.Errorf("benchjson: sweep.threads not ascending: %v", f.Sweep.Threads)
+	}
+	for i, n := range f.Sweep.Threads {
+		if n <= 0 {
+			return fmt.Errorf("benchjson: sweep.threads[%d] = %d, want > 0", i, n)
+		}
+	}
+	if f.Sweep.Window <= 0 || f.Sweep.Iters <= 0 {
+		return fmt.Errorf("benchjson: sweep window/iters must be positive")
+	}
+	if len(f.Designs) < 2 {
+		return fmt.Errorf("benchjson: %d designs, want >= 2 for a comparable trajectory", len(f.Designs))
+	}
+	seen := make(map[string]bool, len(f.Designs))
+	for _, d := range f.Designs {
+		if d.Name == "" || d.Slug == "" {
+			return fmt.Errorf("benchjson: design with empty name or slug")
+		}
+		if seen[d.Slug] {
+			return fmt.Errorf("benchjson: duplicate design slug %q", d.Slug)
+		}
+		seen[d.Slug] = true
+		if len(d.Points) != len(f.Sweep.Threads) {
+			return fmt.Errorf("benchjson: design %q has %d points for %d swept thread counts",
+				d.Slug, len(d.Points), len(f.Sweep.Threads))
+		}
+		for i, p := range d.Points {
+			if p.Threads != f.Sweep.Threads[i] {
+				return fmt.Errorf("benchjson: design %q point %d at threads=%d, sweep says %d",
+					d.Slug, i, p.Threads, f.Sweep.Threads[i])
+			}
+			if p.MessagesPerSec <= 0 {
+				return fmt.Errorf("benchjson: design %q threads=%d rate %v, want > 0",
+					d.Slug, p.Threads, p.MessagesPerSec)
+			}
+			if p.Messages <= 0 || p.MakespanNs <= 0 {
+				return fmt.Errorf("benchjson: design %q threads=%d has non-positive messages/makespan",
+					d.Slug, p.Threads)
+			}
+		}
+	}
+	return nil
+}

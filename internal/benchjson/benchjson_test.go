@@ -1,0 +1,96 @@
+package benchjson
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/designs"
+	"repro/internal/hw"
+)
+
+func tinySweep() SweepConfig {
+	return SweepConfig{
+		Machine: hw.Fast(), MachineName: "fast",
+		Threads: []int{1, 2}, Window: 8, Iters: 2,
+		Designs: []designs.Design{designs.OMPIThread, designs.OMPIThreadCRIFull},
+	}
+}
+
+func TestRunProducesValidFile(t *testing.T) {
+	f := Run(tinySweep())
+	b, err := Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(b); err != nil {
+		t.Fatalf("generated file fails its own schema: %v", err)
+	}
+	if len(f.Designs) != 2 {
+		t.Fatalf("designs = %d, want 2", len(f.Designs))
+	}
+	for _, d := range f.Designs {
+		for _, p := range d.Points {
+			if p.MessagesPerSec <= 0 {
+				t.Errorf("design %s threads=%d rate=%v", d.Slug, p.Threads, p.MessagesPerSec)
+			}
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Marshal(Run(tinySweep()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Marshal(Run(tinySweep()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("two identical sweeps produced different trajectory files")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	good, err := Marshal(Run(tinySweep()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(string) string
+		wantErr string
+	}{
+		{"not json", func(s string) string { return "nope" }, "parse"},
+		{"unknown field", func(s string) string {
+			return strings.Replace(s, `"benchmark"`, `"surprise": 1, "benchmark"`, 1)
+		}, "parse"},
+		{"wrong version", func(s string) string {
+			return strings.Replace(s, `"schema_version": 1`, `"schema_version": 99`, 1)
+		}, "schema_version"},
+		{"one design", func(s string) string {
+			i := strings.Index(s, `    {
+      "name": "OMPI Thread + CRIs*"`)
+			j := strings.LastIndex(s, "]")
+			return s[:strings.LastIndex(s[:i], ",")] + "\n  " + s[j:]
+		}, "want >= 2"},
+		{"negative rate", func(s string) string {
+			return strings.Replace(s, `"messages_per_sec": `, `"messages_per_sec": -`, 1)
+		}, "want > 0"},
+		{"duplicate slug", func(s string) string {
+			return strings.Replace(s, `"slug": "ompi-thread-cri-full"`, `"slug": "ompi-thread"`, 1)
+		}, "duplicate design slug"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := tc.mutate(string(good))
+			err := Validate([]byte(bad))
+			if err == nil {
+				t.Fatalf("validated corrupted file:\n%s", bad)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

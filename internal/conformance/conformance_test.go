@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cri"
 	"repro/internal/hw"
+	"repro/internal/spc"
 	"repro/internal/transport/tcpnet"
 )
 
@@ -28,8 +29,11 @@ type harness struct {
 
 func testOptions() core.Options {
 	// Two instances, round-robin assignment, concurrent progress: the
-	// configuration that exercises the CRI plumbing hardest.
+	// configuration that exercises the CRI plumbing hardest. Telemetry is
+	// on so the SPC roll-up invariant is checked with full per-CRI and
+	// per-communicator attribution in play on every backend.
 	opts := core.CRIsConcurrent(2, cri.RoundRobin)
+	opts.Telemetry = true
 	return opts
 }
 
@@ -131,6 +135,7 @@ func TestConformance(t *testing.T) {
 		{"AnyTagOvertaking", conformAnyTagOvertaking},
 		{"PersistentRequests", conformPersistent},
 		{"WaitAny", conformWaitAny},
+		{"SPCRollup", conformSPCRollup},
 	}
 	for name, mk := range backends(t) {
 		t.Run(name, func(t *testing.T) {
@@ -331,4 +336,50 @@ func conformWaitAny(t *testing.T, h *harness) {
 		}
 		return nil
 	})
+}
+
+// conformSPCRollup: the two independent counter roll-up paths — the
+// benchmark-facing SPCSnapshot and the observability-facing TelemetryStats
+// attribution (residual + per-CRI + per-communicator) — must agree exactly
+// at quiescence, with the attributed children accounting for the traffic
+// just driven. Backends must not differ: the same invariant holds whether
+// the counters were fed by the simulated fabric or the TCP wire.
+func conformSPCRollup(t *testing.T, h *harness) {
+	const n = 24
+	before := h.procs[0].SPCSnapshot()[spc.MessagesSent]
+	run2(t, h, func(rank int, th *core.Thread) error {
+		c := h.comms[rank]
+		if rank == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.Send(th, 1, 91, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		buf := make([]byte, 1)
+		for i := 0; i < n; i++ {
+			if _, err := c.Recv(th, 0, 91, buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	for rank, p := range h.procs {
+		ps := p.TelemetryStats()
+		merged := ps.MergeChildren()
+		if ps.Process != merged {
+			t.Errorf("rank %d: Process roll-up diverges from Merge(Residual, PerCRI..., PerComm...)", rank)
+		}
+		if snap := p.SPCSnapshot(); snap != merged {
+			t.Errorf("rank %d: SPCSnapshot disagrees with attributed roll-up:\nsnapshot: %v\nattributed: %v",
+				rank, snap, merged)
+		}
+		if len(ps.PerCRI) == 0 {
+			t.Errorf("rank %d: no per-CRI attribution with telemetry on", rank)
+		}
+	}
+	if sent := h.procs[0].SPCSnapshot()[spc.MessagesSent]; sent < before+n {
+		t.Errorf("sender messages_sent=%d, want >= %d", sent, before+n)
+	}
 }

@@ -54,6 +54,15 @@ type completionScratch struct {
 	buf []match.Completion
 }
 
+// traceID derives the deterministic message-lifecycle trace id for one
+// eager send: origin rank (biased so rank 0 yields a non-zero id), the
+// communicator id, and the per-destination sequence number. Both ends of a
+// traced message compute the same id, which is what lets a merger stitch
+// the cross-rank flow without any id-exchange protocol.
+func traceID(rank int, commID uint32, seq uint32) uint64 {
+	return uint64(rank+1)<<48 | uint64(commID&0xffff)<<32 | uint64(seq)
+}
+
 func newComm(p *Proc, id uint32, group []int, myRank int, info Info) *Comm {
 	c := &Comm{
 		proc:       p,
@@ -154,18 +163,25 @@ func (c *Comm) Isend(th *Thread, dst int, tag int32, buf []byte) (*Request, erro
 	if p.histLatency != nil {
 		pkt.Stamp = time.Now().UnixNano()
 	}
+	if p.traceWire {
+		pkt.TraceID = traceID(p.rank, c.id, seq)
+		pkt.Origin = int32(p.rank)
+		if pkt.Stamp == 0 {
+			pkt.Stamp = time.Now().UnixNano()
+		}
+	}
 
 	if c.group[dst] == p.rank {
 		// Self message: bypass the fabric, deliver straight into the
 		// matching engine and complete the send.
-		p.tracer.Emit(trace.KindSendInject, int32(dst), int32(seq))
+		p.tracer.EmitFlowCRI(trace.KindSendInject, pkt.TraceID, -1, int32(dst), int32(seq))
 		req.finish(nil)
-		p.deliver(pkt)
+		p.deliver(nil, pkt)
 		return req, nil
 	}
 
 	inst := p.pool.ForThread(&th.ts)
-	p.tracer.EmitCRI(trace.KindSendInject, inst.Index(), int32(dst), int32(seq))
+	p.tracer.EmitFlowCRI(trace.KindSendInject, pkt.TraceID, inst.Index(), int32(dst), int32(seq))
 	inst.Lock()
 	ep := inst.Endpoint(c.group[dst])
 	if ep == nil {
@@ -312,10 +328,20 @@ func (c *Comm) completeRecv(comp match.Completion) {
 		return
 	}
 	p := c.proc
-	if p.histLatency != nil && comp.Packet != nil && comp.Packet.Stamp != 0 {
-		p.histLatency.ObserveNs(time.Now().UnixNano() - comp.Packet.Stamp)
+	var flow uint64
+	if comp.Packet != nil {
+		flow = comp.Packet.TraceID
+		if p.histLatency != nil && comp.Packet.Stamp != 0 {
+			p.histLatency.ObserveNs(time.Now().UnixNano() - comp.Packet.Stamp)
+		}
+		if p.histResidency != nil && comp.Packet.RecvStamp != 0 {
+			// Arrival at the matching engine to match completion: how long
+			// the message sat in the unexpected queue (or how fast a posted
+			// receive consumed it).
+			p.histResidency.ObserveNs(time.Now().UnixNano() - comp.Packet.RecvStamp)
+		}
 	}
-	p.tracer.Emit(trace.KindMatchComplete, env.Src, env.Tag)
+	p.tracer.EmitFlowCRI(trace.KindMatchComplete, flow, -1, env.Src, env.Tag)
 	req.finishRecv(Status{
 		Source:     env.Src,
 		Tag:        env.Tag,
@@ -376,7 +402,7 @@ func (c *Comm) isendInternal(th *Thread, dst int, tag int32, buf []byte) (*Reque
 	pkt := transport.NewPacket(env, buf, req)
 	if c.group[dst] == p.rank {
 		req.finish(nil)
-		p.deliver(pkt)
+		p.deliver(nil, pkt)
 		return req, nil
 	}
 	inst := p.pool.ForThread(&th.ts)

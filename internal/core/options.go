@@ -86,6 +86,15 @@ type Options struct {
 	// about this many recent message-path events per process
 	// (see internal/trace).
 	TraceCapacity int
+	// TraceWire enables cross-process message-lifecycle tracing: every
+	// eager send carries a deterministic trace id, origin rank, and send
+	// timestamp (the transport.FlagTraced wire extension), receivers stitch
+	// the lifecycle into flow-linked trace events, and the one-way-latency
+	// and match-residency histograms fill (clock-corrected when the backend
+	// implements transport.ClockSync). Off by default: the wire format stays
+	// byte-identical to the paper-faithful framing. Pair with TraceCapacity
+	// and/or Telemetry to retain what the tracing produces.
+	TraceWire bool
 	// HashMatching replaces the OB1-style list matching engine with the
 	// hash-based engine (O(1) exact matching; see match.HashEngine) — the
 	// optimized-matching direction the paper's Section III-F leaves out of

@@ -81,3 +81,77 @@ func TestNoTracerByDefault(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTraceWireLifecycle(t *testing.T) {
+	opts := Stock()
+	opts.TraceCapacity = 1024
+	opts.Telemetry = true
+	opts.TraceWire = true
+	w := newTestWorld(t, 2, opts)
+	t0, t1 := w.Proc(0).NewThread(), w.Proc(1).NewThread()
+	c0, c1 := w.Proc(0).CommWorld(), w.Proc(1).CommWorld()
+
+	go func() { _ = c0.Send(t0, 1, 7, []byte("traced")) }()
+	buf := make([]byte, 8)
+	if _, err := c1.Recv(t1, 0, 7, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both ends compute the same deterministic flow id; the first eager
+	// send on the world communicator has seq 0 (the rank bias keeps the id
+	// non-zero regardless).
+	want := traceID(0, 1, 0)
+	findFlow := func(p *Proc, k trace.Kind) uint64 {
+		for _, e := range p.Tracer().Snapshot() {
+			if e.Kind == k {
+				return e.Flow
+			}
+		}
+		return 0
+	}
+	if got := findFlow(w.Proc(0), trace.KindSendInject); got != want {
+		t.Fatalf("sender inject flow = %#x, want %#x", got, want)
+	}
+	if got := findFlow(w.Proc(1), trace.KindRecvDeliver); got != want {
+		t.Fatalf("receiver deliver flow = %#x, want %#x", got, want)
+	}
+	if got := findFlow(w.Proc(1), trace.KindMatchComplete); got != want {
+		t.Fatalf("receiver match flow = %#x, want %#x", got, want)
+	}
+
+	// Lifecycle histograms fill on the receiver.
+	tel := w.Proc(1).Telemetry()
+	if tel.OneWayLatency.Count() == 0 {
+		t.Error("one-way latency histogram empty on a traced run")
+	}
+	if tel.MatchResidency.Count() == 0 {
+		t.Error("match residency histogram empty on a traced run")
+	}
+
+	// TraceEvents carries the shard anchors.
+	re := w.Proc(1).TraceEvents()
+	if re.Rank != 1 || len(re.Events) == 0 || re.BaseUnixNs == 0 {
+		t.Fatalf("trace shard incomplete: rank=%d events=%d base=%d", re.Rank, len(re.Events), re.BaseUnixNs)
+	}
+}
+
+func TestTraceWireOffByDefault(t *testing.T) {
+	opts := Stock()
+	opts.TraceCapacity = 64
+	opts.Telemetry = true
+	w := newTestWorld(t, 2, opts)
+	t0, t1 := w.Proc(0).NewThread(), w.Proc(1).NewThread()
+	go func() { _ = w.Proc(0).CommWorld().Send(t0, 1, 1, []byte{1}) }()
+	buf := make([]byte, 1)
+	if _, err := w.Proc(1).CommWorld().Recv(t1, 0, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range w.Proc(1).Tracer().Snapshot() {
+		if e.Flow != 0 {
+			t.Fatalf("flow id %#x recorded with TraceWire off", e.Flow)
+		}
+	}
+	if n := w.Proc(1).Telemetry().OneWayLatency.Count(); n != 0 {
+		t.Fatalf("one-way latency recorded %d samples with TraceWire off", n)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/backends"
 	"repro/internal/cri"
@@ -148,6 +149,19 @@ func (w *World) LocalProc() *Proc {
 	return nil
 }
 
+// LocalProcs returns every Proc hosted by this OS process in rank order:
+// all of them for an in-process world, the single local one for a
+// distributed world. Live observability endpoints iterate this.
+func (w *World) LocalProcs() []*Proc {
+	out := make([]*Proc, 0, len(w.procs))
+	for _, p := range w.procs {
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // TransportCaps returns the capability flags of the world's backend.
 func (w *World) TransportCaps() transport.Caps { return w.caps }
 
@@ -223,12 +237,20 @@ type Proc struct {
 	spcs   *spc.Set
 	tracer *trace.Tracer
 
-	// tel bundles the latency histograms (Options.Telemetry); the two
+	// tel bundles the latency histograms (Options.Telemetry); the
 	// histograms the proc's own hot paths record into are cached as direct
 	// pointers so a disabled hook is one nil check.
-	tel         *telemetry.Telemetry
-	histMatch   *telemetry.Histogram
-	histLatency *telemetry.Histogram
+	tel           *telemetry.Telemetry
+	histMatch     *telemetry.Histogram
+	histLatency   *telemetry.Histogram
+	histOneWay    *telemetry.Histogram
+	histResidency *telemetry.Histogram
+
+	// traceWire marks eager sends with the trace-context wire extension
+	// (Options.TraceWire); clock holds the backend's peer clock-offset
+	// estimator when it implements transport.ClockSync (nil otherwise).
+	traceWire bool
+	clock     transport.ClockSync
 
 	commMu sync.RWMutex
 	comms  map[uint32]*Comm
@@ -309,6 +331,14 @@ func newProc(w *World, rank int, machine hw.Machine, opts Options) (*Proc, error
 		p.tel = telemetry.New()
 		p.histMatch = p.tel.MatchSection
 		p.histLatency = p.tel.MsgLatency
+		p.histOneWay = p.tel.OneWayLatency
+		p.histResidency = p.tel.MatchResidency
+	}
+	p.traceWire = opts.TraceWire
+	if cs, ok := dev.(transport.ClockSync); ok {
+		p.clock = cs
+	} else if cs, ok := w.net.(transport.ClockSync); ok {
+		p.clock = cs
 	}
 	p.levelGuard.level = opts.ThreadLevel
 	insts := make([]*cri.Instance, opts.NumInstances)
@@ -465,6 +495,34 @@ func (p *Proc) TelemetryStats() telemetry.ProcStats {
 // was set).
 func (p *Proc) Tracer() *trace.Tracer { return p.tracer }
 
+// ClockOffsetToRank0Ns returns the correction mapping this proc's clock
+// onto rank 0's (rank0_time = local_time + offset), from the transport's
+// NTP-style handshake estimate. Zero for rank 0, for in-process worlds
+// (one shared clock), and when no estimate exists.
+func (p *Proc) ClockOffsetToRank0Ns() int64 {
+	if p.rank == 0 || p.clock == nil {
+		return 0
+	}
+	if off, ok := p.clock.PeerClockOffsetNs(0); ok {
+		// off is local − rank0, so mapping local onto rank 0 subtracts it.
+		return -off
+	}
+	return 0
+}
+
+// TraceEvents snapshots the proc's retained trace events together with the
+// clock anchors a cross-rank merger needs (tracer start instant, offset to
+// rank 0) — the payload of one trace shard. Safe without a tracer: the
+// result is empty with a zero base.
+func (p *Proc) TraceEvents() telemetry.RankEvents {
+	return telemetry.RankEvents{
+		Rank:           p.rank,
+		Events:         p.tracer.Snapshot(),
+		BaseUnixNs:     p.tracer.StartUnixNano(),
+		ClockToRank0Ns: p.ClockOffsetToRank0Ns(),
+	}
+}
+
 // Pool exposes the instance pool (used by the one-sided layer).
 func (p *Proc) Pool() *cri.Pool { return p.pool }
 
@@ -529,7 +587,7 @@ func (p *Proc) dispatch(in *cri.Instance, e transport.CQE) {
 			c.Complete(e)
 		}
 	case transport.CQERecv:
-		p.deliver(e.Packet)
+		p.deliver(in, e.Packet)
 	default: // one-sided completions
 		if c, ok := e.Token.(Completer); ok && c != nil {
 			c.Complete(e)
@@ -538,8 +596,10 @@ func (p *Proc) dispatch(in *cri.Instance, e transport.CQE) {
 }
 
 // deliver pushes an inbound two-sided packet through the owning
-// communicator's matching engine under its matching lock.
-func (p *Proc) deliver(pkt *transport.Packet) {
+// communicator's matching engine under its matching lock. in is the CRI
+// instance whose context the packet arrived on (nil for self messages,
+// which bypass the fabric).
+func (p *Proc) deliver(in *cri.Instance, pkt *transport.Packet) {
 	env := pkt.Envelope()
 	if env.Kind == transport.KindAck {
 		p.rel.handleAck(pkt)
@@ -566,7 +626,27 @@ func (p *Proc) deliver(pkt *transport.Packet) {
 		c.handleRendezvousFIN(pkt)
 		return
 	}
-	p.tracer.Emit(trace.KindRecvDeliver, env.Src, int32(env.Seq))
+	criIdx := -1
+	if in != nil {
+		criIdx = in.Index()
+	}
+	if pkt.TraceID != 0 {
+		now := time.Now().UnixNano()
+		// Arrival stamp feeds the match-residency histogram at completion.
+		pkt.RecvStamp = now
+		if p.histOneWay != nil && pkt.Stamp != 0 {
+			// The send stamp is on the origin's clock; the transport's
+			// NTP-style estimate maps it into ours (local = peer + offset).
+			var off int64
+			if p.clock != nil {
+				if o, ok := p.clock.PeerClockOffsetNs(int(pkt.Origin)); ok {
+					off = o
+				}
+			}
+			p.histOneWay.ObserveNs(now - (pkt.Stamp + off))
+		}
+	}
+	p.tracer.EmitFlowCRI(trace.KindRecvDeliver, pkt.TraceID, criIdx, env.Src, int32(env.Seq))
 	scratch, _ := p.scratchPool.Get().(*completionScratch)
 	if scratch == nil {
 		scratch = &completionScratch{}

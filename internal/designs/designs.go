@@ -74,6 +74,36 @@ func (d Design) String() string {
 	return names[d]
 }
 
+var slugs = [...]string{
+	OMPIProcess:       "ompi-process",
+	OMPIThread:        "ompi-thread",
+	OMPIThreadCRI:     "ompi-thread-cri",
+	OMPIThreadCRIFull: "ompi-thread-cri-full",
+	IMPIProcess:       "impi-process",
+	IMPIThread:        "impi-thread",
+	MPICHProcess:      "mpich-process",
+	MPICHThread:       "mpich-thread",
+}
+
+// Slug returns the design's machine-readable identifier, stable across
+// releases — the form used in BENCH_*.json files and on command lines.
+func (d Design) Slug() string {
+	if d < 0 || int(d) >= len(slugs) {
+		return fmt.Sprintf("design-%d", int(d))
+	}
+	return slugs[d]
+}
+
+// FromSlug resolves a machine-readable identifier back to its design.
+func FromSlug(s string) (Design, bool) {
+	for i, slug := range slugs {
+		if slug == s {
+			return Design(i), true
+		}
+	}
+	return 0, false
+}
+
 // IsProcessMode reports whether the design maps pairs to processes.
 func (d Design) IsProcessMode() bool {
 	return d == OMPIProcess || d == IMPIProcess || d == MPICHProcess

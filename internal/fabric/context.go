@@ -203,7 +203,7 @@ func (e *Endpoint) Remote() *Context { return e.remote }
 func (e *Endpoint) Send(p *Packet) {
 	costs := &e.local.dev.costs
 	hw.Spin(costs.SendInject)
-	e.local.dev.limiter.reserve(EnvelopeSize + len(p.Payload))
+	e.local.dev.limiter.reserve(headerSize(p) + len(p.Payload))
 	if f := e.local.faults; f != nil {
 		f.inject(e.remote, p)
 	} else {
@@ -219,12 +219,23 @@ func (e *Endpoint) Send(p *Packet) {
 func (e *Endpoint) Resend(p *Packet) {
 	costs := &e.local.dev.costs
 	hw.Spin(costs.SendInject)
-	e.local.dev.limiter.reserve(EnvelopeSize + len(p.Payload))
+	e.local.dev.limiter.reserve(headerSize(p) + len(p.Payload))
 	if f := e.local.faults; f != nil {
 		f.inject(e.remote, p)
 	} else {
 		e.remote.deliver(p)
 	}
+}
+
+// headerSize is the per-packet wire-header footprint the rate limiter
+// charges: the canonical envelope, plus the trace-context extension when
+// the packet carries one — the simulated wire mirrors the real framing's
+// conditional cost byte for byte.
+func headerSize(p *Packet) int {
+	if p.TraceID != 0 {
+		return EnvelopeSize + TraceExtSize
+	}
+	return EnvelopeSize
 }
 
 // PutRegion writes src into the remote device's registered region at offset

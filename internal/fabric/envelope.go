@@ -23,6 +23,10 @@ import (
 // EnvelopeSize is the wire footprint of the matching header.
 const EnvelopeSize = transport.EnvelopeSize
 
+// TraceExtSize is the wire footprint of the optional trace-context
+// extension a traced packet carries after the envelope.
+const TraceExtSize = transport.TraceExtSize
+
 // Envelope is the matching header carried by every two-sided message.
 type Envelope = transport.Envelope
 

@@ -1,0 +1,107 @@
+// Package obs is the live observability endpoint: a small HTTP server a
+// benchmark process attaches to its running world, serving the telemetry
+// layer's exporters over the wire instead of only into files at exit.
+//
+//	/metrics      Prometheus text format (SPC attribution + histograms)
+//	/spc          human-readable counter attribution dump
+//	/trace        Chrome trace-event JSON snapshot of the retained events
+//	/healthz      liveness probe
+//	/debug/pprof  the standard Go profiler endpoints
+//
+// The server pulls through a Source of callbacks so it always serves the
+// current state of a run in flight; it takes no locks of its own beyond
+// what the nil-safe snapshot paths already take.
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Source supplies the live data the endpoints render. Callbacks may be nil;
+// the corresponding endpoint then serves an empty document. They are called
+// on every request, concurrently with the run.
+type Source struct {
+	// Stats returns the current observability snapshot of every local proc.
+	Stats func() []telemetry.ProcStats
+	// Events returns the current trace shard of every local proc.
+	Events func() []telemetry.RankEvents
+	// Info labels the run (transport, caps, design, ...) — exported as the
+	// mpi_build_info gauge on /metrics.
+	Info map[string]string
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (e.g. "127.0.0.1:9090", or ":0" for an ephemeral port)
+// and serves the observability endpoints in the background until Close.
+func Serve(addr string, src Source) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	// An explicit mux: the pprof handlers are registered here rather than
+	// relying on net/http's DefaultServeMux side-effect registration, so
+	// nothing else a process imports can leak handlers onto this port.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if len(src.Info) > 0 {
+			_ = telemetry.WritePrometheusInfo(w, "mpi_build_info", src.Info)
+		}
+		if src.Stats != nil {
+			_ = telemetry.WritePrometheus(w, src.Stats()...)
+		}
+	})
+	mux.HandleFunc("/spc", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if src.Stats == nil {
+			return
+		}
+		for _, ps := range src.Stats() {
+			_ = ps.WriteText(w)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var evs []telemetry.RankEvents
+		if src.Events != nil {
+			evs = src.Events()
+		}
+		_ = telemetry.WriteChromeTraceRanks(w, evs)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			_ = err // the listener closed under us at shutdown
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address (resolves ":0" to the chosen port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately. In-flight requests are cut off —
+// appropriate for benchmark teardown, where nothing downstream waits.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/spc"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+func get(t *testing.T, url string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestServerEndpoints(t *testing.T) {
+	var residual spc.Snapshot
+	residual[spc.MessagesSent] = 12
+	stats := telemetry.ProcStats{Rank: 0, Residual: residual}
+	stats.Process = stats.MergeChildren()
+	src := Source{
+		Stats: func() []telemetry.ProcStats { return []telemetry.ProcStats{stats} },
+		Events: func() []telemetry.RankEvents {
+			return []telemetry.RankEvents{{Rank: 0, Events: []trace.Event{
+				{TS: 100, Seq: 1, Kind: trace.KindSendInject, CRI: 0, Arg0: 1},
+			}}}
+		},
+		Info: map[string]string{"transport": "sim", "design": "stock"},
+	}
+	s, err := Serve("127.0.0.1:0", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	if body, _ := get(t, base+"/healthz"); body != "ok\n" {
+		t.Fatalf("healthz = %q", body)
+	}
+
+	metrics, ct := get(t, base+"/metrics")
+	if !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("metrics content-type = %q", ct)
+	}
+	for _, want := range []string{
+		`mpi_build_info{design="stock",transport="sim"} 1`,
+		`mpi_spc_messages_sent{rank="0",scope="process"} 12`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q\n%s", want, metrics)
+		}
+	}
+
+	spcText, _ := get(t, base+"/spc")
+	if !strings.Contains(spcText, "rank 0 process totals:") || !strings.Contains(spcText, "messages_sent") {
+		t.Errorf("/spc output unexpected:\n%s", spcText)
+	}
+
+	traceJSON, ct := get(t, base+"/trace")
+	if ct != "application/json" {
+		t.Errorf("trace content-type = %q", ct)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal([]byte(traceJSON), &parsed); err != nil {
+		t.Fatalf("/trace is not valid JSON: %v\n%s", err, traceJSON)
+	}
+	if len(parsed) == 0 {
+		t.Error("/trace served no events")
+	}
+
+	if body, _ := get(t, base+"/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestServerNilSource(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", Source{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+	for _, path := range []string{"/healthz", "/metrics", "/spc", "/trace"} {
+		get(t, base+path) // must not panic or error with nil callbacks
+	}
+}

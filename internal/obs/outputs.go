@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+
+	"repro/internal/telemetry"
+)
+
+// Outputs owns a run's file-backed telemetry artifacts — Prometheus
+// snapshot, Chrome trace, sampler CSV, raw trace shards — and guarantees
+// each is written exactly once, whether the run completes normally or a
+// signal cuts it short mid-flight. Paths left empty are skipped.
+//
+// The artifacts are pulled through the same Source callbacks the live HTTP
+// endpoint serves, so an interrupted run flushes whatever partial state the
+// world has accumulated so far rather than nothing.
+type Outputs struct {
+	// MetricsPath receives a Prometheus text-format snapshot.
+	MetricsPath string
+	// TracePath receives the merged clock-corrected Chrome trace JSON.
+	TracePath string
+	// SamplesPath receives the background sampler time series as CSV.
+	SamplesPath string
+	// ShardPath receives one raw trace-shard JSON per local rank (input to
+	// cmd/tracemerge). With more than one local rank, "-rank<N>" is
+	// inserted before the path's extension.
+	ShardPath string
+	// Info labels the Prometheus snapshot (mpi_build_info).
+	Info map[string]string
+
+	mu      sync.Mutex
+	src     Source
+	sampler *telemetry.Sampler
+	once    sync.Once
+	err     error
+}
+
+// Bind points the outputs at a run's live data source. Called from the
+// benchmark's OnWorld hook.
+func (o *Outputs) Bind(src Source) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.src = src
+}
+
+// BindSampler hands the outputs the background sampler so a flush can stop
+// it and write the partial time series. Called from the OnSampler hook.
+func (o *Outputs) BindSampler(s *telemetry.Sampler) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.sampler = s
+}
+
+// Active reports whether any artifact path is configured.
+func (o *Outputs) Active() bool {
+	return o.MetricsPath != "" || o.TracePath != "" || o.SamplesPath != "" || o.ShardPath != ""
+}
+
+// Flush writes every configured artifact exactly once; subsequent calls
+// return the first call's result.
+func (o *Outputs) Flush() error {
+	o.once.Do(func() { o.err = o.flush() })
+	return o.err
+}
+
+func (o *Outputs) flush() error {
+	o.mu.Lock()
+	src, smp := o.src, o.sampler
+	o.mu.Unlock()
+
+	if o.MetricsPath != "" {
+		err := writeFile(o.MetricsPath, func(w io.Writer) error {
+			if len(o.Info) > 0 {
+				if err := telemetry.WritePrometheusInfo(w, "mpi_build_info", o.Info); err != nil {
+					return err
+				}
+			}
+			if src.Stats == nil {
+				return nil
+			}
+			return telemetry.WritePrometheus(w, src.Stats()...)
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	var events []telemetry.RankEvents
+	if src.Events != nil && (o.TracePath != "" || o.ShardPath != "") {
+		events = src.Events()
+	}
+	if o.TracePath != "" {
+		err := writeFile(o.TracePath, func(w io.Writer) error {
+			return telemetry.WriteChromeTraceRanks(w, events)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if o.ShardPath != "" {
+		for _, re := range events {
+			re := re
+			err := writeFile(ShardPathForRank(o.ShardPath, re.Rank, len(events) > 1), func(w io.Writer) error {
+				return telemetry.WriteTraceShard(w, re)
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+
+	if o.SamplesPath != "" && smp != nil {
+		smp.Stop()
+		err := writeFile(o.SamplesPath, func(w io.Writer) error {
+			return telemetry.WriteSamplesCSV(w, smp.Samples())
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShardPathForRank names one rank's shard file: the path itself when the
+// process hosts a single rank, otherwise "-rank<N>" inserted before the
+// extension (trace.json -> trace-rank1.json).
+func ShardPathForRank(path string, rank int, multi bool) string {
+	if !multi {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s-rank%d%s", strings.TrimSuffix(path, ext), rank, ext)
+}
+
+// FlushOnSignal installs a SIGINT/SIGTERM handler that flushes the outputs
+// and exits with the conventional 128+signo status. The returned stop
+// function uninstalls the handler; call it once the run has completed and
+// the normal-exit path owns flushing again.
+func (o *Outputs) FlushOnSignal() (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig, ok := <-ch
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "obs: %v: flushing telemetry outputs\n", sig)
+		if err := o.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "obs: flush:", err)
+		}
+		code := 130 // 128 + SIGINT
+		if sig == syscall.SIGTERM {
+			code = 143
+		}
+		os.Exit(code)
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(ch)
+	}
+}
+
+// writeFile creates path and streams fn's output into it.
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -108,6 +108,11 @@ type Config struct {
 	FaultDelayDur time.Duration
 	// FaultSeed seeds the deterministic per-thread fault RNGs (0 = 1).
 	FaultSeed int64
+	// Traced models the trace-context wire extension being on: every eager
+	// packet carries TraceExtSize extra header bytes, mirroring the real
+	// runtime's flag-gated framing on the virtual wire so the extension's
+	// bandwidth cost is measurable deterministically.
+	Traced bool
 }
 
 // faultsEnabled reports whether any fault probability is non-zero.
@@ -496,7 +501,11 @@ func (t *simThread) send(sp *sim.Proc, c *simComm, dst *simProc, srcRank, dstRan
 	inst := p.instanceFor(&t.ts)
 	inst.lock.Acquire(sp)
 	sp.Advance(p.costs.SendInject)
-	p.wire.Reserve(sp, fabric.EnvelopeSize+p.cfg.MsgSize)
+	header := fabric.EnvelopeSize
+	if p.cfg.Traced {
+		header += fabric.TraceExtSize
+	}
+	p.wire.Reserve(sp, header+p.cfg.MsgSize)
 
 	remote := dst.instances[inst.index%len(dst.instances)]
 	// Hardware back-pressure: stall while the remote receive queue is full.
@@ -508,7 +517,7 @@ func (t *simThread) send(sp *sim.Proc, c *simComm, dst *simProc, srcRank, dstRan
 	if copies > 1 {
 		// The duplicate copy consumes wire time too; matching-layer dedup
 		// discards it on the far side.
-		p.wire.Reserve(sp, fabric.EnvelopeSize+p.cfg.MsgSize)
+		p.wire.Reserve(sp, header+p.cfg.MsgSize)
 		remote.rxQ = append(remote.rxQ, cqe{pkt: pkt})
 	}
 	inst.cq = append(inst.cq, cqe{pending: &t.pendingSends})

@@ -90,6 +90,15 @@ const (
 	AcksSent
 	// AcksReceived counts reliability acknowledgements processed.
 	AcksReceived
+	// DialRetries counts transport connection attempts that failed and were
+	// retried while a peer's listener came up.
+	DialRetries
+	// Reconnects counts transport connections re-established after a write
+	// failure on an existing connection.
+	Reconnects
+	// ShortWrites counts wire writes that moved only part of a frame before
+	// failing (the tail of the frame never reached the kernel).
+	ShortWrites
 
 	numCounters
 )
@@ -122,6 +131,9 @@ var counterNames = [...]string{
 	DuplicatePackets:       "duplicate_packets",
 	AcksSent:               "acks_sent",
 	AcksReceived:           "acks_received",
+	DialRetries:            "dial_retries",
+	Reconnects:             "reconnects",
+	ShortWrites:            "short_writes",
 }
 
 // String returns the counter's snake_case name.

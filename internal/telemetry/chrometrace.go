@@ -4,14 +4,27 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/trace"
 )
 
-// RankEvents pairs one process's rank with its retained trace events.
+// RankEvents pairs one process's rank with its retained trace events, plus
+// the clock anchors that let a merger place several ranks' relative
+// timestamps on one corrected timeline.
 type RankEvents struct {
 	Rank   int
 	Events []trace.Event
+	// BaseUnixNs is the wall-clock instant (UnixNano, local clock) the
+	// rank's tracer timestamps are relative to (Tracer.StartUnixNano).
+	// Zero means "no anchor": the rank's events are rendered on their raw
+	// relative timeline, the single-process behavior.
+	BaseUnixNs int64
+	// ClockToRank0Ns is the estimated correction that maps this rank's
+	// clock onto rank 0's (rank0_time = local_time + ClockToRank0Ns),
+	// from the transport's NTP-style handshake samples. Zero for rank 0
+	// itself and for in-process worlds sharing one clock.
+	ClockToRank0Ns int64
 }
 
 // WriteChromeTrace renders one process's retained tracer events as a Chrome
@@ -29,7 +42,34 @@ func WriteChromeTrace(w io.Writer, pid int, events []trace.Event) error {
 
 // WriteChromeTraceRanks renders several processes' traces into one Chrome
 // trace-event JSON file, one pid group per rank (see WriteChromeTrace).
+//
+// When the RankEvents carry clock anchors (BaseUnixNs != 0), every rank's
+// timestamps are corrected onto rank 0's clock and shifted to a common
+// origin, so cross-rank causality reads directly off the merged timeline.
+// Events sharing a non-zero Flow id are additionally linked with Chrome
+// flow arrows ("ph":"s"/"t"/"f") — the send→deliver→match arc of one traced
+// message across ranks.
 func WriteChromeTraceRanks(w io.Writer, procs []RankEvents) error {
+	// Common origin: the earliest corrected base across anchored ranks.
+	// Unanchored ranks (base 0) keep their raw relative timeline.
+	var origin int64
+	haveOrigin := false
+	for _, pr := range procs {
+		if pr.BaseUnixNs == 0 {
+			continue
+		}
+		base := pr.BaseUnixNs + pr.ClockToRank0Ns
+		if !haveOrigin || base < origin {
+			origin, haveOrigin = base, true
+		}
+	}
+	corrected := func(pr RankEvents, e trace.Event) int64 {
+		if pr.BaseUnixNs == 0 {
+			return e.TS
+		}
+		return e.TS + pr.BaseUnixNs + pr.ClockToRank0Ns - origin
+	}
+
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString("[\n"); err != nil {
 		return err
@@ -42,6 +82,15 @@ func WriteChromeTraceRanks(w io.Writer, procs []RankEvents) error {
 		first = false
 		bw.WriteString(s)
 	}
+
+	// Flow bookkeeping: every event carrying a flow id, in corrected-time
+	// order, becomes one hop of a flow arrow chain.
+	type flowHop struct {
+		ts       int64
+		seq      uint64
+		pid, tid int
+	}
+	flows := map[uint64][]flowHop{}
 
 	for _, pr := range procs {
 		pid := pr.Rank
@@ -67,11 +116,48 @@ func WriteChromeTraceRanks(w io.Writer, procs []RankEvents) error {
 				tid = int(e.CRI) + 1
 				cri = int(e.CRI)
 			}
+			ts := corrected(pr, e)
 			emit(fmt.Sprintf(
-				`{"name":%q,"cat":"mpi","ph":"X","ts":%.3f,"dur":1,"pid":%d,"tid":%d,"args":{"seq":%d,"arg0":%d,"arg1":%d,"cri":%d}}`,
-				e.Kind.String(), float64(e.TS)/1e3, pid, tid, e.Seq, e.Arg0, e.Arg1, cri))
+				`{"name":%q,"cat":"mpi","ph":"X","ts":%.3f,"dur":1,"pid":%d,"tid":%d,"args":{"seq":%d,"arg0":%d,"arg1":%d,"cri":%d,"flow":%d}}`,
+				e.Kind.String(), float64(ts)/1e3, pid, tid, e.Seq, e.Arg0, e.Arg1, cri, e.Flow))
+			if e.Flow != 0 {
+				flows[e.Flow] = append(flows[e.Flow], flowHop{ts: ts, seq: e.Seq, pid: pid, tid: tid})
+			}
 		}
 	}
+
+	flowIDs := make([]uint64, 0, len(flows))
+	for id := range flows {
+		flowIDs = append(flowIDs, id)
+	}
+	sort.Slice(flowIDs, func(i, j int) bool { return flowIDs[i] < flowIDs[j] })
+	for _, id := range flowIDs {
+		hops := flows[id]
+		if len(hops) < 2 {
+			continue
+		}
+		sort.Slice(hops, func(i, j int) bool {
+			if hops[i].ts != hops[j].ts {
+				return hops[i].ts < hops[j].ts
+			}
+			return hops[i].seq < hops[j].seq
+		})
+		for i, h := range hops {
+			ph := "t"
+			extra := ""
+			switch i {
+			case 0:
+				ph = "s"
+			case len(hops) - 1:
+				ph = "f"
+				extra = `,"bp":"e"`
+			}
+			emit(fmt.Sprintf(
+				`{"name":"msg","cat":"mpi-flow","ph":%q,"id":%d,"ts":%.3f,"pid":%d,"tid":%d%s}`,
+				ph, id, float64(h.ts)/1e3, h.pid, h.tid, extra))
+		}
+	}
+
 	if _, err := bw.WriteString("\n]\n"); err != nil {
 		return err
 	}

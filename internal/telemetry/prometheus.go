@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 
 	"repro/internal/spc"
 )
@@ -75,6 +76,49 @@ func WritePrometheus(w io.Writer, stats ...ProcStats) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// escapeLabel escapes a label value per the Prometheus text exposition
+// format: backslash, double quote, and newline must be escaped; everything
+// else passes through.
+func escapeLabel(v string) string {
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheusInfo emits one info-style gauge (value 1) whose labels
+// carry free-form build/run metadata — transport name, caps, design — the
+// idiomatic Prometheus pattern for string-valued facts. Label keys are
+// emitted in sorted order and values escaped per the text format.
+func WritePrometheusInfo(w io.Writer, name string, labels map[string]string) error {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "# HELP %s Run metadata.\n# TYPE %s gauge\n%s{", name, name, name)
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, k, escapeLabel(labels[k]))
+	}
+	b.WriteString("} 1\n")
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 // histNames collects the union of histogram names across stats, sorted.

@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Trace shards are the per-process interchange format between a traced
+// distributed run and cmd/tracemerge: each rank writes one JSON shard
+// (its retained events plus clock anchors), and the merger reads them all
+// back into RankEvents for WriteChromeTraceRanks to correct and stitch.
+
+// traceShardVersion guards the shard schema; bump on incompatible change.
+const traceShardVersion = 1
+
+type traceShardFile struct {
+	Version int `json:"version"`
+	RankEvents
+}
+
+// WriteTraceShard writes one rank's events and clock anchors as a JSON
+// shard.
+func WriteTraceShard(w io.Writer, re RankEvents) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceShardFile{Version: traceShardVersion, RankEvents: re})
+}
+
+// ReadTraceShard parses a shard written by WriteTraceShard.
+func ReadTraceShard(r io.Reader) (RankEvents, error) {
+	var f traceShardFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return RankEvents{}, fmt.Errorf("telemetry: parse trace shard: %w", err)
+	}
+	if f.Version != traceShardVersion {
+		return RankEvents{}, fmt.Errorf("telemetry: trace shard version %d, want %d", f.Version, traceShardVersion)
+	}
+	return f.RankEvents, nil
+}

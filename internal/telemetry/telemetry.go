@@ -25,15 +25,26 @@ type Telemetry struct {
 	// MsgLatency records send-inject to match-complete latency for eager
 	// messages (the end-to-end tail the endpoint-contention studies chase).
 	MsgLatency *Histogram
+	// OneWayLatency records sender-inject to receiver-arrival latency for
+	// traced messages, with the send timestamp corrected into the local
+	// clock domain by the transport's NTP-style offset estimate. Only
+	// meaningful on distributed runs with tracing enabled.
+	OneWayLatency *Histogram
+	// MatchResidency records how long a delivered packet sat in the matching
+	// layer (arrival at the matching engine to match completion) — the
+	// unexpected-queue residency the paper's matching-cost analysis needs.
+	MatchResidency *Histogram
 }
 
 // New returns an enabled telemetry bundle with all histograms allocated.
 func New() *Telemetry {
 	return &Telemetry{
-		MatchSection: NewHistogram(),
-		LockWait:     NewHistogram(),
-		ProgressPass: NewHistogram(),
-		MsgLatency:   NewHistogram(),
+		MatchSection:   NewHistogram(),
+		LockWait:       NewHistogram(),
+		ProgressPass:   NewHistogram(),
+		MsgLatency:     NewHistogram(),
+		OneWayLatency:  NewHistogram(),
+		MatchResidency: NewHistogram(),
 	}
 }
 
@@ -42,10 +53,12 @@ func (t *Telemetry) Enabled() bool { return t != nil }
 
 // Histogram names used in snapshots and exports.
 const (
-	HistMatchSection = "match_section_ns"
-	HistLockWait     = "lock_wait_ns"
-	HistProgressPass = "progress_pass_ns"
-	HistMsgLatency   = "msg_latency_ns"
+	HistMatchSection   = "match_section_ns"
+	HistLockWait       = "lock_wait_ns"
+	HistProgressPass   = "progress_pass_ns"
+	HistMsgLatency     = "msg_latency_ns"
+	HistOneWayLatency  = "one_way_latency_ns"
+	HistMatchResidency = "match_residency_ns"
 )
 
 // NamedHist pairs a histogram snapshot with its export name.
@@ -62,8 +75,10 @@ func (t *Telemetry) Snapshot() []NamedHist {
 	}
 	return []NamedHist{
 		{HistLockWait, t.LockWait.Snapshot()},
+		{HistMatchResidency, t.MatchResidency.Snapshot()},
 		{HistMatchSection, t.MatchSection.Snapshot()},
 		{HistMsgLatency, t.MsgLatency.Snapshot()},
+		{HistOneWayLatency, t.OneWayLatency.Snapshot()},
 		{HistProgressPass, t.ProgressPass.Snapshot()},
 	}
 }

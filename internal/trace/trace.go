@@ -71,6 +71,10 @@ type Event struct {
 	TS int64
 	// Seq is a global emission counter (total order across shards).
 	Seq uint64
+	// Flow is the message-lifecycle trace id linking this event to the same
+	// message's events on other ranks (0 = not part of a traced flow).
+	// Exporters turn it into flow arrows between the per-rank spans.
+	Flow uint64
 	// Kind classifies the event; Arg0/Arg1 are kind-specific.
 	Kind Kind
 	// CRI is the Communication Resource Instance the event is attributed
@@ -137,6 +141,12 @@ func (t *Tracer) Emit(k Kind, a0, a1 int32) { t.EmitCRI(k, -1, a0, a1) }
 // EmitCRI records one event attributed to CRI instance cri (pass a
 // negative value for none). Nil-safe and disabled-safe.
 func (t *Tracer) EmitCRI(k Kind, cri int, a0, a1 int32) {
+	t.EmitFlowCRI(k, 0, cri, a0, a1)
+}
+
+// EmitFlowCRI records one event attributed to CRI instance cri and carrying
+// message-lifecycle flow id flow (0 = no flow). Nil-safe and disabled-safe.
+func (t *Tracer) EmitFlowCRI(k Kind, flow uint64, cri int, a0, a1 int32) {
 	if t == nil || !t.enabled.Load() {
 		return
 	}
@@ -146,6 +156,7 @@ func (t *Tracer) EmitCRI(k Kind, cri int, a0, a1 int32) {
 	e := Event{
 		TS:   time.Since(t.start).Nanoseconds(),
 		Seq:  t.seq.Add(1),
+		Flow: flow,
 		Kind: k,
 		CRI:  int16(cri),
 		Arg0: a0,
@@ -160,6 +171,16 @@ func (t *Tracer) EmitCRI(k Kind, cri int, a0, a1 int32) {
 		s.full = true
 	}
 	s.mu.Unlock()
+}
+
+// StartUnixNano returns the wall-clock instant (UnixNano) the tracer's
+// relative timestamps are measured from. Shard mergers use it to place
+// per-rank traces on one absolute timeline.
+func (t *Tracer) StartUnixNano() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.start.UnixNano()
 }
 
 // Snapshot returns the retained events ordered by emission sequence.

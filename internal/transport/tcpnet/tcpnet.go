@@ -9,8 +9,21 @@
 //
 //	[u32 little-endian frame length][Packet.AppendWire bytes]
 //
-// preceded on each connection by a fixed handshake frame naming the dialing
-// rank and the remote context index the connection feeds.
+// preceded on each connection by a three-frame handshake that names the
+// dialing rank and destination context and takes one NTP-style clock sample:
+//
+//	dialer → server: magic(4) rank(4) ctxIdx(4) t1(8)   — hello, 20 bytes
+//	server → dialer: t2(8) t3(8)                        — echo,  16 bytes
+//	dialer → server: θ(8) δ(8)                          — offset, 16 bytes
+//
+// t1/t4 are the dialer's send/receive instants, t2/t3 the server's receive/
+// send instants. The dialer computes θ = ((t2−t1)+(t3−t4))/2 (server clock
+// minus dialer clock) and δ = (t4−t1)−(t3−t2) (round-trip delay), shares
+// them in the third frame, and both sides keep the minimum-δ sample per
+// peer — the standard NTP filter: the sample with the smallest round trip
+// has the least queueing asymmetry. Network.PeerClockOffsetNs exposes the
+// estimate (transport.ClockSync) so the runtime can express remote
+// timestamps in the local clock domain.
 //
 // TCP is lossless and per-connection FIFO, so the backend advertises
 // Caps.Lossless and the runtime skips the ack/retransmit delivery layer.
@@ -30,8 +43,12 @@ import (
 
 	"repro/internal/hw"
 	"repro/internal/ringbuf"
+	"repro/internal/spc"
 	"repro/internal/transport"
 )
+
+var _ transport.ClockSync = (*Network)(nil)
+var _ transport.ClockSync = (*Device)(nil)
 
 var (
 	_ transport.Network   = (*Network)(nil)
@@ -41,9 +58,18 @@ var (
 	_ transport.MemRegion = (*MemRegion)(nil)
 )
 
-// handshakeMagic opens every connection so a stray dialer is rejected
-// instead of corrupting a context's packet stream.
-const handshakeMagic = 0x43524931 // "CRI1"
+// handshakeMagic opens every connection so a stray dialer (or an old-protocol
+// peer without the clock-sync exchange) is rejected instead of corrupting a
+// context's packet stream.
+const handshakeMagic = 0x43524932 // "CRI2"
+
+// Handshake frame sizes: hello (magic, rank, ctxIdx, t1), the server's echo
+// (t2, t3), and the dialer's offset report (θ, δ).
+const (
+	helloSize  = 4 + 4 + 4 + 8
+	echoSize   = 8 + 8
+	offsetSize = 8 + 8
+)
 
 // DefaultDialTimeout bounds connection establishment (including retries
 // while the peer's listener is still coming up) when Config.DialTimeout is
@@ -113,6 +139,45 @@ type Network struct {
 	conns  []net.Conn
 	closed bool
 	wg     sync.WaitGroup
+
+	clockMu sync.Mutex
+	clocks  map[int]clockSample
+}
+
+// clockSample is one NTP-style offset estimate for a peer: offset is
+// local − peer in nanoseconds, delta the round-trip delay of the exchange
+// that produced it. Lower delta = tighter bound on the true offset.
+type clockSample struct {
+	offset int64
+	delta  int64
+}
+
+// recordClockSample keeps the minimum-delta sample per peer. Every
+// connection to a peer contributes one sample, so a world with several
+// contexts per rank converges on the best of several exchanges.
+func (n *Network) recordClockSample(peer int, offset, delta int64) {
+	n.clockMu.Lock()
+	defer n.clockMu.Unlock()
+	if n.clocks == nil {
+		n.clocks = make(map[int]clockSample)
+	}
+	if cur, ok := n.clocks[peer]; !ok || delta < cur.delta {
+		n.clocks[peer] = clockSample{offset: offset, delta: delta}
+	}
+}
+
+// PeerClockOffsetNs implements transport.ClockSync: the estimated local − peer
+// clock difference in nanoseconds. The local rank's offset is zero by
+// definition; other peers have an estimate once a connection handshake with
+// them completed in either direction.
+func (n *Network) PeerClockOffsetNs(peer int) (int64, bool) {
+	if peer == n.cfg.Rank {
+		return 0, true
+	}
+	n.clockMu.Lock()
+	defer n.clockMu.Unlock()
+	s, ok := n.clocks[peer]
+	return s.offset, ok
 }
 
 // New starts the rank's listener and returns its network. The listener
@@ -195,7 +260,7 @@ func (n *Network) NewDevice(rank int, m hw.Machine, cfg transport.DeviceConfig) 
 	if n.dev != nil {
 		return nil, errors.New("tcpnet: device already created")
 	}
-	n.dev = &Device{net: n, machine: m, regions: make(map[uint64]*MemRegion)}
+	n.dev = &Device{net: n, machine: m, counters: cfg.Counters, regions: make(map[uint64]*MemRegion)}
 	return n.dev, nil
 }
 
@@ -227,18 +292,38 @@ func (n *Network) register(conn net.Conn) bool {
 	return true
 }
 
-// serveConn reads the handshake, resolves the destination context, then
-// decodes frames into its receive ring until the peer closes.
+// serveConn reads the handshake (answering the clock-sync exchange),
+// resolves the destination context, then decodes frames into its receive
+// ring until the peer closes.
 func (n *Network) serveConn(conn net.Conn) {
 	defer n.wg.Done()
-	var hs [12]byte
+	var hs [helloSize]byte
 	if _, err := io.ReadFull(conn, hs[:]); err != nil {
 		return
 	}
+	t2 := time.Now().UnixNano()
 	if binary.LittleEndian.Uint32(hs[0:]) != handshakeMagic {
 		return
 	}
+	peer := int(int32(binary.LittleEndian.Uint32(hs[4:])))
 	ctxIdx := int(binary.LittleEndian.Uint32(hs[8:]))
+	var echo [echoSize]byte
+	binary.LittleEndian.PutUint64(echo[0:], uint64(t2))
+	binary.LittleEndian.PutUint64(echo[8:], uint64(time.Now().UnixNano()))
+	if _, err := conn.Write(echo[:]); err != nil {
+		return
+	}
+	var off [offsetSize]byte
+	if _, err := io.ReadFull(conn, off[:]); err != nil {
+		return
+	}
+	// θ is server − dialer as the dialer computed it, so from this side
+	// local − peer = +θ.
+	theta := int64(binary.LittleEndian.Uint64(off[0:]))
+	delta := int64(binary.LittleEndian.Uint64(off[8:]))
+	if peer >= 0 && peer < n.cfg.Size {
+		n.recordClockSample(peer, theta, delta)
+	}
 	ctx := n.waitContext(ctxIdx)
 	if ctx == nil {
 		return
@@ -283,8 +368,9 @@ func (n *Network) waitContext(idx int) *Context {
 	}
 }
 
-// dial connects to a peer's listener, retrying while it comes up.
-func (n *Network) dial(addr string) (net.Conn, error) {
+// dial connects to a peer's listener, retrying while it comes up. Each
+// failed attempt counts as a DialRetries SPC tick.
+func (n *Network) dial(addr string, ctr *spc.Set) (net.Conn, error) {
 	deadline := time.Now().Add(n.cfg.DialTimeout)
 	for {
 		conn, err := net.DialTimeout("tcp", addr, time.Until(deadline))
@@ -295,6 +381,7 @@ func (n *Network) dial(addr string) (net.Conn, error) {
 			}
 			return conn, nil
 		}
+		ctr.Inc(spc.DialRetries)
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("tcpnet: dial %s: %w", addr, err)
 		}
@@ -325,8 +412,9 @@ func (n *Network) close() {
 
 // Device is the local rank's NIC.
 type Device struct {
-	net     *Network
-	machine hw.Machine
+	net      *Network
+	machine  hw.Machine
+	counters *spc.Set
 
 	mu       sync.Mutex
 	contexts []*Context
@@ -386,19 +474,58 @@ func (d *Device) Connect(local transport.Context, peer int, remoteIdx int) (tran
 		}
 		return &Endpoint{local: lc, loop: rc}, nil
 	}
-	conn, err := d.net.dial(cfg.Peers[peer])
+	conn, err := d.connectPeer(peer, remoteIdx)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", transport.ErrNoEndpoint, err)
 	}
-	var hs [12]byte
+	return &Endpoint{local: lc, dev: d, peer: peer, remoteIdx: remoteIdx, conn: conn}, nil
+}
+
+// connectPeer dials rank peer and runs the full handshake: hello naming this
+// rank and the destination context, the server's clock echo, and the offset
+// report. Used both at endpoint creation and on the reconnect path.
+func (d *Device) connectPeer(peer, remoteIdx int) (net.Conn, error) {
+	cfg := d.net.cfg
+	conn, err := d.net.dial(cfg.Peers[peer], d.counters)
+	if err != nil {
+		return nil, err
+	}
+	var hs [helloSize]byte
 	binary.LittleEndian.PutUint32(hs[0:], handshakeMagic)
 	binary.LittleEndian.PutUint32(hs[4:], uint32(cfg.Rank))
 	binary.LittleEndian.PutUint32(hs[8:], uint32(remoteIdx))
+	t1 := time.Now().UnixNano()
+	binary.LittleEndian.PutUint64(hs[12:], uint64(t1))
 	if _, err := conn.Write(hs[:]); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("%w: handshake: %v", transport.ErrNoEndpoint, err)
+		return nil, fmt.Errorf("tcpnet: handshake: %w", err)
 	}
-	return &Endpoint{local: lc, conn: conn}, nil
+	var echo [echoSize]byte
+	if _, err := io.ReadFull(conn, echo[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("tcpnet: handshake echo: %w", err)
+	}
+	t4 := time.Now().UnixNano()
+	t2 := int64(binary.LittleEndian.Uint64(echo[0:]))
+	t3 := int64(binary.LittleEndian.Uint64(echo[8:]))
+	theta := ((t2 - t1) + (t3 - t4)) / 2 // server − dialer
+	delta := (t4 - t1) - (t3 - t2)       // round-trip delay
+	var off [offsetSize]byte
+	binary.LittleEndian.PutUint64(off[0:], uint64(theta))
+	binary.LittleEndian.PutUint64(off[8:], uint64(delta))
+	if _, err := conn.Write(off[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("tcpnet: handshake offset: %w", err)
+	}
+	// From the dialer's side, local − peer = dialer − server = −θ.
+	d.net.recordClockSample(peer, -theta, delta)
+	return conn, nil
+}
+
+// PeerClockOffsetNs implements transport.ClockSync on the device, delegating
+// to the owning network's per-peer estimates.
+func (d *Device) PeerClockOffsetNs(peer int) (int64, bool) {
+	return d.net.PeerClockOffsetNs(peer)
 }
 
 func (d *Device) RegisterMemory(buf []byte) transport.MemRegion {
@@ -510,6 +637,10 @@ type Endpoint struct {
 	local *Context
 	loop  *Context // same-rank short circuit; nil for TCP endpoints
 
+	dev       *Device
+	peer      int
+	remoteIdx int
+
 	mu   sync.Mutex
 	conn net.Conn
 	buf  []byte
@@ -543,13 +674,34 @@ func (e *Endpoint) write(p *transport.Packet) {
 	binary.LittleEndian.PutUint32(lenb[:], uint32(p.WireSize()))
 	e.buf = append(e.buf, lenb[:]...)
 	e.buf = p.AppendWire(e.buf)
-	if _, err := e.conn.Write(e.buf); err != nil {
-		// The connection is gone; every later write would fail the same way.
-		// Drop the path — sends become no-ops and the application surfaces
-		// the stall, the same observable behavior as a dead link.
-		e.conn.Close()
-		e.conn = nil
+	n, err := e.conn.Write(e.buf)
+	if err == nil {
+		return
 	}
+	ctr := e.dev.counters
+	if n > 0 && n < len(e.buf) {
+		// Part of the frame reached the kernel before the connection died;
+		// the stream is now mid-frame and unusable even if writes resumed.
+		ctr.Inc(spc.ShortWrites)
+	}
+	e.conn.Close()
+	e.conn = nil
+	// One reconnect attempt: a peer restart or transient RST should not
+	// silently kill the path for the rest of the run. The frame that failed
+	// is re-sent whole on the fresh connection (the peer never saw a frame
+	// boundary cross, so re-framing from the start is safe). If the redial
+	// fails the path stays down — sends become no-ops and the application
+	// surfaces the stall, the same observable behavior as a dead link.
+	conn, rerr := e.dev.connectPeer(e.peer, e.remoteIdx)
+	if rerr != nil {
+		return
+	}
+	ctr.Inc(spc.Reconnects)
+	if _, err := conn.Write(e.buf); err != nil {
+		conn.Close()
+		return
+	}
+	e.conn = conn
 }
 
 // PutRegion requires one-sided support, which TCP does not advertise.

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/hw"
+	"repro/internal/spc"
 	"repro/internal/transport"
 )
 
@@ -183,4 +185,130 @@ func TestConfigValidation(t *testing.T) {
 		t.Fatal("duplicate device accepted")
 	}
 	d.Close()
+}
+
+func TestClockSyncHandshake(t *testing.T) {
+	d0, d1, c0, _ := newPair(t)
+	if _, err := d0.Connect(c0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	cs0, ok := d0.(transport.ClockSync)
+	if !ok {
+		t.Fatal("tcpnet device does not implement transport.ClockSync")
+	}
+	// The dialer has its sample immediately after Connect returns.
+	off01, ok := cs0.PeerClockOffsetNs(1)
+	if !ok {
+		t.Fatal("dialer has no clock estimate for its peer")
+	}
+	if self, ok := cs0.PeerClockOffsetNs(0); !ok || self != 0 {
+		t.Fatalf("self offset = %d, %v; want 0, true", self, ok)
+	}
+	if _, ok := cs0.PeerClockOffsetNs(7); ok {
+		t.Fatal("estimate reported for a rank never contacted")
+	}
+	// The server side learns the offset from the third handshake frame;
+	// wait out the reader goroutine.
+	cs1 := d1.(transport.ClockSync)
+	var off10 int64
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var ok bool
+		if off10, ok = cs1.PeerClockOffsetNs(0); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never recorded the dialer's clock sample")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Both processes share one physical clock here, so the estimates must be
+	// near zero and antisymmetric: offset(0→1) ≈ −offset(1→0), both within
+	// the loopback round trip of the true value (0).
+	const tol = int64(50 * time.Millisecond)
+	if off01 > tol || off01 < -tol {
+		t.Fatalf("loopback offset 0→1 = %dns, want ≈0", off01)
+	}
+	if sum := off01 + off10; sum > tol || sum < -tol {
+		t.Fatalf("offsets not antisymmetric: %d + %d = %d", off01, off10, sum)
+	}
+}
+
+func TestReconnectAfterPeerConnDrop(t *testing.T) {
+	nets, err := NewLoopback(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := spc.NewSet()
+	d0, err := nets[0].NewDevice(0, hw.Fast(), transport.DeviceConfig{Counters: ctr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := nets[1].NewDevice(1, hw.Fast(), transport.DeviceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d0.Close(); d1.Close() })
+	c0, err := d0.CreateContext(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := d1.CreateContext(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := d0.Connect(c0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := func(tag int32, payload string) {
+		env := transport.Envelope{Src: 0, Dst: 1, Tag: tag, Kind: transport.KindEager}
+		ep.Send(transport.NewPacket(env, []byte(payload), nil))
+		c0.Poll(func(transport.CQE) {}, 8)
+	}
+	recv := func(wantTag int32, wantPayload string) {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			var got *transport.Packet
+			c1.Poll(func(e transport.CQE) {
+				if e.Kind == transport.CQERecv {
+					got = e.Packet
+				}
+			}, 8)
+			if got != nil {
+				env := got.Envelope()
+				if env.Tag != wantTag || string(got.Payload) != wantPayload {
+					t.Fatalf("got tag=%d payload=%q, want tag=%d payload=%q",
+						env.Tag, got.Payload, wantTag, wantPayload)
+				}
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("packet tag=%d never arrived", wantTag)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	send(1, "before")
+	recv(1, "before")
+	// Kill the established connection out from under the endpoint. The next
+	// write fails, triggering the one-shot reconnect path.
+	tep := ep.(*Endpoint)
+	tep.mu.Lock()
+	tep.conn.Close()
+	tep.mu.Unlock()
+	// The failed write may be silently accepted by the kernel buffer once
+	// before the RST surfaces; keep sending until the reconnect happens.
+	deadline := time.Now().Add(5 * time.Second)
+	for ctr.Get(spc.Reconnects) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("reconnect never happened")
+		}
+		send(2, "after")
+		time.Sleep(time.Millisecond)
+	}
+	recv(2, "after")
+	if got := ctr.Get(spc.Reconnects); got < 1 {
+		t.Fatalf("reconnects = %d, want >= 1", got)
+	}
 }

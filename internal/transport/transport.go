@@ -61,6 +61,20 @@ func (c Caps) String() string {
 	return strings.Join(parts, ",")
 }
 
+// ClockSync is optionally implemented by distributed backends that estimate
+// peer clock offsets (tcpnet takes NTP-style samples during its connection
+// handshake). The runtime uses it to correct cross-process send timestamps
+// into the local clock domain for one-way latency measurement, and to
+// express trace shards on a common timeline. In-process backends share one
+// clock and simply do not implement the interface (offset zero).
+type ClockSync interface {
+	// PeerClockOffsetNs returns the estimated difference between this
+	// process's clock and peer's clock (local − peer) in nanoseconds, and
+	// whether an estimate exists. A timestamp t taken on peer's clock maps
+	// to the local clock as t + offset.
+	PeerClockOffsetNs(peer int) (int64, bool)
+}
+
 // FaultConfig parameterizes wire-fault injection on backends that support
 // it. All probabilities are per-packet and independent; a packet is first
 // tested for drop, then (if it survived) for duplication and delay. The

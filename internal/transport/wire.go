@@ -34,8 +34,27 @@ type Envelope struct {
 	Kind Kind   // packet kind (low byte) and flags
 }
 
-// Kind discriminates packet types on the wire.
+// Kind discriminates packet types on the wire. The low byte is the packet
+// kind; the bits above it are per-packet wire flags. In-memory envelopes
+// (Envelope.Kind) carry only the base kind — flags are applied when a
+// packet is framed for a real wire (AppendWire) and stripped when it is
+// decoded (DecodePacket), so the layers above the transport never see them.
 type Kind uint32
+
+// KindMask selects the base packet kind from a wire Kind word.
+const KindMask Kind = 0xff
+
+// FlagTraced marks a packet carrying the optional trace-context extension
+// header: trace id, origin rank, and send timestamp ride the wire after the
+// canonical 28-byte envelope. When tracing is off the flag is never set and
+// the wire format is byte-identical to the paper-faithful framing.
+const FlagTraced Kind = 1 << 8
+
+// Base strips the wire flags, returning the packet kind alone.
+func (k Kind) Base() Kind { return k & KindMask }
+
+// Traced reports whether the trace-context extension flag is set.
+func (k Kind) Traced() bool { return k&FlagTraced != 0 }
 
 const (
 	// KindEager is a two-sided eager message: envelope plus full payload.
@@ -106,6 +125,18 @@ type Packet struct {
 	// RelSrc is the sender's world rank for reliability tracking when
 	// RelSeq != 0 (the envelope's Src is communicator-relative).
 	RelSrc int32
+	// TraceID is the message-lifecycle trace id (0 = untraced). A non-zero
+	// id marks the packet for cross-rank lifecycle stitching: real wires
+	// frame it in the trace-context extension header (FlagTraced), and the
+	// receiver's trace events carry it as their flow id.
+	TraceID uint64
+	// Origin is the sender's world rank for trace attribution when
+	// TraceID != 0 (the envelope's Src is communicator-relative).
+	Origin int32
+	// RecvStamp is the receiver-local arrival timestamp (UnixNano) set by
+	// the delivery path to measure match-queue residency; 0 = unstamped.
+	// Receiver-private — it never crosses the wire.
+	RecvStamp int64
 }
 
 // NewPacket marshals env and copies payload into a fresh packet, setting
@@ -138,14 +169,44 @@ func (p *Packet) Envelope() Envelope {
 // carries alongside the envelope: RelSeq (8) + RelSrc (4) + Stamp (8).
 const wireMetaSize = 8 + 4 + 8
 
-// WireSize returns the number of bytes AppendWire emits for p.
-func (p *Packet) WireSize() int { return EnvelopeSize + wireMetaSize + len(p.Payload) }
+// TraceExtSize is the framed size of the optional trace-context extension
+// header: TraceID (8) + Origin (4) + send Stamp (8). It rides the wire
+// directly after the 28-byte envelope, only when FlagTraced is set.
+const TraceExtSize = 8 + 4 + 8
 
-// AppendWire appends the packet's full wire form — envelope, driver
-// metadata (RelSeq, RelSrc, Stamp), payload — to b and returns the extended
-// slice. Token never crosses the wire; it is sender-local state.
+// kindOffset is the byte offset of the envelope's Kind word in the header.
+const kindOffset = 24
+
+// WireSize returns the number of bytes AppendWire emits for p.
+func (p *Packet) WireSize() int {
+	n := EnvelopeSize + wireMetaSize + len(p.Payload)
+	if p.TraceID != 0 {
+		n += TraceExtSize
+	}
+	return n
+}
+
+// AppendWire appends the packet's full wire form — envelope, the optional
+// trace-context extension (traced packets only), driver metadata (RelSeq,
+// RelSrc, Stamp), payload — to b and returns the extended slice. A traced
+// packet's envelope carries FlagTraced in its Kind word on the wire; an
+// untraced packet's framing is byte-identical to the canonical format.
+// Token never crosses the wire; it is sender-local state.
 func (p *Packet) AppendWire(b []byte) []byte {
-	b = append(b, p.header[:]...)
+	if p.TraceID != 0 {
+		var hdr [EnvelopeSize]byte
+		copy(hdr[:], p.header[:])
+		kind := binary.LittleEndian.Uint32(hdr[kindOffset:]) | uint32(FlagTraced)
+		binary.LittleEndian.PutUint32(hdr[kindOffset:], kind)
+		b = append(b, hdr[:]...)
+		var ext [TraceExtSize]byte
+		binary.LittleEndian.PutUint64(ext[0:], p.TraceID)
+		binary.LittleEndian.PutUint32(ext[8:], uint32(p.Origin))
+		binary.LittleEndian.PutUint64(ext[12:], uint64(p.Stamp))
+		b = append(b, ext[:]...)
+	} else {
+		b = append(b, p.header[:]...)
+	}
 	var meta [wireMetaSize]byte
 	binary.LittleEndian.PutUint64(meta[0:], p.RelSeq)
 	binary.LittleEndian.PutUint32(meta[8:], uint32(p.RelSrc))
@@ -155,18 +216,33 @@ func (p *Packet) AppendWire(b []byte) []byte {
 }
 
 // DecodePacket parses one packet from its AppendWire form, copying the
-// payload out of b.
+// payload out of b. The FlagTraced wire flag is consumed here: the decoded
+// envelope carries only the base kind, and the extension fields land in
+// TraceID/Origin (the ext's send stamp wins over the driver-metadata copy).
 func DecodePacket(b []byte) (*Packet, error) {
 	if len(b) < EnvelopeSize+wireMetaSize {
 		return nil, fmt.Errorf("transport: short packet frame (%d bytes)", len(b))
 	}
 	p := &Packet{}
 	copy(p.header[:], b[:EnvelopeSize])
-	meta := b[EnvelopeSize : EnvelopeSize+wireMetaSize]
-	p.RelSeq = binary.LittleEndian.Uint64(meta[0:])
-	p.RelSrc = int32(binary.LittleEndian.Uint32(meta[8:]))
-	p.Stamp = int64(binary.LittleEndian.Uint64(meta[12:]))
-	if rest := b[EnvelopeSize+wireMetaSize:]; len(rest) > 0 {
+	rest := b[EnvelopeSize:]
+	kind := Kind(binary.LittleEndian.Uint32(p.header[kindOffset:]))
+	if kind.Traced() {
+		if len(rest) < TraceExtSize+wireMetaSize {
+			return nil, fmt.Errorf("transport: short traced packet frame (%d bytes)", len(b))
+		}
+		binary.LittleEndian.PutUint32(p.header[kindOffset:], uint32(kind&^FlagTraced))
+		p.TraceID = binary.LittleEndian.Uint64(rest[0:])
+		p.Origin = int32(binary.LittleEndian.Uint32(rest[8:]))
+		p.Stamp = int64(binary.LittleEndian.Uint64(rest[12:]))
+		rest = rest[TraceExtSize:]
+	}
+	p.RelSeq = binary.LittleEndian.Uint64(rest[0:])
+	p.RelSrc = int32(binary.LittleEndian.Uint32(rest[8:]))
+	if s := int64(binary.LittleEndian.Uint64(rest[12:])); p.Stamp == 0 {
+		p.Stamp = s
+	}
+	if rest = rest[wireMetaSize:]; len(rest) > 0 {
 		p.Payload = append([]byte(nil), rest...)
 	}
 	return p, nil

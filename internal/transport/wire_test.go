@@ -1,0 +1,111 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func testEnvelope() Envelope {
+	return Envelope{Src: 0, Dst: 1, Tag: 7, Comm: 3, Seq: 42, Kind: KindEager}
+}
+
+// An untraced packet's framing must be byte-identical to the canonical
+// format: 28-byte envelope, 20-byte driver metadata, payload — no trace
+// extension, no flag bit.
+func TestWireUntracedByteIdentical(t *testing.T) {
+	p := NewPacket(testEnvelope(), []byte("abc"), nil)
+	p.RelSeq = 9
+	p.RelSrc = 2
+	p.Stamp = 1234
+	got := p.AppendWire(nil)
+
+	var want []byte
+	var hdr [EnvelopeSize]byte
+	env := testEnvelope()
+	env.Len = 3
+	env.Marshal(&hdr)
+	want = append(want, hdr[:]...)
+	var meta [wireMetaSize]byte
+	binary.LittleEndian.PutUint64(meta[0:], 9)
+	binary.LittleEndian.PutUint32(meta[8:], 2)
+	binary.LittleEndian.PutUint64(meta[12:], 1234)
+	want = append(want, meta[:]...)
+	want = append(want, "abc"...)
+
+	if !bytes.Equal(got, want) {
+		t.Fatalf("untraced frame differs from canonical format:\ngot  %x\nwant %x", got, want)
+	}
+	if got := len(got); got != p.WireSize() {
+		t.Fatalf("WireSize=%d, frame is %d bytes", p.WireSize(), got)
+	}
+	if kind := Kind(binary.LittleEndian.Uint32(got[kindOffset:])); kind.Traced() {
+		t.Fatal("untraced frame carries FlagTraced")
+	}
+}
+
+func TestWireTracedRoundTrip(t *testing.T) {
+	p := NewPacket(testEnvelope(), []byte("payload"), nil)
+	p.RelSeq = 5
+	p.RelSrc = 0
+	p.Stamp = 777
+	p.TraceID = 0xdeadbeefcafe
+	p.Origin = 3
+	frame := p.AppendWire(nil)
+
+	if got := len(frame); got != p.WireSize() {
+		t.Fatalf("WireSize=%d, frame is %d bytes", p.WireSize(), got)
+	}
+	if got, want := p.WireSize(), EnvelopeSize+TraceExtSize+wireMetaSize+len("payload"); got != want {
+		t.Fatalf("traced WireSize=%d, want %d", got, want)
+	}
+	if kind := Kind(binary.LittleEndian.Uint32(frame[kindOffset:])); !kind.Traced() {
+		t.Fatal("traced frame missing FlagTraced on the wire")
+	}
+
+	q, err := DecodePacket(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := q.Envelope()
+	if env.Kind != KindEager {
+		t.Fatalf("decoded Kind=%v carries flags; want bare KindEager", env.Kind)
+	}
+	if env.Kind.Traced() {
+		t.Fatal("decoded envelope still carries FlagTraced")
+	}
+	if q.TraceID != p.TraceID || q.Origin != 3 || q.Stamp != 777 {
+		t.Fatalf("trace context lost: id=%#x origin=%d stamp=%d", q.TraceID, q.Origin, q.Stamp)
+	}
+	if string(q.Payload) != "payload" || q.RelSeq != 5 {
+		t.Fatalf("payload/meta lost: %q relseq=%d", q.Payload, q.RelSeq)
+	}
+
+	// A re-framed decoded packet must reproduce the original bytes (the
+	// Resend path re-encodes from the struct).
+	if again := q.AppendWire(nil); !bytes.Equal(again, frame) {
+		t.Fatalf("re-encode differs:\ngot  %x\nwant %x", again, frame)
+	}
+}
+
+func TestWireShortTracedFrame(t *testing.T) {
+	p := NewPacket(testEnvelope(), nil, nil)
+	p.TraceID = 1
+	frame := p.AppendWire(nil)
+	if _, err := DecodePacket(frame[:EnvelopeSize+4]); err == nil {
+		t.Fatal("short traced frame decoded without error")
+	}
+}
+
+func TestKindFlagHelpers(t *testing.T) {
+	k := KindRendezvousRTS | FlagTraced
+	if k.Base() != KindRendezvousRTS {
+		t.Fatalf("Base()=%v", k.Base())
+	}
+	if !k.Traced() {
+		t.Fatal("Traced()=false on flagged kind")
+	}
+	if KindEager.Traced() {
+		t.Fatal("bare kind reports Traced")
+	}
+}

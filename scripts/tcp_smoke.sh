@@ -1,22 +1,46 @@
 #!/usr/bin/env bash
 # Two-process TCP smoke test: run the pairwise Multirate benchmark as two
-# real OS processes joined over loopback TCP and check that both halves
-# finish with consistent totals — the sender's messages_sent SPC must be
-# fully accounted for by the receiver's messages_received.
+# real OS processes joined over loopback TCP — with wire tracing on and the
+# receiver serving its live observability endpoint — and check that:
+#   - both halves finish with consistent totals (the sender's messages_sent
+#     SPC fully accounted for by the receiver's messages_received),
+#   - /healthz and /metrics answer while the run is in flight,
+#   - the per-rank trace shards merge into one Chrome trace with
+#     cross-rank flow arrows.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-bin="$(mktemp -d)/multirate"
-go build -o "$bin" ./cmd/multirate
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/multirate" ./cmd/multirate
+go build -o "$tmp/tracemerge" ./cmd/tracemerge
 
 port_base=$((20000 + RANDOM % 20000))
+http_addr="127.0.0.1:$((port_base + 2))"
 peers="127.0.0.1:${port_base},127.0.0.1:$((port_base + 1))"
-args=(-transport tcp -peers "$peers" -pairs 4 -window 64 -iters 4 -machine fast -spcs)
+args=(-transport tcp -peers "$peers" -pairs 4 -window 64 -iters 64 -machine fast -spcs -trace-wire)
 
-out0="$(mktemp)" out1="$(mktemp)"
-"$bin" -rank 1 "${args[@]}" >"$out1" 2>&1 &
+out0="$tmp/out0" out1="$tmp/out1"
+"$tmp/multirate" -rank 1 "${args[@]}" -http "$http_addr" \
+    -trace-shard "$tmp/shard1.json" >"$out1" 2>&1 &
 recv_pid=$!
-"$bin" -rank 0 "${args[@]}" >"$out0" 2>&1
+
+# Poll the receiver's live endpoint while the benchmark runs. The server
+# comes up as soon as the world exists, before the start barrier, so the
+# poller has the whole run to land.
+(
+    for _ in $(seq 1 100); do
+        if curl -fsS "http://$http_addr/healthz" >"$tmp/healthz" 2>/dev/null; then
+            curl -fsS "http://$http_addr/metrics" >"$tmp/metrics" 2>/dev/null || true
+            exit 0
+        fi
+        sleep 0.1
+    done
+    exit 1
+) &
+curl_pid=$!
+
+"$tmp/multirate" -rank 0 "${args[@]}" -trace-shard "$tmp/shard0.json" >"$out0" 2>&1
 wait "$recv_pid"
 
 field() { grep -o "$2=[^ ]*" "$1" | head -1 | cut -d= -f2; }
@@ -43,4 +67,29 @@ if [[ -z "$received" || "$received" -lt "$sent" ]]; then
     echo "FAIL: receiver SPC messages_received=$received < sender messages_sent=$sent" >&2
     exit 1
 fi
+
+# The live endpoint must have answered during the run.
+if ! wait "$curl_pid"; then
+    echo "FAIL: /healthz never answered during the run" >&2
+    exit 1
+fi
+if ! grep -q '^ok$' "$tmp/healthz"; then
+    echo "FAIL: /healthz body: $(cat "$tmp/healthz")" >&2
+    exit 1
+fi
+if ! grep -q 'mpi_build_info' "$tmp/metrics"; then
+    echo "FAIL: /metrics served no mpi_build_info gauge" >&2
+    exit 1
+fi
+
+# The per-rank shards must merge into one clock-corrected Chrome trace
+# carrying cross-rank flow arrows.
+"$tmp/tracemerge" -o "$tmp/merged.json" "$tmp/shard0.json" "$tmp/shard1.json"
+flows="$(grep -o 'mpi-flow' "$tmp/merged.json" | wc -l)"
+if [[ "$flows" -lt 3 ]]; then
+    echo "FAIL: merged trace has no cross-rank flow arrows" >&2
+    exit 1
+fi
+
 echo "OK: $msgs0 benchmark messages; sender sent=$sent, receiver received=$received"
+echo "OK: live /healthz + /metrics served; merged trace carries $flows flow-arrow events"
