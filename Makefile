@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-telemetry bench-json chaos check conformance lint-layers tcp-smoke
+.PHONY: build test race vet fmt bench bench-telemetry bench-json bench-gate chaos check conformance lint-layers tcp-smoke
 
 build:
 	$(GO) build ./...
@@ -11,7 +11,7 @@ test:
 # Race-detector pass over the concurrency-heavy packages (the full suite
 # under -race works too, but takes much longer).
 race:
-	$(GO) test -race ./internal/telemetry ./internal/core ./internal/progress ./internal/cri ./internal/trace ./internal/rma ./internal/transport/... ./internal/conformance
+	$(GO) test -race ./internal/prof ./internal/telemetry ./internal/core ./internal/progress ./internal/cri ./internal/trace ./internal/rma ./internal/transport/... ./internal/conformance ./internal/bench/...
 
 # Cross-backend conformance: the same message-passing semantics over the
 # simulated fabric and real TCP, under the race detector.
@@ -50,6 +50,18 @@ BENCHJSON_FLAGS ?=
 bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_4.json $(BENCHJSON_FLAGS)
 	$(GO) run ./cmd/benchjson -validate BENCH_4.json
+
+# Regression gate: regenerate the deterministic trajectory and compare it
+# point by point against the committed BENCH_4.json with noise-aware
+# per-(design, threads) tolerances; exits nonzero if any point regressed.
+# Also emits the contention profiler's virtual-time phase breakdowns for the
+# serial and concurrent progress engines as artifacts.
+bench-gate:
+	$(GO) run ./cmd/multirate -pairs 8 -progress serial -breakdown-out breakdown_serial.json > /dev/null
+	$(GO) run ./cmd/multirate -pairs 8 -instances 8 -assignment dedicated -comm-per-pair \
+		-progress concurrent -breakdown-out breakdown_concurrent.json > /dev/null
+	$(GO) run ./cmd/benchjson -o BENCH_head.json
+	$(GO) run ./cmd/benchcmp -json bench_deltas.json BENCH_4.json BENCH_head.json
 
 # Fault-injection and teardown chaos: the reliability layer repairing a
 # lossy, duplicating, reordering wire, communicator free with packets still

@@ -1,0 +1,69 @@
+// Command benchcmp is the benchmark-trajectory regression gate: it compares
+// two BENCH_*.json files point by point and exits nonzero if any
+// (design, thread-count) message rate regressed past its noise-aware
+// tolerance. CI runs it against the committed trajectory after regenerating
+// the sweep on the deterministic virtual-time model.
+//
+// Exit codes: 0 no regression, 1 regression detected, 2 usage or
+// incompatible/invalid artifacts.
+//
+// Examples:
+//
+//	benchcmp BENCH_4.json BENCH_new.json
+//	benchcmp -reltol 0.03 -thread-noise 0.5 old.json new.json
+//	benchcmp -json deltas.json BENCH_4.json BENCH_new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchcmp"
+)
+
+func main() {
+	var (
+		relTol      = flag.Float64("reltol", 0.05, "base relative tolerance at 1 thread")
+		threadNoise = flag.Float64("thread-noise", 0.25, "tolerance widening per doubling of threads")
+		jsonOut     = flag.String("json", "", "also write the per-point deltas as JSON to this file")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchcmp [flags] <base.json> <new.json>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := os.ReadFile(flag.Arg(0))
+	check(err)
+	cur, err := os.ReadFile(flag.Arg(1))
+	check(err)
+
+	res, err := benchcmp.CompareBytes(base, cur, benchcmp.Options{
+		RelTol: *relTol, ThreadNoise: *threadNoise,
+	})
+	check(err)
+	check(res.WriteText(os.Stdout))
+
+	if *jsonOut != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		check(err)
+		check(os.WriteFile(*jsonOut, append(b, '\n'), 0o644))
+	}
+	if res.Regressed() {
+		fmt.Fprintf(os.Stderr, "benchcmp: FAIL: %d point(s) regressed\n", res.Regressions)
+		os.Exit(1)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+}

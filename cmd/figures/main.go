@@ -21,7 +21,8 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate: 3a 3b 3c 4a 4b 4c 5 6 7 offload matching")
+	fig := flag.String("fig", "", "figure to regenerate: 3a 3b 3c 4a 4b 4c 5 6 7 offload matching breakdown")
+	bdThreads := flag.Int("threads", 8, "thread pairs for -fig breakdown")
 	table := flag.String("table", "", "table to regenerate: 2")
 	all := flag.Bool("all", false, "regenerate every figure and table")
 	ablation := flag.String("ablation", "", "ablation sweep: jitter credits convoy instances alloc all")
@@ -62,6 +63,17 @@ func main() {
 		return t.Render()
 	}
 	run := func(name string) {
+		if name == "breakdown" {
+			start := time.Now()
+			f := figures.TimeBreakdown(sc, *bdThreads)
+			if *format == "csv" {
+				fmt.Println(f.CSV())
+			} else {
+				fmt.Println(f.Render())
+			}
+			fmt.Fprintf(os.Stderr, "[fig breakdown regenerated in %v]\n", time.Since(start).Round(time.Millisecond))
+			return
+		}
 		gen, ok := single[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown figure %q\n", name)
@@ -81,7 +93,7 @@ func main() {
 
 	switch {
 	case *all:
-		for _, name := range []string{"3a", "3b", "3c", "4a", "4b", "4c", "5", "6", "7"} {
+		for _, name := range []string{"3a", "3b", "3c", "4a", "4b", "4c", "5", "6", "7", "breakdown"} {
 			run(name)
 		}
 		runTable2()

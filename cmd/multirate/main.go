@@ -33,6 +33,7 @@ import (
 	"repro/internal/cri"
 	"repro/internal/hw"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/progress"
 	"repro/internal/simnet"
 	"repro/internal/spc"
@@ -77,6 +78,10 @@ func main() {
 		traceWire  = flag.Bool("trace-wire", false, "carry trace context on the wire and stitch cross-rank message lifecycles (real engine)")
 		traceShard = flag.String("trace-shard", "", "write this process's raw trace shard JSON to this file (merge with tracemerge; real engine)")
 		httpAddr   = flag.String("http", "", "serve live /metrics, /spc, /trace, /healthz and pprof on this address during the run (real engine)")
+
+		profile      = flag.Bool("profile", false, "attach the contention profiler: per-lock wait attribution and per-thread phase accounting (real engine)")
+		breakdownOut = flag.String("breakdown-out", "", "write the per-rank phase/lock-wait breakdown as JSON to this file (either engine; sim gives deterministic virtual-time numbers)")
+		pprofCont    = flag.Bool("pprof-contention", false, "enable Go runtime mutex/block profiling so the -http pprof endpoints carry contention profiles (real engine)")
 	)
 	flag.Parse()
 
@@ -88,6 +93,13 @@ func main() {
 		*sampleInterval > 0 || *traceShard != "" || *httpAddr != ""
 	if wantTelemetry && *engine == "sim" {
 		fmt.Fprintln(os.Stderr, "multirate: telemetry flags instrument the real runtime; switching to -engine real")
+		*engine = "real"
+	}
+	// -profile and -pprof-contention instrument real locks and threads.
+	// -breakdown-out alone does not switch: the virtual-time model produces
+	// the same breakdown deterministically from its event clock.
+	if (*profile || *pprofCont) && *engine == "sim" {
+		fmt.Fprintln(os.Stderr, "multirate: profiling flags instrument the real runtime; switching to -engine real")
 		*engine = "real"
 	}
 	if *transportName == "tcp" && *engine == "sim" {
@@ -115,20 +127,35 @@ func main() {
 		})
 		// The virtual-time model has no transport underneath; say so rather
 		// than leaving the field out of the self-describing header.
-		fmt.Printf("engine=sim transport=virtual caps=none pairs=%d messages=%d makespan=%v rate=%.0f msg/s oos=%.2f%%\n",
-			*pairs, res.Messages, res.Makespan, res.Rate, res.SPCs.OutOfSequencePercent())
+		fmt.Printf("engine=sim transport=virtual caps=none pairs=%d messages=%d makespan=%v rate=%.0f msg/s oos=%.2f%% steal_losses=%d\n",
+			*pairs, res.Messages, res.Makespan, res.Rate, res.SPCs.OutOfSequencePercent(),
+			res.SPCs[spc.ProgressStealLosses])
 		if *showSPCs {
 			fmt.Print(res.SPCs.String())
 		}
+		if *breakdownOut != "" {
+			bf := prof.BreakdownFile{Engine: "sim"}
+			for _, b := range res.Breakdown {
+				bf.Reports = append(bf.Reports, b.Report(designLabel(*prog, *assignment), *pairs))
+			}
+			check(writeBreakdown(*breakdownOut, bf))
+		}
 	case "real":
+		if *pprofCont {
+			restore := obs.EnableContentionProfiling(0, 0)
+			defer restore()
+		}
 		cap := *traceN
 		if (*traceOut != "" || *traceShard != "" || *traceWire || *httpAddr != "") && cap <= 0 {
 			cap = 1 << 16
 		}
+		// A real-engine -breakdown-out needs the profiler's wall-clock data.
+		wantProf := *profile || *breakdownOut != ""
 		opts := core.Options{
 			NumInstances: *instances, Assignment: asg, Progress: pm,
 			ThreadLevel: core.ThreadMultiple, TraceCapacity: cap,
 			Telemetry: wantTelemetry || *traceWire, TraceWire: *traceWire,
+			Profile:   wantProf,
 			FaultDrop: *faultDrop, FaultDup: *faultDup,
 			FaultDelay: *faultDelay, FaultSeed: *faultSeed,
 		}
@@ -139,6 +166,9 @@ func main() {
 		outputs := &obs.Outputs{
 			MetricsPath: *metricsOut, TracePath: *traceOut,
 			SamplesPath: *samplesOut, ShardPath: *traceShard,
+			// The sampler observes the receiver; route the phase-breakdown
+			// counter track to its pid group in the Chrome trace.
+			ProfRank: 1,
 			Info: map[string]string{
 				"cmd": "multirate", "transport": *transportName,
 				"progress": *prog, "assignment": *assignment,
@@ -189,10 +219,11 @@ func main() {
 		}
 		check(err)
 		stopSignals()
-		fmt.Printf("engine=real transport=%s caps=%s dial_retries=%d reconnects=%d short_writes=%d rank=%d pairs=%d messages=%d elapsed=%v rate=%.0f msg/s oos=%.2f%%\n",
+		fmt.Printf("engine=real transport=%s caps=%s dial_retries=%d reconnects=%d short_writes=%d rank=%d pairs=%d messages=%d elapsed=%v rate=%.0f msg/s oos=%.2f%% steal_losses=%d\n",
 			res.Transport.Name, res.Transport,
 			res.SPCs[spc.DialRetries], res.SPCs[spc.Reconnects], res.SPCs[spc.ShortWrites],
-			*rank, *pairs, res.Messages, res.Elapsed, res.Rate, res.SPCs.OutOfSequencePercent())
+			*rank, *pairs, res.Messages, res.Elapsed, res.Rate, res.SPCs.OutOfSequencePercent(),
+			res.SPCs[spc.ProgressStealLosses])
 		if *showSPCs {
 			fmt.Print(res.SPCs.String())
 		}
@@ -203,6 +234,23 @@ func main() {
 		}
 		if *traceN > 0 {
 			fmt.Print(res.TraceDump)
+		}
+		if *profile {
+			for _, ps := range res.Stats {
+				if !ps.Prof.Empty() {
+					check(prof.BuildReport(ps.Rank, designLabel(*prog, *assignment), *pairs, ps.Prof).WriteText(os.Stdout))
+				}
+			}
+		}
+		if *breakdownOut != "" {
+			bf := prof.BreakdownFile{Engine: "real"}
+			for _, ps := range res.Stats {
+				if ps.Prof.Empty() {
+					continue
+				}
+				bf.Reports = append(bf.Reports, prof.BuildReport(ps.Rank, designLabel(*prog, *assignment), *pairs, ps.Prof))
+			}
+			check(writeBreakdown(*breakdownOut, bf))
 		}
 		check(outputs.Flush())
 		if srv != nil {
@@ -236,6 +284,24 @@ func worldSource(w *core.World, info map[string]string) obs.Source {
 		},
 		Info: info,
 	}
+}
+
+// designLabel names the configuration under test in breakdown reports, the
+// same way the paper labels its design ladder rungs.
+func designLabel(progress, assignment string) string {
+	return fmt.Sprintf("progress=%s,assignment=%s", progress, assignment)
+}
+
+func writeBreakdown(path string, bf prof.BreakdownFile) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := prof.WriteBreakdown(f, bf); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func machineByName(name string) (hw.Machine, error) {

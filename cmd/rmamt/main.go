@@ -20,6 +20,7 @@ import (
 	"repro/internal/cri"
 	"repro/internal/hw"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/progress"
 	"repro/internal/simnet"
 	"repro/internal/telemetry"
@@ -51,6 +52,10 @@ func main() {
 		traceWire  = flag.Bool("trace-wire", false, "carry trace context on the wire and stitch cross-rank message lifecycles (real engine)")
 		traceShard = flag.String("trace-shard", "", "write per-rank raw trace shard JSON (merge with tracemerge; real engine)")
 		httpAddr   = flag.String("http", "", "serve live /metrics, /spc, /trace, /healthz and pprof on this address during the run (real engine)")
+
+		profile      = flag.Bool("profile", false, "attach the contention profiler: per-lock wait attribution and per-thread phase accounting (real engine)")
+		breakdownOut = flag.String("breakdown-out", "", "write the per-rank phase/lock-wait breakdown as JSON to this file (either engine)")
+		pprofCont    = flag.Bool("pprof-contention", false, "enable Go runtime mutex/block profiling so the -http pprof endpoints carry contention profiles (real engine)")
 	)
 	flag.Parse()
 
@@ -60,6 +65,12 @@ func main() {
 		*sampleInterval > 0 || *traceWire || *traceShard != "" || *httpAddr != ""
 	if wantTelemetry && *engine == "sim" {
 		fmt.Fprintln(os.Stderr, "rmamt: telemetry flags instrument the real runtime; switching to -engine real")
+		*engine = "real"
+	}
+	// -breakdown-out alone stays on the chosen engine: the virtual-time
+	// model produces the breakdown deterministically.
+	if (*profile || *pprofCont) && *engine == "sim" {
+		fmt.Fprintln(os.Stderr, "rmamt: profiling flags instrument the real runtime; switching to -engine real")
 		*engine = "real"
 	}
 
@@ -80,14 +91,27 @@ func main() {
 		fmt.Printf("engine=sim transport=virtual caps=none threads=%d size=%dB puts=%d makespan=%v rate=%.0f puts/s peak=%.0f\n",
 			*threads, *msgSize, res.Messages, res.Makespan, res.Rate,
 			machine.PeakMessageRate(*msgSize))
+		if *breakdownOut != "" {
+			bf := prof.BreakdownFile{Engine: "sim"}
+			for _, b := range res.Breakdown {
+				bf.Reports = append(bf.Reports, b.Report(designLabel(*prog, *assignment), *threads))
+			}
+			check(writeBreakdown(*breakdownOut, bf))
+		}
 	case "real":
+		if *pprofCont {
+			restore := obs.EnableContentionProfiling(0, 0)
+			defer restore()
+		}
 		ni := *instances
 		if ni <= 0 {
 			ni = machine.DefaultContexts
 		}
+		wantProf := *profile || *breakdownOut != ""
 		opts := core.Options{
 			NumInstances: ni, Assignment: asg, Progress: pm,
 			ThreadLevel: core.ThreadMultiple, Telemetry: wantTelemetry,
+			Profile:   wantProf,
 			TraceWire: *traceWire,
 			FaultDrop: *faultDrop, FaultDup: *faultDup,
 			FaultDelay: *faultDelay, FaultSeed: *faultSeed,
@@ -128,6 +152,23 @@ func main() {
 				check(ps.WriteText(os.Stdout))
 			}
 		}
+		if *profile {
+			for _, ps := range res.Stats {
+				if !ps.Prof.Empty() {
+					check(prof.BuildReport(ps.Rank, designLabel(*prog, *assignment), *threads, ps.Prof).WriteText(os.Stdout))
+				}
+			}
+		}
+		if *breakdownOut != "" {
+			bf := prof.BreakdownFile{Engine: "real"}
+			for _, ps := range res.Stats {
+				if ps.Prof.Empty() {
+					continue
+				}
+				bf.Reports = append(bf.Reports, prof.BuildReport(ps.Rank, designLabel(*prog, *assignment), *threads, ps.Prof))
+			}
+			check(writeBreakdown(*breakdownOut, bf))
+		}
 		check(outputs.Flush())
 		if srv != nil {
 			_ = srv.Close()
@@ -160,6 +201,23 @@ func worldSource(w *core.World, info map[string]string) obs.Source {
 		},
 		Info: info,
 	}
+}
+
+// designLabel names the configuration under test in breakdown reports.
+func designLabel(progress, assignment string) string {
+	return fmt.Sprintf("progress=%s,assignment=%s", progress, assignment)
+}
+
+func writeBreakdown(path string, bf prof.BreakdownFile) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := prof.WriteBreakdown(f, bf); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func machineByName(name string) (hw.Machine, error) {

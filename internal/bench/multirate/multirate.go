@@ -171,6 +171,7 @@ func runIncast(cfg Config) (Result, error) {
 	go func() {
 		defer wg.Done()
 		th := w.Proc(1).NewThread()
+		defer th.Done()
 		buf := make([]byte, cfg.MsgSize)
 		total := cfg.Pairs * cfg.Window * cfg.Iters
 		for i := 0; i < total; i++ {
@@ -202,6 +203,9 @@ func startSampler(cfg Config, p *core.Proc) *telemetry.Sampler {
 	s := telemetry.NewSampler(cfg.SampleInterval, func() (spc.Snapshot, []telemetry.NamedHist) {
 		return p.SPCSnapshot(), p.Telemetry().Snapshot()
 	})
+	if p.Profiler().Enabled() {
+		s.BindProf(p.Profiler().Snapshot)
+	}
 	s.Start()
 	if cfg.OnSampler != nil {
 		cfg.OnSampler(s)
@@ -452,6 +456,7 @@ func RunDistributed(cfg Config, rank int, net transport.Network) (Result, error)
 }
 
 func senderLoop(th *core.Thread, c *core.Comm, cfg Config, tag int32) error {
+	defer th.Done()
 	buf := make([]byte, cfg.MsgSize)
 	reqs := make([]*core.Request, 0, cfg.Window)
 	for it := 0; it < cfg.Iters; it++ {
@@ -471,6 +476,7 @@ func senderLoop(th *core.Thread, c *core.Comm, cfg Config, tag int32) error {
 }
 
 func receiverLoop(th *core.Thread, c *core.Comm, cfg Config, tag int32) error {
+	defer th.Done()
 	bufs := make([][]byte, cfg.Window)
 	for i := range bufs {
 		bufs[i] = make([]byte, cfg.MsgSize)

@@ -1,0 +1,69 @@
+package multirate
+
+import (
+	"testing"
+
+	"repro/internal/prof"
+)
+
+// TestProfileCollectsBreakdown: with Options.Profile the benchmark's stats
+// carry a populated profiler snapshot — lock sites with acquisitions and
+// per-thread phase clocks whose phase sums stay within wall time.
+func TestProfileCollectsBreakdown(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Pairs = 4
+	cfg.Opts.Profile = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) < 2 {
+		t.Fatalf("stats for %d ranks, want 2", len(res.Stats))
+	}
+	for _, ps := range res.Stats {
+		if ps.Prof.Empty() {
+			t.Fatalf("rank %d: empty profiler snapshot with Profile on", ps.Rank)
+		}
+		var acquired int64
+		for _, s := range ps.Prof.Sites {
+			acquired += s.Acquisitions
+		}
+		if acquired == 0 {
+			t.Errorf("rank %d: no lock acquisitions recorded", ps.Rank)
+		}
+		for _, th := range ps.Prof.Threads {
+			var sum int64
+			for _, v := range th.Phases {
+				sum += v
+			}
+			if th.WallNs <= 0 {
+				t.Errorf("rank %d thread %s: wall %d", ps.Rank, th.Label, th.WallNs)
+			}
+			// Σphases ≤ wall: phases only cover instrumented runtime
+			// sections; the remainder is app time by construction, so the
+			// sum can never exceed the clock's wall time.
+			if sum > th.WallNs {
+				t.Errorf("rank %d thread %s: phase sum %d exceeds wall %d",
+					ps.Rank, th.Label, sum, th.WallNs)
+			}
+		}
+		rep := prof.BuildReport(ps.Rank, "test", cfg.Pairs, ps.Prof)
+		if rep.WallNs <= 0 || rep.Bottleneck == "" {
+			t.Errorf("rank %d: degenerate report %+v", ps.Rank, rep)
+		}
+	}
+}
+
+// TestProfileOffByDefault: without Options.Profile the snapshot stays
+// empty — the disabled hooks are nil receivers, so nothing registers.
+func TestProfileOffByDefault(t *testing.T) {
+	res, err := Run(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ps := range res.Stats {
+		if !ps.Prof.Empty() {
+			t.Fatalf("rank %d: profiler data recorded with Profile off", ps.Rank)
+		}
+	}
+}

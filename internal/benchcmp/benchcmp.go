@@ -1,0 +1,217 @@
+// Package benchcmp compares two BENCH_*.json benchmark trajectories and
+// classifies every (design, thread-count) point as an improvement, within
+// noise, or a regression. It is the repo's performance gate: CI regenerates
+// the trajectory on the deterministic virtual-time model and refuses the
+// change if any point regresses past its noise threshold.
+//
+// The threshold is noise-aware per point: even on the deterministic model,
+// legitimate code changes perturb event interleavings more at high thread
+// counts (contention amplifies small cost shifts), so the tolerance widens
+// with log2(threads). A 5% budget at 1 thread grows to ~10% at 16 threads
+// with the defaults.
+//
+// Comparisons refuse incompatible artifacts outright: different schema
+// versions, machines, engines, sweep parameters, design sets — or one file
+// recorded with the contention profiler enabled and the other without
+// (instrumentation overhead is a measurement-setup change, not noise).
+package benchcmp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"repro/internal/benchjson"
+)
+
+// Verdict classifies one compared point.
+type Verdict int
+
+const (
+	// WithinNoise: the rate moved less than the point's tolerance.
+	WithinNoise Verdict = iota
+	// Improvement: the rate rose past the tolerance.
+	Improvement
+	// Regression: the rate fell past the tolerance.
+	Regression
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Improvement:
+		return "improvement"
+	case Regression:
+		return "REGRESSION"
+	default:
+		return "within-noise"
+	}
+}
+
+// Options tunes the gate.
+type Options struct {
+	// RelTol is the base relative tolerance at 1 thread (default 0.05).
+	RelTol float64
+	// ThreadNoise widens the tolerance per doubling of the thread count:
+	// tol(t) = RelTol * (1 + ThreadNoise*log2(t)). Default 0.25.
+	ThreadNoise float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.RelTol <= 0 {
+		o.RelTol = 0.05
+	}
+	if o.ThreadNoise <= 0 {
+		o.ThreadNoise = 0.25
+	}
+	return o
+}
+
+// Tolerance is the relative budget for a point at the given thread count.
+func (o Options) Tolerance(threads int) float64 {
+	o = o.withDefaults()
+	if threads < 1 {
+		threads = 1
+	}
+	return o.RelTol * (1 + o.ThreadNoise*math.Log2(float64(threads)))
+}
+
+// PointDelta is one compared (design, threads) point.
+type PointDelta struct {
+	Design   string  `json:"design"`
+	Threads  int     `json:"threads"`
+	BaseRate float64 `json:"base_rate"`
+	NewRate  float64 `json:"new_rate"`
+	// Delta is the relative change (new-base)/base.
+	Delta float64 `json:"delta"`
+	// Tolerance is the noise budget this point was judged against.
+	Tolerance float64 `json:"tolerance"`
+	Verdict   Verdict `json:"-"`
+	// VerdictName mirrors Verdict for the JSON form.
+	VerdictName string `json:"verdict"`
+}
+
+// Result is the full comparison.
+type Result struct {
+	Points       []PointDelta `json:"points"`
+	Improvements int          `json:"improvements"`
+	Regressions  int          `json:"regressions"`
+}
+
+// Regressed reports whether any point regressed past its tolerance.
+func (r Result) Regressed() bool { return r.Regressions > 0 }
+
+// IncompatibleError reports two artifacts that must not be compared.
+type IncompatibleError struct{ Reason string }
+
+func (e *IncompatibleError) Error() string {
+	return "benchcmp: incompatible artifacts: " + e.Reason
+}
+
+func incompatible(format string, args ...any) error {
+	return &IncompatibleError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// checkCompatible refuses pairs whose differences are measurement-setup
+// changes rather than performance changes.
+func checkCompatible(base, cur benchjson.File) error {
+	if base.SchemaVersion != cur.SchemaVersion {
+		return incompatible("schema_version %d vs %d", base.SchemaVersion, cur.SchemaVersion)
+	}
+	if base.Benchmark != cur.Benchmark {
+		return incompatible("benchmark %q vs %q", base.Benchmark, cur.Benchmark)
+	}
+	if base.Engine != cur.Engine {
+		return incompatible("engine %q vs %q", base.Engine, cur.Engine)
+	}
+	if base.Machine != cur.Machine {
+		return incompatible("machine %q vs %q", base.Machine, cur.Machine)
+	}
+	if base.ProfilerEnabled != cur.ProfilerEnabled {
+		return incompatible("profiler_enabled %v vs %v (instrumentation overhead is not noise)",
+			base.ProfilerEnabled, cur.ProfilerEnabled)
+	}
+	if fmt.Sprint(base.Sweep) != fmt.Sprint(cur.Sweep) {
+		return incompatible("sweep parameters differ: %+v vs %+v", base.Sweep, cur.Sweep)
+	}
+	if len(base.Designs) != len(cur.Designs) {
+		return incompatible("%d designs vs %d", len(base.Designs), len(cur.Designs))
+	}
+	for i := range base.Designs {
+		if base.Designs[i].Slug != cur.Designs[i].Slug {
+			return incompatible("design[%d] %q vs %q", i, base.Designs[i].Slug, cur.Designs[i].Slug)
+		}
+	}
+	return nil
+}
+
+// CompareBytes validates both raw trajectory files and compares them.
+func CompareBytes(base, cur []byte, opt Options) (Result, error) {
+	bf, err := parse(base, "base")
+	if err != nil {
+		return Result{}, err
+	}
+	cf, err := parse(cur, "new")
+	if err != nil {
+		return Result{}, err
+	}
+	return Compare(bf, cf, opt)
+}
+
+func parse(data []byte, which string) (benchjson.File, error) {
+	if err := benchjson.Validate(data); err != nil {
+		return benchjson.File{}, fmt.Errorf("benchcmp: %s file: %w", which, err)
+	}
+	return benchjson.Parse(data)
+}
+
+// Compare classifies every point of cur against base.
+func Compare(base, cur benchjson.File, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	if err := checkCompatible(base, cur); err != nil {
+		return Result{}, err
+	}
+	var res Result
+	for i, bd := range base.Designs {
+		cd := cur.Designs[i]
+		for j, bp := range bd.Points {
+			cp := cd.Points[j]
+			tol := opt.Tolerance(bp.Threads)
+			delta := (cp.MessagesPerSec - bp.MessagesPerSec) / bp.MessagesPerSec
+			v := WithinNoise
+			switch {
+			case delta < -tol:
+				v = Regression
+				res.Regressions++
+			case delta > tol:
+				v = Improvement
+				res.Improvements++
+			}
+			res.Points = append(res.Points, PointDelta{
+				Design: bd.Slug, Threads: bp.Threads,
+				BaseRate: bp.MessagesPerSec, NewRate: cp.MessagesPerSec,
+				Delta: delta, Tolerance: tol,
+				Verdict: v, VerdictName: v.String(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// WriteText renders the comparison as an aligned table plus a one-line
+// summary, regressions last so they are visible at the end of CI logs.
+func (r Result) WriteText(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "design\tthreads\tbase msg/s\tnew msg/s\tdelta\ttol\tverdict")
+	for _, p := range r.Points {
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.0f\t%+.2f%%\t±%.2f%%\t%s\n",
+			p.Design, p.Threads, p.BaseRate, p.NewRate,
+			100*p.Delta, 100*p.Tolerance, p.Verdict)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "benchcmp: %d points, %d improvements, %d regressions\n",
+		len(r.Points), r.Improvements, r.Regressions)
+	return err
+}

@@ -1,0 +1,160 @@
+package benchcmp
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func readFile(t *testing.T, name string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestIdenticalFilesWithinNoise(t *testing.T) {
+	base := readFile(t, "base.json")
+	res, err := CompareBytes(base, base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressed() || res.Improvements != 0 {
+		t.Fatalf("self-comparison not all within noise: %+v", res)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Verdict != WithinNoise {
+			t.Errorf("%s/%d: verdict %v, want within-noise", p.Design, p.Threads, p.Verdict)
+		}
+	}
+}
+
+// TestDegradedFileRegresses is the gate's core promise: a synthetically
+// degraded trajectory (ompi-thread at 8 threads down 20%) must trip the
+// gate, while small jitter elsewhere stays within noise.
+func TestDegradedFileRegresses(t *testing.T) {
+	res, err := CompareBytes(readFile(t, "base.json"), readFile(t, "degraded.json"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Regressed() {
+		t.Fatal("degraded file did not regress")
+	}
+	if res.Regressions != 1 {
+		t.Fatalf("regressions = %d, want exactly 1 (only the degraded point)", res.Regressions)
+	}
+	var hit *PointDelta
+	for i, p := range res.Points {
+		if p.Verdict == Regression {
+			hit = &res.Points[i]
+		}
+	}
+	if hit.Design != "ompi-thread" || hit.Threads != 8 {
+		t.Fatalf("regressed point = %s/%d, want ompi-thread/8", hit.Design, hit.Threads)
+	}
+}
+
+// TestDegradedReportGolden pins the human-readable verdict table.
+func TestDegradedReportGolden(t *testing.T) {
+	res, err := CompareBytes(readFile(t, "base.json"), readFile(t, "degraded.json"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "degraded.report.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != string(want) {
+		t.Errorf("report drifted from golden:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+func TestImprovementDetected(t *testing.T) {
+	improved := strings.Replace(string(readFile(t, "base.json")),
+		`"messages_per_sec": 2800000`, `"messages_per_sec": 3400000`, 1)
+	res, err := CompareBytes(readFile(t, "base.json"), []byte(improved), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressed() || res.Improvements != 1 {
+		t.Fatalf("improvements = %d regressions = %d, want 1/0", res.Improvements, res.Regressions)
+	}
+}
+
+func TestToleranceWidensWithThreads(t *testing.T) {
+	var o Options
+	t1, t8 := o.Tolerance(1), o.Tolerance(8)
+	if t1 != 0.05 {
+		t.Errorf("Tolerance(1) = %v, want 0.05", t1)
+	}
+	if t8 <= t1 {
+		t.Errorf("Tolerance(8) = %v not wider than Tolerance(1) = %v", t8, t1)
+	}
+}
+
+func TestIncompatibleArtifactsRefused(t *testing.T) {
+	base := string(readFile(t, "base.json"))
+	cases := []struct {
+		name   string
+		mutate func(string) string
+		want   string
+	}{
+		{"profiler flag", func(s string) string {
+			return strings.Replace(s, `"profiler_enabled": false`, `"profiler_enabled": true`, 1)
+		}, "profiler_enabled"},
+		{"machine", func(s string) string {
+			return strings.Replace(s, `"machine": "fast"`, `"machine": "knl"`, 1)
+		}, "machine"},
+		{"sweep window", func(s string) string {
+			return strings.Replace(s, `"window": 32`, `"window": 64`, 1)
+		}, "sweep"},
+		{"design set", func(s string) string {
+			return strings.Replace(s, `"slug": "ompi-thread-cri-full"`, `"slug": "ompi-thread-cri"`, 1)
+		}, "design"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := CompareBytes([]byte(base), []byte(tc.mutate(base)), Options{})
+			if err == nil {
+				t.Fatal("incompatible pair compared without error")
+			}
+			var ie *IncompatibleError
+			if !errors.As(err, &ie) {
+				t.Fatalf("error %T %q is not IncompatibleError", err, err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestInvalidFileRefused(t *testing.T) {
+	base := readFile(t, "base.json")
+	if _, err := CompareBytes(base, []byte("{}"), Options{}); err == nil {
+		t.Fatal("invalid new file accepted")
+	}
+	if _, err := CompareBytes([]byte("nope"), base, Options{}); err == nil {
+		t.Fatal("invalid base file accepted")
+	}
+}

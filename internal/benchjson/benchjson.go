@@ -23,8 +23,10 @@ import (
 )
 
 // SchemaVersion identifies the BENCH_*.json layout this package writes and
-// validates.
-const SchemaVersion = 1
+// validates. Version 2 added the profiler_enabled flag so comparisons can
+// refuse to mix profiled and unprofiled trajectories (instrumentation
+// overhead is not noise).
+const SchemaVersion = 2
 
 // SweepConfig parameterizes one trajectory run.
 type SweepConfig struct {
@@ -48,13 +50,17 @@ type SweepConfig struct {
 
 // File is the root of a BENCH_*.json trajectory.
 type File struct {
-	SchemaVersion int            `json:"schema_version"`
-	Benchmark     string         `json:"benchmark"`
-	Engine        string         `json:"engine"`
-	Unit          string         `json:"unit"`
-	Machine       string         `json:"machine"`
-	Sweep         Sweep          `json:"sweep"`
-	Designs       []DesignResult `json:"designs"`
+	SchemaVersion int    `json:"schema_version"`
+	Benchmark     string `json:"benchmark"`
+	Engine        string `json:"engine"`
+	Unit          string `json:"unit"`
+	Machine       string `json:"machine"`
+	// ProfilerEnabled records whether the sweep ran with the contention
+	// profiler's instrumentation active. Trajectories with different values
+	// are not comparable.
+	ProfilerEnabled bool           `json:"profiler_enabled"`
+	Sweep           Sweep          `json:"sweep"`
+	Designs         []DesignResult `json:"designs"`
 }
 
 // Sweep records the parameters shared by every design's points.
@@ -147,6 +153,18 @@ func Marshal(f File) ([]byte, error) {
 		return nil, err
 	}
 	return append(b, '\n'), nil
+}
+
+// Parse decodes a trajectory file strictly (unknown fields are errors) but
+// without the structural checks Validate performs.
+func Parse(data []byte) (File, error) {
+	var f File
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return File{}, fmt.Errorf("benchjson: parse: %w", err)
+	}
+	return f, nil
 }
 
 // Validate checks that data is a well-formed trajectory file: required

@@ -1,6 +1,7 @@
 package benchjson
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -66,7 +67,9 @@ func TestValidateRejects(t *testing.T) {
 			return strings.Replace(s, `"benchmark"`, `"surprise": 1, "benchmark"`, 1)
 		}, "parse"},
 		{"wrong version", func(s string) string {
-			return strings.Replace(s, `"schema_version": 1`, `"schema_version": 99`, 1)
+			return strings.Replace(s,
+				fmt.Sprintf(`"schema_version": %d`, SchemaVersion),
+				`"schema_version": 99`, 1)
 		}, "schema_version"},
 		{"one design", func(s string) string {
 			i := strings.Index(s, `    {

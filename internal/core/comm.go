@@ -2,11 +2,11 @@ package core
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/match"
+	"repro/internal/prof"
 	"repro/internal/spc"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -31,7 +31,10 @@ type Comm struct {
 	myRank int
 	info   Info
 
-	matchMu sync.Mutex
+	// matchMu serializes the matching engine — the paper's "remaining
+	// serial section". Profiled per communicator so concurrent-matching
+	// designs show their per-comm contention split.
+	matchMu prof.Mutex
 	engine  match.Matcher
 	seq     *match.SeqTracker
 
@@ -75,6 +78,7 @@ func newComm(p *Proc, id uint32, group []int, myRank int, info Info) *Comm {
 	if p.spcs != nil {
 		c.spcs = spc.NewSet()
 	}
+	c.matchMu.Bind(p.prof.NewSite("match.comm", -1, id))
 	var meter match.Meter = match.SpinMeter{}
 	if p.world.opts.HashMatching {
 		c.engine = match.NewHashEngine(id, len(group), p.dev.Machine().Scaled(), meter, c.spcs)
@@ -143,8 +147,11 @@ func (c *Comm) Isend(th *Thread, dst int, tag int32, buf []byte) (*Request, erro
 	}
 	p.levelGuard.enter(th)
 	defer p.levelGuard.leave()
+	clk := th.ts.Clock()
+	clk.Begin(prof.PhaseSend)
+	defer clk.End()
 	if p.bigLock {
-		p.bigMu.Lock()
+		p.bigMu.LockClocked(clk)
 		defer p.bigMu.Unlock()
 	}
 
@@ -176,13 +183,13 @@ func (c *Comm) Isend(th *Thread, dst int, tag int32, buf []byte) (*Request, erro
 		// matching engine and complete the send.
 		p.tracer.EmitFlowCRI(trace.KindSendInject, pkt.TraceID, -1, int32(dst), int32(seq))
 		req.finish(nil)
-		p.deliver(nil, pkt)
+		p.deliver(clk, nil, pkt)
 		return req, nil
 	}
 
 	inst := p.pool.ForThread(&th.ts)
 	p.tracer.EmitFlowCRI(trace.KindSendInject, pkt.TraceID, inst.Index(), int32(dst), int32(seq))
-	inst.Lock()
+	inst.LockClocked(clk)
 	ep := inst.Endpoint(c.group[dst])
 	if ep == nil {
 		inst.Unlock()
@@ -190,7 +197,9 @@ func (c *Comm) Isend(th *Thread, dst int, tag int32, buf []byte) (*Request, erro
 			p.rank, c.group[dst], ErrPeerUnreachable)
 	}
 	p.rel.track(pkt, c.group[dst], req, nil)
+	clk.Begin(prof.PhaseWire)
 	ep.Send(pkt)
+	clk.End()
 	inst.Unlock()
 	return req, nil
 }
@@ -218,22 +227,25 @@ func (c *Comm) Irecv(th *Thread, src int, tag int32, buf []byte) (*Request, erro
 	}
 	p.levelGuard.enter(th)
 	defer p.levelGuard.leave()
+	clk := th.ts.Clock()
 	if p.bigLock {
-		p.bigMu.Lock()
+		p.bigMu.LockClocked(clk)
 		defer p.bigMu.Unlock()
 	}
 
 	req := &Request{proc: p, kind: reqRecv}
 	req.mrecv = &match.Recv{Source: int32(src), Tag: tag, Buf: buf, Token: req}
 
-	if !c.matchMu.TryLock() {
+	if !c.matchMu.TryLockQuiet() {
 		t0 := c.spcs.StartTimer()
-		c.matchMu.Lock()
+		c.matchMu.LockClocked(clk)
 		c.engine.ChargeWait(sinceTimer(c.spcs, t0))
 	}
+	clk.Begin(prof.PhaseMatch)
 	h0 := p.histMatch.Start()
 	comp, ok := c.engine.PostRecv(req.mrecv)
 	p.histMatch.ObserveSince(h0)
+	clk.End()
 	c.matchMu.Unlock()
 	if ok {
 		c.completeRecv(comp)
@@ -255,7 +267,7 @@ func (c *Comm) Recv(th *Thread, src int, tag int32, buf []byte) (Status, error) 
 // matching src/tag, progressing once first (MPI_Iprobe).
 func (c *Comm) Probe(th *Thread, src int, tag int32) (Status, bool) {
 	th.Progress()
-	c.matchMu.Lock()
+	c.matchMu.LockClocked(th.ts.Clock())
 	env, ok := c.engine.Probe(int32(src), tag)
 	c.matchMu.Unlock()
 	if !ok {
@@ -284,7 +296,7 @@ func (m *Message) Status() Status {
 // which races when multiple threads probe the same coordinates.
 func (c *Comm) MProbe(th *Thread, src int, tag int32) (*Message, bool) {
 	th.Progress()
-	c.matchMu.Lock()
+	c.matchMu.LockClocked(th.ts.Clock())
 	pkt, ok := c.engine.MProbe(int32(src), tag)
 	c.matchMu.Unlock()
 	if !ok {
@@ -393,6 +405,9 @@ const barrierTagBase int32 = -1000
 // user-tag validation.
 func (c *Comm) isendInternal(th *Thread, dst int, tag int32, buf []byte) (*Request, error) {
 	p := c.proc
+	clk := th.ts.Clock()
+	clk.Begin(prof.PhaseSend)
+	defer clk.End()
 	seq := c.seq.Next(int32(dst))
 	env := transport.Envelope{
 		Src: int32(c.myRank), Dst: int32(dst), Tag: tag,
@@ -402,11 +417,11 @@ func (c *Comm) isendInternal(th *Thread, dst int, tag int32, buf []byte) (*Reque
 	pkt := transport.NewPacket(env, buf, req)
 	if c.group[dst] == p.rank {
 		req.finish(nil)
-		p.deliver(nil, pkt)
+		p.deliver(clk, nil, pkt)
 		return req, nil
 	}
 	inst := p.pool.ForThread(&th.ts)
-	inst.Lock()
+	inst.LockClocked(clk)
 	ep := inst.Endpoint(c.group[dst])
 	if ep == nil {
 		inst.Unlock()
@@ -414,7 +429,9 @@ func (c *Comm) isendInternal(th *Thread, dst int, tag int32, buf []byte) (*Reque
 			p.rank, c.group[dst], ErrPeerUnreachable)
 	}
 	p.rel.track(pkt, c.group[dst], req, nil)
+	clk.Begin(prof.PhaseWire)
 	ep.Send(pkt)
+	clk.End()
 	inst.Unlock()
 	return req, nil
 }

@@ -95,6 +95,14 @@ type Options struct {
 	// byte-identical to the paper-faithful framing. Pair with TraceCapacity
 	// and/or Telemetry to retain what the tracing produces.
 	TraceWire bool
+	// Profile attaches the contention-and-phase profiler (internal/prof):
+	// every serialization point — instance locks, the serial progress lock,
+	// per-communicator matching locks, the reliability window, the big
+	// lock — records acquisitions, contended waits, and hold time, and every
+	// Thread carries a phase clock decomposing its wall time into the
+	// paper's breakdown categories. Off by default; when off every hook is
+	// a single branch (see prof package docs).
+	Profile bool
 	// HashMatching replaces the OB1-style list matching engine with the
 	// hash-based engine (O(1) exact matching; see match.HashEngine) — the
 	// optimized-matching direction the paper's Section III-F leaves out of

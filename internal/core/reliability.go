@@ -3,10 +3,10 @@ package core
 import (
 	"encoding/binary"
 	"errors"
-	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/prof"
 	"repro/internal/spc"
 	"repro/internal/transport"
 )
@@ -89,7 +89,9 @@ type reliability struct {
 	rto    time.Duration
 	budget int
 
-	mu   sync.Mutex
+	// mu guards the per-peer windows; profiled as "reliability.window"
+	// because every tracked send and every sweep serializes on it.
+	mu   prof.Mutex
 	send []relSendPeer // indexed by destination world rank
 	recv []relRecvPeer // indexed by source world rank
 
@@ -98,6 +100,13 @@ type reliability struct {
 
 func newReliability(p *Proc, rto time.Duration, budget int) *reliability {
 	return &reliability{proc: p, rto: rto, budget: budget}
+}
+
+// bindProfSite attaches the profiler site to the window mutex.
+func (r *reliability) bindProfSite(s *prof.Site) {
+	if r != nil {
+		r.mu.Bind(s)
+	}
 }
 
 // initPeers sizes the per-peer tables once the world size is known.
@@ -224,7 +233,8 @@ func (r *reliability) handleAck(pkt *transport.Packet) {
 // maybeSweep runs the retransmit sweep if a tick has elapsed since the last
 // one; the CAS ensures exactly one of the threads racing a tick boundary
 // pays for the scan. Nil-safe: disabled reliability costs one pointer test.
-func (r *reliability) maybeSweep() {
+// The elected sweeper's scan is charged to its retransmit phase.
+func (r *reliability) maybeSweep(clk *prof.ThreadClock) {
 	if r == nil {
 		return
 	}
@@ -233,7 +243,9 @@ func (r *reliability) maybeSweep() {
 	if now.UnixNano()-last < int64(relSweepTick) || !r.lastSweep.CompareAndSwap(last, now.UnixNano()) {
 		return
 	}
+	clk.Begin(prof.PhaseRetransmit)
 	r.sweep(now)
+	clk.End()
 }
 
 // sweep retransmits every entry whose backed-off timeout expired and

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -19,8 +20,22 @@ type Thread struct {
 	ts   cri.ThreadState
 }
 
-// NewThread attaches a communication thread to the proc.
-func (p *Proc) NewThread() *Thread { return &Thread{proc: p} }
+// NewThread attaches a communication thread to the proc. Under
+// Options.Profile the thread receives a phase clock (labelled
+// rank<r>/t<n>) that starts in the app phase immediately.
+func (p *Proc) NewThread() *Thread {
+	th := &Thread{proc: p}
+	if p.prof != nil {
+		n := p.profThreads.Add(1) - 1
+		th.ts.SetClock(p.prof.NewThreadClock(fmt.Sprintf("rank%d/t%d", p.rank, n)))
+	}
+	return th
+}
+
+// Done marks the thread's benchmark work finished, freezing its phase
+// clock so the app-phase remainder stops accumulating. Harmless without
+// profiling; idempotent.
+func (t *Thread) Done() { t.ts.Clock().Stop() }
 
 // Proc returns the thread's process.
 func (t *Thread) Proc() *Proc { return t.proc }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/backends"
 	"repro/internal/cri"
 	"repro/internal/hw"
+	"repro/internal/prof"
 	"repro/internal/progress"
 	"repro/internal/spc"
 	"repro/internal/telemetry"
@@ -259,8 +260,14 @@ type Proc struct {
 	retiredSPCs spc.Snapshot
 
 	// bigMu is the process-wide lock of the BigLock comparator design.
-	bigMu   sync.Mutex
+	bigMu   prof.Mutex
 	bigLock bool
+
+	// prof is the contention-and-phase profiler (nil unless
+	// Options.Profile; all its hand-outs are nil-safe). profThreads
+	// numbers the thread clocks NewThread hands out.
+	prof        *prof.Profiler
+	profThreads atomic.Int32
 
 	// levelGuard enforces the negotiated threading level.
 	levelGuard levelGuard
@@ -295,6 +302,10 @@ func newProc(w *World, rank int, machine hw.Machine, opts Options) (*Proc, error
 	if !opts.DisableSPCs {
 		p.spcs = spc.NewSet()
 	}
+	if opts.Profile {
+		p.prof = prof.New()
+		p.bigMu.Bind(p.prof.NewSite("core.biglock", -1, 0))
+	}
 	cfg := transport.DeviceConfig{Counters: p.spcs}
 	if opts.ScrambleWindow > 0 {
 		seed := opts.ScrambleSeed
@@ -323,6 +334,7 @@ func newProc(w *World, rank int, machine hw.Machine, opts Options) (*Proc, error
 	p.dev = dev
 	if opts.Reliable {
 		p.rel = newReliability(p, opts.RetransmitTimeout, opts.RetryBudget)
+		p.rel.bindProfSite(p.prof.NewSite("reliability.window", -1, 0))
 	}
 	if opts.TraceCapacity > 0 {
 		p.tracer = trace.New(opts.TraceCapacity)
@@ -357,12 +369,14 @@ func newProc(w *World, rank int, machine hw.Machine, opts Options) (*Proc, error
 		if p.tel != nil {
 			insts[i].SetLockWaitHistogram(p.tel.LockWait)
 		}
+		insts[i].BindProfSite(p.prof.NewSite("cri.instance", i, 0))
 	}
 	p.pool, err = cri.NewPool(insts, opts.Assignment)
 	if err != nil {
 		return nil, err
 	}
 	p.prog = progress.New(opts.Progress, p.pool, p.dispatch, p.spcs)
+	p.prog.BindProfSite(p.prof.NewSite("progress.serial", -1, 0))
 	if p.tracer != nil || p.tel != nil {
 		var passHist *telemetry.Histogram
 		if p.tel != nil {
@@ -384,13 +398,15 @@ func newProc(w *World, rank int, machine hw.Machine, opts Options) (*Proc, error
 func (p *Proc) offloadLoop() {
 	defer close(p.offloadDone)
 	var ts cri.ThreadState
+	ts.SetClock(p.prof.NewThreadClock(fmt.Sprintf("rank%d/offload", p.rank)))
+	defer ts.Clock().Stop()
 	for {
 		select {
 		case <-p.offloadStop:
 			return
 		default:
 		}
-		p.rel.maybeSweep()
+		p.rel.maybeSweep(ts.Clock())
 		if p.prog.Progress(&ts) == 0 {
 			yield()
 		}
@@ -488,12 +504,17 @@ func (p *Proc) TelemetryStats() telemetry.ProcStats {
 	}
 	p.commMu.RUnlock()
 	ps.Process = ps.MergeChildren()
+	ps.Prof = p.prof.Snapshot()
 	return ps
 }
 
 // Tracer returns the proc's event tracer (nil unless Options.TraceCapacity
 // was set).
 func (p *Proc) Tracer() *trace.Tracer { return p.tracer }
+
+// Profiler returns the proc's contention-and-phase profiler (nil unless
+// Options.Profile was set; nil is safe to use everywhere).
+func (p *Proc) Profiler() *prof.Profiler { return p.prof }
 
 // ClockOffsetToRank0Ns returns the correction mapping this proc's clock
 // onto rank 0's (rank0_time = local_time + offset), from the transport's
@@ -579,15 +600,16 @@ type Completer interface {
 }
 
 // dispatch routes one extracted completion event. It runs inside the
-// progress engine, under the instance lock of the polled instance.
-func (p *Proc) dispatch(in *cri.Instance, e transport.CQE) {
+// progress engine, under the instance lock of the polled instance; clk is
+// the progressing thread's phase clock (nil when profiling is off).
+func (p *Proc) dispatch(clk *prof.ThreadClock, in *cri.Instance, e transport.CQE) {
 	switch e.Kind {
 	case transport.CQESendComplete:
 		if c, ok := e.Packet.Token.(Completer); ok && c != nil {
 			c.Complete(e)
 		}
 	case transport.CQERecv:
-		p.deliver(in, e.Packet)
+		p.deliver(clk, in, e.Packet)
 	default: // one-sided completions
 		if c, ok := e.Token.(Completer); ok && c != nil {
 			c.Complete(e)
@@ -598,8 +620,8 @@ func (p *Proc) dispatch(in *cri.Instance, e transport.CQE) {
 // deliver pushes an inbound two-sided packet through the owning
 // communicator's matching engine under its matching lock. in is the CRI
 // instance whose context the packet arrived on (nil for self messages,
-// which bypass the fabric).
-func (p *Proc) deliver(in *cri.Instance, pkt *transport.Packet) {
+// which bypass the fabric); clk the delivering thread's phase clock.
+func (p *Proc) deliver(clk *prof.ThreadClock, in *cri.Instance, pkt *transport.Packet) {
 	env := pkt.Envelope()
 	if env.Kind == transport.KindAck {
 		p.rel.handleAck(pkt)
@@ -653,15 +675,18 @@ func (p *Proc) deliver(in *cri.Instance, pkt *transport.Packet) {
 	}
 	// Measure matching-lock wait: Table II's match time includes the time
 	// threads spend fighting over the matching critical section. The wait
-	// is charged to the communicator's own counter set.
-	if !c.matchMu.TryLock() {
+	// is charged to the communicator's own counter set (and, profiled, to
+	// the matching lock's site and the thread's lock-wait phase).
+	if !c.matchMu.TryLockQuiet() {
 		t0 := c.spcs.StartTimer()
-		c.matchMu.Lock()
+		c.matchMu.LockClocked(clk)
 		c.engine.ChargeWait(sinceTimer(c.spcs, t0))
 	}
+	clk.Begin(prof.PhaseMatch)
 	h0 := p.histMatch.Start()
 	scratch.buf = c.engine.Deliver(pkt, scratch.buf[:0])
 	p.histMatch.ObserveSince(h0)
+	clk.End()
 	c.matchMu.Unlock()
 	for _, comp := range scratch.buf {
 		c.completeRecv(comp)
@@ -674,13 +699,13 @@ func (p *Proc) deliver(in *cri.Instance, pkt *transport.Packet) {
 // the software-offload design, application threads never enter the engine;
 // the dedicated thread owns it, so callers simply yield.
 func (p *Proc) progressFor(ts *cri.ThreadState) int {
-	p.rel.maybeSweep()
+	p.rel.maybeSweep(ts.Clock())
 	if p.offload {
 		yield()
 		return 0
 	}
 	if p.bigLock {
-		p.bigMu.Lock()
+		p.bigMu.LockClocked(ts.Clock())
 		defer p.bigMu.Unlock()
 	}
 	return p.prog.Progress(ts)

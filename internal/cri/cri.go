@@ -10,9 +10,9 @@ package cri
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 
+	"repro/internal/prof"
 	"repro/internal/spc"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
@@ -43,7 +43,7 @@ func (a Assignment) String() string {
 
 // Instance is one Communication Resource Instance.
 type Instance struct {
-	mu    sync.Mutex
+	mu    prof.Mutex
 	index int
 	ctx   transport.Context
 	eps   []transport.Endpoint // indexed by remote rank; nil for self
@@ -68,6 +68,11 @@ func NewInstance(index int, ctx transport.Context, spcs *spc.Set) *Instance {
 // Call during setup, before the instance is shared between threads.
 func (in *Instance) SetLockWaitHistogram(h *telemetry.Histogram) { in.lockWait = h }
 
+// BindProfSite attaches the contention profiler's per-site statistics to
+// the instance lock. Call during setup only; a nil site leaves the lock
+// unprofiled (single-branch overhead).
+func (in *Instance) BindProfSite(s *prof.Site) { in.mu.Bind(s) }
+
 // SPCs returns the instance's attributed counter set (nil when disabled).
 func (in *Instance) SPCs() *spc.Set { return in.spcs }
 
@@ -89,28 +94,40 @@ func (in *Instance) Endpoint(rank int) transport.Endpoint {
 }
 
 // Lock acquires the instance lock, recording contention in the instance's
-// SPC set (send_lock_waits) and the lock-wait histogram when the fast-path
-// try-lock fails. Both records are nil-safe single branches when disabled.
-func (in *Instance) Lock() {
-	if in.mu.TryLock() {
+// SPC set (send_lock_waits), the lock-wait histogram, and the profiler site
+// when the fast-path try-lock fails. All records are nil-safe single
+// branches when disabled.
+func (in *Instance) Lock() { in.LockClocked(nil) }
+
+// LockClocked is Lock, additionally charging any contended wait to a
+// lock-wait phase section on the calling thread's clock (nil-safe).
+func (in *Instance) LockClocked(clk *prof.ThreadClock) {
+	if in.mu.TryLockQuiet() {
 		return
 	}
 	in.spcs.Inc(spc.SendLockWaits)
 	t0 := in.lockWait.Start()
-	in.mu.Lock()
+	in.mu.LockClocked(clk)
 	in.lockWait.ObserveSince(t0)
 }
 
-// TryLock attempts the instance lock without blocking.
+// TryLock attempts the instance lock without blocking, recording the loss
+// on the profiler site when one is bound.
 func (in *Instance) TryLock() bool { return in.mu.TryLock() }
 
 // Unlock releases the instance lock.
 func (in *Instance) Unlock() { in.mu.Unlock() }
 
+// PollHandler routes one completion event extracted under the instance
+// lock. The clock is the polling thread's phase clock (nil when profiling
+// is off) so downstream work — matching, request completion — can charge
+// its phases without a per-event lookup.
+type PollHandler func(clk *prof.ThreadClock, in *Instance, e transport.CQE)
+
 // Poll drains up to max completion events under the caller-held instance
 // lock. The caller MUST hold the lock (progress-engine discipline).
-func (in *Instance) Poll(handler func(*Instance, transport.CQE), max int) int {
-	return in.ctx.Poll(func(e transport.CQE) { handler(in, e) }, max)
+func (in *Instance) Poll(clk *prof.ThreadClock, handler PollHandler, max int) int {
+	return in.ctx.Poll(func(e transport.CQE) { handler(clk, in, e) }, max)
 }
 
 // ThreadState is the per-thread assignment cache — the TLS slot of
@@ -120,7 +137,18 @@ func (in *Instance) Poll(handler func(*Instance, transport.CQE), max int) int {
 type ThreadState struct {
 	dedicated int
 	assigned  bool
+	// clock is the thread's phase clock (nil when profiling is off). It
+	// rides in the TLS stand-in so every layer the thread enters — send
+	// path, progress engine, matching — can attribute its time without
+	// extra plumbing.
+	clock *prof.ThreadClock
 }
+
+// SetClock attaches the thread's phase clock. Call at thread creation.
+func (ts *ThreadState) SetClock(c *prof.ThreadClock) { ts.clock = c }
+
+// Clock returns the thread's phase clock, nil when profiling is off.
+func (ts *ThreadState) Clock() *prof.ThreadClock { return ts.clock }
 
 // NewThreadState returns a state with a pre-assigned dedicated instance;
 // a negative index means unassigned. The virtual-time model (internal/simnet)

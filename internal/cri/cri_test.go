@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/prof"
 	"repro/internal/spc"
 	"repro/internal/transport"
 	"repro/internal/transport/mocknet"
@@ -203,7 +204,7 @@ func TestInstancePollDispatches(t *testing.T) {
 	var got []transport.CQE
 	var fromInst *Instance
 	rx.Lock()
-	n := rx.Poll(func(in *Instance, e transport.CQE) { fromInst = in; got = append(got, e) }, 8)
+	n := rx.Poll(nil, func(_ *prof.ThreadClock, in *Instance, e transport.CQE) { fromInst = in; got = append(got, e) }, 8)
 	rx.Unlock()
 	if n != 1 || len(got) != 1 || got[0].Kind != transport.CQERecv {
 		t.Fatalf("Poll handled %d events: %+v", n, got)

@@ -1,0 +1,56 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimeBreakdownSharesSumToOne(t *testing.T) {
+	fig := TimeBreakdown(Quick(), 8)
+	if len(fig.Bars) == 0 {
+		t.Fatal("no bars")
+	}
+	for _, bar := range fig.Bars {
+		var sum float64
+		for _, s := range bar.Shares {
+			sum += s
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s: shares sum to %.6f, want 1 (virtual-time decomposition is exact)", bar.Design, sum)
+		}
+		if bar.Bottleneck == "" {
+			t.Errorf("%s: no bottleneck named", bar.Design)
+		}
+	}
+}
+
+// TestTimeBreakdownTellsThePaperStory: the figure's whole point — the stock
+// threaded designs are dominated by lock wait, and the full CRI design's
+// bottleneck has moved off the locks.
+func TestTimeBreakdownTellsThePaperStory(t *testing.T) {
+	fig := TimeBreakdown(Quick(), 8)
+	dom := fig.DominantPhases()
+	if dom["OMPI Thread"] != "lock_wait" {
+		t.Errorf("OMPI Thread dominant phase %q, want lock_wait", dom["OMPI Thread"])
+	}
+	if dom["OMPI Thread + CRIs*"] == "lock_wait" {
+		t.Error("full CRI design still dominated by lock_wait")
+	}
+	for _, bar := range fig.Bars {
+		if bar.Design == "OMPI Thread" && !strings.Contains(bar.Bottleneck, "lock_wait") {
+			t.Errorf("OMPI Thread bottleneck %q does not name lock_wait", bar.Bottleneck)
+		}
+	}
+}
+
+func TestTimeBreakdownRenders(t *testing.T) {
+	fig := TimeBreakdown(Quick(), 4)
+	text := fig.Render()
+	if !strings.Contains(text, "bottleneck:") || !strings.Contains(text, "OMPI Thread") {
+		t.Fatalf("render missing expected content:\n%s", text)
+	}
+	csv := fig.CSV()
+	if !strings.Contains(csv, "design,app,lock_wait") {
+		t.Fatalf("csv missing header:\n%s", csv)
+	}
+}

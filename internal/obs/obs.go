@@ -19,10 +19,35 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"time"
 
 	"repro/internal/telemetry"
 )
+
+// EnableContentionProfiling turns on the Go runtime's own lock-contention
+// instrumentation so the /debug/pprof/mutex and /debug/pprof/block profiles
+// served by this endpoint actually populate: mutexFraction samples 1/n of
+// contended mutex events (runtime.SetMutexProfileFraction) and blockRateNs
+// records blocking events lasting at least that many nanoseconds
+// (runtime.SetBlockProfileRate). Zero values pick sensible defaults (1 and
+// 1µs). Returns a restore func that puts both rates back; profiling the
+// runtime's own locks costs a few percent, so benchmarks only enable it
+// behind an explicit flag.
+func EnableContentionProfiling(mutexFraction, blockRateNs int) (restore func()) {
+	if mutexFraction <= 0 {
+		mutexFraction = 1
+	}
+	if blockRateNs <= 0 {
+		blockRateNs = int(time.Microsecond)
+	}
+	prev := runtime.SetMutexProfileFraction(mutexFraction)
+	runtime.SetBlockProfileRate(blockRateNs)
+	return func() {
+		runtime.SetMutexProfileFraction(prev)
+		runtime.SetBlockProfileRate(0)
+	}
+}
 
 // Source supplies the live data the endpoints render. Callbacks may be nil;
 // the corresponding endpoint then serves an empty document. They are called

@@ -32,6 +32,11 @@ type Outputs struct {
 	// cmd/tracemerge). With more than one local rank, "-rank<N>" is
 	// inserted before the path's extension.
 	ShardPath string
+	// ProfRank names the rank whose pid group receives the phase-breakdown
+	// counter track in the Chrome trace, when the bound sampler carries
+	// profiler snapshots (the sampler observes exactly one proc, so its
+	// series belongs to exactly one rank).
+	ProfRank int
 	// Info labels the Prometheus snapshot (mpi_build_info).
 	Info map[string]string
 
@@ -95,6 +100,18 @@ func (o *Outputs) flush() error {
 	var events []telemetry.RankEvents
 	if src.Events != nil && (o.TracePath != "" || o.ShardPath != "") {
 		events = src.Events()
+	}
+	if smp != nil && o.TracePath != "" {
+		// Fold the sampler's profiler series into the trace as a counter
+		// track on the sampled rank's pid group.
+		smp.Stop()
+		if pts := telemetry.PhasePointsFromSamples(smp.Samples()); len(pts) > 0 {
+			for i := range events {
+				if events[i].Rank == o.ProfRank {
+					events[i].Phases = pts
+				}
+			}
+		}
 	}
 	if o.TracePath != "" {
 		err := writeFile(o.TracePath, func(w io.Writer) error {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/cri"
+	"repro/internal/prof"
 	"repro/internal/spc"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
@@ -18,7 +19,7 @@ func TestSerialPassHistExcludesTryLockLosers(t *testing.T) {
 	h := newHarness(t, 2)
 	s := spc.NewSet()
 	hist := telemetry.NewHistogram()
-	e := New(Serial, h.pool, func(*cri.Instance, transport.CQE) {}, s)
+	e := New(Serial, h.pool, func(*prof.ThreadClock, *cri.Instance, transport.CQE) {}, s)
 	e.SetObservers(nil, hist)
 
 	const (

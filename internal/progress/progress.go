@@ -14,10 +14,10 @@ import (
 	"fmt"
 
 	"repro/internal/cri"
+	"repro/internal/prof"
 	"repro/internal/spc"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
-	"repro/internal/transport"
 )
 
 // Mode selects the progress design.
@@ -41,8 +41,10 @@ func (m Mode) String() string {
 	}
 }
 
-// Dispatch handles one completion event extracted by the engine.
-type Dispatch func(*cri.Instance, transport.CQE)
+// Dispatch handles one completion event extracted by the engine. It is the
+// instance Poll handler shape: the clock is the progressing thread's phase
+// clock (nil when profiling is off).
+type Dispatch = cri.PollHandler
 
 // Engine drives completion extraction over a CRI pool.
 type Engine struct {
@@ -50,7 +52,10 @@ type Engine struct {
 	pool     *cri.Pool
 	dispatch Dispatch
 	spcs     *spc.Set
-	serialMu trylockMutex
+	// serialMu is the classic design's global progress lock. Losers never
+	// block on it — they leave — so its profiled contention metric is
+	// try-lock losses.
+	serialMu prof.TryMutex
 	// batch bounds how many events one Poll handles per instance visit.
 	batch int
 	// tracer, when attached, receives one KindProgress event per
@@ -76,6 +81,10 @@ func (e *Engine) SetObservers(tr *trace.Tracer, passHist *telemetry.Histogram) {
 	e.passHist = passHist
 }
 
+// BindProfSite attaches the contention profiler's statistics to the serial
+// progress lock. Call during setup, before threads enter the engine.
+func (e *Engine) BindProfSite(s *prof.Site) { e.serialMu.Bind(s) }
+
 // Mode returns the engine's progress design.
 func (e *Engine) Mode() Mode { return e.mode }
 
@@ -93,10 +102,13 @@ func (e *Engine) Progress(ts *cri.ThreadState) int {
 			e.spcs.Inc(spc.ProgressTryLockFail)
 			return 0
 		}
+		clk := ts.Clock()
+		clk.Begin(prof.PhaseProgressOwn)
 		t0 := e.passHist.Start()
-		count = e.progressSerialLocked()
+		count = e.progressSerialLocked(clk)
 		e.serialMu.Unlock()
 		e.passHist.ObserveSince(t0)
+		clk.End()
 	} else {
 		t0 := e.passHist.Start()
 		count = e.progressConcurrent(ts)
@@ -113,14 +125,14 @@ func (e *Engine) Progress(ts *cri.ThreadState) int {
 // progressSerialLocked is one pass of Open MPI's classic design: the caller
 // won the global serial lock and polls every instance; losers have already
 // left in Progress.
-func (e *Engine) progressSerialLocked() int {
+func (e *Engine) progressSerialLocked(clk *prof.ThreadClock) int {
 	count := 0
 	for i := 0; i < e.pool.Len(); i++ {
 		inst := e.pool.Get(i)
 		// The send path still contends on the instance lock, so polling
 		// takes it even though progress itself is serialized.
-		inst.Lock()
-		count += inst.Poll(e.dispatch, e.batch)
+		inst.LockClocked(clk)
+		count += inst.Poll(clk, e.dispatch, e.batch)
 		inst.Unlock()
 	}
 	return count
@@ -132,11 +144,14 @@ func (e *Engine) progressSerialLocked() int {
 // guarantees every instance is eventually progressed even if its owning
 // thread is gone (orphaned-CRI rule, Section III-E).
 func (e *Engine) progressConcurrent(ts *cri.ThreadState) int {
+	clk := ts.Clock()
 	count := 0
 	if k := ts.Dedicated(); k >= 0 {
 		inst := e.pool.Get(k)
 		if inst.TryLock() {
-			count = inst.Poll(e.dispatch, e.batch)
+			clk.Begin(prof.PhaseProgressOwn)
+			count = inst.Poll(clk, e.dispatch, e.batch)
+			clk.End()
 			inst.Unlock()
 		} else {
 			// Contention is charged to the contended instance's own set so
@@ -148,32 +163,43 @@ func (e *Engine) progressConcurrent(ts *cri.ThreadState) int {
 	if count > 0 {
 		return count
 	}
+	clk.Begin(prof.PhaseProgressSteal)
 	for i := 0; i < e.pool.Len(); i++ {
 		inst := e.pool.Get(e.pool.NextRoundRobin())
 		if !inst.TryLock() {
 			// Someone else is progressing this instance; move on
-			// (the try-lock-as-helper rule of Section III-C).
+			// (the try-lock-as-helper rule of Section III-C). Losing here
+			// is steal pressure, counted separately from the dedicated
+			// instance's losses above.
 			e.chargeTryLockFail(inst)
+			chargeInstance(inst, e.spcs, spc.ProgressStealLosses)
 			continue
 		}
-		c := inst.Poll(e.dispatch, e.batch)
+		c := inst.Poll(clk, e.dispatch, e.batch)
 		inst.Unlock()
 		count += c
 		if count > 0 {
-			return count
+			break
 		}
 	}
+	clk.End()
 	return count
 }
 
 // chargeTryLockFail records a failed instance try-lock on the instance's
 // own counter set when it has one, else on the engine's residual set.
 func (e *Engine) chargeTryLockFail(inst *cri.Instance) {
+	chargeInstance(inst, e.spcs, spc.ProgressTryLockFail)
+}
+
+// chargeInstance increments c on the instance's own counter set when it has
+// one, else on the fallback set.
+func chargeInstance(inst *cri.Instance, fallback *spc.Set, c spc.Counter) {
 	if s := inst.SPCs(); s != nil {
-		s.Inc(spc.ProgressTryLockFail)
+		s.Inc(c)
 		return
 	}
-	e.spcs.Inc(spc.ProgressTryLockFail)
+	fallback.Inc(c)
 }
 
 // Drain polls every instance until no events remain, ignoring the engine's
@@ -185,7 +211,7 @@ func (e *Engine) Drain() int {
 		for i := 0; i < e.pool.Len(); i++ {
 			inst := e.pool.Get(i)
 			inst.Lock()
-			n += inst.Poll(e.dispatch, e.batch)
+			n += inst.Poll(nil, e.dispatch, e.batch)
 			inst.Unlock()
 		}
 		total += n

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/cri"
+	"repro/internal/prof"
 	"repro/internal/spc"
 	"repro/internal/transport"
 	"repro/internal/transport/mocknet"
@@ -60,7 +61,7 @@ func TestSerialProgressPollsAllInstances(t *testing.T) {
 	}
 	var mu sync.Mutex
 	seen := map[int]int{}
-	e := New(Serial, h.pool, func(in *cri.Instance, ev transport.CQE) {
+	e := New(Serial, h.pool, func(_ *prof.ThreadClock, in *cri.Instance, ev transport.CQE) {
 		mu.Lock()
 		seen[in.Index()]++
 		mu.Unlock()
@@ -82,7 +83,7 @@ func TestSerialProgressExcludesSecondThread(t *testing.T) {
 	s := spc.NewSet()
 	block := make(chan struct{})
 	entered := make(chan struct{})
-	e := New(Serial, h.pool, func(*cri.Instance, transport.CQE) {
+	e := New(Serial, h.pool, func(*prof.ThreadClock, *cri.Instance, transport.CQE) {
 		close(entered)
 		<-block // hold the serial lock
 	}, s)
@@ -108,7 +109,7 @@ func TestConcurrentProgressPrefersDedicated(t *testing.T) {
 	h := newHarness(t, 4)
 	var mu sync.Mutex
 	var polled []int
-	e := New(Concurrent, h.pool, func(in *cri.Instance, ev transport.CQE) {
+	e := New(Concurrent, h.pool, func(_ *prof.ThreadClock, in *cri.Instance, ev transport.CQE) {
 		mu.Lock()
 		polled = append(polled, in.Index())
 		mu.Unlock()
@@ -137,7 +138,7 @@ func TestConcurrentProgressSweepsWhenDedicatedEmpty(t *testing.T) {
 	h := newHarness(t, 4)
 	var mu sync.Mutex
 	var polled []int
-	e := New(Concurrent, h.pool, func(in *cri.Instance, ev transport.CQE) {
+	e := New(Concurrent, h.pool, func(_ *prof.ThreadClock, in *cri.Instance, ev transport.CQE) {
 		mu.Lock()
 		polled = append(polled, in.Index())
 		mu.Unlock()
@@ -159,7 +160,7 @@ func TestConcurrentProgressNoDedicatedStillSweeps(t *testing.T) {
 	// progress helper) must still drive the pool.
 	h := newHarness(t, 2)
 	count := 0
-	e := New(Concurrent, h.pool, func(*cri.Instance, transport.CQE) { count++ }, nil)
+	e := New(Concurrent, h.pool, func(*prof.ThreadClock, *cri.Instance, transport.CQE) { count++ }, nil)
 	h.inject(1, 0)
 	var ts cri.ThreadState // unassigned
 	if n := e.Progress(&ts); n != 1 || count != 1 {
@@ -170,7 +171,7 @@ func TestConcurrentProgressNoDedicatedStillSweeps(t *testing.T) {
 func TestConcurrentProgressSkipsLockedInstance(t *testing.T) {
 	h := newHarness(t, 2)
 	s := spc.NewSet()
-	e := New(Concurrent, h.pool, func(*cri.Instance, transport.CQE) {}, s)
+	e := New(Concurrent, h.pool, func(*prof.ThreadClock, *cri.Instance, transport.CQE) {}, s)
 	h.inject(0, 0)
 	h.pool.Get(0).Lock() // another thread "is progressing" instance 0
 	defer h.pool.Get(0).Unlock()
@@ -187,7 +188,7 @@ func TestConcurrentProgressSkipsLockedInstance(t *testing.T) {
 func TestDrainEmptiesEverything(t *testing.T) {
 	h := newHarness(t, 3)
 	total := 0
-	e := New(Concurrent, h.pool, func(*cri.Instance, transport.CQE) { total++ }, nil)
+	e := New(Concurrent, h.pool, func(*prof.ThreadClock, *cri.Instance, transport.CQE) { total++ }, nil)
 	for i := 0; i < 3; i++ {
 		for s := 0; s < 10; s++ {
 			h.inject(i, uint32(s))
@@ -204,7 +205,7 @@ func TestDrainEmptiesEverything(t *testing.T) {
 func TestProgressCallsCounted(t *testing.T) {
 	h := newHarness(t, 1)
 	s := spc.NewSet()
-	e := New(Serial, h.pool, func(*cri.Instance, transport.CQE) {}, s)
+	e := New(Serial, h.pool, func(*prof.ThreadClock, *cri.Instance, transport.CQE) {}, s)
 	var ts cri.ThreadState
 	for i := 0; i < 5; i++ {
 		e.Progress(&ts)
@@ -226,7 +227,7 @@ func TestConcurrentProgressParallelStress(t *testing.T) {
 	h := newHarness(t, instances)
 	var mu sync.Mutex
 	seen := make(map[uint32]int)
-	e := New(Concurrent, h.pool, func(in *cri.Instance, ev transport.CQE) {
+	e := New(Concurrent, h.pool, func(_ *prof.ThreadClock, in *cri.Instance, ev transport.CQE) {
 		if ev.Kind != transport.CQERecv {
 			return
 		}

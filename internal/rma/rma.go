@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/prof"
 	"repro/internal/spc"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -193,9 +194,14 @@ func (w *Win) issue(th *core.Thread, target int, f func(ctx transport.Context, r
 	p := w.comm.Proc()
 	tok := &opToken{win: w, target: target}
 	inst := p.Pool().ForThread(th.State())
-	inst.Lock()
+	clk := th.State().Clock()
+	clk.Begin(prof.PhaseSend)
+	inst.LockClocked(clk)
+	clk.Begin(prof.PhaseWire)
 	err := f(inst.Context(), w.regions[target], tok)
+	clk.End()
 	inst.Unlock()
+	clk.End()
 	if err == nil {
 		w.pending[target].Add(1)
 	}

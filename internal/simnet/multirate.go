@@ -74,6 +74,7 @@ func runMultirateThreads(cfg Config) Result {
 		// simultaneous start would synchronize posting bursts in a way
 		// real runs never exhibit.
 		env.Go(fmt.Sprintf("send-%d", pair), threadSkew(2*pair), func(sp *sim.Proc) {
+			st.clk.start(sp)
 			c := sendComms[commOf(pair)]
 			for it := 0; it < cfg.Iters; it++ {
 				for w := 0; w < cfg.Window; w++ {
@@ -81,10 +82,12 @@ func runMultirateThreads(cfg Config) Result {
 				}
 				st.waitFor(sp, func() bool { return st.pendingSends == 0 })
 			}
+			st.clk.stop(sp)
 			sender.finished++
 		})
 		rt := newSimThread(receiver)
 		env.Go(fmt.Sprintf("recv-%d", pair), threadSkew(2*pair+1), func(sp *sim.Proc) {
+			rt.clk.start(sp)
 			c := recvComms[commOf(pair)]
 			target := int64(0)
 			for it := 0; it < cfg.Iters; it++ {
@@ -94,12 +97,15 @@ func runMultirateThreads(cfg Config) Result {
 				target += int64(cfg.Window)
 				rt.waitFor(sp, func() bool { return rt.recvsDone >= target })
 			}
+			rt.clk.stop(sp)
 			receiver.finished++
 		})
 	}
 	makespan := env.Run()
 	total := int64(cfg.Pairs) * int64(cfg.Window) * int64(cfg.Iters)
-	return newResult(total, makespan, receiver.spcs, sender.spcs)
+	res := newResult(total, makespan, receiver.spcs, sender.spcs)
+	res.Breakdown = []RankBreakdown{sender.breakdown(0), receiver.breakdown(1)}
+	return res
 }
 
 // runMultirateProcesses: each pair is an independent process pair with
@@ -116,6 +122,7 @@ func runMultirateProcesses(cfg Config) Result {
 
 	recvSPCs := spc.NewSet()
 	sendSPCs := spc.NewSet()
+	var senders, receivers []*simProc
 	for pair := 0; pair < cfg.Pairs; pair++ {
 		pair := pair
 		sender := newSimProc(env, pcfg, sendWire, 1)
@@ -128,15 +135,18 @@ func runMultirateProcesses(cfg Config) Result {
 
 		st := newSimThread(sender)
 		env.Go(fmt.Sprintf("psend-%d", pair), threadSkew(2*pair), func(sp *sim.Proc) {
+			st.clk.start(sp)
 			for it := 0; it < cfg.Iters; it++ {
 				for w := 0; w < cfg.Window; w++ {
 					st.send(sp, sc, receiver, 0, 1, 0)
 				}
 				st.waitFor(sp, func() bool { return st.pendingSends == 0 })
 			}
+			st.clk.stop(sp)
 		})
 		rt := newSimThread(receiver)
 		env.Go(fmt.Sprintf("precv-%d", pair), threadSkew(2*pair+1), func(sp *sim.Proc) {
+			rt.clk.start(sp)
 			target := int64(0)
 			for it := 0; it < cfg.Iters; it++ {
 				for w := 0; w < cfg.Window; w++ {
@@ -145,9 +155,20 @@ func runMultirateProcesses(cfg Config) Result {
 				target += int64(cfg.Window)
 				rt.waitFor(sp, func() bool { return rt.recvsDone >= target })
 			}
+			rt.clk.stop(sp)
 		})
+		senders = append(senders, sender)
+		receivers = append(receivers, receiver)
 	}
 	makespan := env.Run()
 	total := int64(cfg.Pairs) * int64(cfg.Window) * int64(cfg.Iters)
-	return newResult(total, makespan, recvSPCs, sendSPCs)
+	res := newResult(total, makespan, recvSPCs, sendSPCs)
+	sparts := make([]RankBreakdown, len(senders))
+	rparts := make([]RankBreakdown, len(receivers))
+	for i := range senders {
+		sparts[i] = senders[i].breakdown(0)
+		rparts[i] = receivers[i].breakdown(1)
+	}
+	res.Breakdown = []RankBreakdown{mergeBreakdowns(0, sparts), mergeBreakdowns(1, rparts)}
+	return res
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cri"
 	"repro/internal/hw"
+	"repro/internal/prof"
 	"repro/internal/progress"
 	"repro/internal/sim"
 	"repro/internal/spc"
@@ -82,25 +83,35 @@ func RunRMAMT(rc RMAMTConfig) Result {
 	for g := 0; g < rc.Threads; g++ {
 		t := newSimThread(origin)
 		env.Go(fmt.Sprintf("rma-%d", g), threadSkew(g), func(sp *sim.Proc) {
+			t.clk.start(sp)
 			for round := 0; round < rc.Rounds; round++ {
 				for k := 0; k < rc.PutsPerThread; k++ {
 					inst := origin.instanceFor(&t.ts)
+					t.clk.begin(sp, prof.PhaseSend)
+					t.clk.begin(sp, prof.PhaseLockWait)
 					inst.lock.Acquire(sp)
+					t.clk.end(sp)
 					sp.Advance(costs.RMAPut)
+					t.clk.begin(sp, prof.PhaseWire)
 					origin.wire.Reserve(sp, 28+rc.MsgSize)
+					t.clk.end(sp)
 					inst.cq = append(inst.cq, cqe{pending: &t.pendingSends})
 					inst.lock.Release(sp)
+					t.clk.end(sp)
 					t.noteUsed(inst)
 					t.pendingSends++
 					origin.spcs.Inc(spc.PutsIssued)
 				}
 				t.flush(sp)
 			}
+			t.clk.stop(sp)
 		})
 	}
 	makespan := env.Run()
 	total := int64(rc.Threads) * int64(rc.PutsPerThread) * int64(rc.Rounds)
-	return newResult(total, makespan, origin.spcs)
+	res := newResult(total, makespan, origin.spcs)
+	res.Breakdown = []RankBreakdown{origin.breakdown(0)}
+	return res
 }
 
 // noteUsed records an instance the thread issued one-sided operations on.
@@ -128,8 +139,10 @@ func (t *simThread) flush(sp *sim.Proc) {
 		n := 0
 		for _, inst := range t.used {
 			if inst.lock.TryAcquire(sp) {
+				t.clk.begin(sp, prof.PhaseProgressOwn)
 				sp.Advance(p.costs.RMAFlushPerInstance)
 				n += t.poll(sp, inst, 64)
+				t.clk.end(sp)
 				inst.lock.Release(sp)
 			} else {
 				p.spcs.Inc(spc.ProgressTryLockFail)

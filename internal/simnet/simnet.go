@@ -17,6 +17,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/hw"
 	"repro/internal/match"
+	"repro/internal/prof"
 	"repro/internal/progress"
 	"repro/internal/sim"
 	"repro/internal/spc"
@@ -191,6 +192,10 @@ type Result struct {
 	// side: the receive-side matching counters plus, when fault injection
 	// is on, the send-side fault and retransmission counters.
 	SPCs spc.Snapshot
+	// Breakdown holds each rank's deterministic time breakdown (virtual
+	// phase totals plus lock-site contention stats), in rank order —
+	// sender first. Feed each entry's Report into prof.WriteBreakdown.
+	Breakdown []RankBreakdown
 }
 
 func newResult(messages int64, makespan time.Duration, sets ...*spc.Set) Result {
@@ -272,6 +277,7 @@ type simProc struct {
 	instances []*simInstance
 	rr        uint64
 	nThreads  int
+	threads   []*simThread
 	comms     map[uint32]*simComm
 	spcs      *spc.Set
 	progLock  *sim.Lock // serial progress global lock
@@ -385,6 +391,10 @@ type simThread struct {
 	// used tracks the instances this thread has issued one-sided
 	// operations on; flush reaps completions from exactly these.
 	used []*simInstance
+
+	// clk decomposes this thread's virtual time into exclusive phases; it
+	// records nothing until the workload starts it (see vClock).
+	clk vClock
 }
 
 func newSimThread(p *simProc) *simThread {
@@ -394,6 +404,7 @@ func newSimThread(p *simProc) *simThread {
 		t.flow.ackBatch = 1
 	}
 	p.nThreads++
+	p.threads = append(p.threads, t)
 	t.rng = uint64(p.nThreads) * 0x9E3779B97F4A7C15
 	t.frng = uint64(p.cfg.FaultSeed)*0xD1B54A32D192ED03 ^ uint64(p.nThreads)*0x9E3779B97F4A7C15
 	return t
@@ -465,6 +476,8 @@ func (t *simThread) backoffWait(sp *sim.Proc, pred func() bool) {
 // instance's queue (with back-pressure), and a local send-completion CQE.
 func (t *simThread) send(sp *sim.Proc, c *simComm, dst *simProc, srcRank, dstRank, tag int32) {
 	p := t.proc
+	t.clk.begin(sp, prof.PhaseSend)
+	defer t.clk.end(sp)
 	// Eager flow control: stall until the receiver's matching engine has
 	// consumed enough of our earlier messages.
 	credits := int64(p.cfg.Credits)
@@ -486,7 +499,9 @@ func (t *simThread) send(sp *sim.Proc, c *simComm, dst *simProc, srcRank, dstRan
 			// Retransmission timeouts and held-back deliveries push this
 			// packet's arrival past traffic injected meanwhile — the same
 			// reordering the wall-clock injector's delay queue produces.
+			t.clk.begin(sp, prof.PhaseRetransmit)
 			sp.Advance(faultDelay)
+			t.clk.end(sp)
 		}
 	}
 	env := fabric.Envelope{
@@ -496,15 +511,20 @@ func (t *simThread) send(sp *sim.Proc, c *simComm, dst *simProc, srcRank, dstRan
 	pkt := fabric.NewPacketRaw(env, nil, &t.flow)
 
 	if p.bigLock != nil {
+		t.clk.begin(sp, prof.PhaseLockWait)
 		p.bigLock.Acquire(sp)
+		t.clk.end(sp)
 	}
 	inst := p.instanceFor(&t.ts)
+	t.clk.begin(sp, prof.PhaseLockWait)
 	inst.lock.Acquire(sp)
+	t.clk.end(sp)
 	sp.Advance(p.costs.SendInject)
 	header := fabric.EnvelopeSize
 	if p.cfg.Traced {
 		header += fabric.TraceExtSize
 	}
+	t.clk.begin(sp, prof.PhaseWire)
 	p.wire.Reserve(sp, header+p.cfg.MsgSize)
 
 	remote := dst.instances[inst.index%len(dst.instances)]
@@ -520,6 +540,7 @@ func (t *simThread) send(sp *sim.Proc, c *simComm, dst *simProc, srcRank, dstRan
 		p.wire.Reserve(sp, header+p.cfg.MsgSize)
 		remote.rxQ = append(remote.rxQ, cqe{pkt: pkt})
 	}
+	t.clk.end(sp)
 	inst.cq = append(inst.cq, cqe{pending: &t.pendingSends})
 	inst.lock.Release(sp)
 	if p.bigLock != nil {
@@ -533,8 +554,12 @@ func (t *simThread) send(sp *sim.Proc, c *simComm, dst *simProc, srcRank, dstRan
 // postRecv posts one receive into the communicator's matching engine.
 func (t *simThread) postRecv(sp *sim.Proc, c *simComm, srcRank, tag int32) {
 	p := t.proc
+	t.clk.begin(sp, prof.PhaseMatch)
+	defer t.clk.end(sp)
 	if p.bigLock != nil {
+		t.clk.begin(sp, prof.PhaseLockWait)
 		p.bigLock.Acquire(sp)
+		t.clk.end(sp)
 		defer p.bigLock.Release(sp)
 	}
 	if c.anyTag {
@@ -544,7 +569,9 @@ func (t *simThread) postRecv(sp *sim.Proc, c *simComm, srcRank, tag int32) {
 	sp.Advance(p.costs.RecvPost)
 	p.memSerial.Reserve(sp, 0)
 	r := &match.Recv{Source: srcRank, Tag: tag, Token: t}
+	t.clk.begin(sp, prof.PhaseLockWait)
 	waited := c.lock.Acquire(sp)
+	t.clk.end(sp)
 	c.engine.ChargeWait(waited)
 	c.meter.p = sp
 	comp, ok := c.engine.PostRecv(r)
@@ -561,7 +588,9 @@ func (t *simThread) progress(sp *sim.Proc) int {
 	p := t.proc
 	p.spcs.Inc(spc.ProgressCalls)
 	if p.bigLock != nil {
+		t.clk.begin(sp, prof.PhaseLockWait)
 		p.bigLock.Acquire(sp)
+		t.clk.end(sp)
 		defer p.bigLock.Release(sp)
 	}
 	if p.cfg.Progress == progress.Serial {
@@ -569,13 +598,17 @@ func (t *simThread) progress(sp *sim.Proc) int {
 			p.spcs.Inc(spc.ProgressTryLockFail)
 			return 0
 		}
+		t.clk.begin(sp, prof.PhaseProgressOwn)
 		count := 0
 		for _, inst := range p.instances {
+			t.clk.begin(sp, prof.PhaseLockWait)
 			inst.lock.Acquire(sp)
+			t.clk.end(sp)
 			count += t.poll(sp, inst, 64)
 			inst.lock.Release(sp)
 		}
 		p.progLock.Release(sp)
+		t.clk.end(sp)
 		return count
 	}
 	// Concurrent (Algorithm 2): dedicated instance first.
@@ -583,7 +616,9 @@ func (t *simThread) progress(sp *sim.Proc) int {
 	if k := t.ts.Dedicated(); k >= 0 {
 		inst := p.instances[k]
 		if inst.lock.TryAcquire(sp) {
+			t.clk.begin(sp, prof.PhaseProgressOwn)
 			count = t.poll(sp, inst, 64)
+			t.clk.end(sp)
 			inst.lock.Release(sp)
 		} else {
 			p.spcs.Inc(spc.ProgressTryLockFail)
@@ -592,10 +627,13 @@ func (t *simThread) progress(sp *sim.Proc) int {
 	if count > 0 {
 		return count
 	}
+	t.clk.begin(sp, prof.PhaseProgressSteal)
+	defer t.clk.end(sp)
 	for range p.instances {
 		inst := p.instances[p.nextRR()]
 		if !inst.lock.TryAcquire(sp) {
 			p.spcs.Inc(spc.ProgressTryLockFail)
+			p.spcs.Inc(spc.ProgressStealLosses)
 			continue
 		}
 		c := t.poll(sp, inst, 64)
@@ -653,11 +691,15 @@ func (t *simThread) deliver(sp *sim.Proc, pkt *fabric.Packet) {
 	if fs, ok := pkt.Token.(*flowState); ok {
 		fs.consume()
 	}
+	t.clk.begin(sp, prof.PhaseLockWait)
 	waited := c.lock.Acquire(sp)
+	t.clk.end(sp)
+	t.clk.begin(sp, prof.PhaseMatch)
 	c.engine.ChargeWait(waited)
 	c.meter.p = sp
 	c.scratch = c.engine.Deliver(pkt, c.scratch[:0])
 	comps := c.scratch
+	t.clk.end(sp)
 	c.lock.Release(sp)
 	for _, comp := range comps {
 		tt := comp.Recv.Token.(*simThread)

@@ -99,6 +99,11 @@ const (
 	// ShortWrites counts wire writes that moved only part of a frame before
 	// failing (the tail of the frame never reached the kernel).
 	ShortWrites
+	// ProgressStealLosses counts failed try-locks during the concurrent
+	// progress engine's round-robin sweep over OTHER threads' instances
+	// (Algorithm 2's helper role) — steal pressure, distinct from
+	// ProgressTryLockFail which also counts dedicated-instance losses.
+	ProgressStealLosses
 
 	numCounters
 )
@@ -134,6 +139,7 @@ var counterNames = [...]string{
 	DialRetries:            "dial_retries",
 	Reconnects:             "reconnects",
 	ShortWrites:            "short_writes",
+	ProgressStealLosses:    "progress_steal_losses",
 }
 
 // String returns the counter's snake_case name.

@@ -6,8 +6,37 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/prof"
 	"repro/internal/trace"
 )
+
+// PhasePoint is one instant of a rank's aggregate phase breakdown: the
+// cumulative per-phase nanoseconds summed over the rank's profiled threads
+// at Elapsed nanoseconds into the run. A series of these renders as a
+// Chrome-trace counter track ("ph":"C") — the stacked time-breakdown chart
+// directly on the trace timeline.
+type PhasePoint struct {
+	ElapsedNs int64
+	PhaseNs   map[string]int64
+}
+
+// PhasePointsFromSamples converts a sampler time series carrying profiler
+// snapshots into a counter-track series, dropping samples with no profiler
+// data. Phase totals are aggregated across the snapshot's threads.
+func PhasePointsFromSamples(samples []Sample) []PhasePoint {
+	var out []PhasePoint
+	for _, smp := range samples {
+		if len(smp.Prof.Threads) == 0 {
+			continue
+		}
+		var totals prof.PhaseTotals
+		for _, th := range smp.Prof.Threads {
+			totals.Merge(th.Phases)
+		}
+		out = append(out, PhasePoint{ElapsedNs: int64(smp.Elapsed), PhaseNs: totals.Map()})
+	}
+	return out
+}
 
 // RankEvents pairs one process's rank with its retained trace events, plus
 // the clock anchors that let a merger place several ranks' relative
@@ -15,6 +44,10 @@ import (
 type RankEvents struct {
 	Rank   int
 	Events []trace.Event
+	// Phases, when non-empty, adds a "phase breakdown" counter track to the
+	// rank's pid group: one "ph":"C" event per point with the per-phase
+	// cumulative nanoseconds as args (Perfetto renders it stacked).
+	Phases []PhasePoint
 	// BaseUnixNs is the wall-clock instant (UnixNano, local clock) the
 	// rank's tracer timestamps are relative to (Tracer.StartUnixNano).
 	// Zero means "no anchor": the rank's events are rendered on their raw
@@ -123,6 +156,27 @@ func WriteChromeTraceRanks(w io.Writer, procs []RankEvents) error {
 			if e.Flow != 0 {
 				flows[e.Flow] = append(flows[e.Flow], flowHop{ts: ts, seq: e.Seq, pid: pid, tid: tid})
 			}
+		}
+		// The phase-breakdown counter track: one "ph":"C" event per sampler
+		// point, args keyed by phase name in sorted order so the output is
+		// deterministic. Counter timestamps are run-relative (sampler clock),
+		// matching the unanchored event timeline.
+		for _, pp := range pr.Phases {
+			keys := make([]string, 0, len(pp.PhaseNs))
+			for k := range pp.PhaseNs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			var args []byte
+			for i, k := range keys {
+				if i > 0 {
+					args = append(args, ',')
+				}
+				args = append(args, fmt.Sprintf("%q:%d", k, pp.PhaseNs[k])...)
+			}
+			emit(fmt.Sprintf(
+				`{"name":"phase breakdown","cat":"mpi-prof","ph":"C","ts":%.3f,"pid":%d,"tid":0,"args":{%s}}`,
+				float64(pp.ElapsedNs)/1e3, pid, args))
 		}
 	}
 

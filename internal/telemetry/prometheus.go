@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/prof"
 	"repro/internal/spc"
 )
 
@@ -74,6 +75,16 @@ func WritePrometheus(w io.Writer, stats ...ProcStats) error {
 				fmt.Fprintf(bw, "%s_count{rank=%q} %d\n", name, rank, cum)
 			}
 		}
+	}
+
+	// Contention-profiler families (lock sites, phase clocks) for every rank
+	// carrying a non-empty profiler snapshot.
+	rs := make([]prof.RankSnapshot, 0, len(stats))
+	for _, ps := range stats {
+		rs = append(rs, prof.RankSnapshot{Rank: ps.Rank, Snap: ps.Prof})
+	}
+	if err := prof.WritePrometheusRanks(bw, rs); err != nil {
+		return err
 	}
 	return bw.Flush()
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/prof"
 	"repro/internal/spc"
 )
 
@@ -19,6 +20,9 @@ type Sample struct {
 	Counters spc.Snapshot
 	// Hists are the histogram snapshots at that instant.
 	Hists []NamedHist
+	// Prof is the contention-profiler snapshot at that instant; empty when
+	// the sampler has no profiler source bound.
+	Prof prof.Snapshot
 }
 
 // Source produces one observation for the sampler. Implementations snapshot
@@ -32,6 +36,7 @@ type Source func() (spc.Snapshot, []NamedHist)
 type Sampler struct {
 	interval time.Duration
 	src      Source
+	profSrc  func() prof.Snapshot
 
 	mu      sync.Mutex
 	samples []Sample
@@ -49,6 +54,15 @@ func NewSampler(interval time.Duration, src Source) *Sampler {
 		interval = time.Millisecond
 	}
 	return &Sampler{interval: interval, src: src}
+}
+
+// BindProf adds a contention-profiler source: every sample then also carries
+// a prof.Snapshot, feeding the Chrome-trace phase counter track. Call before
+// Start. Nil-safe on both receiver and source.
+func (s *Sampler) BindProf(src func() prof.Snapshot) {
+	if s != nil {
+		s.profSrc = src
+	}
 }
 
 // Start launches the background sampling goroutine.
@@ -79,6 +93,9 @@ func (s *Sampler) loop() {
 func (s *Sampler) take() {
 	counters, hists := s.src()
 	smp := Sample{Elapsed: time.Since(s.start), Counters: counters, Hists: hists}
+	if s.profSrc != nil {
+		smp.Prof = s.profSrc()
+	}
 	s.mu.Lock()
 	s.samples = append(s.samples, smp)
 	s.mu.Unlock()

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/prof"
 	"repro/internal/spc"
 )
 
@@ -109,6 +110,9 @@ type ProcStats struct {
 	// communicators. Process == Merge(Residual, PerCRI..., PerComm...).
 	Residual spc.Snapshot
 	Hists    []NamedHist
+	// Prof is the contention-profiler snapshot (lock sites and per-thread
+	// phase clocks); empty unless the world ran with Options.Profile.
+	Prof prof.Snapshot
 }
 
 // MergeChildren recomputes process totals from the attributed children —
@@ -147,6 +151,12 @@ func (ps ProcStats) WriteText(w io.Writer) error {
 			h.Name, h.Hist.Count,
 			time.Duration(h.Hist.P50()), time.Duration(h.Hist.P90()),
 			time.Duration(h.Hist.P99()), time.Duration(h.Hist.Max))
+	}
+	if !ps.Prof.Empty() {
+		rep := prof.BuildReport(ps.Rank, "", 0, ps.Prof)
+		if err := rep.WriteText(w); err != nil {
+			return err
+		}
 	}
 	return nil
 }
