@@ -11,7 +11,7 @@ test:
 # Race-detector pass over the concurrency-heavy packages (the full suite
 # under -race works too, but takes much longer).
 race:
-	$(GO) test -race ./internal/prof ./internal/telemetry ./internal/core ./internal/progress ./internal/cri ./internal/trace ./internal/rma ./internal/transport/... ./internal/conformance ./internal/bench/...
+	$(GO) test -race ./internal/prof ./internal/telemetry ./internal/core ./internal/progress ./internal/cri ./internal/trace ./internal/rma ./internal/flight ./internal/obs ./internal/transport/... ./internal/conformance ./internal/bench/...
 
 # Cross-backend conformance: the same message-passing semantics over the
 # simulated fabric and real TCP, under the race detector.
@@ -66,9 +66,15 @@ bench-gate:
 # Fault-injection and teardown chaos: the reliability layer repairing a
 # lossy, duplicating, reordering wire, communicator free with packets still
 # in flight, and a seeded faulty benchmark run — all under the race detector.
+# The faulty run flies with the recorder and watchdog armed and leaves its
+# flight-record dump as a triage artifact; a deterministic virtual-time
+# stall then proves the watchdog names the stalled site.
 chaos:
-	$(GO) test -race -run 'Fault|Chaos|FreeComm|PeerUnreachable|Reliable|Duplicate' ./internal/fabric ./internal/core ./internal/match ./internal/simnet
+	$(GO) test -race -run 'Fault|Chaos|FreeComm|PeerUnreachable|Reliable|Duplicate|Watchdog|Flight' ./internal/fabric ./internal/core ./internal/match ./internal/simnet
 	$(GO) run ./cmd/multirate -engine real -pairs 4 -window 32 -iters 4 \
-		-fault-drop 0.01 -fault-dup 0.01 -fault-delay 0.02 -fault-seed 7 -spcs
+		-fault-drop 0.01 -fault-dup 0.01 -fault-delay 0.02 -fault-seed 7 -spcs \
+		-watchdog -flight-out flight_chaos.json
+	$(GO) run ./cmd/multirate -engine sim -pairs 1 -window 64 -iters 4 \
+		-flight 2048 -watchdog -stall 2s -stall-at 2 -flight-out flight_sim_stall.json
 
 check: build vet lint-layers test race conformance

@@ -31,6 +31,7 @@ import (
 	bench "repro/internal/bench/multirate"
 	"repro/internal/core"
 	"repro/internal/cri"
+	"repro/internal/flight"
 	"repro/internal/hw"
 	"repro/internal/obs"
 	"repro/internal/prof"
@@ -82,8 +83,18 @@ func main() {
 		profile      = flag.Bool("profile", false, "attach the contention profiler: per-lock wait attribution and per-thread phase accounting (real engine)")
 		breakdownOut = flag.String("breakdown-out", "", "write the per-rank phase/lock-wait breakdown as JSON to this file (either engine; sim gives deterministic virtual-time numbers)")
 		pprofCont    = flag.Bool("pprof-contention", false, "enable Go runtime mutex/block profiling so the -http pprof endpoints carry contention profiles (real engine)")
+
+		flightCap = flag.Int("flight", 0, "flight recorder: per-ring event capacity (0 = off; either engine — sim records in virtual time)")
+		flightOut = flag.String("flight-out", "", "write the flight-record exit dump (rings + final queue snapshot) as JSON to this file; implies -flight "+fmt.Sprint(flight.DefaultRingCapacity))
+		watchdog  = flag.Bool("watchdog", false, "run the stall watchdog; a detected stall dumps the flight record and queue snapshot to stderr (either engine)")
+
+		stallRecv = flag.Duration("stall", 0, "sim engine: freeze the receiver for this much virtual time mid-run (deterministic stall injection; pair with -watchdog)")
+		stallAt   = flag.Int("stall-at", 0, "sim engine: window iteration at which the -stall freeze fires")
 	)
 	flag.Parse()
+	if *flightOut != "" && *flightCap <= 0 {
+		*flightCap = flight.DefaultRingCapacity
+	}
 
 	// The telemetry layer observes the real runtime; the virtual-time model
 	// has no CRI locks or progress passes to instrument. Asking for any of
@@ -116,7 +127,7 @@ func main() {
 
 	switch *engine {
 	case "sim":
-		res := simnet.RunMultirate(simnet.Config{
+		scfg := simnet.Config{
 			Machine: machine, Pairs: *pairs, Window: *window, Iters: *iters,
 			MsgSize: *msgSize, NumInstances: *instances, Assignment: asg,
 			Progress: pm, CommPerPair: *commPerPair,
@@ -124,12 +135,25 @@ func main() {
 			ProcessMode: *processMode, Traced: *traceWire,
 			FaultDrop: *faultDrop, FaultDup: *faultDup,
 			FaultDelay: *faultDelay, FaultSeed: *faultSeed,
-		})
+			FlightCapacity: *flightCap,
+			StallRecv:      *stallRecv, StallAfterIter: *stallAt,
+		}
+		if *watchdog {
+			scfg.Watchdog = &flight.DetectorConfig{}
+		}
+		res := simnet.RunMultirate(scfg)
+		for _, d := range res.Dumps {
+			fmt.Fprintln(os.Stderr, "multirate: watchdog verdict:")
+			check(flight.WriteDump(os.Stderr, d))
+		}
 		// The virtual-time model has no transport underneath; say so rather
 		// than leaving the field out of the self-describing header.
-		fmt.Printf("engine=sim transport=virtual caps=none pairs=%d messages=%d makespan=%v rate=%.0f msg/s oos=%.2f%% steal_losses=%d\n",
+		fmt.Printf("engine=sim transport=virtual caps=none pairs=%d messages=%d makespan=%v rate=%.0f msg/s oos=%.2f%% steal_losses=%d%s\n",
 			*pairs, res.Messages, res.Makespan, res.Rate, res.SPCs.OutOfSequencePercent(),
-			res.SPCs[spc.ProgressStealLosses])
+			res.SPCs[spc.ProgressStealLosses], headerPath("flight_out", *flightOut))
+		if *flightOut != "" {
+			check(writeFlightDump(*flightOut, flight.ExitDump{Queues: res.Queues, Flight: res.Flight, Dumps: res.Dumps}))
+		}
 		if *showSPCs {
 			fmt.Print(res.SPCs.String())
 		}
@@ -158,6 +182,7 @@ func main() {
 			Profile:   wantProf,
 			FaultDrop: *faultDrop, FaultDup: *faultDup,
 			FaultDelay: *faultDelay, FaultSeed: *faultSeed,
+			FlightCapacity: *flightCap,
 		}
 		pat := bench.Pairwise
 		if *pattern == "incast" {
@@ -166,6 +191,7 @@ func main() {
 		outputs := &obs.Outputs{
 			MetricsPath: *metricsOut, TracePath: *traceOut,
 			SamplesPath: *samplesOut, ShardPath: *traceShard,
+			FlightPath: *flightOut,
 			// The sampler observes the receiver; route the phase-breakdown
 			// counter track to its pid group in the Chrome trace.
 			ProfRank: 1,
@@ -175,7 +201,20 @@ func main() {
 				"pattern": *pattern, "rank": fmt.Sprint(*rank),
 			},
 		}
+		defer outputs.DumpOnPanic()
+		// The endpoint binds before the world exists so orchestration can
+		// probe liveness during startup; /readyz serves 503 until the
+		// OnWorld hook fires — in distributed mode that is after the rank
+		// handshake and clock sync have completed.
+		holder := obs.NewHolder(outputs.Info, "waiting for world construction")
 		var srv *obs.Server
+		if *httpAddr != "" {
+			s, serr := obs.Serve(*httpAddr, holder.Source())
+			check(serr)
+			srv = s
+			fmt.Fprintf(os.Stderr, "multirate: observability endpoint on http://%s\n", s.Addr())
+		}
+		var stopWatchdog func()
 		bcfg := bench.Config{
 			Machine: machine, Opts: opts, Pairs: *pairs, Window: *window,
 			Iters: *iters, MsgSize: *msgSize, CommPerPair: *commPerPair,
@@ -185,11 +224,10 @@ func main() {
 			OnWorld: func(w *core.World) {
 				src := worldSource(w, outputs.Info)
 				outputs.Bind(src)
-				if *httpAddr != "" {
-					s, serr := obs.Serve(*httpAddr, src)
-					check(serr)
-					srv = s
-					fmt.Fprintf(os.Stderr, "multirate: observability endpoint on http://%s\n", s.Addr())
+				holder.Bind(src)
+				holder.SetReady()
+				if *watchdog {
+					stopWatchdog = w.StartWatchdog(core.WatchdogConfig{})
 				}
 			},
 		}
@@ -219,11 +257,14 @@ func main() {
 		}
 		check(err)
 		stopSignals()
-		fmt.Printf("engine=real transport=%s caps=%s dial_retries=%d reconnects=%d short_writes=%d rank=%d pairs=%d messages=%d elapsed=%v rate=%.0f msg/s oos=%.2f%% steal_losses=%d\n",
+		if stopWatchdog != nil {
+			stopWatchdog()
+		}
+		fmt.Printf("engine=real transport=%s caps=%s dial_retries=%d reconnects=%d short_writes=%d rank=%d pairs=%d messages=%d elapsed=%v rate=%.0f msg/s oos=%.2f%% steal_losses=%d%s\n",
 			res.Transport.Name, res.Transport,
 			res.SPCs[spc.DialRetries], res.SPCs[spc.Reconnects], res.SPCs[spc.ShortWrites],
 			*rank, *pairs, res.Messages, res.Elapsed, res.Rate, res.SPCs.OutOfSequencePercent(),
-			res.SPCs[spc.ProgressStealLosses])
+			res.SPCs[spc.ProgressStealLosses], headerPath("flight_out", *flightOut))
 		if *showSPCs {
 			fmt.Print(res.SPCs.String())
 		}
@@ -282,8 +323,45 @@ func worldSource(w *core.World, info map[string]string) obs.Source {
 			}
 			return out
 		},
+		Queues: func() []flight.QueueSnapshot {
+			var out []flight.QueueSnapshot
+			for _, p := range w.LocalProcs() {
+				out = append(out, p.QueueSnapshot())
+			}
+			return out
+		},
+		Flight: func() []flight.RankRecord {
+			var out []flight.RankRecord
+			for _, p := range w.LocalProcs() {
+				if p.FlightRecorder() != nil {
+					out = append(out, p.FlightRecord())
+				}
+			}
+			return out
+		},
 		Info: info,
 	}
+}
+
+// headerPath renders an optional "key=path" field for the self-describing
+// benchmark header line, empty when the path is unset.
+func headerPath(key, path string) string {
+	if path == "" {
+		return ""
+	}
+	return fmt.Sprintf(" %s=%s", key, path)
+}
+
+func writeFlightDump(path string, dump flight.ExitDump) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := flight.WriteExitDump(f, dump); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // designLabel names the configuration under test in breakdown reports, the

@@ -18,6 +18,7 @@ import (
 	bench "repro/internal/bench/rmamt"
 	"repro/internal/core"
 	"repro/internal/cri"
+	"repro/internal/flight"
 	"repro/internal/hw"
 	"repro/internal/obs"
 	"repro/internal/prof"
@@ -56,13 +57,23 @@ func main() {
 		profile      = flag.Bool("profile", false, "attach the contention profiler: per-lock wait attribution and per-thread phase accounting (real engine)")
 		breakdownOut = flag.String("breakdown-out", "", "write the per-rank phase/lock-wait breakdown as JSON to this file (either engine)")
 		pprofCont    = flag.Bool("pprof-contention", false, "enable Go runtime mutex/block profiling so the -http pprof endpoints carry contention profiles (real engine)")
+
+		flightCap = flag.Int("flight", 0, "flight recorder: per-ring event capacity (0 = off; real engine)")
+		flightOut = flag.String("flight-out", "", "write the flight-record exit dump (rings + final queue snapshot) as JSON to this file; implies -flight "+fmt.Sprint(flight.DefaultRingCapacity))
+		watchdog  = flag.Bool("watchdog", false, "run the stall watchdog; a detected stall dumps the flight record and queue snapshot to stderr (real engine)")
 	)
 	flag.Parse()
+	if *flightOut != "" && *flightCap <= 0 {
+		*flightCap = flight.DefaultRingCapacity
+	}
 
 	// Telemetry observes the real runtime; the virtual-time model has
 	// nothing to instrument. Any telemetry output implies the real engine.
+	// The RMA-MT model has no flight mirror (unlike multirate), so the
+	// flight and watchdog flags imply the real engine too.
 	wantTelemetry := *spcDump || *metricsOut != "" || *traceOut != "" || *samplesOut != "" ||
-		*sampleInterval > 0 || *traceWire || *traceShard != "" || *httpAddr != ""
+		*sampleInterval > 0 || *traceWire || *traceShard != "" || *httpAddr != "" ||
+		*flightCap > 0 || *watchdog
 	if wantTelemetry && *engine == "sim" {
 		fmt.Fprintln(os.Stderr, "rmamt: telemetry flags instrument the real runtime; switching to -engine real")
 		*engine = "real"
@@ -115,6 +126,7 @@ func main() {
 			TraceWire: *traceWire,
 			FaultDrop: *faultDrop, FaultDup: *faultDup,
 			FaultDelay: *faultDelay, FaultSeed: *faultSeed,
+			FlightCapacity: *flightCap,
 		}
 		if *traceOut != "" || *traceShard != "" || *traceWire || *httpAddr != "" {
 			opts.TraceCapacity = 1 << 16
@@ -122,11 +134,23 @@ func main() {
 		outputs := &obs.Outputs{
 			MetricsPath: *metricsOut, TracePath: *traceOut,
 			SamplesPath: *samplesOut, ShardPath: *traceShard,
+			FlightPath: *flightOut,
 			Info: map[string]string{
 				"cmd": "rmamt", "progress": *prog, "assignment": *assignment,
 			},
 		}
+		defer outputs.DumpOnPanic()
+		// Bind the endpoint before the world exists; /readyz serves 503
+		// until the OnWorld hook marks the holder ready.
+		holder := obs.NewHolder(outputs.Info, "waiting for world construction")
 		var srv *obs.Server
+		if *httpAddr != "" {
+			s, serr := obs.Serve(*httpAddr, holder.Source())
+			check(serr)
+			srv = s
+			fmt.Fprintf(os.Stderr, "rmamt: observability endpoint on http://%s\n", s.Addr())
+		}
+		var stopWatchdog func()
 		stopSignals := outputs.FlushOnSignal()
 		res, err := bench.Run(bench.Config{
 			Machine: machine, Opts: opts, Threads: *threads, MsgSize: *msgSize,
@@ -135,18 +159,21 @@ func main() {
 			OnWorld: func(w *core.World) {
 				src := worldSource(w, outputs.Info)
 				outputs.Bind(src)
-				if *httpAddr != "" {
-					s, serr := obs.Serve(*httpAddr, src)
-					check(serr)
-					srv = s
-					fmt.Fprintf(os.Stderr, "rmamt: observability endpoint on http://%s\n", s.Addr())
+				holder.Bind(src)
+				holder.SetReady()
+				if *watchdog {
+					stopWatchdog = w.StartWatchdog(core.WatchdogConfig{})
 				}
 			},
 		})
 		check(err)
 		stopSignals()
-		fmt.Printf("engine=real transport=%s caps=%s threads=%d size=%dB puts=%d elapsed=%v rate=%.0f puts/s\n",
-			res.Transport.Name, res.Transport, *threads, *msgSize, res.Puts, res.Elapsed, res.Rate)
+		if stopWatchdog != nil {
+			stopWatchdog()
+		}
+		fmt.Printf("engine=real transport=%s caps=%s threads=%d size=%dB puts=%d elapsed=%v rate=%.0f puts/s%s\n",
+			res.Transport.Name, res.Transport, *threads, *msgSize, res.Puts, res.Elapsed, res.Rate,
+			headerPath("flight_out", *flightOut))
 		if *spcDump {
 			for _, ps := range res.Stats {
 				check(ps.WriteText(os.Stdout))
@@ -199,8 +226,33 @@ func worldSource(w *core.World, info map[string]string) obs.Source {
 			}
 			return out
 		},
+		Queues: func() []flight.QueueSnapshot {
+			var out []flight.QueueSnapshot
+			for _, p := range w.LocalProcs() {
+				out = append(out, p.QueueSnapshot())
+			}
+			return out
+		},
+		Flight: func() []flight.RankRecord {
+			var out []flight.RankRecord
+			for _, p := range w.LocalProcs() {
+				if p.FlightRecorder() != nil {
+					out = append(out, p.FlightRecord())
+				}
+			}
+			return out
+		},
 		Info: info,
 	}
+}
+
+// headerPath renders an optional "key=path" field for the self-describing
+// benchmark header line, empty when the path is unset.
+func headerPath(key, path string) string {
+	if path == "" {
+		return ""
+	}
+	return fmt.Sprintf(" %s=%s", key, path)
 }
 
 // designLabel names the configuration under test in breakdown reports.

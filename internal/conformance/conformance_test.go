@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cri"
+	"repro/internal/flight"
 	"repro/internal/hw"
 	"repro/internal/spc"
 	"repro/internal/transport/tcpnet"
@@ -31,9 +32,12 @@ func testOptions() core.Options {
 	// Two instances, round-robin assignment, concurrent progress: the
 	// configuration that exercises the CRI plumbing hardest. Telemetry is
 	// on so the SPC roll-up invariant is checked with full per-CRI and
-	// per-communicator attribution in play on every backend.
+	// per-communicator attribution in play on every backend, and the
+	// flight recorder flies through every case so its hooks are exercised
+	// on both the simulated fabric and the real TCP message path.
 	opts := core.CRIsConcurrent(2, cri.RoundRobin)
 	opts.Telemetry = true
+	opts.FlightCapacity = 1024
 	return opts
 }
 
@@ -136,6 +140,7 @@ func TestConformance(t *testing.T) {
 		{"PersistentRequests", conformPersistent},
 		{"WaitAny", conformWaitAny},
 		{"SPCRollup", conformSPCRollup},
+		{"FlightRecord", conformFlightRecord},
 	}
 	for name, mk := range backends(t) {
 		t.Run(name, func(t *testing.T) {
@@ -381,5 +386,58 @@ func conformSPCRollup(t *testing.T, h *harness) {
 	}
 	if sent := h.procs[0].SPCSnapshot()[spc.MessagesSent]; sent < before+n {
 		t.Errorf("sender messages_sent=%d, want >= %d", sent, before+n)
+	}
+}
+
+// conformFlightRecord: with the recorder flying, a round of traffic leaves
+// both ranks with a coherent flight record — send posts on the sender,
+// matching activity on the receiver, events in publication order — and a
+// sane introspection snapshot, identically over the simulated fabric and
+// the TCP wire.
+func conformFlightRecord(t *testing.T, h *harness) {
+	const n = 16
+	run2(t, h, func(rank int, th *core.Thread) error {
+		c := h.comms[rank]
+		if rank == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.Send(th, 1, 55, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		buf := make([]byte, 1)
+		for i := 0; i < n; i++ {
+			if _, err := c.Recv(th, 0, 55, buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	for rank, p := range h.procs {
+		rec := p.FlightRecord()
+		if rec.Rank != rank {
+			t.Errorf("record rank = %d, want %d", rec.Rank, rank)
+		}
+		if len(rec.Events) == 0 {
+			t.Fatalf("rank %d: empty flight record with recorder on", rank)
+		}
+		kinds := make(map[flight.Kind]int)
+		for i, e := range rec.Events {
+			kinds[e.Kind]++
+			if i > 0 && e.Seq <= rec.Events[i-1].Seq {
+				t.Fatalf("rank %d: merged record out of publication order at %d", rank, i)
+			}
+		}
+		if rank == 0 && kinds[flight.KindSendPost] < n {
+			t.Errorf("sender record has %d send_post events, want >= %d", kinds[flight.KindSendPost], n)
+		}
+		if rank == 1 && kinds[flight.KindMatchHit]+kinds[flight.KindUnexpDeq] == 0 {
+			t.Errorf("receiver record has no matching activity: %v", kinds)
+		}
+		qs := p.QueueSnapshot()
+		if qs.Rank != rank || len(qs.Comms) == 0 || len(qs.CRIs) == 0 {
+			t.Errorf("rank %d: snapshot incomplete: %+v", rank, qs)
+		}
 	}
 }

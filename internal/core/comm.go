@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/match"
 	"repro/internal/prof"
 	"repro/internal/spc"
@@ -86,6 +87,9 @@ func newComm(p *Proc, id uint32, group []int, myRank int, info Info) *Comm {
 		c.engine = match.NewEngine(id, len(group), p.dev.Machine().Scaled(), meter, c.spcs)
 	}
 	c.engine.SetAllowOvertaking(info.AllowOvertaking)
+	// The comm's matching events share one ring because the matching lock
+	// already serializes them; the ring id keys the merged record.
+	c.engine.BindFlight(p.flight.NewRing(fmt.Sprintf("rank%d/comm%d", p.rank, id)))
 	c.seq = match.NewSeqTracker(len(group))
 	p.registerComm(c)
 	return c
@@ -160,6 +164,7 @@ func (c *Comm) Isend(th *Thread, dst int, tag int32, buf []byte) (*Request, erro
 	}
 
 	seq := c.seq.Next(int32(dst))
+	th.ts.Flight().Record(flight.KindSendPost, c.id, int32(dst), int32(seq))
 	env := transport.Envelope{
 		Src: int32(c.myRank), Dst: int32(dst), Tag: tag,
 		Comm: c.id, Seq: seq, Kind: transport.KindEager,
@@ -409,6 +414,7 @@ func (c *Comm) isendInternal(th *Thread, dst int, tag int32, buf []byte) (*Reque
 	clk.Begin(prof.PhaseSend)
 	defer clk.End()
 	seq := c.seq.Next(int32(dst))
+	th.ts.Flight().Record(flight.KindSendPost, c.id, int32(dst), int32(seq))
 	env := transport.Envelope{
 		Src: int32(c.myRank), Dst: int32(dst), Tag: tag,
 		Comm: c.id, Seq: seq, Kind: transport.KindEager,

@@ -153,6 +153,17 @@ type Options struct {
 	// RetryBudget is how many retransmissions are attempted before a send
 	// fails with ErrPeerUnreachable (0 = DefaultRetryBudget).
 	RetryBudget int
+	// FlightCapacity, when positive, attaches the flight recorder
+	// (internal/flight): every thread, every communicator's matching
+	// engine, the reliability layer, and each CRI's lock-wait path record
+	// their last ~FlightCapacity message-path events into lock-free rings
+	// for watchdog/crash dumps and /debug/flight. Off (0) by default;
+	// every hook is a single branch when off.
+	FlightCapacity int
+	// FlightLockWaitThreshold is the minimum contended instance-lock wait
+	// recorded as a flight lock-wait event
+	// (0 = flight.DefaultLockWaitThreshold). Flight recorder only.
+	FlightLockWaitThreshold time.Duration
 }
 
 // DefaultEagerLimit is the eager/rendezvous switchover when unspecified.

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/prof"
 	"repro/internal/spc"
 	"repro/internal/transport"
@@ -198,6 +199,7 @@ func (r *reliability) sendAck(dstWorld int, cum, sel uint64) {
 	// re-triggers this path — same recovery as a lost ack on the wire.
 	_ = p.sendControl(dstWorld, transport.NewPacketRaw(env, payload[:], nil))
 	p.spcs.Inc(spc.AcksSent)
+	p.flightRing.Record(flight.KindAckSent, 0, int32(dstWorld), int32(uint32(cum)))
 }
 
 // handleAck retires every unacked entry covered by the ack's cumulative
@@ -223,6 +225,7 @@ func (r *reliability) handleAck(pkt *transport.Packet) {
 	}
 	r.mu.Unlock()
 	r.proc.spcs.Inc(spc.AcksReceived)
+	r.proc.flightRing.Record(flight.KindAckRecv, 0, int32(src), int32(len(done)))
 	for _, e := range done {
 		if e.req != nil {
 			e.req.finish(nil)
@@ -254,8 +257,9 @@ func (r *reliability) maybeSweep(clk *prof.ThreadClock) {
 func (r *reliability) sweep(now time.Time) {
 	p := r.proc
 	type redo struct {
-		pkt *transport.Packet
-		dst int
+		pkt     *transport.Packet
+		dst     int
+		retries int
 	}
 	var (
 		again  []redo
@@ -279,12 +283,13 @@ func (r *reliability) sweep(now time.Time) {
 			}
 			e.retries++
 			e.sentAt = now
-			again = append(again, redo{pkt: e.pkt, dst: e.dstWorld})
+			again = append(again, redo{pkt: e.pkt, dst: e.dstWorld, retries: e.retries})
 		}
 	}
 	r.mu.Unlock()
 	for _, rd := range again {
 		p.spcs.Inc(spc.Retransmits)
+		p.flightRing.Record(flight.KindRetransmit, 0, int32(rd.dst), int32(rd.retries))
 		p.resend(rd.dst, rd.pkt)
 	}
 	for _, e := range failed {
@@ -296,6 +301,33 @@ func (r *reliability) sweep(now time.Time) {
 			e.req.finish(ErrPeerUnreachable)
 		}
 	}
+}
+
+// windowSnapshot reports the per-peer window occupancy for the runtime
+// introspection snapshot, skipping peers with no reliability traffic at
+// all. Nil-safe: disabled reliability contributes nothing.
+func (r *reliability) windowSnapshot() []flight.PeerWindow {
+	if r == nil {
+		return nil
+	}
+	var out []flight.PeerWindow
+	r.mu.Lock()
+	for i := range r.send {
+		sp := &r.send[i]
+		rp := &r.recv[i]
+		if sp.nextSeq == 0 && len(sp.unacked) == 0 && rp.cum == 0 && len(rp.ooo) == 0 {
+			continue
+		}
+		out = append(out, flight.PeerWindow{
+			Peer:    i,
+			Unacked: len(sp.unacked),
+			NextSeq: sp.nextSeq,
+			RecvCum: rp.cum,
+			RecvOOO: len(rp.ooo),
+		})
+	}
+	r.mu.Unlock()
+	return out
 }
 
 // resend re-injects a packet toward dstWorld on a round-robin instance's

@@ -21,13 +21,17 @@ type Thread struct {
 }
 
 // NewThread attaches a communication thread to the proc. Under
-// Options.Profile the thread receives a phase clock (labelled
-// rank<r>/t<n>) that starts in the app phase immediately.
+// Options.Profile the thread receives a phase clock, and under
+// Options.FlightCapacity its own flight-recorder ring (both labelled
+// rank<r>/t<n>); the clock starts in the app phase immediately.
 func (p *Proc) NewThread() *Thread {
 	th := &Thread{proc: p}
-	if p.prof != nil {
+	if p.prof != nil || p.flight != nil {
 		n := p.profThreads.Add(1) - 1
-		th.ts.SetClock(p.prof.NewThreadClock(fmt.Sprintf("rank%d/t%d", p.rank, n)))
+		if p.prof != nil {
+			th.ts.SetClock(p.prof.NewThreadClock(fmt.Sprintf("rank%d/t%d", p.rank, n)))
+		}
+		th.ts.SetFlight(p.flight.NewRing(fmt.Sprintf("rank%d/t%d", p.rank, n)))
 	}
 	return th
 }

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/flight"
+)
+
+// DefaultWatchdogInterval is the stall watchdog's sampling period when
+// WatchdogConfig.Interval is unset.
+const DefaultWatchdogInterval = 100 * time.Millisecond
+
+// WatchdogConfig configures the stall watchdog started by
+// World.StartWatchdog.
+type WatchdogConfig struct {
+	// Interval is the sampling period (0 = DefaultWatchdogInterval).
+	Interval time.Duration
+	// Detector bounds the detections (zero fields take the defaults
+	// documented on flight.DetectorConfig).
+	Detector flight.DetectorConfig
+	// OnDump receives each fired verdict's dump — the verdict, the queue
+	// introspection snapshot, and the rank's merged flight record. Nil
+	// writes indented JSON to stderr. Called from the watchdog goroutine.
+	OnDump func(flight.Dump)
+}
+
+// StartWatchdog starts the stall watchdog: a goroutine that samples every
+// local proc's movement counters and queue depths each Interval, feeds them
+// through a per-proc flight.Detector, and on any verdict (no-progress,
+// retransmit storm, unexpected-queue growth) dumps the merged flight record
+// plus the runtime introspection snapshot. The returned stop function is
+// idempotent and waits for the goroutine to exit.
+//
+// The watchdog works with the flight recorder off — dumps then carry only
+// the queue snapshot — but pairs with Options.FlightCapacity to answer
+// "what happened just before it stalled".
+func (w *World) StartWatchdog(cfg WatchdogConfig) (stop func()) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultWatchdogInterval
+	}
+	onDump := cfg.OnDump
+	if onDump == nil {
+		onDump = func(d flight.Dump) { _ = flight.WriteDump(os.Stderr, d) }
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		procs := w.LocalProcs()
+		dets := make([]*flight.Detector, len(procs))
+		for i := range dets {
+			dets[i] = flight.NewDetector(cfg.Detector)
+		}
+		ticker := time.NewTicker(cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+			}
+			for i, p := range procs {
+				if v, ok := dets[i].Observe(p.watchdogSample()); ok {
+					onDump(flight.Dump{
+						Rank:    p.rank,
+						Verdict: v,
+						Queues:  p.QueueSnapshot(),
+						Record:  p.FlightRecord(),
+					})
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}

@@ -2,12 +2,14 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/backends"
 	"repro/internal/cri"
+	"repro/internal/flight"
 	"repro/internal/hw"
 	"repro/internal/prof"
 	"repro/internal/progress"
@@ -276,6 +278,13 @@ type Proc struct {
 	// all its methods are nil-safe).
 	rel *reliability
 
+	// flight is the flight recorder (nil unless Options.FlightCapacity;
+	// nil-safe). flightRing is the proc-shared ring for paths with no
+	// thread identity — the reliability sweep, ack handling — so their
+	// events land in the same merged record.
+	flight     *flight.Recorder
+	flightRing *flight.Ring
+
 	// offload is the dedicated progress thread (Options.ProgressThread).
 	offload     bool
 	offloadStop chan struct{}
@@ -305,6 +314,10 @@ func newProc(w *World, rank int, machine hw.Machine, opts Options) (*Proc, error
 	if opts.Profile {
 		p.prof = prof.New()
 		p.bigMu.Bind(p.prof.NewSite("core.biglock", -1, 0))
+	}
+	if opts.FlightCapacity > 0 {
+		p.flight = flight.NewRecorder(opts.FlightCapacity)
+		p.flightRing = p.flight.NewRing(fmt.Sprintf("rank%d/proc", rank))
 	}
 	cfg := transport.DeviceConfig{Counters: p.spcs}
 	if opts.ScrambleWindow > 0 {
@@ -370,6 +383,7 @@ func newProc(w *World, rank int, machine hw.Machine, opts Options) (*Proc, error
 			insts[i].SetLockWaitHistogram(p.tel.LockWait)
 		}
 		insts[i].BindProfSite(p.prof.NewSite("cri.instance", i, 0))
+		insts[i].BindFlight(p.flightRing, opts.FlightLockWaitThreshold)
 	}
 	p.pool, err = cri.NewPool(insts, opts.Assignment)
 	if err != nil {
@@ -399,6 +413,7 @@ func (p *Proc) offloadLoop() {
 	defer close(p.offloadDone)
 	var ts cri.ThreadState
 	ts.SetClock(p.prof.NewThreadClock(fmt.Sprintf("rank%d/offload", p.rank)))
+	ts.SetFlight(p.flight.NewRing(fmt.Sprintf("rank%d/offload", p.rank)))
 	defer ts.Clock().Stop()
 	for {
 		select {
@@ -542,6 +557,64 @@ func (p *Proc) TraceEvents() telemetry.RankEvents {
 		BaseUnixNs:     p.tracer.StartUnixNano(),
 		ClockToRank0Ns: p.ClockOffsetToRank0Ns(),
 	}
+}
+
+// FlightRecorder returns the proc's flight recorder (nil unless
+// Options.FlightCapacity was set; nil is safe to use everywhere).
+func (p *Proc) FlightRecorder() *flight.Recorder { return p.flight }
+
+// FlightRecord assembles the proc's merged, time-ordered flight record in
+// dump form. Empty (rank only) when the recorder is off.
+func (p *Proc) FlightRecord() flight.RankRecord { return p.flight.RankRecord(p.rank) }
+
+// QueueSnapshot captures the proc's live runtime introspection snapshot:
+// per-communicator posted/unexpected queue depths, reliability window
+// occupancy, and CRI pool levels. Safe to call at any time from any thread
+// (it takes each communicator's matching lock briefly); works with the
+// flight recorder off.
+func (p *Proc) QueueSnapshot() flight.QueueSnapshot {
+	qs := flight.QueueSnapshot{Rank: p.rank, CapturedNs: time.Now().UnixNano()}
+	p.commMu.RLock()
+	comms := make([]*Comm, 0, len(p.comms))
+	for _, c := range p.comms {
+		comms = append(comms, c)
+	}
+	p.commMu.RUnlock()
+	sort.Slice(comms, func(i, j int) bool { return comms[i].id < comms[j].id })
+	for _, c := range comms {
+		c.matchMu.Lock()
+		qs.Comms = append(qs.Comms, flight.CommQueues{
+			Comm:        c.id,
+			Posted:      c.engine.PostedLen(),
+			Unexpected:  c.engine.UnexpectedLen(),
+			OOSBuffered: c.engine.OOSBuffered(),
+		})
+		c.matchMu.Unlock()
+	}
+	qs.Windows = p.rel.windowSnapshot()
+	for i := 0; i < p.pool.Len(); i++ {
+		in := p.pool.Get(i)
+		qs.CRIs = append(qs.CRIs, flight.CRILevel{Index: i, Pending: in.Context().Pending()})
+	}
+	return qs
+}
+
+// watchdogSample condenses the proc's state into one detector observation.
+func (p *Proc) watchdogSample() flight.Sample {
+	s := flight.Sample{NowNs: time.Now().UnixNano()}
+	if p.spcs != nil {
+		snap := p.SPCSnapshot()
+		s.CountersValid = true
+		s.Sent = uint64(snap[spc.MessagesSent])
+		s.Received = uint64(snap[spc.MessagesReceived])
+		s.Retransmits = uint64(snap[spc.Retransmits])
+	}
+	qs := p.QueueSnapshot()
+	s.Comms = qs.Comms
+	for _, w := range qs.Windows {
+		s.Unacked += w.Unacked
+	}
+	return s
 }
 
 // Pool exposes the instance pool (used by the one-sided layer).

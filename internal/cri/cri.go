@@ -11,7 +11,9 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/flight"
 	"repro/internal/prof"
 	"repro/internal/spc"
 	"repro/internal/telemetry"
@@ -54,6 +56,11 @@ type Instance struct {
 	// lockWait records blocking instance-lock acquisitions; nil when
 	// latency telemetry is disabled.
 	lockWait *telemetry.Histogram
+	// flightRing receives lock-wait flight events when a contended
+	// acquisition blocks for at least flightWaitNs; nil when the flight
+	// recorder is off.
+	flightRing   *flight.Ring
+	flightWaitNs int64
 }
 
 // NewInstance wraps a transport context as instance index within its pool.
@@ -67,6 +74,18 @@ func NewInstance(index int, ctx transport.Context, spcs *spc.Set) *Instance {
 // SetLockWaitHistogram attaches a histogram recording blocking lock waits.
 // Call during setup, before the instance is shared between threads.
 func (in *Instance) SetLockWaitHistogram(h *telemetry.Histogram) { in.lockWait = h }
+
+// BindFlight attaches a flight-recorder ring that receives a lock-wait
+// event whenever a contended acquisition blocks for at least threshold
+// (0 = flight.DefaultLockWaitThreshold). Call during setup; a nil ring
+// leaves the hook at one branch.
+func (in *Instance) BindFlight(r *flight.Ring, threshold time.Duration) {
+	if threshold <= 0 {
+		threshold = flight.DefaultLockWaitThreshold
+	}
+	in.flightRing = r
+	in.flightWaitNs = int64(threshold)
+}
 
 // BindProfSite attaches the contention profiler's per-site statistics to
 // the instance lock. Call during setup only; a nil site leaves the lock
@@ -107,8 +126,17 @@ func (in *Instance) LockClocked(clk *prof.ThreadClock) {
 	}
 	in.spcs.Inc(spc.SendLockWaits)
 	t0 := in.lockWait.Start()
+	var f0 time.Time
+	if in.flightRing != nil {
+		f0 = time.Now()
+	}
 	in.mu.LockClocked(clk)
 	in.lockWait.ObserveSince(t0)
+	if in.flightRing != nil {
+		if w := time.Since(f0).Nanoseconds(); w >= in.flightWaitNs {
+			in.flightRing.Record(flight.KindLockWait, 0, int32(in.index), int32(w/int64(time.Microsecond)))
+		}
+	}
 }
 
 // TryLock attempts the instance lock without blocking, recording the loss
@@ -142,6 +170,9 @@ type ThreadState struct {
 	// path, progress engine, matching — can attribute its time without
 	// extra plumbing.
 	clock *prof.ThreadClock
+	// flight is the thread's flight-recorder ring (nil when the recorder
+	// is off), riding in the TLS stand-in for the same reason.
+	flight *flight.Ring
 }
 
 // SetClock attaches the thread's phase clock. Call at thread creation.
@@ -149,6 +180,12 @@ func (ts *ThreadState) SetClock(c *prof.ThreadClock) { ts.clock = c }
 
 // Clock returns the thread's phase clock, nil when profiling is off.
 func (ts *ThreadState) Clock() *prof.ThreadClock { return ts.clock }
+
+// SetFlight attaches the thread's flight ring. Call at thread creation.
+func (ts *ThreadState) SetFlight(r *flight.Ring) { ts.flight = r }
+
+// Flight returns the thread's flight ring, nil when the recorder is off.
+func (ts *ThreadState) Flight() *flight.Ring { return ts.flight }
 
 // NewThreadState returns a state with a pre-assigned dedicated instance;
 // a negative index means unassigned. The virtual-time model (internal/simnet)

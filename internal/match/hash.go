@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/hw"
 	"repro/internal/spc"
 	"repro/internal/transport"
@@ -53,6 +54,8 @@ type HashEngine struct {
 	unexpTail   *pendingMsg
 	unexpLen    int
 	unexpTicket uint64
+
+	flight *flight.Ring
 }
 
 // key64 packs (source, tag) into one map key.
@@ -133,6 +136,9 @@ func (e *HashEngine) Comm() uint32 { return e.comm }
 // SetAllowOvertaking implements Matcher.
 func (e *HashEngine) SetAllowOvertaking(on bool) { e.allowOvertaking = on }
 
+// BindFlight implements Matcher.
+func (e *HashEngine) BindFlight(r *flight.Ring) { e.flight = r }
+
 // PostedLen implements Matcher.
 func (e *HashEngine) PostedLen() int { return e.posted }
 
@@ -186,6 +192,7 @@ func (e *HashEngine) PostRecv(r *Recv) (Completion, bool) {
 		if l := e.unexp[mkKey(r.Source, r.Tag)]; l != nil && l.head != nil {
 			m := l.head
 			e.removeUnexpected(m)
+			e.flight.Record(flight.KindUnexpDeq, e.comm, m.env.Src, int32(e.unexpLen))
 			e.fill(r, m.env, m.pkt)
 			e.spcs.Inc(spc.MessagesReceived)
 			return Completion{Recv: r, Packet: m.pkt}, true
@@ -199,6 +206,7 @@ func (e *HashEngine) PostRecv(r *Recv) (Completion, bool) {
 				e.spcs.Add(spc.MatchWalkElements, int64(walked))
 				e.charge(e.costs.MatchBase + time.Duration(walked)*e.costs.MatchPerElement)
 				e.removeUnexpected(m)
+				e.flight.Record(flight.KindUnexpDeq, e.comm, m.env.Src, int32(e.unexpLen))
 				e.fill(r, m.env, m.pkt)
 				e.spcs.Inc(spc.MessagesReceived)
 				return Completion{Recv: r, Packet: m.pkt}, true
@@ -213,6 +221,7 @@ func (e *HashEngine) PostRecv(r *Recv) (Completion, bool) {
 	e.bucketFor(r).push(r)
 	e.posted++
 	e.spcs.Max(spc.PostedQueuePeak, int64(e.posted))
+	e.flight.Record(flight.KindRecvPost, e.comm, r.Source, int32(e.posted))
 	return Completion{}, false
 }
 
@@ -325,12 +334,15 @@ func (e *HashEngine) matchIn(env transport.Envelope, pkt *transport.Packet, out 
 		bestBucket.remove(best)
 		best.queued = false
 		e.posted--
+		e.flight.Record(flight.KindMatchHit, e.comm, env.Src, int32(e.posted))
 		e.fill(best, env, pkt)
 		e.spcs.Inc(spc.ExpectedMessages)
 		e.spcs.Inc(spc.MessagesReceived)
 		return append(out, Completion{Recv: best, Packet: pkt})
 	}
+	e.flight.Record(flight.KindMatchMiss, e.comm, env.Src, env.Tag)
 	e.appendUnexpected(env, pkt)
+	e.flight.Record(flight.KindUnexpEnq, e.comm, env.Src, int32(e.unexpLen))
 	e.spcs.Inc(spc.UnexpectedMessages)
 	return out
 }
@@ -358,6 +370,7 @@ func (e *HashEngine) MProbe(source, tag int32) (*transport.Packet, bool) {
 		if l := e.unexp[mkKey(source, tag)]; l != nil && l.head != nil {
 			m := l.head
 			e.removeUnexpected(m)
+			e.flight.Record(flight.KindUnexpDeq, e.comm, m.env.Src, int32(e.unexpLen))
 			return m.pkt, true
 		}
 		return nil, false
@@ -366,6 +379,7 @@ func (e *HashEngine) MProbe(source, tag int32) (*transport.Packet, bool) {
 	for m := e.unexpHead; m != nil; m = m.next {
 		if envMatches(probe, m.env) {
 			e.removeUnexpected(m)
+			e.flight.Record(flight.KindUnexpDeq, e.comm, m.env.Src, int32(e.unexpLen))
 			return m.pkt, true
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/hw"
 	"repro/internal/spc"
 	"repro/internal/transport"
@@ -73,6 +74,11 @@ type Matcher interface {
 	PostedLen() int
 	UnexpectedLen() int
 	OOSBuffered() int
+	// BindFlight attaches a flight-recorder ring receiving match events
+	// (recv posted, match hit/miss, unexpected enqueue/dequeue). Call
+	// during setup, under the same synchronization as the other methods;
+	// nil (the default) leaves recording off at one branch per event.
+	BindFlight(r *flight.Ring)
 }
 
 // Recv is one posted receive. The engine links it into the posted queue;
@@ -142,6 +148,8 @@ type Engine struct {
 	postedLen              int
 	unexpHead, unexpTail   *pendingMsg
 	unexpLen               int
+
+	flight *flight.Ring
 }
 
 // NewEngine creates the matching engine for communicator id comm with
@@ -172,6 +180,9 @@ func (e *Engine) Comm() uint32 { return e.comm }
 
 // SetAllowOvertaking implements Matcher.
 func (e *Engine) SetAllowOvertaking(on bool) { e.AllowOvertaking = on }
+
+// BindFlight implements Matcher.
+func (e *Engine) BindFlight(r *flight.Ring) { e.flight = r }
 
 // static interface check
 var _ Matcher = (*Engine)(nil)
@@ -211,6 +222,7 @@ func (e *Engine) PostRecv(r *Recv) (Completion, bool) {
 			e.spcs.Add(spc.MatchWalkElements, int64(walked))
 			e.charge(cost)
 			e.removeUnexpected(m)
+			e.flight.Record(flight.KindUnexpDeq, e.comm, m.env.Src, int32(e.unexpLen))
 			e.fill(r, m.env, m.pkt)
 			e.spcs.Inc(spc.MessagesReceived)
 			return Completion{Recv: r, Packet: m.pkt}, true
@@ -220,6 +232,7 @@ func (e *Engine) PostRecv(r *Recv) (Completion, bool) {
 	e.spcs.Add(spc.MatchWalkElements, int64(walked))
 	e.charge(cost)
 	e.appendPosted(r)
+	e.flight.Record(flight.KindRecvPost, e.comm, r.Source, int32(e.postedLen))
 	return Completion{}, false
 }
 
@@ -300,6 +313,7 @@ func (e *Engine) matchIn(env transport.Envelope, pkt *transport.Packet, out []Co
 			e.spcs.Add(spc.MatchWalkElements, int64(walked))
 			e.charge(cost)
 			e.removePosted(r)
+			e.flight.Record(flight.KindMatchHit, e.comm, env.Src, int32(e.postedLen))
 			e.fill(r, env, pkt)
 			e.spcs.Inc(spc.ExpectedMessages)
 			e.spcs.Inc(spc.MessagesReceived)
@@ -309,7 +323,9 @@ func (e *Engine) matchIn(env transport.Envelope, pkt *transport.Packet, out []Co
 	cost += time.Duration(walked) * e.costs.MatchPerElement
 	e.spcs.Add(spc.MatchWalkElements, int64(walked))
 	e.charge(cost)
+	e.flight.Record(flight.KindMatchMiss, e.comm, env.Src, env.Tag)
 	e.appendUnexpected(&pendingMsg{env: env, pkt: pkt})
+	e.flight.Record(flight.KindUnexpEnq, e.comm, env.Src, int32(e.unexpLen))
 	e.spcs.Inc(spc.UnexpectedMessages)
 	return out
 }
@@ -333,6 +349,7 @@ func (e *Engine) MProbe(source, tag int32) (*transport.Packet, bool) {
 	for m := e.unexpHead; m != nil; m = m.next {
 		if envMatches(probe, m.env) {
 			e.removeUnexpected(m)
+			e.flight.Record(flight.KindUnexpDeq, e.comm, m.env.Src, int32(e.unexpLen))
 			return m.pkt, true
 		}
 	}

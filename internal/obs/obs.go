@@ -2,11 +2,14 @@
 // benchmark process attaches to its running world, serving the telemetry
 // layer's exporters over the wire instead of only into files at exit.
 //
-//	/metrics      Prometheus text format (SPC attribution + histograms)
-//	/spc          human-readable counter attribution dump
-//	/trace        Chrome trace-event JSON snapshot of the retained events
-//	/healthz      liveness probe
-//	/debug/pprof  the standard Go profiler endpoints
+//	/metrics       Prometheus text format (SPC attribution + histograms)
+//	/spc           human-readable counter attribution dump
+//	/trace         Chrome trace-event JSON snapshot of the retained events
+//	/healthz       liveness probe (the process is up and serving)
+//	/readyz        readiness probe (the world is constructed and connected)
+//	/debug/queues  runtime introspection: posted/unexpected depths, windows
+//	/debug/flight  merged flight-recorder rings as JSON
+//	/debug/pprof   the standard Go profiler endpoints
 //
 // The server pulls through a Source of callbacks so it always serves the
 // current state of a run in flight; it takes no locks of its own beyond
@@ -20,8 +23,10 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/telemetry"
 )
 
@@ -57,9 +62,104 @@ type Source struct {
 	Stats func() []telemetry.ProcStats
 	// Events returns the current trace shard of every local proc.
 	Events func() []telemetry.RankEvents
+	// Queues returns the runtime introspection snapshot of every local proc
+	// (posted/unexpected depths, reliability windows, CRI levels) — served
+	// at /debug/queues.
+	Queues func() []flight.QueueSnapshot
+	// Flight returns the merged flight-recorder record of every local proc —
+	// served at /debug/flight.
+	Flight func() []flight.RankRecord
+	// Ready reports run readiness for /readyz: false with a reason while the
+	// world is still being constructed (handshake, clock sync), true once
+	// communication can proceed. Nil means always ready — right for
+	// single-process runs with no startup negotiation.
+	Ready func() (bool, string)
 	// Info labels the run (transport, caps, design, ...) — exported as the
 	// mpi_build_info gauge on /metrics.
 	Info map[string]string
+}
+
+// A Holder late-binds a Source so the HTTP endpoint can start serving
+// before the world it describes exists: the benchmark binds addr, the
+// endpoint answers /healthz immediately and 503s /readyz, and once the
+// world's OnWorld hook fires the holder is bound and marked ready. All
+// methods are safe for concurrent use with requests in flight.
+type Holder struct {
+	mu     sync.RWMutex
+	src    Source
+	ready  bool
+	reason string
+}
+
+// NewHolder returns a holder that reports not-ready with the given reason
+// until SetReady. Info labels /metrics from the start (build metadata is
+// known before the world is).
+func NewHolder(info map[string]string, notReadyReason string) *Holder {
+	if notReadyReason == "" {
+		notReadyReason = "world not constructed"
+	}
+	return &Holder{reason: notReadyReason, src: Source{Info: info}}
+}
+
+// Bind installs the live source. Info set at construction is kept unless
+// the bound source carries its own.
+func (h *Holder) Bind(src Source) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if src.Info == nil {
+		src.Info = h.src.Info
+	}
+	h.src = src
+}
+
+// SetReady flips /readyz to 200. Call once startup negotiation (rank
+// handshake, clock sync) has completed and communication can proceed.
+func (h *Holder) SetReady() {
+	h.mu.Lock()
+	h.ready = true
+	h.mu.Unlock()
+}
+
+// Source returns a Source whose callbacks delegate through the holder, so
+// it can be handed to Serve (or Outputs.Bind) before Bind has run.
+func (h *Holder) Source() Source {
+	get := func() Source {
+		h.mu.RLock()
+		defer h.mu.RUnlock()
+		return h.src
+	}
+	return Source{
+		Stats: func() []telemetry.ProcStats {
+			if s := get(); s.Stats != nil {
+				return s.Stats()
+			}
+			return nil
+		},
+		Events: func() []telemetry.RankEvents {
+			if s := get(); s.Events != nil {
+				return s.Events()
+			}
+			return nil
+		},
+		Queues: func() []flight.QueueSnapshot {
+			if s := get(); s.Queues != nil {
+				return s.Queues()
+			}
+			return nil
+		},
+		Flight: func() []flight.RankRecord {
+			if s := get(); s.Flight != nil {
+				return s.Flight()
+			}
+			return nil
+		},
+		Ready: func() (bool, string) {
+			h.mu.RLock()
+			defer h.mu.RUnlock()
+			return h.ready, h.reason
+		},
+		Info: get().Info,
+	}
 }
 
 // Server is a running observability endpoint.
@@ -82,6 +182,33 @@ func Serve(addr string, src Source) (*Server, error) {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if src.Ready != nil {
+			if ok, reason := src.Ready(); !ok {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintln(w, "not ready:", reason)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/debug/queues", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var qs []flight.QueueSnapshot
+		if src.Queues != nil {
+			qs = src.Queues()
+		}
+		_ = flight.WriteSnapshots(w, qs)
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var recs []flight.RankRecord
+		if src.Flight != nil {
+			recs = src.Flight()
+		}
+		_ = flight.WriteRecords(w, recs)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/flight"
 	"repro/internal/spc"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -96,7 +97,65 @@ func TestServerNilSource(t *testing.T) {
 	}
 	defer s.Close()
 	base := "http://" + s.Addr()
-	for _, path := range []string{"/healthz", "/metrics", "/spc", "/trace"} {
+	for _, path := range []string{"/healthz", "/metrics", "/spc", "/trace",
+		"/readyz", "/debug/queues", "/debug/flight"} {
 		get(t, base+path) // must not panic or error with nil callbacks
+	}
+}
+
+// A holder-backed server must 503 /readyz until the world binds, then serve
+// the introspection endpoints from the bound source.
+func TestHolderReadinessAndDebugEndpoints(t *testing.T) {
+	h := NewHolder(map[string]string{"transport": "tcp"}, "waiting for rank handshake")
+	s, err := Serve("127.0.0.1:0", h.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before bind: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "waiting for rank handshake") {
+		t.Fatalf("/readyz reason missing: %q", body)
+	}
+	// Liveness and the debug endpoints must answer even while not ready.
+	get(t, base+"/healthz")
+	if qs, ct := get(t, base+"/debug/queues"); ct != "application/json" || strings.TrimSpace(qs) != "[]" {
+		t.Fatalf("/debug/queues before bind = %q (%s)", qs, ct)
+	}
+
+	h.Bind(Source{
+		Queues: func() []flight.QueueSnapshot {
+			return []flight.QueueSnapshot{{Rank: 2, Comms: []flight.CommQueues{{Comm: 0, Posted: 3, Unexpected: 1}}}}
+		},
+		Flight: func() []flight.RankRecord {
+			return []flight.RankRecord{{Rank: 2, Rings: []string{"rank2/t0"},
+				Events: []flight.Event{{TS: 10, Seq: 1, Kind: flight.KindSendPost, A0: 1}}}}
+		},
+	})
+	h.SetReady()
+
+	if body, _ := get(t, base+"/readyz"); body != "ready\n" {
+		t.Fatalf("/readyz after SetReady = %q", body)
+	}
+	qs, _ := get(t, base+"/debug/queues")
+	if !strings.Contains(qs, `"posted": 3`) || !strings.Contains(qs, `"unexpected": 1`) {
+		t.Fatalf("/debug/queues = %s", qs)
+	}
+	fl, _ := get(t, base+"/debug/flight")
+	if !strings.Contains(fl, `"send_post"`) || !strings.Contains(fl, `"rank2/t0"`) {
+		t.Fatalf("/debug/flight = %s", fl)
+	}
+	// Info provided at construction still labels /metrics after the bind.
+	if metrics, _ := get(t, base+"/metrics"); !strings.Contains(metrics, `transport="tcp"`) {
+		t.Fatalf("/metrics lost holder info:\n%s", metrics)
 	}
 }

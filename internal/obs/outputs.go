@@ -10,6 +10,7 @@ import (
 	"sync"
 	"syscall"
 
+	"repro/internal/flight"
 	"repro/internal/telemetry"
 )
 
@@ -32,6 +33,11 @@ type Outputs struct {
 	// cmd/tracemerge). With more than one local rank, "-rank<N>" is
 	// inserted before the path's extension.
 	ShardPath string
+	// FlightPath receives the flight-record exit dump: every local rank's
+	// merged flight-recorder ring plus the final queue-introspection
+	// snapshot, as one JSON document. Written on normal exit, on
+	// SIGINT/SIGTERM via FlushOnSignal, and on panic via DumpOnPanic.
+	FlightPath string
 	// ProfRank names the rank whose pid group receives the phase-breakdown
 	// counter track in the Chrome trace, when the bound sampler carries
 	// profiler snapshots (the sampler observes exactly one proc, so its
@@ -65,7 +71,8 @@ func (o *Outputs) BindSampler(s *telemetry.Sampler) {
 
 // Active reports whether any artifact path is configured.
 func (o *Outputs) Active() bool {
-	return o.MetricsPath != "" || o.TracePath != "" || o.SamplesPath != "" || o.ShardPath != ""
+	return o.MetricsPath != "" || o.TracePath != "" || o.SamplesPath != "" ||
+		o.ShardPath != "" || o.FlightPath != ""
 }
 
 // Flush writes every configured artifact exactly once; subsequent calls
@@ -133,6 +140,22 @@ func (o *Outputs) flush() error {
 		}
 	}
 
+	if o.FlightPath != "" {
+		var dump flight.ExitDump
+		if src.Queues != nil {
+			dump.Queues = src.Queues()
+		}
+		if src.Flight != nil {
+			dump.Flight = src.Flight()
+		}
+		err := writeFile(o.FlightPath, func(w io.Writer) error {
+			return flight.WriteExitDump(w, dump)
+		})
+		if err != nil {
+			return err
+		}
+	}
+
 	if o.SamplesPath != "" && smp != nil {
 		smp.Stop()
 		err := writeFile(o.SamplesPath, func(w io.Writer) error {
@@ -182,6 +205,23 @@ func (o *Outputs) FlushOnSignal() (stop func()) {
 		signal.Stop(ch)
 		close(ch)
 	}
+}
+
+// DumpOnPanic flushes the outputs when the calling goroutine is unwinding
+// from a panic, then re-panics so the crash still reports normally. Use as
+// `defer outputs.DumpOnPanic()` in main: a crash mid-benchmark then leaves
+// the flight record and queue snapshot on disk for triage instead of only
+// a stack trace.
+func (o *Outputs) DumpOnPanic() {
+	r := recover()
+	if r == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "obs: panic: %v: flushing telemetry outputs\n", r)
+	if err := o.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "obs: flush:", err)
+	}
+	panic(r)
 }
 
 // writeFile creates path and streams fn's output into it.

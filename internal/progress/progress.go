@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/cri"
+	"repro/internal/flight"
 	"repro/internal/prof"
 	"repro/internal/spc"
 	"repro/internal/telemetry"
@@ -116,8 +117,10 @@ func (e *Engine) Progress(ts *cri.ThreadState) int {
 	}
 	if count > 0 {
 		// Productive passes only: an idle spin loop would flush the ring
-		// of every interesting event within milliseconds.
+		// of every interesting event within milliseconds. The flight
+		// recorder keeps the same discipline for the same reason.
 		e.tracer.EmitCRI(trace.KindProgress, ts.Dedicated(), int32(count), 0)
+		ts.Flight().Record(flight.KindProgress, 0, int32(count), 0)
 	}
 	return count
 }

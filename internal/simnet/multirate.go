@@ -3,6 +3,7 @@ package simnet
 import (
 	"fmt"
 
+	"repro/internal/flight"
 	"repro/internal/sim"
 	"repro/internal/spc"
 )
@@ -40,6 +41,10 @@ func runMultirateThreads(cfg Config) Result {
 	sender := newSimProc(env, cfg, sendWire, cfg.NumInstances)
 	recvWire := sim.NewWire(cfg.Machine.LinkGbps, cfg.Machine.MaxInjectionRate)
 	receiver := newSimProc(env, cfg, recvWire, cfg.NumInstances)
+	// Rank stamping and (optionally) the virtual-time flight recorder must
+	// precede communicator and thread creation, which bind their rings.
+	sender.enableFlight(0)
+	receiver.enableFlight(1)
 
 	// Communicators: one shared, or one per pair (Fig. 3c). Both procs
 	// register every communicator under the same id.
@@ -65,6 +70,9 @@ func runMultirateThreads(cfg Config) Result {
 	receiver.nWork = cfg.Pairs
 	sender.spawnOffload(env, "offload-send")
 	receiver.spawnOffload(env, "offload-recv")
+	var dumps []flight.Dump
+	sender.spawnWatchdog(env, "watchdog-send", &dumps)
+	receiver.spawnWatchdog(env, "watchdog-recv", &dumps)
 
 	for pair := 0; pair < cfg.Pairs; pair++ {
 		pair := pair
@@ -94,6 +102,13 @@ func runMultirateThreads(cfg Config) Result {
 				for w := 0; w < cfg.Window; w++ {
 					rt.postRecv(sp, c, 0, tag)
 				}
+				if cfg.StallRecv > 0 && pair == 0 && it == cfg.StallAfterIter {
+					// Injected fault: the receiver leaves its freshly posted
+					// window unserviced, freezing its completion counters
+					// while the queues stay non-empty — exactly the signature
+					// the no-progress detector must catch.
+					rt.stallFor(sp, cfg.StallRecv)
+				}
 				target += int64(cfg.Window)
 				rt.waitFor(sp, func() bool { return rt.recvsDone >= target })
 			}
@@ -105,6 +120,14 @@ func runMultirateThreads(cfg Config) Result {
 	total := int64(cfg.Pairs) * int64(cfg.Window) * int64(cfg.Iters)
 	res := newResult(total, makespan, receiver.spcs, sender.spcs)
 	res.Breakdown = []RankBreakdown{sender.breakdown(0), receiver.breakdown(1)}
+	res.Dumps = dumps
+	if cfg.FlightCapacity > 0 {
+		res.Flight = []flight.RankRecord{sender.flightRecord(), receiver.flightRecord()}
+	}
+	if cfg.FlightCapacity > 0 || cfg.Watchdog != nil {
+		now := int64(makespan)
+		res.Queues = []flight.QueueSnapshot{sender.queueSnapshot(now), receiver.queueSnapshot(now)}
+	}
 	return res
 }
 

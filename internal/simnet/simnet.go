@@ -11,10 +11,12 @@
 package simnet
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/cri"
 	"repro/internal/fabric"
+	"repro/internal/flight"
 	"repro/internal/hw"
 	"repro/internal/match"
 	"repro/internal/prof"
@@ -114,6 +116,26 @@ type Config struct {
 	// runtime's flag-gated framing on the virtual wire so the extension's
 	// bandwidth cost is measurable deterministically.
 	Traced bool
+	// FlightCapacity attaches a virtual-time flight recorder with this
+	// per-ring event capacity (0 = off). Recording advances no virtual
+	// time, so a flight-enabled run reproduces the flight-off makespan
+	// exactly. Thread mode only; process mode ignores it.
+	FlightCapacity int
+	// Watchdog, when non-nil, runs the virtual-time stall watchdog with
+	// this detector configuration on every proc; verdict dumps land in
+	// Result.Dumps in deterministic order.
+	Watchdog *flight.DetectorConfig
+	// WatchdogInterval is the watchdog's virtual sampling period
+	// (0 = DefaultSimWatchdogInterval).
+	WatchdogInterval time.Duration
+	// StallRecv injects a fault for watchdog acceptance tests: pair 0's
+	// receiver goes quiet — no posting, no progress — for this much
+	// virtual time (0 = no injection; thread mode only).
+	StallRecv time.Duration
+	// StallAfterIter is the window iteration whose posted receives the
+	// injected stall follows (receives are posted, then the receiver
+	// stalls before extracting completions).
+	StallAfterIter int
 }
 
 // faultsEnabled reports whether any fault probability is non-zero.
@@ -196,6 +218,15 @@ type Result struct {
 	// phase totals plus lock-site contention stats), in rank order —
 	// sender first. Feed each entry's Report into prof.WriteBreakdown.
 	Breakdown []RankBreakdown
+	// Flight holds each rank's merged flight record when
+	// Config.FlightCapacity is set, in rank order.
+	Flight []flight.RankRecord
+	// Queues holds each rank's final queue-introspection snapshot when the
+	// recorder or watchdog is on, in rank order.
+	Queues []flight.QueueSnapshot
+	// Dumps holds the watchdog's verdict dumps in firing order — the same
+	// bytes on every run of the same configuration.
+	Dumps []flight.Dump
 }
 
 func newResult(messages int64, makespan time.Duration, sets ...*spc.Set) Result {
@@ -280,9 +311,16 @@ type simProc struct {
 	threads   []*simThread
 	comms     map[uint32]*simComm
 	spcs      *spc.Set
-	progLock  *sim.Lock // serial progress global lock
-	bigLock   *sim.Lock // BigLock design, nil unless enabled
-	wire      *sim.Wire // owning node's wire (shared)
+	// frank is the proc's world rank for flight/introspection labelling.
+	frank int
+	// flight mirrors the real runtime's flight recorder on virtual time;
+	// flightSP holds the sim thread currently charging, whose clock the
+	// recorder reads (the threadMeter pattern).
+	flight   *flight.Recorder
+	flightSP *sim.Proc
+	progLock *sim.Lock // serial progress global lock
+	bigLock  *sim.Lock // BigLock design, nil unless enabled
+	wire     *sim.Wire // owning node's wire (shared)
 	// memSerial is the process-wide memory-management serializer (see
 	// hw.CostModel.AllocSerialize): threads of one process share it,
 	// separate processes each get their own.
@@ -328,6 +366,9 @@ func (p *simProc) addComm(id uint32, nRanks int) *simComm {
 		c.engine = match.NewEngine(id, nRanks, p.costs, &c.meter, p.spcs)
 	}
 	c.engine.SetAllowOvertaking(p.cfg.AllowOvertaking)
+	// The matching lock serializes the engine, so one ring per comm; the
+	// recorder's clock-holder gives the events virtual timestamps.
+	c.engine.BindFlight(p.flight.NewRing(fmt.Sprintf("rank%d/comm%d", p.frank, id)))
 	p.comms[id] = c
 	return c
 }
@@ -395,6 +436,10 @@ type simThread struct {
 	// clk decomposes this thread's virtual time into exclusive phases; it
 	// records nothing until the workload starts it (see vClock).
 	clk vClock
+
+	// fring is this thread's flight-recorder ring (nil when the recorder
+	// is off); events carry explicit virtual timestamps via RecordAt.
+	fring *flight.Ring
 }
 
 func newSimThread(p *simProc) *simThread {
@@ -405,6 +450,7 @@ func newSimThread(p *simProc) *simThread {
 	}
 	p.nThreads++
 	p.threads = append(p.threads, t)
+	t.fring = p.flight.NewRing(fmt.Sprintf("rank%d/t%d", p.frank, p.nThreads-1))
 	t.rng = uint64(p.nThreads) * 0x9E3779B97F4A7C15
 	t.frng = uint64(p.cfg.FaultSeed)*0xD1B54A32D192ED03 ^ uint64(p.nThreads)*0x9E3779B97F4A7C15
 	return t
@@ -423,7 +469,7 @@ func (t *simThread) faultRoll() float64 {
 // delayed packet is held before reaching the remote queue; a duplicated
 // packet is delivered twice and discarded by matching-layer dedup. Fault
 // counters land on the sending proc's set, as the real injector's do.
-func (t *simThread) faultFate() (delay time.Duration, copies int) {
+func (t *simThread) faultFate(sp *sim.Proc) (delay time.Duration, copies int) {
 	p := t.proc
 	cfg := &p.cfg
 	copies = 1
@@ -434,6 +480,7 @@ func (t *simThread) faultFate() (delay time.Duration, copies int) {
 		}
 		p.spcs.Inc(spc.FaultPacketsDropped)
 		p.spcs.Inc(spc.Retransmits)
+		t.fring.RecordAt(sp.Now(), flight.KindRetransmit, 0, int32(attempt+1), int32(rto/time.Microsecond))
 		delay += rto
 		rto *= 2
 	}
@@ -486,6 +533,7 @@ func (t *simThread) send(sp *sim.Proc, c *simComm, dst *simProc, srcRank, dstRan
 	// Request allocation serializes on process-wide memory management.
 	p.memSerial.Reserve(sp, 0)
 	seq := c.seq.Next(dstRank)
+	t.fring.RecordAt(sp.Now(), flight.KindSendPost, c.id, dstRank, int32(seq))
 	// Between sequence assignment and the doorbell lies the descriptor
 	// build, whose latency varies with cache/allocator state. This window
 	// is where concurrent threads overtake each other and inject out of
@@ -494,7 +542,7 @@ func (t *simThread) send(sp *sim.Proc, c *simComm, dst *simProc, srcRank, dstRan
 	copies := 1
 	if p.cfg.faultsEnabled() {
 		var faultDelay time.Duration
-		faultDelay, copies = t.faultFate()
+		faultDelay, copies = t.faultFate(sp)
 		if faultDelay > 0 {
 			// Retransmission timeouts and held-back deliveries push this
 			// packet's arrival past traffic injected meanwhile — the same
@@ -517,8 +565,11 @@ func (t *simThread) send(sp *sim.Proc, c *simComm, dst *simProc, srcRank, dstRan
 	}
 	inst := p.instanceFor(&t.ts)
 	t.clk.begin(sp, prof.PhaseLockWait)
-	inst.lock.Acquire(sp)
+	instWait := inst.lock.Acquire(sp)
 	t.clk.end(sp)
+	if instWait >= flight.DefaultLockWaitThreshold {
+		t.fring.RecordAt(sp.Now(), flight.KindLockWait, 0, int32(inst.index), int32(instWait/time.Microsecond))
+	}
 	sp.Advance(p.costs.SendInject)
 	header := fabric.EnvelopeSize
 	if p.cfg.Traced {
@@ -574,6 +625,7 @@ func (t *simThread) postRecv(sp *sim.Proc, c *simComm, srcRank, tag int32) {
 	t.clk.end(sp)
 	c.engine.ChargeWait(waited)
 	c.meter.p = sp
+	p.flightSP = sp
 	comp, ok := c.engine.PostRecv(r)
 	c.lock.Release(sp)
 	if ok {
@@ -584,7 +636,16 @@ func (t *simThread) postRecv(sp *sim.Proc, c *simComm, srcRank, tag int32) {
 
 // progress is the virtual-time progress engine: Serial takes the global
 // try-lock and polls every instance; Concurrent runs Algorithm 2.
+// Productive passes mirror onto the flight ring, as the real engine's do.
 func (t *simThread) progress(sp *sim.Proc) int {
+	count := t.progressPass(sp)
+	if count > 0 {
+		t.fring.RecordAt(sp.Now(), flight.KindProgress, 0, int32(count), 0)
+	}
+	return count
+}
+
+func (t *simThread) progressPass(sp *sim.Proc) int {
 	p := t.proc
 	p.spcs.Inc(spc.ProgressCalls)
 	if p.bigLock != nil {
@@ -697,6 +758,7 @@ func (t *simThread) deliver(sp *sim.Proc, pkt *fabric.Packet) {
 	t.clk.begin(sp, prof.PhaseMatch)
 	c.engine.ChargeWait(waited)
 	c.meter.p = sp
+	p.flightSP = sp
 	c.scratch = c.engine.Deliver(pkt, c.scratch[:0])
 	comps := c.scratch
 	t.clk.end(sp)

@@ -4,7 +4,8 @@
 # receiver serving its live observability endpoint — and check that:
 #   - both halves finish with consistent totals (the sender's messages_sent
 #     SPC fully accounted for by the receiver's messages_received),
-#   - /healthz and /metrics answer while the run is in flight,
+#   - /healthz answers, /readyz flips to 200 once the handshake completes,
+#     and /metrics + /debug/queues answer while the run is in flight,
 #   - the per-rank trace shards merge into one Chrome trace with
 #     cross-rank flow arrows.
 set -euo pipefail
@@ -18,7 +19,7 @@ go build -o "$tmp/tracemerge" ./cmd/tracemerge
 port_base=$((20000 + RANDOM % 20000))
 http_addr="127.0.0.1:$((port_base + 2))"
 peers="127.0.0.1:${port_base},127.0.0.1:$((port_base + 1))"
-args=(-transport tcp -peers "$peers" -pairs 4 -window 64 -iters 64 -machine fast -spcs -trace-wire)
+args=(-transport tcp -peers "$peers" -pairs 4 -window 64 -iters 256 -machine fast -spcs -trace-wire)
 
 out0="$tmp/out0" out1="$tmp/out1"
 "$tmp/multirate" -rank 1 "${args[@]}" -http "$http_addr" \
@@ -26,11 +27,20 @@ out0="$tmp/out0" out1="$tmp/out1"
 recv_pid=$!
 
 # Poll the receiver's live endpoint while the benchmark runs. The server
-# comes up as soon as the world exists, before the start barrier, so the
-# poller has the whole run to land.
+# binds before the world exists (liveness answers during the TCP
+# handshake); /readyz turns 200 only once the world is constructed, at
+# which point the introspection endpoints carry live queue state.
 (
     for _ in $(seq 1 100); do
         if curl -fsS "http://$http_addr/healthz" >"$tmp/healthz" 2>/dev/null; then
+            break
+        fi
+        sleep 0.1
+    done
+    [[ -s "$tmp/healthz" ]] || exit 1
+    for _ in $(seq 1 100); do
+        if curl -fsS "http://$http_addr/readyz" >"$tmp/readyz" 2>/dev/null; then
+            curl -fsS "http://$http_addr/debug/queues" >"$tmp/queues" 2>/dev/null || true
             curl -fsS "http://$http_addr/metrics" >"$tmp/metrics" 2>/dev/null || true
             exit 0
         fi
@@ -70,15 +80,25 @@ fi
 
 # The live endpoint must have answered during the run.
 if ! wait "$curl_pid"; then
-    echo "FAIL: /healthz never answered during the run" >&2
+    echo "FAIL: /healthz or /readyz never answered during the run" >&2
     exit 1
 fi
 if ! grep -q '^ok$' "$tmp/healthz"; then
     echo "FAIL: /healthz body: $(cat "$tmp/healthz")" >&2
     exit 1
 fi
+if ! grep -q '^ready$' "$tmp/readyz"; then
+    echo "FAIL: /readyz body: $(cat "$tmp/readyz")" >&2
+    exit 1
+fi
 if ! grep -q 'mpi_build_info' "$tmp/metrics"; then
     echo "FAIL: /metrics served no mpi_build_info gauge" >&2
+    exit 1
+fi
+# Mid-run introspection: the queue snapshot must be JSON naming the rank's
+# communicator queues.
+if ! grep -q '"rank"' "$tmp/queues" || ! grep -q '"comms"' "$tmp/queues"; then
+    echo "FAIL: /debug/queues snapshot: $(head -c 200 "$tmp/queues")" >&2
     exit 1
 fi
 
@@ -92,4 +112,4 @@ if [[ "$flows" -lt 3 ]]; then
 fi
 
 echo "OK: $msgs0 benchmark messages; sender sent=$sent, receiver received=$received"
-echo "OK: live /healthz + /metrics served; merged trace carries $flows flow-arrow events"
+echo "OK: live /healthz, /readyz, /metrics and /debug/queues served; merged trace carries $flows flow-arrow events"
