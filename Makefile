@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-telemetry bench-json bench-gate chaos check conformance lint-layers tcp-smoke
+.PHONY: build test race race-lockfree vet fmt bench bench-telemetry bench-json bench-gate chaos check conformance lint-layers tcp-smoke
 
 build:
 	$(GO) build ./...
@@ -11,7 +11,13 @@ test:
 # Race-detector pass over the concurrency-heavy packages (the full suite
 # under -race works too, but takes much longer).
 race:
-	$(GO) test -race ./internal/prof ./internal/telemetry ./internal/core ./internal/progress ./internal/cri ./internal/trace ./internal/rma ./internal/flight ./internal/obs ./internal/transport/... ./internal/conformance ./internal/bench/...
+	$(GO) test -race ./internal/prof ./internal/telemetry ./internal/core ./internal/progress ./internal/cri ./internal/trace ./internal/rma ./internal/flight ./internal/obs ./internal/transport/... ./internal/conformance ./internal/bench/... ./internal/ringbuf ./internal/match
+
+# Dedicated stress pass over the lock-free structures (MPSC completion
+# ring, CRI free-list, sharded matching) at high parallelism; these tests
+# only bite with the race detector watching.
+race-lockfree:
+	$(GO) test -race -count=2 ./internal/ringbuf ./internal/match ./internal/cri
 
 # Cross-backend conformance: the same message-passing semantics over the
 # simulated fabric and real TCP, under the race detector.

@@ -32,7 +32,7 @@ func main() {
 		iters       = flag.Int("iters", 8, "window iterations per pair")
 		msgSize     = flag.Int("size", 0, "payload bytes (0 = envelope only)")
 		instances   = flag.Int("instances", 20, "CRI count for the CRI designs")
-		designList  = flag.String("designs", "ompi-process,ompi-thread,ompi-thread-cri,ompi-thread-cri-full",
+		designList  = flag.String("designs", "ompi-process,ompi-thread,ompi-thread-cri,ompi-thread-cri-full,ompi-thread-cri-lf",
 			"comma-separated design slugs to sweep")
 	)
 	flag.Parse()

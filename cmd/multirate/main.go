@@ -49,9 +49,10 @@ func main() {
 		iters       = flag.Int("iters", 8, "window iterations per pair")
 		msgSize     = flag.Int("size", 0, "payload bytes (0 = envelope only)")
 		instances   = flag.Int("instances", 1, "communication resource instances per process")
-		assignment  = flag.String("assignment", "round-robin", "round-robin | dedicated")
+		assignment  = flag.String("assignment", "round-robin", "round-robin | dedicated | freelist")
 		prog        = flag.String("progress", "serial", "serial | concurrent")
 		commPerPair = flag.Bool("comm-per-pair", false, "private communicator per pair (concurrent matching)")
+		matchShards = flag.Int("match-shards", 0, "hash-sharded matching partitions per communicator (0 = single-lock engine)")
 		overtaking  = flag.Bool("overtaking", false, "assert mpi_assert_allow_overtaking")
 		anyTag      = flag.Bool("any-tag", false, "post wildcard-tag receives")
 		processMode = flag.Bool("process-mode", false, "map pairs to process pairs")
@@ -130,7 +131,7 @@ func main() {
 		scfg := simnet.Config{
 			Machine: machine, Pairs: *pairs, Window: *window, Iters: *iters,
 			MsgSize: *msgSize, NumInstances: *instances, Assignment: asg,
-			Progress: pm, CommPerPair: *commPerPair,
+			Progress: pm, CommPerPair: *commPerPair, MatchShards: *matchShards,
 			AllowOvertaking: *overtaking, AnyTagRecv: *anyTag,
 			ProcessMode: *processMode, Traced: *traceWire,
 			FaultDrop: *faultDrop, FaultDup: *faultDup,
@@ -177,6 +178,7 @@ func main() {
 		wantProf := *profile || *breakdownOut != ""
 		opts := core.Options{
 			NumInstances: *instances, Assignment: asg, Progress: pm,
+			MatchShards: *matchShards,
 			ThreadLevel: core.ThreadMultiple, TraceCapacity: cap,
 			Telemetry: wantTelemetry || *traceWire, TraceWire: *traceWire,
 			Profile:   wantProf,
@@ -403,6 +405,8 @@ func assignmentByName(name string) (cri.Assignment, error) {
 		return cri.RoundRobin, nil
 	case "dedicated":
 		return cri.Dedicated, nil
+	case "freelist", "free-list":
+		return cri.FreeList, nil
 	default:
 		return 0, fmt.Errorf("unknown assignment %q", name)
 	}

@@ -105,6 +105,7 @@ func (c SweepConfig) withDefaults() SweepConfig {
 		c.Designs = []designs.Design{
 			designs.OMPIProcess, designs.OMPIThread,
 			designs.OMPIThreadCRI, designs.OMPIThreadCRIFull,
+			designs.OMPIThreadCRILockFree,
 		}
 	}
 	return c

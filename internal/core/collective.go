@@ -354,7 +354,7 @@ func (c *Comm) irecvInternal(th *Thread, src int, tag int32, buf []byte) (*Reque
 	p := c.proc
 	req := &Request{proc: p, kind: reqRecv}
 	req.mrecv = &match.Recv{Source: int32(src), Tag: tag, Buf: buf, Token: req}
-	if !c.matchMu.TryLock() {
+	if !c.selfMatch && !c.matchMu.TryLock() {
 		t0 := c.spcs.StartTimer()
 		c.matchMu.Lock()
 		c.engine.ChargeWait(sinceTimer(c.spcs, t0))
@@ -362,7 +362,9 @@ func (c *Comm) irecvInternal(th *Thread, src int, tag int32, buf []byte) (*Reque
 	h0 := p.histMatch.Start()
 	comp, ok := c.engine.PostRecv(req.mrecv)
 	p.histMatch.ObserveSince(h0)
-	c.matchMu.Unlock()
+	if !c.selfMatch {
+		c.matchMu.Unlock()
+	}
 	if ok {
 		c.completeRecv(comp)
 	}

@@ -34,10 +34,13 @@ type Comm struct {
 
 	// matchMu serializes the matching engine — the paper's "remaining
 	// serial section". Profiled per communicator so concurrent-matching
-	// designs show their per-comm contention split.
-	matchMu prof.Mutex
-	engine  match.Matcher
-	seq     *match.SeqTracker
+	// designs show their per-comm contention split. When selfMatch is set
+	// the engine synchronizes internally (match.Sharded) and matchMu is
+	// never taken: the serial section is gone, which is the point.
+	matchMu   prof.Mutex
+	selfMatch bool
+	engine    match.Matcher
+	seq       *match.SeqTracker
 
 	// spcs is this communicator's attributed counter set — a child of the
 	// process totals (see Proc.SPCSnapshot). The matching engine records
@@ -81,11 +84,20 @@ func newComm(p *Proc, id uint32, group []int, myRank int, info Info) *Comm {
 	}
 	c.matchMu.Bind(p.prof.NewSite("match.comm", -1, id))
 	var meter match.Meter = match.SpinMeter{}
-	if p.world.opts.HashMatching {
+	if n := p.world.opts.MatchShards; n > 0 {
+		sh := match.NewSharded(id, len(group), n, p.dev.Machine().Scaled(), meter, c.spcs)
+		sites := make([]*prof.Site, sh.NumShards())
+		for i := range sites {
+			sites[i] = p.prof.NewSite("match.shard", i, id)
+		}
+		sh.BindProfSites(sites, p.prof.NewSite("match.stripe", -1, id), p.prof.NewSite("match.wild", -1, id))
+		c.engine = sh
+	} else if p.world.opts.HashMatching {
 		c.engine = match.NewHashEngine(id, len(group), p.dev.Machine().Scaled(), meter, c.spcs)
 	} else {
 		c.engine = match.NewEngine(id, len(group), p.dev.Machine().Scaled(), meter, c.spcs)
 	}
+	c.selfMatch = match.SelfLocking(c.engine)
 	c.engine.SetAllowOvertaking(info.AllowOvertaking)
 	// The comm's matching events share one ring because the matching lock
 	// already serializes them; the ring id keys the merged record.
@@ -192,12 +204,11 @@ func (c *Comm) Isend(th *Thread, dst int, tag int32, buf []byte) (*Request, erro
 		return req, nil
 	}
 
-	inst := p.pool.ForThread(&th.ts)
+	inst, release := p.pool.AcquireSend(&th.ts)
 	p.tracer.EmitFlowCRI(trace.KindSendInject, pkt.TraceID, inst.Index(), int32(dst), int32(seq))
-	inst.LockClocked(clk)
 	ep := inst.Endpoint(c.group[dst])
 	if ep == nil {
-		inst.Unlock()
+		release()
 		return nil, fmt.Errorf("core: no endpoint from rank %d to %d: %w",
 			p.rank, c.group[dst], ErrPeerUnreachable)
 	}
@@ -205,7 +216,7 @@ func (c *Comm) Isend(th *Thread, dst int, tag int32, buf []byte) (*Request, erro
 	clk.Begin(prof.PhaseWire)
 	ep.Send(pkt)
 	clk.End()
-	inst.Unlock()
+	release()
 	return req, nil
 }
 
@@ -241,7 +252,7 @@ func (c *Comm) Irecv(th *Thread, src int, tag int32, buf []byte) (*Request, erro
 	req := &Request{proc: p, kind: reqRecv}
 	req.mrecv = &match.Recv{Source: int32(src), Tag: tag, Buf: buf, Token: req}
 
-	if !c.matchMu.TryLockQuiet() {
+	if !c.selfMatch && !c.matchMu.TryLockQuiet() {
 		t0 := c.spcs.StartTimer()
 		c.matchMu.LockClocked(clk)
 		c.engine.ChargeWait(sinceTimer(c.spcs, t0))
@@ -251,7 +262,9 @@ func (c *Comm) Irecv(th *Thread, src int, tag int32, buf []byte) (*Request, erro
 	comp, ok := c.engine.PostRecv(req.mrecv)
 	p.histMatch.ObserveSince(h0)
 	clk.End()
-	c.matchMu.Unlock()
+	if !c.selfMatch {
+		c.matchMu.Unlock()
+	}
 	if ok {
 		c.completeRecv(comp)
 	}
@@ -272,9 +285,13 @@ func (c *Comm) Recv(th *Thread, src int, tag int32, buf []byte) (Status, error) 
 // matching src/tag, progressing once first (MPI_Iprobe).
 func (c *Comm) Probe(th *Thread, src int, tag int32) (Status, bool) {
 	th.Progress()
-	c.matchMu.LockClocked(th.ts.Clock())
+	if !c.selfMatch {
+		c.matchMu.LockClocked(th.ts.Clock())
+	}
 	env, ok := c.engine.Probe(int32(src), tag)
-	c.matchMu.Unlock()
+	if !c.selfMatch {
+		c.matchMu.Unlock()
+	}
 	if !ok {
 		return Status{}, false
 	}
@@ -301,9 +318,13 @@ func (m *Message) Status() Status {
 // which races when multiple threads probe the same coordinates.
 func (c *Comm) MProbe(th *Thread, src int, tag int32) (*Message, bool) {
 	th.Progress()
-	c.matchMu.LockClocked(th.ts.Clock())
+	if !c.selfMatch {
+		c.matchMu.LockClocked(th.ts.Clock())
+	}
 	pkt, ok := c.engine.MProbe(int32(src), tag)
-	c.matchMu.Unlock()
+	if !c.selfMatch {
+		c.matchMu.Unlock()
+	}
 	if !ok {
 		return nil, false
 	}
@@ -426,11 +447,10 @@ func (c *Comm) isendInternal(th *Thread, dst int, tag int32, buf []byte) (*Reque
 		p.deliver(clk, nil, pkt)
 		return req, nil
 	}
-	inst := p.pool.ForThread(&th.ts)
-	inst.LockClocked(clk)
+	inst, release := p.pool.AcquireSend(&th.ts)
 	ep := inst.Endpoint(c.group[dst])
 	if ep == nil {
-		inst.Unlock()
+		release()
 		return nil, fmt.Errorf("core: no endpoint from rank %d to %d: %w",
 			p.rank, c.group[dst], ErrPeerUnreachable)
 	}
@@ -438,7 +458,7 @@ func (c *Comm) isendInternal(th *Thread, dst int, tag int32, buf []byte) (*Reque
 	clk.Begin(prof.PhaseWire)
 	ep.Send(pkt)
 	clk.End()
-	inst.Unlock()
+	release()
 	return req, nil
 }
 

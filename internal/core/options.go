@@ -108,6 +108,14 @@ type Options struct {
 	// optimized-matching direction the paper's Section III-F leaves out of
 	// scope.
 	HashMatching bool
+	// MatchShards, when positive, replaces the externally locked matching
+	// engine with the internally synchronized sharded engine
+	// (match.Sharded): posted/unexpected state is hash-partitioned by
+	// (source, tag) into about this many shards (rounded up to a power of
+	// two) and the communicator-wide matching lock disappears entirely.
+	// Takes precedence over HashMatching. 0 keeps the paper-faithful
+	// single-lock engines.
+	MatchShards int
 	// ProgressThread dedicates one runtime-owned thread per process to
 	// completion extraction — the software-offload design of Vaidyanathan
 	// et al. [20] the paper's related work discusses. Application threads

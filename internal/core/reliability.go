@@ -69,18 +69,42 @@ type relEntry struct {
 	retries int
 }
 
-// relSendPeer is the send-side window toward one peer.
+// relSendPeer is the send-side window toward one peer, guarded by its own
+// stripe lock: two threads sending to different peers never serialize on
+// reliability state (the "reliability.window" slice in the breakdown used
+// to be one process-wide lock).
 type relSendPeer struct {
+	mu      prof.Mutex
 	nextSeq uint64
 	unacked map[uint64]*relEntry
 }
 
 // relRecvPeer is the receive-side dedup state for one peer: the cumulative
-// in-order mark plus the set of out-of-order sequences already seen.
+// in-order mark plus the set of out-of-order sequences already seen. Also
+// stripe-locked per peer.
 type relRecvPeer struct {
+	mu  prof.Mutex
 	cum uint64
 	ooo map[uint64]struct{}
 }
+
+// relNextSeq advances a reliability sequence, skipping 0: RelSeq 0 is the
+// wire sentinel for "untracked packet", so after the uint64 counter wraps
+// the stream continues at 1. Sender (track) and receiver (acceptData) both
+// step with this function, keeping the two sides in lockstep across the
+// wrap.
+func relNextSeq(s uint64) uint64 {
+	s++
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// relSeqBefore reports whether a precedes-or-equals b in serial (modular)
+// order — the uint64 analogue of the matching layer's int32(a-b) test.
+// Plain <= would misclassify every post-wrap sequence as ancient.
+func relSeqBeforeOrEq(a, b uint64) bool { return int64(a-b) <= 0 }
 
 // reliability is one proc's delivery-reliability state. All methods are
 // safe for concurrent use; a nil *reliability ignores every call, so hot
@@ -90,11 +114,12 @@ type reliability struct {
 	rto    time.Duration
 	budget int
 
-	// mu guards the per-peer windows; profiled as "reliability.window"
-	// because every tracked send and every sweep serializes on it.
-	mu   prof.Mutex
+	// send/recv are the per-peer stripes; each carries its own lock, all
+	// profiled under the one "reliability.window" site so the breakdown
+	// still reports reliability contention as a single line.
 	send []relSendPeer // indexed by destination world rank
 	recv []relRecvPeer // indexed by source world rank
+	site *prof.Site
 
 	lastSweep atomic.Int64
 }
@@ -103,10 +128,17 @@ func newReliability(p *Proc, rto time.Duration, budget int) *reliability {
 	return &reliability{proc: p, rto: rto, budget: budget}
 }
 
-// bindProfSite attaches the profiler site to the window mutex.
+// bindProfSite attaches the profiler site shared by every stripe lock.
 func (r *reliability) bindProfSite(s *prof.Site) {
-	if r != nil {
-		r.mu.Bind(s)
+	if r == nil {
+		return
+	}
+	r.site = s
+	for i := range r.send {
+		r.send[i].mu.Bind(s)
+	}
+	for i := range r.recv {
+		r.recv[i].mu.Bind(s)
 	}
 }
 
@@ -117,6 +149,12 @@ func (r *reliability) initPeers(n int) {
 	}
 	r.send = make([]relSendPeer, n)
 	r.recv = make([]relRecvPeer, n)
+	for i := range r.send {
+		r.send[i].mu.Bind(r.site)
+	}
+	for i := range r.recv {
+		r.recv[i].mu.Bind(r.site)
+	}
 }
 
 // track registers an outbound packet for ack/retransmit, assigning its
@@ -131,9 +169,9 @@ func (r *reliability) track(pkt *transport.Packet, dstWorld int, req *Request, f
 		req.reliable = true
 	}
 	now := time.Now()
-	r.mu.Lock()
 	sp := &r.send[dstWorld]
-	sp.nextSeq++
+	sp.mu.Lock()
+	sp.nextSeq = relNextSeq(sp.nextSeq)
 	pkt.RelSeq = sp.nextSeq
 	pkt.RelSrc = int32(r.proc.rank)
 	if sp.unacked == nil {
@@ -142,7 +180,7 @@ func (r *reliability) track(pkt *transport.Packet, dstWorld int, req *Request, f
 	sp.unacked[sp.nextSeq] = &relEntry{
 		pkt: pkt, dstWorld: dstWorld, req: req, fail: fail, sentAt: now,
 	}
-	r.mu.Unlock()
+	sp.mu.Unlock()
 }
 
 // acceptData runs receive-side dedup on a tracked inbound packet and acks
@@ -152,20 +190,23 @@ func (r *reliability) track(pkt *transport.Packet, dstWorld int, req *Request, f
 func (r *reliability) acceptData(pkt *transport.Packet) bool {
 	src := int(pkt.RelSrc)
 	seq := pkt.RelSeq
-	r.mu.Lock()
 	rp := &r.recv[src]
+	rp.mu.Lock()
 	fresh := false
-	if seq > rp.cum {
+	// Serial (modular) comparison: a sequence "after" cum is fresh even
+	// when the uint64 counter has wrapped past cum numerically.
+	if !relSeqBeforeOrEq(seq, rp.cum) {
 		if _, seen := rp.ooo[seq]; !seen {
 			fresh = true
-			if seq == rp.cum+1 {
-				rp.cum++
+			if seq == relNextSeq(rp.cum) {
+				rp.cum = seq
 				for {
-					if _, ok := rp.ooo[rp.cum+1]; !ok {
+					next := relNextSeq(rp.cum)
+					if _, ok := rp.ooo[next]; !ok {
 						break
 					}
-					delete(rp.ooo, rp.cum+1)
-					rp.cum++
+					delete(rp.ooo, next)
+					rp.cum = next
 				}
 			} else {
 				if rp.ooo == nil {
@@ -176,7 +217,7 @@ func (r *reliability) acceptData(pkt *transport.Packet) bool {
 		}
 	}
 	cum := rp.cum
-	r.mu.Unlock()
+	rp.mu.Unlock()
 	if !fresh {
 		r.proc.spcs.Inc(spc.DuplicatePackets)
 	}
@@ -215,15 +256,15 @@ func (r *reliability) handleAck(pkt *transport.Packet) {
 	cum := binary.LittleEndian.Uint64(pkt.Payload[0:])
 	sel := binary.LittleEndian.Uint64(pkt.Payload[8:])
 	var done []*relEntry
-	r.mu.Lock()
 	sp := &r.send[src]
+	sp.mu.Lock()
 	for seq, e := range sp.unacked {
-		if seq <= cum || seq == sel {
+		if relSeqBeforeOrEq(seq, cum) || seq == sel {
 			delete(sp.unacked, seq)
 			done = append(done, e)
 		}
 	}
-	r.mu.Unlock()
+	sp.mu.Unlock()
 	r.proc.spcs.Inc(spc.AcksReceived)
 	r.proc.flightRing.Record(flight.KindAckRecv, 0, int32(src), int32(len(done)))
 	for _, e := range done {
@@ -265,9 +306,11 @@ func (r *reliability) sweep(now time.Time) {
 		again  []redo
 		failed []*relEntry
 	)
-	r.mu.Lock()
+	// One stripe at a time: the sweep no longer freezes every send path
+	// behind a process-wide window lock while it scans.
 	for i := range r.send {
 		sp := &r.send[i]
+		sp.mu.Lock()
 		for seq, e := range sp.unacked {
 			timeout := r.rto << uint(e.retries)
 			if timeout > relMaxRTO || timeout <= 0 {
@@ -285,8 +328,8 @@ func (r *reliability) sweep(now time.Time) {
 			e.sentAt = now
 			again = append(again, redo{pkt: e.pkt, dst: e.dstWorld, retries: e.retries})
 		}
+		sp.mu.Unlock()
 	}
-	r.mu.Unlock()
 	for _, rd := range again {
 		p.spcs.Inc(spc.Retransmits)
 		p.flightRing.Record(flight.KindRetransmit, 0, int32(rd.dst), int32(rd.retries))
@@ -311,22 +354,26 @@ func (r *reliability) windowSnapshot() []flight.PeerWindow {
 		return nil
 	}
 	var out []flight.PeerWindow
-	r.mu.Lock()
 	for i := range r.send {
 		sp := &r.send[i]
 		rp := &r.recv[i]
-		if sp.nextSeq == 0 && len(sp.unacked) == 0 && rp.cum == 0 && len(rp.ooo) == 0 {
+		sp.mu.Lock()
+		nextSeq, unacked := sp.nextSeq, len(sp.unacked)
+		sp.mu.Unlock()
+		rp.mu.Lock()
+		cum, ooo := rp.cum, len(rp.ooo)
+		rp.mu.Unlock()
+		if nextSeq == 0 && unacked == 0 && cum == 0 && ooo == 0 {
 			continue
 		}
 		out = append(out, flight.PeerWindow{
 			Peer:    i,
-			Unacked: len(sp.unacked),
-			NextSeq: sp.nextSeq,
-			RecvCum: rp.cum,
-			RecvOOO: len(rp.ooo),
+			Unacked: unacked,
+			NextSeq: nextSeq,
+			RecvCum: cum,
+			RecvOOO: ooo,
 		})
 	}
-	r.mu.Unlock()
 	return out
 }
 

@@ -75,11 +75,10 @@ func (c *Comm) isendRendezvous(th *Thread, dst int, tag int32, buf []byte) (*Req
 		req.finish(err)
 	})
 
-	inst := p.pool.ForThread(&th.ts)
-	inst.Lock()
+	inst, release := p.pool.AcquireSend(&th.ts)
 	ep := inst.Endpoint(c.group[dst])
 	if ep == nil {
-		inst.Unlock()
+		release()
 		p.rdvMu.Lock()
 		delete(p.rdvSends, id)
 		p.rdvMu.Unlock()
@@ -87,7 +86,7 @@ func (c *Comm) isendRendezvous(th *Thread, dst int, tag int32, buf []byte) (*Req
 			p.rank, c.group[dst], ErrPeerUnreachable)
 	}
 	ep.Send(pkt)
-	inst.Unlock()
+	release()
 	return req, nil
 }
 

@@ -389,6 +389,7 @@ func newProc(w *World, rank int, machine hw.Machine, opts Options) (*Proc, error
 	if err != nil {
 		return nil, err
 	}
+	p.pool.SetSPCs(p.spcs)
 	p.prog = progress.New(opts.Progress, p.pool, p.dispatch, p.spcs)
 	p.prog.BindProfSite(p.prof.NewSite("progress.serial", -1, 0))
 	if p.tracer != nil || p.tel != nil {
@@ -582,14 +583,22 @@ func (p *Proc) QueueSnapshot() flight.QueueSnapshot {
 	p.commMu.RUnlock()
 	sort.Slice(comms, func(i, j int) bool { return comms[i].id < comms[j].id })
 	for _, c := range comms {
-		c.matchMu.Lock()
+		// Self-locking engines (match.Sharded) publish approximate atomic
+		// depth counters; there is no engine-wide lock to freeze them under,
+		// and monitoring must not introduce one. Depths from either path are
+		// monitoring-only — never a synchronization predicate.
+		if !c.selfMatch {
+			c.matchMu.Lock()
+		}
 		qs.Comms = append(qs.Comms, flight.CommQueues{
 			Comm:        c.id,
 			Posted:      c.engine.PostedLen(),
 			Unexpected:  c.engine.UnexpectedLen(),
 			OOSBuffered: c.engine.OOSBuffered(),
 		})
-		c.matchMu.Unlock()
+		if !c.selfMatch {
+			c.matchMu.Unlock()
+		}
 	}
 	qs.Windows = p.rel.windowSnapshot()
 	for i := 0; i < p.pool.Len(); i++ {
@@ -750,7 +759,7 @@ func (p *Proc) deliver(clk *prof.ThreadClock, in *cri.Instance, pkt *transport.P
 	// threads spend fighting over the matching critical section. The wait
 	// is charged to the communicator's own counter set (and, profiled, to
 	// the matching lock's site and the thread's lock-wait phase).
-	if !c.matchMu.TryLockQuiet() {
+	if !c.selfMatch && !c.matchMu.TryLockQuiet() {
 		t0 := c.spcs.StartTimer()
 		c.matchMu.LockClocked(clk)
 		c.engine.ChargeWait(sinceTimer(c.spcs, t0))
@@ -760,7 +769,9 @@ func (p *Proc) deliver(clk *prof.ThreadClock, in *cri.Instance, pkt *transport.P
 	scratch.buf = c.engine.Deliver(pkt, scratch.buf[:0])
 	p.histMatch.ObserveSince(h0)
 	clk.End()
-	c.matchMu.Unlock()
+	if !c.selfMatch {
+		c.matchMu.Unlock()
+	}
 	for _, comp := range scratch.buf {
 		c.completeRecv(comp)
 	}

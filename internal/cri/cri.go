@@ -30,6 +30,12 @@ const (
 	// Dedicated permanently assigns an instance per thread via the
 	// thread-local cache (Algorithm 1, GET-INSTANCE-ID–DEDICATED).
 	Dedicated
+	// FreeList hands each sender an exclusively owned instance popped from
+	// an atomic Treiber-stack free-list, so the send-path instance lock is
+	// uncontended between senders (progress threads may still try-lock it).
+	// When every instance is claimed (threads > instances) acquisition falls
+	// back to round-robin, which keeps liveness at the cost of contention.
+	FreeList
 )
 
 func (a Assignment) String() string {
@@ -38,6 +44,8 @@ func (a Assignment) String() string {
 		return "round-robin"
 	case Dedicated:
 		return "dedicated"
+	case FreeList:
+		return "free-list"
 	default:
 		return fmt.Sprintf("assignment(%d)", int(a))
 	}
@@ -214,6 +222,20 @@ type Pool struct {
 	instances []*Instance
 	mode      Assignment
 	rr        atomic.Uint64
+	// spcs is the process counter set free-list acquisitions attribute to
+	// (nil when counters are disabled).
+	spcs *spc.Set
+
+	// The free-list is a Treiber stack over instance indices. freeHead packs
+	// {version:32 | index+1:32}: the low half is the top-of-stack index plus
+	// one (0 = empty), the high half a version bumped on every successful
+	// CAS, which defeats ABA (a stale head from before a pop/push pair can
+	// never CAS successfully, because the version moved even if the index
+	// half came back around). freeNext[i] holds the index+1 of the element
+	// below i, with the same +1/0 encoding. Indices fit easily in 32 bits:
+	// pools are at most a few dozen instances.
+	freeHead atomic.Uint64
+	freeNext []atomic.Int32
 }
 
 // ErrEmptyPool reports a pool construction with no instances — a
@@ -225,8 +247,21 @@ func NewPool(instances []*Instance, mode Assignment) (*Pool, error) {
 	if len(instances) == 0 {
 		return nil, ErrEmptyPool
 	}
-	return &Pool{instances: instances, mode: mode}, nil
+	p := &Pool{instances: instances, mode: mode}
+	if mode == FreeList {
+		p.freeNext = make([]atomic.Int32, len(instances))
+		// Seed the stack with every index, 0 on top, so low indices are
+		// preferred and pool occupancy reads naturally in snapshots.
+		for i := len(instances) - 1; i >= 0; i-- {
+			p.pushFree(i)
+		}
+	}
+	return p, nil
 }
+
+// SetSPCs attaches the process counter set that free-list acquisitions
+// attribute to. Call during setup.
+func (p *Pool) SetSPCs(s *spc.Set) { p.spcs = s }
 
 // Len returns the number of instances.
 func (p *Pool) Len() int { return len(p.instances) }
@@ -238,8 +273,77 @@ func (p *Pool) Mode() Assignment { return p.mode }
 func (p *Pool) Get(i int) *Instance { return p.instances[i] }
 
 // NextRoundRobin returns the next instance index first-come first-served.
+// The counter is an unsigned 64-bit atomic on purpose: taking the modulo of
+// a SIGNED counter after overflow would yield a negative index and panic,
+// so the index math stays in uint64 until after the modulo. (At the 2^64
+// wrap the sequence jumps by at most one position for non-power-of-two pool
+// sizes — a one-off fairness skip, never an out-of-range index.)
 func (p *Pool) NextRoundRobin() int {
 	return int((p.rr.Add(1) - 1) % uint64(len(p.instances)))
+}
+
+// SeedRR sets the round-robin counter, for tests exercising the overflow
+// boundaries (MaxInt32, MaxUint64). Not for concurrent use.
+func (p *Pool) SeedRR(v uint64) { p.rr.Store(v) }
+
+// pushFree returns index i to the free-list.
+func (p *Pool) pushFree(i int) {
+	for {
+		h := p.freeHead.Load()
+		p.freeNext[i].Store(int32(uint32(h)))
+		nh := (h>>32+1)<<32 | uint64(uint32(i+1))
+		if p.freeHead.CompareAndSwap(h, nh) {
+			return
+		}
+	}
+}
+
+// popFree removes and returns the top free index, or -1 when drained.
+func (p *Pool) popFree() int {
+	for {
+		h := p.freeHead.Load()
+		idx := int32(uint32(h))
+		if idx == 0 {
+			return -1
+		}
+		// Reading freeNext[idx-1] is safe even if idx was popped and
+		// re-pushed between our Load and CAS: the CAS below fails on the
+		// version half and we retry with a fresh head.
+		next := p.freeNext[idx-1].Load()
+		nh := (h>>32+1)<<32 | uint64(uint32(next))
+		if p.freeHead.CompareAndSwap(h, nh) {
+			return int(idx - 1)
+		}
+	}
+}
+
+// AcquireSend returns a locked instance for one send operation plus its
+// release function. Under FreeList the instance is popped from the atomic
+// free-list, so it is exclusively owned against other senders and the lock
+// acquisition is uncontended (only progress-engine try-locks can overlap);
+// when the list is drained it falls back to a contended round-robin pick.
+// Under RoundRobin/Dedicated it is ForThread + LockClocked, unchanged. The
+// release function unlocks and, for free-list acquisitions, returns the
+// instance to the list.
+func (p *Pool) AcquireSend(ts *ThreadState) (*Instance, func()) {
+	if p.mode == FreeList {
+		if i := p.popFree(); i >= 0 {
+			p.spcs.Inc(spc.FreeListAcquires)
+			in := p.instances[i]
+			in.LockClocked(ts.Clock())
+			return in, func() {
+				in.Unlock()
+				p.pushFree(i)
+			}
+		}
+		p.spcs.Inc(spc.FreeListEmpty)
+		in := p.instances[p.NextRoundRobin()]
+		in.LockClocked(ts.Clock())
+		return in, in.Unlock
+	}
+	in := p.ForThread(ts)
+	in.LockClocked(ts.Clock())
+	return in, in.Unlock
 }
 
 // ForThread returns the instance for ts under the pool's strategy. With

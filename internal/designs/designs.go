@@ -33,6 +33,12 @@ const (
 	// matching via a communicator per pair (the paper's "OMPI Thread +
 	// CRIs*", up to ~10x the base).
 	OMPIThreadCRIFull
+	// OMPIThreadCRILockFree replaces CRIs*'s communicator-per-pair trick
+	// with lock-free hot paths on ONE communicator: hash-sharded matching
+	// inside the communicator, free-list instance acquisition, and
+	// lock-free MPSC completion rings. Concurrent matching without asking
+	// the application to restructure — the step past Section III-F.
+	OMPIThreadCRILockFree
 	// IMPIProcess models Intel MPI process mode (process-per-core with a
 	// slightly different cost profile).
 	IMPIProcess
@@ -57,14 +63,15 @@ func All() []Design {
 }
 
 var names = [...]string{
-	OMPIProcess:       "OMPI Process",
-	OMPIThread:        "OMPI Thread",
-	OMPIThreadCRI:     "OMPI Thread + CRIs",
-	OMPIThreadCRIFull: "OMPI Thread + CRIs*",
-	IMPIProcess:       "IMPI Process",
-	IMPIThread:        "IMPI Thread",
-	MPICHProcess:      "MPICH Process",
-	MPICHThread:       "MPICH Thread",
+	OMPIProcess:           "OMPI Process",
+	OMPIThread:            "OMPI Thread",
+	OMPIThreadCRI:         "OMPI Thread + CRIs",
+	OMPIThreadCRIFull:     "OMPI Thread + CRIs*",
+	OMPIThreadCRILockFree: "OMPI Thread + CRIs* + LF",
+	IMPIProcess:           "IMPI Process",
+	IMPIThread:            "IMPI Thread",
+	MPICHProcess:          "MPICH Process",
+	MPICHThread:           "MPICH Thread",
 }
 
 func (d Design) String() string {
@@ -75,14 +82,15 @@ func (d Design) String() string {
 }
 
 var slugs = [...]string{
-	OMPIProcess:       "ompi-process",
-	OMPIThread:        "ompi-thread",
-	OMPIThreadCRI:     "ompi-thread-cri",
-	OMPIThreadCRIFull: "ompi-thread-cri-full",
-	IMPIProcess:       "impi-process",
-	IMPIThread:        "impi-thread",
-	MPICHProcess:      "mpich-process",
-	MPICHThread:       "mpich-thread",
+	OMPIProcess:           "ompi-process",
+	OMPIThread:            "ompi-thread",
+	OMPIThreadCRI:         "ompi-thread-cri",
+	OMPIThreadCRIFull:     "ompi-thread-cri-full",
+	OMPIThreadCRILockFree: "ompi-thread-cri-lf",
+	IMPIProcess:           "impi-process",
+	IMPIThread:            "impi-thread",
+	MPICHProcess:          "mpich-process",
+	MPICHThread:           "mpich-thread",
 }
 
 // Slug returns the design's machine-readable identifier, stable across
@@ -133,6 +141,12 @@ func (d Design) SimConfig(base simnet.Config, instances int) simnet.Config {
 		cfg.Assignment = cri.Dedicated
 		cfg.Progress = progress.Concurrent
 		cfg.CommPerPair = true
+	case OMPIThreadCRILockFree:
+		cfg.NumInstances = instances
+		cfg.Assignment = cri.FreeList
+		cfg.Progress = progress.Concurrent
+		cfg.MatchShards = 32
+		cfg.LockFreeCQ = true
 	case IMPIThread:
 		// Global-lock runtime: one big lock across send/progress/match.
 		cfg.NumInstances = 1
@@ -154,6 +168,10 @@ func (d Design) CoreOptions(instances int) core.Options {
 		return core.CRIs(instances, cri.Dedicated)
 	case OMPIThreadCRIFull:
 		return core.CRIsConcurrent(instances, cri.Dedicated)
+	case OMPIThreadCRILockFree:
+		o := core.CRIsConcurrent(instances, cri.FreeList)
+		o.MatchShards = 32
+		return o
 	case IMPIThread:
 		o := core.Stock()
 		o.BigLock = true
@@ -164,5 +182,8 @@ func (d Design) CoreOptions(instances int) core.Options {
 }
 
 // UsesCommPerPair reports whether the design's harness should create a
-// private communicator per pair.
-func (d Design) UsesCommPerPair() bool { return d == OMPIThreadCRIFull }
+// private communicator per pair. The lock-free design deliberately does
+// not: its sharded matching keeps all pairs on the world communicator.
+func (d Design) UsesCommPerPair() bool {
+	return d == OMPIThreadCRIFull
+}

@@ -35,8 +35,8 @@ func TestFig3aShape(t *testing.T) {
 
 func TestFig5IncludesAllDesigns(t *testing.T) {
 	tab := Fig5(tinyScale())
-	if len(tab.Rows) != 8 {
-		t.Fatalf("Fig5 rows = %d, want 8 designs", len(tab.Rows))
+	if len(tab.Rows) != 9 {
+		t.Fatalf("Fig5 rows = %d, want 9 designs", len(tab.Rows))
 	}
 	labels := map[string]bool{}
 	for _, r := range tab.Rows {

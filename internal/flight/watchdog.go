@@ -7,7 +7,11 @@ import (
 	"time"
 )
 
-// CommQueues is one communicator's live matching-queue depths.
+// CommQueues is one communicator's live matching-queue depths. Depths are
+// approximate: self-locking engines (and ring-backed completion queues)
+// publish atomic counters read without stopping the world, so a value can be
+// off by a few elements against in-flight operations. Monitoring-only —
+// never use a depth as a synchronization predicate.
 type CommQueues struct {
 	Comm        uint32 `json:"comm"`
 	Posted      int    `json:"posted"`
@@ -88,6 +92,13 @@ type DetectorConfig struct {
 	// communicator's unexpected depth grows strictly monotonically across
 	// this many consecutive observations (default 8).
 	GrowthSamples int
+	// GrowthMinDelta is the minimum total depth increase over a monotone
+	// streak before the growth detection may fire (default: GrowthSamples).
+	// Queue depths are sampled from approximate atomic counters (see
+	// ringbuf.MPSC.Len and match.Sharded) that can read transiently high by
+	// a few elements against in-flight operations; a streak of +1 jitter
+	// must not be mistaken for a real backlog.
+	GrowthMinDelta int
 }
 
 func (c DetectorConfig) withDefaults() DetectorConfig {
@@ -102,6 +113,9 @@ func (c DetectorConfig) withDefaults() DetectorConfig {
 	}
 	if c.GrowthSamples <= 0 {
 		c.GrowthSamples = 8
+	}
+	if c.GrowthMinDelta <= 0 {
+		c.GrowthMinDelta = c.GrowthSamples
 	}
 	return c
 }
@@ -178,7 +192,7 @@ func (d *Detector) Observe(s Sample) (Verdict, bool) {
 			tr.streak = 0
 		}
 		tr.last = cq.Unexpected
-		if tr.streak >= d.cfg.GrowthSamples {
+		if tr.streak >= d.cfg.GrowthSamples && cq.Unexpected-tr.first >= d.cfg.GrowthMinDelta {
 			streak := tr.streak
 			tr.streak = 0
 			return Verdict{

@@ -140,6 +140,35 @@ func TestDetectorUnexpectedGrowth(t *testing.T) {
 	t.Fatal("growth with counters disabled never fired")
 }
 
+// TestDetectorGrowthMinDelta: approximate depth counters (sharded matching,
+// ring CQs) can drift upward by single elements against in-flight operations;
+// a raised GrowthMinDelta keeps slow monotone creep from firing until the
+// total increase is unambiguous.
+func TestDetectorGrowthMinDelta(t *testing.T) {
+	d := NewDetector(DetectorConfig{GrowthSamples: 3, GrowthMinDelta: 50})
+	s := sampleAt(0)
+	s.Comms = []CommQueues{{Comm: 1, Unexpected: 0}}
+	d.Observe(s)
+	// +1 per sample: monotone, but far below the delta floor.
+	for i := 1; i <= 10; i++ {
+		s = sampleAt(int64(i) * ms)
+		s.Comms = []CommQueues{{Comm: 1, Unexpected: i}}
+		if v, ok := d.Observe(s); ok {
+			t.Fatalf("sample %d fired on +1 creep below GrowthMinDelta: %+v", i, v)
+		}
+	}
+	// A real backlog crosses the floor and fires.
+	s = sampleAt(11 * ms)
+	s.Comms = []CommQueues{{Comm: 1, Unexpected: 120}}
+	v, ok := d.Observe(s)
+	if !ok {
+		t.Fatal("real growth past GrowthMinDelta never fired")
+	}
+	if v.Reason != "unexpected-queue-growth" {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
 func TestDetectorDeterminism(t *testing.T) {
 	run := func() []Verdict {
 		d := NewDetector(DetectorConfig{StallAfter: 5 * time.Millisecond, GrowthSamples: 3})

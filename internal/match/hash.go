@@ -136,6 +136,10 @@ func (e *HashEngine) Comm() uint32 { return e.comm }
 // SetAllowOvertaking implements Matcher.
 func (e *HashEngine) SetAllowOvertaking(on bool) { e.allowOvertaking = on }
 
+// SeedNextSeq sets the expected inbound sequence for src, for wraparound
+// regression tests. Requires the caller's external synchronization.
+func (e *HashEngine) SeedNextSeq(src int32, v uint32) { e.peer(src).nextSeq = v }
+
 // BindFlight implements Matcher.
 func (e *HashEngine) BindFlight(r *flight.Ring) { e.flight = r }
 

@@ -119,6 +119,9 @@ type pendingMsg struct {
 	pkt          *transport.Packet
 	prev, next   *pendingMsg
 	bprev, bnext *pendingMsg
+	// stamp is the global arrival order (Sharded only): wildcard receives
+	// claim the lowest stamp across shards.
+	stamp uint64
 }
 
 // peerState tracks the inbound sequence stream from one sender.
@@ -180,6 +183,11 @@ func (e *Engine) Comm() uint32 { return e.comm }
 
 // SetAllowOvertaking implements Matcher.
 func (e *Engine) SetAllowOvertaking(on bool) { e.AllowOvertaking = on }
+
+// SeedNextSeq sets the expected inbound sequence for src, for wraparound
+// regression tests. Requires the caller's external synchronization, like
+// every other method.
+func (e *Engine) SeedNextSeq(src int32, v uint32) { e.peer(src).nextSeq = v }
 
 // BindFlight implements Matcher.
 func (e *Engine) BindFlight(r *flight.Ring) { e.flight = r }

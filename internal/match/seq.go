@@ -26,7 +26,9 @@ func NewSeqTracker(nRanks int) *SeqTracker {
 	return t
 }
 
-// Next returns the next sequence number for messages to dst.
+// Next returns the next sequence number for messages to dst. Numbers are
+// raw uint32s that wrap at 2^32; consumers compare them with serial
+// (modular) arithmetic — int32(a-b) — never plain </>.
 func (t *SeqTracker) Next(dst int32) uint32 {
 	if dst >= 0 && int(dst) < len(t.dense) {
 		return t.dense[dst].Add(1) - 1
@@ -34,11 +36,31 @@ func (t *SeqTracker) Next(dst int32) uint32 {
 	return t.sparse.inc(dst)
 }
 
+// Seed sets the next sequence number for dst, for wraparound regression
+// tests seeding counters near 2^32. Not for concurrent use with Next on
+// the same dst.
+func (t *SeqTracker) Seed(dst int32, v uint32) {
+	if dst >= 0 && int(dst) < len(t.dense) {
+		t.dense[dst].Store(v)
+		return
+	}
+	t.sparse.set(dst, v)
+}
+
 // atomicMap is a mutex-protected fallback for out-of-table ranks (rare:
 // only dynamic communicators hit it).
 type atomicMap struct {
 	mu sync.Mutex
 	m  map[int32]uint32
+}
+
+func (a *atomicMap) set(k int32, v uint32) {
+	a.mu.Lock()
+	if a.m == nil {
+		a.m = make(map[int32]uint32)
+	}
+	a.m[k] = v
+	a.mu.Unlock()
 }
 
 func (a *atomicMap) inc(k int32) uint32 {

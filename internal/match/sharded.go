@@ -1,0 +1,613 @@
+package match
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/flight"
+	"repro/internal/hw"
+	"repro/internal/prof"
+	"repro/internal/spc"
+	"repro/internal/transport"
+)
+
+// Sharded is a concurrently accessible matching engine: posted receives and
+// unexpected messages are partitioned into hash shards by (source, tag), so
+// exact-coordinate traffic on different shards matches in parallel — taking
+// the paper's "concurrent matching" (communicator-per-pair, Section III-F)
+// one step further, inside a single communicator. Unlike Engine and
+// HashEngine it synchronizes INTERNALLY (SelfLocking reports true); callers
+// must NOT wrap it in a communicator-wide matching lock, or the sharding
+// buys nothing.
+//
+// Correctness rests on three ordered lock classes, always acquired in this
+// order (each op takes at most one pass through them, so the hierarchy is
+// acyclic and deadlock-free):
+//
+//  1. stripe (per-source): serializes sequence validation and
+//     out-of-sequence buffering for one sender, and is HELD ACROSS the
+//     shard insertion so two in-order messages from the same sender can
+//     never race into their buckets in the wrong order.
+//  2. shard (per source/tag hash): guards that shard's posted and
+//     unexpected buckets. Wildcard operations lock all shards in ascending
+//     index order.
+//  3. wild: guards the wildcard posted lists (ANY_SOURCE / ANY_TAG), taken
+//     last. A wildcard receive is inserted under the wild lock while all
+//     shard locks are still held, so a concurrent Deliver can never enqueue
+//     a matching message as unexpected without either seeing the receive or
+//     forcing the receive's scan to see the message.
+//
+// MPI matching order is preserved: posted receives carry a global atomic
+// ticket (lowest ticket wins among the exact-bucket head and the wildcard
+// heads), and unexpected messages carry a global atomic arrival stamp
+// (wildcard receives and probes claim the lowest stamp across shards).
+//
+// PostedLen/UnexpectedLen/OOSBuffered are approximate by design: they read
+// atomic counters without stopping the world, the same monitoring-only
+// contract as ringbuf.MPSC.Len.
+type Sharded struct {
+	comm  uint32
+	costs hw.CostModel
+	meter Meter
+	spcs  *spc.Set
+
+	// allowOvertaking is set during setup, before the engine is shared.
+	allowOvertaking bool
+
+	shards    []matchShard
+	shardMask uint64
+	stripes   []seqStripe
+
+	wildMu    prof.Mutex
+	srcWild   map[int32]*bucket
+	tagWild   map[int32]*bucket
+	allWild   bucket
+	wildCount atomic.Int64
+
+	nextTicket atomic.Uint64
+	nextStamp  atomic.Uint64
+
+	postedCount atomic.Int64
+	unexpCount  atomic.Int64
+	oosCount    atomic.Int64
+
+	flight *flight.Ring
+}
+
+// matchShard is one hash partition of the matching state.
+type matchShard struct {
+	mu prof.Mutex
+	// exact posted receives and unexpected messages keyed by (src, tag).
+	exact map[key64]*bucket
+	unexp map[key64]*umsgList
+	// Arrival-stamp-ordered FIFO of this shard's unexpected messages,
+	// walked by wildcard receives and probes.
+	unexpHead, unexpTail *pendingMsg
+}
+
+// seqStripe serializes per-sender sequence state. Sources hash onto
+// stripes, so distinct senders usually validate concurrently.
+type seqStripe struct {
+	mu    prof.Mutex
+	peers map[int32]*peerState
+}
+
+// NewSharded creates a sharded matching engine for communicator comm with
+// nShards hash partitions (rounded up to a power of two, minimum 2).
+// nRanks is accepted for signature parity with the other engines; peer
+// state is allocated lazily per stripe. spcs may be nil.
+func NewSharded(comm uint32, nRanks, nShards int, costs hw.CostModel, meter Meter, spcs *spc.Set) *Sharded {
+	if meter == nil {
+		meter = NopMeter{}
+	}
+	n := 2
+	for n < nShards {
+		n <<= 1
+	}
+	e := &Sharded{
+		comm:    comm,
+		costs:   costs,
+		meter:   meter,
+		spcs:    spcs,
+		shards:  make([]matchShard, n),
+		stripes: make([]seqStripe, n),
+		srcWild: make(map[int32]*bucket),
+		tagWild: make(map[int32]*bucket),
+	}
+	e.shardMask = uint64(n - 1)
+	for i := range e.shards {
+		e.shards[i].exact = make(map[key64]*bucket)
+		e.shards[i].unexp = make(map[key64]*umsgList)
+	}
+	for i := range e.stripes {
+		e.stripes[i].peers = make(map[int32]*peerState)
+	}
+	return e
+}
+
+var _ Matcher = (*Sharded)(nil)
+
+// selfLocking marks the engine as internally synchronized (see SelfLocking).
+func (e *Sharded) selfLocking() {}
+
+// SelfLocking reports whether m synchronizes internally, in which case the
+// caller must not (and must not need to) wrap it in an external matching
+// lock. Engine and HashEngine return false; Sharded returns true.
+func SelfLocking(m Matcher) bool {
+	type sl interface{ selfLocking() }
+	_, ok := m.(sl)
+	return ok
+}
+
+// Comm returns the communicator id.
+func (e *Sharded) Comm() uint32 { return e.comm }
+
+// NumShards returns the number of hash partitions.
+func (e *Sharded) NumShards() int { return len(e.shards) }
+
+// SetAllowOvertaking implements Matcher. Call during setup only.
+func (e *Sharded) SetAllowOvertaking(on bool) { e.allowOvertaking = on }
+
+// BindFlight implements Matcher. Call during setup only.
+func (e *Sharded) BindFlight(r *flight.Ring) { e.flight = r }
+
+// BindProfSites attaches contention-profiler sites: one per shard lock (a
+// short slice binds only the covered prefix), one shared by all stripe
+// locks, one for the wildcard lock. Sites are all-atomic, so sharing one
+// across stripes is safe. Call during setup only.
+func (e *Sharded) BindProfSites(shards []*prof.Site, stripe, wild *prof.Site) {
+	for i := range e.shards {
+		if i < len(shards) {
+			e.shards[i].mu.Bind(shards[i])
+		}
+	}
+	for i := range e.stripes {
+		e.stripes[i].mu.Bind(stripe)
+	}
+	e.wildMu.Bind(wild)
+}
+
+// hash64 finalizes a (src, tag) key into a well-mixed shard index
+// (splitmix64 finalizer).
+func hash64(k key64) uint64 {
+	x := uint64(k)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ShardOf returns the shard index for exact coordinates (src, tag) —
+// exported so tests and the simulator mirror can partition the same way.
+func (e *Sharded) ShardOf(src, tag int32) int {
+	return int(hash64(mkKey(src, tag)) & e.shardMask)
+}
+
+func (e *Sharded) shardFor(src, tag int32) *matchShard {
+	return &e.shards[e.ShardOf(src, tag)]
+}
+
+func (e *Sharded) stripeFor(src int32) *seqStripe {
+	return &e.stripes[hash64(key64(uint32(src)))&e.shardMask]
+}
+
+func (s *seqStripe) peer(rank int32) *peerState {
+	p := s.peers[rank]
+	if p == nil {
+		p = &peerState{}
+		s.peers[rank] = p
+	}
+	return p
+}
+
+// PostedLen implements Matcher. Approximate: see the type comment.
+func (e *Sharded) PostedLen() int { return int(e.postedCount.Load()) }
+
+// UnexpectedLen implements Matcher. Approximate: see the type comment.
+func (e *Sharded) UnexpectedLen() int { return int(e.unexpCount.Load()) }
+
+// OOSBuffered implements Matcher. Approximate: see the type comment.
+func (e *Sharded) OOSBuffered() int { return int(e.oosCount.Load()) }
+
+// ChargeWait implements Matcher.
+func (e *Sharded) ChargeWait(d time.Duration) {
+	e.spcs.Add(spc.MatchTimeNanos, int64(d))
+}
+
+func (e *Sharded) charge(d time.Duration) {
+	e.meter.Charge(d)
+	e.spcs.Add(spc.MatchTimeNanos, int64(d))
+}
+
+func (e *Sharded) lockAllShards() {
+	for i := range e.shards {
+		e.shards[i].mu.Lock()
+	}
+}
+
+func (e *Sharded) unlockAllShards() {
+	for i := range e.shards {
+		e.shards[i].mu.Unlock()
+	}
+}
+
+// PostRecv implements Matcher. Exact receives touch only their shard;
+// wildcard receives lock every shard (ascending) to scan arrivals in stamp
+// order and, on a miss, publish themselves under the wild lock before any
+// shard is released.
+func (e *Sharded) PostRecv(r *Recv) (Completion, bool) {
+	if r.queued {
+		panic("match: Recv posted twice")
+	}
+	e.spcs.Inc(spc.MatchAttempts)
+	if r.Source != AnySource && r.Tag != AnyTag {
+		sh := e.shardFor(r.Source, r.Tag)
+		sh.mu.Lock()
+		e.charge(e.costs.MatchBase)
+		if l := sh.unexp[mkKey(r.Source, r.Tag)]; l != nil && l.head != nil {
+			m := l.head
+			e.removeUnexpectedLocked(sh, m)
+			un := e.unexpCount.Add(-1)
+			sh.mu.Unlock()
+			e.flight.Record(flight.KindUnexpDeq, e.comm, m.env.Src, int32(un))
+			e.fill(r, m.env, m.pkt)
+			e.spcs.Inc(spc.MessagesReceived)
+			return Completion{Recv: r, Packet: m.pkt}, true
+		}
+		r.ticket = e.nextTicket.Add(1)
+		r.queued = true
+		k := mkKey(r.Source, r.Tag)
+		b := sh.exact[k]
+		if b == nil {
+			b = &bucket{}
+			sh.exact[k] = b
+		}
+		b.push(r)
+		posted := e.postedCount.Add(1)
+		sh.mu.Unlock()
+		e.spcs.Max(spc.PostedQueuePeak, posted)
+		e.flight.Record(flight.KindRecvPost, e.comm, r.Source, int32(posted))
+		return Completion{}, false
+	}
+
+	// Wildcard: scan all shards for the oldest matching arrival.
+	e.lockAllShards()
+	best, bestShard, walked := e.oldestUnexpected(r)
+	e.spcs.Add(spc.MatchWalkElements, int64(walked))
+	e.charge(e.costs.MatchBase + time.Duration(walked)*e.costs.MatchPerElement)
+	if best != nil {
+		e.removeUnexpectedLocked(bestShard, best)
+		un := e.unexpCount.Add(-1)
+		e.unlockAllShards()
+		e.flight.Record(flight.KindUnexpDeq, e.comm, best.env.Src, int32(un))
+		e.fill(r, best.env, best.pkt)
+		e.spcs.Inc(spc.MessagesReceived)
+		return Completion{Recv: r, Packet: best.pkt}, true
+	}
+	// Publish the wildcard receive before releasing the shards, so no
+	// in-flight Deliver can miss it.
+	e.wildMu.Lock()
+	r.ticket = e.nextTicket.Add(1)
+	r.queued = true
+	e.wildBucketFor(r).push(r)
+	e.wildCount.Add(1)
+	posted := e.postedCount.Add(1)
+	e.wildMu.Unlock()
+	e.unlockAllShards()
+	e.spcs.Max(spc.PostedQueuePeak, posted)
+	e.flight.Record(flight.KindRecvPost, e.comm, r.Source, int32(posted))
+	return Completion{}, false
+}
+
+// oldestUnexpected scans every shard's arrival FIFO (all shard locks held)
+// for the stamp-oldest message matching r, returning it, its shard, and the
+// total elements walked.
+func (e *Sharded) oldestUnexpected(r *Recv) (*pendingMsg, *matchShard, int) {
+	var best *pendingMsg
+	var bestShard *matchShard
+	walked := 0
+	for i := range e.shards {
+		sh := &e.shards[i]
+		for m := sh.unexpHead; m != nil; m = m.next {
+			walked++
+			if envMatches(r, m.env) {
+				if best == nil || m.stamp < best.stamp {
+					best = m
+					bestShard = sh
+				}
+				break // FIFO per shard: the first match is this shard's oldest
+			}
+		}
+	}
+	return best, bestShard, walked
+}
+
+func (e *Sharded) wildBucketFor(r *Recv) *bucket {
+	switch {
+	case r.Source != AnySource: // tag wildcard
+		b := e.srcWild[r.Source]
+		if b == nil {
+			b = &bucket{}
+			e.srcWild[r.Source] = b
+		}
+		return b
+	case r.Tag != AnyTag: // source wildcard
+		b := e.tagWild[r.Tag]
+		if b == nil {
+			b = &bucket{}
+			e.tagWild[r.Tag] = b
+		}
+		return b
+	default:
+		return &e.allWild
+	}
+}
+
+// CancelRecv implements Matcher.
+func (e *Sharded) CancelRecv(r *Recv) bool {
+	if r.Source != AnySource && r.Tag != AnyTag {
+		sh := e.shardFor(r.Source, r.Tag)
+		sh.mu.Lock()
+		if !r.queued {
+			sh.mu.Unlock()
+			return false
+		}
+		sh.exact[mkKey(r.Source, r.Tag)].remove(r)
+		r.queued = false
+		e.postedCount.Add(-1)
+		sh.mu.Unlock()
+		return true
+	}
+	e.wildMu.Lock()
+	if !r.queued {
+		e.wildMu.Unlock()
+		return false
+	}
+	e.wildBucketFor(r).remove(r)
+	r.queued = false
+	e.wildCount.Add(-1)
+	e.postedCount.Add(-1)
+	e.wildMu.Unlock()
+	return true
+}
+
+// Deliver implements Matcher: sequence validation under the sender's
+// stripe lock (serial/modular comparison, held across matching so same-
+// sender arrivals can never reorder), then shard-local matching.
+func (e *Sharded) Deliver(pkt *transport.Packet, out []Completion) []Completion {
+	env := pkt.Envelope()
+	if env.Comm != e.comm {
+		panic(fmt.Sprintf("match: packet for comm %d delivered to sharded engine %d", env.Comm, e.comm))
+	}
+	if e.allowOvertaking {
+		return e.matchIn(env, pkt, out)
+	}
+	st := e.stripeFor(env.Src)
+	st.mu.Lock()
+	p := st.peer(env.Src)
+	if env.Seq != p.nextSeq {
+		if int32(env.Seq-p.nextSeq) < 0 {
+			// Serial arithmetic: stale even across the uint32 wrap.
+			e.spcs.Inc(spc.DuplicateSequences)
+			st.mu.Unlock()
+			return out
+		}
+		e.spcs.Inc(spc.OutOfSequence)
+		e.charge(e.costs.OOSBuffer)
+		if p.oos == nil {
+			p.oos = make(map[uint32]*transport.Packet)
+		}
+		if _, dup := p.oos[env.Seq]; dup {
+			e.spcs.Inc(spc.DuplicateSequences)
+			st.mu.Unlock()
+			return out
+		}
+		p.oos[env.Seq] = pkt
+		e.oosCount.Add(1)
+		st.mu.Unlock()
+		return out
+	}
+	p.nextSeq++
+	out = e.matchIn(env, pkt, out)
+	for {
+		next, ok := p.oos[p.nextSeq]
+		if !ok {
+			break
+		}
+		delete(p.oos, p.nextSeq)
+		e.oosCount.Add(-1)
+		nenv := next.Envelope()
+		p.nextSeq++
+		out = e.matchIn(nenv, next, out)
+	}
+	st.mu.Unlock()
+	return out
+}
+
+// matchIn matches one sequence-valid (or overtaking) message: shard lock,
+// then — only when a wildcard receive might exist — the wild lock. The
+// wildCount fast path is sound because wildcard receives are inserted while
+// holding every shard lock, including ours.
+func (e *Sharded) matchIn(env transport.Envelope, pkt *transport.Packet, out []Completion) []Completion {
+	e.spcs.Inc(spc.MatchAttempts)
+	e.charge(e.costs.MatchBase)
+	sh := e.shardFor(env.Src, env.Tag)
+	sh.mu.Lock()
+	var best *Recv
+	var bestBucket *bucket
+	if b := sh.exact[mkKey(env.Src, env.Tag)]; b != nil && b.head != nil {
+		best = b.head
+		bestBucket = b
+	}
+	wildLocked := false
+	bestWild := false
+	if e.wildCount.Load() > 0 {
+		e.wildMu.Lock()
+		wildLocked = true
+		consider := func(b *bucket) {
+			if b == nil || b.head == nil {
+				return
+			}
+			if best == nil || b.head.ticket < best.ticket {
+				best = b.head
+				bestBucket = b
+				bestWild = true
+			}
+		}
+		consider(e.srcWild[env.Src])
+		consider(e.tagWild[env.Tag])
+		consider(&e.allWild)
+	}
+	if best != nil {
+		bestBucket.remove(best)
+		best.queued = false
+		if bestWild {
+			e.wildCount.Add(-1)
+		}
+		if wildLocked {
+			e.wildMu.Unlock()
+		}
+		posted := e.postedCount.Add(-1)
+		sh.mu.Unlock()
+		e.flight.Record(flight.KindMatchHit, e.comm, env.Src, int32(posted))
+		e.fill(best, env, pkt)
+		e.spcs.Inc(spc.ExpectedMessages)
+		e.spcs.Inc(spc.MessagesReceived)
+		return append(out, Completion{Recv: best, Packet: pkt})
+	}
+	if wildLocked {
+		e.wildMu.Unlock()
+	}
+	m := &pendingMsg{env: env, pkt: pkt, stamp: e.nextStamp.Add(1)}
+	e.appendUnexpectedLocked(sh, m)
+	un := e.unexpCount.Add(1)
+	sh.mu.Unlock()
+	e.flight.Record(flight.KindMatchMiss, e.comm, env.Src, env.Tag)
+	e.flight.Record(flight.KindUnexpEnq, e.comm, env.Src, int32(un))
+	e.spcs.Inc(spc.UnexpectedMessages)
+	e.spcs.Max(spc.UnexpectedQueuePeak, un)
+	return out
+}
+
+// Probe implements Matcher.
+func (e *Sharded) Probe(source, tag int32) (transport.Envelope, bool) {
+	if source != AnySource && tag != AnyTag {
+		sh := e.shardFor(source, tag)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if l := sh.unexp[mkKey(source, tag)]; l != nil && l.head != nil {
+			return l.head.env, true
+		}
+		return transport.Envelope{}, false
+	}
+	probe := &Recv{Source: source, Tag: tag}
+	e.lockAllShards()
+	defer e.unlockAllShards()
+	best, _, _ := e.oldestUnexpected(probe)
+	if best != nil {
+		return best.env, true
+	}
+	return transport.Envelope{}, false
+}
+
+// MProbe implements Matcher.
+func (e *Sharded) MProbe(source, tag int32) (*transport.Packet, bool) {
+	if source != AnySource && tag != AnyTag {
+		sh := e.shardFor(source, tag)
+		sh.mu.Lock()
+		if l := sh.unexp[mkKey(source, tag)]; l != nil && l.head != nil {
+			m := l.head
+			e.removeUnexpectedLocked(sh, m)
+			un := e.unexpCount.Add(-1)
+			sh.mu.Unlock()
+			e.flight.Record(flight.KindUnexpDeq, e.comm, m.env.Src, int32(un))
+			return m.pkt, true
+		}
+		sh.mu.Unlock()
+		return nil, false
+	}
+	probe := &Recv{Source: source, Tag: tag}
+	e.lockAllShards()
+	best, bestShard, _ := e.oldestUnexpected(probe)
+	if best == nil {
+		e.unlockAllShards()
+		return nil, false
+	}
+	e.removeUnexpectedLocked(bestShard, best)
+	un := e.unexpCount.Add(-1)
+	e.unlockAllShards()
+	e.flight.Record(flight.KindUnexpDeq, e.comm, best.env.Src, int32(un))
+	return best.pkt, true
+}
+
+// SeedNextSeq sets the expected inbound sequence for src, for wraparound
+// regression tests. Safe concurrently (takes the stripe lock).
+func (e *Sharded) SeedNextSeq(src int32, v uint32) {
+	st := e.stripeFor(src)
+	st.mu.Lock()
+	st.peer(src).nextSeq = v
+	st.mu.Unlock()
+}
+
+func (e *Sharded) fill(r *Recv, env transport.Envelope, pkt *transport.Packet) {
+	r.MatchedEnv = env
+	n := copy(r.Buf, pkt.Payload)
+	r.N = n
+	r.Truncated = n < len(pkt.Payload)
+}
+
+// appendUnexpectedLocked links m into sh's exact bucket and arrival FIFO.
+// Caller holds sh.mu.
+func (e *Sharded) appendUnexpectedLocked(sh *matchShard, m *pendingMsg) {
+	m.prev = sh.unexpTail
+	if sh.unexpTail != nil {
+		sh.unexpTail.next = m
+	} else {
+		sh.unexpHead = m
+	}
+	sh.unexpTail = m
+	k := mkKey(m.env.Src, m.env.Tag)
+	l := sh.unexp[k]
+	if l == nil {
+		l = &umsgList{}
+		sh.unexp[k] = l
+	}
+	m.bprev = l.tail
+	if l.tail != nil {
+		l.tail.bnext = m
+	} else {
+		l.head = m
+	}
+	l.tail = m
+	l.n++
+}
+
+// removeUnexpectedLocked unlinks m from sh's lists. Caller holds sh.mu.
+func (e *Sharded) removeUnexpectedLocked(sh *matchShard, m *pendingMsg) {
+	if m.prev != nil {
+		m.prev.next = m.next
+	} else {
+		sh.unexpHead = m.next
+	}
+	if m.next != nil {
+		m.next.prev = m.prev
+	} else {
+		sh.unexpTail = m.prev
+	}
+	l := sh.unexp[mkKey(m.env.Src, m.env.Tag)]
+	if m.bprev != nil {
+		m.bprev.bnext = m.bnext
+	} else {
+		l.head = m.bnext
+	}
+	if m.bnext != nil {
+		m.bnext.bprev = m.bprev
+	} else {
+		l.tail = m.bprev
+	}
+	m.prev, m.next, m.bprev, m.bnext = nil, nil, nil, nil
+	l.n--
+}

@@ -193,14 +193,13 @@ func (w *Win) issue(th *core.Thread, target int, f func(ctx transport.Context, r
 	}
 	p := w.comm.Proc()
 	tok := &opToken{win: w, target: target}
-	inst := p.Pool().ForThread(th.State())
 	clk := th.State().Clock()
 	clk.Begin(prof.PhaseSend)
-	inst.LockClocked(clk)
+	inst, release := p.Pool().AcquireSend(th.State())
 	clk.Begin(prof.PhaseWire)
 	err := f(inst.Context(), w.regions[target], tok)
 	clk.End()
-	inst.Unlock()
+	release()
 	clk.End()
 	if err == nil {
 		w.pending[target].Add(1)

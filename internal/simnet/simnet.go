@@ -66,6 +66,19 @@ type Config struct {
 	// HashMatching swaps the OB1-style list matcher for the hash-based
 	// engine (O(1) exact matching).
 	HashMatching bool
+	// MatchShards, when positive, mirrors the runtime's sharded matching
+	// engine (match.Sharded): matching state is hash-partitioned by
+	// (source, tag) and each partition gets its own virtual-time lock, so
+	// exact-coordinate traffic on distinct shards stops contending. Takes
+	// precedence over HashMatching. Deterministic: the partition function is
+	// the engine's own ShardOf.
+	MatchShards int
+	// LockFreeCQ mirrors the lock-free MPSC completion ring (ringbuf.MPSC):
+	// senders enqueue completions with an atomic slot claim instead of the
+	// instance lock, so producers stop contending with each other and with
+	// the progress engine. Extraction keeps the instance lock — the ring is
+	// single-consumer by contract.
+	LockFreeCQ bool
 	// ProgressThread dedicates one runtime thread per process to all
 	// completion extraction (the software-offload design of Vaidyanathan
 	// et al. [20]); application threads only wait.
@@ -285,14 +298,18 @@ func (m *threadMeter) Charge(d time.Duration) {
 
 // simComm is one communicator's matching state in the model.
 type simComm struct {
-	id        uint32
-	lock      *sim.Lock
-	meter     threadMeter
-	engine    match.Matcher
-	seq       *match.SeqTracker
-	anyTag    bool
-	scratch   []match.Completion
-	postedOut int64 // diagnostic: total completions
+	id    uint32
+	lock  *sim.Lock
+	meter threadMeter
+	// sharded is set (aliasing engine) under Config.MatchShards; matching
+	// then synchronizes on shardLocks — one virtual lock per partition,
+	// wildcards take all in ascending order — instead of lock.
+	sharded    *match.Sharded
+	shardLocks []*sim.Lock
+	engine     match.Matcher
+	seq        *match.SeqTracker
+	anyTag     bool
+	postedOut  int64 // diagnostic: total completions
 }
 
 // simProc is one simulated MPI process.
@@ -307,10 +324,17 @@ type simProc struct {
 	env       *sim.Env
 	instances []*simInstance
 	rr        uint64
-	nThreads  int
-	threads   []*simThread
-	comms     map[uint32]*simComm
-	spcs      *spc.Set
+	// freeList mirrors cri.Pool's free-list assignment deterministically:
+	// senders pop an exclusively owned instance index and push it back
+	// after injection; empty falls back to round-robin. The sim rotates
+	// FIFO — under real concurrent churn the stack order is effectively
+	// arbitrary, and the sim's serialized execution would otherwise pin
+	// every send to one index, concentrating remote traffic artificially.
+	freeList []int
+	nThreads int
+	threads  []*simThread
+	comms    map[uint32]*simComm
+	spcs     *spc.Set
 	// frank is the proc's world rank for flight/introspection labelling.
 	frank int
 	// flight mirrors the real runtime's flight recorder on virtual time;
@@ -349,7 +373,31 @@ func newSimProc(env *sim.Env, cfg Config, wire *sim.Wire, instances int) *simPro
 			lock:  cfg.newLock(env, "instance"),
 		})
 	}
+	if cfg.Assignment == cri.FreeList {
+		p.freeList = make([]int, instances)
+		for i := range p.freeList {
+			p.freeList[i] = i
+		}
+	}
 	return p
+}
+
+// acquireSendInstance mirrors cri.Pool.AcquireSend: under FreeList, pop an
+// exclusive instance (push back on release) and fall back to round-robin
+// when drained, with the same SPC accounting; other assignments delegate to
+// instanceFor with a no-op release.
+func (p *simProc) acquireSendInstance(ts *cri.ThreadState) (*simInstance, func()) {
+	if p.cfg.Assignment == cri.FreeList {
+		if len(p.freeList) > 0 {
+			i := p.freeList[0]
+			p.freeList = p.freeList[1:]
+			p.spcs.Inc(spc.FreeListAcquires)
+			return p.instances[i], func() { p.freeList = append(p.freeList, i) }
+		}
+		p.spcs.Inc(spc.FreeListEmpty)
+		return p.instances[p.nextRR()], func() {}
+	}
+	return p.instanceFor(ts), func() {}
 }
 
 // addComm registers a communicator with nRanks members on this proc.
@@ -360,7 +408,15 @@ func (p *simProc) addComm(id uint32, nRanks int) *simComm {
 		seq:    match.NewSeqTracker(nRanks),
 		anyTag: p.cfg.AnyTagRecv,
 	}
-	if p.cfg.HashMatching {
+	if n := p.cfg.MatchShards; n > 0 {
+		sh := match.NewSharded(id, nRanks, n, p.costs, &c.meter, p.spcs)
+		c.sharded = sh
+		c.engine = sh
+		c.shardLocks = make([]*sim.Lock, sh.NumShards())
+		for i := range c.shardLocks {
+			c.shardLocks[i] = p.cfg.newLock(p.env, "match.shard")
+		}
+	} else if p.cfg.HashMatching {
 		c.engine = match.NewHashEngine(id, nRanks, p.costs, &c.meter, p.spcs)
 	} else {
 		c.engine = match.NewEngine(id, nRanks, p.costs, &c.meter, p.spcs)
@@ -371,6 +427,32 @@ func (p *simProc) addComm(id uint32, nRanks int) *simComm {
 	c.engine.BindFlight(p.flight.NewRing(fmt.Sprintf("rank%d/comm%d", p.frank, id)))
 	p.comms[id] = c
 	return c
+}
+
+// acquireMatch takes the virtual lock(s) covering matching at (src, tag):
+// the single communicator lock normally, or — sharded — the one partition
+// lock for exact coordinates and every partition lock (ascending, the
+// engine's own wildcard order) for wildcards. Returns the contended wait and
+// the release closure.
+func (c *simComm) acquireMatch(sp *sim.Proc, src, tag int32) (time.Duration, func()) {
+	if c.sharded == nil {
+		w := c.lock.Acquire(sp)
+		return w, func() { c.lock.Release(sp) }
+	}
+	if src != match.AnySource && tag != match.AnyTag {
+		l := c.shardLocks[c.sharded.ShardOf(src, tag)]
+		w := l.Acquire(sp)
+		return w, func() { l.Release(sp) }
+	}
+	var w time.Duration
+	for _, l := range c.shardLocks {
+		w += l.Acquire(sp)
+	}
+	return w, func() {
+		for _, l := range c.shardLocks {
+			l.Release(sp)
+		}
+	}
 }
 
 // nextRR advances the deterministic round-robin instance counter.
@@ -432,6 +514,12 @@ type simThread struct {
 	// used tracks the instances this thread has issued one-sided
 	// operations on; flush reaps completions from exactly these.
 	used []*simInstance
+
+	// scratch receives Deliver completions. It must be per-thread, not
+	// per-comm: under sharded matching two delivering threads interleave at
+	// virtual-time yields (the meter advances the clock mid-match), and a
+	// shared buffer would let one thread's completions clobber the other's.
+	scratch []match.Completion
 
 	// clk decomposes this thread's virtual time into exclusive phases; it
 	// records nothing until the workload starts it (see vClock).
@@ -563,12 +651,18 @@ func (t *simThread) send(sp *sim.Proc, c *simComm, dst *simProc, srcRank, dstRan
 		p.bigLock.Acquire(sp)
 		t.clk.end(sp)
 	}
-	inst := p.instanceFor(&t.ts)
-	t.clk.begin(sp, prof.PhaseLockWait)
-	instWait := inst.lock.Acquire(sp)
-	t.clk.end(sp)
-	if instWait >= flight.DefaultLockWaitThreshold {
-		t.fring.RecordAt(sp.Now(), flight.KindLockWait, 0, int32(inst.index), int32(instWait/time.Microsecond))
+	inst, putBack := p.acquireSendInstance(&t.ts)
+	if p.cfg.LockFreeCQ {
+		// Lock-free completion ring: the slot claim is an atomic CAS — the
+		// same cost class as the lock model's uncontended acquire (zero
+		// virtual time) — and the producer never blocks or pays a handoff.
+	} else {
+		t.clk.begin(sp, prof.PhaseLockWait)
+		instWait := inst.lock.Acquire(sp)
+		t.clk.end(sp)
+		if instWait >= flight.DefaultLockWaitThreshold {
+			t.fring.RecordAt(sp.Now(), flight.KindLockWait, 0, int32(inst.index), int32(instWait/time.Microsecond))
+		}
 	}
 	sp.Advance(p.costs.SendInject)
 	header := fabric.EnvelopeSize
@@ -593,7 +687,10 @@ func (t *simThread) send(sp *sim.Proc, c *simComm, dst *simProc, srcRank, dstRan
 	}
 	t.clk.end(sp)
 	inst.cq = append(inst.cq, cqe{pending: &t.pendingSends})
-	inst.lock.Release(sp)
+	if !p.cfg.LockFreeCQ {
+		inst.lock.Release(sp)
+	}
+	putBack()
 	if p.bigLock != nil {
 		p.bigLock.Release(sp)
 	}
@@ -621,13 +718,13 @@ func (t *simThread) postRecv(sp *sim.Proc, c *simComm, srcRank, tag int32) {
 	p.memSerial.Reserve(sp, 0)
 	r := &match.Recv{Source: srcRank, Tag: tag, Token: t}
 	t.clk.begin(sp, prof.PhaseLockWait)
-	waited := c.lock.Acquire(sp)
+	waited, release := c.acquireMatch(sp, srcRank, tag)
 	t.clk.end(sp)
 	c.engine.ChargeWait(waited)
 	c.meter.p = sp
 	p.flightSP = sp
 	comp, ok := c.engine.PostRecv(r)
-	c.lock.Release(sp)
+	release()
 	if ok {
 		tt := comp.Recv.Token.(*simThread)
 		tt.recvsDone++
@@ -753,16 +850,16 @@ func (t *simThread) deliver(sp *sim.Proc, pkt *fabric.Packet) {
 		fs.consume()
 	}
 	t.clk.begin(sp, prof.PhaseLockWait)
-	waited := c.lock.Acquire(sp)
+	waited, release := c.acquireMatch(sp, env.Src, env.Tag)
 	t.clk.end(sp)
 	t.clk.begin(sp, prof.PhaseMatch)
 	c.engine.ChargeWait(waited)
 	c.meter.p = sp
 	p.flightSP = sp
-	c.scratch = c.engine.Deliver(pkt, c.scratch[:0])
-	comps := c.scratch
+	t.scratch = c.engine.Deliver(pkt, t.scratch[:0])
+	comps := t.scratch
 	t.clk.end(sp)
-	c.lock.Release(sp)
+	release()
 	for _, comp := range comps {
 		tt := comp.Recv.Token.(*simThread)
 		tt.recvsDone++

@@ -104,6 +104,12 @@ const (
 	// (Algorithm 2's helper role) — steal pressure, distinct from
 	// ProgressTryLockFail which also counts dedicated-instance losses.
 	ProgressStealLosses
+	// FreeListAcquires counts send-path instance acquisitions satisfied by
+	// the atomic free-list pop (an exclusively owned, uncontended instance).
+	FreeListAcquires
+	// FreeListEmpty counts send-path acquisitions that found the free-list
+	// drained and fell back to contended round-robin (threads > instances).
+	FreeListEmpty
 
 	numCounters
 )
@@ -140,6 +146,8 @@ var counterNames = [...]string{
 	Reconnects:             "reconnects",
 	ShortWrites:            "short_writes",
 	ProgressStealLosses:    "progress_steal_losses",
+	FreeListAcquires:       "freelist_acquires",
+	FreeListEmpty:          "freelist_empty",
 }
 
 // String returns the counter's snake_case name.
