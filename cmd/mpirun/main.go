@@ -1,0 +1,203 @@
+// Command mpirun launches an N-rank job over the tcp transport on the
+// local host. It allocates one loopback address per rank, then spawns N
+// copies of the target command with the standard distributed flag set
+// appended:
+//
+//	<command> <args...> -transport tcp -rank R -listen ADDR_R -peers ADDR_0,...,ADDR_N-1
+//
+// Each rank's stdout/stderr is teed to mpirun's with a "[rank R]" prefix,
+// and mpirun exits with the first nonzero rank exit code (or 0 when every
+// rank succeeds). SIGINT/SIGTERM are forwarded to all ranks.
+//
+// Examples:
+//
+//	mpirun -n 4 ./bin/multirate -pairs 4 -window 64 -iters 8
+//	mpirun -n 8 -emit ./bin/multirate -pairs 2     # print the commands, run nothing
+//
+// With -emit the launcher prints one shell-quoted command line per rank
+// instead of spawning anything, for running ranks by hand or on separate
+// hosts (replace the loopback addresses with routable ones).
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+func main() {
+	var (
+		n    = flag.Int("n", 2, "number of ranks to launch")
+		emit = flag.Bool("emit", false, "print per-rank command lines instead of spawning")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mpirun [-n N] [-emit] <command> [args...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *n < 1 {
+		fatal(fmt.Errorf("-n %d: need at least one rank", *n))
+	}
+	argv := flag.Args()
+	if len(argv) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	addrs, err := allocateAddrs(*n)
+	if err != nil {
+		fatal(err)
+	}
+	peers := strings.Join(addrs, ",")
+
+	if *emit {
+		for r := 0; r < *n; r++ {
+			fmt.Println(shellJoin(rankArgv(argv, r, addrs[r], peers)))
+		}
+		return
+	}
+	os.Exit(run(*n, argv, addrs, peers))
+}
+
+// rankArgv appends the distributed flag set for one rank to the user's
+// command line.
+func rankArgv(argv []string, rank int, listen, peers string) []string {
+	out := append([]string(nil), argv...)
+	return append(out,
+		"-transport", "tcp",
+		"-rank", fmt.Sprint(rank),
+		"-listen", listen,
+		"-peers", peers,
+	)
+}
+
+// allocateAddrs reserves n distinct loopback ports by binding and
+// immediately releasing ephemeral listeners. The window between release
+// and the rank binding the port is unavoidable without passing open file
+// descriptors through exec; in practice the kernel does not rehand the
+// port out that fast on an otherwise idle loopback.
+func allocateAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("mpirun: allocating rank %d address: %w", i, err)
+		}
+		addrs[i] = ln.Addr().String()
+		if err := ln.Close(); err != nil {
+			return nil, fmt.Errorf("mpirun: releasing rank %d address: %w", i, err)
+		}
+	}
+	return addrs, nil
+}
+
+// run spawns all ranks, tees their output, forwards signals, and returns
+// the job's exit code: the first nonzero rank exit code in rank order, or
+// 0 when every rank succeeds.
+func run(n int, argv []string, addrs []string, peers string) int {
+	cmds := make([]*exec.Cmd, n)
+	tees := make([]sync.WaitGroup, n)
+	for r := 0; r < n; r++ {
+		cmd := exec.Command(argv[0], rankArgv(argv[1:], r, addrs[r], peers)...)
+		cmd.Stdin = nil
+		outPipe, err := cmd.StdoutPipe()
+		if err != nil {
+			fatal(fmt.Errorf("mpirun: rank %d stdout: %w", r, err))
+		}
+		errPipe, err := cmd.StderrPipe()
+		if err != nil {
+			fatal(fmt.Errorf("mpirun: rank %d stderr: %w", r, err))
+		}
+		if err := cmd.Start(); err != nil {
+			// Ranks already launched must not outlive a failed launch.
+			for _, prev := range cmds[:r] {
+				_ = prev.Process.Kill()
+			}
+			fatal(fmt.Errorf("mpirun: starting rank %d: %w", r, err))
+		}
+		cmds[r] = cmd
+		tees[r].Add(2)
+		go teePrefixed(&tees[r], os.Stdout, outPipe, r)
+		go teePrefixed(&tees[r], os.Stderr, errPipe, r)
+	}
+
+	// Forward interrupts to every rank so a ^C tears the whole job down;
+	// keep forwarding until all ranks have exited.
+	sigc := make(chan os.Signal, 4)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case sig := <-sigc:
+				for _, cmd := range cmds {
+					if cmd.Process != nil {
+						_ = cmd.Process.Signal(sig)
+					}
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	code := 0
+	for r, cmd := range cmds {
+		// Drain this rank's pipes before Wait: Wait closes them, and output
+		// still buffered in the tee would be lost.
+		tees[r].Wait()
+		if err := cmd.Wait(); err != nil {
+			rc := 1
+			var xerr *exec.ExitError
+			if errors.As(err, &xerr) && xerr.ExitCode() > 0 {
+				rc = xerr.ExitCode()
+			}
+			fmt.Fprintf(os.Stderr, "mpirun: rank %d: %v\n", r, err)
+			if code == 0 {
+				code = rc
+			}
+		}
+	}
+	close(done)
+	signal.Stop(sigc)
+	return code
+}
+
+// teePrefixed copies one rank's stream line by line, prefixing each line
+// with its rank so interleaved output stays attributable.
+func teePrefixed(wg *sync.WaitGroup, dst io.Writer, src io.Reader, rank int) {
+	defer wg.Done()
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		fmt.Fprintf(dst, "[rank %d] %s\n", rank, sc.Text())
+	}
+}
+
+// shellJoin renders an argv as a copy-pasteable shell command, quoting
+// arguments that need it.
+func shellJoin(argv []string) string {
+	parts := make([]string, len(argv))
+	for i, a := range argv {
+		if a == "" || strings.ContainsAny(a, " \t'\"\\$&|;<>()*?[]#~") {
+			parts[i] = "'" + strings.ReplaceAll(a, "'", `'\''`) + "'"
+		} else {
+			parts[i] = a
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mpirun:", err)
+	os.Exit(1)
+}

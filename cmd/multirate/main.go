@@ -15,7 +15,12 @@
 //
 // With -transport tcp the real engine runs distributed: launch one process
 // per rank, each naming itself with -rank and every rank's address with
-// -peers (rank 0 sends, rank 1 receives):
+// -peers. Ranks pair up (0,1), (2,3), ...: even ranks send, odd ranks
+// receive. The mpirun launcher wires the flags for you:
+//
+//	mpirun -n 4 multirate -pairs 4 -window 64 -iters 8
+//
+// or by hand:
 //
 //	multirate -transport tcp -rank 0 -peers 127.0.0.1:7100,127.0.0.1:7101 &
 //	multirate -transport tcp -rank 1 -peers 127.0.0.1:7100,127.0.0.1:7101
@@ -25,7 +30,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/backends"
 	bench "repro/internal/bench/multirate"
@@ -240,8 +244,9 @@ func main() {
 		case "sim", "":
 			res, err = bench.Run(bcfg)
 		case "tcp":
-			peers := strings.Split(*peerList, ",")
-			if *peerList == "" || len(peers) < 2 {
+			peers, perr := backends.ParsePeers(*peerList)
+			check(perr)
+			if len(peers) < 2 {
 				check(fmt.Errorf("-transport tcp needs -peers with one address per rank"))
 			}
 			if *rank < 0 || *rank >= len(peers) {
@@ -253,6 +258,7 @@ func main() {
 			}
 			tnet, terr := backends.TCP(*rank, len(peers), addr, peers)
 			check(terr)
+			bcfg.WorldSize = len(peers)
 			res, err = bench.RunDistributed(bcfg, *rank, tnet)
 		default:
 			check(fmt.Errorf("unknown transport %q", *transportName))
@@ -262,9 +268,10 @@ func main() {
 		if stopWatchdog != nil {
 			stopWatchdog()
 		}
-		fmt.Printf("engine=real transport=%s caps=%s dial_retries=%d reconnects=%d short_writes=%d rank=%d pairs=%d messages=%d elapsed=%v rate=%.0f msg/s oos=%.2f%% steal_losses=%d%s\n",
+		fmt.Printf("engine=real transport=%s caps=%s dial_retries=%d reconnects=%d short_writes=%d conns_opened=%d conns_reused=%d dial_races_lost=%d rank=%d pairs=%d messages=%d elapsed=%v rate=%.0f msg/s oos=%.2f%% steal_losses=%d%s\n",
 			res.Transport.Name, res.Transport,
 			res.SPCs[spc.DialRetries], res.SPCs[spc.Reconnects], res.SPCs[spc.ShortWrites],
+			res.SPCs[spc.ConnsOpened], res.SPCs[spc.ConnsReused], res.SPCs[spc.DialRacesLost],
 			*rank, *pairs, res.Messages, res.Elapsed, res.Rate, res.SPCs.OutOfSequencePercent(),
 			res.SPCs[spc.ProgressStealLosses], headerPath("flight_out", *flightOut))
 		if *showSPCs {

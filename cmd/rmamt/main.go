@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/backends"
 	bench "repro/internal/bench/rmamt"
 	"repro/internal/core"
 	"repro/internal/cri"
@@ -29,15 +30,19 @@ import (
 
 func main() {
 	var (
-		engine      = flag.String("engine", "sim", "sim (virtual time) or real (wall clock)")
-		threads     = flag.Int("threads", 32, "origin-side threads")
-		msgSize     = flag.Int("size", 8, "put payload bytes")
-		puts        = flag.Int("puts", 1000, "puts per thread per flush round")
-		rounds      = flag.Int("rounds", 4, "flush rounds")
-		instances   = flag.Int("instances", 0, "instances (0 = one per core, paper default)")
-		assignment  = flag.String("assignment", "dedicated", "round-robin | dedicated")
-		prog        = flag.String("progress", "serial", "serial | concurrent")
-		machineName = flag.String("machine", "trinitite", "alembert | trinitite | knl | fast")
+		engine        = flag.String("engine", "sim", "sim (virtual time) or real (wall clock)")
+		threads       = flag.Int("threads", 32, "origin-side threads")
+		transportName = flag.String("transport", "sim", "transport backend: sim | tcp (tcp is parsed but rejected: it lacks one-sided support)")
+		rank          = flag.Int("rank", 0, "this process's world rank (tcp transport)")
+		listen        = flag.String("listen", "", "accept address for this rank (tcp; default peers[rank])")
+		peerList      = flag.String("peers", "", "comma-separated rank addresses, e.g. 127.0.0.1:7100,127.0.0.1:7101 (tcp)")
+		msgSize       = flag.Int("size", 8, "put payload bytes")
+		puts          = flag.Int("puts", 1000, "puts per thread per flush round")
+		rounds        = flag.Int("rounds", 4, "flush rounds")
+		instances     = flag.Int("instances", 0, "instances (0 = one per core, paper default)")
+		assignment    = flag.String("assignment", "dedicated", "round-robin | dedicated")
+		prog          = flag.String("progress", "serial", "serial | concurrent")
+		machineName   = flag.String("machine", "trinitite", "alembert | trinitite | knl | fast")
 
 		faultDrop  = flag.Float64("fault-drop", 0, "per-packet drop probability on the control path (enables ack/retransmit reliability; real engine)")
 		faultDup   = flag.Float64("fault-dup", 0, "per-packet duplication probability (real engine)")
@@ -83,6 +88,30 @@ func main() {
 	if (*profile || *pprofCont) && *engine == "sim" {
 		fmt.Fprintln(os.Stderr, "rmamt: profiling flags instrument the real runtime; switching to -engine real")
 		*engine = "real"
+	}
+
+	// The tcp backend is two-sided only: it advertises no one-sided
+	// capability, and rmamt is nothing but MPI_Put + MPI_Win_flush. Parse
+	// and validate the flags anyway so a misspelled peer list fails with
+	// the real error, not the capability one.
+	switch *transportName {
+	case "sim", "":
+	case "tcp":
+		peers, perr := backends.ParsePeers(*peerList)
+		check(perr)
+		if len(peers) < 2 {
+			check(fmt.Errorf("-transport tcp needs -peers with one address per rank"))
+		}
+		if *rank < 0 || *rank >= len(peers) {
+			check(fmt.Errorf("-rank %d outside the %d-address peer list", *rank, len(peers)))
+		}
+		addr := *listen
+		if addr == "" {
+			addr = peers[*rank]
+		}
+		check(fmt.Errorf("-transport tcp: the tcp backend (rank %d at %s) has no one-sided capability, and rmamt needs MPI_Put/MPI_Win_flush; use -engine sim, or the multirate benchmark for two-sided tcp runs", *rank, addr))
+	default:
+		check(fmt.Errorf("unknown transport %q", *transportName))
 	}
 
 	machine, err := machineByName(*machineName)

@@ -20,3 +20,8 @@ func Sim() transport.Network { return fabric.NewNetwork() }
 func TCP(rank, size int, listen string, peers []string) (transport.Network, error) {
 	return tcpnet.New(tcpnet.Config{Rank: rank, Size: size, Listen: listen, Peers: peers})
 }
+
+// ParsePeers splits a comma-separated rank address list, trimming
+// whitespace and rejecting empty or duplicate entries, so every launcher
+// front-end validates -peers the same way.
+func ParsePeers(list string) ([]string, error) { return tcpnet.ParsePeers(list) }

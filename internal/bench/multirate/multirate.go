@@ -69,6 +69,11 @@ type Config struct {
 	Overtaking bool
 	// ProcessMode maps each pair to its own process pair.
 	ProcessMode bool
+	// WorldSize is the number of OS processes in a distributed run
+	// (RunDistributed only; 0 = 2). Must be even: ranks pair up as
+	// (0,1), (2,3), ... with the even rank hosting the sender threads and
+	// the odd rank the receivers of each process pair.
+	WorldSize int
 	// Pattern selects pairwise (default) or incast.
 	Pattern Pattern
 	// SampleInterval, when positive, runs a background sampler on the
@@ -357,12 +362,15 @@ func result(cfg Config, elapsed time.Duration, w *core.World, smp *telemetry.Sam
 	return r
 }
 
-// RunDistributed executes this process's half of a two-process pairwise run
-// over a distributed transport backend (e.g. tcpnet): rank 0 hosts the
-// sender threads, rank 1 the receivers. Both processes must call it with
-// identical cfg so the collective communicator-creation order agrees. The
-// returned Result is local: rank 1's SPCs are the receiver-side roll-up the
-// single-process harness reports; rank 0 sees the sender side.
+// RunDistributed executes this process's share of a multi-process pairwise
+// run over a distributed transport backend (e.g. tcpnet). The world holds
+// cfg.WorldSize ranks (default 2) paired as (0,1), (2,3), ...: the even rank
+// of each process pair hosts the sender threads, the odd rank the receivers.
+// All processes must call it with identical cfg so the collective
+// communicator-creation order agrees. The returned Result is local: an odd
+// rank's SPCs are the receiver-side roll-up the single-process harness
+// reports; an even rank sees the sender side. Messages/Rate count this
+// process pair's traffic only.
 func RunDistributed(cfg Config, rank int, net transport.Network) (Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Pattern != Pairwise {
@@ -371,7 +379,17 @@ func RunDistributed(cfg Config, rank int, net transport.Network) (Result, error)
 	if cfg.ProcessMode {
 		return Result{}, fmt.Errorf("multirate: distributed mode already maps ranks to processes")
 	}
-	w, err := core.NewDistributedWorld(cfg.Machine, rank, 2, net, cfg.Opts)
+	size := cfg.WorldSize
+	if size == 0 {
+		size = 2
+	}
+	if size < 2 || size%2 != 0 {
+		return Result{}, fmt.Errorf("multirate: world size %d is not an even count >= 2", size)
+	}
+	if rank < 0 || rank >= size {
+		return Result{}, fmt.Errorf("multirate: rank %d out of range for world size %d", rank, size)
+	}
+	w, err := core.NewDistributedWorld(cfg.Machine, rank, size, net, cfg.Opts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -381,20 +399,27 @@ func RunDistributed(cfg Config, rank int, net transport.Network) (Result, error)
 	}
 	p := w.LocalProc()
 
-	// Identical collective creation order on both ranks keeps the
+	// Identical collective creation order on every rank keeps the
 	// deterministic communicator ids in agreement (the MPI_Comm_create
-	// contract).
+	// contract), so each rank creates every process pair's communicators and
+	// keeps only its own pair's.
 	info := core.Info{AllowOvertaking: cfg.Overtaking}
+	pairBase := rank - rank%2 // even rank of this process pair
 	comms := make([]*core.Comm, cfg.Pairs)
-	for pair := 0; pair < cfg.Pairs; pair++ {
-		if cfg.CommPerPair || pair == 0 {
-			cs, err := w.NewCommWithInfo([]int{0, 1}, info)
-			if err != nil {
-				return Result{}, err
+	for pp := 0; pp < size/2; pp++ {
+		group := []int{2 * pp, 2*pp + 1}
+		for pair := 0; pair < cfg.Pairs; pair++ {
+			if cfg.CommPerPair || pair == 0 {
+				cs, err := w.NewCommWithInfo(group, info)
+				if err != nil {
+					return Result{}, err
+				}
+				if group[0] == pairBase {
+					comms[pair] = cs[rank%2]
+				}
+			} else if group[0] == pairBase {
+				comms[pair] = comms[0]
 			}
-			comms[pair] = cs[rank]
-		} else {
-			comms[pair] = comms[0]
 		}
 	}
 
@@ -405,7 +430,7 @@ func RunDistributed(cfg Config, rank int, net transport.Network) (Result, error)
 		return Result{}, fmt.Errorf("multirate: start barrier: %w", err)
 	}
 	var smp *telemetry.Sampler
-	if rank == 1 {
+	if rank%2 == 1 {
 		smp = startSampler(cfg, p)
 	}
 	errs := make(chan error, cfg.Pairs)
@@ -415,7 +440,7 @@ func RunDistributed(cfg Config, rank int, net transport.Network) (Result, error)
 		wg.Add(1)
 		go func(pair int) {
 			defer wg.Done()
-			if rank == 0 {
+			if rank%2 == 0 {
 				errs <- senderLoop(p.NewThread(), comms[pair], cfg, int32(pair))
 			} else {
 				errs <- receiverLoop(p.NewThread(), comms[pair], cfg, int32(pair))
@@ -444,7 +469,7 @@ func RunDistributed(cfg Config, rank int, net transport.Network) (Result, error)
 	res.Stats = []telemetry.ProcStats{p.TelemetryStats()}
 	if p.Tracer() != nil {
 		res.Events = []telemetry.RankEvents{p.TraceEvents()}
-		if rank == 1 {
+		if rank%2 == 1 {
 			res.TraceDump = traceDump(p)
 		}
 	}

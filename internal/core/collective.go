@@ -66,12 +66,19 @@ func (c *Comm) Bcast(th *Thread, root int, buf []byte) error {
 	if v == 0 {
 		lowest = n // root: all bits
 	}
+	// Issue every child send before waiting on any: a serialized
+	// send-then-wait loop would pipeline the subtrees one eager copy at a
+	// time instead of fanning out.
+	var reqs []*Request
 	for bit := 1; bit < lowest && v+bit < n; bit <<= 1 {
 		child := unvrank(v+bit, root, n)
 		req, err := c.isendInternal(th, child, tag, buf)
 		if err != nil {
 			return fmt.Errorf("core: bcast send: %w", err)
 		}
+		reqs = append(reqs, req)
+	}
+	for _, req := range reqs {
 		if err := req.Wait(th); err != nil {
 			return err
 		}

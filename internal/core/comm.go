@@ -214,9 +214,16 @@ func (c *Comm) Isend(th *Thread, dst int, tag int32, buf []byte) (*Request, erro
 	}
 	p.rel.track(pkt, c.group[dst], req, nil)
 	clk.Begin(prof.PhaseWire)
-	ep.Send(pkt)
+	err := ep.Send(pkt)
 	clk.End()
 	release()
+	if err != nil {
+		// The packet never reached the wire (lazy establishment or the
+		// write itself failed definitively). Any reliability entry is left
+		// to its retry budget, which re-drives or abandons it.
+		return nil, fmt.Errorf("core: send from rank %d to %d: %v: %w",
+			p.rank, c.group[dst], err, ErrPeerUnreachable)
+	}
 	return req, nil
 }
 
@@ -456,9 +463,13 @@ func (c *Comm) isendInternal(th *Thread, dst int, tag int32, buf []byte) (*Reque
 	}
 	p.rel.track(pkt, c.group[dst], req, nil)
 	clk.Begin(prof.PhaseWire)
-	ep.Send(pkt)
+	err := ep.Send(pkt)
 	clk.End()
 	release()
+	if err != nil {
+		return nil, fmt.Errorf("core: send from rank %d to %d: %v: %w",
+			p.rank, c.group[dst], err, ErrPeerUnreachable)
+	}
 	return req, nil
 }
 

@@ -383,6 +383,8 @@ func (r *reliability) windowSnapshot() []flight.PeerWindow {
 func (p *Proc) resend(dstWorld int, pkt *transport.Packet) {
 	inst := p.pool.Get(p.pool.NextRoundRobin())
 	if ep := inst.Endpoint(dstWorld); ep != nil {
-		ep.Resend(pkt)
+		// A failed resend is indistinguishable from a lost packet; the
+		// retry budget governs, so the error is deliberately dropped.
+		_ = ep.Resend(pkt)
 	}
 }

@@ -85,8 +85,15 @@ func (c *Comm) isendRendezvous(th *Thread, dst int, tag int32, buf []byte) (*Req
 		return nil, fmt.Errorf("core: no endpoint from rank %d to %d: %w",
 			p.rank, c.group[dst], ErrPeerUnreachable)
 	}
-	ep.Send(pkt)
+	err := ep.Send(pkt)
 	release()
+	if err != nil {
+		p.rdvMu.Lock()
+		delete(p.rdvSends, id)
+		p.rdvMu.Unlock()
+		return nil, fmt.Errorf("core: rendezvous RTS from rank %d to %d: %v: %w",
+			p.rank, c.group[dst], err, ErrPeerUnreachable)
+	}
 	return req, nil
 }
 
@@ -256,6 +263,9 @@ func (p *Proc) sendControl(dstWorld int, pkt *transport.Packet) error {
 		return fmt.Errorf("core: no endpoint from rank %d to %d: %w",
 			p.rank, dstWorld, ErrPeerUnreachable)
 	}
-	ep.Send(pkt)
+	if err := ep.Send(pkt); err != nil {
+		return fmt.Errorf("core: control send from rank %d to %d: %v: %w",
+			p.rank, dstWorld, err, ErrPeerUnreachable)
+	}
 	return nil
 }

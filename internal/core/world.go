@@ -429,10 +429,14 @@ func (p *Proc) offloadLoop() {
 	}
 }
 
-// wire connects every local instance to one context of every peer: instance
-// k reaches context (k mod peer instances) of each remote rank. Every rank
-// runs the same normalized options, so the peer's instance count is known
-// without inspecting its (possibly remote) process.
+// wire acquires an endpoint from every local instance to one context of
+// every peer: instance k reaches context (k mod peer instances) of each
+// remote rank. Every rank runs the same normalized options, so the peer's
+// instance count is known without inspecting its (possibly remote) process.
+// Endpoints are lazily connectable — acquisition is bookkeeping, nothing is
+// dialed here; the first send toward a peer establishes (or reuses) the
+// pair's shared physical connection, and an establishment failure surfaces
+// from the send path as a typed error.
 func (p *Proc) wire() error {
 	size := len(p.world.procs)
 	p.rel.initPeers(size)

@@ -200,7 +200,7 @@ func (e *Endpoint) Remote() *Context { return e.remote }
 // wire time (envelope + payload) on the local device's rate limiter,
 // delivers to the remote context's receive queue, and posts a
 // send-completion CQE to the local context.
-func (e *Endpoint) Send(p *Packet) {
+func (e *Endpoint) Send(p *Packet) error {
 	costs := &e.local.dev.costs
 	hw.Spin(costs.SendInject)
 	e.local.dev.limiter.reserve(headerSize(p) + len(p.Payload))
@@ -210,13 +210,14 @@ func (e *Endpoint) Send(p *Packet) {
 		e.remote.deliver(p)
 	}
 	e.local.completeLocal(CQE{Kind: CQESendComplete, Packet: p})
+	return nil
 }
 
 // Resend re-injects a packet without posting a new send-completion CQE —
 // the retransmission path of the delivery-reliability layer, which already
 // holds local completion state for the packet. The retransmitted copy faces
 // the wire faults again.
-func (e *Endpoint) Resend(p *Packet) {
+func (e *Endpoint) Resend(p *Packet) error {
 	costs := &e.local.dev.costs
 	hw.Spin(costs.SendInject)
 	e.local.dev.limiter.reserve(headerSize(p) + len(p.Payload))
@@ -225,6 +226,7 @@ func (e *Endpoint) Resend(p *Packet) {
 	} else {
 		e.remote.deliver(p)
 	}
+	return nil
 }
 
 // headerSize is the per-packet wire-header footprint the rate limiter

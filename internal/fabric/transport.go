@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/hw"
+	"repro/internal/spc"
 	"repro/internal/transport"
 )
 
@@ -30,9 +31,12 @@ func NewNetwork() *Network {
 	return &Network{devs: make(map[int]*tdev)}
 }
 
-// Caps describes the simulated fabric: a faulty, one-sided-capable wire.
+// Caps describes the simulated fabric: a faulty, one-sided-capable wire
+// that mirrors the multiplexed backends' lazy-establishment semantics (all
+// of a peer pair's contexts share one logical connection, resolved on first
+// send) so the same world-construction path exercises both engines.
 func (n *Network) Caps() transport.Caps {
-	return transport.Caps{Name: "sim", OneSided: true, FaultInjection: true}
+	return transport.Caps{Name: "sim", OneSided: true, FaultInjection: true, Multiplexed: true}
 }
 
 // NewDevice creates the device for world rank r, honoring the scramble and
@@ -49,7 +53,7 @@ func (n *Network) NewDevice(rank int, m hw.Machine, cfg transport.DeviceConfig) 
 	if cfg.Faults.Enabled() {
 		d.SetFaultInjector(NewFaultInjector(cfg.Faults, cfg.Counters))
 	}
-	t := &tdev{d: d, net: n, rank: rank}
+	t := &tdev{d: d, net: n, rank: rank, counters: cfg.Counters}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, dup := n.devs[rank]; dup {
@@ -71,9 +75,34 @@ func (n *Network) device(rank int) *tdev {
 // re-exposes them with interface signatures and resolves peer devices
 // through the owning Network for Connect.
 type tdev struct {
-	d    *Device
-	net  *Network
-	rank int
+	d        *Device
+	net      *Network
+	rank     int
+	counters *spc.Set
+
+	// connMu guards connected, the peers whose first lazy endpoint
+	// resolution already happened — the ConnsOpened/ConnsReused accounting
+	// that mirrors the real backends' physical-connection counters.
+	connMu    sync.Mutex
+	connected map[int]bool
+}
+
+// noteEstablish records one lazy endpoint resolution toward peer: the first
+// per peer mirrors opening a physical connection, later ones reuse it. The
+// totals are deterministic (distinct peers vs. endpoints) even though the
+// resolution order is scheduler-dependent.
+func (t *tdev) noteEstablish(peer int) {
+	t.connMu.Lock()
+	defer t.connMu.Unlock()
+	if t.connected == nil {
+		t.connected = make(map[int]bool)
+	}
+	if !t.connected[peer] {
+		t.connected[peer] = true
+		t.counters.Inc(spc.ConnsOpened)
+	} else {
+		t.counters.Inc(spc.ConnsReused)
+	}
 }
 
 // Underlying returns the wrapped simulated device (backend-specific tests
@@ -94,20 +123,75 @@ func (t *tdev) CreateContext(depth int) (transport.Context, error) {
 	return c, nil
 }
 
+// Connect returns a lazily connectable endpoint toward context remoteIdx of
+// rank peer, mirroring the multiplexed backends: nothing resolves here —
+// the first Send looks the peer's context up and binds the concrete
+// endpoint, counting ConnsOpened (first peer resolution on this device) or
+// ConnsReused (another endpoint onto an established pair).
 func (t *tdev) Connect(local transport.Context, peer int, remoteIdx int) (transport.Endpoint, error) {
 	lc, ok := local.(*Context)
 	if !ok || lc == nil {
 		return nil, fmt.Errorf("fabric: Connect local context is not a fabric context")
 	}
-	pd := t.net.device(peer)
+	return &lazyEndpoint{t: t, local: lc, peer: peer, remoteIdx: remoteIdx}, nil
+}
+
+// lazyEndpoint defers the peer context lookup to first use, so world
+// construction never assumes a pre-wired full mesh — the simulated mirror
+// of dial-on-first-send. Resolution is idempotent and cached; a failed
+// resolution (peer device or context missing) surfaces as ErrConnEstablish
+// from the send that triggered it.
+type lazyEndpoint struct {
+	t         *tdev
+	local     *Context
+	peer      int
+	remoteIdx int
+
+	mu sync.Mutex
+	ep *Endpoint
+}
+
+func (e *lazyEndpoint) resolve() (*Endpoint, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ep != nil {
+		return e.ep, nil
+	}
+	pd := e.t.net.device(e.peer)
 	if pd == nil {
-		return nil, fmt.Errorf("fabric: rank %d has no device: %w", peer, transport.ErrNoEndpoint)
+		return nil, fmt.Errorf("%w: rank %d has no device", transport.ErrConnEstablish, e.peer)
 	}
-	rc := pd.d.Context(remoteIdx)
+	rc := pd.d.Context(e.remoteIdx)
 	if rc == nil {
-		return nil, fmt.Errorf("fabric: rank %d has no context %d: %w", peer, remoteIdx, transport.ErrNoEndpoint)
+		return nil, fmt.Errorf("%w: rank %d has no context %d", transport.ErrConnEstablish, e.peer, e.remoteIdx)
 	}
-	return NewEndpoint(lc, rc), nil
+	e.ep = NewEndpoint(e.local, rc)
+	e.t.noteEstablish(e.peer)
+	return e.ep, nil
+}
+
+func (e *lazyEndpoint) Send(p *transport.Packet) error {
+	ep, err := e.resolve()
+	if err != nil {
+		return err
+	}
+	return ep.Send(p)
+}
+
+func (e *lazyEndpoint) Resend(p *transport.Packet) error {
+	ep, err := e.resolve()
+	if err != nil {
+		return err
+	}
+	return ep.Resend(p)
+}
+
+func (e *lazyEndpoint) PutRegion(regionID uint64, offset int, src []byte, token any) error {
+	ep, err := e.resolve()
+	if err != nil {
+		return err
+	}
+	return ep.PutRegion(regionID, offset, src, token)
 }
 
 func (t *tdev) RegisterMemory(buf []byte) transport.MemRegion {

@@ -12,6 +12,7 @@ package simnet
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/cri"
@@ -335,6 +336,14 @@ type simProc struct {
 	threads  []*simThread
 	comms    map[uint32]*simComm
 	spcs     *spc.Set
+	// connSeen mirrors the lazy-connect counters of the distributed
+	// backends on virtual time: the first message to a peer proc counts a
+	// conns_opened, the first from each further local instance to that
+	// peer a conns_reused. Lookups cost zero virtual time, and the totals
+	// are order-independent, so deterministic replay is preserved. The
+	// real mutex guards the map, not the virtual clock.
+	connMu   sync.Mutex
+	connSeen map[connKey]bool
 	// frank is the proc's world rank for flight/introspection labelling.
 	frank int
 	// flight mirrors the real runtime's flight recorder on virtual time;
@@ -353,12 +362,13 @@ type simProc struct {
 
 func newSimProc(env *sim.Env, cfg Config, wire *sim.Wire, instances int) *simProc {
 	p := &simProc{
-		cfg:   cfg,
-		costs: cfg.Machine.Scaled(),
-		env:   env,
-		comms: make(map[uint32]*simComm),
-		spcs:  spc.NewSet(),
-		wire:  wire,
+		cfg:      cfg,
+		costs:    cfg.Machine.Scaled(),
+		env:      env,
+		comms:    make(map[uint32]*simComm),
+		spcs:     spc.NewSet(),
+		connSeen: make(map[connKey]bool),
+		wire:     wire,
 	}
 	p.progLock = cfg.newLock(env, "progress")
 	if cfg.BigLock {
@@ -386,6 +396,38 @@ func newSimProc(env *sim.Env, cfg Config, wire *sim.Wire, instances int) *simPro
 // exclusive instance (push back on release) and fall back to round-robin
 // when drained, with the same SPC accounting; other assignments delegate to
 // instanceFor with a no-op release.
+// connKey identifies one lazy-connect edge: a peer proc, plus the local
+// instance using it (inst == -1 marks the peer-level "any instance" entry).
+type connKey struct {
+	dst  *simProc
+	inst int
+}
+
+// noteConn mirrors the distributed backends' lazy-connect accounting: the
+// first message to a peer counts conns_opened, the first from each further
+// local instance to that peer conns_reused. No virtual time is charged —
+// establishment cost is a wall-clock property the model does not carry —
+// and the totals are first-come order-independent, so the deterministic
+// virtual-time results are unchanged.
+func (p *simProc) noteConn(dst *simProc, inst int) {
+	if dst == p {
+		return
+	}
+	p.connMu.Lock()
+	defer p.connMu.Unlock()
+	peerKey := connKey{dst, -1}
+	instKey := connKey{dst, inst}
+	switch {
+	case !p.connSeen[peerKey]:
+		p.connSeen[peerKey] = true
+		p.connSeen[instKey] = true
+		p.spcs.Inc(spc.ConnsOpened)
+	case !p.connSeen[instKey]:
+		p.connSeen[instKey] = true
+		p.spcs.Inc(spc.ConnsReused)
+	}
+}
+
 func (p *simProc) acquireSendInstance(ts *cri.ThreadState) (*simInstance, func()) {
 	if p.cfg.Assignment == cri.FreeList {
 		if len(p.freeList) > 0 {
@@ -652,6 +694,7 @@ func (t *simThread) send(sp *sim.Proc, c *simComm, dst *simProc, srcRank, dstRan
 		t.clk.end(sp)
 	}
 	inst, putBack := p.acquireSendInstance(&t.ts)
+	p.noteConn(dst, inst.index)
 	if p.cfg.LockFreeCQ {
 		// Lock-free completion ring: the slot claim is an atomic CAS — the
 		// same cost class as the lock model's uncontended acquire (zero

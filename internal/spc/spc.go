@@ -110,6 +110,19 @@ const (
 	// FreeListEmpty counts send-path acquisitions that found the free-list
 	// drained and fell back to contended round-robin (threads > instances).
 	FreeListEmpty
+	// ConnsOpened counts physical connections this process established to a
+	// peer (a successful dial, or the first lazy resolution of a simulated
+	// peer pair). With multiplexed transports every context of a peer pair
+	// shares one physical connection, so the surviving connection count per
+	// process is ConnsOpened − DialRacesLost.
+	ConnsOpened
+	// ConnsReused counts endpoint establishments satisfied by an existing
+	// physical connection to the peer (the multiplexing win: no new socket).
+	ConnsReused
+	// DialRacesLost counts symmetric-dial races this process lost: both
+	// sides of a peer pair dialed concurrently and this side discarded its
+	// own connection, adopting the winner's (lower rank's dial wins).
+	DialRacesLost
 
 	numCounters
 )
@@ -148,6 +161,9 @@ var counterNames = [...]string{
 	ProgressStealLosses:    "progress_steal_losses",
 	FreeListAcquires:       "freelist_acquires",
 	FreeListEmpty:          "freelist_empty",
+	ConnsOpened:            "conns_opened",
+	ConnsReused:            "conns_reused",
+	DialRacesLost:          "dial_races_lost",
 }
 
 // String returns the counter's snake_case name.

@@ -233,12 +233,16 @@ func NewEndpoint(local, remote transport.Context) *Endpoint {
 	return &Endpoint{local: local.(*Context), remote: remote.(*Context)}
 }
 
-func (e *Endpoint) Send(p *transport.Packet) {
+func (e *Endpoint) Send(p *transport.Packet) error {
 	e.remote.push(p)
 	e.local.complete(transport.CQE{Kind: transport.CQESendComplete, Packet: p})
+	return nil
 }
 
-func (e *Endpoint) Resend(p *transport.Packet) { e.remote.push(p) }
+func (e *Endpoint) Resend(p *transport.Packet) error {
+	e.remote.push(p)
+	return nil
+}
 
 func (e *Endpoint) PutRegion(regionID uint64, offset int, src []byte, token any) error {
 	return transport.ErrNotSupported

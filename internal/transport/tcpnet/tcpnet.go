@@ -1,20 +1,34 @@
 // Package tcpnet is a real TCP transport backend: each rank runs in its own
-// OS process, listens on a TCP address, and reaches every peer over
-// per-context connections. A dedicated reader goroutine per inbound
-// connection decodes wire frames into the target context's receive ring, so
-// the layers above (cri, progress, match, core) run unchanged over a real
-// network — the point of the pluggable transport split.
+// OS process, listens on a TCP address, and reaches every peer over one
+// multiplexed connection per peer pair, established lazily on first send.
+// A dedicated reader goroutine per connection decodes wire frames into the
+// target context's receive ring by mux ID, so the layers above (cri,
+// progress, match, core) run unchanged over a real network — the point of
+// the pluggable transport split.
 //
-// Wire format: every packet travels as one length-prefixed frame,
+// Connection model: all of a peer pair's contexts share one physical
+// connection (Caps.Multiplexed). Nothing is dialed at world construction —
+// Device.Connect returns a lazily connectable endpoint, and the first send
+// toward a peer dials and handshakes. When both sides of a pair dial
+// simultaneously, the race resolves deterministically: the lower rank's
+// dial wins, the loser adopts the winner's connection and discards its own
+// (counted as a DialRacesLost SPC tick). ConnsOpened counts successful
+// dials, ConnsReused counts endpoints attaching to an already-established
+// link, so surviving physical connections = conns_opened − dial_races_lost.
 //
-//	[u32 little-endian frame length][Packet.AppendWire bytes]
+// Wire format: every packet travels as one length-prefixed multiplexed
+// frame,
 //
-// preceded on each connection by a three-frame handshake that names the
-// dialing rank and destination context and takes one NTP-style clock sample:
+//	[u32 little-endian frame length][u32 mux ID][Packet.AppendWire bytes]
 //
-//	dialer → server: magic(4) rank(4) ctxIdx(4) t1(8)   — hello, 20 bytes
-//	server → dialer: t2(8) t3(8)                        — echo,  16 bytes
-//	dialer → server: θ(8) δ(8)                          — offset, 16 bytes
+// where the mux ID is the destination context index — the demux key that
+// routes the frame to one of the shared connection's per-context receive
+// rings. Each connection opens with a three-frame handshake that names the
+// dialing rank and takes one NTP-style clock sample:
+//
+//	dialer → server: magic(4) rank(4) reserved(4) t1(8)  — hello, 20 bytes
+//	server → dialer: t2(8) t3(8)                         — echo,  16 bytes
+//	dialer → server: θ(8) δ(8)                           — offset, 16 bytes
 //
 // t1/t4 are the dialer's send/receive instants, t2/t3 the server's receive/
 // send instants. The dialer computes θ = ((t2−t1)+(t3−t4))/2 (server clock
@@ -27,9 +41,11 @@
 //
 // TCP is lossless and per-connection FIFO, so the backend advertises
 // Caps.Lossless and the runtime skips the ack/retransmit delivery layer.
-// One-sided operations are not supported: rendezvous bulk data rides the
-// FIN control message (the copy-in/copy-out path), and window creation in
-// internal/rma is refused up front.
+// (A dial-race handover can reorder frames across the old and new
+// connection; the matching engine's out-of-sequence buffering absorbs
+// exactly that.) One-sided operations are not supported: rendezvous bulk
+// data rides the FIN control message (the copy-in/copy-out path), and
+// window creation in internal/rma is refused up front.
 package tcpnet
 
 import (
@@ -38,7 +54,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/hw"
@@ -58,13 +76,13 @@ var (
 	_ transport.MemRegion = (*MemRegion)(nil)
 )
 
-// handshakeMagic opens every connection so a stray dialer (or an old-protocol
-// peer without the clock-sync exchange) is rejected instead of corrupting a
-// context's packet stream.
-const handshakeMagic = 0x43524932 // "CRI2"
+// handshakeMagic opens every connection so a stray dialer (or an
+// old-protocol peer with per-context connections and unmultiplexed framing)
+// is rejected instead of corrupting a context's packet stream.
+const handshakeMagic = 0x43524933 // "CRI3"
 
-// Handshake frame sizes: hello (magic, rank, ctxIdx, t1), the server's echo
-// (t2, t3), and the dialer's offset report (θ, δ).
+// Handshake frame sizes: hello (magic, rank, reserved, t1), the server's
+// echo (t2, t3), and the dialer's offset report (θ, δ).
 const (
 	helloSize  = 4 + 4 + 4 + 8
 	echoSize   = 8 + 8
@@ -79,10 +97,33 @@ const DefaultDialTimeout = 10 * time.Second
 // defaultQueueDepth sizes context rings when CreateContext gets depth <= 0.
 const defaultQueueDepth = 4096
 
-// Caps describes the TCP wire: lossless FIFO streams, two-sided only, no
-// fault injection (the kernel would repair injected faults anyway).
+// Caps describes the TCP wire: lossless FIFO streams multiplexed over one
+// lazily dialed connection per peer pair, two-sided only, no fault
+// injection (the kernel would repair injected faults anyway).
 func Caps() transport.Caps {
-	return transport.Caps{Name: "tcp", Lossless: true}
+	return transport.Caps{Name: "tcp", Lossless: true, Multiplexed: true}
+}
+
+// ParsePeers splits a comma-separated peer address list, trimming
+// whitespace around each address and rejecting empty or duplicate entries —
+// a duplicated address would otherwise surface only as a confusing dial
+// failure or a world wired to the wrong rank.
+func ParsePeers(list string) ([]string, error) {
+	raw := strings.Split(list, ",")
+	peers := make([]string, 0, len(raw))
+	seen := make(map[string]int, len(raw))
+	for i, a := range raw {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return nil, fmt.Errorf("tcpnet: empty peer address at position %d in %q", i, list)
+		}
+		if prev, dup := seen[a]; dup {
+			return nil, fmt.Errorf("tcpnet: duplicate peer address %q at positions %d and %d — each rank needs its own listen address", a, prev, i)
+		}
+		seen[a] = i
+		peers = append(peers, a)
+	}
+	return peers, nil
 }
 
 // Config places one process in a TCP world.
@@ -98,7 +139,7 @@ type Config struct {
 	// endpoints short-circuit in process). Must have Size entries when
 	// Size > 1.
 	Peers []string
-	// DialTimeout bounds connection establishment per endpoint, retrying
+	// DialTimeout bounds connection establishment per peer, retrying
 	// while the peer's listener comes up (0 = DefaultDialTimeout).
 	DialTimeout time.Duration
 }
@@ -128,8 +169,8 @@ func (c Config) validate() error {
 	return nil
 }
 
-// Network is one process's slice of a TCP world: the local listener plus
-// the dialing side of every endpoint.
+// Network is one process's slice of a TCP world: the local listener, the
+// per-peer connection slots, and the clock-offset table.
 type Network struct {
 	cfg Config
 	ln  net.Listener
@@ -140,8 +181,63 @@ type Network struct {
 	closed bool
 	wg     sync.WaitGroup
 
+	// slots[r] is the connection slot toward rank r — at most one live
+	// physical link per peer pair, shared by every context.
+	slots []peerSlot
+
 	clockMu sync.Mutex
 	clocks  map[int]clockSample
+}
+
+// peerSlot serializes connection establishment toward one peer: at most one
+// local dial in flight, and the deterministic adoption of inbound
+// connections (see adopt).
+type peerSlot struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	link    *link
+	dialing bool
+}
+
+// link is one live physical connection to a peer, shared by every local
+// context sending there. The mutex serializes frame writes — matched-path
+// sends already hold the CRI lock, but distinct CRIs and control-path sends
+// race onto the shared connection.
+type link struct {
+	conn   net.Conn
+	mu     sync.Mutex
+	buf    []byte
+	broken atomic.Bool
+}
+
+func (l *link) alive() bool { return !l.broken.Load() }
+
+func (l *link) close() {
+	l.broken.Store(true)
+	l.conn.Close()
+}
+
+// writeFrame frames p for mux and writes it to the connection, marking the
+// link broken (and closing it) on failure so every sharer re-establishes.
+func (l *link) writeFrame(p *transport.Packet, mux uint32, ctr *spc.Set) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken.Load() {
+		return errors.New("tcpnet: link down")
+	}
+	l.buf = p.AppendMuxFrame(l.buf[:0], mux)
+	n, err := l.conn.Write(l.buf)
+	if err == nil {
+		return nil
+	}
+	if n > 0 && n < len(l.buf) {
+		// Part of the frame reached the kernel before the connection died;
+		// the stream is now mid-frame and unusable even if writes resumed.
+		ctr.Inc(spc.ShortWrites)
+	}
+	l.broken.Store(true)
+	l.conn.Close()
+	return err
 }
 
 // clockSample is one NTP-style offset estimate for a peer: offset is
@@ -153,8 +249,9 @@ type clockSample struct {
 }
 
 // recordClockSample keeps the minimum-delta sample per peer. Every
-// connection to a peer contributes one sample, so a world with several
-// contexts per rank converges on the best of several exchanges.
+// connection handshake with a peer contributes one sample (in either
+// direction), so a pair that raced its dials converges on the best of the
+// exchanges.
 func (n *Network) recordClockSample(peer int, offset, delta int64) {
 	n.clockMu.Lock()
 	defer n.clockMu.Unlock()
@@ -169,7 +266,8 @@ func (n *Network) recordClockSample(peer int, offset, delta int64) {
 // PeerClockOffsetNs implements transport.ClockSync: the estimated local − peer
 // clock difference in nanoseconds. The local rank's offset is zero by
 // definition; other peers have an estimate once a connection handshake with
-// them completed in either direction.
+// them completed in either direction — with lazy establishment that means
+// once the pair first communicated.
 func (n *Network) PeerClockOffsetNs(peer int) (int64, bool) {
 	if peer == n.cfg.Rank {
 		return 0, true
@@ -180,21 +278,33 @@ func (n *Network) PeerClockOffsetNs(peer int) (int64, bool) {
 	return s.offset, ok
 }
 
+func newNetwork(cfg Config, ln net.Listener) *Network {
+	n := &Network{cfg: cfg, ln: ln, slots: make([]peerSlot, cfg.Size)}
+	for i := range n.slots {
+		n.slots[i].cond = sync.NewCond(&n.slots[i].mu)
+	}
+	return n
+}
+
 // New starts the rank's listener and returns its network. The listener
 // accepts in the background immediately so peers can dial before this
-// process reaches NewDevice.
+// process reaches NewDevice; peer connections themselves are established
+// lazily, on the first send toward each peer.
 func New(cfg Config) (*Network, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	n := &Network{cfg: cfg}
+	var ln net.Listener
 	if cfg.Size > 1 {
-		ln, err := net.Listen("tcp", cfg.Listen)
+		var err error
+		ln, err = net.Listen("tcp", cfg.Listen)
 		if err != nil {
 			return nil, fmt.Errorf("tcpnet: listen %s: %w", cfg.Listen, err)
 		}
-		n.ln = ln
+	}
+	n := newNetwork(cfg, ln)
+	if ln != nil {
 		n.wg.Add(1)
 		go n.acceptLoop(ln)
 	}
@@ -222,7 +332,7 @@ func NewLoopback(n int) ([]*Network, error) {
 	nets := make([]*Network, n)
 	for i := range nets {
 		cfg := Config{Rank: i, Size: n, Listen: peers[i], Peers: peers}.withDefaults()
-		nets[i] = &Network{cfg: cfg, ln: listeners[i]}
+		nets[i] = newNetwork(cfg, listeners[i])
 		if n > 1 {
 			nets[i].wg.Add(1)
 			go nets[i].acceptLoop(listeners[i])
@@ -240,6 +350,17 @@ func (n *Network) Addr() string {
 }
 
 func (n *Network) Caps() transport.Caps { return Caps() }
+
+// counters returns the device's SPC set, or nil before device creation (a
+// nil *spc.Set ignores updates).
+func (n *Network) counters() *spc.Set {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.dev == nil {
+		return nil
+	}
+	return n.dev.counters
+}
 
 // NewDevice creates the device serving the local rank. rank must equal
 // Config.Rank — a TCP network hosts exactly one rank per process. Fault and
@@ -292,9 +413,11 @@ func (n *Network) register(conn net.Conn) bool {
 	return true
 }
 
-// serveConn reads the handshake (answering the clock-sync exchange),
-// resolves the destination context, then decodes frames into its receive
-// ring until the peer closes.
+// serveConn answers the handshake (including the clock-sync exchange) on an
+// inbound connection, offers it for adoption as the peer pair's shared
+// link, then demultiplexes its frames until the peer closes. Adoption and
+// frame service are independent: a connection that lost its dial race still
+// delivers whatever frames the peer wrote before converging.
 func (n *Network) serveConn(conn net.Conn) {
 	defer n.wg.Done()
 	var hs [helloSize]byte
@@ -306,7 +429,6 @@ func (n *Network) serveConn(conn net.Conn) {
 		return
 	}
 	peer := int(int32(binary.LittleEndian.Uint32(hs[4:])))
-	ctxIdx := int(binary.LittleEndian.Uint32(hs[8:]))
 	var echo [echoSize]byte
 	binary.LittleEndian.PutUint64(echo[0:], uint64(t2))
 	binary.LittleEndian.PutUint64(echo[8:], uint64(time.Now().UnixNano()))
@@ -321,13 +443,52 @@ func (n *Network) serveConn(conn net.Conn) {
 	// local − peer = +θ.
 	theta := int64(binary.LittleEndian.Uint64(off[0:]))
 	delta := int64(binary.LittleEndian.Uint64(off[8:]))
-	if peer >= 0 && peer < n.cfg.Size {
-		n.recordClockSample(peer, theta, delta)
-	}
-	ctx := n.waitContext(ctxIdx)
-	if ctx == nil {
+	if peer < 0 || peer >= n.cfg.Size || peer == n.cfg.Rank {
 		return
 	}
+	n.recordClockSample(peer, theta, delta)
+	n.adopt(peer, conn)
+	n.readFrames(conn)
+}
+
+// adopt decides whether an inbound connection from peer becomes the pair's
+// shared link. The deterministic rule is that the lower rank's dial wins a
+// symmetric-dial race:
+//
+//   - peer < rank: the peer's dial outranks ours — adopt unconditionally.
+//     A live link of our own is the losing side of the race (or a stale
+//     path the peer replaced); it is discarded and counted DialRacesLost.
+//   - peer > rank: our dial would win, so adopt only when the path is
+//     genuinely free — no live link and no dial in flight. Otherwise the
+//     connection is left unadopted; serveConn still reads its frames until
+//     the peer notices the loss and closes it.
+func (n *Network) adopt(peer int, conn net.Conn) {
+	s := &n.slots[peer]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if peer < n.cfg.Rank {
+		old := s.link
+		s.link = &link{conn: conn}
+		if old != nil && old.alive() {
+			n.counters().Inc(spc.DialRacesLost)
+			old.close()
+		}
+		s.cond.Broadcast()
+		return
+	}
+	if (s.link == nil || !s.link.alive()) && !s.dialing {
+		s.link = &link{conn: conn}
+		s.cond.Broadcast()
+	}
+}
+
+// readFrames demultiplexes length-prefixed mux frames from conn into the
+// destination contexts' receive rings until the connection closes. Contexts
+// are resolved once per mux ID and cached; resolution waits out the startup
+// race where a peer's first send lands before this process created its
+// contexts.
+func (n *Network) readFrames(conn net.Conn) {
+	var ctxs []*Context
 	var lenb [4]byte
 	for {
 		if _, err := io.ReadFull(conn, lenb[:]); err != nil {
@@ -337,16 +498,128 @@ func (n *Network) serveConn(conn net.Conn) {
 		if _, err := io.ReadFull(conn, frame); err != nil {
 			return
 		}
-		pkt, err := transport.DecodePacket(frame)
+		mux, pkt, err := transport.DecodeMuxFrame(frame)
 		if err != nil {
 			return
 		}
-		ctx.push(pkt)
+		idx := int(mux)
+		for idx >= len(ctxs) {
+			ctxs = append(ctxs, nil)
+		}
+		if ctxs[idx] == nil {
+			if ctxs[idx] = n.waitContext(idx); ctxs[idx] == nil {
+				return
+			}
+		}
+		ctxs[idx].push(pkt)
 	}
 }
 
+// linkTo returns the pair's shared physical link, establishing it on first
+// use: dial, handshake, and deterministic resolution of symmetric-dial
+// races (lower rank's dial wins). established reports whether this call
+// dialed the surviving connection; false means an existing or adopted link
+// was reused.
+func (n *Network) linkTo(peer int) (lk *link, established bool, err error) {
+	s := &n.slots[peer]
+	s.mu.Lock()
+	for {
+		if s.link != nil && s.link.alive() {
+			lk = s.link
+			s.mu.Unlock()
+			return lk, false, nil
+		}
+		if !s.dialing {
+			break
+		}
+		s.cond.Wait()
+	}
+	s.dialing = true
+	s.mu.Unlock()
+
+	conn, derr := n.dialPeer(peer)
+
+	s.mu.Lock()
+	s.dialing = false
+	defer s.cond.Broadcast()
+	if derr != nil {
+		// A concurrently adopted inbound connection still serves the path
+		// even though our own dial failed.
+		if s.link != nil && s.link.alive() {
+			lk = s.link
+			s.mu.Unlock()
+			return lk, false, nil
+		}
+		s.mu.Unlock()
+		return nil, false, derr
+	}
+	ctr := n.counters()
+	ctr.Inc(spc.ConnsOpened)
+	if s.link != nil && s.link.alive() {
+		// Symmetric-dial race, and the peer's connection was adopted while
+		// we dialed. Only a lower-ranked peer's inbound dial is adopted
+		// during our own dial, so the winner is deterministic: discard our
+		// connection and use the peer's.
+		ctr.Inc(spc.DialRacesLost)
+		lk = s.link
+		s.mu.Unlock()
+		conn.Close()
+		return lk, false, nil
+	}
+	lk = &link{conn: conn}
+	s.link = lk
+	s.mu.Unlock()
+	// The link is bidirectional: the dialer reads the peer's frames off the
+	// same connection.
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.readFrames(conn)
+	}()
+	return lk, true, nil
+}
+
+// dialPeer dials rank peer's listener and runs the full handshake: hello
+// naming this rank, the server's clock echo, and the offset report.
+func (n *Network) dialPeer(peer int) (net.Conn, error) {
+	conn, err := n.dial(n.cfg.Peers[peer], n.counters())
+	if err != nil {
+		return nil, err
+	}
+	var hs [helloSize]byte
+	binary.LittleEndian.PutUint32(hs[0:], handshakeMagic)
+	binary.LittleEndian.PutUint32(hs[4:], uint32(n.cfg.Rank))
+	t1 := time.Now().UnixNano()
+	binary.LittleEndian.PutUint64(hs[12:], uint64(t1))
+	if _, err := conn.Write(hs[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("tcpnet: handshake: %w", err)
+	}
+	var echo [echoSize]byte
+	if _, err := io.ReadFull(conn, echo[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("tcpnet: handshake echo: %w", err)
+	}
+	t4 := time.Now().UnixNano()
+	t2 := int64(binary.LittleEndian.Uint64(echo[0:]))
+	t3 := int64(binary.LittleEndian.Uint64(echo[8:]))
+	theta := ((t2 - t1) + (t3 - t4)) / 2 // server − dialer
+	delta := (t4 - t1) - (t3 - t2)       // round-trip delay
+	var off [offsetSize]byte
+	binary.LittleEndian.PutUint64(off[0:], uint64(theta))
+	binary.LittleEndian.PutUint64(off[8:], uint64(delta))
+	if _, err := conn.Write(off[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("tcpnet: handshake offset: %w", err)
+	}
+	// From the dialer's side, local − peer = dialer − server = −θ.
+	n.recordClockSample(peer, -theta, delta)
+	return conn, nil
+}
+
 // waitContext resolves a local context index, waiting out the startup race
-// where a peer dials before this process has created its contexts.
+// where a peer's first frame arrives before this process has created its
+// contexts.
 func (n *Network) waitContext(idx int) *Context {
 	deadline := time.Now().Add(n.cfg.DialTimeout)
 	for {
@@ -455,9 +728,10 @@ func (d *Device) Context(i int) *Context {
 }
 
 // Connect wires a send path from local to context remoteIdx of rank peer.
-// Same-rank endpoints short-circuit in process; remote endpoints dial one
-// TCP connection each and announce their destination context in the
-// handshake.
+// Same-rank endpoints short-circuit in process. Remote endpoints are lazily
+// connectable: nothing is dialed here — the first Send establishes (or
+// reuses) the pair's shared physical connection and the remote context
+// index becomes the frame's mux ID.
 func (d *Device) Connect(local transport.Context, peer int, remoteIdx int) (transport.Endpoint, error) {
 	lc, ok := local.(*Context)
 	if !ok || lc == nil {
@@ -474,52 +748,10 @@ func (d *Device) Connect(local transport.Context, peer int, remoteIdx int) (tran
 		}
 		return &Endpoint{local: lc, loop: rc}, nil
 	}
-	conn, err := d.connectPeer(peer, remoteIdx)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", transport.ErrNoEndpoint, err)
+	if remoteIdx < 0 {
+		return nil, fmt.Errorf("tcpnet: negative remote context %d: %w", remoteIdx, transport.ErrNoEndpoint)
 	}
-	return &Endpoint{local: lc, dev: d, peer: peer, remoteIdx: remoteIdx, conn: conn}, nil
-}
-
-// connectPeer dials rank peer and runs the full handshake: hello naming this
-// rank and the destination context, the server's clock echo, and the offset
-// report. Used both at endpoint creation and on the reconnect path.
-func (d *Device) connectPeer(peer, remoteIdx int) (net.Conn, error) {
-	cfg := d.net.cfg
-	conn, err := d.net.dial(cfg.Peers[peer], d.counters)
-	if err != nil {
-		return nil, err
-	}
-	var hs [helloSize]byte
-	binary.LittleEndian.PutUint32(hs[0:], handshakeMagic)
-	binary.LittleEndian.PutUint32(hs[4:], uint32(cfg.Rank))
-	binary.LittleEndian.PutUint32(hs[8:], uint32(remoteIdx))
-	t1 := time.Now().UnixNano()
-	binary.LittleEndian.PutUint64(hs[12:], uint64(t1))
-	if _, err := conn.Write(hs[:]); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("tcpnet: handshake: %w", err)
-	}
-	var echo [echoSize]byte
-	if _, err := io.ReadFull(conn, echo[:]); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("tcpnet: handshake echo: %w", err)
-	}
-	t4 := time.Now().UnixNano()
-	t2 := int64(binary.LittleEndian.Uint64(echo[0:]))
-	t3 := int64(binary.LittleEndian.Uint64(echo[8:]))
-	theta := ((t2 - t1) + (t3 - t4)) / 2 // server − dialer
-	delta := (t4 - t1) - (t3 - t2)       // round-trip delay
-	var off [offsetSize]byte
-	binary.LittleEndian.PutUint64(off[0:], uint64(theta))
-	binary.LittleEndian.PutUint64(off[8:], uint64(delta))
-	if _, err := conn.Write(off[:]); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("tcpnet: handshake offset: %w", err)
-	}
-	// From the dialer's side, local − peer = dialer − server = −θ.
-	d.net.recordClockSample(peer, -theta, delta)
-	return conn, nil
+	return &Endpoint{local: lc, dev: d, peer: peer, mux: uint32(remoteIdx)}, nil
 }
 
 // PeerClockOffsetNs implements transport.ClockSync on the device, delegating
@@ -629,79 +861,73 @@ func (c *Context) CompareAndSwap(r transport.MemRegion, offset int, compare, swa
 	return transport.ErrNotSupported
 }
 
-// Endpoint is a send path to one remote context: either an in-process
-// loopback (same rank) or one TCP connection. Frame writes are serialized by
-// the endpoint mutex — matched-path sends already hold the CRI lock, but
-// control-path sends may race them.
+// Endpoint is a lazily connectable send path to one remote context: either
+// an in-process loopback (same rank) or a mux ID over the peer pair's
+// shared connection. The first Send establishes the physical link (or
+// attaches to one another context already established — a ConnsReused SPC
+// tick).
 type Endpoint struct {
 	local *Context
 	loop  *Context // same-rank short circuit; nil for TCP endpoints
 
-	dev       *Device
-	peer      int
-	remoteIdx int
+	dev  *Device
+	peer int
+	mux  uint32
 
-	mu   sync.Mutex
-	conn net.Conn
-	buf  []byte
+	// attached flips on the first successful link acquisition, so the
+	// ConnsReused accounting ticks once per endpoint.
+	attached atomic.Bool
 }
 
 // Send injects one packet and posts the local send completion. On TCP the
 // completion is posted once the frame is handed to the kernel — the stream
 // is lossless, so that is delivery, matching how a NIC reports DMA
-// completion.
-func (e *Endpoint) Send(p *transport.Packet) {
-	e.write(p)
+// completion. The first send toward a peer establishes the shared
+// connection; a failed establishment surfaces as ErrConnEstablish and the
+// packet is not injected.
+func (e *Endpoint) Send(p *transport.Packet) error {
+	if err := e.write(p); err != nil {
+		return err
+	}
 	e.local.complete(transport.CQE{Kind: transport.CQESendComplete, Packet: p})
+	return nil
 }
 
 // Resend re-injects without a new completion. Unreachable in practice: the
 // runtime disables the retransmit layer on lossless backends.
-func (e *Endpoint) Resend(p *transport.Packet) { e.write(p) }
+func (e *Endpoint) Resend(p *transport.Packet) error { return e.write(p) }
 
-func (e *Endpoint) write(p *transport.Packet) {
+func (e *Endpoint) write(p *transport.Packet) error {
 	if e.loop != nil {
 		e.loop.push(p)
-		return
+		return nil
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.conn == nil {
-		return
-	}
-	e.buf = e.buf[:0]
-	var lenb [4]byte
-	binary.LittleEndian.PutUint32(lenb[:], uint32(p.WireSize()))
-	e.buf = append(e.buf, lenb[:]...)
-	e.buf = p.AppendWire(e.buf)
-	n, err := e.conn.Write(e.buf)
-	if err == nil {
-		return
+	lk, established, err := e.dev.net.linkTo(e.peer)
+	if err != nil {
+		return fmt.Errorf("%w: peer %d: %v", transport.ErrConnEstablish, e.peer, err)
 	}
 	ctr := e.dev.counters
-	if n > 0 && n < len(e.buf) {
-		// Part of the frame reached the kernel before the connection died;
-		// the stream is now mid-frame and unusable even if writes resumed.
-		ctr.Inc(spc.ShortWrites)
+	if !e.attached.Swap(true) && !established {
+		ctr.Inc(spc.ConnsReused)
 	}
-	e.conn.Close()
-	e.conn = nil
-	// One reconnect attempt: a peer restart or transient RST should not
-	// silently kill the path for the rest of the run. The frame that failed
-	// is re-sent whole on the fresh connection (the peer never saw a frame
-	// boundary cross, so re-framing from the start is safe). If the redial
-	// fails the path stays down — sends become no-ops and the application
-	// surfaces the stall, the same observable behavior as a dead link.
-	conn, rerr := e.dev.connectPeer(e.peer, e.remoteIdx)
+	if err := lk.writeFrame(p, e.mux, ctr); err == nil {
+		return nil
+	}
+	// The write failed and the link is marked broken for every sharer. One
+	// re-establishment attempt: a peer restart or transient RST should not
+	// kill the path for the rest of the run. The frame is re-sent whole on
+	// the fresh link (the peer never saw a frame boundary cross, so
+	// re-framing from the start is safe; a rare duplicate is absorbed by
+	// the matching engine's sequence dedup).
+	lk, _, rerr := e.dev.net.linkTo(e.peer)
 	if rerr != nil {
-		return
+		return fmt.Errorf("%w: peer %d: reconnect: %v", transport.ErrConnEstablish, e.peer, rerr)
 	}
 	ctr.Inc(spc.Reconnects)
-	if _, err := conn.Write(e.buf); err != nil {
-		conn.Close()
-		return
+	if werr := lk.writeFrame(p, e.mux, ctr); werr != nil {
+		return fmt.Errorf("tcpnet: write to peer %d: %w", e.peer, werr)
 	}
-	e.conn = conn
+	return nil
 }
 
 // PutRegion requires one-sided support, which TCP does not advertise.

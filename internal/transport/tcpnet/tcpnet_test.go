@@ -2,6 +2,7 @@ package tcpnet
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -39,10 +40,15 @@ func newPair(t *testing.T) (d0, d1 transport.Device, c0, c1 transport.Context) {
 
 func poll1(t *testing.T, c transport.Context) transport.CQE {
 	t.Helper()
-	for i := 0; i < 1_000_000; i++ {
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; ; i++ {
 		var got *transport.CQE
 		if c.Poll(func(e transport.CQE) { got = &e }, 1) > 0 {
 			return *got
+		}
+		// Check the clock only occasionally: the poll itself must stay hot.
+		if i%4096 == 0 && time.Now().After(deadline) {
+			break
 		}
 	}
 	t.Fatal("no completion arrived")
@@ -131,10 +137,10 @@ func TestManyPacketsFIFO(t *testing.T) {
 func TestCapsAndUnsupportedOps(t *testing.T) {
 	d0, _, c0, _ := newPair(t)
 	caps := d0.Caps()
-	if caps.Name != "tcp" || !caps.Lossless || caps.OneSided || caps.FaultInjection {
+	if caps.Name != "tcp" || !caps.Lossless || caps.OneSided || caps.FaultInjection || !caps.Multiplexed {
 		t.Fatalf("caps = %+v", caps)
 	}
-	if got := caps.String(); got != "lossless" {
+	if got := caps.String(); got != "lossless,mux" {
 		t.Fatalf("caps string = %q", got)
 	}
 	r := d0.RegisterMemory(make([]byte, 8))
@@ -189,14 +195,20 @@ func TestConfigValidation(t *testing.T) {
 
 func TestClockSyncHandshake(t *testing.T) {
 	d0, d1, c0, _ := newPair(t)
-	if _, err := d0.Connect(c0, 1, 0); err != nil {
+	ep, err := d0.Connect(c0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Establishment is lazy: the handshake (and its clock sample) happens on
+	// the first send, not at Connect.
+	if err := ep.Send(transport.NewPacket(transport.Envelope{Kind: transport.KindEager}, nil, nil)); err != nil {
 		t.Fatal(err)
 	}
 	cs0, ok := d0.(transport.ClockSync)
 	if !ok {
 		t.Fatal("tcpnet device does not implement transport.ClockSync")
 	}
-	// The dialer has its sample immediately after Connect returns.
+	// The dialer has its sample as soon as the first send returns.
 	off01, ok := cs0.PeerClockOffsetNs(1)
 	if !ok {
 		t.Fatal("dialer has no clock estimate for its peer")
@@ -291,12 +303,12 @@ func TestReconnectAfterPeerConnDrop(t *testing.T) {
 	}
 	send(1, "before")
 	recv(1, "before")
-	// Kill the established connection out from under the endpoint. The next
+	// Kill the established shared link out from under the endpoint. The next
 	// write fails, triggering the one-shot reconnect path.
-	tep := ep.(*Endpoint)
-	tep.mu.Lock()
-	tep.conn.Close()
-	tep.mu.Unlock()
+	s := &nets[0].slots[1]
+	s.mu.Lock()
+	s.link.conn.Close()
+	s.mu.Unlock()
 	// The failed write may be silently accepted by the kernel buffer once
 	// before the RST surfaces; keep sending until the reconnect happens.
 	deadline := time.Now().Add(5 * time.Second)
@@ -310,5 +322,251 @@ func TestReconnectAfterPeerConnDrop(t *testing.T) {
 	recv(2, "after")
 	if got := ctr.Get(spc.Reconnects); got < 1 {
 		t.Fatalf("reconnects = %d, want >= 1", got)
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers(" 127.0.0.1:7100 ,127.0.0.1:7101,	127.0.0.1:7102")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"127.0.0.1:7100", "127.0.0.1:7101", "127.0.0.1:7102"}
+	if len(peers) != len(want) {
+		t.Fatalf("got %d peers, want %d", len(peers), len(want))
+	}
+	for i := range want {
+		if peers[i] != want[i] {
+			t.Fatalf("peers[%d] = %q, want %q (whitespace must be trimmed)", i, peers[i], want[i])
+		}
+	}
+	if _, err := ParsePeers("a:1,b:2,a:1"); err == nil {
+		t.Fatal("duplicate address accepted")
+	} else if !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate error not descriptive: %v", err)
+	}
+	if _, err := ParsePeers("a:1,,b:2"); err == nil {
+		t.Fatal("empty address accepted")
+	}
+}
+
+// TestMultiplexedContextsShareOneConn proves the tentpole property: every
+// context of a peer pair shares one physical connection, demultiplexed by
+// the frame's mux ID.
+func TestMultiplexedContextsShareOneConn(t *testing.T) {
+	nets, err := NewLoopback(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := spc.NewSet()
+	d0, err := nets[0].NewDevice(0, hw.Fast(), transport.DeviceConfig{Counters: ctr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := nets[1].NewDevice(1, hw.Fast(), transport.DeviceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d0.Close(); d1.Close() })
+	c0a, _ := d0.CreateContext(0)
+	c0b, _ := d0.CreateContext(0)
+	r0, _ := d1.CreateContext(0)
+	r1, _ := d1.CreateContext(0)
+	epA, err := d0.Connect(c0a, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := d0.Connect(c0b, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := func(ep transport.Endpoint, tag int32) {
+		env := transport.Envelope{Src: 0, Dst: 1, Tag: tag, Kind: transport.KindEager}
+		if err := ep.Send(transport.NewPacket(env, nil, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(epA, 10)
+	send(epB, 11)
+	// Demux: each frame lands in the context its mux ID names.
+	if e := poll1(t, r0); e.Packet.Envelope().Tag != 10 {
+		t.Fatalf("context 0 got tag %d, want 10", e.Packet.Envelope().Tag)
+	}
+	if e := poll1(t, r1); e.Packet.Envelope().Tag != 11 {
+		t.Fatalf("context 1 got tag %d, want 11", e.Packet.Envelope().Tag)
+	}
+	// One physical dial, one reuse.
+	if got := ctr.Get(spc.ConnsOpened); got != 1 {
+		t.Fatalf("conns_opened = %d, want 1 (contexts must share the connection)", got)
+	}
+	if got := ctr.Get(spc.ConnsReused); got != 1 {
+		t.Fatalf("conns_reused = %d, want 1", got)
+	}
+	// The dialing side registered exactly one outbound connection.
+	nets[0].mu.Lock()
+	dialed := len(nets[0].conns)
+	nets[0].mu.Unlock()
+	if dialed != 1 {
+		t.Fatalf("rank 0 holds %d connections, want 1", dialed)
+	}
+}
+
+// TestDialRaceResolutionDeterministic drives the symmetric-dial race
+// resolution directly: rank 1 (higher) holds an established link, then rank
+// 0's dial arrives — the lower rank's dial must win, rank 1 adopting the
+// inbound connection, discarding its own, and counting DialRacesLost.
+func TestDialRaceResolutionDeterministic(t *testing.T) {
+	nets, err := NewLoopback(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr0, ctr1 := spc.NewSet(), spc.NewSet()
+	d0, err := nets[0].NewDevice(0, hw.Fast(), transport.DeviceConfig{Counters: ctr0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := nets[1].NewDevice(1, hw.Fast(), transport.DeviceConfig{Counters: ctr1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d0.Close(); d1.Close() })
+	c0, _ := d0.CreateContext(0)
+	c1, _ := d1.CreateContext(0)
+	ep0, err := d0.Connect(c0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1, err := d1.Connect(c1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := func(ep transport.Endpoint, tag int32) {
+		t.Helper()
+		env := transport.Envelope{Tag: tag, Kind: transport.KindEager}
+		if err := ep.Send(transport.NewPacket(env, nil, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recv := func(c transport.Context, wantTag int32) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			var got *transport.Packet
+			c.Poll(func(e transport.CQE) {
+				if e.Kind == transport.CQERecv {
+					got = e.Packet
+				}
+			}, 8)
+			if got != nil {
+				if tag := got.Envelope().Tag; tag != wantTag {
+					t.Fatalf("got tag %d, want %d", tag, wantTag)
+				}
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("tag %d never arrived", wantTag)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	// Rank 1 establishes first: it dials, rank 0 adopts the inbound conn.
+	send(ep1, 1)
+	recv(c0, 1)
+	if got := ctr1.Get(spc.ConnsOpened); got != 1 {
+		t.Fatalf("rank 1 conns_opened = %d, want 1", got)
+	}
+	// Force rank 0 to dial as if its own dial had raced: mark its adopted
+	// link broken (without closing the socket rank 1 still writes on).
+	s := &nets[0].slots[1]
+	s.mu.Lock()
+	s.link.broken.Store(true)
+	s.mu.Unlock()
+	// Rank 0's next send dials. Rank 1's accept side sees a hello from a
+	// lower rank while holding a live link: adopt, discard, count the loss.
+	send(ep0, 2)
+	recv(c1, 2)
+	deadline := time.Now().Add(5 * time.Second)
+	for ctr1.Get(spc.DialRacesLost) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("rank 1 never counted its lost dial race")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := ctr0.Get(spc.ConnsOpened); got != 1 {
+		t.Fatalf("rank 0 conns_opened = %d, want 1", got)
+	}
+	if got := ctr0.Get(spc.DialRacesLost); got != 0 {
+		t.Fatalf("rank 0 dial_races_lost = %d, want 0 (the lower rank wins)", got)
+	}
+	// Traffic converges onto the surviving connection in both directions.
+	send(ep1, 3)
+	recv(c0, 3)
+	send(ep0, 4)
+	recv(c1, 4)
+	opened := ctr0.Get(spc.ConnsOpened) + ctr1.Get(spc.ConnsOpened)
+	lost := ctr0.Get(spc.DialRacesLost) + ctr1.Get(spc.DialRacesLost)
+	if opened-lost != 1 {
+		t.Fatalf("surviving connections = %d − %d = %d, want 1", opened, lost, opened-lost)
+	}
+}
+
+// TestConcurrentFirstSendsConverge fires the two sides' first sends
+// concurrently, so the dials may genuinely race, and asserts the invariant
+// either way: exactly one surviving connection per pair and delivery in
+// both directions.
+func TestConcurrentFirstSendsConverge(t *testing.T) {
+	for iter := 0; iter < 10; iter++ {
+		nets, err := NewLoopback(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctr0, ctr1 := spc.NewSet(), spc.NewSet()
+		d0, err := nets[0].NewDevice(0, hw.Fast(), transport.DeviceConfig{Counters: ctr0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1, err := nets[1].NewDevice(1, hw.Fast(), transport.DeviceConfig{Counters: ctr1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c0, _ := d0.CreateContext(0)
+		c1, _ := d1.CreateContext(0)
+		ep0, err := d0.Connect(c0, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep1, err := d1.Connect(c1, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for _, ep := range []transport.Endpoint{ep0, ep1} {
+			wg.Add(1)
+			go func(ep transport.Endpoint) {
+				defer wg.Done()
+				env := transport.Envelope{Tag: 9, Kind: transport.KindEager}
+				if err := ep.Send(transport.NewPacket(env, nil, nil)); err != nil {
+					t.Error(err)
+				}
+			}(ep)
+		}
+		wg.Wait()
+		for _, c := range []transport.Context{c0, c1} {
+			got := 0
+			deadline := time.Now().Add(5 * time.Second)
+			for got < 2 { // one send completion + one inbound packet
+				got += c.Poll(func(transport.CQE) {}, 8)
+				if time.Now().After(deadline) {
+					t.Fatal("delivery never converged after racing dials")
+				}
+			}
+		}
+		opened := ctr0.Get(spc.ConnsOpened) + ctr1.Get(spc.ConnsOpened)
+		lost := ctr0.Get(spc.DialRacesLost) + ctr1.Get(spc.DialRacesLost)
+		if opened-lost != 1 {
+			t.Fatalf("iter %d: surviving connections = %d − %d = %d, want exactly 1",
+				iter, opened, lost, opened-lost)
+		}
+		d0.Close()
+		d1.Close()
 	}
 }

@@ -22,6 +22,12 @@ var ErrRegionUnavailable = errors.New("transport: remote memory region unavailab
 // wired — on a real network the analog of an unreachable address.
 var ErrNoEndpoint = errors.New("transport: no endpoint to peer")
 
+// ErrConnEstablish reports that lazy connection establishment failed on
+// first use of an endpoint: the dial (or the deferred resolution of a
+// simulated peer) could not produce a usable physical connection. The send
+// that triggered establishment was not injected.
+var ErrConnEstablish = errors.New("transport: connection establishment failed")
+
 // Caps describes what a backend can do. The runtime consults it at world
 // construction: a lossless backend skips the ack/retransmit delivery layer,
 // a backend without one-sided support routes rendezvous bulk data through
@@ -40,6 +46,12 @@ type Caps struct {
 	// FaultInjection means the backend honors DeviceConfig fault and
 	// scramble settings.
 	FaultInjection bool
+	// Multiplexed means all of a peer pair's contexts share one physical
+	// connection, demultiplexed by the context-mux ID in the wire framing,
+	// and that connections are established lazily on first send rather than
+	// at world construction. Endpoints of such backends may return
+	// ErrConnEstablish from Send when the deferred dial fails.
+	Multiplexed bool
 }
 
 // String renders the capability set for self-describing results files,
@@ -54,6 +66,9 @@ func (c Caps) String() string {
 	}
 	if c.FaultInjection {
 		parts = append(parts, "faults")
+	}
+	if c.Multiplexed {
+		parts = append(parts, "mux")
 	}
 	if len(parts) == 0 {
 		return "none"
@@ -208,11 +223,16 @@ type Context interface {
 // multi-producer; tcpnet serializes frame writes per connection).
 type Endpoint interface {
 	// Send injects a two-sided packet and posts a send-completion CQE to
-	// the local context.
-	Send(p *Packet)
+	// the local context. On Multiplexed backends the first Send may have to
+	// establish the physical connection; a failed establishment surfaces as
+	// an error wrapping ErrConnEstablish and the packet is not injected.
+	// Lossless backends may also report a definitive wire failure here.
+	Send(p *Packet) error
 	// Resend re-injects a packet without a new send-completion CQE — the
-	// retransmission path of the delivery-reliability layer.
-	Resend(p *Packet)
+	// retransmission path of the delivery-reliability layer. Errors carry
+	// the same meaning as Send's; the reliability layer treats a failed
+	// resend like a lost packet (the retry budget governs).
+	Resend(p *Packet) error
 	// PutRegion writes src into the peer's registered region at offset (an
 	// RDMA write addressed by region id). Requires Caps.OneSided; returns
 	// ErrRegionUnavailable when the target tore the region down.

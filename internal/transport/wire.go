@@ -248,6 +248,34 @@ func DecodePacket(b []byte) (*Packet, error) {
 	return p, nil
 }
 
+// MuxHeaderSize is the framed size of the per-frame multiplexing prefix a
+// multiplexed wire carries ahead of the packet: the destination context
+// index (the "mux ID") that routes the frame to one of the peer pair's
+// shared-connection contexts. It is connection-private framing, not part of
+// the packet (WireSize/AppendWire are unchanged), so non-multiplexed
+// framings stay byte-identical.
+const MuxHeaderSize = 4
+
+// AppendMuxFrame appends a multiplexed wire frame to b: a u32 total-length
+// prefix covering [mux header + packet], the u32 mux ID (destination
+// context index), then the packet's AppendWire form.
+func (p *Packet) AppendMuxFrame(b []byte, mux uint32) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(MuxHeaderSize+p.WireSize()))
+	b = binary.LittleEndian.AppendUint32(b, mux)
+	return p.AppendWire(b)
+}
+
+// DecodeMuxFrame parses the body of a multiplexed frame (everything after
+// the length prefix): the mux ID and the packet.
+func DecodeMuxFrame(b []byte) (mux uint32, p *Packet, err error) {
+	if len(b) < MuxHeaderSize {
+		return 0, nil, fmt.Errorf("transport: short mux frame (%d bytes)", len(b))
+	}
+	mux = binary.LittleEndian.Uint32(b)
+	p, err = DecodePacket(b[MuxHeaderSize:])
+	return mux, p, err
+}
+
 // CQEKind discriminates completion-queue entries.
 type CQEKind uint8
 

@@ -1,13 +1,21 @@
 #!/usr/bin/env bash
-# Two-process TCP smoke test: run the pairwise Multirate benchmark as two
-# real OS processes joined over loopback TCP — with wire tracing on and the
-# receiver serving its live observability endpoint — and check that:
+# TCP smoke test, two stages.
+#
+# Stage 1 — two processes by hand: run the pairwise Multirate benchmark as
+# two real OS processes joined over loopback TCP — with wire tracing on and
+# the receiver serving its live observability endpoint — and check that:
 #   - both halves finish with consistent totals (the sender's messages_sent
 #     SPC fully accounted for by the receiver's messages_received),
 #   - /healthz answers, /readyz flips to 200 once the handshake completes,
 #     and /metrics + /debug/queues answer while the run is in flight,
 #   - the per-rank trace shards merge into one Chrome trace with
 #     cross-rank flow arrows.
+#
+# Stage 2 — four ranks through the launcher: run the same benchmark via
+# `mpirun -n 4`, poll a rank's live /spc mid-run, and assert the
+# multiplexed on-demand connection invariant from the counters: summed over
+# ranks, conns_opened - dial_races_lost never exceeds one physical
+# connection per communicating pair.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -113,3 +121,74 @@ fi
 
 echo "OK: $msgs0 benchmark messages; sender sent=$sent, receiver received=$received"
 echo "OK: live /healthz, /readyz, /metrics and /debug/queues served; merged trace carries $flows flow-arrow events"
+
+# ---- 4-rank mpirun launch ---------------------------------------------
+# Launch the same benchmark as a 4-rank job through the mpirun launcher,
+# hit a rank's live /spc endpoint mid-run, and verify the multiplexed
+# on-demand topology from the connection counters: the surviving physical
+# connections (conns_opened - dial_races_lost, summed over ranks) must not
+# exceed one per communicating pair — at most n(n-1)/2 = 6 for n=4.
+go build -o "$tmp/mpirun" ./cmd/mpirun
+
+mout="$tmp/mpirun_out"
+"$tmp/mpirun" -n 4 "$tmp/multirate" -pairs 4 -window 64 -iters 128 \
+    -machine fast -spcs -http 127.0.0.1:0 >"$mout" 2>&1 &
+mpirun_pid=$!
+
+# Each rank prints its auto-allocated observability address on stderr;
+# grab the first one that appears in the teed output and poll its /spc
+# while the job runs.
+spc_live=""
+for _ in $(seq 1 200); do
+    addr="$(grep -o 'observability endpoint on http://[0-9.:]*' "$mout" 2>/dev/null | head -1 | sed 's#.*http://##' || true)"
+    if [[ -n "$addr" ]] && curl -fsS "http://$addr/spc" >"$tmp/spc_live" 2>/dev/null; then
+        spc_live=yes
+        break
+    fi
+    kill -0 "$mpirun_pid" 2>/dev/null || break
+    sleep 0.05
+done
+
+if ! wait "$mpirun_pid"; then
+    echo "FAIL: mpirun -n 4 exited nonzero" >&2
+    tail -20 "$mout" >&2
+    exit 1
+fi
+if [[ "$(grep -c 'engine=real' "$mout")" -ne 4 ]]; then
+    echo "FAIL: expected 4 rank headers from mpirun, got:" >&2
+    grep 'engine=real' "$mout" >&2 || true
+    exit 1
+fi
+if [[ -z "$spc_live" ]] || ! grep -q 'messages_' "$tmp/spc_live"; then
+    echo "FAIL: live /spc endpoint never answered during the mpirun job" >&2
+    exit 1
+fi
+
+# Per-rank counters arrive teed as "[rank R] counter_name value"; absent
+# means zero (the SPC dump omits zero counters).
+rank_counter() {
+    local v
+    v="$(awk -v r="$2]" -v k="$3" '$1 == "[rank" && $2 == r && $3 == k { print $4; exit }' "$1")"
+    echo "${v:-0}"
+}
+opened_total=0 reused_total=0 races_total=0
+for r in 0 1 2 3; do
+    o="$(rank_counter "$mout" "$r" conns_opened)"
+    u="$(rank_counter "$mout" "$r" conns_reused)"
+    l="$(rank_counter "$mout" "$r" dial_races_lost)"
+    echo "rank $r: conns_opened=$o conns_reused=$u dial_races_lost=$l"
+    if [[ "$o" -gt 3 ]]; then
+        echo "FAIL: rank $r opened $o connections, only 3 peers exist" >&2
+        exit 1
+    fi
+    opened_total=$((opened_total + o))
+    reused_total=$((reused_total + u))
+    races_total=$((races_total + l))
+done
+surviving=$((opened_total - races_total))
+if [[ "$surviving" -lt 3 || "$surviving" -gt 6 ]]; then
+    echo "FAIL: $surviving surviving connections (opened=$opened_total races_lost=$races_total); a 4-rank job holds 3..6, at most one per pair" >&2
+    exit 1
+fi
+
+echo "OK: mpirun -n 4 completed; $surviving surviving connections for 6 peer pairs (opened=$opened_total reused=$reused_total races_lost=$races_total); live /spc answered mid-run"
