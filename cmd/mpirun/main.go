@@ -9,9 +9,19 @@
 // and mpirun exits with the first nonzero rank exit code (or 0 when every
 // rank succeeds). SIGINT/SIGTERM are forwarded to all ranks.
 //
+// With -http (or -report-out) the launcher becomes the job's observability
+// plane: it auto-allocates one loopback observability port per rank,
+// appends `-http ADDR_R` to each rank's command line, and polls every
+// rank's live endpoint into the cluster aggregator (internal/cluster). The
+// merged view is served on the -http address at /cluster/metrics,
+// /cluster/spc, /cluster/health, /cluster/imbalance, and /cluster/report
+// (point cmd/mpitop at it), and -report-out writes the end-of-run cluster
+// report JSON after the last rank exits.
+//
 // Examples:
 //
 //	mpirun -n 4 ./bin/multirate -pairs 4 -window 64 -iters 8
+//	mpirun -n 4 -http :0 -report-out report.json ./bin/multirate -pairs 2
 //	mpirun -n 8 -emit ./bin/multirate -pairs 2     # print the commands, run nothing
 //
 // With -emit the launcher prints one shell-quoted command line per rank
@@ -21,6 +31,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -32,15 +43,21 @@ import (
 	"strings"
 	"sync"
 	"syscall"
+	"time"
+
+	"repro/internal/cluster"
 )
 
 func main() {
 	var (
-		n    = flag.Int("n", 2, "number of ranks to launch")
-		emit = flag.Bool("emit", false, "print per-rank command lines instead of spawning")
+		n         = flag.Int("n", 2, "number of ranks to launch")
+		emit      = flag.Bool("emit", false, "print per-rank command lines instead of spawning")
+		httpAddr  = flag.String("http", "", "serve the cluster aggregation plane on this address (e.g. 127.0.0.1:9099, or :0 for an ephemeral port); per-rank observability ports are auto-allocated")
+		poll      = flag.Duration("poll", 250*time.Millisecond, "cluster aggregator scrape interval")
+		reportOut = flag.String("report-out", "", "write the end-of-run cluster report JSON to this file (implies per-rank observability ports)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mpirun [-n N] [-emit] <command> [args...]\n")
+		fmt.Fprintf(os.Stderr, "usage: mpirun [-n N] [-emit] [-http ADDR] [-poll D] [-report-out FILE] <command> [args...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -59,25 +76,48 @@ func main() {
 	}
 	peers := strings.Join(addrs, ",")
 
+	// The observability plane is on when anything consumes it: each rank
+	// then gets its own live endpoint address for the aggregator to poll.
+	var obsAddrs []string
+	if *httpAddr != "" || *reportOut != "" {
+		obsAddrs, err = allocateAddrs(*n)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	if *emit {
 		for r := 0; r < *n; r++ {
-			fmt.Println(shellJoin(rankArgv(argv, r, addrs[r], peers)))
+			fmt.Println(shellJoin(rankArgv(argv, r, addrs[r], peers, obsAddr(obsAddrs, r))))
 		}
 		return
 	}
-	os.Exit(run(*n, argv, addrs, peers))
+	os.Exit(run(*n, argv, addrs, peers, obsAddrs, *httpAddr, *poll, *reportOut))
+}
+
+// obsAddr returns rank r's observability address ("" when the plane is off).
+func obsAddr(obsAddrs []string, r int) string {
+	if len(obsAddrs) == 0 {
+		return ""
+	}
+	return obsAddrs[r]
 }
 
 // rankArgv appends the distributed flag set for one rank to the user's
-// command line.
-func rankArgv(argv []string, rank int, listen, peers string) []string {
+// command line. Appending keeps last-one-wins flag semantics: the launcher's
+// values override any the user passed themselves.
+func rankArgv(argv []string, rank int, listen, peers, obsAddr string) []string {
 	out := append([]string(nil), argv...)
-	return append(out,
+	out = append(out,
 		"-transport", "tcp",
 		"-rank", fmt.Sprint(rank),
 		"-listen", listen,
 		"-peers", peers,
 	)
+	if obsAddr != "" {
+		out = append(out, "-http", obsAddr)
+	}
+	return out
 }
 
 // allocateAddrs reserves n distinct loopback ports by binding and
@@ -102,12 +142,31 @@ func allocateAddrs(n int) ([]string, error) {
 
 // run spawns all ranks, tees their output, forwards signals, and returns
 // the job's exit code: the first nonzero rank exit code in rank order, or
-// 0 when every rank succeeds.
-func run(n int, argv []string, addrs []string, peers string) int {
+// 0 when every rank succeeds. With obsAddrs set it also runs the cluster
+// aggregation plane over the ranks' live endpoints.
+func run(n int, argv []string, addrs []string, peers string, obsAddrs []string, httpAddr string, poll time.Duration, reportOut string) int {
+	var agg *cluster.Aggregator
+	if len(obsAddrs) > 0 {
+		eps := make([]cluster.Endpoint, n)
+		for r := range eps {
+			eps[r] = cluster.Endpoint{Rank: r, URL: "http://" + obsAddrs[r]}
+		}
+		agg = cluster.NewAggregator(cluster.AggregatorConfig{Endpoints: eps, Poll: poll})
+		agg.Start()
+		if httpAddr != "" {
+			srv, err := cluster.Serve(httpAddr, agg)
+			if err != nil {
+				fatal(err)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "mpirun: cluster aggregator on http://%s\n", srv.Addr())
+		}
+	}
+
 	cmds := make([]*exec.Cmd, n)
 	tees := make([]sync.WaitGroup, n)
 	for r := 0; r < n; r++ {
-		cmd := exec.Command(argv[0], rankArgv(argv[1:], r, addrs[r], peers)...)
+		cmd := exec.Command(argv[0], rankArgv(argv[1:], r, addrs[r], peers, obsAddr(obsAddrs, r))...)
 		cmd.Stdin = nil
 		outPipe, err := cmd.StdoutPipe()
 		if err != nil {
@@ -169,6 +228,28 @@ func run(n int, argv []string, addrs []string, peers string) int {
 	}
 	close(done)
 	signal.Stop(sigc)
+
+	if agg != nil {
+		// Stop polling before the report: the ranks are gone, and further
+		// scrape failures would only overwrite the error notes on the last
+		// good per-rank state the report is built from.
+		agg.Stop()
+		if reportOut != "" {
+			rep := cluster.BuildReport(agg.State())
+			b, err := json.MarshalIndent(rep, "", "  ")
+			if err == nil {
+				err = os.WriteFile(reportOut, append(b, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mpirun: writing cluster report: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+			} else {
+				fmt.Fprintf(os.Stderr, "mpirun: cluster report written to %s\n", reportOut)
+			}
+		}
+	}
 	return code
 }
 

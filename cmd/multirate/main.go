@@ -93,8 +93,9 @@ func main() {
 		flightOut = flag.String("flight-out", "", "write the flight-record exit dump (rings + final queue snapshot) as JSON to this file; implies -flight "+fmt.Sprint(flight.DefaultRingCapacity))
 		watchdog  = flag.Bool("watchdog", false, "run the stall watchdog; a detected stall dumps the flight record and queue snapshot to stderr (either engine)")
 
-		stallRecv = flag.Duration("stall", 0, "sim engine: freeze the receiver for this much virtual time mid-run (deterministic stall injection; pair with -watchdog)")
-		stallAt   = flag.Int("stall-at", 0, "sim engine: window iteration at which the -stall freeze fires")
+		stallRecv = flag.Duration("stall", 0, "freeze pair 0's receiver for this long mid-run: virtual time on the sim engine (deterministic; pair with -watchdog), wall clock on the real engine (pair with mpirun -http to watch the cluster detector localize it)")
+		stallAt   = flag.Int("stall-at", 0, "window iteration at which the -stall freeze fires")
+		stallRank = flag.Int("stall-rank", 0, "world rank the -stall freeze applies to in a distributed run (0 = the last receiver rank)")
 	)
 	flag.Parse()
 	if *flightOut != "" && *flightCap <= 0 {
@@ -226,6 +227,7 @@ func main() {
 			Iters: *iters, MsgSize: *msgSize, CommPerPair: *commPerPair,
 			AnyTag: *anyTag, Overtaking: *overtaking, ProcessMode: *processMode,
 			Pattern: pat, SampleInterval: *sampleInterval,
+			StallRecv: *stallRecv, StallAfterIter: *stallAt, StallRank: *stallRank,
 			OnSampler: outputs.BindSampler,
 			OnWorld: func(w *core.World) {
 				src := worldSource(w, outputs.Info)

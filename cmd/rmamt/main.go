@@ -166,6 +166,7 @@ func main() {
 			FlightPath: *flightOut,
 			Info: map[string]string{
 				"cmd": "rmamt", "progress": *prog, "assignment": *assignment,
+				"rank": fmt.Sprint(*rank),
 			},
 		}
 		defer outputs.DumpOnPanic()

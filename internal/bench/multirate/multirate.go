@@ -89,6 +89,19 @@ type Config struct {
 	// after it starts (only when SampleInterval > 0), so an interrupted
 	// run can stop it and flush the partial time series.
 	OnSampler func(*telemetry.Sampler)
+	// StallRecv, when positive, freezes every receiver thread on the
+	// stalled rank for this wall-clock duration right after it posts
+	// window iteration StallAfterIter — the real-engine sibling of
+	// simnet's deterministic virtual stall injection, used to surface a
+	// live straggler to the cluster imbalance detector: the whole rank's
+	// receive side goes quiet while its peer keeps sending. The run still
+	// completes with full totals once the freeze ends.
+	StallRecv      time.Duration
+	StallAfterIter int
+	// StallRank restricts a distributed run's freeze to one world rank
+	// (0 = the last, highest-numbered receiver rank). Single-process runs
+	// ignore it: their only receiver process takes the freeze.
+	StallRank int
 }
 
 func (c Config) withDefaults() Config {
@@ -255,7 +268,7 @@ func runThreads(cfg Config) (Result, error) {
 		}(pair)
 		go func(pair int) {
 			defer wg.Done()
-			errs <- receiverLoop(w.Proc(1).NewThread(), recvComms[pair], cfg, int32(pair))
+			errs <- receiverLoop(w.Proc(1).NewThread(), recvComms[pair], cfg, int32(pair), cfg.stallsHere(1, 0))
 		}(pair)
 	}
 	wg.Wait()
@@ -314,7 +327,7 @@ func runProcesses(cfg Config) (Result, error) {
 		}(pair)
 		go func(pair int) {
 			defer wg.Done()
-			errs <- receiverLoop(pcs[pair].r.Proc().NewThread(), pcs[pair].r, cfg, 0)
+			errs <- receiverLoop(pcs[pair].r.Proc().NewThread(), pcs[pair].r, cfg, 0, cfg.stallsHere(1, 0))
 		}(pair)
 	}
 	wg.Wait()
@@ -443,7 +456,7 @@ func RunDistributed(cfg Config, rank int, net transport.Network) (Result, error)
 			if rank%2 == 0 {
 				errs <- senderLoop(p.NewThread(), comms[pair], cfg, int32(pair))
 			} else {
-				errs <- receiverLoop(p.NewThread(), comms[pair], cfg, int32(pair))
+				errs <- receiverLoop(p.NewThread(), comms[pair], cfg, int32(pair), cfg.stallsHere(rank, size))
 			}
 		}(pair)
 	}
@@ -500,7 +513,7 @@ func senderLoop(th *core.Thread, c *core.Comm, cfg Config, tag int32) error {
 	return nil
 }
 
-func receiverLoop(th *core.Thread, c *core.Comm, cfg Config, tag int32) error {
+func receiverLoop(th *core.Thread, c *core.Comm, cfg Config, tag int32, stall bool) error {
 	defer th.Done()
 	bufs := make([][]byte, cfg.Window)
 	for i := range bufs {
@@ -520,9 +533,35 @@ func receiverLoop(th *core.Thread, c *core.Comm, cfg Config, tag int32) error {
 			}
 			reqs = append(reqs, req)
 		}
+		if stall && it == cfg.StallAfterIter {
+			// Injected fault: leave the freshly posted window unserviced.
+			// Arrivals drain the posted receives at match time, then this
+			// rank's received counter freezes with the peer's further
+			// traffic piling into the unexpected queue — the straggler
+			// signature the cluster detector must localize.
+			time.Sleep(cfg.StallRecv)
+		}
 		if err := core.WaitAll(th, reqs...); err != nil {
 			return fmt.Errorf("multirate receiver waitall: %w", err)
 		}
 	}
 	return nil
+}
+
+// stallsHere reports whether this receiver thread takes the injected
+// freeze: in a distributed world only the configured stall rank's threads
+// do (default: the last receiver rank), so every other rank keeps moving
+// and the cluster detector has the cross-rank contrast it needs.
+func (c Config) stallsHere(rank, size int) bool {
+	if c.StallRecv <= 0 {
+		return false
+	}
+	if size == 0 { // single-process harness: the one receiver proc
+		return true
+	}
+	target := c.StallRank
+	if target == 0 {
+		target = size - 1
+	}
+	return rank == target
 }

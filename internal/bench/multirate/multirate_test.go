@@ -2,6 +2,7 @@ package multirate
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cri"
@@ -135,5 +136,47 @@ func TestAllDesignKnobsFunctional(t *testing.T) {
 		if _, err := Run(cfg); err != nil {
 			t.Fatalf("option set %d: %v", i, err)
 		}
+	}
+}
+
+// TestStallInjectionStillCompletes: the real-engine stall freeze delays
+// pair 0's receiver but must not change the run's totals — the cluster
+// smoke relies on a -stall job finishing cleanly after the verdict fires.
+func TestStallInjectionStillCompletes(t *testing.T) {
+	cfg := fastCfg()
+	cfg.StallRecv = 30 * time.Millisecond
+	cfg.StallAfterIter = 1
+	start := time.Now()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 64 {
+		t.Fatalf("Messages = %d, want 64", res.Messages)
+	}
+	if got := res.SPCs.Get(spc.MessagesReceived); got != 64 {
+		t.Fatalf("messages_received = %d, want 64", got)
+	}
+	if time.Since(start) < 30*time.Millisecond {
+		t.Fatal("stall injection did not delay the run")
+	}
+}
+
+// TestStallsHereTargetsOneRank: in a distributed world only the configured
+// stall rank (default: the last receiver rank) takes the freeze.
+func TestStallsHereTargetsOneRank(t *testing.T) {
+	cfg := Config{StallRecv: time.Second}
+	for rank := 0; rank < 4; rank++ {
+		want := rank == 3
+		if got := cfg.stallsHere(rank, 4); got != want {
+			t.Fatalf("default stall rank: stallsHere(%d, 4) = %v", rank, got)
+		}
+	}
+	cfg.StallRank = 1
+	if !cfg.stallsHere(1, 4) || cfg.stallsHere(3, 4) {
+		t.Fatal("explicit -stall-rank not honored")
+	}
+	if (Config{}).stallsHere(3, 4) {
+		t.Fatal("stall fired with StallRecv unset")
 	}
 }

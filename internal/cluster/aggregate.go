@@ -1,0 +1,258 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/spc"
+)
+
+// MergeFamilies concatenates every rank's families into one exposition:
+// one family per name (first-seen HELP/TYPE wins; the exporters emit
+// identical metadata on every rank), samples appended in rank order.
+// Because every sample carries a rank label (enforced at scrape time), the
+// merge can never collide two ranks' series.
+func MergeFamilies(ranks []RankState) []PromFamily {
+	var out []PromFamily
+	index := map[string]int{}
+	for _, rs := range ranks {
+		for _, f := range rs.Families {
+			i, ok := index[f.Name]
+			if !ok {
+				index[f.Name] = len(out)
+				out = append(out, PromFamily{Name: f.Name, Type: f.Type, Help: f.Help})
+				i = len(out) - 1
+			}
+			out[i].Samples = append(out[i].Samples, f.Samples...)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RollupSPC merges every rank's process-scope counters into the cluster
+// total — the same Merge invariant the per-process roll-up uses across
+// CRIs and communicators, applied one level up across ranks.
+func RollupSPC(ranks []RankState) spc.Snapshot {
+	snaps := make([]spc.Snapshot, 0, len(ranks))
+	for _, rs := range ranks {
+		snaps = append(snaps, rs.SPC)
+	}
+	return spc.Merge(snaps...)
+}
+
+// ClusterState is one aggregation round's full output: the scraped ranks,
+// the merged exposition, the rollup, per-rank rates from the detector, and
+// the verdicts fired so far.
+type ClusterState struct {
+	CapturedNs int64
+	Polls      int64
+	Ranks      []RankState
+	Rollup     spc.Snapshot
+	// Rates holds the detector's per-rank trailing-window message rates
+	// (msgs/s, sent+received), keyed by rank; absent until a full rate
+	// window has elapsed.
+	Rates map[int]float64
+	// Current holds the verdicts fired by the latest observation; History
+	// accumulates every verdict of the run in firing order.
+	Current []Verdict
+	History []Verdict
+}
+
+// Clean reports whether the run has produced no verdicts at all.
+func (cs ClusterState) Clean() bool { return len(cs.History) == 0 }
+
+// WriteClusterMetrics renders the aggregate exposition: every rank's
+// families merged, followed by the mpi_cluster_* gauges that only exist at
+// this level (rank counts, readiness, scrape errors, per-rank rates and
+// depths, verdict counts, imbalance flag).
+func WriteClusterMetrics(w io.Writer, cs ClusterState) error {
+	if err := WriteFamilies(w, MergeFamilies(cs.Ranks)); err != nil {
+		return err
+	}
+	g := func(name, help string, samples ...PromSample) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, s := range samples {
+			s.Name = name
+			formatSample(w, s)
+		}
+	}
+	ready, errs := 0, 0
+	for _, rs := range cs.Ranks {
+		if rs.Err != "" {
+			errs++
+		} else if rs.Ready {
+			ready++
+		}
+	}
+	g("mpi_cluster_ranks", "Ranks the aggregator scrapes.",
+		PromSample{Value: float64(len(cs.Ranks))})
+	g("mpi_cluster_ranks_ready", "Ranks whose /readyz answered 200 on the last poll.",
+		PromSample{Value: float64(ready)})
+	g("mpi_cluster_scrape_errors", "Ranks whose last scrape failed.",
+		PromSample{Value: float64(errs)})
+	g("mpi_cluster_polls_total", "Aggregation rounds completed.",
+		PromSample{Value: float64(cs.Polls)})
+
+	var rateSamples, depthSamples []PromSample
+	for _, rs := range cs.Ranks {
+		rank := strconv.Itoa(rs.Rank)
+		if r, ok := cs.Rates[rs.Rank]; ok {
+			rateSamples = append(rateSamples, PromSample{
+				Labels: map[string]string{"rank": rank}, Value: r})
+		}
+		depth := 0
+		for _, cq := range rs.Queues.Comms {
+			depth += cq.Unexpected
+		}
+		depthSamples = append(depthSamples, PromSample{
+			Labels: map[string]string{"rank": rank}, Value: float64(depth)})
+	}
+	g("mpi_cluster_msg_rate", "Per-rank message rate (sent+received per second) over the last rate window.",
+		rateSamples...)
+	g("mpi_cluster_unexpected_depth", "Per-rank unexpected-queue depth summed over communicators.",
+		depthSamples...)
+
+	byReason := map[string]int{}
+	for _, v := range cs.History {
+		byReason[v.Reason]++
+	}
+	reasons := make([]string, 0, len(byReason))
+	for r := range byReason {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	verdictSamples := make([]PromSample, 0, len(reasons))
+	for _, r := range reasons {
+		verdictSamples = append(verdictSamples, PromSample{
+			Labels: map[string]string{"reason": r}, Value: float64(byReason[r])})
+	}
+	g("mpi_cluster_verdicts_total", "Imbalance verdicts fired this run, by reason.",
+		verdictSamples...)
+	imbalance := 0.0
+	if len(cs.Current) > 0 {
+		imbalance = 1
+	}
+	g("mpi_cluster_imbalance", "1 while the latest observation fired at least one verdict.",
+		PromSample{Value: imbalance})
+	return nil
+}
+
+// WriteClusterSPC renders the /cluster/spc document: the cluster-level
+// rollup first, then every rank's own attribution dump verbatim.
+func WriteClusterSPC(w io.Writer, cs ClusterState) error {
+	if _, err := fmt.Fprintf(w, "cluster totals (%d ranks):\n%s", len(cs.Ranks), indent(cs.Rollup.String())); err != nil {
+		return err
+	}
+	for _, rs := range cs.Ranks {
+		if rs.Err != "" {
+			fmt.Fprintf(w, "--- rank %d (scrape failed: %s)\n", rs.Rank, rs.Err)
+			continue
+		}
+		fmt.Fprintf(w, "--- rank %d\n%s", rs.Rank, rs.SPCText)
+	}
+	return nil
+}
+
+func indent(s string) string {
+	if s == "" {
+		return "  (all zero)\n"
+	}
+	out := "  "
+	for i := 0; i < len(s); i++ {
+		out += string(s[i])
+		if s[i] == '\n' && i != len(s)-1 {
+			out += "  "
+		}
+	}
+	return out
+}
+
+// RankReport is one rank's row in the cluster report — exactly the columns
+// mpitop renders.
+type RankReport struct {
+	Rank          int     `json:"rank"`
+	Ready         bool    `json:"ready"`
+	ReadyReason   string  `json:"ready_reason,omitempty"`
+	Err           string  `json:"err,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	MsgRate       float64 `json:"msg_rate"`
+	Sent          int64   `json:"sent"`
+	Received      int64   `json:"received"`
+	Retransmits   int64   `json:"retransmits"`
+	Conns         int64   `json:"conns"`
+	Posted        int     `json:"posted"`
+	Unexpected    int     `json:"unexpected"`
+	OOSBuffered   int     `json:"oos_buffered"`
+	P99LatencyNs  int64   `json:"p99_latency_ns"`
+	// Verdict is the most recent verdict reason naming this rank, "" when
+	// the rank has stayed clean.
+	Verdict string `json:"verdict,omitempty"`
+}
+
+// Report is the end-of-run cluster artifact (-report-out, /cluster/report):
+// one row per rank, the rollup, and the full verdict history. Schema
+// changes bump ReportSchemaVersion.
+type Report struct {
+	SchemaVersion int              `json:"schema_version"`
+	CapturedNs    int64            `json:"captured_ns"`
+	Polls         int64            `json:"polls"`
+	Clean         bool             `json:"clean"`
+	Ranks         []RankReport     `json:"ranks"`
+	Cluster       map[string]int64 `json:"cluster_totals"`
+	Verdicts      []Verdict        `json:"verdicts"`
+}
+
+// ReportSchemaVersion identifies the cluster report layout.
+const ReportSchemaVersion = 1
+
+// BuildReport condenses the cluster state into the report.
+func BuildReport(cs ClusterState) Report {
+	rep := Report{
+		SchemaVersion: ReportSchemaVersion,
+		CapturedNs:    cs.CapturedNs,
+		Polls:         cs.Polls,
+		Clean:         cs.Clean(),
+		Cluster:       map[string]int64{},
+		Verdicts:      append([]Verdict{}, cs.History...),
+		Ranks:         []RankReport{},
+	}
+	for c := 0; c < spc.NumCounters; c++ {
+		if v := cs.Rollup.Get(spc.Counter(c)); v != 0 {
+			rep.Cluster[spc.Counter(c).String()] = v
+		}
+	}
+	lastVerdict := map[int]string{}
+	for _, v := range cs.History {
+		lastVerdict[v.Rank] = v.Reason
+	}
+	for _, rs := range cs.Ranks {
+		rr := RankReport{
+			Rank:          rs.Rank,
+			Ready:         rs.Ready,
+			ReadyReason:   rs.ReadyReason,
+			Err:           rs.Err,
+			UptimeSeconds: rs.UptimeSeconds,
+			Sent:          rs.SPC.Get(spc.MessagesSent),
+			Received:      rs.SPC.Get(spc.MessagesReceived),
+			Retransmits:   rs.SPC.Get(spc.Retransmits),
+			Conns:         rs.SPC.Get(spc.ConnsOpened) - rs.SPC.Get(spc.DialRacesLost),
+			Verdict:       lastVerdict[rs.Rank],
+		}
+		if r, ok := cs.Rates[rs.Rank]; ok {
+			rr.MsgRate = r
+		}
+		for _, cq := range rs.Queues.Comms {
+			rr.Posted += cq.Posted
+			rr.Unexpected += cq.Unexpected
+			rr.OOSBuffered += cq.OOSBuffered
+		}
+		if f, ok := FamilyByName(rs.Families, "mpi_msg_latency_ns"); ok {
+			rr.P99LatencyNs = HistogramQuantile(f, strconv.Itoa(rs.Rank), 0.99)
+		}
+		rep.Ranks = append(rep.Ranks, rr)
+	}
+	return rep
+}

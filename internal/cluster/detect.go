@@ -1,0 +1,417 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Obs is one rank's condensed state at a single cluster observation:
+// cumulative movement counters, live queue depths, and readiness. The live
+// aggregator builds one per rank from a scrape; the simnet twin builds one
+// per virtual rank from a flight.Sample.
+type Obs struct {
+	Rank int
+	// Err is a non-empty scrape failure description. An errored rank
+	// contributes nothing to the detections this round (its counters are
+	// stale), but stays visible in health output.
+	Err string
+	// Ready mirrors the rank's /readyz; ReadyReason carries the 503 body.
+	Ready       bool
+	ReadyReason string
+	// Cumulative SPC movement counters.
+	Sent, Received, Retransmits int64
+	// Live queue depths summed over the rank's communicators.
+	Posted, Unexpected, OOSBuffered int
+	// Unacked is the rank's total reliability-window occupancy.
+	Unacked int
+}
+
+// queued is the rank's total visible work in flight — the quantity that
+// separates "straggling" from "finished" (zero) and from "blocked in a
+// collective" (the ambient handful below DetectorConfig.MinOutstanding).
+func (o Obs) queued() int {
+	return o.Posted + o.Unexpected + o.OOSBuffered + o.Unacked
+}
+
+// Sample is one synchronized cluster observation.
+type Sample struct {
+	NowNs int64
+	Obs   []Obs
+}
+
+// DetectorConfig bounds the cross-rank detections. Zero values take
+// defaults chosen to match flight.DetectorConfig where the detections
+// overlap (stalls, retransmit storms).
+type DetectorConfig struct {
+	// StallAfter fires the straggler detection when one rank's sent+received
+	// counters freeze for this long with work outstanding while some other
+	// rank keeps moving (default 1s).
+	StallAfter time.Duration
+	// MinOutstanding is the least total queued work (posted + unexpected +
+	// out-of-sequence + unacked) the straggler and rate-skew rules require
+	// before implicating a rank (default 4). A rank blocked in a barrier
+	// while faster peers finish legitimately freezes holding one or two
+	// collective receives; a genuinely stuck rank holds a window's worth.
+	MinOutstanding int
+	// SkewFraction fires the rate-skew detection when a rank with work
+	// outstanding sustains a message rate below this fraction of the cluster
+	// median over RateWindow (default 0.25).
+	SkewFraction float64
+	// RateWindow is the trailing window rates are computed over (default 1s).
+	RateWindow time.Duration
+	// MinMedianRate suppresses rate-skew when the cluster median is below
+	// this many messages/second — idle phases produce no skew verdicts
+	// (default 10).
+	MinMedianRate float64
+	// SkewWindows is how many consecutive completed rate windows a rank
+	// must qualify as skewed before the verdict fires (default 2). One bad
+	// window is scheduler noise on an oversubscribed host; a sick rank
+	// stays under the fraction window after window.
+	SkewWindows int
+	// DivergeFactor and DivergeMin fire the unexpected-queue divergence
+	// detection when a rank's unexpected depth exceeds DivergeFactor times
+	// the cluster median and the excess is at least DivergeMin messages
+	// (defaults 4 and 64).
+	DivergeFactor float64
+	DivergeMin    int
+	// DivergeAfter additionally requires the diverging rank's received
+	// counter to have been frozen this long (default: StallAfter). A rank
+	// that is draining its queue is not diverging, however deep a sender
+	// legitimately runs ahead of it — only depth combined with receive-side
+	// stagnation localizes "arrivals outpacing posted receives" to a rank.
+	DivergeAfter time.Duration
+	// StormWindow and StormRetransmits localize a retransmit storm to a rank
+	// when that rank alone re-injects at least StormRetransmits packets
+	// within one StormWindow (defaults 1s / 100 — flight.Detector's storm
+	// thresholds, applied per rank instead of per process).
+	StormWindow      time.Duration
+	StormRetransmits int64
+	// ReadyStragglerAfter fires the readiness-straggler detection when a
+	// rank still answers not-ready this long after the first rank reported
+	// ready (default 2s). Fires once per rank per not-ready episode.
+	ReadyStragglerAfter time.Duration
+}
+
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.StallAfter <= 0 {
+		c.StallAfter = time.Second
+	}
+	if c.MinOutstanding <= 0 {
+		c.MinOutstanding = 4
+	}
+	if c.SkewFraction <= 0 {
+		c.SkewFraction = 0.25
+	}
+	if c.RateWindow <= 0 {
+		c.RateWindow = time.Second
+	}
+	if c.MinMedianRate <= 0 {
+		c.MinMedianRate = 10
+	}
+	if c.SkewWindows <= 0 {
+		c.SkewWindows = 2
+	}
+	if c.DivergeFactor <= 0 {
+		c.DivergeFactor = 4
+	}
+	if c.DivergeMin <= 0 {
+		c.DivergeMin = 64
+	}
+	if c.DivergeAfter <= 0 {
+		c.DivergeAfter = c.StallAfter
+	}
+	if c.StormWindow <= 0 {
+		c.StormWindow = time.Second
+	}
+	if c.StormRetransmits <= 0 {
+		c.StormRetransmits = 100
+	}
+	if c.ReadyStragglerAfter <= 0 {
+		c.ReadyStragglerAfter = 2 * time.Second
+	}
+	return c
+}
+
+// Verdict is one fired cross-rank detection: which rank is implicated, why,
+// and since when. Reasons are stable strings: "rank-straggler",
+// "rate-skew", "unexpected-divergence", "retransmit-storm",
+// "readiness-straggler".
+type Verdict struct {
+	Reason  string `json:"reason"`
+	Rank    int    `json:"rank"`
+	Detail  string `json:"detail"`
+	SinceNs int64  `json:"since_ns"`
+}
+
+// rankTrack is the detector's per-rank memory.
+type rankTrack struct {
+	lastSent, lastRecv int64
+	lastMoveNs         int64
+	// recvMoveNs is the last time the received counter alone moved — the
+	// divergence rule's drain-stagnation clock.
+	recvMoveNs int64
+	// rate window anchor
+	rateAnchorNs    int64
+	rateAnchorTotal int64
+	rate            float64
+	rateValid       bool
+	// rateFresh marks an observation where a rate window just completed —
+	// the only rounds the skew rule scores, so its streak counts windows,
+	// not polls.
+	rateFresh  bool
+	skewStreak int
+	// retransmit storm anchor
+	stormAnchorNs      int64
+	stormAnchorRetrans int64
+	// readiness latch: a verdict fired for the current not-ready episode
+	readyFired bool
+	// divergence latch: a verdict fired for the current divergence episode
+	divergeFired bool
+	seen         bool
+}
+
+// Detector is the cluster imbalance decision core: a pure deterministic
+// state machine fed synchronized Samples, firing zero or more Verdicts per
+// observation (at most one per reason per rank, re-armed after firing).
+// Like flight.Detector it owns no clocks or goroutines, which is what lets
+// the simnet engine run the identical logic over virtual-time series.
+type Detector struct {
+	cfg          DetectorConfig
+	tracks       map[int]*rankTrack
+	firstReadyNs int64
+	haveReady    bool
+}
+
+// NewDetector creates a detector with cfg (zero fields take defaults).
+func NewDetector(cfg DetectorConfig) *Detector {
+	return &Detector{cfg: cfg.withDefaults(), tracks: make(map[int]*rankTrack)}
+}
+
+// Rate returns the rank's message rate (msgs/s of sent+received) over the
+// last completed rate window, and whether a full window has elapsed yet.
+func (d *Detector) Rate(rank int) (float64, bool) {
+	if tr, ok := d.tracks[rank]; ok {
+		return tr.rate, tr.rateValid
+	}
+	return 0, false
+}
+
+func (d *Detector) track(rank int, s Obs, nowNs int64) *rankTrack {
+	tr := d.tracks[rank]
+	if tr == nil {
+		tr = &rankTrack{}
+		d.tracks[rank] = tr
+	}
+	if !tr.seen {
+		tr.seen = true
+		tr.lastSent, tr.lastRecv = s.Sent, s.Received
+		tr.lastMoveNs = nowNs
+		tr.recvMoveNs = nowNs
+		tr.rateAnchorNs, tr.rateAnchorTotal = nowNs, s.Sent+s.Received
+		tr.stormAnchorNs, tr.stormAnchorRetrans = nowNs, s.Retransmits
+	}
+	return tr
+}
+
+// Observe feeds one synchronized cluster sample and returns the verdicts it
+// fires. The first observation of each rank primes that rank's baselines.
+func (d *Detector) Observe(s Sample) []Verdict {
+	var out []Verdict
+	now := s.NowNs
+
+	// Movement and rate bookkeeping first, so the cross-rank comparisons
+	// below see this observation's state.
+	type live struct {
+		obs Obs
+		tr  *rankTrack
+	}
+	var ranks []live
+	for _, o := range s.Obs {
+		tr := d.track(o.Rank, o, now)
+		if o.Err != "" {
+			continue // stale state: exclude from this round's detections
+		}
+		if o.Received != tr.lastRecv {
+			tr.recvMoveNs = now
+		}
+		if o.Sent != tr.lastSent || o.Received != tr.lastRecv {
+			tr.lastSent, tr.lastRecv = o.Sent, o.Received
+			tr.lastMoveNs = now
+		}
+		tr.rateFresh = false
+		if dt := now - tr.rateAnchorNs; dt >= int64(d.cfg.RateWindow) {
+			total := o.Sent + o.Received
+			tr.rate = float64(total-tr.rateAnchorTotal) / (float64(dt) / float64(time.Second))
+			tr.rateValid = true
+			tr.rateFresh = true
+			tr.rateAnchorNs, tr.rateAnchorTotal = now, total
+		}
+		ranks = append(ranks, live{o, tr})
+	}
+
+	// Readiness: anchor the cluster's first ready sighting, then flag
+	// stragglers against it.
+	for _, r := range ranks {
+		if r.obs.Ready {
+			if !d.haveReady {
+				d.haveReady = true
+				d.firstReadyNs = now
+			}
+			r.tr.readyFired = false // new episode allowed after a restart
+		}
+	}
+	for _, r := range ranks {
+		if r.obs.Ready || !d.haveReady || r.tr.readyFired {
+			continue
+		}
+		if now-d.firstReadyNs >= int64(d.cfg.ReadyStragglerAfter) {
+			r.tr.readyFired = true
+			out = append(out, Verdict{
+				Reason: "readiness-straggler",
+				Rank:   r.obs.Rank,
+				Detail: fmt.Sprintf("rank %d still not ready %v after the first rank reported ready (%s)",
+					r.obs.Rank, time.Duration(now-d.firstReadyNs), orUnknown(r.obs.ReadyReason)),
+				SinceNs: d.firstReadyNs,
+			})
+		}
+	}
+
+	// Straggler: frozen counters + outstanding work on one rank while some
+	// other rank moved within the stall window. The cross-rank movement
+	// requirement is what distinguishes one sick rank from a globally
+	// stalled (deadlocked) job — the per-rank watchdog owns that case.
+	someoneMoved := false
+	for _, r := range ranks {
+		if now-r.tr.lastMoveNs < int64(d.cfg.StallAfter) {
+			someoneMoved = true
+			break
+		}
+	}
+	if someoneMoved {
+		for _, r := range ranks {
+			frozen := now - r.tr.lastMoveNs
+			if frozen >= int64(d.cfg.StallAfter) && r.obs.queued() >= d.cfg.MinOutstanding {
+				since := r.tr.lastMoveNs
+				r.tr.lastMoveNs = now // re-arm
+				out = append(out, Verdict{
+					Reason: "rank-straggler",
+					Rank:   r.obs.Rank,
+					Detail: fmt.Sprintf("rank %d made no send/recv progress for %v with work outstanding (posted=%d unexpected=%d oos=%d unacked=%d) while peers kept moving",
+						r.obs.Rank, time.Duration(frozen), r.obs.Posted, r.obs.Unexpected, r.obs.OOSBuffered, r.obs.Unacked),
+					SinceNs: since,
+				})
+			}
+		}
+	}
+
+	// Rate skew: a rank with work outstanding sustaining a small fraction
+	// of the cluster-median rate. Needs at least 3 ranks for a meaningful
+	// median (with 2, "the median" is half the straggler itself).
+	var rates []float64
+	for _, r := range ranks {
+		if r.tr.rateValid {
+			rates = append(rates, r.tr.rate)
+		}
+	}
+	if len(rates) >= 3 {
+		med := median(rates)
+		if med >= d.cfg.MinMedianRate {
+			for _, r := range ranks {
+				if !r.tr.rateFresh {
+					continue // score each completed window exactly once
+				}
+				if r.obs.queued() < d.cfg.MinOutstanding || r.tr.rate >= d.cfg.SkewFraction*med {
+					r.tr.skewStreak = 0
+					continue
+				}
+				r.tr.skewStreak++
+				if r.tr.skewStreak < d.cfg.SkewWindows {
+					continue
+				}
+				r.tr.skewStreak = 0 // re-arm: need a fresh streak
+				out = append(out, Verdict{
+					Reason: "rate-skew",
+					Rank:   r.obs.Rank,
+					Detail: fmt.Sprintf("rank %d at %.0f msg/s vs cluster median %.0f (%.0f%%) over %d consecutive windows with work outstanding",
+						r.obs.Rank, r.tr.rate, med, 100*safeDiv(r.tr.rate, med), d.cfg.SkewWindows),
+					SinceNs: now - int64(d.cfg.SkewWindows)*int64(d.cfg.RateWindow),
+				})
+			}
+		}
+	}
+
+	// Unexpected-queue divergence: one rank's unexpected depth far above
+	// the cluster median — arrivals outpacing posted receives on that rank
+	// specifically (the per-rank watchdog's growth detection sees the
+	// trend; this sees the cross-rank asymmetry).
+	if len(ranks) >= 2 {
+		depths := make([]float64, 0, len(ranks))
+		for _, r := range ranks {
+			depths = append(depths, float64(r.obs.Unexpected))
+		}
+		med := median(depths)
+		for _, r := range ranks {
+			excess := float64(r.obs.Unexpected) - med
+			stagnant := now-r.tr.recvMoveNs >= int64(d.cfg.DivergeAfter)
+			diverged := float64(r.obs.Unexpected) >= d.cfg.DivergeFactor*(med+1) &&
+				excess >= float64(d.cfg.DivergeMin) && stagnant
+			if !diverged {
+				r.tr.divergeFired = false // episode over: re-arm
+				continue
+			}
+			if !r.tr.divergeFired {
+				r.tr.divergeFired = true
+				out = append(out, Verdict{
+					Reason: "unexpected-divergence",
+					Rank:   r.obs.Rank,
+					Detail: fmt.Sprintf("rank %d unexpected queue depth %d vs cluster median %.0f with no receive progress for %v; arrivals are outpacing posted receives on this rank",
+						r.obs.Rank, r.obs.Unexpected, med, time.Duration(now-r.tr.recvMoveNs)),
+					SinceNs: r.tr.recvMoveNs,
+				})
+			}
+		}
+	}
+
+	// Retransmit storm, localized: per-rank re-injection count inside the
+	// storm window.
+	for _, r := range ranks {
+		if now-r.tr.stormAnchorNs >= int64(d.cfg.StormWindow) {
+			delta := r.obs.Retransmits - r.tr.stormAnchorRetrans
+			anchor := r.tr.stormAnchorNs
+			r.tr.stormAnchorNs, r.tr.stormAnchorRetrans = now, r.obs.Retransmits
+			if delta >= d.cfg.StormRetransmits {
+				out = append(out, Verdict{
+					Reason: "retransmit-storm",
+					Rank:   r.obs.Rank,
+					Detail: fmt.Sprintf("rank %d re-injected %d packets in %v (threshold %d); its peers' acks are not arriving",
+						r.obs.Rank, delta, time.Duration(now-anchor), d.cfg.StormRetransmits),
+					SinceNs: anchor,
+				})
+			}
+		}
+	}
+
+	return out
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "no reason reported"
+	}
+	return s
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// median returns the middle value (lower middle for even counts) of vs,
+// which it sorts in place.
+func median(vs []float64) float64 {
+	sort.Float64s(vs)
+	return vs[(len(vs)-1)/2]
+}

@@ -1,0 +1,334 @@
+// Package cluster is the fleet-level observability plane: it scrapes every
+// rank's live HTTP endpoint, merges the per-rank expositions into one
+// rank-labeled cluster view with an SPC rollup, and runs a cross-rank
+// imbalance detector over the merged state — the cluster-scale sibling of
+// the per-rank flight.Detector. The aggregator serves the merged view at
+// /cluster/* (wired into cmd/mpirun) and produces the end-of-run cluster
+// report consumed by cmd/mpitop and CI.
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one parsed exposition sample: a metric name, its label set,
+// and the value. Label values are unescaped (the parser reverses the text
+// format's \\, \", and \n escapes).
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the named label's value ("" when absent).
+func (s PromSample) Label(key string) string { return s.Labels[key] }
+
+// PromFamily groups one metric family: its TYPE/HELP metadata and the
+// samples that share the family name. Histogram families include their
+// _bucket/_sum/_count series.
+type PromFamily struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []PromSample
+}
+
+// baseFamily strips the histogram series suffixes so _bucket/_sum/_count
+// samples group under their family name.
+func baseFamily(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// ParsePromText parses a Prometheus text-format (version 0.0.4) exposition
+// into families, preserving family encounter order and per-family sample
+// order. It accepts exactly what internal/telemetry emits (counters,
+// gauges, histograms, info gauges) and tolerates the format's generality:
+// samples with no preceding metadata get a bare family, comments other than
+// HELP/TYPE are skipped, and timestamps after the value are rejected (the
+// exporters never emit them).
+func ParsePromText(r io.Reader) ([]PromFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	var out []PromFamily
+	index := map[string]int{} // family name -> out index
+	family := func(name string) *PromFamily {
+		if i, ok := index[name]; ok {
+			return &out[i]
+		}
+		index[name] = len(out)
+		out = append(out, PromFamily{Name: name})
+		return &out[len(out)-1]
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			// "# TYPE name type" / "# HELP name text..."
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				family(fields[2]).Type = strings.TrimSpace(fields[3])
+			} else if len(fields) >= 3 && fields[1] == "HELP" {
+				help := ""
+				if len(fields) == 4 {
+					help = fields[3]
+				}
+				family(fields[2]).Help = help
+			}
+			continue
+		}
+		smp, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: promtext line %d: %w", lineNo, err)
+		}
+		f := family(baseFamily(smp.Name))
+		f.Samples = append(f.Samples, smp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cluster: promtext: %w", err)
+	}
+	return out, nil
+}
+
+// parseSampleLine parses `name{k="v",...} value` (the label block optional).
+func parseSampleLine(line string) (PromSample, error) {
+	smp := PromSample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return smp, fmt.Errorf("no value in %q", line)
+	} else {
+		smp.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if smp.Name == "" {
+		return smp, fmt.Errorf("empty metric name in %q", line)
+	}
+	if rest[0] == '{' {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return smp, err
+		}
+		smp.Labels = labels
+		rest = tail
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return smp, fmt.Errorf("no value in %q", line)
+	}
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		return smp, fmt.Errorf("unexpected trailing fields (timestamp?) in %q", line)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return smp, fmt.Errorf("bad value %q in %q", rest, line)
+	}
+	smp.Value = v
+	return smp, nil
+}
+
+// parseLabels parses a `{k="v",...}` block starting at s[0]=='{', returning
+// the labels and the remainder after the closing brace. Label values may
+// contain any byte; the text format's escapes (\\ \" \n) are reversed.
+func parseLabels(s string) (map[string]string, string, error) {
+	labels := map[string]string{}
+	i := 1 // past '{'
+	for {
+		// End of block (also accepts a trailing comma before '}').
+		for i < len(s) && (s[i] == ',' || s[i] == ' ') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return labels, s[i+1:], nil
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("unterminated label block in %q", s)
+		}
+		key := s[i : i+eq]
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, "", fmt.Errorf("unquoted label value for %q in %q", key, s)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return nil, "", fmt.Errorf("unterminated label value for %q in %q", key, s)
+			}
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, "", fmt.Errorf("dangling escape in label %q", key)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					// Unknown escapes pass through verbatim, as Prometheus does.
+					val.WriteByte('\\')
+					val.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels[key] = val.String()
+	}
+}
+
+// escapeLabelValue applies the text format's label escapes — the inverse of
+// what parseLabels undoes, so render→parse→render is a fixed point.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// formatSample renders one sample line in the text format, label keys
+// sorted except that "rank" leads and "le" trails — rank first keeps the
+// merged exposition visually groupable, le last matches the exporter's
+// bucket layout.
+func formatSample(w io.Writer, s PromSample) {
+	if len(s.Labels) == 0 {
+		fmt.Fprintf(w, "%s %s\n", s.Name, formatValue(s.Value))
+		return
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		if k != "rank" && k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if _, ok := s.Labels["rank"]; ok {
+		keys = append([]string{"rank"}, keys...)
+	}
+	if _, ok := s.Labels["le"]; ok {
+		keys = append(keys, "le")
+	}
+	fmt.Fprintf(w, "%s{", s.Name)
+	for i, k := range keys {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		fmt.Fprintf(w, `%s="%s"`, k, escapeLabelValue(s.Labels[k]))
+	}
+	fmt.Fprintf(w, "} %s\n", formatValue(s.Value))
+}
+
+// formatValue renders integers without an exponent or trailing zeros so
+// counter roundtrips are byte-stable, and everything else in Go's shortest
+// float form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteFamilies renders families back into the text format: one HELP/TYPE
+// header per family (when known) followed by its samples in order.
+func WriteFamilies(w io.Writer, families []PromFamily) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range families {
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, f.Help)
+		}
+		if f.Type != "" {
+			fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Type)
+		}
+		for _, s := range f.Samples {
+			formatSample(bw, s)
+		}
+	}
+	return bw.Flush()
+}
+
+// FamilyByName finds a parsed family ("" type families included).
+func FamilyByName(families []PromFamily, name string) (PromFamily, bool) {
+	for _, f := range families {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return PromFamily{}, false
+}
+
+// HistogramQuantile estimates quantile q (0..1) in nanoseconds from a
+// histogram family's _bucket samples for one rank, using the same
+// upper-bound attribution the telemetry layer's own percentile accessors
+// use (the value is the bucket's le edge, so estimates are conservative
+// upper bounds). Returns 0 when the rank has no observations.
+func HistogramQuantile(f PromFamily, rank string, q float64) int64 {
+	type edge struct {
+		le  float64
+		cum float64
+	}
+	var edges []edge
+	var total float64
+	for _, s := range f.Samples {
+		if !strings.HasSuffix(s.Name, "_bucket") || s.Label("rank") != rank {
+			continue
+		}
+		le := s.Label("le")
+		if le == "+Inf" {
+			total = s.Value
+			continue
+		}
+		v, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			continue
+		}
+		edges = append(edges, edge{le: v, cum: s.Value})
+	}
+	if total == 0 {
+		return 0
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].le < edges[j].le })
+	target := q * total
+	for _, e := range edges {
+		if e.cum >= target {
+			return int64(e.le)
+		}
+	}
+	// The quantile falls in the +Inf bucket: report the largest finite edge
+	// (the histogram's resolution limit), or 0 when only +Inf exists.
+	if len(edges) > 0 {
+		return int64(edges[len(edges)-1].le)
+	}
+	return 0
+}

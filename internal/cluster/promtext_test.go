@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/spc"
+	"repro/internal/telemetry"
+)
+
+// testProcStats builds a realistic exporter input: process counters with
+// per-CRI and per-comm attribution plus a latency histogram.
+func testProcStats(rank int) telemetry.ProcStats {
+	proc := spc.NewSet()
+	proc.SetEnabled(true)
+	proc.Add(spc.MessagesSent, int64(100*(rank+1)))
+	proc.Add(spc.MessagesReceived, int64(90*(rank+1)))
+	proc.Add(spc.Retransmits, int64(rank))
+	proc.Max(spc.UnexpectedQueuePeak, int64(7*(rank+1)))
+
+	cri := spc.NewSet()
+	cri.SetEnabled(true)
+	cri.Add(spc.MessagesSent, 40)
+
+	comm := spc.NewSet()
+	comm.SetEnabled(true)
+	comm.Add(spc.MessagesReceived, 25)
+
+	h := telemetry.NewHistogram()
+	for _, ns := range []int64{100, 1000, 1000, 50_000, 2_000_000} {
+		h.ObserveNs(ns)
+	}
+	return telemetry.ProcStats{
+		Rank:    rank,
+		Process: proc.Snapshot(),
+		PerCRI:  []telemetry.CRIStat{{Index: 0, Counters: cri.Snapshot()}},
+		PerComm: []telemetry.CommStat{{ID: 1, Counters: comm.Snapshot()}},
+		Hists:   []telemetry.NamedHist{{Name: telemetry.HistMsgLatency, Hist: h.Snapshot()}},
+	}
+}
+
+// TestRoundtripRealExporter parses the real exporter's output, renders it
+// back, and re-parses: the two parses must agree exactly, and the SPC
+// snapshot recovered from the parse must match what went in.
+func TestRoundtripRealExporter(t *testing.T) {
+	var buf bytes.Buffer
+	stats := testProcStats(3)
+	if err := telemetry.WritePrometheus(&buf, stats); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePromText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse real exporter output: %v", err)
+	}
+	if len(fams) == 0 {
+		t.Fatal("no families parsed")
+	}
+
+	var rendered bytes.Buffer
+	if err := WriteFamilies(&rendered, fams); err != nil {
+		t.Fatal(err)
+	}
+	fams2, err := ParsePromText(bytes.NewReader(rendered.Bytes()))
+	if err != nil {
+		t.Fatalf("re-parse rendered output: %v", err)
+	}
+	if !reflect.DeepEqual(fams, fams2) {
+		t.Fatalf("parse→render→parse not a fixed point:\nfirst:  %+v\nsecond: %+v", fams, fams2)
+	}
+
+	got := SPCFromFamilies(fams, "3")
+	if !reflect.DeepEqual(got, stats.Process) {
+		t.Fatalf("SPC roundtrip mismatch:\nwant %v\ngot  %v", stats.Process, got)
+	}
+
+	// Histogram invariants survive: +Inf == _count, and the p99 estimate
+	// lands on a bucket edge at or above the true p99 observation.
+	f, ok := FamilyByName(fams, "mpi_msg_latency_ns")
+	if !ok {
+		t.Fatal("histogram family missing")
+	}
+	if f.Type != "histogram" {
+		t.Fatalf("histogram family type = %q", f.Type)
+	}
+	p99 := HistogramQuantile(f, "3", 0.99)
+	if p99 < 2_000_000 {
+		t.Fatalf("p99 = %d, want >= 2000000 (largest observation)", p99)
+	}
+}
+
+// TestRoundtripLabelEscaping pushes hostile label values through the real
+// info-gauge exporter and back: backslashes, quotes, newlines, commas,
+// braces.
+func TestRoundtripLabelEscaping(t *testing.T) {
+	hostile := map[string]string{
+		"design":  `odd "quoted" value`,
+		"caps":    "line1\nline2",
+		"path":    `C:\temp\x`,
+		"cluster": `a,b={c}`,
+		"rank":    "5",
+	}
+	var buf bytes.Buffer
+	if err := telemetry.WritePrometheusInfo(&buf, "mpi_build_info", hostile); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePromText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse: %v\ninput: %s", err, buf.String())
+	}
+	f, ok := FamilyByName(fams, "mpi_build_info")
+	if !ok || len(f.Samples) != 1 {
+		t.Fatalf("build info family missing or wrong: %+v", fams)
+	}
+	if !reflect.DeepEqual(f.Samples[0].Labels, hostile) {
+		t.Fatalf("label escape roundtrip:\nwant %q\ngot  %q", hostile, f.Samples[0].Labels)
+	}
+
+	// Render→parse is a fixed point for the hostile values too.
+	var rendered bytes.Buffer
+	if err := WriteFamilies(&rendered, fams); err != nil {
+		t.Fatal(err)
+	}
+	fams2, err := ParsePromText(bytes.NewReader(rendered.Bytes()))
+	if err != nil {
+		t.Fatalf("re-parse: %v\nrendered: %s", err, rendered.String())
+	}
+	if !reflect.DeepEqual(fams, fams2) {
+		t.Fatalf("escaping not a fixed point:\nfirst:  %+v\nsecond: %+v", fams, fams2)
+	}
+}
+
+func TestParseRejectsTimestamps(t *testing.T) {
+	_, err := ParsePromText(strings.NewReader("mpi_x 1 1700000000\n"))
+	if err == nil {
+		t.Fatal("timestamped sample accepted; exporters never emit them")
+	}
+}
+
+func TestParseBareAndCommentLines(t *testing.T) {
+	in := "# just a comment\n\nmpi_plain 42\nmpi_neg{rank=\"1\"} -0.5\n"
+	fams, err := ParsePromText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 2 {
+		t.Fatalf("families = %d, want 2: %+v", len(fams), fams)
+	}
+	if fams[0].Name != "mpi_plain" || fams[0].Samples[0].Value != 42 {
+		t.Fatalf("bare sample mis-parsed: %+v", fams[0])
+	}
+	if fams[1].Samples[0].Value != -0.5 || fams[1].Samples[0].Label("rank") != "1" {
+		t.Fatalf("labeled sample mis-parsed: %+v", fams[1])
+	}
+}
+
+func TestEnforceRankLabel(t *testing.T) {
+	fams := []PromFamily{{
+		Name: "mpi_x",
+		Samples: []PromSample{
+			{Name: "mpi_x", Labels: map[string]string{"scope": "process"}},
+			{Name: "mpi_x", Labels: map[string]string{"rank": "9"}},
+			{Name: "mpi_x"},
+		},
+	}}
+	out := enforceRankLabel(fams, 4)
+	if got := out[0].Samples[0].Label("rank"); got != "4" {
+		t.Fatalf("missing rank not stamped: %q", got)
+	}
+	if got := out[0].Samples[1].Label("rank"); got != "9" {
+		t.Fatalf("existing rank overwritten: %q", got)
+	}
+	if got := out[0].Samples[2].Label("rank"); got != "4" {
+		t.Fatalf("nil-label sample not stamped: %q", got)
+	}
+}
+
+// TestMergeFamiliesNoCollision merges two ranks' expositions and checks
+// every series stays attributable.
+func TestMergeFamiliesNoCollision(t *testing.T) {
+	mk := func(rank int) RankState {
+		var buf bytes.Buffer
+		if err := telemetry.WritePrometheus(&buf, testProcStats(rank)); err != nil {
+			t.Fatal(err)
+		}
+		fams, err := ParsePromText(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RankState{Rank: rank, Families: enforceRankLabel(fams, rank)}
+	}
+	merged := MergeFamilies([]RankState{mk(0), mk(1)})
+	f, ok := FamilyByName(merged, "mpi_spc_messages_sent")
+	if !ok {
+		t.Fatal("messages_sent family missing from merge")
+	}
+	seen := map[string]bool{}
+	for _, s := range f.Samples {
+		if s.Label("scope") == "process" {
+			seen[s.Label("rank")] = true
+		}
+	}
+	if !seen["0"] || !seen["1"] {
+		t.Fatalf("merged family missing a rank's process series: %+v", f.Samples)
+	}
+}

@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/flight"
+	"repro/internal/spc"
+)
+
+// Endpoint names one rank's live observability endpoint.
+type Endpoint struct {
+	Rank int
+	// URL is the base, e.g. "http://127.0.0.1:9090".
+	URL string
+}
+
+// RankState is everything one scrape learned about one rank. A failed
+// scrape carries Err and the zero value elsewhere; the aggregator then
+// keeps serving the rank's last good state with the error noted.
+type RankState struct {
+	Rank int
+	Err  string
+
+	Ready       bool
+	ReadyReason string
+
+	// Families is the rank's parsed /metrics exposition with the rank-label
+	// contract enforced: any sample missing a rank label gets this rank's.
+	Families []PromFamily
+	// SPC is the rank's process-scope counter snapshot recovered from the
+	// exposition — the per-rank operand of the cluster rollup.
+	SPC spc.Snapshot
+	// Queues is the rank's /debug/queues introspection snapshot.
+	Queues flight.QueueSnapshot
+	// SPCText is the raw human-readable /spc body, re-served per rank at
+	// /cluster/spc.
+	SPCText string
+	// UptimeSeconds is the rank's mpi_uptime_seconds gauge; a value lower
+	// than the previous poll's means the rank restarted between polls.
+	UptimeSeconds float64
+}
+
+// Obs condenses the state into one detector observation.
+func (rs RankState) Obs() Obs {
+	o := Obs{
+		Rank:        rs.Rank,
+		Err:         rs.Err,
+		Ready:       rs.Ready,
+		ReadyReason: rs.ReadyReason,
+		Sent:        rs.SPC.Get(spc.MessagesSent),
+		Received:    rs.SPC.Get(spc.MessagesReceived),
+		Retransmits: rs.SPC.Get(spc.Retransmits),
+	}
+	for _, cq := range rs.Queues.Comms {
+		o.Posted += cq.Posted
+		o.Unexpected += cq.Unexpected
+		o.OOSBuffered += cq.OOSBuffered
+	}
+	for _, w := range rs.Queues.Windows {
+		o.Unacked += w.Unacked
+	}
+	return o
+}
+
+// Scraper polls a fixed set of rank endpoints.
+type Scraper struct {
+	Endpoints []Endpoint
+	// Client is the HTTP client used for every request; nil uses a client
+	// with a 2s timeout (a scrape must never wedge the aggregation loop).
+	Client *http.Client
+}
+
+func (s *Scraper) client() *http.Client {
+	if s.Client != nil {
+		return s.Client
+	}
+	return &http.Client{Timeout: 2 * time.Second}
+}
+
+// Scrape polls every endpoint once, sequentially in rank order (N is small
+// and determinism is worth more than scrape parallelism here).
+func (s *Scraper) Scrape() []RankState {
+	out := make([]RankState, 0, len(s.Endpoints))
+	for _, ep := range s.Endpoints {
+		out = append(out, s.scrapeOne(ep))
+	}
+	return out
+}
+
+func (s *Scraper) scrapeOne(ep Endpoint) RankState {
+	rs := RankState{Rank: ep.Rank}
+	c := s.client()
+
+	body, _, err := fetch(c, ep.URL+"/metrics")
+	if err != nil {
+		rs.Err = fmt.Sprintf("/metrics: %v", err)
+		return rs
+	}
+	fams, err := ParsePromText(strings.NewReader(body))
+	if err != nil {
+		rs.Err = err.Error()
+		return rs
+	}
+	rs.Families = enforceRankLabel(fams, ep.Rank)
+	rs.SPC = SPCFromFamilies(rs.Families, strconv.Itoa(ep.Rank))
+	if f, ok := FamilyByName(rs.Families, "mpi_uptime_seconds"); ok && len(f.Samples) > 0 {
+		rs.UptimeSeconds = f.Samples[0].Value
+	}
+
+	// Readiness: /readyz answers 200 ("ready") or 503 with a reason body.
+	// A transport error here (after /metrics answered) is still a scrape
+	// failure — half-scraped ranks would skew the detections.
+	rbody, status, err := fetch(c, ep.URL+"/readyz")
+	if err != nil && status == 0 {
+		rs.Err = fmt.Sprintf("/readyz: %v", err)
+		return rs
+	}
+	rs.Ready = status == http.StatusOK
+	if !rs.Ready {
+		rs.ReadyReason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rbody), "not ready:"))
+	}
+
+	qbody, _, err := fetch(c, ep.URL+"/debug/queues")
+	if err != nil {
+		rs.Err = fmt.Sprintf("/debug/queues: %v", err)
+		return rs
+	}
+	var snaps []flight.QueueSnapshot
+	if err := json.Unmarshal([]byte(qbody), &snaps); err != nil {
+		rs.Err = fmt.Sprintf("/debug/queues: %v", err)
+		return rs
+	}
+	// A process can host several local procs (thread-mode worlds); the
+	// distributed deployments this plane targets serve exactly one. Merge
+	// depths if several appear so the observation covers the process.
+	for _, qs := range snaps {
+		if len(snaps) == 1 || qs.Rank == ep.Rank {
+			rs.Queues = qs
+		}
+	}
+	if len(snaps) > 1 {
+		rs.Queues = mergeQueueSnapshots(ep.Rank, snaps)
+	}
+
+	sbody, _, err := fetch(c, ep.URL+"/spc")
+	if err != nil {
+		rs.Err = fmt.Sprintf("/spc: %v", err)
+		return rs
+	}
+	rs.SPCText = sbody
+	return rs
+}
+
+// fetch GETs url and returns the body and status. err is non-nil for
+// transport failures and non-2xx statuses other than 503 (which /readyz
+// uses to carry the not-ready reason; callers check status).
+func fetch(c *http.Client, url string) (body string, status int, err error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return "", resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return string(b), resp.StatusCode, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return string(b), resp.StatusCode, nil
+}
+
+// enforceRankLabel stamps rank onto every sample that lacks one — the
+// merge-safety contract. Samples that already carry a rank label keep it
+// (a proxy re-exporting several ranks stays attributable).
+func enforceRankLabel(fams []PromFamily, rank int) []PromFamily {
+	r := strconv.Itoa(rank)
+	for fi := range fams {
+		for si := range fams[fi].Samples {
+			smp := &fams[fi].Samples[si]
+			if smp.Labels == nil {
+				smp.Labels = map[string]string{}
+			}
+			if _, ok := smp.Labels["rank"]; !ok {
+				smp.Labels["rank"] = r
+			}
+		}
+	}
+	return fams
+}
+
+// SPCFromFamilies recovers a rank's process-scope SPC snapshot from its
+// parsed exposition — the inverse of telemetry.WritePrometheus for the
+// scope="process" series, matched by counter name via spc.CounterByName so
+// counters this binary doesn't know (a newer rank) are skipped rather than
+// misfiled.
+func SPCFromFamilies(fams []PromFamily, rank string) spc.Snapshot {
+	var snap spc.Snapshot
+	for _, f := range fams {
+		name, ok := strings.CutPrefix(f.Name, "mpi_spc_")
+		if !ok {
+			continue
+		}
+		c, ok := spc.CounterByName(name)
+		if !ok {
+			continue
+		}
+		for _, smp := range f.Samples {
+			if smp.Label("scope") == "process" && smp.Label("rank") == rank {
+				snap[c] = int64(smp.Value)
+			}
+		}
+	}
+	return snap
+}
+
+// mergeQueueSnapshots folds several local procs' snapshots into one
+// process-level view (comm depths concatenated, windows concatenated).
+func mergeQueueSnapshots(rank int, snaps []flight.QueueSnapshot) flight.QueueSnapshot {
+	out := flight.QueueSnapshot{Rank: rank}
+	for _, qs := range snaps {
+		if qs.CapturedNs > out.CapturedNs {
+			out.CapturedNs = qs.CapturedNs
+		}
+		out.Comms = append(out.Comms, qs.Comms...)
+		out.Windows = append(out.Windows, qs.Windows...)
+		out.CRIs = append(out.CRIs, qs.CRIs...)
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// AggregatorConfig configures the polling aggregator.
+type AggregatorConfig struct {
+	Endpoints []Endpoint
+	// Poll is the scrape interval (default 250ms).
+	Poll time.Duration
+	// Detector tunes the cross-rank imbalance detector.
+	Detector DetectorConfig
+	// Client overrides the scrape HTTP client (tests).
+	Client *http.Client
+}
+
+// Aggregator polls every rank endpoint on an interval, feeds each round
+// through the cross-rank Detector, and serves the merged cluster view. It
+// is the live twin of DetectSeries: same detector, wall-clock samples.
+type Aggregator struct {
+	cfg     AggregatorConfig
+	scraper *Scraper
+	start   time.Time
+
+	mu       sync.Mutex
+	det      *Detector
+	state    ClusterState
+	lastGood map[int]RankState
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewAggregator builds an aggregator; call Start to begin polling, or
+// PollOnce for a single synchronous round (tests, final end-of-run poll).
+func NewAggregator(cfg AggregatorConfig) *Aggregator {
+	if cfg.Poll <= 0 {
+		cfg.Poll = 250 * time.Millisecond
+	}
+	return &Aggregator{
+		cfg:      cfg,
+		scraper:  &Scraper{Endpoints: cfg.Endpoints, Client: cfg.Client},
+		start:    time.Now(),
+		det:      NewDetector(cfg.Detector),
+		lastGood: map[int]RankState{},
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the background poll loop.
+func (a *Aggregator) Start() {
+	go func() {
+		defer close(a.done)
+		t := time.NewTicker(a.cfg.Poll)
+		defer t.Stop()
+		for {
+			select {
+			case <-a.stop:
+				return
+			case <-t.C:
+				a.PollOnce()
+			}
+		}
+	}()
+}
+
+// Stop halts the poll loop and waits for the in-flight round to finish.
+func (a *Aggregator) Stop() {
+	a.stopOnce.Do(func() { close(a.stop) })
+	<-a.done
+}
+
+// PollOnce runs one scrape+detect round and folds it into the state. Safe
+// to call concurrently with the poll loop and the HTTP handlers.
+func (a *Aggregator) PollOnce() ClusterState {
+	ranks := a.scraper.Scrape()
+	now := time.Since(a.start).Nanoseconds()
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// A failed scrape keeps serving the rank's last good state, error noted,
+	// so one missed poll doesn't blank the rank's row.
+	for i, rs := range ranks {
+		if rs.Err == "" {
+			good := rs
+			a.lastGood[rs.Rank] = good
+		} else if prev, ok := a.lastGood[rs.Rank]; ok {
+			prev.Err = rs.Err
+			ranks[i] = prev
+		}
+	}
+	obs := make([]Obs, 0, len(ranks))
+	for _, rs := range ranks {
+		obs = append(obs, rs.Obs())
+	}
+	verdicts := a.det.Observe(Sample{NowNs: now, Obs: obs})
+
+	a.state.CapturedNs = now
+	a.state.Polls++
+	a.state.Ranks = ranks
+	a.state.Rollup = RollupSPC(ranks)
+	a.state.Current = verdicts
+	a.state.History = append(a.state.History, verdicts...)
+	a.state.Rates = map[int]float64{}
+	for _, rs := range ranks {
+		if r, ok := a.det.Rate(rs.Rank); ok {
+			a.state.Rates[rs.Rank] = r
+		}
+	}
+	return a.snapshotLocked()
+}
+
+// State returns a copy of the latest aggregation round.
+func (a *Aggregator) State() ClusterState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.snapshotLocked()
+}
+
+func (a *Aggregator) snapshotLocked() ClusterState {
+	cs := a.state
+	cs.Ranks = append([]RankState{}, a.state.Ranks...)
+	cs.Current = append([]Verdict{}, a.state.Current...)
+	cs.History = append([]Verdict{}, a.state.History...)
+	cs.Rates = make(map[int]float64, len(a.state.Rates))
+	for k, v := range a.state.Rates {
+		cs.Rates[k] = v
+	}
+	return cs
+}
+
+// Handler returns the /cluster/* mux.
+func (a *Aggregator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteClusterMetrics(w, a.State())
+	})
+	mux.HandleFunc("/cluster/spc", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		WriteClusterSPC(w, a.State())
+	})
+	mux.HandleFunc("/cluster/health", func(w http.ResponseWriter, r *http.Request) {
+		cs := a.State()
+		type rankHealth struct {
+			Rank        int    `json:"rank"`
+			Ready       bool   `json:"ready"`
+			ReadyReason string `json:"ready_reason,omitempty"`
+			Err         string `json:"err,omitempty"`
+		}
+		healthy := cs.Polls > 0
+		out := struct {
+			Healthy bool         `json:"healthy"`
+			Polls   int64        `json:"polls"`
+			Ranks   []rankHealth `json:"ranks"`
+		}{Polls: cs.Polls, Ranks: []rankHealth{}}
+		for _, rs := range cs.Ranks {
+			out.Ranks = append(out.Ranks, rankHealth{
+				Rank: rs.Rank, Ready: rs.Ready, ReadyReason: rs.ReadyReason, Err: rs.Err})
+			if rs.Err != "" || !rs.Ready {
+				healthy = false
+			}
+		}
+		out.Healthy = healthy
+		w.Header().Set("Content-Type", "application/json")
+		if !healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("/cluster/imbalance", func(w http.ResponseWriter, r *http.Request) {
+		cs := a.State()
+		out := struct {
+			Clean    bool      `json:"clean"`
+			Current  []Verdict `json:"current"`
+			Verdicts []Verdict `json:"verdicts"`
+		}{Clean: cs.Clean(), Current: cs.Current, Verdicts: cs.History}
+		if out.Current == nil {
+			out.Current = []Verdict{}
+		}
+		if out.Verdicts == nil {
+			out.Verdicts = []Verdict{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("/cluster/report", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, BuildReport(a.State()))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// Server is a live aggregator endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr and serves the aggregator's /cluster/* endpoints.
+// ":0"-style addresses work; Addr reports the bound address.
+func Serve(addr string, a *Aggregator) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: a.Handler()}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:9090".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/flight"
+)
+
+// obsFromFlightSample condenses one rank's watchdog-style sample into a
+// cluster observation. Virtual ranks are always "ready": the simnet engine
+// has no startup negotiation to straggle on.
+func obsFromFlightSample(rank int, s flight.Sample) Obs {
+	o := Obs{
+		Rank:        rank,
+		Ready:       true,
+		Sent:        int64(s.Sent),
+		Received:    int64(s.Received),
+		Retransmits: int64(s.Retransmits),
+		Unacked:     s.Unacked,
+	}
+	for _, cq := range s.Comms {
+		o.Posted += cq.Posted
+		o.Unexpected += cq.Unexpected
+		o.OOSBuffered += cq.OOSBuffered
+	}
+	return o
+}
+
+// MergeSeries aligns per-rank virtual-time sample series into synchronized
+// cluster Samples: one Sample per distinct observation time, each rank
+// contributing its latest state at or before that time (ranks whose series
+// ended — their run finished — keep reporting their final, drained state,
+// which the outstanding() predicate then excludes from straggler
+// detections). Series from independent virtual runs compose freely because
+// every run's clock starts at zero.
+func MergeSeries(series []flight.RankSeries) []Sample {
+	type cursor struct {
+		rank int
+		i    int
+		s    []flight.Sample
+	}
+	var times []int64
+	seen := map[int64]bool{}
+	cursors := make([]*cursor, 0, len(series))
+	for _, rs := range series {
+		if len(rs.Samples) == 0 {
+			continue
+		}
+		cursors = append(cursors, &cursor{rank: rs.Rank, s: rs.Samples})
+		for _, smp := range rs.Samples {
+			if !seen[smp.NowNs] {
+				seen[smp.NowNs] = true
+				times = append(times, smp.NowNs)
+			}
+		}
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	out := make([]Sample, 0, len(times))
+	for _, t := range times {
+		cs := Sample{NowNs: t}
+		for _, c := range cursors {
+			for c.i+1 < len(c.s) && c.s[c.i+1].NowNs <= t {
+				c.i++
+			}
+			if c.s[c.i].NowNs > t {
+				continue // this rank has not been observed yet
+			}
+			cs.Obs = append(cs.Obs, obsFromFlightSample(c.rank, c.s[c.i]))
+		}
+		out = append(out, cs)
+	}
+	return out
+}
+
+// DetectSeries is the simnet twin of the live aggregator's polling loop:
+// it merges per-rank virtual-time series (from one or several N-rank
+// virtual runs) and replays them through the same Detector the aggregator
+// uses, returning every verdict in firing order. Deterministic input in,
+// byte-deterministic verdicts out.
+func DetectSeries(cfg DetectorConfig, series []flight.RankSeries) []Verdict {
+	det := NewDetector(cfg)
+	var out []Verdict
+	for _, s := range MergeSeries(series) {
+		out = append(out, det.Observe(s)...)
+	}
+	return out
+}

@@ -77,6 +77,17 @@ type Sample struct {
 	Comms         []CommQueues
 }
 
+// RankSeries is one rank's observation time series: the same Samples the
+// watchdog consumes one at a time, retained in observation order. The
+// simnet engine collects one per simulated rank (in virtual time, so the
+// series is byte-deterministic) and the cluster imbalance detector
+// consumes sets of them — the bridge that lets cross-rank verdicts be
+// asserted without a live cluster.
+type RankSeries struct {
+	Rank    int
+	Samples []Sample
+}
+
 // DetectorConfig bounds the stall detections. Zero values take defaults.
 type DetectorConfig struct {
 	// StallAfter fires the no-progress detection when neither sent nor

@@ -210,8 +210,15 @@ func Serve(addr string, src Source) (*Server, error) {
 		}
 		_ = flight.WriteRecords(w, recs)
 	})
+	// Uptime resets to zero when the process restarts, which is how a
+	// scraper that only ever sees the endpoint (not the supervisor) detects
+	// a rank restart between two polls: the gauge went backwards.
+	started := time.Now()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprintf(w, "# HELP mpi_uptime_seconds Seconds since this rank's observability endpoint started (resets on rank restart).\n"+
+			"# TYPE mpi_uptime_seconds gauge\nmpi_uptime_seconds{rank=%q} %.3f\n",
+			rankLabel(src.Info), time.Since(started).Seconds())
 		if len(src.Info) > 0 {
 			_ = telemetry.WritePrometheusInfo(w, "mpi_build_info", src.Info)
 		}
@@ -249,6 +256,19 @@ func Serve(addr string, src Source) (*Server, error) {
 		}
 	}()
 	return s, nil
+}
+
+// rankLabel extracts the serving process's world rank from the run
+// metadata for the series that the endpoint itself originates (uptime).
+// The commands put their -rank flag into Info["rank"]; a process that
+// never set one is a single-process run, rank 0 — the rank-label contract
+// aggregation depends on (every series carries a rank, so merged
+// expositions never collide).
+func rankLabel(info map[string]string) string {
+	if r, ok := info["rank"]; ok && r != "" {
+		return r
+	}
+	return "0"
 }
 
 // Addr returns the bound address (resolves ":0" to the chosen port).

@@ -56,12 +56,14 @@ func TestServerEndpoints(t *testing.T) {
 	}
 
 	metrics, ct := get(t, base+"/metrics")
-	if !strings.Contains(ct, "version=0.0.4") {
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
 		t.Errorf("metrics content-type = %q", ct)
 	}
 	for _, want := range []string{
 		`mpi_build_info{design="stock",transport="sim"} 1`,
 		`mpi_spc_messages_sent{rank="0",scope="process"} 12`,
+		"# TYPE mpi_uptime_seconds gauge",
+		`mpi_uptime_seconds{rank="0"} `,
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("/metrics missing %q\n%s", want, metrics)
@@ -157,5 +159,19 @@ func TestHolderReadinessAndDebugEndpoints(t *testing.T) {
 	// Info provided at construction still labels /metrics after the bind.
 	if metrics, _ := get(t, base+"/metrics"); !strings.Contains(metrics, `transport="tcp"`) {
 		t.Fatalf("/metrics lost holder info:\n%s", metrics)
+	}
+}
+
+// The uptime gauge carries the rank from the run metadata (the rank-label
+// contract: distributed ranks set Info["rank"], single-process runs get 0).
+func TestUptimeRankLabel(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", Source{Info: map[string]string{"rank": "3"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	metrics, _ := get(t, "http://"+s.Addr()+"/metrics")
+	if !strings.Contains(metrics, `mpi_uptime_seconds{rank="3"} `) {
+		t.Fatalf("/metrics uptime not rank-labeled:\n%s", metrics)
 	}
 }

@@ -1,0 +1,144 @@
+package simnet_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/flight"
+	"repro/internal/hw"
+	"repro/internal/simnet"
+)
+
+// Virtual multirate runs complete in hundreds of microseconds to tens of
+// milliseconds, so the cluster sampler and the detector windows are scaled
+// down with them: 100µs sampling, 1ms stall window. Multirate is
+// asymmetric by design — receivers carry deep transient unexpected queues
+// that senders never do — but the divergence rule's drain-stagnation gate
+// (DivergeAfter, defaulting to StallAfter) keeps that benign depth quiet:
+// only a receiver that stops receiving can diverge.
+var testDetCfg = cluster.DetectorConfig{
+	StallAfter: time.Millisecond,
+}
+
+// healthyRun is a 2-rank virtual run long enough (~13ms virtual) to still
+// be moving while a composed stalled run's receiver is frozen.
+func healthyRun(rankBase int) simnet.Result {
+	return simnet.RunMultirate(simnet.Config{
+		Machine:         hw.AlembertHaswell(),
+		Pairs:           2,
+		Window:          128,
+		Iters:           64,
+		NumInstances:    2,
+		ClusterInterval: 100 * time.Microsecond,
+		RankBase:        rankBase,
+	})
+}
+
+// stalledRun is a short 2-rank virtual run whose pair-0 receiver freezes
+// after its second posted window, receives outstanding, for 20ms virtual.
+func stalledRun(rankBase int) simnet.Result {
+	return simnet.RunMultirate(simnet.Config{
+		Machine:         hw.AlembertHaswell(),
+		Pairs:           2,
+		Window:          32,
+		Iters:           4,
+		NumInstances:    2,
+		ClusterInterval: 100 * time.Microsecond,
+		RankBase:        rankBase,
+		StallRecv:       20 * time.Millisecond,
+		StallAfterIter:  1,
+	})
+}
+
+// TestClusterSeriesStallVerdict is the deterministic twin of the live
+// -stall smoke: a healthy virtual pair set (ranks 0,1) composed with a
+// stalled one (ranks 2,3; the receiver — rank 3 — freezes with posted
+// receives) must produce an imbalance verdict naming rank 3 and nobody
+// else.
+func TestClusterSeriesStallVerdict(t *testing.T) {
+	healthy := healthyRun(0)
+	stalled := stalledRun(2)
+	series := append(append([]flight.RankSeries{}, healthy.Series...), stalled.Series...)
+	if len(series) != 4 {
+		t.Fatalf("series = %d, want 4 ranks", len(series))
+	}
+	for i, rs := range series {
+		if rs.Rank != i {
+			t.Fatalf("series[%d].Rank = %d (RankBase mis-wired)", i, rs.Rank)
+		}
+		if len(rs.Samples) == 0 {
+			t.Fatalf("rank %d collected no samples", rs.Rank)
+		}
+	}
+
+	verdicts := cluster.DetectSeries(testDetCfg, series)
+	if len(verdicts) == 0 {
+		t.Fatal("stalled virtual cluster produced no verdicts")
+	}
+	sawStraggler := false
+	for _, v := range verdicts {
+		if v.Rank != 3 {
+			t.Fatalf("verdict named rank %d, want only the stalled receiver (3): %+v", v.Rank, v)
+		}
+		if v.Reason == "rank-straggler" {
+			sawStraggler = true
+		}
+	}
+	if !sawStraggler {
+		t.Fatalf("no rank-straggler verdict: %+v", verdicts)
+	}
+}
+
+// TestClusterSeriesHealthyClean: with no injected fault the composed
+// 4-rank series must run verdict-free under the same scaled detector —
+// the precondition for the tcp smoke's clean-run assertion.
+func TestClusterSeriesHealthyClean(t *testing.T) {
+	a := healthyRun(0)
+	b := healthyRun(2)
+	series := append(append([]flight.RankSeries{}, a.Series...), b.Series...)
+	if vs := cluster.DetectSeries(testDetCfg, series); len(vs) != 0 {
+		t.Fatalf("healthy virtual cluster produced verdicts: %+v", vs)
+	}
+	// The production-default configuration stays clean on it too.
+	if vs := cluster.DetectSeries(cluster.DetectorConfig{}, series); len(vs) != 0 {
+		t.Fatalf("healthy cluster dirty under default config: %+v", vs)
+	}
+}
+
+// TestClusterSeriesDeterministic: identical configurations must yield
+// byte-identical series and verdicts across runs.
+func TestClusterSeriesDeterministic(t *testing.T) {
+	r1 := stalledRun(2)
+	r2 := stalledRun(2)
+	if !reflect.DeepEqual(r1.Series, r2.Series) {
+		t.Fatal("cluster series differ across identical runs")
+	}
+	v1 := cluster.DetectSeries(testDetCfg, r1.Series)
+	v2 := cluster.DetectSeries(testDetCfg, r2.Series)
+	if !reflect.DeepEqual(v1, v2) {
+		t.Fatalf("verdicts differ across identical runs:\n%+v\n%+v", v1, v2)
+	}
+}
+
+// TestClusterSamplingOffChangesNothing: the same configuration with and
+// without sampling must produce identical results otherwise — the
+// BENCH-reproducibility guarantee.
+func TestClusterSamplingOffChangesNothing(t *testing.T) {
+	cfg := simnet.Config{
+		Machine: hw.AlembertHaswell(), Pairs: 2, Window: 32, Iters: 4, NumInstances: 2,
+	}
+	base := simnet.RunMultirate(cfg)
+	cfg.ClusterInterval = time.Millisecond
+	sampled := simnet.RunMultirate(cfg)
+	if len(sampled.Series) == 0 {
+		t.Fatal("sampling on but no series")
+	}
+	if base.Messages != sampled.Messages || base.SPCs != sampled.SPCs {
+		t.Fatalf("sampling perturbed the run: %+v vs %+v", base.SPCs, sampled.SPCs)
+	}
+	if base.Series != nil {
+		t.Fatal("sampling off but series present")
+	}
+}

@@ -118,6 +118,32 @@ func (p *simProc) spawnWatchdog(env *sim.Env, name string, sink *[]flight.Dump) 
 	})
 }
 
+// spawnClusterSampler starts the virtual-time cluster sampling thread for
+// p: a simulated thread that wakes every ClusterInterval and appends the
+// proc's watchdog-style observation to series — the per-rank feed the
+// cluster imbalance detector's simnet twin (cluster.DetectSeries) replays.
+// Sampling charges no virtual time; after the last workload thread
+// finishes, one final drained sample is appended so a finished rank's
+// carried-forward state never reads as outstanding work. The DES
+// serializes simulated threads, so the series is byte-deterministic.
+func (p *simProc) spawnClusterSampler(env *sim.Env, name string, series *flight.RankSeries) {
+	if p.cfg.ClusterInterval <= 0 {
+		return
+	}
+	interval := p.cfg.ClusterInterval
+	series.Rank = p.frank
+	env.Go(name, 0, func(sp *sim.Proc) {
+		for {
+			sp.Advance(interval)
+			sp.Yield()
+			series.Samples = append(series.Samples, p.watchdogSample(sp.Now()))
+			if p.finished >= p.nWork {
+				return
+			}
+		}
+	})
+}
+
 // stallFor parks the thread in virtual time without posting receives or
 // driving progress — the injected fault the watchdog acceptance tests
 // detect (Config.StallRecv / StallAfterIter).

@@ -43,8 +43,10 @@ func runMultirateThreads(cfg Config) Result {
 	receiver := newSimProc(env, cfg, recvWire, cfg.NumInstances)
 	// Rank stamping and (optionally) the virtual-time flight recorder must
 	// precede communicator and thread creation, which bind their rings.
-	sender.enableFlight(0)
-	receiver.enableFlight(1)
+	// RankBase shifts the reported world ranks so several virtual runs
+	// compose into one N-rank cluster (see Config.RankBase).
+	sender.enableFlight(cfg.RankBase)
+	receiver.enableFlight(cfg.RankBase + 1)
 
 	// Communicators: one shared, or one per pair (Fig. 3c). Both procs
 	// register every communicator under the same id.
@@ -73,6 +75,9 @@ func runMultirateThreads(cfg Config) Result {
 	var dumps []flight.Dump
 	sender.spawnWatchdog(env, "watchdog-send", &dumps)
 	receiver.spawnWatchdog(env, "watchdog-recv", &dumps)
+	series := make([]flight.RankSeries, 2)
+	sender.spawnClusterSampler(env, "cluster-send", &series[0])
+	receiver.spawnClusterSampler(env, "cluster-recv", &series[1])
 
 	for pair := 0; pair < cfg.Pairs; pair++ {
 		pair := pair
@@ -127,6 +132,9 @@ func runMultirateThreads(cfg Config) Result {
 	if cfg.FlightCapacity > 0 || cfg.Watchdog != nil {
 		now := int64(makespan)
 		res.Queues = []flight.QueueSnapshot{sender.queueSnapshot(now), receiver.queueSnapshot(now)}
+	}
+	if cfg.ClusterInterval > 0 {
+		res.Series = series
 	}
 	return res
 }

@@ -150,6 +150,16 @@ type Config struct {
 	// injected stall follows (receives are posted, then the receiver
 	// stalls before extracting completions).
 	StallAfterIter int
+	// ClusterInterval, when positive, samples every proc's watchdog-style
+	// observation at this virtual period into Result.Series — the feed for
+	// the cluster imbalance detector's simnet twin (cluster.DetectSeries).
+	// Zero leaves sampling off and the run byte-identical to before the
+	// cluster plane existed. Thread mode only.
+	ClusterInterval time.Duration
+	// RankBase offsets the world ranks this run's procs report in flight
+	// and cluster series (sender RankBase, receiver RankBase+1), so several
+	// virtual runs compose into one N-rank cluster series set.
+	RankBase int
 }
 
 // faultsEnabled reports whether any fault probability is non-zero.
@@ -241,6 +251,10 @@ type Result struct {
 	// Dumps holds the watchdog's verdict dumps in firing order — the same
 	// bytes on every run of the same configuration.
 	Dumps []flight.Dump
+	// Series holds each rank's virtual-time observation series when
+	// Config.ClusterInterval is set, in rank order — the deterministic
+	// input to the cluster imbalance detector (cluster.DetectSeries).
+	Series []flight.RankSeries
 }
 
 func newResult(messages int64, makespan time.Duration, sets ...*spc.Set) Result {

@@ -174,6 +174,24 @@ func (c Counter) String() string {
 	return counterNames[c]
 }
 
+var countersByName = func() map[string]Counter {
+	m := make(map[string]Counter, len(counterNames))
+	for i, n := range counterNames {
+		m[n] = Counter(i)
+	}
+	return m
+}()
+
+// CounterByName resolves a snake_case counter name back to its Counter —
+// the inverse of String, used by consumers that re-ingest an exported
+// counter dump (e.g. the cluster aggregator parsing a rank's Prometheus
+// exposition). Unknown names report ok=false rather than a zero Counter so
+// callers can skip counters added by a newer rank binary.
+func CounterByName(name string) (c Counter, ok bool) {
+	c, ok = countersByName[name]
+	return c, ok
+}
+
 // NumCounters is the number of defined counters.
 const NumCounters = int(numCounters)
 

@@ -190,6 +190,21 @@ func TestQuickAddCommutes(t *testing.T) {
 	}
 }
 
+// TestCounterByNameRoundtrip checks String/CounterByName are inverses over
+// every defined counter, and that unknown names are rejected.
+func TestCounterByNameRoundtrip(t *testing.T) {
+	for i := 0; i < NumCounters; i++ {
+		c := Counter(i)
+		got, ok := CounterByName(c.String())
+		if !ok || got != c {
+			t.Fatalf("CounterByName(%q) = %v, %v; want %v, true", c.String(), got, ok, c)
+		}
+	}
+	if _, ok := CounterByName("no_such_counter"); ok {
+		t.Fatal("CounterByName accepted an unknown name")
+	}
+}
+
 func BenchmarkIncEnabled(b *testing.B) {
 	s := NewSet()
 	b.ReportAllocs()

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/prof"
 	"repro/internal/spc"
 	"repro/internal/trace"
 )
@@ -103,6 +104,44 @@ func TestPrometheusHistogramInvariants(t *testing.T) {
 		if count[name] != v {
 			t.Errorf("%s: +Inf bucket %d != _count %d", name, v, count[name])
 		}
+	}
+}
+
+// TestPrometheusRankLabelContract asserts the aggregation-safety contract
+// the cluster plane depends on: every sample line the exporter emits —
+// counters, histograms, and the contention-profiler families — carries a
+// rank label, so per-rank series from different processes never collide
+// when concatenated into one merged exposition.
+func TestPrometheusRankLabelContract(t *testing.T) {
+	ps := testStats()
+	ps.Prof = prof.Snapshot{
+		Sites: []prof.SiteSnapshot{{Name: "match.comm", Comm: 7, Acquisitions: 4, Contended: 1, WaitNs: 900, HoldNs: 1200}},
+		Threads: []prof.ThreadSnapshot{{
+			Label: "send-0", WallNs: 5000,
+			PhaseNs: map[string]int64{"app": 1000, "send": 4000},
+		}},
+	}
+	ps2 := testStats()
+	ps2.Rank = 2
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, ps, ps2); err != nil {
+		t.Fatal(err)
+	}
+	ranks := map[string]bool{}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.Index(line, `rank="`)
+		if i < 0 {
+			t.Errorf("sample line without rank label: %q", line)
+			continue
+		}
+		rest := line[i+len(`rank="`):]
+		ranks[rest[:strings.IndexByte(rest, '"')]] = true
+	}
+	if !ranks["1"] || !ranks["2"] {
+		t.Fatalf("expected series for ranks 1 and 2, saw %v", ranks)
 	}
 }
 

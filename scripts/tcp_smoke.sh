@@ -192,3 +192,89 @@ if [[ "$surviving" -lt 3 || "$surviving" -gt 6 ]]; then
 fi
 
 echo "OK: mpirun -n 4 completed; $surviving surviving connections for 6 peer pairs (opened=$opened_total reused=$reused_total races_lost=$races_total); live /spc answered mid-run"
+
+# ---- Cluster observability plane --------------------------------------
+# Stage 3 — the launcher as the job's observability plane. A healthy run
+# under `mpirun -http` must serve one rank-labeled series per rank on the
+# aggregate /cluster/metrics with a clean /cluster/imbalance mid-run; a
+# -stall run must localize the frozen rank in an imbalance verdict. The
+# end-of-run cluster reports stay in the working tree as CI artifacts.
+go build -o "$tmp/mpitop" ./cmd/mpitop
+
+cport=$((port_base + 3))
+cout="$tmp/cluster_out"
+"$tmp/mpirun" -n 4 -http "127.0.0.1:$cport" -poll 100ms -report-out cluster_report.json \
+    "$tmp/multirate" -pairs 4 -window 16 -iters 1500 -machine fast >"$cout" 2>&1 &
+cluster_pid=$!
+
+# Wait until every rank's series shows up in the merged exposition, then
+# assert the mid-run imbalance view is clean. Verdicts must come from rank
+# pathology, not from scrape races or benign sender-ahead queue depth.
+ranks_seen=""
+for _ in $(seq 1 200); do
+    if curl -fsS "http://127.0.0.1:$cport/cluster/metrics" >"$tmp/cluster_metrics" 2>/dev/null; then
+        n=0
+        for r in 0 1 2 3; do
+            grep -q "mpi_uptime_seconds{rank=\"$r\"}" "$tmp/cluster_metrics" && n=$((n + 1))
+        done
+        if [[ "$n" -eq 4 ]]; then
+            ranks_seen=yes
+            curl -fsS "http://127.0.0.1:$cport/cluster/imbalance" >"$tmp/cluster_imbalance" 2>/dev/null || true
+            break
+        fi
+    fi
+    kill -0 "$cluster_pid" 2>/dev/null || break
+    sleep 0.05
+done
+
+if ! wait "$cluster_pid"; then
+    echo "FAIL: mpirun -http job exited nonzero" >&2
+    tail -20 "$cout" >&2
+    exit 1
+fi
+if [[ -z "$ranks_seen" ]]; then
+    echo "FAIL: /cluster/metrics never carried all 4 rank-labeled series" >&2
+    head -40 "$tmp/cluster_metrics" >&2 || true
+    exit 1
+fi
+for r in 0 1 2 3; do
+    if ! grep -q "mpi_spc_messages_sent{rank=\"$r\",scope=\"process\"}" "$tmp/cluster_metrics"; then
+        echo "FAIL: merged exposition has no messages_sent series for rank $r" >&2
+        exit 1
+    fi
+done
+if ! grep -q '"clean": true' "$tmp/cluster_imbalance"; then
+    echo "FAIL: healthy run's mid-run /cluster/imbalance not clean:" >&2
+    cat "$tmp/cluster_imbalance" >&2
+    exit 1
+fi
+if ! grep -q '"schema_version": 1' cluster_report.json; then
+    echo "FAIL: cluster report missing or wrong schema:" >&2
+    head -5 cluster_report.json >&2 || true
+    exit 1
+fi
+# The saved report must render through mpitop's snapshot mode.
+if ! "$tmp/mpitop" -snapshot cluster_report.json | grep -q 'RANK'; then
+    echo "FAIL: mpitop -snapshot could not render the cluster report" >&2
+    exit 1
+fi
+echo "OK: mpirun -http served 4 rank-labeled series with a clean mid-run imbalance view"
+
+# Stall localization: freeze rank 3's receive side for 3s mid-run and
+# require the cluster detector to name it. (The deterministic only-rank-3
+# assertion lives in the simnet twin; this exercises the live pipeline.)
+dport=$((port_base + 4))
+sout="$tmp/stall_out"
+if ! "$tmp/mpirun" -n 4 -http "127.0.0.1:$dport" -poll 100ms -report-out cluster_stall_report.json \
+    "$tmp/multirate" -pairs 4 -window 64 -iters 1500 -machine fast -stall 3s -stall-at 2 >"$sout" 2>&1; then
+    echo "FAIL: mpirun -stall job exited nonzero" >&2
+    tail -20 "$sout" >&2
+    exit 1
+fi
+if ! grep -q '"reason": "rank-straggler"' cluster_stall_report.json ||
+    ! grep -q 'rank 3 made no send/recv progress' cluster_stall_report.json; then
+    echo "FAIL: stalled run produced no straggler verdict naming rank 3:" >&2
+    grep -A2 '"verdicts"' cluster_stall_report.json >&2 || true
+    exit 1
+fi
+echo "OK: cluster detector localized the injected stall to rank 3 over tcp"
