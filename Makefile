@@ -56,10 +56,14 @@ BENCHJSON_FLAGS ?=
 bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_4.json $(BENCHJSON_FLAGS)
 	$(GO) run ./cmd/benchjson -validate BENCH_4.json
+	$(GO) run ./cmd/benchjson -o BENCH_4_latency.json -latency $(BENCHJSON_FLAGS)
+	$(GO) run ./cmd/benchjson -validate BENCH_4_latency.json
 
 # Regression gate: regenerate the deterministic trajectory and compare it
 # point by point against the committed BENCH_4.json with noise-aware
 # per-(design, threads) tolerances; exits nonzero if any point regressed.
+# The latency trajectory additionally gates per-stage critical-path p99s:
+# a tail regression inside one stage trips CI even when rates are flat.
 # Also emits the contention profiler's virtual-time phase breakdowns for the
 # serial and concurrent progress engines as artifacts.
 bench-gate:
@@ -68,6 +72,8 @@ bench-gate:
 		-progress concurrent -breakdown-out breakdown_concurrent.json > /dev/null
 	$(GO) run ./cmd/benchjson -o BENCH_head.json
 	$(GO) run ./cmd/benchcmp -json bench_deltas.json BENCH_4.json BENCH_head.json
+	$(GO) run ./cmd/benchjson -o BENCH_head_latency.json -latency
+	$(GO) run ./cmd/benchcmp -json bench_deltas_latency.json BENCH_4_latency.json BENCH_head_latency.json
 
 # Fault-injection and teardown chaos: the reliability layer repairing a
 # lossy, duplicating, reordering wire, communicator free with packets still

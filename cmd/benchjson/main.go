@@ -32,6 +32,7 @@ func main() {
 		iters       = flag.Int("iters", 8, "window iterations per pair")
 		msgSize     = flag.Int("size", 0, "payload bytes (0 = envelope only)")
 		instances   = flag.Int("instances", 20, "CRI count for the CRI designs")
+		latency     = flag.Bool("latency", false, "carry per-stage critical-path p50/p99 on every thread-mode point")
 		designList  = flag.String("designs", "ompi-process,ompi-thread,ompi-thread-cri,ompi-thread-cri-full,ompi-thread-cri-lf",
 			"comma-separated design slugs to sweep")
 	)
@@ -62,6 +63,7 @@ func main() {
 		Machine: machine, MachineName: *machineName,
 		Threads: threads, Window: *window, Iters: *iters,
 		MsgSize: *msgSize, Instances: *instances, Designs: ds,
+		Latency: *latency,
 	})
 	b, err := benchjson.Marshal(f)
 	check(err)

@@ -21,8 +21,8 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate: 3a 3b 3c 4a 4b 4c 5 6 7 offload matching breakdown")
-	bdThreads := flag.Int("threads", 8, "thread pairs for -fig breakdown")
+	fig := flag.String("fig", "", "figure to regenerate: 3a 3b 3c 4a 4b 4c 5 6 7 offload matching breakdown waterfall")
+	bdThreads := flag.Int("threads", 8, "thread pairs for -fig breakdown / -fig waterfall")
 	table := flag.String("table", "", "table to regenerate: 2")
 	all := flag.Bool("all", false, "regenerate every figure and table")
 	ablation := flag.String("ablation", "", "ablation sweep: jitter credits convoy instances alloc all")
@@ -63,15 +63,21 @@ func main() {
 		return t.Render()
 	}
 	run := func(name string) {
-		if name == "breakdown" {
+		if name == "breakdown" || name == "waterfall" {
 			start := time.Now()
-			f := figures.TimeBreakdown(sc, *bdThreads)
-			if *format == "csv" {
-				fmt.Println(f.CSV())
-			} else {
-				fmt.Println(f.Render())
+			var out string
+			switch {
+			case name == "breakdown" && *format == "csv":
+				out = figures.TimeBreakdown(sc, *bdThreads).CSV()
+			case name == "breakdown":
+				out = figures.TimeBreakdown(sc, *bdThreads).Render()
+			case *format == "csv":
+				out = figures.Waterfall(sc, *bdThreads).CSV()
+			default:
+				out = figures.Waterfall(sc, *bdThreads).Render()
 			}
-			fmt.Fprintf(os.Stderr, "[fig breakdown regenerated in %v]\n", time.Since(start).Round(time.Millisecond))
+			fmt.Println(out)
+			fmt.Fprintf(os.Stderr, "[fig %s regenerated in %v]\n", name, time.Since(start).Round(time.Millisecond))
 			return
 		}
 		gen, ok := single[name]
@@ -93,7 +99,7 @@ func main() {
 
 	switch {
 	case *all:
-		for _, name := range []string{"3a", "3b", "3c", "4a", "4b", "4c", "5", "6", "7", "breakdown"} {
+		for _, name := range []string{"3a", "3b", "3c", "4a", "4b", "4c", "5", "6", "7", "breakdown", "waterfall"} {
 			run(name)
 		}
 		runTable2()

@@ -1,7 +1,8 @@
 // Command mpitop is a top-style terminal view of a running N-rank job's
 // cluster observability plane. It renders one row per rank — message rate,
-// p99 latency, queue depths, retransmits, connections, uptime, and the
-// latest imbalance verdict — from the cluster report a running `mpirun
+// p99 latency, end-to-end critical-path p99 with the dominant stage, queue
+// depths, retransmits, connections, uptime, and the latest imbalance
+// verdict — from the cluster report a running `mpirun
 // -http` serves at /cluster/report, refreshing in place until the job goes
 // away.
 //
@@ -151,8 +152,8 @@ func render(w io.Writer, rep cluster.Report, refresh bool) {
 	}
 	fmt.Fprintf(&b, "mpitop — %d ranks, %d polls, %s\n\n",
 		len(rep.Ranks), rep.Polls, state)
-	fmt.Fprintf(&b, "%5s %6s %10s %10s %7s %7s %6s %6s %6s %9s  %s\n",
-		"RANK", "STATE", "MSG/S", "P99", "POSTED", "UNEXP", "OOS", "RETX", "CONNS", "UPTIME", "VERDICT")
+	fmt.Fprintf(&b, "%5s %6s %10s %10s %10s %-16s %7s %7s %6s %6s %6s %9s  %s\n",
+		"RANK", "STATE", "MSG/S", "P99", "E2E99", "HOTSTAGE", "POSTED", "UNEXP", "OOS", "RETX", "CONNS", "UPTIME", "VERDICT")
 	for _, r := range rep.Ranks {
 		state := "up"
 		switch {
@@ -161,10 +162,12 @@ func render(w io.Writer, rep cluster.Report, refresh bool) {
 		case !r.Ready:
 			state = "wait"
 		}
-		fmt.Fprintf(&b, "%5d %6s %10s %10s %7d %7d %6d %6d %6d %9s  %s\n",
+		fmt.Fprintf(&b, "%5d %6s %10s %10s %10s %-16s %7d %7d %6d %6d %6d %9s  %s\n",
 			r.Rank, state,
 			formatRate(r.MsgRate),
 			formatNs(r.P99LatencyNs),
+			formatNs(r.E2EP99Ns),
+			formatHotStage(r),
 			r.Posted, r.Unexpected, r.OOSBuffered,
 			r.Retransmits, r.Conns,
 			formatUptime(r.UptimeSeconds),
@@ -205,6 +208,17 @@ func formatRate(r float64) string {
 	default:
 		return fmt.Sprintf("%.0f", r)
 	}
+}
+
+// formatHotStage renders the rank's dominant critical-path stage with its
+// p99, e.g. "deliver_wait 5.0ms" — "-" when the rank exports no
+// attribution data.
+func formatHotStage(r cluster.RankReport) string {
+	stage, ns := r.HotStage()
+	if stage == "" {
+		return "-"
+	}
+	return fmt.Sprintf("%s %s", stage, formatNs(ns))
 }
 
 func formatNs(ns int64) string {

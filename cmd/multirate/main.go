@@ -12,6 +12,7 @@
 //	multirate -pairs 20 -progress concurrent -comm-per-pair
 //	multirate -engine real -pairs 4 -window 64 -iters 8
 //	multirate -process-mode -pairs 20
+//	multirate -pairs 4 -latency -latency-out latency.json
 //
 // With -transport tcp the real engine runs distributed: launch one process
 // per rank, each naming itself with -rank and every rank's address with
@@ -32,17 +33,16 @@ import (
 	"os"
 
 	"repro/internal/backends"
+	"repro/internal/bench/cliobs"
 	bench "repro/internal/bench/multirate"
 	"repro/internal/core"
 	"repro/internal/cri"
 	"repro/internal/flight"
 	"repro/internal/hw"
-	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/progress"
 	"repro/internal/simnet"
 	"repro/internal/spc"
-	"repro/internal/telemetry"
 )
 
 func main() {
@@ -75,47 +75,28 @@ func main() {
 		faultDelay = flag.Float64("fault-delay", 0, "per-packet delayed-delivery (reorder) probability")
 		faultSeed  = flag.Int64("fault-seed", 1, "fault-injection RNG seed")
 
-		spcDump        = flag.Bool("spc-dump", false, "dump counters with per-CRI/per-communicator attribution (real engine)")
-		metricsOut     = flag.String("metrics-out", "", "write a Prometheus text-format metrics snapshot to this file (real engine)")
-		traceOut       = flag.String("trace-out", "", "write a Chrome trace-event JSON file (load in chrome://tracing) (real engine)")
-		samplesOut     = flag.String("samples-out", "", "write the sampler time series as CSV to this file (real engine)")
-		sampleInterval = flag.Duration("sample-interval", 0, "background counter/histogram sampling interval, e.g. 10ms (real engine)")
-
-		traceWire  = flag.Bool("trace-wire", false, "carry trace context on the wire and stitch cross-rank message lifecycles (real engine)")
-		traceShard = flag.String("trace-shard", "", "write this process's raw trace shard JSON to this file (merge with tracemerge; real engine)")
-		httpAddr   = flag.String("http", "", "serve live /metrics, /spc, /trace, /healthz and pprof on this address during the run (real engine)")
-
-		profile      = flag.Bool("profile", false, "attach the contention profiler: per-lock wait attribution and per-thread phase accounting (real engine)")
-		breakdownOut = flag.String("breakdown-out", "", "write the per-rank phase/lock-wait breakdown as JSON to this file (either engine; sim gives deterministic virtual-time numbers)")
-		pprofCont    = flag.Bool("pprof-contention", false, "enable Go runtime mutex/block profiling so the -http pprof endpoints carry contention profiles (real engine)")
-
-		flightCap = flag.Int("flight", 0, "flight recorder: per-ring event capacity (0 = off; either engine — sim records in virtual time)")
-		flightOut = flag.String("flight-out", "", "write the flight-record exit dump (rings + final queue snapshot) as JSON to this file; implies -flight "+fmt.Sprint(flight.DefaultRingCapacity))
-		watchdog  = flag.Bool("watchdog", false, "run the stall watchdog; a detected stall dumps the flight record and queue snapshot to stderr (either engine)")
-
 		stallRecv = flag.Duration("stall", 0, "freeze pair 0's receiver for this long mid-run: virtual time on the sim engine (deterministic; pair with -watchdog), wall clock on the real engine (pair with mpirun -http to watch the cluster detector localize it)")
 		stallAt   = flag.Int("stall-at", 0, "window iteration at which the -stall freeze fires")
 		stallRank = flag.Int("stall-rank", 0, "world rank the -stall freeze applies to in a distributed run (0 = the last receiver rank)")
 	)
+	// The sim engine mirrors the flight recorder, watchdog, and latency
+	// attribution in virtual time, so those flags stay on either engine.
+	ob := cliobs.Register(flag.CommandLine, "multirate", true)
 	flag.Parse()
-	if *flightOut != "" && *flightCap <= 0 {
-		*flightCap = flight.DefaultRingCapacity
-	}
+	ob.Normalize()
 
 	// The telemetry layer observes the real runtime; the virtual-time model
 	// has no CRI locks or progress passes to instrument. Asking for any of
 	// its outputs implies the real engine. -trace-wire alone does not: on
 	// the sim engine it models the extension's wire-byte cost instead.
-	wantTelemetry := *spcDump || *metricsOut != "" || *traceOut != "" || *samplesOut != "" ||
-		*sampleInterval > 0 || *traceShard != "" || *httpAddr != ""
-	if wantTelemetry && *engine == "sim" {
+	if ob.WantTelemetry() && *engine == "sim" {
 		fmt.Fprintln(os.Stderr, "multirate: telemetry flags instrument the real runtime; switching to -engine real")
 		*engine = "real"
 	}
 	// -profile and -pprof-contention instrument real locks and threads.
 	// -breakdown-out alone does not switch: the virtual-time model produces
 	// the same breakdown deterministically from its event clock.
-	if (*profile || *pprofCont) && *engine == "sim" {
+	if (ob.Profile || ob.PprofContention) && *engine == "sim" {
 		fmt.Fprintln(os.Stderr, "multirate: profiling flags instrument the real runtime; switching to -engine real")
 		*engine = "real"
 	}
@@ -138,13 +119,13 @@ func main() {
 			MsgSize: *msgSize, NumInstances: *instances, Assignment: asg,
 			Progress: pm, CommPerPair: *commPerPair, MatchShards: *matchShards,
 			AllowOvertaking: *overtaking, AnyTagRecv: *anyTag,
-			ProcessMode: *processMode, Traced: *traceWire,
+			ProcessMode: *processMode, Traced: ob.TraceWire,
 			FaultDrop: *faultDrop, FaultDup: *faultDup,
 			FaultDelay: *faultDelay, FaultSeed: *faultSeed,
-			FlightCapacity: *flightCap,
-			StallRecv:      *stallRecv, StallAfterIter: *stallAt,
+			FlightCapacity: ob.FlightCap, Latency: ob.Latency,
+			StallRecv: *stallRecv, StallAfterIter: *stallAt,
 		}
-		if *watchdog {
+		if ob.Watchdog {
 			scfg.Watchdog = &flight.DetectorConfig{}
 		}
 		res := simnet.RunMultirate(scfg)
@@ -154,92 +135,71 @@ func main() {
 		}
 		// The virtual-time model has no transport underneath; say so rather
 		// than leaving the field out of the self-describing header.
-		fmt.Printf("engine=sim transport=virtual caps=none pairs=%d messages=%d makespan=%v rate=%.0f msg/s oos=%.2f%% steal_losses=%d%s\n",
+		fmt.Printf("engine=sim transport=virtual caps=none pairs=%d messages=%d makespan=%v rate=%.0f msg/s oos=%.2f%% steal_losses=%d%s%s\n",
 			*pairs, res.Messages, res.Makespan, res.Rate, res.SPCs.OutOfSequencePercent(),
-			res.SPCs[spc.ProgressStealLosses], headerPath("flight_out", *flightOut))
-		if *flightOut != "" {
-			check(writeFlightDump(*flightOut, flight.ExitDump{Queues: res.Queues, Flight: res.Flight, Dumps: res.Dumps}))
+			res.SPCs[spc.ProgressStealLosses],
+			cliobs.HeaderPath("flight_out", ob.FlightOut),
+			cliobs.HeaderPath("latency_out", ob.LatencyOut))
+		if ob.FlightOut != "" {
+			check(cliobs.WriteFlightDump(ob.FlightOut, flight.ExitDump{Queues: res.Queues, Flight: res.Flight, Dumps: res.Dumps}))
+		}
+		if ob.LatencyOut != "" {
+			check(cliobs.WriteLatencyDumps(ob.LatencyOut, res.Latency))
 		}
 		if *showSPCs {
 			fmt.Print(res.SPCs.String())
 		}
-		if *breakdownOut != "" {
+		if ob.BreakdownOut != "" {
 			bf := prof.BreakdownFile{Engine: "sim"}
 			for _, b := range res.Breakdown {
 				bf.Reports = append(bf.Reports, b.Report(designLabel(*prog, *assignment), *pairs))
 			}
-			check(writeBreakdown(*breakdownOut, bf))
+			check(cliobs.WriteBreakdown(ob.BreakdownOut, bf))
 		}
 	case "real":
-		if *pprofCont {
-			restore := obs.EnableContentionProfiling(0, 0)
-			defer restore()
-		}
 		cap := *traceN
-		if (*traceOut != "" || *traceShard != "" || *traceWire || *httpAddr != "") && cap <= 0 {
+		if (ob.TraceOut != "" || ob.TraceShard != "" || ob.TraceWire || ob.HTTPAddr != "") && cap <= 0 {
 			cap = 1 << 16
 		}
 		// A real-engine -breakdown-out needs the profiler's wall-clock data.
-		wantProf := *profile || *breakdownOut != ""
+		wantProf := ob.Profile || ob.BreakdownOut != ""
 		opts := core.Options{
 			NumInstances: *instances, Assignment: asg, Progress: pm,
 			MatchShards: *matchShards,
 			ThreadLevel: core.ThreadMultiple, TraceCapacity: cap,
-			Telemetry: wantTelemetry || *traceWire, TraceWire: *traceWire,
+			Telemetry: ob.WantTelemetry() || ob.TraceWire, TraceWire: ob.TraceWire,
 			Profile:   wantProf,
+			Latency:   ob.Latency,
 			FaultDrop: *faultDrop, FaultDup: *faultDup,
 			FaultDelay: *faultDelay, FaultSeed: *faultSeed,
-			FlightCapacity: *flightCap,
+			FlightCapacity: ob.FlightCap,
 		}
 		pat := bench.Pairwise
 		if *pattern == "incast" {
 			pat = bench.Incast
 		}
-		outputs := &obs.Outputs{
-			MetricsPath: *metricsOut, TracePath: *traceOut,
-			SamplesPath: *samplesOut, ShardPath: *traceShard,
-			FlightPath: *flightOut,
-			// The sampler observes the receiver; route the phase-breakdown
-			// counter track to its pid group in the Chrome trace.
-			ProfRank: 1,
-			Info: map[string]string{
-				"cmd": "multirate", "transport": *transportName,
-				"progress": *prog, "assignment": *assignment,
-				"pattern": *pattern, "rank": fmt.Sprint(*rank),
-			},
+		sess, serr := ob.Start(map[string]string{
+			"cmd": "multirate", "transport": *transportName,
+			"progress": *prog, "assignment": *assignment,
+			"pattern": *pattern, "rank": fmt.Sprint(*rank),
+		})
+		check(serr)
+		// The sampler observes the receiver; route the phase-breakdown
+		// counter track to its pid group in the Chrome trace.
+		sess.Outputs.ProfRank = 1
+		defer sess.Outputs.DumpOnPanic()
+		if addr := sess.Addr(); addr != "" {
+			fmt.Fprintf(os.Stderr, "multirate: observability endpoint on http://%s\n", addr)
 		}
-		defer outputs.DumpOnPanic()
-		// The endpoint binds before the world exists so orchestration can
-		// probe liveness during startup; /readyz serves 503 until the
-		// OnWorld hook fires — in distributed mode that is after the rank
-		// handshake and clock sync have completed.
-		holder := obs.NewHolder(outputs.Info, "waiting for world construction")
-		var srv *obs.Server
-		if *httpAddr != "" {
-			s, serr := obs.Serve(*httpAddr, holder.Source())
-			check(serr)
-			srv = s
-			fmt.Fprintf(os.Stderr, "multirate: observability endpoint on http://%s\n", s.Addr())
-		}
-		var stopWatchdog func()
 		bcfg := bench.Config{
 			Machine: machine, Opts: opts, Pairs: *pairs, Window: *window,
 			Iters: *iters, MsgSize: *msgSize, CommPerPair: *commPerPair,
 			AnyTag: *anyTag, Overtaking: *overtaking, ProcessMode: *processMode,
-			Pattern: pat, SampleInterval: *sampleInterval,
+			Pattern: pat, SampleInterval: ob.SampleInterval,
 			StallRecv: *stallRecv, StallAfterIter: *stallAt, StallRank: *stallRank,
-			OnSampler: outputs.BindSampler,
-			OnWorld: func(w *core.World) {
-				src := worldSource(w, outputs.Info)
-				outputs.Bind(src)
-				holder.Bind(src)
-				holder.SetReady()
-				if *watchdog {
-					stopWatchdog = w.StartWatchdog(core.WatchdogConfig{})
-				}
-			},
+			OnSampler: sess.Outputs.BindSampler,
+			OnWorld:   sess.BindWorld,
 		}
-		stopSignals := outputs.FlushOnSignal()
 		var res bench.Result
 		var err error
 		switch *transportName {
@@ -266,20 +226,18 @@ func main() {
 			check(fmt.Errorf("unknown transport %q", *transportName))
 		}
 		check(err)
-		stopSignals()
-		if stopWatchdog != nil {
-			stopWatchdog()
-		}
-		fmt.Printf("engine=real transport=%s caps=%s dial_retries=%d reconnects=%d short_writes=%d conns_opened=%d conns_reused=%d dial_races_lost=%d rank=%d pairs=%d messages=%d elapsed=%v rate=%.0f msg/s oos=%.2f%% steal_losses=%d%s\n",
+		fmt.Printf("engine=real transport=%s caps=%s dial_retries=%d reconnects=%d short_writes=%d conns_opened=%d conns_reused=%d dial_races_lost=%d rank=%d pairs=%d messages=%d elapsed=%v rate=%.0f msg/s oos=%.2f%% steal_losses=%d%s%s\n",
 			res.Transport.Name, res.Transport,
 			res.SPCs[spc.DialRetries], res.SPCs[spc.Reconnects], res.SPCs[spc.ShortWrites],
 			res.SPCs[spc.ConnsOpened], res.SPCs[spc.ConnsReused], res.SPCs[spc.DialRacesLost],
 			*rank, *pairs, res.Messages, res.Elapsed, res.Rate, res.SPCs.OutOfSequencePercent(),
-			res.SPCs[spc.ProgressStealLosses], headerPath("flight_out", *flightOut))
+			res.SPCs[spc.ProgressStealLosses],
+			cliobs.HeaderPath("flight_out", ob.FlightOut),
+			cliobs.HeaderPath("latency_out", ob.LatencyOut))
 		if *showSPCs {
 			fmt.Print(res.SPCs.String())
 		}
-		if *spcDump {
+		if ob.SPCDump {
 			for _, ps := range res.Stats {
 				check(ps.WriteText(os.Stdout))
 			}
@@ -287,14 +245,14 @@ func main() {
 		if *traceN > 0 {
 			fmt.Print(res.TraceDump)
 		}
-		if *profile {
+		if ob.Profile {
 			for _, ps := range res.Stats {
 				if !ps.Prof.Empty() {
 					check(prof.BuildReport(ps.Rank, designLabel(*prog, *assignment), *pairs, ps.Prof).WriteText(os.Stdout))
 				}
 			}
 		}
-		if *breakdownOut != "" {
+		if ob.BreakdownOut != "" {
 			bf := prof.BreakdownFile{Engine: "real"}
 			for _, ps := range res.Stats {
 				if ps.Prof.Empty() {
@@ -302,95 +260,18 @@ func main() {
 				}
 				bf.Reports = append(bf.Reports, prof.BuildReport(ps.Rank, designLabel(*prog, *assignment), *pairs, ps.Prof))
 			}
-			check(writeBreakdown(*breakdownOut, bf))
+			check(cliobs.WriteBreakdown(ob.BreakdownOut, bf))
 		}
-		check(outputs.Flush())
-		if srv != nil {
-			_ = srv.Close()
-		}
+		check(sess.Finish())
 	default:
 		check(fmt.Errorf("unknown engine %q", *engine))
 	}
-}
-
-// worldSource adapts a live world to the observability Source: every
-// request snapshots the current counters, histograms, and trace shards of
-// all local ranks.
-func worldSource(w *core.World, info map[string]string) obs.Source {
-	return obs.Source{
-		Stats: func() []telemetry.ProcStats {
-			var out []telemetry.ProcStats
-			for _, p := range w.LocalProcs() {
-				out = append(out, p.TelemetryStats())
-			}
-			return out
-		},
-		Events: func() []telemetry.RankEvents {
-			var out []telemetry.RankEvents
-			for _, p := range w.LocalProcs() {
-				if p.Tracer() != nil {
-					out = append(out, p.TraceEvents())
-				}
-			}
-			return out
-		},
-		Queues: func() []flight.QueueSnapshot {
-			var out []flight.QueueSnapshot
-			for _, p := range w.LocalProcs() {
-				out = append(out, p.QueueSnapshot())
-			}
-			return out
-		},
-		Flight: func() []flight.RankRecord {
-			var out []flight.RankRecord
-			for _, p := range w.LocalProcs() {
-				if p.FlightRecorder() != nil {
-					out = append(out, p.FlightRecord())
-				}
-			}
-			return out
-		},
-		Info: info,
-	}
-}
-
-// headerPath renders an optional "key=path" field for the self-describing
-// benchmark header line, empty when the path is unset.
-func headerPath(key, path string) string {
-	if path == "" {
-		return ""
-	}
-	return fmt.Sprintf(" %s=%s", key, path)
-}
-
-func writeFlightDump(path string, dump flight.ExitDump) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := flight.WriteExitDump(f, dump); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 // designLabel names the configuration under test in breakdown reports, the
 // same way the paper labels its design ladder rungs.
 func designLabel(progress, assignment string) string {
 	return fmt.Sprintf("progress=%s,assignment=%s", progress, assignment)
-}
-
-func writeBreakdown(path string, bf prof.BreakdownFile) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := prof.WriteBreakdown(f, bf); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 func machineByName(name string) (hw.Machine, error) {

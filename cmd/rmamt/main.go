@@ -8,6 +8,7 @@
 //	rmamt -threads 32 -instances 1              # the "single instance" curve
 //	rmamt -machine knl -threads 64
 //	rmamt -engine real -threads 4 -puts 100
+//	rmamt -engine real -threads 4 -stall 200ms -stall-at 1 -watchdog
 package main
 
 import (
@@ -16,16 +17,14 @@ import (
 	"os"
 
 	"repro/internal/backends"
+	"repro/internal/bench/cliobs"
 	bench "repro/internal/bench/rmamt"
 	"repro/internal/core"
 	"repro/internal/cri"
-	"repro/internal/flight"
 	"repro/internal/hw"
-	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/progress"
 	"repro/internal/simnet"
-	"repro/internal/telemetry"
 )
 
 func main() {
@@ -49,44 +48,34 @@ func main() {
 		faultDelay = flag.Float64("fault-delay", 0, "per-packet delayed-delivery (reorder) probability (real engine)")
 		faultSeed  = flag.Int64("fault-seed", 1, "fault-injection RNG seed")
 
-		spcDump        = flag.Bool("spc-dump", false, "dump counters with per-CRI/per-communicator attribution (real engine)")
-		metricsOut     = flag.String("metrics-out", "", "write a Prometheus text-format metrics snapshot to this file (real engine)")
-		traceOut       = flag.String("trace-out", "", "write a Chrome trace-event JSON file (load in chrome://tracing) (real engine)")
-		samplesOut     = flag.String("samples-out", "", "write the sampler time series as CSV to this file (real engine)")
-		sampleInterval = flag.Duration("sample-interval", 0, "background counter/histogram sampling interval, e.g. 10ms (real engine)")
-
-		traceWire  = flag.Bool("trace-wire", false, "carry trace context on the wire and stitch cross-rank message lifecycles (real engine)")
-		traceShard = flag.String("trace-shard", "", "write per-rank raw trace shard JSON (merge with tracemerge; real engine)")
-		httpAddr   = flag.String("http", "", "serve live /metrics, /spc, /trace, /healthz and pprof on this address during the run (real engine)")
-
-		profile      = flag.Bool("profile", false, "attach the contention profiler: per-lock wait attribution and per-thread phase accounting (real engine)")
-		breakdownOut = flag.String("breakdown-out", "", "write the per-rank phase/lock-wait breakdown as JSON to this file (either engine)")
-		pprofCont    = flag.Bool("pprof-contention", false, "enable Go runtime mutex/block profiling so the -http pprof endpoints carry contention profiles (real engine)")
-
-		flightCap = flag.Int("flight", 0, "flight recorder: per-ring event capacity (0 = off; real engine)")
-		flightOut = flag.String("flight-out", "", "write the flight-record exit dump (rings + final queue snapshot) as JSON to this file; implies -flight "+fmt.Sprint(flight.DefaultRingCapacity))
-		watchdog  = flag.Bool("watchdog", false, "run the stall watchdog; a detected stall dumps the flight record and queue snapshot to stderr (real engine)")
+		stallPut  = flag.Duration("stall", 0, "freeze origin thread 0 for this long mid-run, right before its flush of round -stall-at (real engine; pair with -watchdog or -http to watch the straggler surface)")
+		stallAt   = flag.Int("stall-at", 0, "flush round at which the -stall freeze fires")
+		stallRank = flag.Int("stall-rank", 0, "world rank the -stall freeze applies to, for flag parity with multirate (0 = the origin; the passive target rank has no put loop, so selecting it is a no-op)")
 	)
+	// The RMA-MT virtual-time model has no flight/latency mirror (unlike
+	// multirate), so those flags imply the real engine.
+	ob := cliobs.Register(flag.CommandLine, "rmamt", false)
 	flag.Parse()
-	if *flightOut != "" && *flightCap <= 0 {
-		*flightCap = flight.DefaultRingCapacity
-	}
+	ob.Normalize()
 
 	// Telemetry observes the real runtime; the virtual-time model has
-	// nothing to instrument. Any telemetry output implies the real engine.
-	// The RMA-MT model has no flight mirror (unlike multirate), so the
-	// flight and watchdog flags imply the real engine too.
-	wantTelemetry := *spcDump || *metricsOut != "" || *traceOut != "" || *samplesOut != "" ||
-		*sampleInterval > 0 || *traceWire || *traceShard != "" || *httpAddr != "" ||
-		*flightCap > 0 || *watchdog
-	if wantTelemetry && *engine == "sim" {
+	// nothing to instrument. Any telemetry output implies the real engine,
+	// and for this command so do the flight, watchdog, trace-wire, and
+	// latency flags.
+	if ob.WantTelemetry() && *engine == "sim" {
 		fmt.Fprintln(os.Stderr, "rmamt: telemetry flags instrument the real runtime; switching to -engine real")
 		*engine = "real"
 	}
 	// -breakdown-out alone stays on the chosen engine: the virtual-time
 	// model produces the breakdown deterministically.
-	if (*profile || *pprofCont) && *engine == "sim" {
+	if (ob.Profile || ob.PprofContention) && *engine == "sim" {
 		fmt.Fprintln(os.Stderr, "rmamt: profiling flags instrument the real runtime; switching to -engine real")
+		*engine = "real"
+	}
+	// The stall injection freezes a live thread; the virtual model has no
+	// RMA stall hook.
+	if *stallPut > 0 && *engine == "sim" {
+		fmt.Fprintln(os.Stderr, "rmamt: -stall freezes a live origin thread; switching to -engine real")
 		*engine = "real"
 	}
 
@@ -131,92 +120,66 @@ func main() {
 		fmt.Printf("engine=sim transport=virtual caps=none threads=%d size=%dB puts=%d makespan=%v rate=%.0f puts/s peak=%.0f\n",
 			*threads, *msgSize, res.Messages, res.Makespan, res.Rate,
 			machine.PeakMessageRate(*msgSize))
-		if *breakdownOut != "" {
+		if ob.BreakdownOut != "" {
 			bf := prof.BreakdownFile{Engine: "sim"}
 			for _, b := range res.Breakdown {
 				bf.Reports = append(bf.Reports, b.Report(designLabel(*prog, *assignment), *threads))
 			}
-			check(writeBreakdown(*breakdownOut, bf))
+			check(cliobs.WriteBreakdown(ob.BreakdownOut, bf))
 		}
 	case "real":
-		if *pprofCont {
-			restore := obs.EnableContentionProfiling(0, 0)
-			defer restore()
-		}
 		ni := *instances
 		if ni <= 0 {
 			ni = machine.DefaultContexts
 		}
-		wantProf := *profile || *breakdownOut != ""
+		wantProf := ob.Profile || ob.BreakdownOut != ""
 		opts := core.Options{
 			NumInstances: ni, Assignment: asg, Progress: pm,
-			ThreadLevel: core.ThreadMultiple, Telemetry: wantTelemetry,
+			ThreadLevel: core.ThreadMultiple, Telemetry: ob.WantTelemetry(),
 			Profile:   wantProf,
-			TraceWire: *traceWire,
+			TraceWire: ob.TraceWire,
+			Latency:   ob.Latency,
 			FaultDrop: *faultDrop, FaultDup: *faultDup,
 			FaultDelay: *faultDelay, FaultSeed: *faultSeed,
-			FlightCapacity: *flightCap,
+			FlightCapacity: ob.FlightCap,
 		}
-		if *traceOut != "" || *traceShard != "" || *traceWire || *httpAddr != "" {
+		if ob.TraceOut != "" || ob.TraceShard != "" || ob.TraceWire || ob.HTTPAddr != "" {
 			opts.TraceCapacity = 1 << 16
 		}
-		outputs := &obs.Outputs{
-			MetricsPath: *metricsOut, TracePath: *traceOut,
-			SamplesPath: *samplesOut, ShardPath: *traceShard,
-			FlightPath: *flightOut,
-			Info: map[string]string{
-				"cmd": "rmamt", "progress": *prog, "assignment": *assignment,
-				"rank": fmt.Sprint(*rank),
-			},
+		sess, serr := ob.Start(map[string]string{
+			"cmd": "rmamt", "progress": *prog, "assignment": *assignment,
+			"rank": fmt.Sprint(*rank),
+		})
+		check(serr)
+		defer sess.Outputs.DumpOnPanic()
+		if addr := sess.Addr(); addr != "" {
+			fmt.Fprintf(os.Stderr, "rmamt: observability endpoint on http://%s\n", addr)
 		}
-		defer outputs.DumpOnPanic()
-		// Bind the endpoint before the world exists; /readyz serves 503
-		// until the OnWorld hook marks the holder ready.
-		holder := obs.NewHolder(outputs.Info, "waiting for world construction")
-		var srv *obs.Server
-		if *httpAddr != "" {
-			s, serr := obs.Serve(*httpAddr, holder.Source())
-			check(serr)
-			srv = s
-			fmt.Fprintf(os.Stderr, "rmamt: observability endpoint on http://%s\n", s.Addr())
-		}
-		var stopWatchdog func()
-		stopSignals := outputs.FlushOnSignal()
 		res, err := bench.Run(bench.Config{
 			Machine: machine, Opts: opts, Threads: *threads, MsgSize: *msgSize,
-			PutsPerThread: *puts, Rounds: *rounds, SampleInterval: *sampleInterval,
-			OnSampler: outputs.BindSampler,
-			OnWorld: func(w *core.World) {
-				src := worldSource(w, outputs.Info)
-				outputs.Bind(src)
-				holder.Bind(src)
-				holder.SetReady()
-				if *watchdog {
-					stopWatchdog = w.StartWatchdog(core.WatchdogConfig{})
-				}
-			},
+			PutsPerThread: *puts, Rounds: *rounds, SampleInterval: ob.SampleInterval,
+			StallPut: *stallPut, StallAfterRound: *stallAt, StallRank: *stallRank,
+			OnSampler: sess.Outputs.BindSampler,
+			OnWorld:   sess.BindWorld,
 		})
 		check(err)
-		stopSignals()
-		if stopWatchdog != nil {
-			stopWatchdog()
-		}
-		fmt.Printf("engine=real transport=%s caps=%s threads=%d size=%dB puts=%d elapsed=%v rate=%.0f puts/s%s\n",
+		fmt.Printf("engine=real transport=%s caps=%s threads=%d size=%dB puts=%d elapsed=%v rate=%.0f puts/s%s%s\n",
 			res.Transport.Name, res.Transport, *threads, *msgSize, res.Puts, res.Elapsed, res.Rate,
-			headerPath("flight_out", *flightOut))
-		if *spcDump {
+			cliobs.HeaderPath("flight_out", ob.FlightOut),
+			cliobs.HeaderPath("latency_out", ob.LatencyOut))
+		if ob.SPCDump {
 			for _, ps := range res.Stats {
 				check(ps.WriteText(os.Stdout))
 			}
 		}
-		if *profile {
+		if ob.Profile {
 			for _, ps := range res.Stats {
 				if !ps.Prof.Empty() {
 					check(prof.BuildReport(ps.Rank, designLabel(*prog, *assignment), *threads, ps.Prof).WriteText(os.Stdout))
 				}
 			}
 		}
-		if *breakdownOut != "" {
+		if ob.BreakdownOut != "" {
 			bf := prof.BreakdownFile{Engine: "real"}
 			for _, ps := range res.Stats {
 				if ps.Prof.Empty() {
@@ -224,82 +187,17 @@ func main() {
 				}
 				bf.Reports = append(bf.Reports, prof.BuildReport(ps.Rank, designLabel(*prog, *assignment), *threads, ps.Prof))
 			}
-			check(writeBreakdown(*breakdownOut, bf))
+			check(cliobs.WriteBreakdown(ob.BreakdownOut, bf))
 		}
-		check(outputs.Flush())
-		if srv != nil {
-			_ = srv.Close()
-		}
+		check(sess.Finish())
 	default:
 		check(fmt.Errorf("unknown engine %q", *engine))
 	}
 }
 
-// worldSource adapts a live world to the observability Source: every
-// request snapshots the current counters, histograms, and trace shards of
-// all local ranks.
-func worldSource(w *core.World, info map[string]string) obs.Source {
-	return obs.Source{
-		Stats: func() []telemetry.ProcStats {
-			var out []telemetry.ProcStats
-			for _, p := range w.LocalProcs() {
-				out = append(out, p.TelemetryStats())
-			}
-			return out
-		},
-		Events: func() []telemetry.RankEvents {
-			var out []telemetry.RankEvents
-			for _, p := range w.LocalProcs() {
-				if p.Tracer() != nil {
-					out = append(out, p.TraceEvents())
-				}
-			}
-			return out
-		},
-		Queues: func() []flight.QueueSnapshot {
-			var out []flight.QueueSnapshot
-			for _, p := range w.LocalProcs() {
-				out = append(out, p.QueueSnapshot())
-			}
-			return out
-		},
-		Flight: func() []flight.RankRecord {
-			var out []flight.RankRecord
-			for _, p := range w.LocalProcs() {
-				if p.FlightRecorder() != nil {
-					out = append(out, p.FlightRecord())
-				}
-			}
-			return out
-		},
-		Info: info,
-	}
-}
-
-// headerPath renders an optional "key=path" field for the self-describing
-// benchmark header line, empty when the path is unset.
-func headerPath(key, path string) string {
-	if path == "" {
-		return ""
-	}
-	return fmt.Sprintf(" %s=%s", key, path)
-}
-
 // designLabel names the configuration under test in breakdown reports.
 func designLabel(progress, assignment string) string {
 	return fmt.Sprintf("progress=%s,assignment=%s", progress, assignment)
-}
-
-func writeBreakdown(path string, bf prof.BreakdownFile) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := prof.WriteBreakdown(f, bf); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 func machineByName(name string) (hw.Machine, error) {

@@ -10,6 +10,11 @@
 // with log2(threads). A 5% budget at 1 thread grows to ~10% at 16 threads
 // with the defaults.
 //
+// When both trajectories carry critical-path attribution (schema v3
+// sweep.latency files), every point's per-stage latency p99s are gated too,
+// with the verdict direction inverted: a p99 increase past the point's
+// tolerance is the regression.
+//
 // Comparisons refuse incompatible artifacts outright: different schema
 // versions, machines, engines, sweep parameters, design sets — or one file
 // recorded with the contention profiler enabled and the other without
@@ -91,9 +96,29 @@ type PointDelta struct {
 	VerdictName string `json:"verdict"`
 }
 
+// StageDelta is one compared per-stage latency p99 at one point. Unlike
+// rates, latency runs the other way: an increase past tolerance is the
+// regression.
+type StageDelta struct {
+	Design    string `json:"design"`
+	Threads   int    `json:"threads"`
+	Stage     string `json:"stage"`
+	BaseP99Ns int64  `json:"base_p99_ns"`
+	NewP99Ns  int64  `json:"new_p99_ns"`
+	// Delta is the relative change (new-base)/base.
+	Delta float64 `json:"delta"`
+	// Tolerance is the noise budget this point was judged against.
+	Tolerance   float64 `json:"tolerance"`
+	Verdict     Verdict `json:"-"`
+	VerdictName string  `json:"verdict"`
+}
+
 // Result is the full comparison.
 type Result struct {
-	Points       []PointDelta `json:"points"`
+	Points []PointDelta `json:"points"`
+	// Stages holds the per-stage p99 deltas when both files carry
+	// critical-path attribution (schema v3 sweep.latency files).
+	Stages       []StageDelta `json:"stages,omitempty"`
 	Improvements int          `json:"improvements"`
 	Regressions  int          `json:"regressions"`
 }
@@ -193,9 +218,49 @@ func Compare(base, cur benchjson.File, opt Options) (Result, error) {
 				Delta: delta, Tolerance: tol,
 				Verdict: v, VerdictName: v.String(),
 			})
+			compareStages(&res, bd.Slug, bp, cp, tol)
 		}
 	}
 	return res, nil
+}
+
+// compareStages gates the per-stage p99s of one point when both files carry
+// them. Only stages present on both sides are judged — a stage migrating
+// between posted and unexpected matching is a behavioral shift the rate and
+// e2e rows already cover, not a silent tail regression. The latency verdict
+// direction is inverted relative to rates: up past tolerance = regression.
+func compareStages(res *Result, design string, bp, cp benchjson.Point, tol float64) {
+	if len(bp.LatencyStages) == 0 || len(cp.LatencyStages) == 0 {
+		return
+	}
+	curBy := make(map[string]benchjson.StageLatency, len(cp.LatencyStages))
+	for _, sl := range cp.LatencyStages {
+		curBy[sl.Stage] = sl
+	}
+	for _, bs := range bp.LatencyStages {
+		cs, ok := curBy[bs.Stage]
+		if !ok {
+			continue
+		}
+		// +1 keeps zero-latency stages (e.g. transit in virtual time)
+		// comparable without a divide-by-zero.
+		delta := float64(cs.P99Ns-bs.P99Ns) / float64(bs.P99Ns+1)
+		v := WithinNoise
+		switch {
+		case delta > tol:
+			v = Regression
+			res.Regressions++
+		case delta < -tol:
+			v = Improvement
+			res.Improvements++
+		}
+		res.Stages = append(res.Stages, StageDelta{
+			Design: design, Threads: bp.Threads, Stage: bs.Stage,
+			BaseP99Ns: bs.P99Ns, NewP99Ns: cs.P99Ns,
+			Delta: delta, Tolerance: tol,
+			Verdict: v, VerdictName: v.String(),
+		})
+	}
 }
 
 // WriteText renders the comparison as an aligned table plus a one-line
@@ -211,7 +276,19 @@ func (r Result) WriteText(w io.Writer) error {
 	if err := tw.Flush(); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "benchcmp: %d points, %d improvements, %d regressions\n",
-		len(r.Points), r.Improvements, r.Regressions)
+	if len(r.Stages) > 0 {
+		tw = tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "design\tthreads\tstage\tbase p99 ns\tnew p99 ns\tdelta\ttol\tverdict")
+		for _, s := range r.Stages {
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%d\t%+.2f%%\t±%.2f%%\t%s\n",
+				s.Design, s.Threads, s.Stage, s.BaseP99Ns, s.NewP99Ns,
+				100*s.Delta, 100*s.Tolerance, s.Verdict)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "benchcmp: %d points, %d stage p99s, %d improvements, %d regressions\n",
+		len(r.Points), len(r.Stages), r.Improvements, r.Regressions)
 	return err
 }

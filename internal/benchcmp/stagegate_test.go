@@ -1,0 +1,130 @@
+package benchcmp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchjson"
+	"repro/internal/designs"
+	"repro/internal/hw"
+)
+
+func latencyFile(t *testing.T) benchjson.File {
+	t.Helper()
+	return benchjson.Run(benchjson.SweepConfig{
+		Machine: hw.Fast(), MachineName: "fast",
+		Threads: []int{1, 2}, Window: 8, Iters: 2,
+		Latency: true,
+		Designs: []designs.Design{designs.OMPIThread, designs.OMPIThreadCRIFull},
+	})
+}
+
+// TestStageGateSelfComparison: a latency trajectory compared against itself
+// produces stage rows, all within noise.
+func TestStageGateSelfComparison(t *testing.T) {
+	f := latencyFile(t)
+	res, err := Compare(f, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressed() || res.Improvements != 0 {
+		t.Fatalf("self-comparison not clean: %+v", res)
+	}
+	if len(res.Stages) == 0 {
+		t.Fatal("no stage rows from a sweep.latency pair")
+	}
+	sawE2E := false
+	for _, s := range res.Stages {
+		if s.Verdict != WithinNoise {
+			t.Errorf("%s/%d %s: verdict %v, want within-noise", s.Design, s.Threads, s.Stage, s.Verdict)
+		}
+		if s.Stage == "e2e" {
+			sawE2E = true
+		}
+	}
+	if !sawE2E {
+		t.Fatal("stage rows missing the end-to-end gate")
+	}
+}
+
+// TestStageGateCatchesTailRegression is the issue's gate promise: a p99
+// increase past tolerance in one stage trips the gate and names the stage,
+// even when every rate is untouched.
+func TestStageGateCatchesTailRegression(t *testing.T) {
+	base := latencyFile(t)
+	cur := latencyFile(t)
+	// Degrade one stage's p99 by 10x on ompi-thread at 2 threads.
+	pt := &cur.Designs[0].Points[1]
+	victim := ""
+	for i := range pt.LatencyStages {
+		if pt.LatencyStages[i].Stage == "deliver_wait" {
+			pt.LatencyStages[i].P99Ns *= 10
+			victim = "deliver_wait"
+		}
+	}
+	if victim == "" {
+		t.Fatalf("no deliver_wait stage to degrade: %+v", pt.LatencyStages)
+	}
+	res, err := Compare(base, cur, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Regressed() {
+		t.Fatal("10x stage p99 did not trip the gate")
+	}
+	var hits []StageDelta
+	for _, s := range res.Stages {
+		if s.Verdict == Regression {
+			hits = append(hits, s)
+		}
+	}
+	if len(hits) != 1 || hits[0].Stage != victim || hits[0].Design != "ompi-thread" || hits[0].Threads != 2 {
+		t.Fatalf("regressions = %+v, want exactly ompi-thread/2 %s", hits, victim)
+	}
+	for _, p := range res.Points {
+		if p.Verdict != WithinNoise {
+			t.Fatalf("rate point moved: %+v", p)
+		}
+	}
+	var sb strings.Builder
+	if err := res.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), victim) || !strings.Contains(sb.String(), "REGRESSION") {
+		t.Fatalf("report does not name the regressed stage:\n%s", sb.String())
+	}
+}
+
+// TestStageGateImprovementDirection: a large p99 drop counts as an
+// improvement — the verdict direction is inverted relative to rates.
+func TestStageGateImprovementDirection(t *testing.T) {
+	base := latencyFile(t)
+	cur := latencyFile(t)
+	pt := &cur.Designs[0].Points[0]
+	for i := range pt.LatencyStages {
+		if pt.LatencyStages[i].Stage == "e2e" {
+			pt.LatencyStages[i].P99Ns /= 10
+		}
+	}
+	res, err := Compare(base, cur, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressed() || res.Improvements != 1 {
+		t.Fatalf("improvements = %d regressions = %d, want 1/0", res.Improvements, res.Regressions)
+	}
+}
+
+// TestLatencyMismatchRefused: a latency trajectory and a plain one differ in
+// measurement setup, not performance — the pair must be refused.
+func TestLatencyMismatchRefused(t *testing.T) {
+	withLat := latencyFile(t)
+	without := benchjson.Run(benchjson.SweepConfig{
+		Machine: hw.Fast(), MachineName: "fast",
+		Threads: []int{1, 2}, Window: 8, Iters: 2,
+		Designs: []designs.Design{designs.OMPIThread, designs.OMPIThreadCRIFull},
+	})
+	if _, err := Compare(withLat, without, Options{}); err == nil {
+		t.Fatal("latency/no-latency pair compared without error")
+	}
+}

@@ -19,14 +19,17 @@ import (
 
 	"repro/internal/designs"
 	"repro/internal/hw"
+	"repro/internal/latency"
 	"repro/internal/simnet"
 )
 
 // SchemaVersion identifies the BENCH_*.json layout this package writes and
 // validates. Version 2 added the profiler_enabled flag so comparisons can
 // refuse to mix profiled and unprofiled trajectories (instrumentation
-// overhead is not noise).
-const SchemaVersion = 2
+// overhead is not noise). Version 3 added the optional per-stage
+// critical-path latency quantiles (sweep.latency, points[].latency_stages)
+// so the gate can hold tail latency per stage, not just throughput.
+const SchemaVersion = 3
 
 // SweepConfig parameterizes one trajectory run.
 type SweepConfig struct {
@@ -44,6 +47,11 @@ type SweepConfig struct {
 	MsgSize int
 	// Instances is the CRI count the CRI designs use (paper: one per core).
 	Instances int
+	// Latency enables per-message critical-path attribution: every
+	// thread-mode point additionally carries per-stage p50/p99 so the gate
+	// can hold tail latency per stage. Attribution reads only the virtual
+	// clock, so the rate numbers are identical either way.
+	Latency bool
 	// Designs is the set of designs to sweep (≥ 2 for a valid file).
 	Designs []designs.Design
 }
@@ -70,6 +78,10 @@ type Sweep struct {
 	Iters        int   `json:"iters"`
 	MsgSizeBytes int   `json:"msg_size_bytes"`
 	Instances    int   `json:"instances"`
+	// Latency records whether the sweep ran with critical-path attribution,
+	// i.e. whether thread-mode points carry latency_stages. Files that
+	// disagree on it are not comparable.
+	Latency bool `json:"latency,omitempty"`
 }
 
 // DesignResult is one design's rate curve.
@@ -86,6 +98,17 @@ type Point struct {
 	MessagesPerSec float64 `json:"messages_per_sec"`
 	Messages       int64   `json:"messages"`
 	MakespanNs     int64   `json:"makespan_ns"`
+	// LatencyStages is the per-stage critical-path breakdown at this point
+	// (sweep.latency runs, thread-mode designs only): one entry per populated
+	// attribution stage in canonical stage order, end-to-end last.
+	LatencyStages []StageLatency `json:"latency_stages,omitempty"`
+}
+
+// StageLatency is one stage's latency quantiles at one point.
+type StageLatency struct {
+	Stage string `json:"stage"`
+	P50Ns int64  `json:"p50_ns"`
+	P99Ns int64  `json:"p99_ns"`
 }
 
 func (c SweepConfig) withDefaults() SweepConfig {
@@ -123,6 +146,7 @@ func Run(cfg SweepConfig) File {
 		Sweep: Sweep{
 			Threads: cfg.Threads, Window: cfg.Window, Iters: cfg.Iters,
 			MsgSizeBytes: cfg.MsgSize, Instances: cfg.Instances,
+			Latency: cfg.Latency,
 		},
 	}
 	base := simnet.Config{
@@ -134,17 +158,53 @@ func Run(cfg SweepConfig) File {
 		for _, threads := range cfg.Threads {
 			sc := d.SimConfig(base, cfg.Instances)
 			sc.Pairs = threads
+			sc.Latency = cfg.Latency && !d.IsProcessMode()
 			res := simnet.RunMultirate(sc)
 			dr.Points = append(dr.Points, Point{
 				Threads:        threads,
 				MessagesPerSec: res.Rate,
 				Messages:       res.Messages,
 				MakespanNs:     res.Makespan.Nanoseconds(),
+				LatencyStages:  stageLatencies(res.Latency),
 			})
 		}
 		f.Designs = append(f.Designs, dr)
 	}
 	return f
+}
+
+// stageLatencies folds a run's rank dumps into the point's per-stage
+// quantile list: populated stages in canonical enum order (the recording
+// ownership rule puts each stage on exactly one rank), end-to-end last.
+// Nil when the run carried no attribution.
+func stageLatencies(dumps []latency.RankDump) []StageLatency {
+	if len(dumps) == 0 {
+		return nil
+	}
+	byStage := map[string]StageLatency{}
+	var e2e *StageLatency
+	for _, d := range dumps {
+		for _, s := range d.Stages {
+			if s.Stage == "e2e" {
+				e2e = &StageLatency{Stage: "e2e", P50Ns: s.P50Ns, P99Ns: s.P99Ns}
+				continue
+			}
+			if s.Count == 0 {
+				continue
+			}
+			byStage[s.Stage] = StageLatency{Stage: s.Stage, P50Ns: s.P50Ns, P99Ns: s.P99Ns}
+		}
+	}
+	var out []StageLatency
+	for s := latency.Stage(0); s < latency.NumStages; s++ {
+		if sl, ok := byStage[s.String()]; ok {
+			out = append(out, sl)
+		}
+	}
+	if e2e != nil {
+		out = append(out, *e2e)
+	}
+	return out
 }
 
 // Marshal renders the file as indented JSON with a trailing newline.
@@ -228,6 +288,33 @@ func Validate(data []byte) error {
 			if p.Messages <= 0 || p.MakespanNs <= 0 {
 				return fmt.Errorf("benchjson: design %q threads=%d has non-positive messages/makespan",
 					d.Slug, p.Threads)
+			}
+			switch {
+			case !f.Sweep.Latency && len(p.LatencyStages) > 0:
+				return fmt.Errorf("benchjson: design %q threads=%d carries latency_stages but sweep.latency is false",
+					d.Slug, p.Threads)
+			case f.Sweep.Latency && d.ProcessMode && len(p.LatencyStages) > 0:
+				return fmt.Errorf("benchjson: process-mode design %q carries latency_stages (attribution is thread-mode only)",
+					d.Slug)
+			case f.Sweep.Latency && !d.ProcessMode && len(p.LatencyStages) == 0:
+				return fmt.Errorf("benchjson: design %q threads=%d missing latency_stages in a sweep.latency file",
+					d.Slug, p.Threads)
+			}
+			seenStage := make(map[string]bool, len(p.LatencyStages))
+			for _, sl := range p.LatencyStages {
+				if sl.Stage == "" {
+					return fmt.Errorf("benchjson: design %q threads=%d has a latency stage with no name",
+						d.Slug, p.Threads)
+				}
+				if seenStage[sl.Stage] {
+					return fmt.Errorf("benchjson: design %q threads=%d repeats latency stage %q",
+						d.Slug, p.Threads, sl.Stage)
+				}
+				seenStage[sl.Stage] = true
+				if sl.P50Ns < 0 || sl.P99Ns < sl.P50Ns {
+					return fmt.Errorf("benchjson: design %q threads=%d stage %q quantiles p50=%d p99=%d out of order",
+						d.Slug, p.Threads, sl.Stage, sl.P50Ns, sl.P99Ns)
+				}
 			}
 		}
 	}

@@ -52,6 +52,93 @@ func TestRunDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunLatencySweep: a sweep.latency run must carry per-stage quantiles
+// on every thread-mode point — in canonical stage order with e2e last — and
+// must not move the rate numbers at all (attribution reads only the virtual
+// clock).
+func TestRunLatencySweep(t *testing.T) {
+	cfg := tinySweep()
+	cfg.Latency = true
+	cfg.Designs = []designs.Design{designs.OMPIProcess, designs.OMPIThread}
+	f := Run(cfg)
+	b, err := Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(b); err != nil {
+		t.Fatalf("latency file fails its own schema: %v", err)
+	}
+	for _, d := range f.Designs {
+		for _, p := range d.Points {
+			if d.ProcessMode {
+				if len(p.LatencyStages) != 0 {
+					t.Fatalf("process-mode point carries stages: %+v", p)
+				}
+				continue
+			}
+			if len(p.LatencyStages) == 0 {
+				t.Fatalf("%s threads=%d has no latency stages", d.Slug, p.Threads)
+			}
+			last := p.LatencyStages[len(p.LatencyStages)-1]
+			if last.Stage != "e2e" || last.P99Ns <= 0 {
+				t.Fatalf("%s threads=%d last stage %+v, want populated e2e", d.Slug, p.Threads, last)
+			}
+			for _, sl := range p.LatencyStages {
+				if sl.P99Ns < sl.P50Ns || sl.P50Ns < 0 {
+					t.Fatalf("%s threads=%d stage %s quantiles out of order: %+v", d.Slug, p.Threads, sl.Stage, sl)
+				}
+			}
+		}
+	}
+
+	// The rate trajectory must be identical with attribution off.
+	cfg.Latency = false
+	off := Run(cfg)
+	for i, d := range f.Designs {
+		for j, p := range d.Points {
+			q := off.Designs[i].Points[j]
+			if p.MessagesPerSec != q.MessagesPerSec || p.MakespanNs != q.MakespanNs {
+				t.Fatalf("%s threads=%d moved under attribution: %v vs %v msg/s", d.Slug, p.Threads,
+					p.MessagesPerSec, q.MessagesPerSec)
+			}
+		}
+	}
+}
+
+// TestValidateRejectsLatencyMismatch: latency_stages and sweep.latency must
+// agree, and quantiles must be ordered.
+func TestValidateRejectsLatencyMismatch(t *testing.T) {
+	cfg := tinySweep()
+	cfg.Latency = true
+	good, err := Marshal(Run(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(string) string
+		wantErr string
+	}{
+		{"sweep flag off but stages present", func(s string) string {
+			return strings.Replace(s, `"latency": true`, `"latency": false`, 1)
+		}, "sweep.latency is false"},
+		{"quantiles out of order", func(s string) string {
+			return strings.Replace(s, `"p50_ns": `, `"p50_ns": 99999999`, 1)
+		}, "out of order"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Validate([]byte(tc.mutate(string(good))))
+			if err == nil {
+				t.Fatal("validated corrupted latency file")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
 func TestValidateRejects(t *testing.T) {
 	good, err := Marshal(Run(tinySweep()))
 	if err != nil {

@@ -187,9 +187,27 @@ type RankReport struct {
 	Unexpected    int     `json:"unexpected"`
 	OOSBuffered   int     `json:"oos_buffered"`
 	P99LatencyNs  int64   `json:"p99_latency_ns"`
+	// E2EP99Ns is the rank's critical-path end-to-end p99 from the
+	// attribution layer (0 when the rank doesn't export it), and StageP99Ns
+	// its per-stage breakdown keyed by stage name — what the waterfall and
+	// the tail-skew verdict decompose the tail into.
+	E2EP99Ns   int64            `json:"e2e_p99_ns,omitempty"`
+	StageP99Ns map[string]int64 `json:"stage_p99_ns,omitempty"`
 	// Verdict is the most recent verdict reason naming this rank, "" when
 	// the rank has stayed clean.
 	Verdict string `json:"verdict,omitempty"`
+}
+
+// HotStage is the report row's dominant stage: the largest per-stage p99,
+// ties broken to the lexically first name ("" without attribution data).
+func (rr RankReport) HotStage() (string, int64) {
+	best, bestNs := "", int64(0)
+	for name, ns := range rr.StageP99Ns {
+		if ns > bestNs || (ns == bestNs && best != "" && name < best) {
+			best, bestNs = name, ns
+		}
+	}
+	return best, bestNs
 }
 
 // Report is the end-of-run cluster artifact (-report-out, /cluster/report):
@@ -205,8 +223,9 @@ type Report struct {
 	Verdicts      []Verdict        `json:"verdicts"`
 }
 
-// ReportSchemaVersion identifies the cluster report layout.
-const ReportSchemaVersion = 1
+// ReportSchemaVersion identifies the cluster report layout. v2 added the
+// per-rank critical-path fields (e2e_p99_ns, stage_p99_ns).
+const ReportSchemaVersion = 2
 
 // BuildReport condenses the cluster state into the report.
 func BuildReport(cs ClusterState) Report {
@@ -251,6 +270,13 @@ func BuildReport(cs ClusterState) Report {
 		}
 		if f, ok := FamilyByName(rs.Families, "mpi_msg_latency_ns"); ok {
 			rr.P99LatencyNs = HistogramQuantile(f, strconv.Itoa(rs.Rank), 0.99)
+		}
+		if e2e, stages := latencyFromFamilies(rs.Families, strconv.Itoa(rs.Rank)); e2e > 0 {
+			rr.E2EP99Ns = e2e
+			rr.StageP99Ns = make(map[string]int64, len(stages))
+			for _, sp := range stages {
+				rr.StageP99Ns[sp.Stage] = sp.P99Ns
+			}
 		}
 		rep.Ranks = append(rep.Ranks, rr)
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"repro/internal/flight"
 )
 
 // Obs is one rank's condensed state at a single cluster observation:
@@ -25,6 +27,15 @@ type Obs struct {
 	Posted, Unexpected, OOSBuffered int
 	// Unacked is the rank's total reliability-window occupancy.
 	Unacked int
+	// LatencyValid marks ranks whose critical-path attribution layer is on
+	// and has completed at least one traced message; the tail-skew rule only
+	// scores these ranks.
+	LatencyValid bool
+	// E2EP99Ns is the rank's end-to-end p99 message latency.
+	E2EP99Ns int64
+	// StageP99 carries the rank's per-stage p99 breakdown — what lets the
+	// tail-skew verdict name the stage responsible, not just the rank.
+	StageP99 []flight.StageP99
 }
 
 // queued is the rank's total visible work in flight — the quantity that
@@ -91,6 +102,18 @@ type DetectorConfig struct {
 	// rank still answers not-ready this long after the first rank reported
 	// ready (default 2s). Fires once per rank per not-ready episode.
 	ReadyStragglerAfter time.Duration
+	// TailFactor fires the latency-tail-skew detection when a rank's
+	// end-to-end p99 exceeds this multiple of the cluster median p99
+	// (default 4). Needs at least 3 latency-reporting ranks for the median
+	// to mean anything.
+	TailFactor float64
+	// TailWindows is how many consecutive observations a rank must stay
+	// over TailFactor before the verdict fires (default 3) — one skewed
+	// poll is a warm-up artifact; a sick tail persists.
+	TailWindows int
+	// TailMinP99 suppresses tail-skew below this absolute p99 (default
+	// 1ms): a rank at 4x a sub-microsecond median is noise, not a tail.
+	TailMinP99 time.Duration
 }
 
 func (c DetectorConfig) withDefaults() DetectorConfig {
@@ -130,13 +153,22 @@ func (c DetectorConfig) withDefaults() DetectorConfig {
 	if c.ReadyStragglerAfter <= 0 {
 		c.ReadyStragglerAfter = 2 * time.Second
 	}
+	if c.TailFactor <= 0 {
+		c.TailFactor = 4
+	}
+	if c.TailWindows <= 0 {
+		c.TailWindows = 3
+	}
+	if c.TailMinP99 <= 0 {
+		c.TailMinP99 = time.Millisecond
+	}
 	return c
 }
 
 // Verdict is one fired cross-rank detection: which rank is implicated, why,
 // and since when. Reasons are stable strings: "rank-straggler",
 // "rate-skew", "unexpected-divergence", "retransmit-storm",
-// "readiness-straggler".
+// "readiness-straggler", "latency-tail-skew".
 type Verdict struct {
 	Reason  string `json:"reason"`
 	Rank    int    `json:"rank"`
@@ -168,7 +200,10 @@ type rankTrack struct {
 	readyFired bool
 	// divergence latch: a verdict fired for the current divergence episode
 	divergeFired bool
-	seen         bool
+	// latency tail-skew streak and episode latch
+	tailStreak int
+	tailFired  bool
+	seen       bool
 }
 
 // Detector is the cluster imbalance decision core: a pure deterministic
@@ -373,6 +408,63 @@ func (d *Detector) Observe(s Sample) []Verdict {
 		}
 	}
 
+	// Latency tail skew: one rank's end-to-end p99 far above the cluster
+	// median p99, sustained. The per-stage breakdown in the observation
+	// lets the verdict name the stage carrying the excess — the difference
+	// between "rank 3 is slow" and "rank 3's arrivals sit in the
+	// unexpected queue".
+	var tails []float64
+	for _, r := range ranks {
+		if r.obs.LatencyValid {
+			tails = append(tails, float64(r.obs.E2EP99Ns))
+		}
+	}
+	if len(tails) >= 3 {
+		med := median(tails)
+		byStage := map[string][]float64{}
+		for _, r := range ranks {
+			if !r.obs.LatencyValid {
+				continue
+			}
+			for _, sp := range r.obs.StageP99 {
+				byStage[sp.Stage] = append(byStage[sp.Stage], float64(sp.P99Ns))
+			}
+		}
+		stageMed := make(map[string]float64, len(byStage))
+		for k, vs := range byStage {
+			stageMed[k] = median(vs)
+		}
+		for _, r := range ranks {
+			if !r.obs.LatencyValid {
+				continue
+			}
+			skewed := float64(r.obs.E2EP99Ns) >= d.cfg.TailFactor*(med+1) &&
+				r.obs.E2EP99Ns >= int64(d.cfg.TailMinP99)
+			if !skewed {
+				r.tr.tailStreak = 0
+				r.tr.tailFired = false // episode over: re-arm
+				continue
+			}
+			r.tr.tailStreak++
+			if r.tr.tailFired || r.tr.tailStreak < d.cfg.TailWindows {
+				continue
+			}
+			r.tr.tailFired = true
+			detail := fmt.Sprintf("rank %d e2e p99 %v is %.0fx the cluster median %v over %d consecutive observations",
+				r.obs.Rank, time.Duration(r.obs.E2EP99Ns), safeDiv(float64(r.obs.E2EP99Ns), med),
+				time.Duration(int64(med)), d.cfg.TailWindows)
+			if stage, p99 := dominantStage(r.obs.StageP99, stageMed); stage != "" {
+				detail += fmt.Sprintf("; dominant stage %s (p99 %v)", stage, time.Duration(p99))
+			}
+			out = append(out, Verdict{
+				Reason:  "latency-tail-skew",
+				Rank:    r.obs.Rank,
+				Detail:  detail,
+				SinceNs: now,
+			})
+		}
+	}
+
 	// Retransmit storm, localized: per-rank re-injection count inside the
 	// storm window.
 	for _, r := range ranks {
@@ -393,6 +485,22 @@ func (d *Detector) Observe(s Sample) []Verdict {
 	}
 
 	return out
+}
+
+// dominantStage names the stage whose p99 most exceeds the cluster's
+// per-stage median — the stage carrying a skewed rank's excess latency.
+// Ratio against median+1 so a stage every other rank reports as ~0 (e.g. an
+// unexpected-queue dwell only the sick rank has) still dominates. Ties
+// break to the lexically first stage name for determinism.
+func dominantStage(stages []flight.StageP99, med map[string]float64) (string, int64) {
+	best, bestRatio, bestP99 := "", 0.0, int64(0)
+	for _, sp := range stages {
+		ratio := float64(sp.P99Ns) / (med[sp.Stage] + 1)
+		if ratio > bestRatio || (ratio == bestRatio && best != "" && sp.Stage < best) {
+			best, bestRatio, bestP99 = sp.Stage, ratio, sp.P99Ns
+		}
+	}
+	return best, bestP99
 }
 
 func orUnknown(s string) string {

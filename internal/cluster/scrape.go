@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/flight"
+	"repro/internal/latency"
 	"repro/internal/spc"
 )
 
@@ -65,7 +66,39 @@ func (rs RankState) Obs() Obs {
 	for _, w := range rs.Queues.Windows {
 		o.Unacked += w.Unacked
 	}
+	if e2e, stages := latencyFromFamilies(rs.Families, strconv.Itoa(rs.Rank)); e2e > 0 {
+		o.LatencyValid = true
+		o.E2EP99Ns = e2e
+		o.StageP99 = stages
+	}
 	return o
+}
+
+// latencyFromFamilies recovers a rank's critical-path p99s from its parsed
+// exposition: the e2e histogram's p99 (0 when the rank doesn't export the
+// attribution layer or hasn't completed a traced message) and the per-stage
+// p99s in stage order, zero-count stages skipped — the scrape-side inverse
+// of latency.Recorder.StageP99s.
+func latencyFromFamilies(fams []PromFamily, rank string) (int64, []flight.StageP99) {
+	f, ok := FamilyByName(fams, "mpi_"+latency.HistE2E)
+	if !ok {
+		return 0, nil
+	}
+	e2e := HistogramQuantile(f, rank, 0.99)
+	if e2e == 0 {
+		return 0, nil
+	}
+	var stages []flight.StageP99
+	for s := latency.Stage(0); s < latency.NumStages; s++ {
+		sf, ok := FamilyByName(fams, "mpi_"+s.HistName())
+		if !ok {
+			continue
+		}
+		if p99 := HistogramQuantile(sf, rank, 0.99); p99 > 0 {
+			stages = append(stages, flight.StageP99{Stage: s.String(), P99Ns: p99})
+		}
+	}
+	return e2e, stages
 }
 
 // Scraper polls a fixed set of rank endpoints.

@@ -23,6 +23,11 @@ func obsFromFlightSample(rank int, s flight.Sample) Obs {
 		o.Unexpected += cq.Unexpected
 		o.OOSBuffered += cq.OOSBuffered
 	}
+	if s.LatencyValid {
+		o.LatencyValid = true
+		o.E2EP99Ns = s.E2EP99Ns
+		o.StageP99 = append([]flight.StageP99{}, s.StageP99...)
+	}
 	return o
 }
 

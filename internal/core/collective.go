@@ -373,7 +373,9 @@ func (c *Comm) irecvInternal(th *Thread, src int, tag int32, buf []byte) (*Reque
 		c.matchMu.Unlock()
 	}
 	if ok {
-		c.completeRecv(comp)
+		// Internal-tag messages are never traced, so attribution inputs are
+		// moot; 0 disables the measurement path outright.
+		c.completeRecv(comp, 0, true)
 	}
 	_ = th
 	return req, nil

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/flight"
+	"repro/internal/latency"
 	"repro/internal/match"
 	"repro/internal/prof"
 	"repro/internal/spc"
@@ -212,9 +213,25 @@ func (c *Comm) Isend(th *Thread, dst int, tag int32, buf []byte) (*Request, erro
 		return nil, fmt.Errorf("core: no endpoint from rank %d to %d: %w",
 			p.rank, c.group[dst], ErrPeerUnreachable)
 	}
+	var acqNs, wire0 int64
+	if p.lat != nil {
+		// CRI-acquire stage: send post (the trace stamp, set above — Latency
+		// implies TraceWire) to instance held. Stored on the packet before
+		// injection so an in-process receiver reads it race-free; over a real
+		// wire the field never leaves this process.
+		acqNs = time.Now().UnixNano() - pkt.Stamp
+		pkt.SendAcqNs = acqNs
+	}
 	p.rel.track(pkt, c.group[dst], req, nil)
 	clk.Begin(prof.PhaseWire)
+	if p.lat != nil {
+		wire0 = time.Now().UnixNano()
+	}
 	err := ep.Send(pkt)
+	if p.lat != nil && err == nil {
+		p.lat.ObserveStage(latency.StageCRIAcquire, acqNs)
+		p.lat.ObserveStage(latency.StageWireWrite, time.Now().UnixNano()-wire0)
+	}
 	clk.End()
 	release()
 	if err != nil {
@@ -273,7 +290,13 @@ func (c *Comm) Irecv(th *Thread, src int, tag int32, buf []byte) (*Request, erro
 		c.matchMu.Unlock()
 	}
 	if ok {
-		c.completeRecv(comp)
+		// PostRecv matched immediately: the message was sitting in the
+		// unexpected queue.
+		var matchedNs int64
+		if p.lat != nil {
+			matchedNs = time.Now().UnixNano()
+		}
+		c.completeRecv(comp, matchedNs, true)
 	}
 	return req, nil
 }
@@ -361,8 +384,11 @@ func (m *Message) MRecv(buf []byte) (Status, error) {
 }
 
 // completeRecv finishes one matched receive: either the plain eager path or
-// the start of a rendezvous transfer.
-func (c *Comm) completeRecv(comp match.Completion) {
+// the start of a rendezvous transfer. matchedNs is the caller's match
+// timestamp and unexpected whether the message matched via the unexpected
+// queue — the critical-path attribution inputs (both ignored, and matchedNs
+// may be 0, when attribution is off or the message is untraced).
+func (c *Comm) completeRecv(comp match.Completion, matchedNs int64, unexpected bool) {
 	req, _ := comp.Recv.Token.(*Request)
 	if req == nil {
 		panic("core: matched receive without request token")
@@ -384,6 +410,9 @@ func (c *Comm) completeRecv(comp match.Completion) {
 			// the message sat in the unexpected queue (or how fast a posted
 			// receive consumed it).
 			p.histResidency.ObserveNs(time.Now().UnixNano() - comp.Packet.RecvStamp)
+		}
+		if p.lat != nil && matchedNs != 0 && comp.Packet.TraceID != 0 && comp.Packet.Stamp != 0 {
+			p.lat.Record(p.measure(comp.Packet, env.Tag, matchedNs, unexpected))
 		}
 	}
 	p.tracer.EmitFlowCRI(trace.KindMatchComplete, flow, -1, env.Src, env.Tag)

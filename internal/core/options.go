@@ -95,6 +95,18 @@ type Options struct {
 	// byte-identical to the paper-faithful framing. Pair with TraceCapacity
 	// and/or Telemetry to retain what the tracing produces.
 	TraceWire bool
+	// Latency attaches the per-message critical-path attribution layer
+	// (internal/latency): every traced message's end-to-end latency is
+	// decomposed into lifecycle stages (CRI acquire, wire write, transit,
+	// delivery wait, match, completion) recorded as per-stage histograms plus
+	// a bounded tail-exemplar reservoir per rank, served at /debug/latency
+	// and exported as mpi_latency_stage_* families. Implies TraceWire (the
+	// stages are anchored on the trace extension's send stamp). Off by
+	// default; every hook is a single branch when off.
+	Latency bool
+	// LatencyExemplars bounds the tail-exemplar reservoir
+	// (0 = latency.DefaultExemplars). Latency mode only.
+	LatencyExemplars int
 	// Profile attaches the contention-and-phase profiler (internal/prof):
 	// every serialization point — instance locks, the serial progress lock,
 	// per-communicator matching locks, the reliability window, the big
@@ -190,6 +202,11 @@ func (o Options) withDefaults(m hw.Machine) Options {
 	}
 	if o.EagerLimit == 0 {
 		o.EagerLimit = DefaultEagerLimit
+	}
+	if o.Latency {
+		// Stage attribution is anchored on the trace extension's send stamp,
+		// so traced wires are a prerequisite, not an independent choice.
+		o.TraceWire = true
 	}
 	if o.FaultDrop > 0 || o.FaultDup > 0 || o.FaultDelay > 0 {
 		// An imperfect wire without the reliability layer would hang

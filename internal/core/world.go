@@ -11,6 +11,7 @@ import (
 	"repro/internal/cri"
 	"repro/internal/flight"
 	"repro/internal/hw"
+	"repro/internal/latency"
 	"repro/internal/prof"
 	"repro/internal/progress"
 	"repro/internal/spc"
@@ -249,6 +250,10 @@ type Proc struct {
 	histOneWay    *telemetry.Histogram
 	histResidency *telemetry.Histogram
 
+	// lat is the per-message critical-path attribution recorder
+	// (Options.Latency; nil-safe, every hot-path hook is one nil check).
+	lat *latency.Recorder
+
 	// traceWire marks eager sends with the trace-context wire extension
 	// (Options.TraceWire); clock holds the backend's peer clock-offset
 	// estimator when it implements transport.ClockSync (nil otherwise).
@@ -358,6 +363,9 @@ func newProc(w *World, rank int, machine hw.Machine, opts Options) (*Proc, error
 		p.histLatency = p.tel.MsgLatency
 		p.histOneWay = p.tel.OneWayLatency
 		p.histResidency = p.tel.MatchResidency
+	}
+	if opts.Latency {
+		p.lat = latency.NewRecorder(opts.LatencyExemplars)
 	}
 	p.traceWire = opts.TraceWire
 	if cs, ok := dev.(transport.ClockSync); ok {
@@ -506,7 +514,7 @@ func (p *Proc) Telemetry() *telemetry.Telemetry { return p.tel }
 // up process totals, the per-CRI and per-communicator attributions they
 // merge from, the residual set, and the latency histograms.
 func (p *Proc) TelemetryStats() telemetry.ProcStats {
-	ps := telemetry.ProcStats{Rank: p.rank, Hists: p.tel.Snapshot()}
+	ps := telemetry.ProcStats{Rank: p.rank, Hists: append(p.tel.Snapshot(), p.lat.Snapshot()...)}
 	if p.spcs == nil {
 		return ps
 	}
@@ -572,6 +580,15 @@ func (p *Proc) FlightRecorder() *flight.Recorder { return p.flight }
 // dump form. Empty (rank only) when the recorder is off.
 func (p *Proc) FlightRecord() flight.RankRecord { return p.flight.RankRecord(p.rank) }
 
+// LatencyRecorder returns the proc's critical-path attribution recorder
+// (nil unless Options.Latency was set; nil is safe to use everywhere).
+func (p *Proc) LatencyRecorder() *latency.Recorder { return p.lat }
+
+// LatencyDump assembles the proc's attribution dump: per-stage summaries
+// plus the tail exemplars with their surrounding flight events. Empty
+// (rank only) when attribution is off.
+func (p *Proc) LatencyDump() latency.RankDump { return p.lat.Dump(p.rank, p.FlightRecord()) }
+
 // QueueSnapshot captures the proc's live runtime introspection snapshot:
 // per-communicator posted/unexpected queue depths, reliability window
 // occupancy, and CRI pool levels. Safe to call at any time from any thread
@@ -626,6 +643,11 @@ func (p *Proc) watchdogSample() flight.Sample {
 	s.Comms = qs.Comms
 	for _, w := range qs.Windows {
 		s.Unacked += w.Unacked
+	}
+	if stages, e2e, ok := p.lat.StageP99s(); ok {
+		s.LatencyValid = true
+		s.E2EP99Ns = e2e
+		s.StageP99 = stages
 	}
 	return s
 }
@@ -776,11 +798,92 @@ func (p *Proc) deliver(clk *prof.ThreadClock, in *cri.Instance, pkt *transport.P
 	if !c.selfMatch {
 		c.matchMu.Unlock()
 	}
+	var matchedNs int64
+	if p.lat != nil && len(scratch.buf) > 0 {
+		matchedNs = time.Now().UnixNano()
+	}
 	for _, comp := range scratch.buf {
-		c.completeRecv(comp)
+		// A completion produced at delivery matched a posted receive.
+		c.completeRecv(comp, matchedNs, false)
 	}
 	scratch.buf = scratch.buf[:0]
 	p.scratchPool.Put(scratch)
+}
+
+// measure assembles one completed eager message's critical-path measurement
+// from the packet's stamps. matchedNs is when the matching engine produced
+// the completion; unexpected reports whether it matched via the unexpected
+// queue. Sender-local stage fields that never crossed the wire (real
+// networks) stay Unknown; the transit stage absorbs whatever the engine
+// could not split out, so the stages always sum to at most the end-to-end.
+func (p *Proc) measure(pkt *transport.Packet, tag int32, matchedNs int64, unexpected bool) latency.Measurement {
+	now := time.Now().UnixNano()
+	// The send stamp is on the origin's clock; the transport's NTP-style
+	// estimate maps it into ours (local = peer + offset).
+	var off int64
+	if p.clock != nil {
+		if o, ok := p.clock.PeerClockOffsetNs(int(pkt.Origin)); ok {
+			off = o
+		}
+	}
+	sendLocal := pkt.Stamp + off
+	m := latency.Measurement{
+		TraceID:    pkt.TraceID,
+		Origin:     pkt.Origin,
+		Tag:        tag,
+		Unexpected: unexpected,
+		E2ENs:      clampNs(now - sendLocal),
+		// Completion anchored on the flight recorder's clock (relative wall
+		// time) so exemplar event windows compare directly against Event.TS.
+		CompletedAtNs: now - p.flight.StartUnixNano(),
+	}
+	for i := range m.StageNs {
+		m.StageNs[i] = latency.Unknown
+	}
+	acq, wire := pkt.SendAcqNs, pkt.SendWireNs
+	if acq > 0 {
+		m.StageNs[latency.StageCRIAcquire] = acq
+	}
+	if wire > 0 {
+		m.StageNs[latency.StageWireWrite] = wire
+	}
+	// "Injection complete" is the transit anchor; unknown sender stages fold
+	// into transit rather than vanishing.
+	base := sendLocal
+	if acq > 0 {
+		base += acq
+	}
+	if wire > 0 {
+		base += wire
+	}
+	recv := pkt.RecvStamp
+	if arrive := pkt.ArriveNs; arrive > 0 {
+		m.StageNs[latency.StageTransit] = clampNs(arrive - base)
+		if recv != 0 {
+			m.StageNs[latency.StageDeliverWait] = clampNs(recv - arrive)
+		}
+	} else if recv != 0 {
+		// No arrival stamp (self messages): transit absorbs the delivery wait.
+		m.StageNs[latency.StageTransit] = clampNs(recv - base)
+	}
+	if recv != 0 && matchedNs != 0 {
+		ms := latency.StageMatchPosted
+		if unexpected {
+			ms = latency.StageMatchUnexpected
+		}
+		m.StageNs[ms] = clampNs(matchedNs - recv)
+	}
+	if matchedNs != 0 {
+		m.StageNs[latency.StageComplete] = clampNs(now - matchedNs)
+	}
+	return m
+}
+
+func clampNs(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	return v
 }
 
 // Progress drives the progress engine once for the calling thread. Under

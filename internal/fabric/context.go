@@ -73,6 +73,14 @@ func (c *Context) deliver(p *Packet) {
 }
 
 func (c *Context) deliverDirect(p *Packet) {
+	if p.TraceID != 0 && p.ArriveNs == 0 {
+		// Transport-arrival stamp for the critical-path attribution layer:
+		// the gap to the matching-engine delivery stamp is the receive-side
+		// progress lag (deliver_wait stage). Write-once: duplicates and
+		// retransmits re-deliver the same *Packet, which must stay read-only
+		// once the first delivery published the pointer to the receiver.
+		p.ArriveNs = time.Now().UnixNano()
+	}
 	for !c.recvQ.Push(p) {
 		runtime.Gosched()
 	}

@@ -1,0 +1,64 @@
+package figures
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestWaterfallSharesSumToOne(t *testing.T) {
+	fig := Waterfall(Quick(), 4)
+	if len(fig.Bars) == 0 {
+		t.Fatal("no bars")
+	}
+	for _, bar := range fig.Bars {
+		var sum float64
+		for _, s := range bar.Shares {
+			sum += s
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s: shares sum to %.6f, want 1", bar.Design, sum)
+		}
+		if bar.E2EP99Ns <= 0 || bar.E2EP50Ns <= 0 {
+			t.Errorf("%s: missing e2e quantiles: %+v", bar.Design, bar)
+		}
+		if bar.E2EP99Ns < bar.E2EP50Ns {
+			t.Errorf("%s: p99 %d below p50 %d", bar.Design, bar.E2EP99Ns, bar.E2EP50Ns)
+		}
+		if bar.TailStage == "" {
+			t.Errorf("%s: no tail stage named", bar.Design)
+		}
+	}
+}
+
+// TestWaterfallSkipsProcessModeDesigns: attribution is mirrored in thread
+// mode only, so the process rungs must be absent rather than rendered as
+// empty bars.
+func TestWaterfallSkipsProcessModeDesigns(t *testing.T) {
+	fig := Waterfall(Quick(), 4)
+	for _, bar := range fig.Bars {
+		if strings.Contains(bar.Design, "Process") {
+			t.Errorf("process-mode design %q in the waterfall", bar.Design)
+		}
+	}
+}
+
+func TestWaterfallDeterministic(t *testing.T) {
+	a := Waterfall(Quick(), 4)
+	b := Waterfall(Quick(), 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("waterfall differs across identical runs")
+	}
+}
+
+func TestWaterfallRenders(t *testing.T) {
+	fig := Waterfall(Quick(), 4)
+	text := fig.Render()
+	if !strings.Contains(text, "tail:") || !strings.Contains(text, "OMPI Thread") {
+		t.Fatalf("render missing expected content:\n%s", text)
+	}
+	csv := fig.CSV()
+	if !strings.Contains(csv, "design,cri_acquire,wire_write,transit,deliver_wait") {
+		t.Fatalf("csv missing header:\n%s", csv)
+	}
+}

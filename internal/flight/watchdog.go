@@ -75,6 +75,25 @@ type Sample struct {
 	Retransmits   uint64
 	Unacked       int
 	Comms         []CommQueues
+	// LatencyValid marks a sample carrying latency-attribution quantiles
+	// (the run had the internal/latency layer on and at least one traced
+	// message completed on this rank by this observation).
+	LatencyValid bool
+	// E2EP99Ns is the rank's end-to-end latency p99 at this observation;
+	// StageP99 the per-stage p99 vector in stage order. Cumulative-histogram
+	// quantiles, so they move slowly — the cluster tail-skew rule compares
+	// them across ranks rather than across time.
+	E2EP99Ns int64
+	StageP99 []StageP99
+}
+
+// StageP99 is one critical-path stage's p99 in a latency-carrying Sample.
+// The stage name matches internal/latency's Stage.String() vocabulary; the
+// type lives here so the latency layer and the cluster plane share it
+// without an import cycle.
+type StageP99 struct {
+	Stage string `json:"stage"`
+	P99Ns int64  `json:"p99_ns"`
 }
 
 // RankSeries is one rank's observation time series: the same Samples the

@@ -9,6 +9,7 @@
 //	/readyz        readiness probe (the world is constructed and connected)
 //	/debug/queues  runtime introspection: posted/unexpected depths, windows
 //	/debug/flight  merged flight-recorder rings as JSON
+//	/debug/latency per-rank critical-path attribution: stage summaries + exemplars
 //	/debug/pprof   the standard Go profiler endpoints
 //
 // The server pulls through a Source of callbacks so it always serves the
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/flight"
+	"repro/internal/latency"
 	"repro/internal/telemetry"
 )
 
@@ -69,6 +71,9 @@ type Source struct {
 	// Flight returns the merged flight-recorder record of every local proc —
 	// served at /debug/flight.
 	Flight func() []flight.RankRecord
+	// Latency returns the critical-path attribution dump of every local proc
+	// (per-stage summaries + tail exemplars) — served at /debug/latency.
+	Latency func() []latency.RankDump
 	// Ready reports run readiness for /readyz: false with a reason while the
 	// world is still being constructed (handshake, clock sync), true once
 	// communication can proceed. Nil means always ready — right for
@@ -153,6 +158,12 @@ func (h *Holder) Source() Source {
 			}
 			return nil
 		},
+		Latency: func() []latency.RankDump {
+			if s := get(); s.Latency != nil {
+				return s.Latency()
+			}
+			return nil
+		},
 		Ready: func() (bool, string) {
 			h.mu.RLock()
 			defer h.mu.RUnlock()
@@ -209,6 +220,14 @@ func Serve(addr string, src Source) (*Server, error) {
 			recs = src.Flight()
 		}
 		_ = flight.WriteRecords(w, recs)
+	})
+	mux.HandleFunc("/debug/latency", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var dumps []latency.RankDump
+		if src.Latency != nil {
+			dumps = src.Latency()
+		}
+		_ = latency.WriteDumps(w, dumps)
 	})
 	// Uptime resets to zero when the process restarts, which is how a
 	// scraper that only ever sees the endpoint (not the supervisor) detects

@@ -11,6 +11,7 @@ import (
 	"syscall"
 
 	"repro/internal/flight"
+	"repro/internal/latency"
 	"repro/internal/telemetry"
 )
 
@@ -38,6 +39,10 @@ type Outputs struct {
 	// snapshot, as one JSON document. Written on normal exit, on
 	// SIGINT/SIGTERM via FlushOnSignal, and on panic via DumpOnPanic.
 	FlightPath string
+	// LatencyPath receives the critical-path attribution exit dump: every
+	// local rank's per-stage summaries and tail exemplars as one JSON
+	// document (the file form of /debug/latency).
+	LatencyPath string
 	// ProfRank names the rank whose pid group receives the phase-breakdown
 	// counter track in the Chrome trace, when the bound sampler carries
 	// profiler snapshots (the sampler observes exactly one proc, so its
@@ -72,7 +77,7 @@ func (o *Outputs) BindSampler(s *telemetry.Sampler) {
 // Active reports whether any artifact path is configured.
 func (o *Outputs) Active() bool {
 	return o.MetricsPath != "" || o.TracePath != "" || o.SamplesPath != "" ||
-		o.ShardPath != "" || o.FlightPath != ""
+		o.ShardPath != "" || o.FlightPath != "" || o.LatencyPath != ""
 }
 
 // Flush writes every configured artifact exactly once; subsequent calls
@@ -150,6 +155,19 @@ func (o *Outputs) flush() error {
 		}
 		err := writeFile(o.FlightPath, func(w io.Writer) error {
 			return flight.WriteExitDump(w, dump)
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	if o.LatencyPath != "" {
+		var dumps []latency.RankDump
+		if src.Latency != nil {
+			dumps = src.Latency()
+		}
+		err := writeFile(o.LatencyPath, func(w io.Writer) error {
+			return latency.WriteDumps(w, dumps)
 		})
 		if err != nil {
 			return err

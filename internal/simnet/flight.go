@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/flight"
+	"repro/internal/latency"
 	"repro/internal/sim"
 	"repro/internal/spc"
 )
@@ -80,7 +81,19 @@ func (p *simProc) watchdogSample(now int64) flight.Sample {
 		Retransmits:   uint64(snap[spc.Retransmits]),
 	}
 	s.Comms = p.queueSnapshot(now).Comms
+	if stages, e2e, ok := p.lat.StageP99s(); ok {
+		s.LatencyValid = true
+		s.E2EP99Ns = e2e
+		s.StageP99 = stages
+	}
 	return s
+}
+
+// latencyDump returns the proc's critical-path attribution dump (empty when
+// attribution is off), with the exemplars' surrounding flight events when
+// the flight recorder is also on.
+func (p *simProc) latencyDump() latency.RankDump {
+	return p.lat.Dump(p.frank, p.flightRecord())
 }
 
 // spawnWatchdog starts the virtual-time stall watchdog for p: a simulated

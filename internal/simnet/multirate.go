@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/flight"
+	"repro/internal/latency"
 	"repro/internal/sim"
 	"repro/internal/spc"
 )
@@ -136,6 +137,9 @@ func runMultirateThreads(cfg Config) Result {
 	if cfg.ClusterInterval > 0 {
 		res.Series = series
 	}
+	if cfg.Latency {
+		res.Latency = []latency.RankDump{sender.latencyDump(), receiver.latencyDump()}
+	}
 	return res
 }
 
@@ -150,6 +154,7 @@ func runMultirateProcesses(cfg Config) Result {
 	pcfg := cfg
 	pcfg.NumInstances = 1       // one process, one thread, one context
 	pcfg.ProgressThread = false // a single-threaded process progresses itself
+	pcfg.Latency = false        // attribution is mirrored in thread mode only
 
 	recvSPCs := spc.NewSet()
 	sendSPCs := spc.NewSet()

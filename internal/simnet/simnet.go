@@ -19,6 +19,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/flight"
 	"repro/internal/hw"
+	"repro/internal/latency"
 	"repro/internal/match"
 	"repro/internal/prof"
 	"repro/internal/progress"
@@ -135,6 +136,17 @@ type Config struct {
 	// time, so a flight-enabled run reproduces the flight-off makespan
 	// exactly. Thread mode only; process mode ignores it.
 	FlightCapacity int
+	// Latency attaches the critical-path attribution layer (internal/latency)
+	// on virtual time: every message's lifecycle stages are stamped from the
+	// deterministic schedule and folded into per-stage histograms plus the
+	// tail-exemplar reservoir (Result.Latency). Observation only — no virtual
+	// time is charged and no wire bytes are added (unlike Traced), so a
+	// latency-enabled run reproduces the latency-off makespan exactly and the
+	// dumps are byte-reproducible. Thread mode only; process mode ignores it.
+	Latency bool
+	// LatencyExemplars bounds the tail-exemplar reservoir
+	// (0 = latency.DefaultExemplars). Latency mode only.
+	LatencyExemplars int
 	// Watchdog, when non-nil, runs the virtual-time stall watchdog with
 	// this detector configuration on every proc; verdict dumps land in
 	// Result.Dumps in deterministic order.
@@ -255,6 +267,10 @@ type Result struct {
 	// Config.ClusterInterval is set, in rank order — the deterministic
 	// input to the cluster imbalance detector (cluster.DetectSeries).
 	Series []flight.RankSeries
+	// Latency holds each rank's critical-path attribution dump when
+	// Config.Latency is set, in rank order — byte-reproducible across runs
+	// of the same configuration.
+	Latency []latency.RankDump
 }
 
 func newResult(messages int64, makespan time.Duration, sets ...*spc.Set) Result {
@@ -365,6 +381,10 @@ type simProc struct {
 	// recorder reads (the threadMeter pattern).
 	flight   *flight.Recorder
 	flightSP *sim.Proc
+	// lat mirrors the real runtime's critical-path attribution recorder on
+	// virtual time (Config.Latency; nil-safe). Observation only: recording
+	// never advances the clock.
+	lat      *latency.Recorder
 	progLock *sim.Lock // serial progress global lock
 	bigLock  *sim.Lock // BigLock design, nil unless enabled
 	wire     *sim.Wire // owning node's wire (shared)
@@ -387,6 +407,9 @@ func newSimProc(env *sim.Env, cfg Config, wire *sim.Wire, instances int) *simPro
 	p.progLock = cfg.newLock(env, "progress")
 	if cfg.BigLock {
 		p.bigLock = cfg.newLock(env, "biglock")
+	}
+	if cfg.Latency {
+		p.lat = latency.NewRecorder(cfg.LatencyExemplars)
 	}
 	if alloc := p.costs.AllocSerialize; alloc > 0 {
 		p.memSerial = sim.NewWire(0, 1e9/float64(alloc.Nanoseconds()))
@@ -669,6 +692,13 @@ func (t *simThread) send(sp *sim.Proc, c *simComm, dst *simProc, srcRank, dstRan
 	p := t.proc
 	t.clk.begin(sp, prof.PhaseSend)
 	defer t.clk.end(sp)
+	// Send-post instant for critical-path attribution: the CRI-acquire stage
+	// starts here, so credit backoff is attributed like any other wait for a
+	// communication resource.
+	var latPost int64
+	if p.lat != nil {
+		latPost = sp.Now()
+	}
 	// Eager flow control: stall until the receiver's matching engine has
 	// consumed enough of our earlier messages.
 	credits := int64(p.cfg.Credits)
@@ -701,6 +731,14 @@ func (t *simThread) send(sp *sim.Proc, c *simComm, dst *simProc, srcRank, dstRan
 		Seq: seq, Len: uint32(p.cfg.MsgSize), Kind: fabric.KindEager,
 	}
 	pkt := fabric.NewPacketRaw(env, nil, &t.flow)
+	if p.lat != nil {
+		// Same deterministic id scheme as core's traceID, on world ranks, and
+		// no wire-byte cost: attribution marks the in-memory packet only, so
+		// (unlike Traced) the makespan is byte-identical with the layer off.
+		pkt.TraceID = uint64(p.frank+1)<<48 | uint64(c.id&0xffff)<<32 | uint64(seq)
+		pkt.Origin = int32(p.frank)
+		pkt.Stamp = latPost
+	}
 
 	if p.bigLock != nil {
 		t.clk.begin(sp, prof.PhaseLockWait)
@@ -721,6 +759,11 @@ func (t *simThread) send(sp *sim.Proc, c *simComm, dst *simProc, srcRank, dstRan
 			t.fring.RecordAt(sp.Now(), flight.KindLockWait, 0, int32(inst.index), int32(instWait/time.Microsecond))
 		}
 	}
+	if p.lat != nil {
+		// CRI acquired (send post to instance held, including credit backoff
+		// and any lock convoy above).
+		pkt.SendAcqNs = sp.Now() - latPost
+	}
 	sp.Advance(p.costs.SendInject)
 	header := fabric.EnvelopeSize
 	if p.cfg.Traced {
@@ -734,6 +777,18 @@ func (t *simThread) send(sp *sim.Proc, c *simComm, dst *simProc, srcRank, dstRan
 	for len(remote.rxQ) >= p.cfg.QueueDepth {
 		sp.Advance(retryCost)
 		sp.Yield()
+	}
+	if p.lat != nil {
+		// Injection complete: wire-write stage ends and the packet arrives at
+		// the receiver's transport in the same virtual instant (transit is 0
+		// by construction on the model's wire). Fields are final before the
+		// append publishes the pointer; the sender-local stages also land in
+		// the sender's histograms here.
+		now := sp.Now()
+		pkt.SendWireNs = now - latPost - pkt.SendAcqNs
+		pkt.ArriveNs = now
+		p.lat.ObserveStage(latency.StageCRIAcquire, pkt.SendAcqNs)
+		p.lat.ObserveStage(latency.StageWireWrite, pkt.SendWireNs)
 	}
 	remote.rxQ = append(remote.rxQ, cqe{pkt: pkt})
 	if copies > 1 {
@@ -783,8 +838,11 @@ func (t *simThread) postRecv(sp *sim.Proc, c *simComm, srcRank, tag int32) {
 	comp, ok := c.engine.PostRecv(r)
 	release()
 	if ok {
+		// The posted receive matched immediately: the message was sitting in
+		// the unexpected queue since its delivery stamp.
 		tt := comp.Recv.Token.(*simThread)
 		tt.recvsDone++
+		p.latRecord(sp, comp, true)
 	}
 }
 
@@ -897,6 +955,12 @@ func (t *simThread) deliver(sp *sim.Proc, pkt *fabric.Packet) {
 		p.spcs.Inc(spc.LatePackets)
 		return
 	}
+	if p.lat != nil && pkt.TraceID != 0 && pkt.RecvStamp == 0 {
+		// Matching-engine delivery stamp: the gap from the arrival stamp is
+		// the receive-side progress lag (deliver_wait). Write-once so a
+		// duplicate copy cannot restamp a message sitting unexpected.
+		pkt.RecvStamp = sp.Now()
+	}
 	// Inbound fragment handling allocates/recycles through process-wide
 	// memory management before matching.
 	p.memSerial.Reserve(sp, 0)
@@ -921,7 +985,44 @@ func (t *simThread) deliver(sp *sim.Proc, pkt *fabric.Packet) {
 		tt := comp.Recv.Token.(*simThread)
 		tt.recvsDone++
 		c.postedOut++
+		p.latRecord(sp, comp, false)
 	}
+}
+
+// latRecord folds one matched completion into the attribution recorder:
+// every stage derives from the deterministic schedule's stamps, no virtual
+// time is charged, and the in-model completion coincides with the match
+// (the complete stage is 0 by construction). Nil-safe and untraced-safe.
+func (p *simProc) latRecord(sp *sim.Proc, comp match.Completion, unexpected bool) {
+	pkt := comp.Packet
+	if p.lat == nil || pkt == nil || pkt.TraceID == 0 {
+		return
+	}
+	now := sp.Now()
+	m := latency.Measurement{
+		TraceID:       pkt.TraceID,
+		Origin:        pkt.Origin,
+		Tag:           comp.Recv.MatchedEnv.Tag,
+		Unexpected:    unexpected,
+		E2ENs:         now - pkt.Stamp,
+		CompletedAtNs: now,
+	}
+	for i := range m.StageNs {
+		m.StageNs[i] = latency.Unknown
+	}
+	m.StageNs[latency.StageCRIAcquire] = pkt.SendAcqNs
+	m.StageNs[latency.StageWireWrite] = pkt.SendWireNs
+	m.StageNs[latency.StageTransit] = 0 // arrival coincides with injection
+	if pkt.RecvStamp != 0 {
+		m.StageNs[latency.StageDeliverWait] = pkt.RecvStamp - pkt.ArriveNs
+		ms := latency.StageMatchPosted
+		if unexpected {
+			ms = latency.StageMatchUnexpected
+		}
+		m.StageNs[ms] = now - pkt.RecvStamp
+	}
+	m.StageNs[latency.StageComplete] = 0
+	p.lat.Record(m)
 }
 
 // waitFor spins (in virtual time) until pred holds, driving progress with

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestQuantileExactAtBucketBoundaries: an observation sitting exactly on a
+// bucket's upper bound is recovered exactly at every quantile — the
+// estimator returns the bucket upper clamped to the recorded max, and at a
+// boundary the two coincide.
+func TestQuantileExactAtBucketBoundaries(t *testing.T) {
+	for i := 0; i < NumBuckets-1; i++ {
+		v := BucketUpper(i)
+		h := NewHistogram()
+		for k := 0; k < 100; k++ {
+			h.ObserveNs(v)
+		}
+		s := h.Snapshot()
+		for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+			if got := s.Quantile(q); got != v {
+				t.Fatalf("bucket %d boundary %d: Quantile(%v) = %d", i, v, q, got)
+			}
+		}
+		// One past the bound lands in the next bucket and is still exact
+		// when it is the maximum.
+		h2 := NewHistogram()
+		h2.ObserveNs(v + 1)
+		if got := h2.Snapshot().P99(); got != v+1 {
+			t.Fatalf("boundary+1 %d: P99 = %d", v+1, got)
+		}
+	}
+}
+
+// TestQuantileWithinLogLinearBuckets: for values strewn inside buckets (not
+// on bounds), the estimate is conservative — never below the exact ranked
+// value — and bounded by the sub-bucket width: at most 1.5x the exact value
+// (plus the max clamp, which can only tighten it).
+func TestQuantileWithinLogLinearBuckets(t *testing.T) {
+	h := NewHistogram()
+	var vals []int64
+	// Three observations per octave, off-boundary by construction.
+	for e := uint(4); e < 28; e++ {
+		for _, off := range []int64{1, 3, 5} {
+			v := int64(1)<<e + int64(1)<<(e-2) + off
+			vals = append(vals, v)
+			h.ObserveNs(v)
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	s := h.Snapshot()
+	for _, q := range []float64{0.10, 0.50, 0.75, 0.90, 0.99} {
+		rank := int(q*float64(len(vals))+0.5) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		exact := vals[rank]
+		est := s.Quantile(q)
+		if est < exact {
+			t.Errorf("q=%v: estimate %d below exact %d", q, est, exact)
+		}
+		if est > exact+exact/2+1 {
+			t.Errorf("q=%v: estimate %d beyond the 1.5x sub-bucket bound of exact %d", q, est, exact)
+		}
+	}
+}
+
+// TestQuantileOverMergedShards: per-shard snapshots merged with Merge must
+// answer quantiles identically to one histogram that saw every observation
+// — the property the per-CRI/per-communicator roll-ups and the cluster
+// aggregator rely on.
+func TestQuantileOverMergedShards(t *testing.T) {
+	const shards = 5
+	whole := NewHistogram()
+	parts := make([]*Histogram, shards)
+	for i := range parts {
+		parts[i] = NewHistogram()
+	}
+	var r lcg = 7
+	for k := 0; k < 5000; k++ {
+		v := int64(r.next() % (1 << (6 + r.next()%22)))
+		whole.ObserveNs(v)
+		parts[k%shards].ObserveNs(v)
+	}
+	merged := parts[0].Snapshot()
+	for _, p := range parts[1:] {
+		merged = merged.Merge(p.Snapshot())
+	}
+	ws := whole.Snapshot()
+	if merged.Count != ws.Count || merged.Sum != ws.Sum || merged.Max != ws.Max {
+		t.Fatalf("merged summary (%d %d %d) != whole (%d %d %d)",
+			merged.Count, merged.Sum, merged.Max, ws.Count, ws.Sum, ws.Max)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if merged.Quantile(q) != ws.Quantile(q) {
+			t.Errorf("q=%v: merged %d != whole %d", q, merged.Quantile(q), ws.Quantile(q))
+		}
+	}
+}
+
+// TestQuantileEmptyAndClamp: empty histograms answer 0, and out-of-range q
+// clamps instead of panicking.
+func TestQuantileEmptyAndClamp(t *testing.T) {
+	var s HistSnapshot
+	if s.Quantile(0.99) != 0 {
+		t.Fatal("empty snapshot quantile != 0")
+	}
+	h := NewHistogram()
+	h.ObserveNs(100)
+	got := h.Snapshot()
+	if got.Quantile(-1) != got.Quantile(0) || got.Quantile(2) != got.Quantile(1) {
+		t.Fatal("out-of-range q not clamped")
+	}
+}

@@ -502,6 +502,12 @@ func (n *Network) readFrames(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		if pkt.TraceID != 0 {
+			// Transport-arrival stamp for the critical-path attribution
+			// layer: the gap to the matching-engine delivery stamp is the
+			// receive-side progress lag (deliver_wait stage).
+			pkt.ArriveNs = time.Now().UnixNano()
+		}
 		idx := int(mux)
 		for idx >= len(ctxs) {
 			ctxs = append(ctxs, nil)

@@ -137,6 +137,20 @@ type Packet struct {
 	// the delivery path to measure match-queue residency; 0 = unstamped.
 	// Receiver-private — it never crosses the wire.
 	RecvStamp int64
+	// SendAcqNs and SendWireNs are the sender's critical-path stage
+	// durations (send post to CRI acquired; CRI acquired to injection
+	// complete), set by the latency-attribution layer BEFORE injection so
+	// in-process receivers read them race-free; 0 = unobserved. Like Stamp
+	// they are driver-private and never cross a real wire — a remote
+	// receiver sees 0 and marks the stages unknown in its exemplars.
+	SendAcqNs  int64
+	SendWireNs int64
+	// ArriveNs is the receiver-local transport-arrival timestamp (UnixNano,
+	// or virtual ns under the simulator), stamped when the packet enters the
+	// receive path (socket decode, or simulated receive-queue entry); 0 =
+	// unstamped. The gap to RecvStamp is the delivery-wait stage: how long
+	// the packet sat before a progress pass extracted it. Receiver-private.
+	ArriveNs int64
 }
 
 // NewPacket marshals env and copies payload into a fresh packet, setting

@@ -27,7 +27,7 @@ go build -o "$tmp/tracemerge" ./cmd/tracemerge
 port_base=$((20000 + RANDOM % 20000))
 http_addr="127.0.0.1:$((port_base + 2))"
 peers="127.0.0.1:${port_base},127.0.0.1:$((port_base + 1))"
-args=(-transport tcp -peers "$peers" -pairs 4 -window 64 -iters 256 -machine fast -spcs -trace-wire)
+args=(-transport tcp -peers "$peers" -pairs 4 -window 64 -iters 256 -machine fast -spcs -trace-wire -latency)
 
 out0="$tmp/out0" out1="$tmp/out1"
 "$tmp/multirate" -rank 1 "${args[@]}" -http "$http_addr" \
@@ -50,6 +50,16 @@ recv_pid=$!
         if curl -fsS "http://$http_addr/readyz" >"$tmp/readyz" 2>/dev/null; then
             curl -fsS "http://$http_addr/debug/queues" >"$tmp/queues" 2>/dev/null || true
             curl -fsS "http://$http_addr/metrics" >"$tmp/metrics" 2>/dev/null || true
+            # Attribution fills as messages complete: keep polling
+            # /debug/latency until the live dump carries stage histograms
+            # (the post-run check asserts on what this captured).
+            for _ in $(seq 1 100); do
+                if curl -fsS "http://$http_addr/debug/latency" >"$tmp/latency_live" 2>/dev/null &&
+                    grep -q '"stage"' "$tmp/latency_live"; then
+                    break
+                fi
+                sleep 0.05
+            done
             exit 0
         fi
         sleep 0.1
@@ -107,6 +117,12 @@ fi
 # communicator queues.
 if ! grep -q '"rank"' "$tmp/queues" || ! grep -q '"comms"' "$tmp/queues"; then
     echo "FAIL: /debug/queues snapshot: $(head -c 200 "$tmp/queues")" >&2
+    exit 1
+fi
+# Mid-run latency attribution: /debug/latency must have served non-empty
+# per-stage histograms while messages were still completing.
+if ! grep -q '"stage"' "$tmp/latency_live" || ! grep -q '"exemplars"' "$tmp/latency_live"; then
+    echo "FAIL: mid-run /debug/latency had no stage histograms: $(head -c 200 "$tmp/latency_live" 2>/dev/null)" >&2
     exit 1
 fi
 
@@ -204,18 +220,24 @@ go build -o "$tmp/mpitop" ./cmd/mpitop
 cport=$((port_base + 3))
 cout="$tmp/cluster_out"
 "$tmp/mpirun" -n 4 -http "127.0.0.1:$cport" -poll 100ms -report-out cluster_report.json \
-    "$tmp/multirate" -pairs 4 -window 16 -iters 1500 -machine fast >"$cout" 2>&1 &
+    "$tmp/multirate" -pairs 4 -window 16 -iters 1500 -machine fast -latency >"$cout" 2>&1 &
 cluster_pid=$!
 
-# Wait until every rank's series shows up in the merged exposition, then
-# assert the mid-run imbalance view is clean. Verdicts must come from rank
-# pathology, not from scrape races or benign sender-ahead queue depth.
+# Wait until every rank's series shows up in the merged exposition — with
+# the attribution layer on, that includes at least one non-empty
+# (count > 0) latency stage histogram per rank (senders fill the
+# sender-side stages, receivers the receive path; the recording-ownership
+# rule means no rank fills both) — then assert the mid-run imbalance view
+# is clean. Verdicts must come from rank pathology, not from scrape races
+# or benign sender-ahead queue depth.
 ranks_seen=""
 for _ in $(seq 1 200); do
     if curl -fsS "http://127.0.0.1:$cport/cluster/metrics" >"$tmp/cluster_metrics" 2>/dev/null; then
         n=0
         for r in 0 1 2 3; do
-            grep -q "mpi_uptime_seconds{rank=\"$r\"}" "$tmp/cluster_metrics" && n=$((n + 1))
+            grep -q "mpi_uptime_seconds{rank=\"$r\"}" "$tmp/cluster_metrics" &&
+                grep -Eq "mpi_latency_[a-z_0-9]*_bucket\{rank=\"$r\",le=\"\+Inf\"\} [1-9]" "$tmp/cluster_metrics" &&
+                n=$((n + 1))
         done
         if [[ "$n" -eq 4 ]]; then
             ranks_seen=yes
@@ -243,12 +265,27 @@ for r in 0 1 2 3; do
         exit 1
     fi
 done
+# The recording-ownership rule, observed end-to-end over TCP: in this
+# topology even ranks are pure senders (wire_write fills, e2e stays
+# empty) and odd ranks are the receivers (e2e fills).
+for r in 0 2; do
+    if ! grep -Eq "mpi_latency_stage_wire_write_ns_bucket\{rank=\"$r\",le=\"\+Inf\"\} [1-9]" "$tmp/cluster_metrics"; then
+        echo "FAIL: sender rank $r exported no wire_write stage histogram" >&2
+        exit 1
+    fi
+done
+for r in 1 3; do
+    if ! grep -Eq "mpi_latency_e2e_ns_bucket\{rank=\"$r\",le=\"\+Inf\"\} [1-9]" "$tmp/cluster_metrics"; then
+        echo "FAIL: receiver rank $r exported no e2e latency histogram" >&2
+        exit 1
+    fi
+done
 if ! grep -q '"clean": true' "$tmp/cluster_imbalance"; then
     echo "FAIL: healthy run's mid-run /cluster/imbalance not clean:" >&2
     cat "$tmp/cluster_imbalance" >&2
     exit 1
 fi
-if ! grep -q '"schema_version": 1' cluster_report.json; then
+if ! grep -q '"schema_version": 2' cluster_report.json; then
     echo "FAIL: cluster report missing or wrong schema:" >&2
     head -5 cluster_report.json >&2 || true
     exit 1
